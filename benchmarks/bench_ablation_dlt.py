@@ -1,0 +1,69 @@
+"""Ablation: DMA Log Table capacity (§3.3.3).
+
+The paper caps the DLT at the buffer-entry count (e.g. 512) and argues the
+cost is ~4 KiB of device memory. This bench sweeps the capacity and measures
+what it buys: bytes successfully backfilled, fragmentation abandoned via
+forced evictions, and the DLT's own memory footprint.
+"""
+
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.sim.runner import run_workload
+from repro.workloads.workloads import workload_m
+
+OPS = _bench_ops(2000)
+CAPACITIES = (1, 4, 16, 64, 256)
+
+
+def _sweep_capacity():
+    rows = []
+    for capacity in CAPACITIES:
+        r = run_workload(
+            "backfill", workload_m(OPS, seed=42),
+            dlt_capacity=capacity, buffer_entries=256,
+        )
+        snap = r.snapshot
+        rows.append(
+            [capacity,
+             int(snap["packing.backfill.backfill_bytes"]),
+             int(snap["packing.backfill.fragmentation_bytes"]),
+             r.nand_page_writes_with_flush,
+             round(r.avg_response_us, 2)]
+        )
+    return FigureResult(
+        figure_id="ablation_dlt",
+        title="Backfill vs DLT capacity on W(M)",
+        columns=["dlt_entries", "backfill_bytes", "fragmentation_bytes",
+                 "nand_writes", "avg_response_us"],
+        rows=rows,
+        notes=[
+            f"{OPS} ops; a larger DLT preserves more backfill opportunities "
+            "(fewer forced evictions)",
+            "paper: 512 entries cost <= 4 KiB of device DRAM",
+        ],
+    )
+
+
+def bench_dlt_capacity(benchmark, emit):
+    fig = benchmark.pedantic(_sweep_capacity, rounds=1, iterations=1)
+    emit([fig])
+    backfilled = fig.column("backfill_bytes")
+    # More DLT capacity never backfills less.
+    assert backfilled[-1] >= backfilled[0]
+    nand = fig.column("nand_writes")
+    assert nand[-1] <= nand[0]
+    benchmark.extra_info["backfill_bytes_max_capacity"] = backfilled[-1]
+
+
+def bench_dlt_memory_budget(benchmark):
+    """The §3.3.3 space claim, computed exactly."""
+    from repro.core.dlt import DMALogTable
+
+    def compute():
+        table = DMALogTable(capacity=512, nand_page_size=16 * 1024,
+                            vlog_pages=2**26)
+        return table.entry_bits(), table.table_bytes()
+
+    bits, total = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert bits == 26 + 2 + 32
+    assert total <= 4096
+    benchmark.extra_info["dlt_bytes_512_entries"] = total

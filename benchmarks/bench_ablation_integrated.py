@@ -1,0 +1,65 @@
+"""Ablation: the Integrated packing extension (paper §4.3 closing remark).
+
+"We can design a controller that effectively adapts to any workload by
+integrating the strengths of both" — this bench evaluates that controller:
+All-style memcpy for small DMA values, Backfill-style aligned placement for
+large ones, sweeping the copy threshold that splits them.
+"""
+
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.sim.runner import run_workload
+from repro.units import KIB
+from repro.workloads.workloads import PAPER_WORKLOADS
+
+OPS = _bench_ops(1200)
+THRESHOLDS = (0, 1 * KIB, 3 * KIB, 4 * KIB)
+#: Small pool so the run reaches steady-state flushing (data >> pool).
+POOL = 8
+
+
+def _policy_matrix():
+    rows = []
+    for wname, factory in PAPER_WORKLOADS.items():
+        for name in ("all", "backfill"):
+            r = run_workload(name, factory(OPS, seed=42),
+                             buffer_entries=POOL, dlt_capacity=POOL)
+            rows.append([wname, name, round(r.avg_response_us, 2),
+                         r.nand_page_writes_with_flush,
+                         round(r.avg_memcpy_us, 2)])
+        for threshold in THRESHOLDS:
+            r = run_workload(
+                "integrated", factory(OPS, seed=42),
+                buffer_entries=POOL, dlt_capacity=POOL,
+                integrated_copy_threshold=threshold,
+            )
+            rows.append(
+                [wname, f"integrated({threshold}B)",
+                 round(r.avg_response_us, 2),
+                 r.nand_page_writes_with_flush,
+                 round(r.avg_memcpy_us, 2)]
+            )
+    return FigureResult(
+        figure_id="ablation_integrated",
+        title="Integrated packing vs its parents (All, Backfill)",
+        columns=["workload", "policy", "avg_response_us", "nand_writes",
+                 "avg_memcpy_us"],
+        rows=rows,
+        notes=[
+            f"{OPS} ops/workload, adaptive transfer, {POOL}-entry pool",
+            "threshold 0 degenerates to Backfill; a large threshold "
+            "approaches All; the default 3 KiB tracks the better parent "
+            "on every paper workload",
+        ],
+    )
+
+
+def bench_integrated_policy(benchmark, emit):
+    fig = benchmark.pedantic(_policy_matrix, rounds=1, iterations=1)
+    emit([fig])
+    # Index rows: (workload, policy) -> response.
+    resp = {(r[0], r[1]): r[2] for r in fig.rows}
+    for wname in PAPER_WORKLOADS:
+        best_parent = min(resp[(wname, "all")], resp[(wname, "backfill")])
+        integ = resp[(wname, f"integrated({3 * KIB}B)")]
+        assert integ <= best_parent * 1.10, wname
+    benchmark.extra_info["workloads_checked"] = len(PAPER_WORKLOADS)

@@ -1,0 +1,71 @@
+"""Ablation: the memcpy calibration knob behind the one known divergence.
+
+EXPERIMENTS.md documents the single ordering this model does not reproduce:
+the paper has Backfill ahead of All Packing on W(M); this model has All
+slightly ahead. The deciding constant is the firmware memcpy rate — All
+pays a copy per DMA value, Backfill pays NAND space instead. This bench
+sweeps `memcpy_per_byte_us` and tabulates the verdict, locating the
+crossover that separates this model's default (0.01 µs/B ≈ 100 MB/s) from
+where the paper's FPGA apparently sits.
+"""
+
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.sim.latency import LatencyModel
+from repro.sim.runner import run_workload
+from repro.workloads.workloads import workload_b, workload_m
+
+OPS = _bench_ops(1200)
+RATES = (0.005, 0.01, 0.02, 0.04, 0.08)
+POOL = 8  # steady-state flushing (see bench_ablation_integrated)
+
+
+def _sweep():
+    rows = []
+    for rate in RATES:
+        latency = LatencyModel().with_overrides(memcpy_per_byte_us=rate)
+        for wname, factory in (("W(B)", workload_b), ("W(M)", workload_m)):
+            allp = run_workload("all", factory(OPS, seed=42), latency=latency,
+                                buffer_entries=POOL, dlt_capacity=POOL)
+            bf = run_workload("backfill", factory(OPS, seed=42), latency=latency,
+                              buffer_entries=POOL, dlt_capacity=POOL)
+            winner = "all" if allp.avg_response_us <= bf.avg_response_us else "backfill"
+            rows.append(
+                [rate, wname, round(allp.avg_response_us, 2),
+                 round(bf.avg_response_us, 2), winner]
+            )
+    return FigureResult(
+        figure_id="ablation_memcpy",
+        title="All vs Backfill verdict across memcpy calibrations",
+        columns=["memcpy_us_per_B", "workload", "all_us", "backfill_us",
+                 "winner"],
+        rows=rows,
+        notes=[
+            f"{OPS} ops, {POOL}-entry pool",
+            "W(B) flips to Backfill from ~2x costlier copies (the 2 KiB "
+            "values make All's memcpy bill material); W(M) never flips on "
+            "this knob alone — its DMA values are small and rare, so All's "
+            "copies stay cheap while Backfill's gaps persist. The paper's "
+            "W(M) verdict therefore needs NAND-program overlap (free "
+            "flushes at low rates), which this synchronous-flush model "
+            "deliberately omits — see EXPERIMENTS.md",
+        ],
+    )
+
+
+def bench_memcpy_crossover(benchmark, emit):
+    fig = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit([fig])
+    verdicts = {
+        (r["memcpy_us_per_B"], r["workload"]): r["winner"]
+        for r in fig.row_dicts()
+    }
+    # At the default calibration All wins everywhere.
+    for wname in ("W(B)", "W(M)"):
+        assert verdicts[(RATES[0], wname)] == "all", wname
+    # W(B)'s crossover exists inside the sweep; W(M)'s does not — the
+    # divergence there is structural, not a memcpy-calibration artifact.
+    assert verdicts[(RATES[-1], "W(B)")] == "backfill"
+    assert verdicts[(RATES[-1], "W(M)")] == "all"
+    benchmark.extra_info["wb_crossover_rate"] = next(
+        rate for rate in RATES if verdicts[(rate, "W(B)")] == "backfill"
+    )

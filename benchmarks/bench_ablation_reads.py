@@ -1,0 +1,58 @@
+"""Ablation: the read path (GET) under fine-grained packing.
+
+The paper evaluates writes only; a natural question for adopters is whether
+byte-offset value placement costs anything on reads. It shouldn't — a value
+at offset 74 of a 16 KiB page reads the same one page as a value at offset
+0 — and this bench verifies that, sweeping value sizes and packing policies
+on a read-heavy mixed workload.
+"""
+
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.sim.runner import run_workload
+from repro.workloads.workloads import workload_mixed
+
+OPS = _bench_ops(1500)
+POLICIES = ("block", "all", "backfill")
+
+
+def _sweep():
+    rows = []
+    for policy in POLICIES:
+        r = run_workload(
+            policy, workload_mixed(OPS, read_fraction=0.5, seed=42),
+            buffer_entries=16, dlt_capacity=16,
+        )
+        snap = r.snapshot
+        gets = snap["driver.gets"]
+        reads_per_get = snap["nand.page_reads"] / gets if gets else 0.0
+        rows.append(
+            [policy,
+             round(snap["driver.get_latency_us.mean"], 2),
+             round(reads_per_get, 2),
+             round(snap["driver.put_latency_us.mean"], 2)]
+        )
+    return FigureResult(
+        figure_id="ablation_reads",
+        title="GET cost vs packing policy (50% reads, mixgraph sizes)",
+        columns=["policy", "get_latency_us", "nand_reads_per_get",
+                 "put_latency_us"],
+        rows=rows,
+        notes=[
+            f"{OPS} ops, 50 % GETs of previously written keys",
+            "fine-grained placement must not raise per-GET NAND reads: a "
+            "byte-offset value still reads one page (plus index probes)",
+        ],
+    )
+
+
+def bench_read_path(benchmark, emit):
+    fig = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit([fig])
+    reads = dict(zip(fig.column("policy"), fig.column("nand_reads_per_get")))
+    gets = dict(zip(fig.column("policy"), fig.column("get_latency_us")))
+    # Packed layouts must not read more NAND per GET than block layout.
+    assert reads["all"] <= reads["block"] + 0.5
+    assert reads["backfill"] <= reads["block"] + 0.5
+    # And GET latency must not regress materially.
+    assert gets["backfill"] <= gets["block"] * 1.2
+    benchmark.extra_info["reads_per_get_backfill"] = reads["backfill"]

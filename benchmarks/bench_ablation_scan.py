@@ -1,0 +1,119 @@
+"""Ablation: range-scan locality — packing × read caching synergy.
+
+The underlying KV-SSD [22] exists for range queries (SEEK/NEXT), and
+BandSlim's fine-grained packing quietly helps them: densely packed values
+share NAND pages, so a scan with a device read cache keeps hitting the
+same cached page, while the Block layout's one-value-per-4 KiB-slot
+spreads the same data across many more pages (64 B values: ~256
+values per 16 KiB page packed, vs 4 per page in Block slots).
+The paper never evaluates reads; this ablation quantifies the bonus.
+"""
+
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.core.config import preset
+from repro.host.api import KVStore
+
+OPS = _bench_ops(800)
+VALUE_SIZE = 64  # piggybacked under adaptive transfer -> dense packing
+CACHE_PAGES = 8
+
+POLICIES = ("block", "all", "backfill")
+
+
+def _scan_run(policy: str):
+    store = KVStore.open(
+        preset(policy, read_cache_pages=CACHE_PAGES, buffer_entries=8,
+               dlt_capacity=8)
+    )
+    for i in range(OPS):
+        store.put(f"key{i:06d}".encode(), bytes([i % 256]) * VALUE_SIZE)
+    store.flush()
+    reads_before = store.device.flash.page_reads
+    t0 = store.device.clock.now_us
+    scanned = sum(1 for _ in store.scan())
+    elapsed = store.device.clock.now_us - t0
+    assert scanned == OPS
+    nand_reads = store.device.flash.page_reads - reads_before
+    cache = store.device.ftl._cache
+    return {
+        "nand_reads_per_value": nand_reads / OPS,
+        "us_per_value": elapsed / OPS,
+        "cache_hit_rate": cache.hit_rate,
+    }
+
+
+def _sweep():
+    rows = []
+    for policy in POLICIES:
+        r = _scan_run(policy)
+        rows.append(
+            [policy, round(r["nand_reads_per_value"], 3),
+             round(r["cache_hit_rate"], 3), round(r["us_per_value"], 2)]
+        )
+    return FigureResult(
+        figure_id="ablation_scan",
+        title=f"Full scan of {OPS} x {VALUE_SIZE} B values "
+              f"({CACHE_PAGES}-page read cache)",
+        columns=["policy", "nand_reads_per_value", "cache_hit_rate",
+                 "us_per_value"],
+        rows=rows,
+        notes=[
+            "dense packing -> many values per NAND page -> scans hit the "
+            "read cache; Block's 4 KiB slots quarter the density",
+        ],
+    )
+
+
+def bench_scan_locality(benchmark, emit):
+    fig = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit([fig])
+    reads = dict(zip(fig.column("policy"), fig.column("nand_reads_per_value")))
+    # Packed layouts read far fewer NAND pages per scanned value.
+    assert reads["all"] < reads["block"] / 5
+    assert reads["backfill"] < reads["block"] / 5
+    benchmark.extra_info["block_reads_per_value"] = reads["block"]
+    benchmark.extra_info["packed_reads_per_value"] = reads["all"]
+
+
+def _interface_comparison():
+    """Host-driven scan (LIST + GET per key) vs device-side iterator."""
+    from repro.pcie.metrics import TrafficCategory
+
+    rows = []
+    for label, scan in (("host LIST+GET", "scan"), ("device iterator", "device_scan")):
+        store = KVStore.open(preset("backfill", buffer_entries=8, dlt_capacity=8))
+        for i in range(OPS):
+            store.put(f"key{i:06d}".encode(), bytes([i % 256]) * VALUE_SIZE)
+        store.flush()
+        meter = store.device.link.meter
+        cmds_before = meter.transactions_for(TrafficCategory.SQ_ENTRY)
+        t0 = store.device.clock.now_us
+        scanned = sum(1 for _ in getattr(store, scan)())
+        elapsed = store.device.clock.now_us - t0
+        assert scanned == OPS
+        commands = meter.transactions_for(TrafficCategory.SQ_ENTRY) - cmds_before
+        rows.append([label, commands, round(elapsed / OPS, 2)])
+    return FigureResult(
+        figure_id="ablation_scan_interface",
+        title=f"Scan interface: host-driven vs device-side iterator "
+              f"({OPS} x {VALUE_SIZE} B values)",
+        columns=["interface", "commands", "us_per_value"],
+        rows=rows,
+        notes=[
+            "the device iterator ([22]'s SEEK/NEXT) resolves values in "
+            "firmware and ships page-sized batches: one command per batch "
+            "instead of LIST plus one GET round trip per key",
+        ],
+    )
+
+
+def bench_scan_interface(benchmark, emit):
+    fig = benchmark.pedantic(_interface_comparison, rounds=1, iterations=1)
+    emit([fig])
+    cmds = dict(zip(fig.column("interface"), fig.column("commands")))
+    us = dict(zip(fig.column("interface"), fig.column("us_per_value")))
+    assert cmds["device iterator"] < cmds["host LIST+GET"] / 10
+    assert us["device iterator"] < us["host LIST+GET"]
+    benchmark.extra_info["command_reduction"] = round(
+        cmds["host LIST+GET"] / cmds["device iterator"], 1
+    )

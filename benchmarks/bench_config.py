@@ -1,0 +1,16 @@
+"""Tables 1 and 2: platform/host configuration (paper vs simulated)."""
+
+from repro.bench.figures import table1, table2
+
+def bench_table1_platform(benchmark, emit):
+    results = benchmark.pedantic(table1, rounds=1, iterations=1)
+    emit(results)
+    row = results[0].row_dicts()[2]
+    assert "PCIe Gen2" in row["this reproduction"]
+    benchmark.extra_info["interconnect"] = row["this reproduction"]
+
+
+def bench_table2_host(benchmark, emit):
+    results = benchmark.pedantic(table2, rounds=1, iterations=1)
+    emit(results)
+    assert any("synchronous" in str(r) for r in results[0].rows)

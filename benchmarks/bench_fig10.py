@@ -1,0 +1,53 @@
+"""Fig 10: Baseline/Piggyback/Adaptive across W(B), W(C), W(D), W(M) (§4.2)."""
+
+from repro.bench.figures import fig10
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(1500)
+
+
+def _by_config(fig):
+    return {row[0]: dict(zip(fig.columns[1:], row[1:])) for row in fig.rows}
+
+
+def bench_fig10_adaptive_transfer(benchmark, emit):
+    fig_a, fig_b, fig_c, fig_d = run_figure(benchmark, fig10, OPS)
+    emit([fig_a, fig_b, fig_c, fig_d])
+
+    resp = _by_config(fig_a)
+    thru = _by_config(fig_b)
+    traffic = _by_config(fig_c)
+    mmio = _by_config(fig_d)
+
+    # Piggyback worst on B/C/D, drastically on large-value W(C)...
+    assert resp["piggyback"]["W(C)"] > resp["baseline"]["W(C)"] * 2
+    # ...but better than baseline on the real-world mix W(M) (§4.2).
+    assert resp["piggyback"]["W(M)"] < resp["baseline"]["W(M)"]
+
+    # Adaptive is best (or ties) on every workload.
+    for w in ("W(B)", "W(C)", "W(D)", "W(M)"):
+        assert resp["adaptive"] [w] <= resp["baseline"][w] * 1.02, w
+        assert resp["adaptive"][w] <= resp["piggyback"][w] * 1.02, w
+        assert thru["adaptive"][w] >= thru["baseline"][w] * 0.98, w
+
+    # Traffic: piggyback reduces most on W(M) (~97.9 % in the paper);
+    # adaptive trades a little traffic for throughput.
+    wm_reduction = 1 - traffic["piggyback"]["W(M)"] / traffic["baseline"]["W(M)"]
+    assert wm_reduction > 0.95
+    assert (
+        traffic["piggyback"]["W(M)"]
+        < traffic["adaptive"]["W(M)"]
+        < traffic["baseline"]["W(M)"]
+    )
+
+    # MMIO: baseline constant across workloads; piggyback scales with size.
+    base_mmio = [mmio["baseline"][w] for w in ("W(B)", "W(C)", "W(D)", "W(M)")]
+    assert max(base_mmio) - min(base_mmio) < 1e-6
+    assert mmio["piggyback"]["W(C)"] > mmio["piggyback"]["W(M)"] * 5
+
+    benchmark.extra_info["wm_piggyback_traffic_reduction_pct"] = round(
+        100 * wm_reduction, 1
+    )
+    benchmark.extra_info["adaptive_wm_resp_us"] = resp["adaptive"]["W(M)"]

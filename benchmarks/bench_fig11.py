@@ -1,0 +1,43 @@
+"""Fig 11: fine-grained value packing vs value size (§4.3).
+
+Baseline / Piggyback / Packing / Piggy+Pack under the All Packing policy:
+packing collapses NAND page writes for small values (98.1 % headline) and
+cuts write response; piggy+pack adds a further slice below 64 B but
+degrades from 128 B (serialized trailing commands).
+"""
+
+import pytest
+
+from repro.bench.figures import fig11
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(400)
+
+
+def bench_fig11_packing_sweep(benchmark, emit):
+    fig_a, fig_b = run_figure(benchmark, fig11, OPS)
+    emit([fig_a, fig_b])
+
+    nand = {r["value_B"]: r for r in fig_a.row_dicts()}
+    resp = {r["value_B"]: r for r in fig_b.row_dicts()}
+
+    # Headline: ~98 % fewer NAND writes at small sizes.
+    for size in (4, 8, 16, 32):
+        reduction = 1 - nand[size]["packing"] / nand[size]["baseline"]
+        assert reduction > 0.95, size
+
+    # Piggyback + block packing does NOT reduce NAND writes.
+    assert nand[32]["piggyback"] == pytest.approx(nand[32]["baseline"], rel=0.1)
+
+    # Packing cuts write response sharply at 32 B (paper: 67.6 %).
+    assert resp[32]["packing"] < resp[32]["baseline"] * 0.5
+    # Piggy+Pack adds a further small-value improvement...
+    assert resp[32]["piggy+pack"] < resp[32]["packing"]
+    # ...but collapses from 128 B onward.
+    assert resp[2048]["piggy+pack"] > resp[2048]["packing"] * 2
+
+    benchmark.extra_info["nand_reduction_32B_pct"] = round(
+        100 * (1 - nand[32]["packing"] / nand[32]["baseline"]), 1
+    )

@@ -1,0 +1,52 @@
+"""Fig 12: packing policies across workloads under adaptive transfer (§4.3)."""
+
+from repro.bench.figures import fig12
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(1500)
+
+
+def _by_policy(fig):
+    return {row[0]: dict(zip(fig.columns[1:], row[1:])) for row in fig.rows}
+
+
+def bench_fig12_packing_policies(benchmark, emit):
+    fig_a, fig_b, fig_c, fig_d = run_figure(benchmark, fig12, OPS)
+    emit([fig_a, fig_b, fig_c, fig_d])
+
+    resp = _by_policy(fig_a)
+    nand = _by_policy(fig_c)
+    memcpy = _by_policy(fig_d)
+    workloads = ("W(B)", "W(C)", "W(D)", "W(M)")
+
+    # Block is the worst policy on every workload.
+    for w in workloads:
+        for policy in ("all", "select", "backfill"):
+            assert resp[policy][w] <= resp["block"][w] * 1.01, (policy, w)
+
+    # Selective ≈ Block on large-value-dominant W(C) (page alignment).
+    assert resp["select"]["W(C)"] > resp["block"]["W(C)"] * 0.8
+    # All Packing optimal on W(C) and W(D).
+    for w in ("W(C)", "W(D)"):
+        assert resp["all"][w] <= resp["select"][w], w
+        assert resp["all"][w] <= resp["backfill"][w] * 1.02, w
+
+    # NAND counts: Block >> Select >= Backfill >= All.
+    for w in workloads:
+        assert nand["block"][w] > nand["select"][w], w
+        assert nand["select"][w] >= nand["backfill"][w], w
+        assert nand["backfill"][w] >= nand["all"][w] * 0.99, w
+
+    # memcpy time: All pays the large-value copies; paper ordering M<B<D<C.
+    assert (
+        memcpy["all"]["W(M)"]
+        < memcpy["all"]["W(B)"]
+        < memcpy["all"]["W(D)"]
+        < memcpy["all"]["W(C)"]
+    )
+    assert memcpy["all"]["W(C)"] > 5 * memcpy["select"]["W(C)"]
+
+    benchmark.extra_info["all_wc_memcpy_us"] = memcpy["all"]["W(C)"]
+    benchmark.extra_info["backfill_wb_resp_us"] = resp["backfill"]["W(B)"]

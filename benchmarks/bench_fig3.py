@@ -1,0 +1,37 @@
+"""Fig 3: baseline PCIe traffic/response vs value size, and TAF (§2.4).
+
+Regenerates both panels and asserts the paper's shape: traffic is constant
+within each 4 KiB bucket and doubles at page boundaries; TAF halves as the
+value size doubles, starting near 130 at 32 B.
+"""
+
+import pytest
+
+from repro.bench.figures import fig3
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(400)
+
+
+def bench_fig3_traffic_and_taf(benchmark, emit):
+    fig_a, fig_b = run_figure(benchmark, fig3, OPS)
+    emit([fig_a, fig_b])
+
+    traffic = fig_a.column("pcie_GB_at_1M_ops")
+    sizes = fig_a.column("value_KiB")
+    # Constant within buckets: 1-4 KiB identical; 5-8 KiB identical.
+    assert traffic[0] == traffic[3]
+    assert traffic[4] == traffic[7]
+    # Doubling at the first page boundary.
+    assert traffic[4] == pytest.approx(2 * traffic[3], rel=0.02)
+    assert sizes[3] == 4 and sizes[4] == 5
+
+    taf = dict(zip(fig_b.column("value_B"), fig_b.column("traffic_amplification_factor")))
+    assert taf[32] == pytest.approx(130, rel=0.02)   # paper: 130.0
+    assert taf[64] == pytest.approx(65, rel=0.03)    # paper: 65.0
+    assert taf[1024] == pytest.approx(4.1, rel=0.05)  # paper: 4.1
+
+    benchmark.extra_info["taf_32B"] = taf[32]
+    benchmark.extra_info["traffic_GB_at_4KiB"] = traffic[3]

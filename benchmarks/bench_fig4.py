@@ -1,0 +1,31 @@
+"""Fig 4: baseline NAND page writes/response vs value size, and WAF (§2.4)."""
+
+import pytest
+
+from repro.bench.figures import fig4
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(400)
+
+
+def bench_fig4_nand_and_waf(benchmark, emit):
+    fig_a, fig_b = run_figure(benchmark, fig4, OPS)
+    emit([fig_a, fig_b])
+
+    nand = fig_a.column("nand_io_millions_at_1M_ops")
+    resp = fig_a.column("avg_response_us")
+    # NAND I/O steps at page boundaries: 4 KiB bucket vs 5-8 KiB bucket.
+    assert nand[4] == pytest.approx(2 * nand[3], rel=0.1)
+    # 16 KiB values: one NAND page program per op.
+    assert nand[-1] == pytest.approx(1.0, rel=0.1)
+    # Write responses NAND-dominated and increasing with page count.
+    assert resp[-1] > resp[0] > 50
+
+    waf = dict(zip(fig_b.column("value_B"), fig_b.column("write_amplification_factor")))
+    assert waf[32] == pytest.approx(130, rel=0.10)   # paper: 129.9
+    assert waf[1024] == pytest.approx(4.0, rel=0.15)  # paper: 4.0
+
+    benchmark.extra_info["waf_32B"] = waf[32]
+    benchmark.extra_info["nand_M_at_16KiB"] = nand[-1]

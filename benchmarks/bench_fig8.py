@@ -1,0 +1,41 @@
+"""Fig 8: Baseline vs Piggyback — traffic and response across value sizes.
+
+The paper's headline experiment (§4.2): piggybacking cuts PCIe traffic by
+up to 97.9 % for small values, halves response at ≤32 B, reaches parity at
+64 B, and degrades from 128 B as trailing commands serialize.
+"""
+
+import pytest
+
+from repro.bench.figures import fig8
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(400)
+
+
+def bench_fig8_transfer_comparison(benchmark, emit):
+    (fig,) = run_figure(benchmark, fig8, OPS)
+    emit([fig])
+    rows = {r["value_B"]: r for r in fig.row_dicts()}
+
+    # Headline: 97.9 % traffic reduction at 4-32 B.
+    for size in (4, 8, 16, 32):
+        reduction = 1 - rows[size]["piggy_traffic_GB_at_1M"] / rows[size]["base_traffic_GB_at_1M"]
+        assert reduction == pytest.approx(0.979, abs=0.004), size
+
+    # Response: ~half at 32 B, parity at 64 B, worse from 128 B.
+    assert 0.4 < rows[32]["piggy_resp_us"] / rows[32]["base_resp_us"] < 0.6
+    assert rows[64]["piggy_resp_us"] == pytest.approx(
+        rows[64]["base_resp_us"], rel=0.1
+    )
+    assert rows[128]["piggy_resp_us"] > rows[128]["base_resp_us"] * 1.3
+
+    # Traffic approaches baseline at 2 KiB and exceeds it at 4 KiB.
+    assert rows[2048]["piggy_traffic_GB_at_1M"] < rows[2048]["base_traffic_GB_at_1M"]
+    assert rows[4096]["piggy_traffic_GB_at_1M"] > rows[4096]["base_traffic_GB_at_1M"]
+
+    benchmark.extra_info["reduction_32B_pct"] = round(
+        100 * (1 - rows[32]["piggy_traffic_GB_at_1M"] / rows[32]["base_traffic_GB_at_1M"]), 2
+    )

@@ -1,0 +1,33 @@
+"""Fig 9: hybrid transfer for 4 KiB + trailing-byte values (§4.2)."""
+
+from repro.bench.figures import fig9
+from repro.bench.report import bench_ops as _bench_ops
+
+from benchmarks.conftest import run_figure
+
+OPS = _bench_ops(200)
+
+
+def bench_fig9_hybrid(benchmark, emit):
+    fig_a, fig_b = run_figure(benchmark, fig9, OPS)
+    emit([fig_a, fig_b])
+
+    traffic = {r["trailing_B"]: r for r in fig_a.row_dicts()}
+    resp = {r["trailing_B"]: r for r in fig_b.row_dicts()}
+
+    # Hybrid is the traffic optimum for small-to-mid tails (paper: to ~2 KiB).
+    for tail in (4, 32, 512, 1024):
+        row = traffic[tail]
+        assert row["hybrid_GB_at_1M"] < row["baseline_GB_at_1M"], tail
+        assert row["hybrid_GB_at_1M"] < row["piggyback_GB_at_1M"], tail
+
+    # Piggyback beats baseline on traffic only up to ~1 KiB tails.
+    assert traffic[1024]["piggyback_GB_at_1M"] < traffic[1024]["baseline_GB_at_1M"]
+    assert traffic[4096]["piggyback_GB_at_1M"] > traffic[4096]["baseline_GB_at_1M"]
+
+    # Response: piggyback far worse; hybrid does not improve on baseline.
+    for tail in (4, 64, 1024):
+        assert resp[tail]["piggyback_us"] > resp[tail]["baseline_us"] * 3, tail
+        assert resp[tail]["hybrid_us"] >= resp[tail]["baseline_us"] * 0.98, tail
+
+    benchmark.extra_info["hybrid_traffic_GB_tail32"] = traffic[32]["hybrid_GB_at_1M"]

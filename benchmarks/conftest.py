@@ -1,0 +1,44 @@
+"""Shared bench plumbing: results directory + table emission.
+
+Each bench regenerates one paper table/figure via :mod:`repro.bench`, writes
+the rendered table under ``benchmarks/results/`` and attaches headline
+numbers to the pytest-benchmark ``extra_info`` so they appear in the
+benchmark report.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.report import FigureResult, format_figure
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Write FigureResults to disk and echo them to the terminal."""
+
+    def _emit(results: list[FigureResult]) -> None:
+        for result in results:
+            path = os.path.join(results_dir, f"{result.figure_id}.txt")
+            text = format_figure(result)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print()
+            print(text)
+
+    return _emit
+
+
+def run_figure(benchmark, fig_fn, ops: int):
+    """Run one figure generator under the benchmark timer, once."""
+    return benchmark.pedantic(fig_fn, kwargs={"ops": ops}, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Calibrate adaptive-transfer thresholds, then tune α for your priorities.
+
+BandSlim's adaptive transfer is configured from exploratory runs (§3.2):
+sweep value sizes per transfer method, find where piggybacking stops paying
+off (threshold₁) and where hybrid stops beating PRP (threshold₂), then scale
+with α/β — α>1 favors traffic reduction, α=1 favors response time.
+
+Run:  python examples/calibrate_and_tune.py
+"""
+
+from repro import preset
+from repro.core.thresholds import ThresholdCalibrator
+from repro.sim.runner import run_workload
+from repro.units import fmt_bytes
+from repro.workloads.workloads import workload_m
+
+
+def main() -> None:
+    print("calibrating (sweeping value sizes per transfer method)...")
+    calibrator = ThresholdCalibrator(ops_per_point=100)
+    result = calibrator.calibrate()
+
+    print(f"\nderived threshold1 = {result.threshold1} B "
+          "(largest size where piggyback beats PRP)")
+    print(f"derived threshold2 = {result.threshold2} B "
+          "(largest sub-page tail where hybrid beats PRP)")
+
+    print("\nresponse curves (us):")
+    print(f"{'size_B':>8} {'piggyback':>10} {'prp':>8}")
+    prp = dict(result.curves["prp"])
+    for size, piggy_us in result.curves["piggyback"]:
+        marker = "  <- threshold1" if size == result.threshold1 else ""
+        print(f"{size:>8} {piggy_us:>10.1f} {prp[size]:>8.1f}{marker}")
+
+    # Apply the calibration, then sweep the alpha preference knob.
+    config = result.apply(preset("adaptive"))
+    print("\nalpha sweep on the real-world W(M) mix "
+          "(alpha>1 trades response time for traffic):")
+    print(f"{'alpha':>6} {'avg response us':>16} {'PCIe traffic':>14}")
+    for alpha in (0.5, 1.0, 2.0, 4.0):
+        r = run_workload(
+            config.with_overrides(alpha=alpha),
+            workload_m(2000, seed=1),
+            nand_io_enabled=False,
+        )
+        print(f"{alpha:>6} {r.avg_response_us:>16.1f} "
+              f"{fmt_bytes(r.pcie_total_bytes):>14}")
+
+
+if __name__ == "__main__":
+    main()

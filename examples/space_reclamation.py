@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Reclaim dead vLog space after overwrite churn (vLog garbage collection).
+
+Key-value-separated stores strand old value bytes on every overwrite: the
+LSM index moves on, the vLog page still holds the stale bytes. This example
+churns a working set, watches the dead fraction climb, then runs the
+WiscKey-style compactor and shows the flash coming back.
+
+Run:  python examples/space_reclamation.py
+"""
+
+from repro import KVStore, preset
+from repro.lsm.vlog_gc import VLogCompactor
+from repro.units import fmt_bytes
+
+
+def main() -> None:
+    store = KVStore.open(
+        preset("backfill", memtable_flush_bytes=4096, buffer_entries=16)
+    )
+    gc = VLogCompactor(store.device.lsm, store.device.policy,
+                       store.device.buffer)
+
+    # Churn: overwrite 60 keys five times over; only the last round is live.
+    keys, rounds, size = 60, 5, 700
+    for r in range(rounds):
+        for i in range(keys):
+            store.put(f"obj{i:04d}".encode(), bytes([r]) * size)
+    store.flush()
+
+    live = gc.live_bytes()
+    written = keys * rounds * size
+    print(f"wrote {fmt_bytes(written)} across {rounds} rounds; "
+          f"{fmt_bytes(live)} still live ({live / written:.0%})")
+    print(f"dead fraction of the flushed vLog region: {gc.dead_fraction():.0%}")
+    mapped_before = store.device.ftl.mapped_pages
+
+    report = gc.compact()
+    print(f"\ncompaction: examined {report.pages_examined} logical pages, "
+          f"moved {report.values_moved} live values "
+          f"({fmt_bytes(report.bytes_moved)}), trimmed {report.pages_trimmed} "
+          "pages for the FTL to reclaim")
+    store.flush()
+    print(f"FTL mapped pages: {mapped_before} -> {store.device.ftl.mapped_pages}")
+
+    # Everything still reads back, of course.
+    for i in range(keys):
+        assert store.get(f"obj{i:04d}".encode()) == bytes([rounds - 1]) * size
+    print("all live values verified intact after compaction")
+
+    print(f"\nresidual dead fraction: {gc.dead_fraction():.0%} "
+          "(fresh relocations are fully live)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""BandSlim reproduction: a bandwidth- and space-efficient KV-SSD simulator.
+
+Reproduces Park et al., "BandSlim: A Novel Bandwidth and Space-Efficient
+KV-SSD with an Escape-from-Block Approach" (ICPP 2024) as a behavioral
+simulator of the full host↔device stack.
+
+Public entry points:
+
+* :class:`repro.host.KVStore` — the user-level KV API (PUT/GET/SEEK/NEXT);
+* :class:`repro.device.KVSSD` — the fully wired simulated device;
+* :func:`repro.core.preset` — the paper's named evaluation configurations;
+* :mod:`repro.workloads` — db_bench-style workload generators (A–D, M);
+* :mod:`repro.sim.runner` — the experiment runner behind every figure.
+"""
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind, TransferMode, preset
+from repro.device.kvssd import KVSSD
+from repro.errors import KeyNotFoundError, ReproError
+from repro.host.api import KVIterator, KVStore
+from repro.sim.latency import LatencyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandSlimConfig",
+    "TransferMode",
+    "PackingPolicyKind",
+    "preset",
+    "KVSSD",
+    "KVStore",
+    "KVIterator",
+    "LatencyModel",
+    "ReproError",
+    "KeyNotFoundError",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+Each ``fig*``/``table*`` function runs the corresponding experiment on the
+simulator and returns :class:`~repro.bench.report.FigureResult` objects with
+the same rows/series the paper plots. ``python -m repro.bench`` regenerates
+everything; ``benchmarks/bench_*.py`` wraps the same functions for
+``pytest --benchmark-only``.
+"""
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    fig3,
+    fig4,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+)
+from repro.bench.report import FigureResult, format_figure
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "format_figure",
+    "fig3",
+    "fig4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,76 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench              # everything, tables to stdout
+    python -m repro.bench fig8 fig12   # a subset
+    python -m repro.bench --ops 20000 --out results/ all
+
+``--ops`` overrides the per-point operation count (also settable via the
+``REPRO_BENCH_OPS`` environment variable); ``--out`` additionally writes
+each table to ``<out>/<figure_id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.report import OPS_ENV_VAR, format_figure, write_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate the requested figures; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate BandSlim's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help=f"which figures to run: {', '.join(ALL_FIGURES)} or 'all'",
+    )
+    parser.add_argument("--ops", type=int, default=None,
+                        help="operations per experiment point")
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory to write per-figure .txt tables")
+    args = parser.parse_args(argv)
+
+    names = list(ALL_FIGURES) if "all" in args.figures else args.figures
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures {unknown}; choose from {list(ALL_FIGURES)}")
+
+    previous_ops = os.environ.get(OPS_ENV_VAR)
+    if args.ops is not None:
+        os.environ[OPS_ENV_VAR] = str(args.ops)
+    all_results = []
+    try:
+        for name in names:
+            started = time.perf_counter()
+            results = ALL_FIGURES[name]()
+            elapsed = time.perf_counter() - started
+            for result in results:
+                print(format_figure(result))
+                print()
+            print(f"[{name}: {elapsed:.1f}s wall]", file=sys.stderr)
+            all_results.extend(results)
+    finally:
+        if args.ops is not None:
+            if previous_ops is None:
+                os.environ.pop(OPS_ENV_VAR, None)
+            else:
+                os.environ[OPS_ENV_VAR] = previous_ops
+
+    if args.out:
+        paths = write_results(all_results, args.out)
+        print(f"wrote {len(paths)} tables under {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,425 @@
+"""Per-figure experiment definitions (paper §2.4 and §4).
+
+Every function regenerates one table/figure: same x-axis, same series, same
+metrics as the paper, at a configurable operation count. Byte and count
+metrics are reported both raw and linearly extrapolated to the paper's scale
+(1 M PUTs; 10 M for Fig 11), which is exact for fixed-distribution
+workloads. Latency metrics are per-op averages and need no scaling.
+
+Fig 12 note: the paper streams ~212 MB through an 8 MB NAND page buffer
+(26× the pool). To preserve that steady-state pool pressure at reduced op
+counts, fig12 scales the pool down (64 entries = 1 MiB) — without this, the
+Backfill policy would simply defer its flushes past the end of the run.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import FigureResult, bench_ops
+from repro.device.kvssd import KVSSD
+from repro.pcie.link import PCIeLinkConfig
+from repro.sim.latency import LatencyModel
+from repro.sim.runner import RunResult, run_workload
+from repro.units import GIB, KIB, MIB, fmt_bytes
+from repro.workloads.workloads import PAPER_WORKLOADS, workload_a
+
+PAPER_OPS_DEFAULT = 1_000_000
+PAPER_OPS_FIG11 = 10_000_000
+
+#: Fig 8/11 x-axis: "4 8 16 32 64 128 256 512 1K 2K 4K".
+SWEEP_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1 * KIB, 2 * KIB, 4 * KIB)
+
+#: Fig 3/4 x-axis: 1–16 KiB in 1 KiB steps.
+KIB_SIZES = tuple(i * KIB for i in range(1, 17))
+
+#: Fig 3(b)/4(b) x-axis.
+AMP_SIZES = (32, 64, 128, 256, 512, 1 * KIB)
+
+
+def _gb_at(result: RunResult, paper_ops: int) -> float:
+    return result.scaled_pcie_bytes(paper_ops) / GIB
+
+
+def _fillseq(ops: int, size: int) -> "workload_a":
+    return workload_a(ops, size, seed=42)
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2: platform configuration
+# ---------------------------------------------------------------------------
+
+def table1() -> list[FigureResult]:
+    """Table 1: HW/SW specification of the (simulated) OpenSSD platform."""
+    geo_sim = KVSSD.build().geometry
+    link = PCIeLinkConfig()
+    rows = [
+        ["SoC", "Xilinx Zynq-7000 (ARM Cortex-A9)",
+         "behavioral firmware model (LatencyModel memcpy/cmd costs)"],
+        ["NAND module", "1 TB, 4 channel & 8 way",
+         f"{fmt_bytes(geo_sim.capacity_bytes)} simulated, "
+         f"{geo_sim.channels} channel & {geo_sim.ways_per_channel} way, "
+         f"{fmt_bytes(geo_sim.page_size)} pages (sparse storage; 1 TB "
+         "geometry = 2^26 pages also supported)"],
+        ["Interconnect", "PCIe Gen2 ×8 end-points",
+         f"PCIe Gen{link.generation} ×{link.lanes} model "
+         f"({link.raw_gbps:.1f} GB/s nominal)"],
+    ]
+    return [
+        FigureResult(
+            figure_id="table1",
+            title="OpenSSD platform specification (paper vs simulated)",
+            columns=["component", "paper", "this reproduction"],
+            rows=rows,
+            notes=[
+                "Paper geometry shape (4ch/8way/16KiB pages) is the default; "
+                "capacity is configurable and stored sparsely.",
+            ],
+        )
+    ]
+
+
+def table2() -> list[FigureResult]:
+    """Table 2: host node specification (enters only via latency constants)."""
+    lat = LatencyModel()
+    rows = [
+        ["CPU", "Intel Xeon Gold 6226R, 32 cores",
+         "host costs folded into command round trip "
+         f"({lat.cmd_round_trip_us:.1f} us)"],
+        ["Memory", "384 GB DDR4", "page-granular staging allocator (unbounded)"],
+        ["OS", "Ubuntu 22.04", "n/a (pure simulation)"],
+        ["NVMe passthrough", "synchronous, one command in flight",
+         "identical serialization in BandSlimDriver"],
+    ]
+    return [
+        FigureResult(
+            figure_id="table2",
+            title="Host node specification (paper vs simulated)",
+            columns=["component", "paper", "this reproduction"],
+            rows=rows,
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 4: the motivation experiments (§2.4)
+# ---------------------------------------------------------------------------
+
+def fig3(ops: int | None = None) -> list[FigureResult]:
+    """Fig 3: baseline PCIe traffic + response vs value size; TAF."""
+    ops = ops if ops is not None else bench_ops(600)
+    rows_a = []
+    for size in KIB_SIZES:
+        r = run_workload("baseline", _fillseq(ops, size), nand_io_enabled=False)
+        rows_a.append(
+            [size // KIB, round(_gb_at(r, PAPER_OPS_DEFAULT), 3),
+             round(r.avg_response_us, 2)]
+        )
+    fig_a = FigureResult(
+        figure_id="fig3a",
+        title="Baseline total PCIe traffic and avg transfer response vs value size",
+        columns=["value_KiB", "pcie_GB_at_1M_ops", "avg_response_us"],
+        rows=rows_a,
+        notes=[
+            f"{ops} ops/point, traffic extrapolated linearly to 1 M ops "
+            "(exact for fixed-size workloads)",
+            "expected shape: traffic constant within each 4 KiB bucket, "
+            "doubling at page boundaries (paper Fig 3a)",
+        ],
+    )
+    rows_b = []
+    for size in AMP_SIZES:
+        r = run_workload("baseline", _fillseq(ops, size), nand_io_enabled=False)
+        rows_b.append([size, round(r.traffic_amplification, 1)])
+    fig_b = FigureResult(
+        figure_id="fig3b",
+        title="PCIe Traffic Amplification Factor vs value size",
+        columns=["value_B", "traffic_amplification_factor"],
+        rows=rows_b,
+        notes=["paper reports 130.0 / 65.0 / 32.5 / 16.3 / 8.1 / 4.1"],
+    )
+    return [fig_a, fig_b]
+
+
+def fig4(ops: int | None = None) -> list[FigureResult]:
+    """Fig 4: baseline NAND page writes + write response vs value size; WAF."""
+    ops = ops if ops is not None else bench_ops(600)
+    rows_a = []
+    for size in KIB_SIZES:
+        r = run_workload("baseline", _fillseq(ops, size))
+        rows_a.append(
+            [size // KIB,
+             round(r.scaled_nand_writes(PAPER_OPS_DEFAULT) / 1e6, 3),
+             round(r.avg_response_us, 1)]
+        )
+    fig_a = FigureResult(
+        figure_id="fig4a",
+        title="Baseline NAND page writes and avg write response vs value size",
+        columns=["value_KiB", "nand_io_millions_at_1M_ops", "avg_response_us"],
+        rows=rows_a,
+        notes=[
+            f"{ops} ops/point; NAND count extrapolated to 1 M ops",
+            "expected shape: write response NAND-dominated, ~10x transfer "
+            "response, stepping at page boundaries (paper Fig 4a)",
+        ],
+    )
+    rows_b = []
+    for size in AMP_SIZES:
+        r = run_workload("baseline", _fillseq(ops, size))
+        rows_b.append([size, round(r.write_amplification, 1)])
+    fig_b = FigureResult(
+        figure_id="fig4b",
+        title="NAND Write Amplification Factor vs value size",
+        columns=["value_B", "write_amplification_factor"],
+        rows=rows_b,
+        notes=[
+            "paper reports 129.9 / 64.9 / 32.4 / 16.2 / 8.1 / 4.0 — WAF "
+            "mirrors TAF (includes LSM index writes, as in the paper)",
+        ],
+    )
+    return [fig_a, fig_b]
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: fine-grained value transfer (§4.2)
+# ---------------------------------------------------------------------------
+
+def fig8(ops: int | None = None) -> list[FigureResult]:
+    """Fig 8: Baseline vs Piggyback traffic and response, NAND disabled."""
+    ops = ops if ops is not None else bench_ops(600)
+    rows = []
+    for size in SWEEP_SIZES:
+        base = run_workload("baseline", _fillseq(ops, size), nand_io_enabled=False)
+        pig = run_workload("piggyback", _fillseq(ops, size), nand_io_enabled=False)
+        rows.append(
+            [size,
+             round(_gb_at(base, PAPER_OPS_DEFAULT), 3),
+             round(_gb_at(pig, PAPER_OPS_DEFAULT), 3),
+             round(base.avg_response_us, 2),
+             round(pig.avg_response_us, 2)]
+        )
+    reduction_32 = 1 - rows[3][2] / rows[3][1]
+    return [
+        FigureResult(
+            figure_id="fig8",
+            title="Total PCIe traffic and avg response: Baseline vs Piggyback",
+            columns=["value_B", "base_traffic_GB_at_1M", "piggy_traffic_GB_at_1M",
+                     "base_resp_us", "piggy_resp_us"],
+            rows=rows,
+            notes=[
+                f"{ops} ops/point, NAND I/O disabled (as in §4.2)",
+                f"traffic reduction at 32 B: {reduction_32:.1%} "
+                "(paper headline: up to 97.9 %)",
+                "expected crossovers: response ~half at <=32 B, parity ~64 B, "
+                "degradation from 128 B; traffic crossover near 2-4 KiB",
+            ],
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: hybrid transfer (§4.2)
+# ---------------------------------------------------------------------------
+
+def fig9(ops: int | None = None) -> list[FigureResult]:
+    """Fig 9: 4 KiB + trailing bytes — Baseline vs Piggyback vs Hybrid."""
+    ops = ops if ops is not None else bench_ops(300)
+    tails = (4, 8, 16, 32, 64, 128, 256, 512, 1 * KIB, 2 * KIB, 4 * KIB)
+    traffic_rows, resp_rows = [], []
+    for tail in tails:
+        size = 4 * KIB + tail
+        base = run_workload("baseline", _fillseq(ops, size), nand_io_enabled=False)
+        pig = run_workload("piggyback", _fillseq(ops, size), nand_io_enabled=False)
+        hyb = run_workload("hybrid", _fillseq(ops, size), nand_io_enabled=False)
+        traffic_rows.append(
+            [tail, round(_gb_at(base, PAPER_OPS_DEFAULT), 3),
+             round(_gb_at(pig, PAPER_OPS_DEFAULT), 3),
+             round(_gb_at(hyb, PAPER_OPS_DEFAULT), 3)]
+        )
+        resp_rows.append(
+            [tail, round(base.avg_response_us, 1),
+             round(pig.avg_response_us, 1), round(hyb.avg_response_us, 1)]
+        )
+    return [
+        FigureResult(
+            figure_id="fig9a",
+            title="PCIe traffic for 4 KiB + trailing bytes",
+            columns=["trailing_B", "baseline_GB_at_1M", "piggyback_GB_at_1M",
+                     "hybrid_GB_at_1M"],
+            rows=traffic_rows,
+            notes=[
+                f"{ops} ops/point, NAND disabled",
+                "expected: hybrid optimal traffic for small-to-mid tails "
+                "(paper: best up to ~2 KiB trailing)",
+            ],
+        ),
+        FigureResult(
+            figure_id="fig9b",
+            title="Avg response for 4 KiB + trailing bytes",
+            columns=["trailing_B", "baseline_us", "piggyback_us", "hybrid_us"],
+            rows=resp_rows,
+            notes=[
+                "expected: piggyback far worse; hybrid does not beat baseline "
+                "on response (paper §4.2: 'it does not improve performance')",
+            ],
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: adaptive transfer across workloads (§4.2)
+# ---------------------------------------------------------------------------
+
+def fig10(ops: int | None = None) -> list[FigureResult]:
+    """Fig 10: Baseline/Piggyback/Adaptive on W(B), W(C), W(D), W(M)."""
+    ops = ops if ops is not None else bench_ops(2000)
+    configs = ("baseline", "piggyback", "adaptive")
+    results: dict[tuple[str, str], RunResult] = {}
+    for cfg in configs:
+        for wname, factory in PAPER_WORKLOADS.items():
+            results[(cfg, wname)] = run_workload(
+                cfg, factory(ops, seed=42), nand_io_enabled=False
+            )
+
+    def sub(fid, title, metric, digits=2):
+        rows = []
+        for cfg in configs:
+            row = [cfg]
+            for wname in PAPER_WORKLOADS:
+                row.append(round(metric(results[(cfg, wname)]), digits))
+            rows.append(row)
+        return FigureResult(
+            figure_id=fid, title=title,
+            columns=["config"] + list(PAPER_WORKLOADS), rows=rows,
+            notes=[f"{ops} ops/workload, NAND disabled (transfer isolation)"],
+        )
+
+    return [
+        sub("fig10a", "Avg response time (us)", lambda r: r.avg_response_us),
+        sub("fig10b", "Avg throughput (Kops/s)",
+            lambda r: r.throughput_kops, digits=1),
+        sub("fig10c", "Total PCIe traffic (GB at 1M ops)",
+            lambda r: _gb_at(r, PAPER_OPS_DEFAULT), digits=3),
+        sub("fig10d", "Host MMIO traffic (MB at 1M ops)",
+            lambda r: r.mmio_bytes * (PAPER_OPS_DEFAULT / r.ops) / MIB, digits=1),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: fine-grained value packing vs value size (§4.3)
+# ---------------------------------------------------------------------------
+
+def fig11(ops: int | None = None) -> list[FigureResult]:
+    """Fig 11: NAND I/O and response for the packing/transfer matrix."""
+    ops = ops if ops is not None else bench_ops(600)
+    configs = ("baseline", "piggyback", "packing", "piggy+pack")
+    nand_rows, resp_rows = [], []
+    for size in SWEEP_SIZES:
+        nand_row, resp_row = [size], [size]
+        for cfg in configs:
+            r = run_workload(cfg, _fillseq(ops, size))
+            nand_row.append(
+                round(r.nand_page_writes_with_flush * (PAPER_OPS_FIG11 / ops) / 1e6, 3)
+            )
+            resp_row.append(round(r.avg_response_us, 1))
+        nand_rows.append(nand_row)
+        resp_rows.append(resp_row)
+    idx32 = SWEEP_SIZES.index(32)
+    reduction = 1 - nand_rows[idx32][3] / nand_rows[idx32][1]
+    return [
+        FigureResult(
+            figure_id="fig11a",
+            title="NAND page writes (millions at 10M ops) vs value size",
+            columns=["value_B", "baseline", "piggyback", "packing", "piggy+pack"],
+            rows=nand_rows,
+            notes=[
+                f"{ops} ops/point, extrapolated to the paper's 10 M PUTs",
+                f"NAND write reduction at 32 B (packing vs baseline): "
+                f"{reduction:.1%} (paper headline: up to 98.1 %)",
+                "All Packing policy, as in §4.3",
+            ],
+        ),
+        FigureResult(
+            figure_id="fig11b",
+            title="Avg write response (us) vs value size",
+            columns=["value_B", "baseline", "piggyback", "packing", "piggy+pack"],
+            rows=resp_rows,
+            notes=[
+                "expected: packing slashes response for small values "
+                "(~67 % at 32 B in the paper); piggy+pack degrades from "
+                "128 B (serialized trailing commands)",
+            ],
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: packing policies across workloads (§4.3)
+# ---------------------------------------------------------------------------
+
+#: Scaled-down pool (see module docstring): 64 × 16 KiB = 1 MiB.
+FIG12_POOL_ENTRIES = 64
+
+
+def fig12(ops: int | None = None) -> list[FigureResult]:
+    """Fig 12: Block/All/Select/Backfill on W(B), W(C), W(D), W(M)."""
+    ops = ops if ops is not None else bench_ops(2000)
+    configs = ("block", "all", "select", "backfill")
+    results: dict[tuple[str, str], RunResult] = {}
+    for cfg in configs:
+        for wname, factory in PAPER_WORKLOADS.items():
+            results[(cfg, wname)] = run_workload(
+                cfg,
+                factory(ops, seed=42),
+                buffer_entries=FIG12_POOL_ENTRIES,
+                dlt_capacity=FIG12_POOL_ENTRIES,
+            )
+
+    def sub(fid, title, metric, digits=2, extra_notes=()):
+        rows = []
+        for cfg in configs:
+            row = [cfg]
+            for wname in PAPER_WORKLOADS:
+                row.append(round(metric(results[(cfg, wname)]), digits))
+            rows.append(row)
+        return FigureResult(
+            figure_id=fid, title=title,
+            columns=["policy"] + list(PAPER_WORKLOADS), rows=rows,
+            notes=[
+                f"{ops} ops/workload, adaptive transfer, "
+                f"{FIG12_POOL_ENTRIES}-entry pool (steady-state scaling, "
+                "see module docstring)",
+                *extra_notes,
+            ],
+        )
+
+    return [
+        sub("fig12a", "Avg response time (us)", lambda r: r.avg_response_us),
+        sub("fig12b", "Avg throughput (Kops/s)",
+            lambda r: r.throughput_kops, digits=1),
+        sub("fig12c", "NAND page writes (thousands at 1M ops)",
+            lambda r: r.nand_page_writes_with_flush * (PAPER_OPS_DEFAULT / r.ops) / 1e3,
+            digits=1),
+        sub("fig12d", "Avg memcpy time (us)", lambda r: r.avg_memcpy_us,
+            digits=3,
+            extra_notes=[
+                "expected ordering for All Packing: W(M) < W(B) < W(D) < W(C)",
+                "known divergence: the paper measures Backfill ~7 % above All "
+                "on W(B)/W(M); with this model's synchronous flush and the "
+                "9:1 byte asymmetry, small values can only backfill ~4 % of "
+                "the DMA gaps, so All retains a slight edge (see "
+                "EXPERIMENTS.md)",
+            ]),
+    ]
+
+
+#: Everything ``python -m repro.bench all`` regenerates, in paper order.
+ALL_FIGURES = {
+    "table1": table1,
+    "table2": table2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}

@@ -1,0 +1,83 @@
+"""Formatting for benchmark results: aligned tables with notes."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+#: Environment knob: operations per experiment point (see DESIGN.md §3).
+OPS_ENV_VAR = "REPRO_BENCH_OPS"
+
+
+def bench_ops(default: int) -> int:
+    """Per-point op count, overridable via ``REPRO_BENCH_OPS``."""
+    raw = os.environ.get(OPS_ENV_VAR)
+    if raw is None:
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{OPS_ENV_VAR} must be >= 1, got {value}")
+    return value
+
+
+@dataclass
+class FigureResult:
+    """One table/figure regenerated from the simulator."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def row_dicts(self) -> list[dict]:
+        """Rows as {column: value} dicts (assertion-friendly view)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list:
+        """All values of one named column, in row order."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure as an aligned text table with its notes."""
+    header = f"== {result.figure_id}: {result.title} =="
+    cells = [result.columns] + [
+        [_fmt_cell(v) for v in row] for row in result.rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(result.columns))
+    ]
+    lines = [header]
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def write_results(results: list[FigureResult], out_dir: str) -> list[str]:
+    """Write each figure's table to ``out_dir/<figure_id>.txt``."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for result in results:
+        path = os.path.join(out_dir, f"{result.figure_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(format_figure(result) + "\n")
+        paths.append(path)
+    return paths

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``info``        list presets, workloads and the resolved default config
+``identify``    IDENTIFY a simulated device over the admin path
+``dbbench``     run a db_bench-style benchmark against one configuration
+``workload``    run one paper workload and print the full metric summary
+``compare``     A/B/N configurations on byte-identical inputs
+``calibrate``   run the §3.2 threshold calibration and print the curves
+``bench``       regenerate paper tables/figures (same as python -m repro.bench)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import fields
+
+from repro.core.config import PRESETS, BandSlimConfig
+from repro.core.thresholds import ThresholdCalibrator
+from repro.sim.runner import run_workload
+from repro.units import fmt_bytes
+from repro.workloads.dbbench import available_benchmarks, run_dbbench
+from repro.workloads.workloads import PAPER_WORKLOADS
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("presets (paper §4.1 configurations):")
+    for name, cfg in PRESETS.items():
+        print(f"  {name:<11} transfer={cfg.transfer_mode.value:<10} "
+              f"packing={cfg.packing.value}")
+    print("\nworkloads:", ", ".join(PAPER_WORKLOADS), "+ fillseq (A)")
+    print("\ndefault config:")
+    default = BandSlimConfig()
+    for f in fields(default):
+        print(f"  {f.name} = {getattr(default, f.name)}")
+    return 0
+
+
+def _cmd_identify(args: argparse.Namespace) -> int:
+    from repro.device.kvssd import KVSSD
+    from repro.core.config import preset as config_preset
+
+    device = KVSSD.build(config=config_preset(args.config))
+    fields, caps = device.driver.identify()
+    print("IDENTIFY controller:")
+    for key, value in fields.items():
+        print(f"  {key:<10} {value}")
+    print("BandSlim capability block (vendor-specific area):")
+    print(f"  write piggyback capacity    {caps.write_piggyback_capacity} B")
+    print(f"  transfer piggyback capacity {caps.transfer_piggyback_capacity} B")
+    print(f"  NAND page size              {caps.nand_page_size} B")
+    print(f"  buffer entries              {caps.buffer_entries}")
+    print(f"  DLT capacity                {caps.dlt_capacity}")
+    print(f"  transfer mode               {caps.transfer_mode}")
+    print(f"  packing policy              {caps.packing_policy}")
+    print(f"  threshold1 / threshold2     {caps.threshold1} B / {caps.threshold2} B")
+    return 0
+
+
+def _cmd_dbbench(args: argparse.Namespace) -> int:
+    report = run_dbbench(
+        args.benchmark,
+        num_ops=args.num,
+        value_size=args.value_size,
+        seed=args.seed,
+        config=args.config,
+    )
+    print(report.format())
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    try:
+        factory = PAPER_WORKLOADS[args.name]
+    except KeyError:
+        print(f"unknown workload {args.name!r}; choose from "
+              f"{list(PAPER_WORKLOADS)}", file=sys.stderr)
+        return 2
+    result = run_workload(
+        args.config,
+        factory(args.num, seed=args.seed),
+        nand_io_enabled=not args.no_nand and True,
+    )
+    print(f"workload        {result.workload}")
+    print(f"config          {result.config_name}")
+    print(f"ops             {result.ops}")
+    print(f"value bytes     {fmt_bytes(result.value_bytes)}")
+    print(f"avg response    {result.avg_response_us:.2f} us")
+    print(f"throughput      {result.throughput_kops:.1f} Kops/s")
+    print(f"PCIe traffic    {fmt_bytes(result.pcie_total_bytes)} "
+          f"(TAF {result.traffic_amplification:.1f})")
+    print(f"MMIO traffic    {fmt_bytes(result.mmio_bytes)}")
+    print(f"NAND writes     {result.nand_page_writes_with_flush} "
+          f"(WAF {result.write_amplification:.1f})")
+    print(f"avg memcpy      {result.avg_memcpy_us:.2f} us/op")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.sim.compare import compare_configs
+
+    try:
+        factory = PAPER_WORKLOADS[args.workload]
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{list(PAPER_WORKLOADS)}", file=sys.stderr)
+        return 2
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    for name in configs:
+        if name not in PRESETS:
+            print(f"unknown preset {name!r}; choose from {sorted(PRESETS)}",
+                  file=sys.stderr)
+            return 2
+    comparison = compare_configs(configs, factory(args.num, seed=args.seed))
+    print(comparison.format())
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    calibrator = ThresholdCalibrator(ops_per_point=args.ops)
+    result = calibrator.calibrate()
+    print(f"threshold1 = {result.threshold1} B (piggyback <-> PRP)")
+    print(f"threshold2 = {result.threshold2} B (hybrid <-> PRP tail)")
+    prp = dict(result.curves["prp"])
+    print(f"\n{'size_B':>8} {'piggyback_us':>13} {'prp_us':>8}")
+    for size, piggy in result.curves["piggyback"]:
+        print(f"{size:>8} {piggy:>13.1f} {prp[size]:>8.1f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    forwarded = list(args.figures)
+    if args.ops is not None:
+        forwarded += ["--ops", str(args.ops)]
+    if args.out is not None:
+        forwarded += ["--out", args.out]
+    return bench_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BandSlim KV-SSD simulator (ICPP 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list presets, workloads and defaults")
+
+    p = sub.add_parser("identify", help="IDENTIFY a simulated device (admin path)")
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+
+    p = sub.add_parser("dbbench", help="run a db_bench-style benchmark")
+    p.add_argument("--benchmark", default="fillseq",
+                   choices=available_benchmarks())
+    p.add_argument("--num", type=int, default=10_000)
+    p.add_argument("--value-size", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", default="adaptive", choices=sorted(PRESETS))
+
+    p = sub.add_parser("workload", help="run one paper workload")
+    p.add_argument("--name", default="W(M)")
+    p.add_argument("--num", type=int, default=5_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+    p.add_argument("--no-nand", action="store_true",
+                   help="disable NAND I/O (transfer isolation, §4.2)")
+
+    p = sub.add_parser("compare", help="A/B configurations on one workload")
+    p.add_argument("--workload", default="W(M)")
+    p.add_argument("--configs", default="baseline,backfill",
+                   help="comma-separated preset names (first = baseline)")
+    p.add_argument("--num", type=int, default=3_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("calibrate", help="derive adaptive thresholds (§3.2)")
+    p.add_argument("--ops", type=int, default=100)
+
+    p = sub.add_parser("bench", help="regenerate paper tables/figures")
+    p.add_argument("figures", nargs="*", default=["all"])
+    p.add_argument("--ops", type=int, default=None)
+    p.add_argument("--out", type=str, default=None)
+
+    return parser
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "identify": _cmd_identify,
+    "dbbench": _cmd_dbbench,
+    "workload": _cmd_workload,
+    "compare": _cmd_compare,
+    "calibrate": _cmd_calibrate,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

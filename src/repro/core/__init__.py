@@ -1,0 +1,54 @@
+"""BandSlim core: fine-grained value transfer + fine-grained value packing.
+
+This package is the paper's contribution (§3): the key-value driver with
+piggyback/hybrid/adaptive transfer planning, the key-value controller with
+the four NAND page buffer packing policies, the DMA Log Table, and the
+threshold calibration benchmark.
+"""
+
+from repro.core.config import (
+    BandSlimConfig,
+    PackingPolicyKind,
+    TransferMode,
+    PRESETS,
+    preset,
+)
+from repro.core.dlt import DMALogTable, DLTEntry
+from repro.core.transfer import TransferPlan, TransferPlanner
+from repro.core.packing import (
+    AllPacking,
+    BackfillPacking,
+    BlockPacking,
+    IntegratedPacking,
+    NandPageBuffer,
+    PackingPolicy,
+    SelectivePacking,
+    make_policy,
+)
+from repro.core.controller import BandSlimController
+from repro.core.driver import BandSlimDriver
+from repro.core.thresholds import CalibrationResult, ThresholdCalibrator
+
+__all__ = [
+    "BandSlimConfig",
+    "PackingPolicyKind",
+    "TransferMode",
+    "PRESETS",
+    "preset",
+    "DMALogTable",
+    "DLTEntry",
+    "TransferPlan",
+    "TransferPlanner",
+    "NandPageBuffer",
+    "PackingPolicy",
+    "BlockPacking",
+    "AllPacking",
+    "SelectivePacking",
+    "BackfillPacking",
+    "IntegratedPacking",
+    "make_policy",
+    "BandSlimController",
+    "BandSlimDriver",
+    "ThresholdCalibrator",
+    "CalibrationResult",
+]

@@ -1,0 +1,163 @@
+"""BandSlim configuration and the paper's named evaluation presets (§4.1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import GIB, KIB, MIB
+
+
+class TransferMode(enum.Enum):
+    """How the driver ships value bytes to the device (§3.2)."""
+
+    #: PRP page-unit DMA for everything — the state-of-the-art KV-SSD [22].
+    BASELINE = "baseline"
+    #: NVMe-command piggybacking for everything (write + transfer commands).
+    PIGGYBACK = "piggyback"
+    #: Page-aligned head via PRP, sub-page tail piggybacked.
+    HYBRID = "hybrid"
+    #: Threshold-based selection among the three (α·threshold₁, β·threshold₂).
+    ADAPTIVE = "adaptive"
+
+
+class PackingPolicyKind(enum.Enum):
+    """How the controller packs values into NAND page buffer entries (§3.3)."""
+
+    #: 4 KiB-slot packing, as block-interface SSDs do — the baseline.
+    BLOCK = "block"
+    #: KAML-style: memcpy everything to the write pointer (§3.3.1).
+    ALL = "all"
+    #: Pack piggybacked values only; DMA values stay page-aligned (§3.3.2).
+    SELECTIVE = "selective"
+    #: Selective + DMA Log Table backfilling of the gaps (§3.3.3).
+    BACKFILL = "backfill"
+    #: Extension (§4.3 closing remark): integrate All and Backfill — memcpy
+    #: small DMA values to the WP, leave large ones aligned + backfill.
+    INTEGRATED = "integrated"
+
+
+@dataclass(frozen=True)
+class BandSlimConfig:
+    """Everything tunable about one simulated BandSlim KV-SSD."""
+
+    transfer_mode: TransferMode = TransferMode.ADAPTIVE
+    packing: PackingPolicyKind = PackingPolicyKind.BACKFILL
+
+    # --- adaptive transfer thresholds (§3.2) -------------------------------
+    #: Value size (bytes) at or below which piggybacking beats PRP.
+    #: Default 91 = 35 (write cmd) + 56 (one transfer cmd): two synchronous
+    #: round trips cost about one round trip + one 4 KiB DMA in the default
+    #: latency model — the paper's "parity at 64 B, worse from 128 B" shape.
+    threshold1: int = 91
+    #: Sub-page tail size at or below which hybrid beats pure PRP. 0 means
+    #: hybrid never wins on response time (true for the default latency
+    #: model, matching the paper's Fig 9b conclusion).
+    threshold2: int = 0
+    #: User preference multipliers: >1 trades response time for traffic.
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    # --- device shape ---------------------------------------------------------
+    #: NAND page buffer entries (paper caps the DLT to match, e.g. 512).
+    buffer_entries: int = 512
+    #: DMA Log Table capacity (entries).
+    dlt_capacity: int = 512
+    #: INTEGRATED packing: DMA values at or below this size are memcpy'd to
+    #: the WP (All-style); larger ones stay page-aligned and are backfilled.
+    #: Default 3 KiB: below it, the memcpy costs less than the NAND space a
+    #: page-aligned gap would burn (see DESIGN.md §5).
+    integrated_copy_threshold: int = 3 * KIB
+    #: Device DRAM scratch area for staged DMA + GET assembly.
+    scratch_bytes: int = 1 * MIB
+    #: Largest value a single PUT may carry.
+    max_value_bytes: int = 512 * KIB
+    #: Simulated NAND module capacity (sparsely stored; Table 1 uses 1 TB).
+    nand_capacity_bytes: int = 8 * GIB
+    #: Device read cache over NAND pages, in pages (0 disables, matching
+    #: the paper's memoryless read path; enable for read-heavy studies).
+    read_cache_pages: int = 0
+    #: Fraction of logical pages reserved for the vLog (rest: SSTables).
+    vlog_fraction: float = 0.75
+
+    # --- LSM ------------------------------------------------------------------
+    memtable_flush_bytes: int = 256 * KIB
+
+    # --- experiment switches ----------------------------------------------------
+    #: §4.2 disables NAND I/O to isolate transfer effects.
+    nand_io_enabled: bool = True
+    #: Extension: submit a value's trailing transfer commands as one batch
+    #: (single doorbell, coalesced completion) instead of the paper
+    #: testbed's one-at-a-time passthrough. The paper's §4.2 diagnosis —
+    #: piggybacking degrades from 128 B because "transmission of NVMe
+    #: commands ... is synchronous and serialized" — becomes testable.
+    batched_submission: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threshold1 < 0 or self.threshold2 < 0:
+            raise ConfigError("thresholds must be non-negative")
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigError("alpha and beta must be positive")
+        if self.buffer_entries < 1:
+            raise ConfigError("need at least one NAND page buffer entry")
+        if self.dlt_capacity < 1:
+            raise ConfigError("DLT capacity must be at least 1")
+        if self.scratch_bytes < 64 * KIB:
+            raise ConfigError("scratch area unreasonably small")
+        if self.max_value_bytes > self.scratch_bytes:
+            raise ConfigError("max_value_bytes cannot exceed scratch_bytes")
+        if not 0.1 <= self.vlog_fraction <= 0.95:
+            raise ConfigError("vlog_fraction must be in [0.1, 0.95]")
+
+    # --- effective thresholds -----------------------------------------------
+
+    @property
+    def effective_threshold1(self) -> float:
+        """α·threshold₁ — the piggyback↔PRP decision point."""
+        return self.alpha * self.threshold1
+
+    @property
+    def effective_threshold2(self) -> float:
+        """β·threshold₂ — the hybrid↔PRP decision point for sub-page tails."""
+        return self.beta * self.threshold2
+
+    def with_overrides(self, **overrides) -> "BandSlimConfig":
+        """A copy of this config with the named fields replaced."""
+        return replace(self, **overrides)
+
+
+def _cfg(transfer: TransferMode, packing: PackingPolicyKind, **kw) -> BandSlimConfig:
+    return BandSlimConfig(transfer_mode=transfer, packing=packing, **kw)
+
+
+#: The paper's named evaluation configurations (§4.1, "Evaluation Setup").
+PRESETS: dict[str, BandSlimConfig] = {
+    # Transfer-method comparison (Figs 8–10). Packing stays Block so the
+    # transfer effect is isolated, as in the paper.
+    "baseline": _cfg(TransferMode.BASELINE, PackingPolicyKind.BLOCK),
+    "piggyback": _cfg(TransferMode.PIGGYBACK, PackingPolicyKind.BLOCK),
+    "hybrid": _cfg(TransferMode.HYBRID, PackingPolicyKind.BLOCK),
+    "adaptive": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.BLOCK),
+    # Packing comparison under fixed transfer (Fig 11).
+    "packing": _cfg(TransferMode.BASELINE, PackingPolicyKind.ALL),
+    "piggy+pack": _cfg(TransferMode.PIGGYBACK, PackingPolicyKind.ALL),
+    # Packing-policy matrix under adaptive transfer (Fig 12).
+    "block": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.BLOCK),
+    "all": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.ALL),
+    "select": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.SELECTIVE),
+    "backfill": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.BACKFILL),
+    # Extension beyond the paper's evaluation (its §4.3 closing remark).
+    "integrated": _cfg(TransferMode.ADAPTIVE, PackingPolicyKind.INTEGRATED),
+}
+
+
+def preset(name: str, **overrides) -> BandSlimConfig:
+    """Look up a paper preset by name, optionally overriding fields."""
+    try:
+        base = PRESETS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return base.with_overrides(**overrides) if overrides else base

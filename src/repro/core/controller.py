@@ -1,0 +1,562 @@
+"""The BandSlim key-value controller: the device-side firmware (§3.1, §3.3).
+
+One :meth:`process_next` call fetches and fully handles a single command —
+the synchronous regime of the paper's testbed. The controller:
+
+* extracts piggybacked fragments from write/transfer commands and packs
+  them at the policy-chosen offset (a firmware memcpy each, as §3.3.1
+  describes);
+* issues page-unit DMA for PRP-described values, either directly into the
+  NAND page buffer (when the policy's placement is page-aligned) or through
+  a scratch staging area followed by a memcpy to the write pointer;
+* commits completed values to the LSM-tree with fine-grained vLog
+  addresses, and serves GET/DELETE/EXIST/LIST from the tree.
+
+Every memcpy is charged to the simulated clock and tallied per operation —
+the data series of Fig 12(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BandSlimConfig
+from repro.core.packing import NandPageBuffer, PackingPolicy, Placement
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.lsm.tree import LSMTree
+from repro.memory.device import DRAMRegion
+from repro.memory.dma import DMAEngine
+from repro.memory.host import HostMemory
+from repro.nvme.admin import (
+    AdminOpcode,
+    BandSlimCapabilities,
+    CNS_CONTROLLER,
+    FeatureId,
+    LOG_PAGE_STATS,
+    build_identify_data,
+    build_stats_log,
+    parse_admin_command,
+)
+from repro.nvme.kv import (
+    ParsedWrite,
+    TRANSFER_PIGGYBACK_CAPACITY,
+    WRITE_PIGGYBACK_CAPACITY,
+    parse_retrieve_command,
+    parse_store_command,
+    parse_transfer_command,
+    parse_write_command,
+)
+from repro.nvme.opcodes import KVOpcode, StatusCode
+from repro.nvme.prp import resolve_prp
+from repro.nvme.queue import CompletionQueue, NVMeCompletion, SubmissionQueue
+from repro.pcie.link import PCIeLink
+from repro.sim.stats import MetricSet
+from repro.units import MEM_PAGE_SIZE, align_down, pages_needed
+
+
+@dataclass
+class _PendingValue:
+    """A value mid-assembly across write + trailing transfer commands."""
+
+    key: bytes
+    value_size: int
+    value_offset: int
+    cursor: int
+    remaining: int
+
+
+class BandSlimController:
+    """Decodes KV commands and drives packing, DMA and the LSM-tree."""
+
+    def __init__(
+        self,
+        config: BandSlimConfig,
+        link: PCIeLink,
+        host_mem: HostMemory,
+        dma: DMAEngine,
+        buffer: NandPageBuffer,
+        policy: PackingPolicy,
+        lsm: LSMTree,
+        scratch: DRAMRegion,
+        sq: SubmissionQueue,
+        cq: CompletionQueue,
+    ) -> None:
+        self.config = config
+        self.link = link
+        self.host_mem = host_mem
+        self.dma = dma
+        self.buffer = buffer
+        self.policy = policy
+        self.lsm = lsm
+        self.scratch = scratch
+        self.sq = sq
+        self.cq = cq
+        self.clock = link.clock
+        self.latency = link.latency
+        self._pending: dict[int, _PendingValue] = {}
+        self.metrics = MetricSet("controller")
+        self.metrics.counter("commands_processed")
+        self.metrics.counter("memcpy_bytes")
+        self.metrics.stat("memcpy_us_per_op")
+        self._op_memcpy_us = 0.0
+        #: Open iterator cursors for SEEK/NEXT (iterator id -> last key).
+        self._iterators: dict[int, bytes] = {}
+        self._next_iterator_id = 1
+        #: Admin queue pair (attached by the device assembly).
+        self.admin_sq: SubmissionQueue | None = None
+        self.admin_cq: CompletionQueue | None = None
+        #: Callback invoked when SET FEATURES produces a new active config
+        #: (the driver re-registers its planner through this).
+        self._config_listeners: list = []
+
+    # --- cost helpers -------------------------------------------------------
+
+    def _charge_memcpy(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        cost = self.latency.memcpy_us(nbytes)
+        self.clock.advance(cost)
+        self.metrics.counter("memcpy_bytes").add(nbytes)
+        self._op_memcpy_us += cost
+
+    def _commit_value(self, pending: _PendingValue) -> None:
+        addr = self.buffer.addr_of(pending.value_offset, pending.value_size)
+        self.lsm.put(pending.key, addr)
+        self.policy.finalize_value()
+        self.metrics.stat("memcpy_us_per_op").record(self._op_memcpy_us)
+        self._op_memcpy_us = 0.0
+
+    # --- main loop -----------------------------------------------------------
+
+    def process_next(self) -> NVMeCompletion:
+        """Fetch one command from the SQ, handle it, post the CQE."""
+        cmd = self.sq.fetch()
+        self.clock.advance(self.latency.cmd_process_us)
+        self.metrics.counter("commands_processed").add(1)
+        opcode = cmd.opcode
+        if opcode is KVOpcode.BANDSLIM_WRITE:
+            cqe = self._handle_write(cmd)
+        elif opcode is KVOpcode.BANDSLIM_TRANSFER:
+            cqe = self._handle_transfer(cmd)
+        elif opcode is KVOpcode.KV_STORE:
+            cqe = self._handle_store(cmd)
+        elif opcode is KVOpcode.BULK_PUT:
+            cqe = self._handle_bulk_put(cmd)
+        elif opcode is KVOpcode.KV_RETRIEVE:
+            cqe = self._handle_retrieve(cmd)
+        elif opcode is KVOpcode.KV_DELETE:
+            cqe = self._handle_delete(cmd)
+        elif opcode is KVOpcode.KV_EXIST:
+            cqe = self._handle_exist(cmd)
+        elif opcode is KVOpcode.KV_LIST:
+            cqe = self._handle_list(cmd)
+        elif opcode is KVOpcode.ITER_OPEN:
+            cqe = self._handle_iter_open(cmd)
+        elif opcode is KVOpcode.ITER_NEXT:
+            cqe = self._handle_iter_next(cmd)
+        elif opcode is KVOpcode.ITER_CLOSE:
+            cqe = self._handle_iter_close(cmd)
+        else:
+            cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_OPCODE)
+        self.cq.post(cqe)
+        return cqe
+
+    # --- write path -----------------------------------------------------------
+
+    def _handle_write(self, cmd) -> NVMeCompletion:
+        req = parse_write_command(cmd)
+        if req.value_size > self.config.max_value_bytes:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        if req.hybrid:
+            pending = self._start_hybrid(req)
+        else:
+            pending = self._start_piggyback(req)
+        self._pending[req.cid] = pending
+        if req.final:
+            if pending.remaining != 0:
+                raise NVMeError(
+                    f"write command marked final with {pending.remaining} "
+                    "bytes outstanding"
+                )
+            del self._pending[req.cid]
+            self._commit_value(pending)
+        return NVMeCompletion(cid=req.cid, status=StatusCode.SUCCESS)
+
+    def _start_piggyback(self, req: ParsedWrite) -> _PendingValue:
+        placement = self.policy.place_piggyback(req.value_size)
+        if req.inline:
+            # Extract from the command fields and copy to the WP (§3.3.1).
+            self.buffer.write_bytes(placement.value_offset, req.inline)
+            self._charge_memcpy(len(req.inline))
+        return _PendingValue(
+            key=req.key,
+            value_size=req.value_size,
+            value_offset=placement.value_offset,
+            cursor=placement.value_offset + len(req.inline),
+            remaining=req.value_size - len(req.inline),
+        )
+
+    def _start_hybrid(self, req: ParsedWrite) -> _PendingValue:
+        head = align_down(req.value_size, MEM_PAGE_SIZE)
+        if head == 0:
+            raise NVMeError("hybrid write with no page-aligned head")
+        wire = head  # the head is an exact page multiple
+        placement = self.policy.place_dma(req.value_size, wire)
+        buf = resolve_prp(self.host_mem, self.link, req.prp1, req.prp2, head)
+        self._execute_dma(placement, buf, deliver_bytes=head)
+        return _PendingValue(
+            key=req.key,
+            value_size=req.value_size,
+            value_offset=placement.value_offset,
+            cursor=placement.value_offset + head,
+            remaining=req.value_size - head,
+        )
+
+    def _handle_transfer(self, cmd) -> NVMeCompletion:
+        req = parse_transfer_command(cmd)
+        try:
+            pending = self._pending[req.cid]
+        except KeyError:
+            raise NVMeError(
+                f"transfer command for cid {req.cid} with no pending write"
+            ) from None
+        take = min(TRANSFER_PIGGYBACK_CAPACITY, pending.remaining)
+        if take == 0:
+            raise NVMeError(f"transfer command for completed value (cid {req.cid})")
+        fragment = req.area[:take]
+        self.buffer.write_bytes(pending.cursor, fragment)
+        self._charge_memcpy(take)
+        pending.cursor += take
+        pending.remaining -= take
+        if req.final:
+            if pending.remaining != 0:
+                raise NVMeError(
+                    f"final transfer with {pending.remaining} bytes outstanding"
+                )
+            del self._pending[req.cid]
+            self._commit_value(pending)
+        return NVMeCompletion(cid=req.cid, status=StatusCode.SUCCESS)
+
+    def _handle_store(self, cmd) -> NVMeCompletion:
+        req = parse_store_command(cmd)
+        if req.value_size > self.config.max_value_bytes:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        wire = pages_needed(req.value_size) * MEM_PAGE_SIZE
+        placement = self.policy.place_dma(req.value_size, wire)
+        buf = resolve_prp(self.host_mem, self.link, req.prp1, req.prp2, req.value_size)
+        self._execute_dma(placement, buf, deliver_bytes=req.value_size)
+        pending = _PendingValue(
+            key=req.key,
+            value_size=req.value_size,
+            value_offset=placement.value_offset,
+            cursor=placement.value_offset + req.value_size,
+            remaining=0,
+        )
+        self._commit_value(pending)
+        return NVMeCompletion(cid=req.cid, status=StatusCode.SUCCESS)
+
+    def _handle_bulk_put(self, cmd) -> NVMeCompletion:
+        """Host-side-batched ingest (the §1 comparator).
+
+        The whole payload arrives as one page-unit DMA into scratch; the
+        firmware then pays per-pair unpack cost plus a memcpy per value to
+        pack it — the overheads the paper charges this approach with.
+        """
+        from repro.nvme.bulk import parse_bulk_put_command, unpack_bulk_payload
+
+        cid, payload_size, pair_count, prp1, prp2 = parse_bulk_put_command(cmd)
+        if payload_size > self.scratch.size:
+            return NVMeCompletion(cid=cid, status=StatusCode.INVALID_FIELD)
+        buf = resolve_prp(self.host_mem, self.link, prp1, prp2, payload_size)
+        self.dma.host_to_device(buf, self.scratch.abs_addr(0))
+        payload = self.scratch.read(0, payload_size)
+        pairs = unpack_bulk_payload(payload)
+        if len(pairs) != pair_count:
+            return NVMeCompletion(cid=cid, status=StatusCode.INVALID_FIELD)
+        for key, value in pairs:
+            self.clock.advance(self.latency.unpack_per_pair_us)
+            placement = self.policy.place_piggyback(len(value))
+            self.buffer.write_bytes(placement.value_offset, value)
+            self._charge_memcpy(len(value))
+            pending = _PendingValue(
+                key=key,
+                value_size=len(value),
+                value_offset=placement.value_offset,
+                cursor=placement.value_offset + len(value),
+                remaining=0,
+            )
+            self._commit_value(pending)
+        return NVMeCompletion(
+            cid=cid, status=StatusCode.SUCCESS, result=len(pairs)
+        )
+
+    def _execute_dma(self, placement: Placement, buf, deliver_bytes: int) -> None:
+        """Move a PRP-described payload to its placement.
+
+        Direct placements land in the buffer via scatter DMA; indirect ones
+        stage in scratch and pay the §3.3.1 memcpy of the value bytes.
+        """
+        if placement.direct:
+            targets = self.buffer.dma_page_targets(
+                placement.dma_target, buf.wire_bytes
+            )
+            self.dma.host_to_device_scatter(buf, targets)
+            return
+        if buf.wire_bytes > self.scratch.size:
+            raise NVMeError(
+                f"DMA of {buf.wire_bytes} bytes exceeds scratch of "
+                f"{self.scratch.size}"
+            )
+        self.dma.host_to_device(buf, self.scratch.abs_addr(0))
+        data = self.scratch.read(0, deliver_bytes)
+        self.buffer.write_bytes(placement.value_offset, data)
+        self._charge_memcpy(deliver_bytes)
+
+    # --- read path ----------------------------------------------------------------
+
+    def _handle_retrieve(self, cmd) -> NVMeCompletion:
+        req = parse_retrieve_command(cmd)
+        try:
+            addr = self.lsm.get_address(req.key)
+        except KeyNotFoundError:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.KEY_NOT_FOUND)
+        if addr.size > req.buffer_size:
+            return NVMeCompletion(
+                cid=req.cid, status=StatusCode.CAPACITY_EXCEEDED, result=addr.size
+            )
+        data = self.lsm.vlog.read(addr)
+        return self._dma_to_host(req.cid, req.prp1, req.prp2, req.buffer_size, data)
+
+    def _dma_to_host(
+        self, cid: int, prp1: int, prp2: int, buffer_size: int, data: bytes
+    ) -> NVMeCompletion:
+        """Stage ``data`` in scratch and DMA it back in page units."""
+        self.scratch.write(0, data)
+        self._charge_memcpy(len(data))
+        host_buf = resolve_prp(self.host_mem, self.link, prp1, prp2, buffer_size)
+        n_pages = pages_needed(len(data))
+        out = type(host_buf)(pages=host_buf.pages[:n_pages], length=len(data))
+        self.dma.device_to_host(self.scratch.abs_addr(0), out)
+        return NVMeCompletion(cid=cid, status=StatusCode.SUCCESS, result=len(data))
+
+    def _handle_delete(self, cmd) -> NVMeCompletion:
+        key = cmd.key
+        if not self.lsm.exists(key):
+            return NVMeCompletion(cid=cmd.cid, status=StatusCode.KEY_NOT_FOUND)
+        self.lsm.delete(key)
+        return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS)
+
+    def _handle_exist(self, cmd) -> NVMeCompletion:
+        try:
+            addr = self.lsm.get_address(cmd.key)
+        except KeyNotFoundError:
+            return NVMeCompletion(cid=cmd.cid, status=StatusCode.KEY_NOT_FOUND)
+        return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS, result=addr.size)
+
+    def _handle_list(self, cmd) -> NVMeCompletion:
+        """KV_LIST: serialize up to ``max_keys`` keys >= start_key to host.
+
+        Wire format in the response pages: count:u32, then (klen:u8, key)*.
+        """
+        start_key = cmd.key
+        max_keys = cmd.value_size
+        buffer_size = pages_needed(1) * MEM_PAGE_SIZE  # one page of keys
+        out = bytearray(4)
+        count = 0
+        for key, _addr in self.lsm.scan_from(start_key):
+            blob = bytes([len(key)]) + key
+            if len(out) + len(blob) > buffer_size or count >= max_keys:
+                break
+            out += blob
+            count += 1
+        out[0:4] = count.to_bytes(4, "little")
+        return self._dma_to_host(cmd.cid, cmd.prp1, cmd.prp2, buffer_size, bytes(out))
+
+    # --- device-side iterators (the [22] SEEK/NEXT interface) --------------------
+
+    def _handle_iter_open(self, cmd) -> NVMeCompletion:
+        """SEEK: open a cursor at the first key >= start_key."""
+        iterator_id = self._next_iterator_id
+        self._next_iterator_id += 1
+        self._iterators[iterator_id] = cmd.key
+        return NVMeCompletion(
+            cid=cmd.cid, status=StatusCode.SUCCESS, result=iterator_id
+        )
+
+    def _handle_iter_next(self, cmd) -> NVMeCompletion:
+        """NEXT: fill the host buffer with as many (key, value) records as
+        fit, resolving values from the vLog device-side."""
+        from repro.nvme.iterator import ITER_EXHAUSTED_FLAG, pack_batch
+
+        iterator_id = cmd.get_dword(13)
+        if iterator_id not in self._iterators:
+            return NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_FIELD)
+        buffer_size = cmd.value_size
+        if buffer_size > self.scratch.size:
+            return NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_FIELD)
+        cursor = self._iterators[iterator_id]
+        pairs: list[tuple[bytes, bytes]] = []
+        used = 4  # batch header
+        exhausted = True
+        last_key = cursor
+        for key, addr in self.lsm.scan_from(cursor):
+            record_len = 1 + len(key) + 4 + addr.size
+            if used + record_len > buffer_size:
+                exhausted = False
+                break
+            pairs.append((key, self.lsm.vlog.read(addr)))
+            used += record_len
+            last_key = key + b"\x00"  # resume strictly after this key
+        if not pairs and not exhausted:
+            # The next record alone exceeds the batch buffer: the host must
+            # retry with a bigger one (no silent stall).
+            return NVMeCompletion(
+                cid=cmd.cid, status=StatusCode.CAPACITY_EXCEEDED
+            )
+        blob, taken = pack_batch(pairs, buffer_size)
+        assert taken == len(pairs)
+        self._iterators[iterator_id] = last_key
+        cqe = self._dma_to_host(cmd.cid, cmd.prp1, cmd.prp2, buffer_size, blob)
+        result = taken | (ITER_EXHAUSTED_FLAG if exhausted else 0)
+        return NVMeCompletion(cid=cqe.cid, status=cqe.status, result=result)
+
+    def _handle_iter_close(self, cmd) -> NVMeCompletion:
+        iterator_id = cmd.get_dword(13)
+        if self._iterators.pop(iterator_id, None) is None:
+            return NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_FIELD)
+        return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS)
+
+    # --- admin command set (paper §1: "device identification to device
+    # management" stays NVMe-compatible) ---------------------------------------
+
+    def attach_admin_queues(self, sq: SubmissionQueue, cq: CompletionQueue) -> None:
+        """Wire the admin queue pair (qid 0) into the controller."""
+        self.admin_sq = sq
+        self.admin_cq = cq
+
+    def on_config_change(self, listener) -> None:
+        """Register a callable(new_config) fired after SET FEATURES."""
+        self._config_listeners.append(listener)
+
+    def _apply_config(self, new_config) -> None:
+        self.config = new_config
+        for listener in self._config_listeners:
+            listener(new_config)
+
+    def capabilities(self) -> BandSlimCapabilities:
+        """The capability block advertised in IDENTIFY's vendor area."""
+        return BandSlimCapabilities(
+            write_piggyback_capacity=WRITE_PIGGYBACK_CAPACITY,
+            transfer_piggyback_capacity=TRANSFER_PIGGYBACK_CAPACITY,
+            nand_page_size=self.buffer.page_size,
+            buffer_entries=self.buffer.pool_entries,
+            dlt_capacity=self.config.dlt_capacity,
+            transfer_mode=self.config.transfer_mode.value,
+            packing_policy=self.config.packing.value,
+            threshold1=self.config.threshold1,
+            threshold2=self.config.threshold2,
+        )
+
+    def process_next_admin(self) -> NVMeCompletion:
+        """Fetch and handle one admin command."""
+        if self.admin_sq is None or self.admin_cq is None:
+            raise NVMeError("admin queues not attached")
+        cmd = self.admin_sq.fetch()
+        self.clock.advance(self.latency.cmd_process_us)
+        self.metrics.counter("commands_processed").add(1)
+        req = parse_admin_command(cmd)
+        if req.opcode is AdminOpcode.IDENTIFY:
+            cqe = self._handle_identify(req)
+        elif req.opcode is AdminOpcode.GET_LOG_PAGE:
+            cqe = self._handle_get_log_page(req)
+        elif req.opcode is AdminOpcode.SET_FEATURES:
+            cqe = self._handle_set_features(req)
+        elif req.opcode is AdminOpcode.GET_FEATURES:
+            cqe = self._handle_get_features(req)
+        else:
+            cqe = NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_OPCODE)
+        self.admin_cq.post(cqe)
+        return cqe
+
+    def _handle_identify(self, req) -> NVMeCompletion:
+        if req.cdw10 != CNS_CONTROLLER:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        data = build_identify_data(self.capabilities())
+        return self._dma_to_host(req.cid, req.prp1, req.prp2, len(data), data)
+
+    def _handle_get_log_page(self, req) -> NVMeCompletion:
+        if req.cdw10 & 0xFF != LOG_PAGE_STATS:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        flash = self.lsm.ftl.flash
+        stats = {
+            "nand_page_programs": flash.page_programs,
+            "nand_page_reads": flash.page_reads,
+            "nand_block_erases": flash.block_erases,
+            "buffer_flushes": self.buffer.metrics.counter("flushes").value,
+            "buffer_forced_flushes": self.buffer.metrics.counter(
+                "forced_flushes"
+            ).value,
+            "lsm_flushes": self.lsm.flush_count,
+            "lsm_compactions": self.lsm.compaction_count,
+            "memcpy_bytes": self.metrics.counter("memcpy_bytes").value,
+            "commands_processed": self.metrics.counter("commands_processed").value,
+        }
+        data = build_stats_log(stats)
+        return self._dma_to_host(req.cid, req.prp1, req.prp2, len(data), data)
+
+    def _feature_value(self, fid: FeatureId) -> int:
+        cfg = self.config
+        if fid is FeatureId.THRESHOLD1:
+            return cfg.threshold1
+        if fid is FeatureId.THRESHOLD2:
+            return cfg.threshold2
+        if fid is FeatureId.ALPHA_MILLI:
+            return round(cfg.alpha * 1000)
+        return round(cfg.beta * 1000)
+
+    def _handle_get_features(self, req) -> NVMeCompletion:
+        try:
+            fid = FeatureId(req.cdw10)
+        except ValueError:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        return NVMeCompletion(
+            cid=req.cid, status=StatusCode.SUCCESS, result=self._feature_value(fid)
+        )
+
+    def _handle_set_features(self, req) -> NVMeCompletion:
+        try:
+            fid = FeatureId(req.cdw10)
+        except ValueError:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        value = req.cdw11
+        try:
+            if fid is FeatureId.THRESHOLD1:
+                new = self.config.with_overrides(threshold1=value)
+            elif fid is FeatureId.THRESHOLD2:
+                new = self.config.with_overrides(threshold2=value)
+            elif fid is FeatureId.ALPHA_MILLI:
+                new = self.config.with_overrides(alpha=value / 1000)
+            else:
+                new = self.config.with_overrides(beta=value / 1000)
+        except Exception:
+            return NVMeCompletion(cid=req.cid, status=StatusCode.INVALID_FIELD)
+        self._apply_config(new)
+        return NVMeCompletion(
+            cid=req.cid, status=StatusCode.SUCCESS, result=self._feature_value(fid)
+        )
+
+    # --- maintenance ------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Drain the buffer and the MemTable (clean shutdown).
+
+        Draining seals partially-filled entries, so the packing policy must
+        advance its pointers past them — future placements start on a fresh
+        logical page (the sealed pages' tail space is forfeited).
+        """
+        if self._pending:
+            raise NVMeError(f"{len(self._pending)} values still mid-transfer")
+        for event in self.buffer.flush_all():
+            self.policy.on_forced_flush(event)
+        if self.config.nand_io_enabled:
+            self.lsm.flush_memtable()

@@ -1,0 +1,137 @@
+"""DMA Log Table (DLT): the bookkeeping behind backfilling (§3.3.3).
+
+A bounded circular queue of DMA placements the write pointer has not yet
+passed. Before packing a piggybacked value, the Backfill policy consults
+the *oldest unconsumed* entry in O(1): if the value would collide with that
+DMA region, the WP jumps to the region's end and the entry is consumed.
+
+Space accounting follows the paper: an entry stores the logical NAND page
+number plus the 4 KiB memory-page offset within it (26 + 2 bits for 1 TB of
+16 KiB pages) and a 4-byte value size — so a 512-entry DLT costs ~4 KiB,
+which :meth:`DMALogTable.table_bytes` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PackingError
+from repro.units import MEM_PAGE_SIZE, is_aligned
+
+
+@dataclass(frozen=True)
+class DLTEntry:
+    """One page-unit DMA placement: [start, start + size) in vLog byte space."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise PackingError(f"negative DLT start {self.start}")
+        if self.size <= 0:
+            raise PackingError(f"DLT size must be positive, got {self.size}")
+        if not is_aligned(self.start, MEM_PAGE_SIZE):
+            raise PackingError(
+                f"DMA destinations are page-aligned; got start {self.start}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class DMALogTable:
+    """Bounded FIFO of unconsumed DMA regions."""
+
+    def __init__(self, capacity: int, nand_page_size: int, vlog_pages: int) -> None:
+        if capacity < 1:
+            raise PackingError(f"DLT capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.nand_page_size = nand_page_size
+        self.vlog_pages = vlog_pages
+        self._ring: list[DLTEntry | None] = [None] * capacity
+        self._head = 0
+        self._count = 0
+        #: Entries dropped because the table was full (forced consumption).
+        self.overflow_evictions = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self.capacity
+
+    def oldest(self) -> DLTEntry:
+        """The oldest unconsumed entry (O(1) — the §3.3.3 reference check)."""
+        if self.is_empty:
+            raise PackingError("DLT is empty")
+        entry = self._ring[self._head]
+        assert entry is not None
+        return entry
+
+    def push(self, entry: DLTEntry) -> DLTEntry | None:
+        """Record a DMA placement; returns an evicted entry if full.
+
+        When full, the *oldest* entry is evicted (its gap can no longer be
+        backfilled; the caller advances the WP past it).
+        """
+        if entry.start >= entry.end:
+            raise PackingError("degenerate DLT entry")
+        if self._count and entry.start < self._newest().end:
+            raise PackingError(
+                f"DLT entries must be pushed in placement order: "
+                f"{entry.start} < {self._newest().end}"
+            )
+        evicted: DLTEntry | None = None
+        if self.is_full:
+            evicted = self.consume_oldest()
+            self.overflow_evictions += 1
+        tail = (self._head + self._count) % self.capacity
+        self._ring[tail] = entry
+        self._count += 1
+        return evicted
+
+    def consume_oldest(self) -> DLTEntry:
+        """Pop the head ("moving to the next oldest once consumed")."""
+        entry = self.oldest()
+        self._ring[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return entry
+
+    def consume_below(self, offset: int) -> int:
+        """Consume every entry whose region ends at or before ``offset``.
+
+        Used after force-flushes: regions inside flushed pages are gone.
+        Returns the number consumed.
+        """
+        consumed = 0
+        while not self.is_empty and self.oldest().end <= offset:
+            self.consume_oldest()
+            consumed += 1
+        return consumed
+
+    def _newest(self) -> DLTEntry:
+        tail = (self._head + self._count - 1) % self.capacity
+        entry = self._ring[tail]
+        assert entry is not None
+        return entry
+
+    # --- space accounting (§3.3.3) -----------------------------------------
+
+    def entry_bits(self) -> int:
+        """Bits per entry: LPN + memory-page slot + 32-bit value size."""
+        lpn_bits = max(1, (self.vlog_pages - 1).bit_length())
+        slots = self.nand_page_size // MEM_PAGE_SIZE
+        slot_bits = max(1, (slots - 1).bit_length())
+        return lpn_bits + slot_bits + 32
+
+    def table_bytes(self) -> int:
+        """Total DLT memory (paper: 512 entries ≈ 4 KiB upper bound)."""
+        return (self.entry_bits() * self.capacity + 7) // 8

@@ -1,0 +1,440 @@
+"""The BandSlim key-value driver: the host side of the stack (§3.1, §3.2).
+
+The driver turns API calls into command sequences per the transfer plan and
+submits them through the NVMe passthrough regime the paper's testbed uses:
+**synchronous and serialized** — one command is submitted, the controller
+processes it, the completion is reaped, and only then does the next command
+go out (§4.2 attributes Piggyback's large-value degradation to exactly this
+round-trip accumulation).
+
+Per-operation response time is the simulated-clock delta across the whole
+command sequence, including any NAND flush stalls the device incurred — the
+quantity plotted in Figs 8–12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BandSlimConfig
+from repro.core.controller import BandSlimController
+from repro.core.transfer import TransferMethod, TransferPlan, TransferPlanner
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.memory.host import HostMemory
+from repro.nvme.admin import (
+    BandSlimCapabilities,
+    FeatureId,
+    IDENTIFY_DATA_SIZE,
+    STATS_LOG_SIZE,
+    build_get_features_command,
+    build_get_log_page_command,
+    build_identify_command,
+    build_set_features_command,
+    identify_vendor_fields,
+    parse_identify_data,
+    parse_stats_log,
+)
+from repro.nvme.kv import (
+    build_delete_command,
+    build_exist_command,
+    build_list_command,
+    build_retrieve_command,
+    build_store_command,
+    build_transfer_command,
+    build_write_command,
+)
+from repro.nvme.opcodes import StatusCode
+from repro.nvme.prp import PRPDescriptor, build_prp
+from repro.nvme.queue import CompletionQueue, NVMeCompletion, SubmissionQueue
+from repro.pcie.link import PCIeLink
+from repro.sim.stats import MetricSet
+from repro.units import MEM_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one driver operation, with its simulated latency."""
+
+    latency_us: float
+    commands: int
+    status: StatusCode
+    value: bytes | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is StatusCode.SUCCESS
+
+
+class BandSlimDriver:
+    """User-facing PUT/GET/DELETE/EXIST/LIST over the simulated link."""
+
+    def __init__(
+        self,
+        config: BandSlimConfig,
+        link: PCIeLink,
+        host_mem: HostMemory,
+        controller: BandSlimController,
+        sq: SubmissionQueue,
+        cq: CompletionQueue,
+    ) -> None:
+        self.config = config
+        self.link = link
+        self.host_mem = host_mem
+        self.controller = controller
+        self.sq = sq
+        self.cq = cq
+        self.planner = TransferPlanner(config)
+        self.clock = link.clock
+        self._next_cid = 0
+        # Keep this side of the stack in sync when admin SET FEATURES
+        # changes the device's active configuration.
+        controller.on_config_change(self._adopt_config)
+        self.metrics = MetricSet("driver")
+        self.metrics.stat("put_latency_us")
+        self.metrics.stat("get_latency_us")
+        self.metrics.counter("puts")
+        self.metrics.counter("gets")
+        # Exponential-bucket histograms back the p50/p99 the runner reports.
+        self.metrics.histogram("put_latency_us")
+        self.metrics.histogram("get_latency_us")
+
+    # --- plumbing ------------------------------------------------------------
+
+    def _cid(self) -> int:
+        cid = self._next_cid
+        self._next_cid = (self._next_cid + 1) % 2**16
+        return cid
+
+    def _roundtrip(self, cmd) -> NVMeCompletion:
+        """One synchronous passthrough round trip."""
+        self.sq.submit(cmd)
+        self.link.submit_command()
+        self.controller.process_next()
+        self.link.complete_command()
+        cqe = self.cq.reap()
+        if cqe.cid != cmd.cid:
+            raise NVMeError(
+                f"completion cid {cqe.cid} does not match command {cmd.cid}"
+            )
+        return cqe
+
+    # --- PUT -----------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> OpResult:
+        """Store one KV pair using the configured transfer mode."""
+        if not value:
+            raise NVMeError("empty values are not supported by the KV interface")
+        plan = self.planner.plan(len(value))
+        start = self.clock.now_us
+        cqe = self._execute_put(key, value, plan)
+        elapsed = self.clock.now_us - start
+        self.metrics.stat("put_latency_us").record(elapsed)
+        self.metrics.histogram("put_latency_us").record(elapsed)
+        self.metrics.counter("puts").add(1)
+        return OpResult(
+            latency_us=elapsed, commands=plan.command_count, status=cqe.status
+        )
+
+    def _execute_put(self, key: bytes, value: bytes, plan: TransferPlan):
+        if plan.method is TransferMethod.PRP:
+            return self._put_prp(key, value, plan)
+        if plan.method is TransferMethod.PIGGYBACK:
+            return self._put_piggyback(key, value, plan)
+        return self._put_hybrid(key, value, plan)
+
+    def _put_prp(self, key: bytes, value: bytes, plan: TransferPlan):
+        buf = self.host_mem.stage_value(value)
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cmd = build_store_command(self._cid(), key, len(value), prp)
+            return self._roundtrip(cmd)
+        finally:
+            self._release_prp(buf, prp)
+
+    def _put_piggyback(self, key: bytes, value: bytes, plan: TransferPlan):
+        inline = value[: plan.inline_bytes]
+        cmd = build_write_command(
+            self._cid(),
+            key,
+            len(value),
+            inline=inline,
+            final=not plan.trailing_fragments,
+        )
+        cqe = self._roundtrip(cmd)
+        if not cqe.ok or not plan.trailing_fragments:
+            return cqe
+        return self._send_trailing(cmd.cid, value, plan.inline_bytes, plan)
+
+    def _put_hybrid(self, key: bytes, value: bytes, plan: TransferPlan):
+        head = plan.dma_wire_bytes
+        buf = self.host_mem.stage_value(value[:head])
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cmd = build_write_command(
+                self._cid(),
+                key,
+                len(value),
+                prp=prp,
+                final=not plan.trailing_fragments,
+            )
+            cqe = self._roundtrip(cmd)
+        finally:
+            self._release_prp(buf, prp)
+        if not cqe.ok or not plan.trailing_fragments:
+            return cqe
+        return self._send_trailing(cmd.cid, value, head, plan)
+
+    def _send_trailing(self, cid: int, value: bytes, sent: int, plan: TransferPlan):
+        """Emit the trailing transfer commands, FIFO.
+
+        Default regime: one synchronous round trip per command (the paper
+        testbed's passthrough, §4.2). With ``batched_submission`` the
+        fragments go out under one doorbell with a coalesced completion.
+        """
+        fragments = []
+        pos = sent
+        for i, frag_size in enumerate(plan.trailing_fragments):
+            fragment = value[pos : pos + frag_size]
+            final = i == len(plan.trailing_fragments) - 1
+            fragments.append(build_transfer_command(cid, fragment, final))
+            pos += frag_size
+        if pos != len(value):
+            raise NVMeError(f"plan sent {pos} of {len(value)} bytes")
+        if self.config.batched_submission:
+            return self._batched_trailing(fragments)
+        cqe = None
+        for cmd in fragments:
+            cqe = self._roundtrip(cmd)
+            if not cqe.ok:
+                return cqe
+        assert cqe is not None
+        return cqe
+
+    def _batched_trailing(self, commands) -> NVMeCompletion:
+        """Submit trailing commands in SQ-sized batches, coalescing I/O."""
+        cqe = None
+        pos = 0
+        while pos < len(commands):
+            batch = commands[pos : pos + self.sq.depth]
+            for cmd in batch:
+                self.sq.submit(cmd)
+            self.link.submit_commands(len(batch))
+            for _ in batch:
+                self.controller.process_next()
+            self.link.complete_commands(len(batch))
+            for cmd in batch:
+                cqe = self.cq.reap()
+                if cqe.cid != cmd.cid:
+                    raise NVMeError(
+                        f"completion cid {cqe.cid} does not match {cmd.cid}"
+                    )
+                if not cqe.ok:
+                    return cqe
+            pos += len(batch)
+        assert cqe is not None
+        return cqe
+
+    def _release_prp(self, buf, prp: PRPDescriptor) -> None:
+        self.host_mem.release(buf)
+        if prp.list_page is not None:
+            self.host_mem.free_page(prp.list_page)
+
+    def bulk_put(self, pairs: list[tuple[bytes, bytes]]) -> OpResult:
+        """Host-side-batched PUT of many pairs in one command (§1 comparator).
+
+        One PRP payload, one round trip; the device unpacks and indexes each
+        pair. Contrast with BandSlim's per-pair fine-grained transfer.
+        """
+        from repro.nvme.bulk import build_bulk_put_command, pack_bulk_payload
+
+        payload = pack_bulk_payload(pairs)
+        buf = self.host_mem.stage_value(payload)
+        prp = build_prp(self.host_mem, buf)
+        start = self.clock.now_us
+        try:
+            cmd = build_bulk_put_command(self._cid(), len(payload), len(pairs), prp)
+            cqe = self._roundtrip(cmd)
+        finally:
+            self._release_prp(buf, prp)
+        elapsed = self.clock.now_us - start
+        self.metrics.stat("put_latency_us").record(elapsed)
+        self.metrics.histogram("put_latency_us").record(elapsed)
+        self.metrics.counter("puts").add(len(pairs))
+        return OpResult(latency_us=elapsed, commands=1, status=cqe.status)
+
+    # --- GET and friends -----------------------------------------------------------
+
+    def get(self, key: bytes, max_size: int | None = None) -> OpResult:
+        """Retrieve a value; raises KeyNotFoundError if absent."""
+        size = max_size if max_size is not None else self.config.max_value_bytes
+        buf = self.host_mem.alloc_buffer(size)
+        prp = build_prp(self.host_mem, buf)
+        start = self.clock.now_us
+        try:
+            cmd = build_retrieve_command(self._cid(), key, size, prp)
+            cqe = self._roundtrip(cmd)
+            elapsed = self.clock.now_us - start
+            if cqe.status is StatusCode.KEY_NOT_FOUND:
+                raise KeyNotFoundError(f"key {key!r} not found")
+            value = buf.tobytes()[: cqe.result] if cqe.ok else None
+        finally:
+            self._release_prp(buf, prp)
+        self.metrics.stat("get_latency_us").record(elapsed)
+        self.metrics.histogram("get_latency_us").record(elapsed)
+        self.metrics.counter("gets").add(1)
+        return OpResult(latency_us=elapsed, commands=1, status=cqe.status, value=value)
+
+    def delete(self, key: bytes) -> OpResult:
+        """Delete a pair; raises KeyNotFoundError if absent."""
+        start = self.clock.now_us
+        cqe = self._roundtrip(build_delete_command(self._cid(), key))
+        if cqe.status is StatusCode.KEY_NOT_FOUND:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return OpResult(
+            latency_us=self.clock.now_us - start, commands=1, status=cqe.status
+        )
+
+    def exists(self, key: bytes) -> bool:
+        """KV_EXIST probe without transferring the value."""
+        cqe = self._roundtrip(build_exist_command(self._cid(), key))
+        return cqe.ok
+
+    def list_keys(self, start_key: bytes, max_keys: int = 64) -> list[bytes]:
+        """Keys >= start_key in order (backs the SEEK/NEXT iterator)."""
+        buf = self.host_mem.alloc_buffer(MEM_PAGE_SIZE)
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cmd = build_list_command(self._cid(), start_key or b"\x00", max_keys, prp)
+            cqe = self._roundtrip(cmd)
+            if not cqe.ok:
+                return []
+            raw = buf.tobytes()
+        finally:
+            self._release_prp(buf, prp)
+        count = int.from_bytes(raw[0:4], "little")
+        keys = []
+        pos = 4
+        for _ in range(count):
+            klen = raw[pos]
+            pos += 1
+            keys.append(raw[pos : pos + klen])
+            pos += klen
+        return keys
+
+    # --- device-side iterators (the [22] SEEK/NEXT interface) ---------------------
+
+    def iter_open(self, start_key: bytes) -> int:
+        """SEEK on the device; returns the iterator id."""
+        from repro.nvme.iterator import build_iter_open_command
+
+        cqe = self._roundtrip(build_iter_open_command(self._cid(), start_key))
+        if not cqe.ok:
+            raise NVMeError(f"ITER_OPEN failed: {cqe.status.name}")
+        return cqe.result
+
+    def iter_next(
+        self, iterator_id: int, batch_bytes: int = MEM_PAGE_SIZE
+    ) -> tuple[list[tuple[bytes, bytes]], bool]:
+        """NEXT on the device: (pairs, exhausted)."""
+        from repro.nvme.iterator import (
+            ITER_EXHAUSTED_FLAG,
+            build_iter_next_command,
+            unpack_batch,
+        )
+
+        buf = self.host_mem.alloc_buffer(batch_bytes)
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cqe = self._roundtrip(
+                build_iter_next_command(self._cid(), iterator_id, batch_bytes, prp)
+            )
+            if not cqe.ok:
+                raise NVMeError(f"ITER_NEXT failed: {cqe.status.name}")
+            pairs = unpack_batch(buf.tobytes())
+        finally:
+            self._release_prp(buf, prp)
+        exhausted = bool(cqe.result & ITER_EXHAUSTED_FLAG)
+        return pairs, exhausted
+
+    def iter_close(self, iterator_id: int) -> None:
+        """Release a device-side iterator cursor."""
+        from repro.nvme.iterator import build_iter_close_command
+
+        cqe = self._roundtrip(build_iter_close_command(self._cid(), iterator_id))
+        if not cqe.ok:
+            raise NVMeError(f"ITER_CLOSE failed: {cqe.status.name}")
+
+    # --- admin path --------------------------------------------------------------
+
+    def _adopt_config(self, new_config: BandSlimConfig) -> None:
+        self.config = new_config
+        self.planner.config = new_config
+
+    def _admin_roundtrip(self, cmd) -> NVMeCompletion:
+        sq, cq = self.controller.admin_sq, self.controller.admin_cq
+        if sq is None or cq is None:
+            raise NVMeError("device has no admin queues attached")
+        sq.submit(cmd)
+        self.link.submit_command()
+        self.controller.process_next_admin()
+        self.link.complete_command()
+        cqe = cq.reap()
+        if cqe.cid != cmd.cid:
+            raise NVMeError(
+                f"admin completion cid {cqe.cid} does not match {cmd.cid}"
+            )
+        return cqe
+
+    def identify(self) -> tuple[dict[str, str], BandSlimCapabilities]:
+        """IDENTIFY controller: (standard fields, BandSlim capabilities)."""
+        buf = self.host_mem.alloc_buffer(IDENTIFY_DATA_SIZE)
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cqe = self._admin_roundtrip(
+                build_identify_command(self._cid(), prp.prp1, prp.prp2)
+            )
+            if not cqe.ok:
+                raise NVMeError(f"IDENTIFY failed with status {cqe.status.name}")
+            raw = buf.tobytes()
+        finally:
+            self._release_prp(buf, prp)
+        return identify_vendor_fields(raw), parse_identify_data(raw)
+
+    def read_stats_log(self) -> dict[str, int]:
+        """GET LOG PAGE (vendor 0xC0): device statistics over NVMe."""
+        buf = self.host_mem.alloc_buffer(STATS_LOG_SIZE)
+        prp = build_prp(self.host_mem, buf)
+        try:
+            cqe = self._admin_roundtrip(
+                build_get_log_page_command(self._cid(), prp.prp1, prp.prp2)
+            )
+            if not cqe.ok:
+                raise NVMeError(f"GET LOG PAGE failed: {cqe.status.name}")
+            raw = buf.tobytes()
+        finally:
+            self._release_prp(buf, prp)
+        return parse_stats_log(raw)
+
+    def get_feature(self, fid: FeatureId) -> int:
+        """GET FEATURES: read one vendor feature's current value."""
+        cqe = self._admin_roundtrip(
+            build_get_features_command(self._cid(), fid)
+        )
+        if not cqe.ok:
+            raise NVMeError(f"GET FEATURES failed: {cqe.status.name}")
+        return cqe.result
+
+    def set_feature(self, fid: FeatureId, value: int) -> int:
+        """SET FEATURES: reconfigure the adaptive thresholds at runtime."""
+        cqe = self._admin_roundtrip(
+            build_set_features_command(self._cid(), fid, value)
+        )
+        if not cqe.ok:
+            raise NVMeError(f"SET FEATURES failed: {cqe.status.name}")
+        return cqe.result
+
+    # --- lifecycle -----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Drain device buffers (end of run / clean shutdown)."""
+        self.controller.flush_all()

@@ -1,0 +1,576 @@
+"""The NAND page buffer and the four packing policies (§3.3).
+
+The buffer is the tail of the vLog: a circular pool of NAND-page-sized
+entries in device DRAM, each bound to the next logical vLog page. A packing
+policy decides *where inside that byte space* each incoming value lands:
+
+* :class:`BlockPacking` — 4 KiB-slot placement, like a block SSD's write
+  buffer (the baseline the paper measures against);
+* :class:`AllPacking` — KAML-style: everything is memcpy'd to the write
+  pointer, maximizing density at the cost of large copies (§3.3.1);
+* :class:`SelectivePacking` — only piggybacked values are packed; DMA'd
+  values stay at page-aligned addresses, leaving gaps (§3.3.2);
+* :class:`BackfillPacking` — Selective plus a DMA Log Table that lets
+  later piggybacked values backfill those gaps (§3.3.3).
+
+Placements are expressed in an absolute **vLog byte space**: offset ``o``
+lives in buffer entry ``o // page_size``, which flushes to logical page
+``base_lpn + o // page_size``. Entries open in order (so vLog pages stay
+consecutive) and flush when the policy's frontier passes them — or by force
+when the pool wraps around full (the Fig 12 W(C) pathology for Backfill).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind
+from repro.core.dlt import DLTEntry, DMALogTable
+from repro.errors import PackingError
+from repro.lsm.addressing import AddressingScheme, ValueAddress
+from repro.lsm.vlog import VLog
+from repro.memory.device import DRAMRegion
+from repro.nand.ftl import PageMappedFTL
+from repro.sim.stats import MetricSet
+from repro.units import MEM_PAGE_SIZE, align_up, is_aligned
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """One buffer entry leaving the pool for NAND (or the bit bucket)."""
+
+    entry_index: int
+    lpn: int
+    start_offset: int
+    end_offset: int
+    forced: bool
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one value's bytes will live, and how they get there."""
+
+    #: Absolute vLog byte offset of the value's first byte.
+    value_offset: int
+    #: Page-aligned offset for a *direct* DMA into the buffer, or None when
+    #: the DMA must stage through scratch and be memcpy'd to value_offset.
+    dma_target: int | None
+
+    @property
+    def direct(self) -> bool:
+        return self.dma_target is not None
+
+
+class NandPageBuffer:
+    """Circular pool of NAND-page-sized write buffer entries."""
+
+    def __init__(
+        self,
+        region: DRAMRegion,
+        vlog: VLog,
+        ftl: PageMappedFTL,
+        pool_entries: int,
+        nand_io_enabled: bool = True,
+    ) -> None:
+        if pool_entries < 1:
+            raise PackingError("buffer pool needs at least one entry")
+        self.page_size = vlog.page_size
+        if region.size < pool_entries * self.page_size:
+            raise PackingError(
+                f"region of {region.size} bytes cannot hold {pool_entries} "
+                f"entries of {self.page_size}"
+            )
+        self.region = region
+        self.vlog = vlog
+        self.ftl = ftl
+        self.pool_entries = pool_entries
+        self.nand_io_enabled = nand_io_enabled
+        #: entry_index -> lpn, insertion-ordered (oldest first).
+        self._open: OrderedDict[int, int] = OrderedDict()
+        self._next_index = 0
+        self.metrics = MetricSet("buffer")
+        self.metrics.counter("flushes")
+        self.metrics.counter("forced_flushes")
+        self.metrics.counter("entries_opened")
+        vlog.attach_buffer(self)
+
+    # --- entry lifecycle ---------------------------------------------------
+
+    @property
+    def open_entries(self) -> int:
+        return len(self._open)
+
+    def _slot_base(self, entry_index: int) -> int:
+        return (entry_index % self.pool_entries) * self.page_size
+
+    def _open_next(self) -> list[FlushEvent]:
+        """Open the next sequential entry, force-flushing if the pool is full."""
+        events: list[FlushEvent] = []
+        if len(self._open) >= self.pool_entries:
+            oldest_index = next(iter(self._open))
+            events.append(self._flush_entry(oldest_index, forced=True))
+        index = self._next_index
+        lpn = self.vlog.alloc_page()
+        expected = self.vlog.base_lpn + index
+        if lpn != expected:
+            raise PackingError(
+                f"vLog allocation out of step: got LPN {lpn}, expected {expected}"
+            )
+        self._open[index] = lpn
+        self.region.fill(self._slot_base(index), self.page_size, 0)
+        self._next_index = index + 1
+        self.metrics.counter("entries_opened").add(1)
+        return events
+
+    def open_through(self, end_offset: int) -> list[FlushEvent]:
+        """Ensure entries covering bytes [0, end_offset) exist; return any
+        force-flush events the caller must react to (WP adjustment)."""
+        if end_offset < 0:
+            raise PackingError(f"negative offset {end_offset}")
+        events: list[FlushEvent] = []
+        last_needed = (end_offset - 1) // self.page_size if end_offset else -1
+        while self._next_index <= last_needed:
+            events.extend(self._open_next())
+        return events
+
+    def _flush_entry(self, entry_index: int, forced: bool) -> FlushEvent:
+        lpn = self._open.pop(entry_index)
+        data = self.region.read(self._slot_base(entry_index), self.page_size)
+        if self.nand_io_enabled:
+            self.ftl.write(lpn, data)
+        self.metrics.counter("flushes").add(1)
+        if forced:
+            self.metrics.counter("forced_flushes").add(1)
+        return FlushEvent(
+            entry_index=entry_index,
+            lpn=lpn,
+            start_offset=entry_index * self.page_size,
+            end_offset=(entry_index + 1) * self.page_size,
+            forced=forced,
+        )
+
+    def flush_below(self, frontier_offset: int) -> list[FlushEvent]:
+        """Flush every open entry entirely below ``frontier_offset``."""
+        events = []
+        while self._open:
+            oldest = next(iter(self._open))
+            if (oldest + 1) * self.page_size <= frontier_offset:
+                events.append(self._flush_entry(oldest, forced=False))
+            else:
+                break
+        return events
+
+    def flush_all(self) -> list[FlushEvent]:
+        """Flush everything (shutdown / end of run)."""
+        events = []
+        while self._open:
+            events.append(self._flush_entry(next(iter(self._open)), forced=False))
+        return events
+
+    # --- data access ------------------------------------------------------------
+
+    def _entry_for(self, offset: int) -> int:
+        index = offset // self.page_size
+        if index not in self._open:
+            raise PackingError(
+                f"offset {offset} is in entry {index}, which is not open"
+            )
+        return index
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Firmware write into the buffer (segmented across entries)."""
+        pos = 0
+        while pos < len(data):
+            index = self._entry_for(offset + pos)
+            in_entry = (offset + pos) % self.page_size
+            take = min(len(data) - pos, self.page_size - in_entry)
+            self.region.write(self._slot_base(index) + in_entry, data[pos : pos + take])
+            pos += take
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        while pos < nbytes:
+            index = self._entry_for(offset + pos)
+            in_entry = (offset + pos) % self.page_size
+            take = min(nbytes - pos, self.page_size - in_entry)
+            out += self.region.read(self._slot_base(index) + in_entry, take)
+            pos += take
+        return bytes(out)
+
+    def dma_page_targets(self, offset: int, wire_bytes: int) -> list[int]:
+        """Absolute DRAM addresses for each 4 KiB page of a direct DMA.
+
+        Each wire page lands wholly inside one entry because placements are
+        page-aligned and the NAND page size is a multiple of 4 KiB.
+        """
+        if not is_aligned(offset, MEM_PAGE_SIZE):
+            raise PackingError(f"direct DMA offset {offset} not page-aligned")
+        if wire_bytes <= 0 or not is_aligned(wire_bytes, MEM_PAGE_SIZE):
+            raise PackingError(f"direct DMA wire size {wire_bytes} not page-unit")
+        targets = []
+        for page_start in range(offset, offset + wire_bytes, MEM_PAGE_SIZE):
+            index = self._entry_for(page_start)
+            in_entry = page_start % self.page_size
+            targets.append(self.region.abs_addr(self._slot_base(index) + in_entry))
+        return targets
+
+    # --- vLog integration ------------------------------------------------------
+
+    def addr_of(self, offset: int, size: int) -> ValueAddress:
+        """Translate a byte-space placement into a vLog address."""
+        return ValueAddress(
+            lpn=self.vlog.base_lpn + offset // self.page_size,
+            offset=offset % self.page_size,
+            size=size,
+        )
+
+    def unflushed_page(self, lpn: int) -> bytes | None:
+        """vLog read-through: serve still-buffered pages (read-your-writes)."""
+        index = lpn - self.vlog.base_lpn
+        if index in self._open:
+            return self.region.read(self._slot_base(index), self.page_size)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Packing policies
+# ---------------------------------------------------------------------------
+
+class PackingPolicy(ABC):
+    """Placement strategy over the buffer's byte space."""
+
+    kind: PackingPolicyKind
+
+    def __init__(self, buffer: NandPageBuffer) -> None:
+        self.buffer = buffer
+        self.metrics = MetricSet(f"packing.{self.kind.value}")
+        self.metrics.counter("values_placed")
+        self.metrics.counter("fragmentation_bytes")
+        self.metrics.counter("backfill_bytes")
+
+    # --- abstract placement API ---------------------------------------------
+
+    @abstractmethod
+    def place_piggyback(self, value_size: int) -> Placement:
+        """Choose where a piggyback-transferred value goes."""
+
+    @abstractmethod
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        """Choose where a page-unit-DMA value goes.
+
+        ``value_size`` is the whole value (hybrid tail included);
+        ``wire_bytes`` is the page-unit DMA size.
+        """
+
+    @abstractmethod
+    def flush_frontier(self) -> int:
+        """Byte offset below which no future write can land."""
+
+    @property
+    @abstractmethod
+    def required_addressing(self) -> AddressingScheme:
+        """The vLog addressing granularity this policy needs (§3.4)."""
+
+    # --- shared machinery --------------------------------------------------------
+
+    def finalize_value(self) -> list[FlushEvent]:
+        """Called after a value's bytes are all in; flushes complete entries."""
+        self.metrics.counter("values_placed").add(1)
+        return self.buffer.flush_below(self.flush_frontier())
+
+    def on_forced_flush(self, event: FlushEvent) -> None:
+        """React to a pool-overflow flush (subclasses adjust pointers)."""
+
+    def _open_handling_forced(self, end_offset: int) -> None:
+        for event in self.buffer.open_through(end_offset):
+            if event.forced:
+                self.on_forced_flush(event)
+
+    @property
+    def fragmentation_bytes(self) -> int:
+        """Buffer bytes written to NAND that carry no value data."""
+        return self.metrics.counter("fragmentation_bytes").value
+
+    @property
+    def backfill_bytes(self) -> int:
+        """Value bytes placed behind the DMA frontier (Backfill only)."""
+        return self.metrics.counter("backfill_bytes").value
+
+
+class BlockPacking(PackingPolicy):
+    """Baseline: every value starts a fresh 4 KiB slot (§2.3's behavior)."""
+
+    kind = PackingPolicyKind.BLOCK
+
+    def __init__(self, buffer: NandPageBuffer) -> None:
+        super().__init__(buffer)
+        self._cursor = 0  # always 4 KiB aligned
+
+    def place_piggyback(self, value_size: int) -> Placement:
+        start = self._cursor
+        consumed = align_up(value_size, MEM_PAGE_SIZE)
+        self._cursor += consumed
+        self.metrics.counter("fragmentation_bytes").add(consumed - value_size)
+        self._open_handling_forced(self._cursor)
+        return Placement(value_offset=start, dma_target=None)
+
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        start = self._cursor
+        consumed = align_up(value_size, MEM_PAGE_SIZE)
+        self._cursor += consumed
+        self.metrics.counter("fragmentation_bytes").add(consumed - value_size)
+        self._open_handling_forced(start + max(consumed, wire_bytes))
+        return Placement(value_offset=start, dma_target=start)
+
+    def flush_frontier(self) -> int:
+        return self._cursor
+
+    def on_forced_flush(self, event: FlushEvent) -> None:
+        self._cursor = max(self._cursor, event.end_offset)
+
+    @property
+    def required_addressing(self) -> AddressingScheme:
+        return AddressingScheme.PAGE
+
+
+class AllPacking(PackingPolicy):
+    """KAML-style log: pack everything at the WP, memcpy'ing DMA values
+    when the WP is not page-aligned (§3.3.1)."""
+
+    kind = PackingPolicyKind.ALL
+
+    def __init__(self, buffer: NandPageBuffer) -> None:
+        super().__init__(buffer)
+        self._wp = 0
+
+    def place_piggyback(self, value_size: int) -> Placement:
+        start = self._wp
+        self._wp += value_size
+        self._open_handling_forced(self._wp)
+        return Placement(value_offset=start, dma_target=None)
+
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        start = self._wp
+        if is_aligned(start, MEM_PAGE_SIZE):
+            # WP and DMA destination coincide: skip the memcpy (§3.3.1).
+            self._wp += value_size
+            self._open_handling_forced(start + max(value_size, wire_bytes))
+            return Placement(value_offset=start, dma_target=start)
+        # Stage through scratch; controller memcpys to the WP.
+        self._wp += value_size
+        self._open_handling_forced(self._wp)
+        return Placement(value_offset=start, dma_target=None)
+
+    def flush_frontier(self) -> int:
+        return self._wp
+
+    def on_forced_flush(self, event: FlushEvent) -> None:
+        self._wp = max(self._wp, event.end_offset)
+
+    @property
+    def required_addressing(self) -> AddressingScheme:
+        return AddressingScheme.FINE
+
+
+class SelectivePacking(PackingPolicy):
+    """Pack piggybacked values only; DMA values stay page-aligned, the gap
+    before them is abandoned (§3.3.2, Figure 7a)."""
+
+    kind = PackingPolicyKind.SELECTIVE
+
+    def __init__(self, buffer: NandPageBuffer) -> None:
+        super().__init__(buffer)
+        self._wp = 0
+
+    def place_piggyback(self, value_size: int) -> Placement:
+        start = self._wp
+        self._wp += value_size
+        self._open_handling_forced(self._wp)
+        return Placement(value_offset=start, dma_target=None)
+
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        start = align_up(self._wp, MEM_PAGE_SIZE)
+        self.metrics.counter("fragmentation_bytes").add(start - self._wp)
+        # WP moves to the end of the DMA'd value (Figure 7a).
+        self._wp = start + value_size
+        self._open_handling_forced(start + max(value_size, wire_bytes))
+        return Placement(value_offset=start, dma_target=start)
+
+    def flush_frontier(self) -> int:
+        return self._wp
+
+    def on_forced_flush(self, event: FlushEvent) -> None:
+        self._wp = max(self._wp, event.end_offset)
+
+    @property
+    def required_addressing(self) -> AddressingScheme:
+        return AddressingScheme.FINE
+
+
+class BackfillPacking(PackingPolicy):
+    """Selective packing + backfilling via the DMA Log Table (§3.3.3).
+
+    DMA values land page-aligned at the *DMA frontier* and are logged in
+    the DLT; the WP stays behind, and piggybacked values keep filling the
+    space before (and the gaps between) DMA regions.
+    """
+
+    kind = PackingPolicyKind.BACKFILL
+
+    def __init__(self, buffer: NandPageBuffer, dlt: DMALogTable) -> None:
+        super().__init__(buffer)
+        self.dlt = dlt
+        self._wp = 0
+        self._dma_frontier = 0
+
+    # --- WP maneuvering ------------------------------------------------------
+
+    def _skip_colliding_regions(self, value_size: int) -> None:
+        """Advance the WP past DMA regions the value would collide with —
+        the O(1)-per-step check of §3.3.3."""
+        while not self.dlt.is_empty:
+            oldest = self.dlt.oldest()
+            if self._wp + value_size <= oldest.start:
+                return
+            lost = max(0, oldest.start - self._wp)
+            self.metrics.counter("fragmentation_bytes").add(lost)
+            self._wp = max(self._wp, oldest.end)
+            self.dlt.consume_oldest()
+
+    def place_piggyback(self, value_size: int) -> Placement:
+        while True:
+            self._skip_colliding_regions(value_size)
+            wp_before = self._wp
+            self._open_handling_forced(self._wp + value_size)
+            if self._wp == wp_before:
+                break
+            # A forced flush moved the WP; re-check DLT collisions.
+        start = self._wp
+        self._wp += value_size
+        if start < self._dma_frontier:
+            self.metrics.counter("backfill_bytes").add(value_size)
+        return Placement(value_offset=start, dma_target=None)
+
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        start = align_up(max(self._wp, self._dma_frontier), MEM_PAGE_SIZE)
+        evicted = self.dlt.push(DLTEntry(start=start, size=value_size))
+        if evicted is not None:
+            # Backfill opportunity lost: the WP may no longer pack below
+            # the evicted region's end.
+            lost = max(0, evicted.end - self._wp)
+            if lost:
+                self.metrics.counter("fragmentation_bytes").add(
+                    max(0, evicted.start - self._wp)
+                )
+            self._wp = max(self._wp, evicted.end)
+        self._dma_frontier = start + value_size
+        self._open_handling_forced(start + max(value_size, wire_bytes))
+        return Placement(value_offset=start, dma_target=start)
+
+    def flush_frontier(self) -> int:
+        return self._wp
+
+    def on_forced_flush(self, event: FlushEvent) -> None:
+        if self._wp < event.end_offset:
+            self.metrics.counter("fragmentation_bytes").add(
+                event.end_offset - self._wp
+            )
+            self._wp = event.end_offset
+        self.dlt.consume_below(self._wp)
+        self._dma_frontier = max(self._dma_frontier, self._wp)
+
+    @property
+    def required_addressing(self) -> AddressingScheme:
+        return AddressingScheme.FINE
+
+
+class IntegratedPacking(BackfillPacking):
+    """Extension: All Packing for small DMA values, Backfill for large ones.
+
+    The paper closes §4.3 observing that "we can design a controller that
+    effectively adapts to any workload by integrating the strengths of
+    both" All Packing (dense, memcpy-heavy) and Backfilling (copy-free,
+    gap-prone). This policy does exactly that: a DMA value at or below
+    ``copy_threshold`` is memcpy'd to the write pointer (its gap would cost
+    more NAND space than the copy costs CPU); a larger value stays
+    page-aligned and its gap is logged for backfilling.
+    """
+
+    kind = PackingPolicyKind.INTEGRATED
+
+    def __init__(
+        self, buffer: NandPageBuffer, dlt: DMALogTable, copy_threshold: int
+    ) -> None:
+        super().__init__(buffer, dlt)
+        if copy_threshold < 0:
+            raise PackingError(f"negative copy threshold {copy_threshold}")
+        self.copy_threshold = copy_threshold
+        self.metrics.counter("dma_copied")
+        self.metrics.counter("dma_aligned")
+
+    def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
+        if value_size > self.copy_threshold:
+            self.metrics.counter("dma_aligned").add(1)
+            return super().place_dma(value_size, wire_bytes)
+        # All-style: land the value at the WP. First make room exactly as a
+        # piggybacked value would (the WP must clear colliding DMA regions).
+        while True:
+            self._skip_colliding_regions(value_size)
+            wp_before = self._wp
+            self._open_handling_forced(self._wp + value_size)
+            if self._wp == wp_before:
+                break
+        start = self._wp
+        direct = (
+            is_aligned(start, MEM_PAGE_SIZE)
+            and (self.dlt.is_empty or start + wire_bytes <= self.dlt.oldest().start)
+        )
+        if direct:
+            # Wire overrun bytes beyond the value land in free space only
+            # (checked against the oldest DMA region above) and will be
+            # overwritten by later packing.
+            self._open_handling_forced(start + max(value_size, wire_bytes))
+            if self._wp > start:
+                # Opening the wire span force-flushed the entry holding the
+                # placement; fall back to a staged copy at the new WP.
+                start = self._wp
+                direct = False
+                self._open_handling_forced(start + value_size)
+        self._wp = start + value_size
+        if start < self._dma_frontier:
+            self.metrics.counter("backfill_bytes").add(value_size)
+        self.metrics.counter("dma_copied").add(1)
+        return Placement(value_offset=start, dma_target=start if direct else None)
+
+
+def make_policy(
+    config: BandSlimConfig, buffer: NandPageBuffer, vlog_pages: int
+) -> PackingPolicy:
+    """Instantiate the configured packing policy."""
+    kind = config.packing
+    if kind is PackingPolicyKind.BLOCK:
+        return BlockPacking(buffer)
+    if kind is PackingPolicyKind.ALL:
+        return AllPacking(buffer)
+    if kind is PackingPolicyKind.SELECTIVE:
+        return SelectivePacking(buffer)
+    if kind is PackingPolicyKind.BACKFILL:
+        dlt = DMALogTable(
+            capacity=config.dlt_capacity,
+            nand_page_size=buffer.page_size,
+            vlog_pages=vlog_pages,
+        )
+        return BackfillPacking(buffer, dlt)
+    if kind is PackingPolicyKind.INTEGRATED:
+        dlt = DMALogTable(
+            capacity=config.dlt_capacity,
+            nand_page_size=buffer.page_size,
+            vlog_pages=vlog_pages,
+        )
+        return IntegratedPacking(
+            buffer, dlt, copy_threshold=config.integrated_copy_threshold
+        )
+    raise PackingError(f"unhandled packing kind {kind}")

@@ -1,0 +1,112 @@
+"""Threshold calibration: the exploratory benchmark of §3.2.
+
+BandSlim's adaptive transfer is configured from "exploratory runs conducted
+using synthetic benchmarks" sweeping value sizes and comparing transfer
+times per method. This module is that benchmark: it measures piggyback /
+PRP / hybrid response curves on a NAND-disabled device (isolating transfer
+cost, as §4.2 does) and derives
+
+* ``threshold1`` — the largest value size at which piggybacking still beats
+  PRP-based transfer, and
+* ``threshold2`` — the largest sub-page tail at which the hybrid transfer
+  still beats pure PRP (0 if it never does, the paper's Fig 9(b) outcome).
+
+Users scale the derived thresholds with α/β to trade response time for
+traffic (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind, TransferMode
+from repro.device.kvssd import KVSSD
+from repro.errors import ConfigError
+from repro.sim.latency import LatencyModel
+from repro.units import KIB, MEM_PAGE_SIZE
+
+#: §3.2: "value sizes ranging from 4 bytes to 8 KB are tested".
+DEFAULT_SIZES: tuple[int, ...] = (
+    4, 8, 16, 32, 48, 64, 91, 128, 192, 256, 384, 512,
+    768, 1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB,
+)
+
+DEFAULT_TAILS: tuple[int, ...] = (4, 8, 16, 32, 56, 64, 112, 128, 256, 512, 1 * KIB)
+
+
+@dataclass
+class CalibrationResult:
+    """Derived thresholds plus the measured curves behind them."""
+
+    threshold1: int
+    threshold2: int
+    #: method name -> [(value_size, mean_response_us)], sorted by size.
+    curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+    def apply(self, config: BandSlimConfig) -> BandSlimConfig:
+        """A copy of ``config`` with the calibrated thresholds installed."""
+        return config.with_overrides(
+            threshold1=self.threshold1, threshold2=self.threshold2
+        )
+
+
+class ThresholdCalibrator:
+    """Runs the exploratory sweeps and derives the two thresholds."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        ops_per_point: int = 200,
+        sizes: tuple[int, ...] = DEFAULT_SIZES,
+        tails: tuple[int, ...] = DEFAULT_TAILS,
+    ) -> None:
+        if ops_per_point < 1:
+            raise ConfigError("ops_per_point must be >= 1")
+        self.latency = latency or LatencyModel()
+        self.ops_per_point = ops_per_point
+        self.sizes = tuple(sorted(set(sizes)))
+        self.tails = tuple(sorted(set(tails)))
+
+    def _mean_put_latency(self, mode: TransferMode, value_size: int) -> float:
+        """Mean PUT response for one (mode, size) point on a fresh device."""
+        config = BandSlimConfig(
+            transfer_mode=mode,
+            packing=PackingPolicyKind.BLOCK,
+            nand_io_enabled=False,
+        )
+        device = KVSSD.build(config=config, latency=self.latency)
+        value = bytes(value_size)
+        for i in range(self.ops_per_point):
+            key = i.to_bytes(4, "little")
+            device.driver.put(key, value)
+        stat = device.driver.metrics.stat("put_latency_us")
+        return stat.mean
+
+    def calibrate(self) -> CalibrationResult:
+        """Run both sweeps and derive (threshold1, threshold2)."""
+        curves: dict[str, list[tuple[int, float]]] = {
+            "piggyback": [],
+            "prp": [],
+            "hybrid": [],
+        }
+        threshold1 = 0
+        for size in self.sizes:
+            piggy = self._mean_put_latency(TransferMode.PIGGYBACK, size)
+            prp = self._mean_put_latency(TransferMode.BASELINE, size)
+            curves["piggyback"].append((size, piggy))
+            curves["prp"].append((size, prp))
+            if piggy <= prp:
+                threshold1 = size
+
+        threshold2 = 0
+        for tail in self.tails:
+            size = MEM_PAGE_SIZE + tail
+            hybrid = self._mean_put_latency(TransferMode.HYBRID, size)
+            prp = self._mean_put_latency(TransferMode.BASELINE, size)
+            curves["hybrid"].append((size, hybrid))
+            if hybrid <= prp:
+                threshold2 = tail
+
+        return CalibrationResult(
+            threshold1=threshold1, threshold2=threshold2, curves=curves
+        )

@@ -1,0 +1,210 @@
+"""Transfer planning: how a value's bytes get to the device (§3.2).
+
+Given a value size and the configured mode/thresholds, the planner decides
+the exact command sequence the driver will emit:
+
+* ``PIGGYBACK`` — up to 35 B inline in the write command, remainder in
+  56 B trailing transfer commands;
+* ``PRP`` — a classic page-unit DMA described by the write command's PRP
+  fields (the Baseline path);
+* ``HYBRID`` — the page-aligned head via PRP on the write command, the
+  sub-page tail piggybacked on trailing transfer commands.
+
+The plan is pure data: the driver executes it, the tests assert on it, and
+the adaptive policy's decisions (Fig 10) are auditable from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.config import BandSlimConfig, TransferMode
+from repro.errors import ConfigError, NVMeError
+from repro.nvme.kv import TRANSFER_PIGGYBACK_CAPACITY, WRITE_PIGGYBACK_CAPACITY
+from repro.units import (
+    MEM_PAGE_SIZE,
+    NVME_COMMAND_SIZE,
+    align_down,
+    pages_needed,
+    split_sizes,
+)
+
+
+class TransferMethod(enum.Enum):
+    """The concrete mechanism chosen for one value."""
+
+    PIGGYBACK = "piggyback"
+    PRP = "prp"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """The exact command breakdown for shipping one value."""
+
+    method: TransferMethod
+    value_size: int
+    #: Bytes inline in the write command's 35-byte area (piggyback only).
+    inline_bytes: int
+    #: Sizes of trailing transfer-command fragments, in order.
+    trailing_fragments: tuple[int, ...]
+    #: Page-unit DMA size in whole memory pages (PRP/hybrid head).
+    dma_pages: int
+
+    def __post_init__(self) -> None:
+        covered = (
+            self.inline_bytes
+            + sum(self.trailing_fragments)
+            + (
+                min(self.dma_pages * MEM_PAGE_SIZE, self.value_size)
+                if self.method is not TransferMethod.HYBRID
+                else self.dma_pages * MEM_PAGE_SIZE
+            )
+        )
+        if covered != self.value_size:
+            raise NVMeError(
+                f"plan covers {covered} bytes of a {self.value_size}-byte value"
+            )
+
+    @property
+    def command_count(self) -> int:
+        """Write command plus trailing transfer commands."""
+        return 1 + len(self.trailing_fragments)
+
+    @property
+    def dma_wire_bytes(self) -> int:
+        return self.dma_pages * MEM_PAGE_SIZE
+
+    @property
+    def piggybacked_bytes(self) -> int:
+        return self.inline_bytes + sum(self.trailing_fragments)
+
+    @property
+    def dma_head_bytes(self) -> int:
+        """Value bytes (not wire bytes) delivered by the DMA part."""
+        if self.method is TransferMethod.HYBRID:
+            return self.dma_pages * MEM_PAGE_SIZE
+        if self.method is TransferMethod.PRP:
+            return self.value_size
+        return 0
+
+
+class TransferPlanner:
+    """Chooses and constructs :class:`TransferPlan`\\ s per the config."""
+
+    def __init__(self, config: BandSlimConfig) -> None:
+        self.config = config
+
+    # --- plan constructors ---------------------------------------------------
+
+    @staticmethod
+    def plan_piggyback(value_size: int) -> TransferPlan:
+        """Pure piggybacking: 35 B inline + 56 B trailing fragments."""
+        if value_size <= 0:
+            raise NVMeError(f"cannot plan non-positive value size {value_size}")
+        inline = min(value_size, WRITE_PIGGYBACK_CAPACITY)
+        remaining = value_size - inline
+        fragments = tuple(split_sizes(remaining, TRANSFER_PIGGYBACK_CAPACITY))
+        return TransferPlan(
+            method=TransferMethod.PIGGYBACK,
+            value_size=value_size,
+            inline_bytes=inline,
+            trailing_fragments=fragments,
+            dma_pages=0,
+        )
+
+    @staticmethod
+    def plan_prp(value_size: int) -> TransferPlan:
+        """Classic page-unit DMA of the whole (page-padded) value."""
+        if value_size <= 0:
+            raise NVMeError(f"cannot plan non-positive value size {value_size}")
+        return TransferPlan(
+            method=TransferMethod.PRP,
+            value_size=value_size,
+            inline_bytes=0,
+            trailing_fragments=(),
+            dma_pages=pages_needed(value_size),
+        )
+
+    @staticmethod
+    def plan_hybrid(value_size: int) -> TransferPlan:
+        """Page-aligned head via PRP + piggybacked sub-page tail.
+
+        Degenerates to pure piggyback below one page (no head to DMA) and
+        to pure PRP on exact page multiples (no tail).
+        """
+        if value_size <= 0:
+            raise NVMeError(f"cannot plan non-positive value size {value_size}")
+        head = align_down(value_size, MEM_PAGE_SIZE)
+        tail = value_size - head
+        if head == 0:
+            return TransferPlanner.plan_piggyback(value_size)
+        if tail == 0:
+            return TransferPlanner.plan_prp(value_size)
+        fragments = tuple(split_sizes(tail, TRANSFER_PIGGYBACK_CAPACITY))
+        return TransferPlan(
+            method=TransferMethod.HYBRID,
+            value_size=value_size,
+            inline_bytes=0,
+            trailing_fragments=fragments,
+            dma_pages=head // MEM_PAGE_SIZE,
+        )
+
+    # --- mode dispatch -----------------------------------------------------------
+
+    def plan(self, value_size: int) -> TransferPlan:
+        mode = self.config.transfer_mode
+        if value_size > self.config.max_value_bytes:
+            raise NVMeError(
+                f"value of {value_size} bytes exceeds max_value_bytes "
+                f"{self.config.max_value_bytes}"
+            )
+        if mode is TransferMode.BASELINE:
+            return self.plan_prp(value_size)
+        if mode is TransferMode.PIGGYBACK:
+            return self.plan_piggyback(value_size)
+        if mode is TransferMode.HYBRID:
+            return self.plan_hybrid(value_size)
+        if mode is TransferMode.ADAPTIVE:
+            return self.plan_adaptive(value_size)
+        raise ConfigError(f"unhandled transfer mode {mode}")
+
+    def plan_adaptive(self, value_size: int) -> TransferPlan:
+        """The §3.2 threshold policy.
+
+        * size ≤ α·threshold₁ → piggyback (small values dominate traffic);
+        * otherwise, if the sub-page tail is non-zero, at most β·threshold₂,
+          and there is at least one whole page to DMA → hybrid;
+        * otherwise → PRP.
+        """
+        cfg = self.config
+        if value_size <= cfg.effective_threshold1:
+            return self.plan_piggyback(value_size)
+        tail = value_size % MEM_PAGE_SIZE
+        if (
+            tail != 0
+            and value_size > MEM_PAGE_SIZE
+            and tail <= cfg.effective_threshold2
+        ):
+            return self.plan_hybrid(value_size)
+        return self.plan_prp(value_size)
+
+    # --- traffic prediction (used by calibration and tests) -----------------------
+
+    def predicted_wire_bytes(self, plan: TransferPlan, overhead_per_cmd: int) -> int:
+        """Exact link bytes this plan generates, given per-command overhead.
+
+        ``overhead_per_cmd`` is SQE + CQE + doorbells (88 B on the default
+        link); PRP-list fetches for >2-page transfers add 8 B per extra page.
+        """
+        total = plan.command_count * overhead_per_cmd
+        total += plan.dma_wire_bytes
+        if plan.dma_pages > 2:
+            total += (plan.dma_pages - 1) * 8
+        return total
+
+    @staticmethod
+    def command_bytes(plan: TransferPlan) -> int:
+        """Submission-entry bytes alone (the 64 B × command count)."""
+        return plan.command_count * NVME_COMMAND_SIZE

@@ -1,0 +1,5 @@
+"""Device assembly: the complete simulated KV-SSD."""
+
+from repro.device.kvssd import KVSSD
+
+__all__ = ["KVSSD"]

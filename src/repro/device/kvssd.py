@@ -1,0 +1,181 @@
+"""KVSSD: wires every substrate into one simulated device + host stack.
+
+Construction order mirrors the hardware: clock and latency model, PCIe
+link, host memory, device DRAM (NAND page buffer region + scratch), NAND
+flash + FTL + GC, vLog + LSM-tree, packing policy, controller, driver.
+``KVSSD.build(config)`` is the one-call factory every example, test and
+bench uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BandSlimConfig
+from repro.core.controller import BandSlimController
+from repro.core.driver import BandSlimDriver
+from repro.core.packing import NandPageBuffer, PackingPolicy, make_policy
+from repro.errors import ConfigError
+from repro.lsm.space import PageSpace
+from repro.lsm.tree import LSMConfig, LSMTree
+from repro.lsm.vlog import VLog
+from repro.memory.device import DeviceDRAM
+from repro.memory.dma import DMAEngine
+from repro.memory.host import HostMemory
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.gc import GreedyGarbageCollector
+from repro.nand.geometry import NandGeometry, default_geometry
+from repro.nvme.queue import CompletionQueue, SubmissionQueue
+from repro.pcie.link import PCIeLink, PCIeLinkConfig
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+
+
+@dataclass
+class KVSSD:
+    """A fully wired simulated KV-SSD plus its host-side driver."""
+
+    config: BandSlimConfig
+    clock: SimClock
+    latency: LatencyModel
+    link: PCIeLink
+    host_mem: HostMemory
+    dram: DeviceDRAM
+    flash: NandFlash
+    ftl: PageMappedFTL
+    gc: GreedyGarbageCollector
+    vlog: VLog
+    lsm: LSMTree
+    buffer: NandPageBuffer
+    policy: PackingPolicy
+    controller: BandSlimController
+    driver: BandSlimDriver
+    geometry: NandGeometry = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.geometry = self.flash.geometry
+
+    # --- factory -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: BandSlimConfig | None = None,
+        latency: LatencyModel | None = None,
+        geometry: NandGeometry | None = None,
+        link_config: PCIeLinkConfig | None = None,
+        queue_depth: int = 64,
+    ) -> "KVSSD":
+        config = config or BandSlimConfig()
+        latency = latency or LatencyModel()
+        geometry = geometry or default_geometry(config.nand_capacity_bytes)
+        clock = SimClock()
+        link = PCIeLink(clock, latency, link_config)
+        host_mem = HostMemory()
+
+        # Device DRAM: NAND page buffer pool + DMA/GET scratch.
+        buffer_bytes = config.buffer_entries * geometry.page_size
+        dram = DeviceDRAM(buffer_bytes + config.scratch_bytes)
+        buffer_region = dram.carve_region("nand_page_buffer", buffer_bytes)
+        scratch_region = dram.carve_region("scratch", config.scratch_bytes)
+
+        flash = NandFlash(geometry, clock, latency)
+        ftl = PageMappedFTL(flash)
+        gc = GreedyGarbageCollector(ftl)
+        ftl.set_gc(gc)
+        if config.read_cache_pages > 0:
+            from repro.memory.cache import PageCache
+
+            ftl.attach_read_cache(PageCache(config.read_cache_pages))
+        dma = DMAEngine(link, dram, host_mem)
+
+        # Logical page space: vLog head, SSTable region tail. The logical
+        # space is slightly under-provisioned vs physical so the FTL always
+        # has GC headroom.
+        usable_pages = geometry.total_pages - ftl.gc_reserve_blocks * (
+            geometry.pages_per_block
+        )
+        if usable_pages < 16:
+            raise ConfigError("NAND module too small for vLog + SSTables")
+        vlog_pages = int(usable_pages * config.vlog_fraction)
+        vlog = VLog(ftl, base_lpn=0, capacity_pages=vlog_pages)
+        sst_space = PageSpace(
+            base_lpn=vlog_pages, capacity_pages=usable_pages - vlog_pages
+        )
+
+        # §4.2 runs disable NAND I/O to isolate transfer effects: the
+        # buffer discards flushes and the MemTable never spills.
+        memtable_bytes = (
+            config.memtable_flush_bytes
+            if config.nand_io_enabled
+            else 2**62
+        )
+        lsm = LSMTree(
+            ftl,
+            vlog,
+            sst_space,
+            clock,
+            latency,
+            LSMConfig(memtable_flush_bytes=memtable_bytes),
+        )
+        buffer = NandPageBuffer(
+            buffer_region,
+            vlog,
+            ftl,
+            pool_entries=config.buffer_entries,
+            nand_io_enabled=config.nand_io_enabled,
+        )
+        policy = make_policy(config, buffer, vlog_pages)
+        sq = SubmissionQueue(depth=queue_depth)
+        cq = CompletionQueue(depth=queue_depth)
+        controller = BandSlimController(
+            config,
+            link,
+            host_mem,
+            dma,
+            buffer,
+            policy,
+            lsm,
+            scratch_region,
+            sq,
+            cq,
+        )
+        controller.attach_admin_queues(
+            SubmissionQueue(depth=queue_depth, qid=0),
+            CompletionQueue(depth=queue_depth, qid=0),
+        )
+        driver = BandSlimDriver(config, link, host_mem, controller, sq, cq)
+        return cls(
+            config=config,
+            clock=clock,
+            latency=latency,
+            link=link,
+            host_mem=host_mem,
+            dram=dram,
+            flash=flash,
+            ftl=ftl,
+            gc=gc,
+            vlog=vlog,
+            lsm=lsm,
+            buffer=buffer,
+            policy=policy,
+            controller=controller,
+            driver=driver,
+        )
+
+    # --- metric roll-up -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat metric snapshot across every component."""
+        out: dict[str, float] = {}
+        out.update(self.link.meter.snapshot())
+        out.update(self.flash.metrics.snapshot())
+        out.update(self.ftl.metrics.snapshot())
+        out.update(self.buffer.metrics.snapshot())
+        out.update(self.policy.metrics.snapshot())
+        out.update(self.controller.metrics.snapshot())
+        out.update(self.driver.metrics.snapshot())
+        out.update(self.lsm.store.metrics.snapshot())
+        out["clock.now_us"] = self.clock.now_us
+        return out

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the BandSlim reproduction.
+
+Every layer raises a subclass of :class:`ReproError`, so callers can catch
+the whole stack's failures with one ``except`` while tests assert on the
+precise class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class NVMeError(ReproError):
+    """Protocol-level failure (bad opcode, malformed command, queue abuse)."""
+
+
+class QueueFullError(NVMeError):
+    """Submission or completion queue has no free slot."""
+
+
+class CommandFieldError(NVMeError):
+    """A value does not fit in the command field it was assigned to."""
+
+
+class DMAAlignmentError(ReproError):
+    """DMA request violates the engine's page-alignment restriction (§2.5)."""
+
+
+class HostMemoryError(ReproError):
+    """Host page allocator exhausted or freed an unknown page."""
+
+
+class DeviceMemoryError(ReproError):
+    """Device DRAM region overflow or out-of-range access."""
+
+
+class NandError(ReproError):
+    """NAND flash geometry violation or illegal operation ordering."""
+
+
+class ProgramError(NandError):
+    """Programming a page that is not erased (NAND pages write once)."""
+
+
+class FTLError(ReproError):
+    """Flash translation layer mapping failure (no free pages, bad LPN)."""
+
+
+class LSMError(ReproError):
+    """LSM-tree invariant violation."""
+
+
+class KeyNotFoundError(LSMError):
+    """GET/DELETE on a key the store does not contain."""
+
+
+class VLogError(LSMError):
+    """Value-log addressing failure (bad address, torn read)."""
+
+
+class PackingError(ReproError):
+    """NAND page buffer packing policy invariant violation."""
+
+
+class WorkloadError(ReproError):
+    """Workload specification cannot be generated."""

@@ -1,0 +1,6 @@
+"""Host-side user API: the key-value store facade over the driver."""
+
+from repro.host.api import KVIterator, KVStore
+from repro.host.batcher import HostBatcher
+
+__all__ = ["KVStore", "KVIterator", "HostBatcher"]

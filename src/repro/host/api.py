@@ -1,0 +1,190 @@
+"""The user-level key-value API (paper §2.1): PUT, GET, SEEK, NEXT.
+
+This is the surface a downstream application uses — the equivalent of the
+paper's "user-level key-value APIs" box in Figure 1(b). It hides command
+construction entirely; everything below it goes through real simulated
+NVMe commands.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.nvme.command import MAX_KEY_BYTES
+from repro.sim.latency import LatencyModel
+
+
+class KVStore:
+    """A KV-SSD-backed key-value store.
+
+    >>> store = KVStore.open()
+    >>> store.put(b"usr1", b"hello")
+    >>> store.get(b"usr1")
+    b'hello'
+    """
+
+    def __init__(self, device: KVSSD) -> None:
+        self.device = device
+        self.driver = device.driver
+        self._vlog_gc = None  # lazily built by compact_vlog()
+
+    @classmethod
+    def open(
+        cls,
+        config: BandSlimConfig | None = None,
+        latency: LatencyModel | None = None,
+        **build_kwargs,
+    ) -> "KVStore":
+        """Create a store over a freshly built simulated device."""
+        return cls(KVSSD.build(config=config, latency=latency, **build_kwargs))
+
+    # --- point operations ---------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes):
+            raise NVMeError(f"keys must be bytes, got {type(key).__name__}")
+        if not 0 < len(key) <= MAX_KEY_BYTES:
+            raise NVMeError(
+                f"key length must be 1..{MAX_KEY_BYTES} bytes, got {len(key)}"
+            )
+
+    def put(self, key: bytes, value: bytes) -> float:
+        """Store a pair; returns the simulated response time (µs)."""
+        self._check_key(key)
+        result = self.driver.put(key, value)
+        if not result.ok:
+            raise NVMeError(f"PUT failed with status {result.status.name}")
+        return result.latency_us
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch a value; raises KeyNotFoundError if absent."""
+        self._check_key(key)
+        result = self.driver.get(key)
+        if result.value is None:
+            raise NVMeError(f"GET failed with status {result.status.name}")
+        return result.value
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self.driver.delete(key)
+
+    def exists(self, key: bytes) -> bool:
+        self._check_key(key)
+        return self.driver.exists(key)
+
+    # --- range scan -------------------------------------------------------------
+
+    def seek(self, start_key: bytes) -> "KVIterator":
+        """Position an iterator at the first key >= start_key (SEEK)."""
+        return KVIterator(self, start_key)
+
+    def scan(self, start_key: bytes = b"\x00", limit: int | None = None):
+        """Convenience: yield (key, value) pairs from start_key onward."""
+        it = self.seek(start_key)
+        count = 0
+        while limit is None or count < limit:
+            pair = it.next()
+            if pair is None:
+                return
+            yield pair
+            count += 1
+
+    def device_scan(self, start_key: bytes = b"\x00", limit: int | None = None):
+        """Range scan through a *device-side* iterator ([22]'s interface).
+
+        One ITER_NEXT command returns a whole batch of (key, value) pairs
+        with values resolved inside the device — far fewer commands than
+        :meth:`scan`'s LIST + per-key GET host loop.
+        """
+        iterator_id = self.driver.iter_open(start_key)
+        count = 0
+        try:
+            while True:
+                pairs, exhausted = self.driver.iter_next(iterator_id)
+                for pair in pairs:
+                    if limit is not None and count >= limit:
+                        return
+                    yield pair
+                    count += 1
+                if exhausted:
+                    return
+        finally:
+            self.driver.iter_close(iterator_id)
+
+    # --- lifecycle ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist all buffered state (clean shutdown)."""
+        self.driver.flush()
+
+    def compact_vlog(self, dead_threshold: float = 0.5):
+        """Reclaim dead vLog space if the dead fraction crosses the
+        threshold (WiscKey-style compaction; see repro.lsm.vlog_gc)."""
+        from repro.lsm.vlog_gc import VLogCompactor
+
+        if self._vlog_gc is None:
+            self._vlog_gc = VLogCompactor(
+                self.device.lsm, self.device.policy, self.device.buffer
+            )
+        return self._vlog_gc.compact_if_needed(dead_threshold=dead_threshold)
+
+    def stats(self) -> dict[str, float]:
+        return self.device.snapshot()
+
+
+class KVIterator:
+    """SEEK/NEXT cursor over the ordered key space.
+
+    Keys are fetched in device-page-sized batches via KV_LIST commands;
+    NEXT resolves each key's value with a GET — the iterator interface the
+    underlying KV-SSD exposes [22].
+    """
+
+    _BATCH = 32
+
+    def __init__(self, store: KVStore, start_key: bytes) -> None:
+        self.store = store
+        self._pending: list[bytes] = []
+        self._resume_key = start_key or b"\x00"
+        self._last_returned: bytes | None = None
+        self._exhausted = False
+
+    def _refill(self) -> None:
+        if self._exhausted:
+            return
+        keys = self.store.driver.list_keys(self._resume_key, max_keys=self._BATCH)
+        # Resume from the last key *inclusive* and drop it from the refill:
+        # appending a byte to resume "strictly after" would overflow the
+        # 16-byte key field for maximum-length keys.
+        if keys and keys[0] == self._last_returned:
+            keys = keys[1:]
+        if not keys:
+            self._exhausted = True
+            return
+        self._pending = keys
+        self._last_returned = keys[-1]
+        self._resume_key = keys[-1]
+        if len(keys) < self._BATCH - 1:
+            self._exhausted = True
+
+    def next(self) -> tuple[bytes, bytes] | None:
+        """NEXT: the following (key, value) pair, or None at end."""
+        while not self._pending:
+            if self._exhausted:
+                return None
+            self._refill()
+        key = self._pending.pop(0)
+        try:
+            return key, self.store.get(key)
+        except KeyNotFoundError:
+            # Deleted between LIST and GET (possible mid-scan deletes).
+            return self.next()
+
+    def __iter__(self):
+        while True:
+            pair = self.next()
+            if pair is None:
+                return
+            yield pair

@@ -1,0 +1,66 @@
+"""Host-side write batching — the approach the paper argues against (§1).
+
+"A fundamental issue with buffering the key-value entries on the host side
+is the risk of data loss on power failure." This wrapper makes that risk a
+number: it accumulates PUTs in volatile host memory and ships them as bulk
+commands when the batch fills, tracking the *durability exposure* — how
+many acknowledged-to-the-application writes would vanish if the host died
+right now, and the worst such exposure seen.
+
+``simulate_power_failure()`` drops the pending batch on the floor, exactly
+as a crash would, so tests can demonstrate the loss the paper warns about.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NVMeError
+from repro.host.api import KVStore
+
+
+class HostBatcher:
+    """Accumulate PUTs host-side; flush as BULK_PUT commands."""
+
+    def __init__(self, store: KVStore, batch_pairs: int = 32) -> None:
+        if batch_pairs < 1:
+            raise NVMeError(f"batch_pairs must be >= 1, got {batch_pairs}")
+        self.store = store
+        self.batch_pairs = batch_pairs
+        self._pending: list[tuple[bytes, bytes]] = []
+        #: Writes acknowledged to the caller but not yet on the device.
+        self.max_exposure = 0
+        self.batches_sent = 0
+        self.pairs_sent = 0
+        self.pairs_lost = 0
+
+    @property
+    def exposure(self) -> int:
+        """Acknowledged writes currently at risk (volatile host memory)."""
+        return len(self._pending)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Buffer a write; "acknowledged" immediately, durable only later."""
+        KVStore._check_key(key)
+        if not value:
+            raise NVMeError("empty values are not supported")
+        self._pending.append((key, value))
+        self.max_exposure = max(self.max_exposure, len(self._pending))
+        if len(self._pending) >= self.batch_pairs:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship the pending batch as one BULK_PUT command."""
+        if not self._pending:
+            return
+        result = self.store.driver.bulk_put(self._pending)
+        if not result.ok:
+            raise NVMeError(f"bulk PUT failed: {result.status.name}")
+        self.batches_sent += 1
+        self.pairs_sent += len(self._pending)
+        self._pending.clear()
+
+    def simulate_power_failure(self) -> int:
+        """Host crash: the volatile batch is gone. Returns pairs lost."""
+        lost = len(self._pending)
+        self.pairs_lost += lost
+        self._pending.clear()
+        return lost

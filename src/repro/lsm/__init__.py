@@ -1,0 +1,16 @@
+"""In-device LSM-tree KVS with key-value separation and a value log."""
+
+from repro.lsm.addressing import AddressingScheme, ValueAddress
+from repro.lsm.memtable import MemTable
+from repro.lsm.sstable import SSTable
+from repro.lsm.tree import LSMTree
+from repro.lsm.vlog import VLog
+
+__all__ = [
+    "AddressingScheme",
+    "ValueAddress",
+    "MemTable",
+    "SSTable",
+    "LSMTree",
+    "VLog",
+]

@@ -1,0 +1,204 @@
+"""Leveled LSM structure and compaction.
+
+L0 holds whole MemTable flushes (tables may overlap); L1+ are sorted,
+non-overlapping runs. Compaction merges index entries only — values stay in
+the vLog untouched (key-value separation), which is why the paper's WAF is
+dominated by value placement rather than compaction rewrites.
+
+Compaction policy (size-tiered trigger, leveled merge — the shape used by
+PinK/iLSM-class devices):
+
+* L0 reaching ``l0_compaction_trigger`` tables → merge all of L0 with the
+  overlapping part of L1.
+* Level *i* exceeding ``level_page_budget(i)`` pages → merge its oldest
+  table with the overlapping part of level *i+1*.
+* Tombstones are dropped only when the output level is the lowest
+  populated one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LSMError
+from repro.lsm.addressing import AddressingScheme
+from repro.lsm.iterators import Entry, drop_tombstones, merge_entries
+from repro.lsm.space import PageSpace
+from repro.lsm.sstable import SSTable
+from repro.nand.ftl import PageMappedFTL
+from repro.sim.stats import MetricSet
+
+
+class LeveledStore:
+    """The on-NAND part of the LSM-tree: L0 .. Lmax of SSTables."""
+
+    def __init__(
+        self,
+        ftl: PageMappedFTL,
+        space: PageSpace,
+        scheme: AddressingScheme,
+        max_levels: int = 6,
+        l0_compaction_trigger: int = 4,
+        l1_page_budget: int = 64,
+        level_size_ratio: int = 10,
+        table_page_budget: int = 16,
+    ) -> None:
+        if max_levels < 2:
+            raise LSMError(f"need at least 2 levels, got {max_levels}")
+        if l0_compaction_trigger < 1 or level_size_ratio < 2 or table_page_budget < 1:
+            raise LSMError("bad compaction parameters")
+        self.ftl = ftl
+        self.space = space
+        self.scheme = scheme
+        self.max_levels = max_levels
+        self.l0_compaction_trigger = l0_compaction_trigger
+        self.l1_page_budget = l1_page_budget
+        self.level_size_ratio = level_size_ratio
+        self.table_page_budget = table_page_budget
+        #: levels[0] ordered newest-first; levels[1:] ordered by min_key.
+        self.levels: list[list[SSTable]] = [[] for _ in range(max_levels)]
+        self.metrics = MetricSet("lsm")
+        self.metrics.counter("flushes")
+        self.metrics.counter("compactions")
+        self.metrics.counter("tables_written")
+
+    # --- observation --------------------------------------------------------
+
+    def level_page_budget(self, level: int) -> int:
+        if level == 0:
+            raise LSMError("L0 is table-count-triggered, not page-budgeted")
+        return self.l1_page_budget * self.level_size_ratio ** (level - 1)
+
+    def level_pages(self, level: int) -> int:
+        return sum(t.page_count for t in self.levels[level])
+
+    @property
+    def table_count(self) -> int:
+        return sum(len(lv) for lv in self.levels)
+
+    def lowest_populated_level(self) -> int:
+        """Index of the deepest non-empty level (0 if all empty)."""
+        for level in range(self.max_levels - 1, -1, -1):
+            if self.levels[level]:
+                return level
+        return 0
+
+    # --- ingestion -----------------------------------------------------------
+
+    def add_flush(self, items: list[Entry]) -> SSTable:
+        """Persist a MemTable flush as a new L0 table, then rebalance."""
+        if not items:
+            raise LSMError("flush of empty item list")
+        table = SSTable.build(items, self.ftl, self.space, self.scheme)
+        self.levels[0].insert(0, table)  # newest first
+        self.metrics.counter("flushes").add(1)
+        self.metrics.counter("tables_written").add(1)
+        self.maybe_compact()
+        return table
+
+    # --- read path -----------------------------------------------------------
+
+    def get(self, key: bytes):
+        """(found, address_or_None). Probes newest-to-oldest."""
+        for table in self.levels[0]:
+            found, addr = table.get(key, self.ftl)
+            if found:
+                return True, addr
+        for level in range(1, self.max_levels):
+            for table in self.levels[level]:
+                if table.may_contain(key):
+                    found, addr = table.get(key, self.ftl)
+                    if found:
+                        return True, addr
+                    break  # non-overlapping: only one table can hold it
+        return False, None
+
+    def iter_sources_from(self, start_key: bytes) -> list[Iterator[Entry]]:
+        """Per-table sorted iterators, newest first (for merged scans)."""
+        sources: list[Iterator[Entry]] = []
+        for table in self.levels[0]:
+            sources.append(table.iter_entries(self.ftl, start_key))
+        for level in range(1, self.max_levels):
+            for table in self.levels[level]:
+                sources.append(table.iter_entries(self.ftl, start_key))
+        return sources
+
+    # --- compaction -----------------------------------------------------------
+
+    def maybe_compact(self) -> None:
+        """Rebalance until every level is within budget."""
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 64:
+                raise LSMError("compaction did not converge (loop guard)")
+            if len(self.levels[0]) >= self.l0_compaction_trigger:
+                self._compact_l0()
+                continue
+            for level in range(1, self.max_levels - 1):
+                if self.level_pages(level) > self.level_page_budget(level):
+                    self._compact_level(level)
+                    break
+            else:
+                return
+
+    def _build_tables(self, entries: Iterator[Entry]) -> list[SSTable]:
+        """Split a merged entry stream into budget-sized output tables."""
+        out: list[SSTable] = []
+        page_size = self.ftl.flash.geometry.page_size
+        batch: list[Entry] = []
+        batch_bytes = 0
+        budget_bytes = self.table_page_budget * page_size
+        for key, addr in entries:
+            entry_bytes = 1 + len(key) + 13
+            if batch and batch_bytes + entry_bytes > budget_bytes:
+                out.append(SSTable.build(batch, self.ftl, self.space, self.scheme))
+                batch, batch_bytes = [], 0
+            batch.append((key, addr))
+            batch_bytes += entry_bytes
+        if batch:
+            out.append(SSTable.build(batch, self.ftl, self.space, self.scheme))
+        self.metrics.counter("tables_written").add(len(out))
+        return out
+
+    def _compact_l0(self) -> None:
+        """Merge all of L0 plus overlapping L1 tables into new L1 tables."""
+        inputs_new = list(self.levels[0])  # newest first already
+        lo = min(t.min_key for t in inputs_new)
+        hi = max(t.max_key for t in inputs_new)
+        overlapping = [t for t in self.levels[1] if t.key_range_overlaps(lo, hi)]
+        keep = [t for t in self.levels[1] if not t.key_range_overlaps(lo, hi)]
+        sources = [t.iter_entries(self.ftl) for t in inputs_new + overlapping]
+        merged = merge_entries(sources)
+        if self.lowest_populated_level() <= 1:
+            merged = drop_tombstones(merged)
+        new_tables = self._build_tables(merged)
+        self.levels[0] = []
+        self.levels[1] = sorted(keep + new_tables, key=lambda t: t.min_key)
+        for t in inputs_new + overlapping:
+            t.release(self.ftl, self.space)
+        self.metrics.counter("compactions").add(1)
+
+    def _compact_level(self, level: int) -> None:
+        """Push one table from ``level`` down into ``level+1``."""
+        if not self.levels[level]:
+            return
+        victim = self.levels[level][0]  # oldest/leftmost
+        below = self.levels[level + 1]
+        overlapping = [
+            t for t in below if t.key_range_overlaps(victim.min_key, victim.max_key)
+        ]
+        keep = [t for t in below if t not in overlapping]
+        sources = [victim.iter_entries(self.ftl)] + [
+            t.iter_entries(self.ftl) for t in overlapping
+        ]
+        merged = merge_entries(sources)
+        if self.lowest_populated_level() <= level + 1:
+            merged = drop_tombstones(merged)
+        new_tables = self._build_tables(merged)
+        self.levels[level] = self.levels[level][1:]
+        self.levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
+        victim.release(self.ftl, self.space)
+        for t in overlapping:
+            t.release(self.ftl, self.space)
+        self.metrics.counter("compactions").add(1)

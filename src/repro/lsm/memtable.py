@@ -1,0 +1,83 @@
+"""MemTable: the in-memory head of the LSM-tree.
+
+With key-value separation the MemTable holds key → :class:`ValueAddress`
+(the value itself is already in the vLog / NAND page buffer), so a flush
+writes only index entries. Keys are kept sorted incrementally (bisect over
+a key list) because SEEK/NEXT must scan the MemTable in order alongside
+SSTables.
+
+Tombstones are entries whose address is ``None`` — they shadow older
+versions in lower levels until compaction drops them at the bottom.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator
+
+from repro.errors import LSMError
+from repro.lsm.addressing import AddressingScheme, ValueAddress
+
+#: Fixed per-entry overhead besides key bytes: encoded address (assume the
+#: fine-grained worst case rounded to bytes) + 4-byte size + 1 flag byte.
+_ENTRY_OVERHEAD_BYTES = 8 + 4 + 1
+
+
+class MemTable:
+    """Sorted key → address map with byte-size accounting for flush policy."""
+
+    def __init__(self, scheme: AddressingScheme = AddressingScheme.FINE) -> None:
+        self.scheme = scheme
+        self._entries: dict[bytes, ValueAddress | None] = {}
+        self._sorted_keys: list[bytes] = []
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def approx_bytes(self) -> int:
+        """Approximate memory footprint, drives the flush threshold."""
+        return self._approx_bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def put(self, key: bytes, addr: ValueAddress) -> None:
+        if not key:
+            raise LSMError("empty key")
+        self._insert(key, addr)
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone (shadowing any older version below)."""
+        if not key:
+            raise LSMError("empty key")
+        self._insert(key, None)
+
+    def _insert(self, key: bytes, addr: ValueAddress | None) -> None:
+        if key not in self._entries:
+            insort(self._sorted_keys, key)
+            self._approx_bytes += len(key) + _ENTRY_OVERHEAD_BYTES
+        self._entries[key] = addr
+
+    def get(self, key: bytes) -> tuple[bool, ValueAddress | None]:
+        """(found, address); found tombstones return (True, None)."""
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    def items_from(self, start_key: bytes) -> Iterator[tuple[bytes, ValueAddress | None]]:
+        """Sorted (key, address) pairs with key >= start_key."""
+        idx = bisect_left(self._sorted_keys, start_key)
+        for key in self._sorted_keys[idx:]:
+            yield key, self._entries[key]
+
+    def sorted_items(self) -> list[tuple[bytes, ValueAddress | None]]:
+        """All entries in key order (flush input)."""
+        return [(k, self._entries[k]) for k in self._sorted_keys]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sorted_keys.clear()
+        self._approx_bytes = 0

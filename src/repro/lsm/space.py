@@ -1,0 +1,48 @@
+"""Logical page space partitioning between the vLog and SSTable regions."""
+
+from __future__ import annotations
+
+from repro.errors import LSMError
+
+
+class PageSpace:
+    """A bump allocator over a [base, base+capacity) logical page range.
+
+    SSTables allocate from a :class:`PageSpace` distinct from the vLog's
+    range so value addresses and index pages never collide. Freed pages
+    are recycled (SSTables die at compaction).
+    """
+
+    def __init__(self, base_lpn: int, capacity_pages: int) -> None:
+        if base_lpn < 0:
+            raise LSMError(f"negative base LPN {base_lpn}")
+        if capacity_pages <= 0:
+            raise LSMError(f"capacity must be positive, got {capacity_pages}")
+        self.base_lpn = base_lpn
+        self.capacity_pages = capacity_pages
+        self._next = base_lpn
+        self._free: list[int] = []
+
+    @property
+    def end_lpn(self) -> int:
+        return self.base_lpn + self.capacity_pages
+
+    @property
+    def pages_in_use(self) -> int:
+        return (self._next - self.base_lpn) - len(self._free)
+
+    def alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._next >= self.end_lpn:
+            raise LSMError(
+                f"logical space exhausted ({self.capacity_pages} pages)"
+            )
+        lpn = self._next
+        self._next += 1
+        return lpn
+
+    def free(self, lpn: int) -> None:
+        if not self.base_lpn <= lpn < self._next:
+            raise LSMError(f"free of LPN {lpn} not allocated from this space")
+        self._free.append(lpn)

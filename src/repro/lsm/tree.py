@@ -1,0 +1,151 @@
+"""The LSM-tree facade the KV-SSD controller talks to.
+
+Ties together the MemTable, the leveled SSTable store and the vLog into the
+paper's "LSM-tree with Fine-Grained Value Addressing" (§3.4). PUTs insert
+key → :class:`ValueAddress`; GET resolves an address and reads the value
+back through the vLog (buffer or NAND); SEEK/NEXT expose a merged ordered
+scan for the iterator interface of the underlying KV-SSD [22].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KeyNotFoundError, LSMError
+from repro.lsm.addressing import AddressingScheme, ValueAddress
+from repro.lsm.iterators import merge_entries
+from repro.lsm.levels import LeveledStore
+from repro.lsm.memtable import MemTable
+from repro.lsm.space import PageSpace
+from repro.lsm.vlog import VLog
+from repro.nand.ftl import PageMappedFTL
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Tuning knobs for the in-device tree."""
+
+    #: MemTable flush threshold (approximate bytes of index entries).
+    memtable_flush_bytes: int = 256 * KIB
+    #: Value addressing granularity (FINE enables fine-grained packing).
+    scheme: AddressingScheme = AddressingScheme.FINE
+    l0_compaction_trigger: int = 4
+    l1_page_budget: int = 64
+    level_size_ratio: int = 10
+    max_levels: int = 6
+
+    def __post_init__(self) -> None:
+        if self.memtable_flush_bytes < 1 * KIB:
+            raise LSMError("memtable_flush_bytes unreasonably small")
+
+
+class LSMTree:
+    """Key → value-address index with key-value separation."""
+
+    def __init__(
+        self,
+        ftl: PageMappedFTL,
+        vlog: VLog,
+        sstable_space: PageSpace,
+        clock: SimClock,
+        latency: LatencyModel,
+        config: LSMConfig | None = None,
+    ) -> None:
+        self.config = config or LSMConfig()
+        self.ftl = ftl
+        self.vlog = vlog
+        self.clock = clock
+        self.latency = latency
+        self.memtable = MemTable(self.config.scheme)
+        self.store = LeveledStore(
+            ftl,
+            sstable_space,
+            self.config.scheme,
+            max_levels=self.config.max_levels,
+            l0_compaction_trigger=self.config.l0_compaction_trigger,
+            l1_page_budget=self.config.l1_page_budget,
+            level_size_ratio=self.config.level_size_ratio,
+        )
+
+    # --- write path ---------------------------------------------------------
+
+    def put(self, key: bytes, addr: ValueAddress) -> None:
+        """Index a value that packing already placed in the vLog."""
+        self.clock.advance(self.latency.memtable_insert_us)
+        self.memtable.put(key, addr)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self.clock.advance(self.latency.memtable_insert_us)
+        self.memtable.delete(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.approx_bytes >= self.config.memtable_flush_bytes:
+            self.flush_memtable()
+
+    def flush_memtable(self) -> None:
+        """Persist the MemTable as an L0 SSTable and reset it (§3.4:
+        "even though the size of MemTable increases, it remains constant
+        due to LSM-tree flushes and resets")."""
+        if self.memtable.is_empty:
+            return
+        self.store.add_flush(self.memtable.sorted_items())
+        self.memtable.clear()
+
+    # --- read path -----------------------------------------------------------
+
+    def get_address(self, key: bytes) -> ValueAddress:
+        """Resolve a key to its vLog address or raise KeyNotFoundError."""
+        found, addr = self.memtable.get(key)
+        if not found:
+            self.clock.advance(self.latency.lsm_probe_us)
+            found, addr = self.store.get(key)
+        if not found or addr is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return addr
+
+    def get(self, key: bytes) -> bytes:
+        """Full GET: index probe + vLog read."""
+        return self.vlog.read(self.get_address(key))
+
+    def exists(self, key: bytes) -> bool:
+        try:
+            self.get_address(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    # --- ordered scan (SEEK / NEXT) -------------------------------------------
+
+    def scan_from(self, start_key: bytes):
+        """Ordered (key, address) pairs with key >= start_key.
+
+        Tombstones and shadowed versions are resolved; the caller reads
+        values through the vLog as it consumes the iterator.
+        """
+        sources = [self.memtable.items_from(start_key)]
+        sources.extend(self.store.iter_sources_from(start_key))
+        for key, addr in merge_entries(sources):
+            if addr is None:
+                continue  # tombstone
+            yield key, addr
+
+    # --- stats -----------------------------------------------------------------
+
+    @property
+    def flush_count(self) -> int:
+        return self.store.metrics.counter("flushes").value
+
+    @property
+    def compaction_count(self) -> int:
+        return self.store.metrics.counter("compactions").value
+
+    def entry_addr_bits(self) -> int:
+        """Bits per index entry spent on vLog addressing (§3.4 ablation)."""
+        return self.config.scheme.entry_addr_bits(
+            self.vlog.capacity_pages, self.vlog.page_size
+        )

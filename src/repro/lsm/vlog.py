@@ -1,0 +1,115 @@
+"""The value log (vLog): a linear logical NAND page space for values.
+
+Values are appended to the vLog through the NAND page buffer (the packing
+policies in :mod:`repro.core.packing` decide *where inside* each page).
+The vLog itself owns two things:
+
+* **tail allocation** — handing out consecutive logical page numbers as
+  the buffer opens new entries, and
+* **read-through** — resolving a :class:`ValueAddress` to bytes, serving
+  from the unflushed buffer when the page has not reached NAND yet
+  (read-your-writes), else from flash via the FTL. Reads may span
+  consecutive logical pages (multi-page DMA values).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import VLogError
+from repro.lsm.addressing import ValueAddress
+from repro.nand.ftl import PageMappedFTL
+
+
+class UnflushedReader(Protocol):
+    """Interface the NAND page buffer exposes to the vLog read path."""
+
+    def unflushed_page(self, lpn: int) -> bytes | None:
+        """Current bytes of logical page ``lpn`` if it is still buffered."""
+        ...
+
+
+class _NoBuffer:
+    """Placeholder reader before the buffer is wired up."""
+
+    def unflushed_page(self, lpn: int) -> bytes | None:
+        return None
+
+
+class VLog:
+    """A [base_lpn, base_lpn + capacity_pages) slice of logical page space."""
+
+    def __init__(
+        self,
+        ftl: PageMappedFTL,
+        base_lpn: int,
+        capacity_pages: int,
+    ) -> None:
+        if base_lpn < 0:
+            raise VLogError(f"negative base LPN {base_lpn}")
+        if capacity_pages <= 0:
+            raise VLogError(f"capacity must be positive, got {capacity_pages}")
+        self.ftl = ftl
+        self.base_lpn = base_lpn
+        self.capacity_pages = capacity_pages
+        self._next_lpn = base_lpn
+        self._buffer: UnflushedReader = _NoBuffer()
+        self.page_size = ftl.flash.geometry.page_size
+
+    def attach_buffer(self, buffer: UnflushedReader) -> None:
+        """Wire the NAND page buffer in for read-your-writes."""
+        self._buffer = buffer
+
+    @property
+    def end_lpn(self) -> int:
+        return self.base_lpn + self.capacity_pages
+
+    @property
+    def pages_allocated(self) -> int:
+        return self._next_lpn - self.base_lpn
+
+    def contains(self, lpn: int) -> bool:
+        return self.base_lpn <= lpn < self.end_lpn
+
+    def alloc_page(self) -> int:
+        """Allocate the next logical page at the vLog tail."""
+        if self._next_lpn >= self.end_lpn:
+            raise VLogError(
+                f"vLog exhausted: {self.capacity_pages} pages allocated"
+            )
+        lpn = self._next_lpn
+        self._next_lpn += 1
+        return lpn
+
+    def _page_bytes(self, lpn: int) -> bytes:
+        if not self.contains(lpn):
+            raise VLogError(f"LPN {lpn} outside vLog [{self.base_lpn}, {self.end_lpn})")
+        buffered = self._buffer.unflushed_page(lpn)
+        if buffered is not None:
+            return buffered
+        return self.ftl.read(lpn)
+
+    def read(self, addr: ValueAddress) -> bytes:
+        """Fetch a value's bytes, spanning pages as needed."""
+        if addr.offset >= self.page_size:
+            raise VLogError(
+                f"address offset {addr.offset} outside page of {self.page_size}"
+            )
+        out = bytearray()
+        lpn = addr.lpn
+        offset = addr.offset
+        remaining = addr.size
+        while remaining > 0:
+            page = self._page_bytes(lpn)
+            take = min(remaining, self.page_size - offset)
+            chunk = page[offset : offset + take]
+            if len(chunk) < take:
+                raise VLogError(
+                    f"torn read at LPN {lpn}: wanted {take} bytes at "
+                    f"offset {offset}, page holds {len(page)}"
+                )
+            out += chunk
+            remaining -= take
+            lpn += 1
+            offset = 0
+        return bytes(out)

@@ -1,0 +1,166 @@
+"""vLog garbage collection (WiscKey-style), an extension beyond the paper.
+
+The paper's vLog is append-only: every overwrite or delete strands the old
+value's bytes in a flushed NAND page forever. Key-value-separated stores
+reclaim that space with a value-log compactor (WiscKey [23]; PinK ships an
+equivalent). This one works the index-scan way:
+
+1. choose a victim range: flushed logical pages from the last compaction
+   frontier up to (at most) the buffer's first still-open entry;
+2. collect the live (key, address) pairs whose values *start* in the range
+   by scanning the LSM-tree (materialized first — relocation mutates it);
+3. rewrite each surviving value at the packing policy's write pointer (a
+   device-internal memcpy, charged to the clock) and re-index it;
+4. trim every mapped page in the range so the FTL can reclaim the flash.
+
+Values may span past the range end; they are still fully relocated, and the
+pages beyond the cutoff simply keep some newly-dead bytes until their own
+turn comes.
+
+Logical-space note: relocated values consume fresh logical pages at the
+vLog tail — physical flash is reclaimed, logical page numbers are not. A
+production design would wrap the logical space; here the vLog's logical
+capacity bounds total bytes ever appended, which is ample for simulation
+runs and keeps addresses monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.packing import NandPageBuffer, PackingPolicy
+from repro.errors import VLogError
+from repro.lsm.tree import LSMTree
+from repro.sim.stats import MetricSet
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction round accomplished."""
+
+    pages_examined: int
+    values_moved: int
+    bytes_moved: int
+    pages_trimmed: int
+
+    @property
+    def did_work(self) -> bool:
+        return self.pages_examined > 0
+
+
+class VLogCompactor:
+    """Reclaims dead value bytes from the flushed head of the vLog."""
+
+    def __init__(
+        self,
+        lsm: LSMTree,
+        policy: PackingPolicy,
+        buffer: NandPageBuffer,
+    ) -> None:
+        self.lsm = lsm
+        self.policy = policy
+        self.buffer = buffer
+        self.vlog = lsm.vlog
+        self._compacted_through = self.vlog.base_lpn
+        self.metrics = MetricSet("vlog_gc")
+        self.metrics.counter("rounds")
+        self.metrics.counter("values_moved")
+        self.metrics.counter("bytes_moved")
+        self.metrics.counter("pages_trimmed")
+
+    # --- observation -------------------------------------------------------
+
+    @property
+    def compacted_through_lpn(self) -> int:
+        return self._compacted_through
+
+    def _flushed_frontier_lpn(self) -> int:
+        """First logical page that is still open in the buffer."""
+        open_lpns = [
+            self.vlog.base_lpn + index for index in self.buffer._open  # noqa: SLF001
+        ]
+        if open_lpns:
+            return min(open_lpns)
+        return self.vlog.base_lpn + self.vlog.pages_allocated
+
+    def live_bytes(self) -> int:
+        """Bytes of values currently referenced by the LSM-tree."""
+        return sum(addr.size for _, addr in self.lsm.scan_from(b""))
+
+    def dead_fraction(self) -> float:
+        """Dead share of the flushed, not-yet-compacted vLog region."""
+        frontier = self._flushed_frontier_lpn()
+        region_pages = frontier - self._compacted_through
+        if region_pages <= 0:
+            return 0.0
+        region_bytes = region_pages * self.vlog.page_size
+        live = sum(
+            addr.size
+            for _, addr in self.lsm.scan_from(b"")
+            if self._compacted_through <= addr.lpn < frontier
+        )
+        return max(0.0, 1.0 - live / region_bytes)
+
+    # --- compaction ----------------------------------------------------------
+
+    def compact(self, max_pages: int | None = None) -> CompactionReport:
+        """Run one round over up to ``max_pages`` flushed pages."""
+        start = self._compacted_through
+        frontier = self._flushed_frontier_lpn()
+        cutoff = frontier if max_pages is None else min(frontier, start + max_pages)
+        if cutoff <= start:
+            return CompactionReport(0, 0, 0, 0)
+
+        # Materialize victims before mutating the tree: relocation triggers
+        # MemTable flushes/compactions that would invalidate live iterators.
+        victims = [
+            (key, addr)
+            for key, addr in self.lsm.scan_from(b"")
+            if start <= addr.lpn < cutoff
+        ]
+
+        moved_bytes = 0
+        latency = self.lsm.latency
+        clock = self.lsm.clock
+        for key, addr in victims:
+            value = self.vlog.read(addr)  # NAND reads charged via FTL
+            placement = self.policy.place_piggyback(len(value))
+            self.buffer.write_bytes(placement.value_offset, value)
+            clock.advance(latency.memcpy_us(len(value)))
+            new_addr = self.buffer.addr_of(placement.value_offset, len(value))
+            # Guard against relocating into the range being reclaimed.
+            if new_addr.lpn < cutoff:
+                raise VLogError(
+                    f"compactor relocated into victim range: {new_addr.lpn} < {cutoff}"
+                )
+            self.lsm.put(key, new_addr)
+            self.policy.finalize_value()
+            moved_bytes += len(value)
+
+        trimmed = 0
+        for lpn in range(start, cutoff):
+            if self.vlog.ftl.is_mapped(lpn):
+                self.vlog.ftl.trim(lpn)
+                trimmed += 1
+        self._compacted_through = cutoff
+
+        self.metrics.counter("rounds").add(1)
+        self.metrics.counter("values_moved").add(len(victims))
+        self.metrics.counter("bytes_moved").add(moved_bytes)
+        self.metrics.counter("pages_trimmed").add(trimmed)
+        return CompactionReport(
+            pages_examined=cutoff - start,
+            values_moved=len(victims),
+            bytes_moved=moved_bytes,
+            pages_trimmed=trimmed,
+        )
+
+    def compact_if_needed(
+        self, dead_threshold: float = 0.5, max_pages: int | None = None
+    ) -> CompactionReport:
+        """Compact only when the dead fraction crosses ``dead_threshold``."""
+        if not 0.0 <= dead_threshold <= 1.0:
+            raise VLogError(f"dead_threshold must be in [0,1], got {dead_threshold}")
+        if self.dead_fraction() < dead_threshold:
+            return CompactionReport(0, 0, 0, 0)
+        return self.compact(max_pages=max_pages)

@@ -1,0 +1,16 @@
+"""Memory substrates: host page allocator, device DRAM, restricted DMA engine."""
+
+from repro.memory.cache import PageCache
+from repro.memory.device import DeviceDRAM, DRAMRegion
+from repro.memory.dma import DMAEngine
+from repro.memory.host import HostBuffer, HostMemory, HostPage
+
+__all__ = [
+    "PageCache",
+    "DeviceDRAM",
+    "DRAMRegion",
+    "DMAEngine",
+    "HostBuffer",
+    "HostMemory",
+    "HostPage",
+]

@@ -1,0 +1,72 @@
+"""An LRU read cache over NAND pages (device DRAM).
+
+Real SSD firmware keeps recently read flash pages in DRAM; the paper's
+evaluation is write-only so it never shows, but the read path cares — and
+it interacts with BandSlim's packing in an interesting way: densely packed
+values share pages, so sequential GETs (range scans) hit the same cached
+page over and over, while the Block layout's one-value-per-4 KiB-slot
+spreads the same data across 4× the pages. `bench_ablation_scan.py`
+measures exactly that synergy.
+
+Disabled by default (`read_cache_pages = 0`) so every paper-figure bench
+runs with the paper's memoryless read path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import DeviceMemoryError
+
+
+class PageCache:
+    """LRU cache of logical-page contents with hit/miss accounting."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise DeviceMemoryError(
+                f"cache capacity must be >= 1 page, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, lpn: int) -> bytes | None:
+        """Look up a page; refreshes LRU position on hit."""
+        data = self._pages.get(lpn)
+        if data is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(lpn)
+        self.hits += 1
+        return data
+
+    def put(self, lpn: int, data: bytes) -> None:
+        """Insert/refresh a page, evicting the LRU page when full."""
+        if lpn in self._pages:
+            self._pages.move_to_end(lpn)
+            self._pages[lpn] = data
+            return
+        if len(self._pages) >= self.capacity_pages:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+        self._pages[lpn] = data
+
+    def invalidate(self, lpn: int) -> None:
+        """Drop a page (its logical content changed or was trimmed)."""
+        if self._pages.pop(lpn, None) is not None:
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._pages.clear()

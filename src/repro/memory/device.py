@@ -1,0 +1,115 @@
+"""Device DRAM: the battery-backed memory holding the NAND page buffer.
+
+The Cosmos+ device exposes one flat DRAM space to firmware; the NAND page
+buffer, the DMA Log Table and scratch areas are carved out of it as regions.
+We model the DRAM as a single bounds-checked bytearray and regions as
+(base, size) windows onto it, so every byte the packing policies touch is a
+real byte that later gets programmed to simulated NAND and read back by GET.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceMemoryError
+
+
+class DeviceDRAM:
+    """Flat, bounds-checked device memory."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise DeviceMemoryError(f"DRAM size must be positive, got {size}")
+        self._data = bytearray(size)
+        self.size = size
+        self._next_region_base = 0
+        #: Total bytes moved by firmware memcpy, for Fig 12(d) accounting.
+        self.memcpy_bytes_total = 0
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise DeviceMemoryError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside DRAM of "
+                f"size {self.size:#x}"
+            )
+
+    def write(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, nbytes)
+        return bytes(self._data[addr : addr + nbytes])
+
+    def memcpy(self, dst: int, src: int, nbytes: int) -> None:
+        """Firmware-core copy inside DRAM (the cost All-Packing pays)."""
+        self._check(dst, nbytes)
+        self._check(src, nbytes)
+        self._data[dst : dst + nbytes] = self._data[src : src + nbytes]
+        self.memcpy_bytes_total += nbytes
+
+    def fill(self, addr: int, nbytes: int, byte: int = 0) -> None:
+        self._check(addr, nbytes)
+        if not 0 <= byte <= 255:
+            raise DeviceMemoryError(f"fill byte out of range: {byte}")
+        self._data[addr : addr + nbytes] = bytes([byte]) * nbytes
+
+    def carve_region(self, name: str, size: int) -> "DRAMRegion":
+        """Allocate the next ``size`` bytes as a named region."""
+        if self._next_region_base + size > self.size:
+            raise DeviceMemoryError(
+                f"region {name!r} of {size} bytes does not fit: "
+                f"{self.size - self._next_region_base} bytes left"
+            )
+        region = DRAMRegion(self, name, self._next_region_base, size)
+        self._next_region_base += size
+        return region
+
+
+class DRAMRegion:
+    """A named (base, size) window onto :class:`DeviceDRAM`.
+
+    Offsets are region-relative; ``abs_addr`` converts to DRAM-absolute
+    addresses (what DMA destinations and the write pointer use).
+    """
+
+    def __init__(self, dram: DeviceDRAM, name: str, base: int, size: int) -> None:
+        if size <= 0:
+            raise DeviceMemoryError(f"region {name!r} size must be positive")
+        self.dram = dram
+        self.name = name
+        self.base = base
+        self.size = size
+
+    def abs_addr(self, offset: int) -> int:
+        if not 0 <= offset <= self.size:
+            raise DeviceMemoryError(
+                f"offset {offset} outside region {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def rel_offset(self, abs_addr: int) -> int:
+        if not self.base <= abs_addr <= self.base + self.size:
+            raise DeviceMemoryError(
+                f"address {abs_addr:#x} outside region {self.name!r}"
+            )
+        return abs_addr - self.base
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset + len(data) > self.size:
+            raise DeviceMemoryError(
+                f"write of {len(data)} bytes at offset {offset} overruns "
+                f"region {self.name!r} ({self.size} bytes)"
+            )
+        self.dram.write(self.abs_addr(offset), data)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if offset + nbytes > self.size:
+            raise DeviceMemoryError(
+                f"read of {nbytes} bytes at offset {offset} overruns "
+                f"region {self.name!r} ({self.size} bytes)"
+            )
+        return self.dram.read(self.abs_addr(offset), nbytes)
+
+    def fill(self, offset: int, nbytes: int, byte: int = 0) -> None:
+        if offset + nbytes > self.size:
+            raise DeviceMemoryError(f"fill overruns region {self.name!r}")
+        self.dram.fill(self.abs_addr(offset), nbytes, byte)

@@ -1,0 +1,99 @@
+"""The in-device DMA engine, with its page-alignment restriction.
+
+The paper's testbed DMA engine "require[s] that the transfer size and
+destination addresses be page-aligned" (§2.5, citing the Gen-Z memory pool
+implementation [20]); device drivers are written around the same constraint.
+This restriction is the *reason* Selective/Backfill packing exist: a DMA'd
+value cannot land at an arbitrary write-pointer offset, so the controller
+must either memcpy it there (All Packing) or leave it page-aligned and work
+around it (Selective / Backfill).
+
+The engine enforces the restriction by raising :class:`DMAAlignmentError`
+on any violating request — firmware code paths that would misuse it fail
+loudly in tests rather than silently diverging from hardware behavior.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DMAAlignmentError
+from repro.memory.device import DeviceDRAM
+from repro.memory.host import HostBuffer, HostMemory
+from repro.pcie.link import PCIeLink
+from repro.units import MEM_PAGE_SIZE, is_aligned
+
+
+class DMAEngine:
+    """Moves page-unit payloads between host pages and device DRAM.
+
+    Every transfer both moves real bytes and charges the link (traffic +
+    time), so byte-accuracy and accounting can never drift apart.
+    """
+
+    def __init__(self, link: PCIeLink, dram: DeviceDRAM, host_mem: HostMemory) -> None:
+        self.link = link
+        self.dram = dram
+        self.host_mem = host_mem
+        #: Completed host→device transactions (for tests/metrics).
+        self.h2d_transfers = 0
+        self.d2h_transfers = 0
+
+    def _check_device_window(self, device_addr: int, wire_bytes: int) -> None:
+        if not is_aligned(device_addr, MEM_PAGE_SIZE):
+            raise DMAAlignmentError(
+                f"DMA destination {device_addr:#x} is not {MEM_PAGE_SIZE}-aligned"
+            )
+        if wire_bytes <= 0 or not is_aligned(wire_bytes, MEM_PAGE_SIZE):
+            raise DMAAlignmentError(
+                f"DMA size {wire_bytes} is not a positive multiple of "
+                f"{MEM_PAGE_SIZE}"
+            )
+
+    def host_to_device(self, buf: HostBuffer, device_addr: int) -> int:
+        """DMA a staged host buffer into device DRAM at ``device_addr``.
+
+        The transfer moves the buffer's full *wire* size (whole pages), not
+        just its useful length — the amplification of paper §2.3. Returns
+        wire bytes moved.
+        """
+        wire = buf.wire_bytes
+        self._check_device_window(device_addr, wire)
+        for i, page in enumerate(buf.pages):
+            self.dram.write(device_addr + i * MEM_PAGE_SIZE, bytes(page.data))
+        self.link.dma_host_to_device(wire)
+        self.h2d_transfers += 1
+        return wire
+
+    def host_to_device_scatter(self, buf: HostBuffer, page_targets: list[int]) -> int:
+        """DMA a staged buffer to per-page device destinations.
+
+        The NAND page buffer is a circular pool, so a multi-page transfer's
+        pages can land in non-contiguous DRAM slots; each 4 KiB page still
+        honors the alignment restriction individually. Charged as one link
+        transaction (one descriptor chain).
+        """
+        if len(page_targets) != len(buf.pages):
+            raise DMAAlignmentError(
+                f"{len(buf.pages)} source pages but {len(page_targets)} targets"
+            )
+        for target in page_targets:
+            if not is_aligned(target, MEM_PAGE_SIZE):
+                raise DMAAlignmentError(
+                    f"scatter DMA target {target:#x} is not page-aligned"
+                )
+        for page, target in zip(buf.pages, page_targets):
+            self.dram.write(target, bytes(page.data))
+        wire = buf.wire_bytes
+        self.link.dma_host_to_device(wire)
+        self.h2d_transfers += 1
+        return wire
+
+    def device_to_host(self, device_addr: int, buf: HostBuffer) -> int:
+        """DMA device DRAM back into a host buffer (GET path)."""
+        wire = buf.wire_bytes
+        self._check_device_window(device_addr, wire)
+        for i, page in enumerate(buf.pages):
+            chunk = self.dram.read(device_addr + i * MEM_PAGE_SIZE, MEM_PAGE_SIZE)
+            page.data[:] = chunk
+        self.link.dma_device_to_host(wire)
+        self.d2h_transfers += 1
+        return wire

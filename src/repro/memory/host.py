@@ -1,0 +1,138 @@
+"""Host memory: the 4 KiB-page world PRP lists are built from.
+
+When the key-value driver stages a value for a PRP transfer it allocates
+whole memory pages and copies the value in, page by page — exactly the
+behavior that makes a 32 B value occupy (and ship) a full 4 KiB page
+(paper §2.3, Figure 2). The allocator hands out page-aligned addresses in a
+flat simulated physical address space so PRP entries carry realistic
+pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HostMemoryError
+from repro.units import MEM_PAGE_SIZE, pages_needed
+
+
+@dataclass
+class HostPage:
+    """One pinned host memory page."""
+
+    addr: int
+    data: bytearray = field(default_factory=lambda: bytearray(MEM_PAGE_SIZE))
+
+    def __post_init__(self) -> None:
+        if self.addr % MEM_PAGE_SIZE != 0:
+            raise HostMemoryError(f"page address {self.addr:#x} not page-aligned")
+        if len(self.data) != MEM_PAGE_SIZE:
+            raise HostMemoryError(
+                f"page must be exactly {MEM_PAGE_SIZE} bytes, got {len(self.data)}"
+            )
+
+
+@dataclass
+class HostBuffer:
+    """A value staged across one or more host pages for DMA.
+
+    ``length`` is the number of *useful* bytes; the wire size of a PRP
+    transfer of this buffer is ``len(pages) * MEM_PAGE_SIZE``.
+    """
+
+    pages: list[HostPage]
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise HostMemoryError(f"negative buffer length {self.length}")
+        if pages_needed(self.length) != len(self.pages):
+            raise HostMemoryError(
+                f"{self.length} bytes needs {pages_needed(self.length)} pages, "
+                f"got {len(self.pages)}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes a page-unit DMA of this buffer moves on the link."""
+        return len(self.pages) * MEM_PAGE_SIZE
+
+    @property
+    def page_addrs(self) -> list[int]:
+        return [p.addr for p in self.pages]
+
+    def tobytes(self) -> bytes:
+        """The useful payload bytes, reassembled across pages."""
+        raw = b"".join(bytes(p.data) for p in self.pages)
+        return raw[: self.length]
+
+
+class HostMemory:
+    """Bump allocator over a simulated host physical address space.
+
+    Pages are recycled through a free list; ``allocated_pages`` exposes the
+    live count so tests can assert the driver releases staging buffers.
+    """
+
+    #: Staging buffers start high in the address space, clear of device BARs.
+    BASE_ADDR = 0x1_0000_0000
+
+    def __init__(self) -> None:
+        self._next_addr = self.BASE_ADDR
+        self._free: list[int] = []
+        self._live: dict[int, HostPage] = {}
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._live)
+
+    def alloc_page(self) -> HostPage:
+        """Allocate one zeroed page."""
+        if self._free:
+            addr = self._free.pop()
+        else:
+            addr = self._next_addr
+            self._next_addr += MEM_PAGE_SIZE
+        page = HostPage(addr)
+        self._live[addr] = page
+        return page
+
+    def free_page(self, page: HostPage) -> None:
+        if page.addr not in self._live:
+            raise HostMemoryError(f"double free of page {page.addr:#x}")
+        del self._live[page.addr]
+        self._free.append(page.addr)
+
+    def stage_value(self, value: bytes) -> HostBuffer:
+        """Copy ``value`` into freshly allocated pages (driver PUT staging).
+
+        This is the copy the kernel driver performs when pinning a user
+        buffer for DMA; the page-granular result is what PRP describes.
+        """
+        buf = HostBuffer(
+            pages=[self.alloc_page() for _ in range(pages_needed(len(value)))],
+            length=len(value),
+        )
+        for i, page in enumerate(buf.pages):
+            chunk = value[i * MEM_PAGE_SIZE : (i + 1) * MEM_PAGE_SIZE]
+            page.data[: len(chunk)] = chunk
+        return buf
+
+    def alloc_buffer(self, length: int) -> HostBuffer:
+        """Allocate an uninitialized staging buffer (GET destination)."""
+        return HostBuffer(
+            pages=[self.alloc_page() for _ in range(pages_needed(length))],
+            length=length,
+        )
+
+    def release(self, buf: HostBuffer) -> None:
+        """Return a buffer's pages to the free list."""
+        for page in buf.pages:
+            self.free_page(page)
+
+    def page_at(self, addr: int) -> HostPage:
+        """Resolve a physical page address (what the device's DMA does)."""
+        try:
+            return self._live[addr]
+        except KeyError:
+            raise HostMemoryError(f"no live page at {addr:#x}") from None

@@ -1,0 +1,14 @@
+"""NAND flash substrate: geometry, flash array, page-mapped FTL, GC."""
+
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.gc import GreedyGarbageCollector
+from repro.nand.geometry import NandGeometry, PageAddress
+
+__all__ = [
+    "NandFlash",
+    "PageMappedFTL",
+    "GreedyGarbageCollector",
+    "NandGeometry",
+    "PageAddress",
+]

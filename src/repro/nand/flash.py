@@ -1,0 +1,132 @@
+"""The NAND flash array: program / read / erase with real constraints.
+
+NAND semantics enforced here (violations raise, they never silently pass):
+
+* a page is programmed at most once between erases (:class:`ProgramError`);
+* pages within a block are programmed in ascending order;
+* reads of never-programmed pages fail (no hidden zero pages);
+* erase works on whole blocks only.
+
+Page content is stored sparsely (dict keyed by PPN) so a module with a
+realistic logical capacity costs memory proportional to the data actually
+written, not the module size. Every program/read/erase advances the
+simulated clock and bumps the counters the paper's Figures 4, 11 and 12(c)
+are built from.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NandError, ProgramError
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.sim.stats import MetricSet
+
+
+class NandFlash:
+    """A flash module with per-block program/erase bookkeeping."""
+
+    def __init__(
+        self,
+        geometry: NandGeometry,
+        clock: SimClock,
+        latency: LatencyModel,
+    ) -> None:
+        self.geometry = geometry
+        self.clock = clock
+        self.latency = latency
+        self._pages: dict[int, bytes] = {}
+        #: Next programmable page index per block (in-block program order).
+        self._next_page: dict[int, int] = {}
+        self._erase_counts: dict[int, int] = {}
+        self.metrics = MetricSet("nand")
+        # Pre-create so snapshots always include them.
+        self.metrics.counter("page_programs")
+        self.metrics.counter("page_reads")
+        self.metrics.counter("block_erases")
+        self.metrics.counter("bytes_programmed")
+
+    # --- counters exposed to benches ---------------------------------------
+
+    @property
+    def page_programs(self) -> int:
+        """NAND page write I/O count — the paper's core WAF metric."""
+        return self.metrics.counter("page_programs").value
+
+    @property
+    def page_reads(self) -> int:
+        return self.metrics.counter("page_reads").value
+
+    @property
+    def block_erases(self) -> int:
+        return self.metrics.counter("block_erases").value
+
+    @property
+    def bytes_programmed(self) -> int:
+        return self.metrics.counter("bytes_programmed").value
+
+    def erase_count(self, block_index: int) -> int:
+        return self._erase_counts.get(block_index, 0)
+
+    # --- operations ----------------------------------------------------------
+
+    def program(self, ppn: int, data: bytes) -> None:
+        """Program one page. ``data`` may be short; it is page-padded."""
+        geo = self.geometry
+        if not 0 <= ppn < geo.total_pages:
+            raise NandError(f"program PPN {ppn} outside module")
+        if len(data) > geo.page_size:
+            raise NandError(
+                f"program of {len(data)} bytes exceeds page size {geo.page_size}"
+            )
+        if ppn in self._pages:
+            raise ProgramError(f"PPN {ppn} already programmed since last erase")
+        block = geo.block_of(ppn)
+        in_block = ppn - geo.first_ppn_of_block(block)
+        expected = self._next_page.get(block, 0)
+        if in_block != expected:
+            raise ProgramError(
+                f"block {block}: pages must be programmed in order "
+                f"(expected page {expected}, got {in_block})"
+            )
+        self._next_page[block] = in_block + 1
+        if len(data) < geo.page_size:
+            data = data + b"\x00" * (geo.page_size - len(data))
+        self._pages[ppn] = bytes(data)
+        self.metrics.counter("page_programs").add(1)
+        self.metrics.counter("bytes_programmed").add(geo.page_size)
+        self.clock.advance(self.latency.nand_program_us)
+
+    def read(self, ppn: int) -> bytes:
+        """Read one programmed page (full page size)."""
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise NandError(f"read PPN {ppn} outside module")
+        try:
+            data = self._pages[ppn]
+        except KeyError:
+            raise NandError(f"read of never-programmed PPN {ppn}") from None
+        self.metrics.counter("page_reads").add(1)
+        self.clock.advance(self.latency.nand_read_us)
+        return data
+
+    def is_programmed(self, ppn: int) -> bool:
+        return ppn in self._pages
+
+    def erase_block(self, block_index: int) -> None:
+        """Erase a whole block, resetting its program pointer."""
+        geo = self.geometry
+        if not 0 <= block_index < geo.total_blocks:
+            raise NandError(f"erase of block {block_index} outside module")
+        first = geo.first_ppn_of_block(block_index)
+        for ppn in range(first, first + geo.pages_per_block):
+            self._pages.pop(ppn, None)
+        self._next_page[block_index] = 0
+        self._erase_counts[block_index] = self._erase_counts.get(block_index, 0) + 1
+        self.metrics.counter("block_erases").add(1)
+        self.clock.advance(self.latency.nand_erase_us)
+
+    def pages_programmed_in_block(self, block_index: int) -> int:
+        return self._next_page.get(block_index, 0)
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()

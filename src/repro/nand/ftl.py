@@ -1,0 +1,250 @@
+"""Page-mapped Flash Translation Layer.
+
+The vLog and the LSM-tree write *logical* NAND pages (paper §2.1: "it fills
+logical NAND pages which are mapped to physical NAND pages by the FTL").
+This FTL provides that mapping: logical page number (LPN) → physical page
+number (PPN), with out-of-place updates, per-block validity tracking for
+garbage collection, and round-robin allocation across ways so writes stripe
+over the module's channels/ways like real firmware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FTLError
+from repro.nand.flash import NandFlash
+from repro.sim.stats import MetricSet
+
+
+class PageMappedFTL:
+    """LPN→PPN mapping with validity bookkeeping and GC hooks."""
+
+    def __init__(self, flash: NandFlash, gc_reserve_blocks: int | None = None) -> None:
+        self.flash = flash
+        geo = flash.geometry
+        #: Blocks kept in reserve as GC headroom (over-provisioning).
+        self.gc_reserve_blocks = (
+            gc_reserve_blocks
+            if gc_reserve_blocks is not None
+            else max(2, geo.total_blocks // 32)
+        )
+        if self.gc_reserve_blocks >= geo.total_blocks:
+            raise FTLError(
+                f"GC reserve {self.gc_reserve_blocks} >= module blocks "
+                f"{geo.total_blocks}"
+            )
+        self._map: dict[int, int] = {}            # lpn -> ppn
+        self._reverse: dict[int, int] = {}        # ppn -> lpn
+        self._valid_per_block: dict[int, int] = {}
+        self._free_blocks: dict[int, deque[int]] = {}
+        self._active_block: dict[int, int | None] = {}
+        for way in range(geo.total_ways):
+            blocks = deque(
+                way * geo.blocks_per_way + b for b in range(geo.blocks_per_way)
+            )
+            self._free_blocks[way] = blocks
+            self._active_block[way] = None
+        self._rr_way = 0
+        self._gc = None  # set via set_gc(); optional
+        self._in_gc = False
+        self._cache = None  # set via attach_read_cache(); optional
+        self._cache_hit_us = 0.0
+        self.metrics = MetricSet("ftl")
+        self.metrics.counter("logical_writes")
+        self.metrics.counter("relocations")
+
+    # --- wiring -----------------------------------------------------------
+
+    def set_gc(self, gc) -> None:
+        """Attach a garbage collector consulted when free space runs low."""
+        self._gc = gc
+
+    # --- queries -----------------------------------------------------------
+
+    @property
+    def free_block_count(self) -> int:
+        return sum(len(q) for q in self._free_blocks.values())
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._map)
+
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self._map
+
+    def ppn_of(self, lpn: int) -> int:
+        try:
+            return self._map[lpn]
+        except KeyError:
+            raise FTLError(f"LPN {lpn} is not mapped") from None
+
+    def lpn_of(self, ppn: int) -> int | None:
+        """The LPN a physical page backs, or None if the page is invalid."""
+        return self._reverse.get(ppn)
+
+    def valid_pages_in_block(self, block_index: int) -> int:
+        return self._valid_per_block.get(block_index, 0)
+
+    # --- data path -----------------------------------------------------------
+
+    def attach_read_cache(self, cache, hit_cost_us: float = 2.0) -> None:
+        """Serve repeated reads of a logical page from device DRAM."""
+        self._cache = cache
+        self._cache_hit_us = hit_cost_us
+
+    def write(self, lpn: int, data: bytes) -> int:
+        """Write a logical page out-of-place; returns the new PPN."""
+        if lpn < 0:
+            raise FTLError(f"negative LPN {lpn}")
+        self._maybe_collect()
+        ppn = self._allocate_page()
+        self.flash.program(ppn, data)
+        self._invalidate_lpn(lpn)
+        self._map[lpn] = ppn
+        self._reverse[ppn] = lpn
+        block = self.flash.geometry.block_of(ppn)
+        self._valid_per_block[block] = self._valid_per_block.get(block, 0) + 1
+        self.metrics.counter("logical_writes").add(1)
+        if self._cache is not None:
+            self._cache.invalidate(lpn)
+        return ppn
+
+    def read(self, lpn: int) -> bytes:
+        if self._cache is not None:
+            cached = self._cache.get(lpn)
+            if cached is not None:
+                self.flash.clock.advance(self._cache_hit_us)
+                return cached
+        data = self.flash.read(self.ppn_of(lpn))
+        if self._cache is not None:
+            self._cache.put(lpn, data)
+        return data
+
+    def trim(self, lpn: int) -> None:
+        """Drop a logical page (its physical page becomes GC-reclaimable)."""
+        if lpn not in self._map:
+            raise FTLError(f"trim of unmapped LPN {lpn}")
+        self._invalidate_lpn(lpn)
+        if self._cache is not None:
+            self._cache.invalidate(lpn)
+
+    # --- internals -----------------------------------------------------------
+
+    def _invalidate_lpn(self, lpn: int) -> None:
+        old_ppn = self._map.pop(lpn, None)
+        if old_ppn is None:
+            return
+        del self._reverse[old_ppn]
+        block = self.flash.geometry.block_of(old_ppn)
+        self._valid_per_block[block] -= 1
+
+    def _allocate_page(self) -> int:
+        """Next programmable PPN, round-robin across ways."""
+        geo = self.flash.geometry
+        for _ in range(geo.total_ways):
+            way = self._rr_way
+            self._rr_way = (self._rr_way + 1) % geo.total_ways
+            active = self._active_block[way]
+            if active is not None:
+                used = self.flash.pages_programmed_in_block(active)
+                if used < geo.pages_per_block:
+                    return geo.first_ppn_of_block(active) + used
+                self._active_block[way] = None
+            if self._free_blocks[way]:
+                block = self._free_blocks[way].popleft()
+                self._active_block[way] = block
+                return geo.first_ppn_of_block(block)
+        raise FTLError("no free NAND pages in any way (GC exhausted)")
+
+    def _maybe_collect(self) -> None:
+        if self._gc is None or self._in_gc:
+            return
+        if self.free_block_count <= self.gc_reserve_blocks:
+            self._in_gc = True
+            try:
+                self._gc.collect()
+            finally:
+                self._in_gc = False
+
+    # --- wear and utilization statistics -----------------------------------------
+
+    def wear_stats(self) -> dict[str, float]:
+        """Erase-count distribution across the module (wear-leveling view)."""
+        geo = self.flash.geometry
+        counts = [self.flash.erase_count(b) for b in range(geo.total_blocks)]
+        total = sum(counts)
+        mean = total / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return {
+            "total_erases": float(total),
+            "mean_erases": mean,
+            "max_erases": float(max(counts)),
+            "min_erases": float(min(counts)),
+            "stdev_erases": variance**0.5,
+        }
+
+    def way_utilization(self) -> list[int]:
+        """Valid pages per way — round-robin striping should keep this flat."""
+        geo = self.flash.geometry
+        per_way = [0] * geo.total_ways
+        for ppn in self._reverse:
+            way_index = geo.block_of(ppn) // geo.blocks_per_way
+            per_way[way_index] += 1
+        return per_way
+
+    # --- GC support API --------------------------------------------------------
+
+    def victim_candidates(self) -> list[int]:
+        """Fully-programmed blocks, cheapest-to-collect first.
+
+        A full block still referenced as a way's "active" block is sealed
+        in practice (no free pages left), so it is a legitimate victim;
+        :meth:`relocate_block` clears the stale active pointer.
+        """
+        geo = self.flash.geometry
+        candidates = [
+            block
+            for block in range(geo.total_blocks)
+            if self.flash.pages_programmed_in_block(block) == geo.pages_per_block
+        ]
+        candidates.sort(key=lambda b: self._valid_per_block.get(b, 0))
+        return candidates
+
+    def relocate_block(self, block_index: int) -> int:
+        """Move a block's valid pages elsewhere and erase it.
+
+        Returns the number of pages relocated. The freed block rejoins its
+        way's free list.
+        """
+        geo = self.flash.geometry
+        if self.flash.pages_programmed_in_block(block_index) < geo.pages_per_block:
+            raise FTLError(f"relocating block {block_index} that is still open")
+        for way, active in self._active_block.items():
+            if active == block_index:
+                self._active_block[way] = None
+        first = geo.first_ppn_of_block(block_index)
+        moved = 0
+        for ppn in range(first, first + geo.pages_per_block):
+            lpn = self._reverse.get(ppn)
+            if lpn is None:
+                continue
+            data = self.flash.read(ppn)
+            new_ppn = self._allocate_page()
+            self.flash.program(new_ppn, data)
+            # Rewire the mapping by hand (not via write(): relocation must
+            # not re-trigger GC or count as a logical write).
+            del self._reverse[ppn]
+            self._valid_per_block[block_index] -= 1
+            self._map[lpn] = new_ppn
+            self._reverse[new_ppn] = lpn
+            new_block = geo.block_of(new_ppn)
+            self._valid_per_block[new_block] = (
+                self._valid_per_block.get(new_block, 0) + 1
+            )
+            moved += 1
+            self.metrics.counter("relocations").add(1)
+        self.flash.erase_block(block_index)
+        way = block_index // geo.blocks_per_way
+        self._free_blocks[way].append(block_index)
+        return moved

@@ -1,0 +1,124 @@
+"""NAND geometry: channels × ways × blocks × pages.
+
+The paper's platform (Table 1) is a 1 TB module with 4 channels and 8 ways
+and 16 KiB pages. The default geometry here matches the channel/way/page
+shape; capacity is configurable (benches use a smaller module since the
+workloads touch far less than 1 TB, and flash content is stored sparsely
+anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, NandError
+from repro.units import DEFAULT_NAND_PAGE_SIZE, GIB
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """Physical page coordinates."""
+
+    channel: int
+    way: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class NandGeometry:
+    """Static flash module shape; all addressing helpers live here.
+
+    Physical page numbers (PPNs) are laid out *page-major within block,
+    block-major within way, way-major within channel*, so consecutive PPNs
+    within a block are consecutive programmable pages — matching the NAND
+    constraint that pages inside a block are programmed in order.
+    """
+
+    channels: int = 4
+    ways_per_channel: int = 8
+    blocks_per_way: int = 256
+    pages_per_block: int = 256
+    page_size: int = DEFAULT_NAND_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ways_per_channel", "blocks_per_way",
+                     "pages_per_block", "page_size"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"NandGeometry.{name} must be positive")
+
+    # --- capacity -----------------------------------------------------------
+
+    @property
+    def total_ways(self) -> int:
+        return self.channels * self.ways_per_channel
+
+    @property
+    def total_blocks(self) -> int:
+        return self.total_ways * self.blocks_per_way
+
+    @property
+    def total_pages(self) -> int:
+        return self.total_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    @property
+    def block_size(self) -> int:
+        return self.pages_per_block * self.page_size
+
+    # --- addressing ---------------------------------------------------------
+
+    def ppn(self, addr: PageAddress) -> int:
+        """Flatten coordinates into a physical page number."""
+        self.validate(addr)
+        way_index = addr.channel * self.ways_per_channel + addr.way
+        block_index = way_index * self.blocks_per_way + addr.block
+        return block_index * self.pages_per_block + addr.page
+
+    def decompose(self, ppn: int) -> PageAddress:
+        """Inverse of :meth:`ppn`."""
+        if not 0 <= ppn < self.total_pages:
+            raise NandError(f"PPN {ppn} outside module of {self.total_pages} pages")
+        block_index, page = divmod(ppn, self.pages_per_block)
+        way_index, block = divmod(block_index, self.blocks_per_way)
+        channel, way = divmod(way_index, self.ways_per_channel)
+        return PageAddress(channel=channel, way=way, block=block, page=page)
+
+    def block_of(self, ppn: int) -> int:
+        """Global block index containing ``ppn``."""
+        if not 0 <= ppn < self.total_pages:
+            raise NandError(f"PPN {ppn} outside module")
+        return ppn // self.pages_per_block
+
+    def first_ppn_of_block(self, block_index: int) -> int:
+        if not 0 <= block_index < self.total_blocks:
+            raise NandError(f"block {block_index} outside module")
+        return block_index * self.pages_per_block
+
+    def validate(self, addr: PageAddress) -> None:
+        if not 0 <= addr.channel < self.channels:
+            raise NandError(f"channel {addr.channel} out of range")
+        if not 0 <= addr.way < self.ways_per_channel:
+            raise NandError(f"way {addr.way} out of range")
+        if not 0 <= addr.block < self.blocks_per_way:
+            raise NandError(f"block {addr.block} out of range")
+        if not 0 <= addr.page < self.pages_per_block:
+            raise NandError(f"page {addr.page} out of range")
+
+
+#: Table 1 shape at simulation-friendly capacity (default: 8 GiB module).
+def default_geometry(capacity_bytes: int = 8 * GIB) -> NandGeometry:
+    """Geometry with the paper's channel/way/page shape at a given capacity."""
+    base = NandGeometry()
+    per_way_bytes = capacity_bytes // base.total_ways
+    blocks_per_way = max(1, per_way_bytes // base.block_size)
+    return NandGeometry(
+        channels=base.channels,
+        ways_per_channel=base.ways_per_channel,
+        blocks_per_way=blocks_per_way,
+        pages_per_block=base.pages_per_block,
+        page_size=base.page_size,
+    )

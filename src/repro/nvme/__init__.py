@@ -1,0 +1,43 @@
+"""NVMe substrate: 64-byte commands, KV command set, queues, PRP/SGL."""
+
+from repro.nvme.command import NVMeCommand
+from repro.nvme.kv import (
+    WRITE_PIGGYBACK_CAPACITY,
+    TRANSFER_PIGGYBACK_CAPACITY,
+    build_retrieve_command,
+    build_store_command,
+    build_transfer_command,
+    build_write_command,
+    parse_retrieve_command,
+    parse_store_command,
+    parse_transfer_command,
+    parse_write_command,
+)
+from repro.nvme.opcodes import KVOpcode
+from repro.nvme.prp import PRPDescriptor, build_prp
+from repro.nvme.queue import CompletionQueue, NVMeCompletion, SubmissionQueue
+from repro.nvme.sgl import SGL_MIN_TRANSFER, SGLDescriptor, build_sgl, sgl_is_beneficial
+
+__all__ = [
+    "NVMeCommand",
+    "KVOpcode",
+    "WRITE_PIGGYBACK_CAPACITY",
+    "TRANSFER_PIGGYBACK_CAPACITY",
+    "build_store_command",
+    "build_retrieve_command",
+    "build_write_command",
+    "build_transfer_command",
+    "parse_store_command",
+    "parse_retrieve_command",
+    "parse_write_command",
+    "parse_transfer_command",
+    "PRPDescriptor",
+    "build_prp",
+    "SGLDescriptor",
+    "build_sgl",
+    "sgl_is_beneficial",
+    "SGL_MIN_TRANSFER",
+    "SubmissionQueue",
+    "CompletionQueue",
+    "NVMeCompletion",
+]

@@ -1,0 +1,263 @@
+"""NVMe admin command set: IDENTIFY and GET/SET FEATURES.
+
+The paper stresses that BandSlim "is not against the NVMe standard. It is
+more of an NVMe-compatible proposal to keep its various utilities from
+device identification to device management" (§1). This module is that
+claim, executable: the simulated device answers IDENTIFY with a real
+4096-byte controller data structure (standard fields at spec offsets, a
+BandSlim capability block in the vendor-specific area) and exposes the
+adaptive-transfer thresholds as vendor feature IDs, settable at runtime
+through ordinary admin commands.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import NVMeError
+from repro.nvme.command import NVMeCommand
+from repro.units import MEM_PAGE_SIZE
+
+#: Size of the IDENTIFY controller data structure (NVMe base spec).
+IDENTIFY_DATA_SIZE = 4096
+
+#: PCI vendor id reported by the simulated device (SK hynix, the paper's
+#: industrial collaborator).
+VENDOR_ID = 0x1C5C
+
+#: Offset of the vendor-specific area inside the identify structure.
+VENDOR_AREA_OFFSET = 3072
+
+_VENDOR_MAGIC = b"BSLM"
+
+
+class AdminOpcode(enum.IntEnum):
+    """Admin submission opcodes handled by the simulated controller."""
+
+    GET_LOG_PAGE = 0x02
+    IDENTIFY = 0x06
+    SET_FEATURES = 0x09
+    GET_FEATURES = 0x0A
+
+
+class FeatureId(enum.IntEnum):
+    """Vendor-specific feature identifiers (0xC0+ range)."""
+
+    #: α·threshold₁ decision point, bytes (piggyback ↔ PRP).
+    THRESHOLD1 = 0xC0
+    #: β·threshold₂ decision point, bytes (hybrid tail ↔ PRP).
+    THRESHOLD2 = 0xC1
+    #: α coefficient, fixed-point ×1000.
+    ALPHA_MILLI = 0xC2
+    #: β coefficient, fixed-point ×1000.
+    BETA_MILLI = 0xC3
+
+
+@dataclass(frozen=True)
+class BandSlimCapabilities:
+    """The vendor capability block advertised via IDENTIFY."""
+
+    write_piggyback_capacity: int
+    transfer_piggyback_capacity: int
+    nand_page_size: int
+    buffer_entries: int
+    dlt_capacity: int
+    transfer_mode: str
+    packing_policy: str
+    threshold1: int
+    threshold2: int
+
+
+# --- identify data structure ------------------------------------------------
+
+_SN = b"BANDSLIM-SIM-0001   "  # 20 bytes
+_MN = b"BandSlim KV-SSD behavioral simulator    "  # 40 bytes
+_FR = b"1.0.0   "  # 8 bytes
+
+
+def build_identify_data(caps: BandSlimCapabilities) -> bytes:
+    """Serialize the 4096-byte IDENTIFY controller structure."""
+    data = bytearray(IDENTIFY_DATA_SIZE)
+    struct.pack_into("<H", data, 0, VENDOR_ID)       # VID
+    struct.pack_into("<H", data, 2, VENDOR_ID)       # SSVID
+    data[4:24] = _SN
+    data[24:64] = _MN
+    data[64:72] = _FR
+    data[77] = 5  # MDTS: 2^5 * 4 KiB = 128 KiB max transfer
+    # Vendor-specific capability block.
+    pos = VENDOR_AREA_OFFSET
+    data[pos : pos + 4] = _VENDOR_MAGIC
+    mode = caps.transfer_mode.encode("ascii")[:15]
+    policy = caps.packing_policy.encode("ascii")[:15]
+    struct.pack_into(
+        "<HHIIIII15sx15sx",
+        data,
+        pos + 4,
+        caps.write_piggyback_capacity,
+        caps.transfer_piggyback_capacity,
+        caps.nand_page_size,
+        caps.buffer_entries,
+        caps.dlt_capacity,
+        caps.threshold1,
+        caps.threshold2,
+        mode,
+        policy,
+    )
+    return bytes(data)
+
+
+def parse_identify_data(data: bytes) -> BandSlimCapabilities:
+    """Host side: decode the capability block out of identify data."""
+    if len(data) < IDENTIFY_DATA_SIZE:
+        raise NVMeError(
+            f"identify data must be {IDENTIFY_DATA_SIZE} bytes, got {len(data)}"
+        )
+    pos = VENDOR_AREA_OFFSET
+    if data[pos : pos + 4] != _VENDOR_MAGIC:
+        raise NVMeError("identify data lacks the BandSlim capability block")
+    (
+        write_cap,
+        transfer_cap,
+        nand_page,
+        buffer_entries,
+        dlt_capacity,
+        threshold1,
+        threshold2,
+        mode,
+        policy,
+    ) = struct.unpack_from("<HHIIIII15sx15sx", data, pos + 4)
+    return BandSlimCapabilities(
+        write_piggyback_capacity=write_cap,
+        transfer_piggyback_capacity=transfer_cap,
+        nand_page_size=nand_page,
+        buffer_entries=buffer_entries,
+        dlt_capacity=dlt_capacity,
+        transfer_mode=mode.rstrip(b"\x00").decode("ascii"),
+        packing_policy=policy.rstrip(b"\x00").decode("ascii"),
+        threshold1=threshold1,
+        threshold2=threshold2,
+    )
+
+
+def identify_vendor_fields(data: bytes) -> dict[str, str]:
+    """Decode the standard string fields (SN/MN/FR) for display."""
+    return {
+        "vid": f"{struct.unpack_from('<H', data, 0)[0]:#06x}",
+        "serial": data[4:24].decode("ascii").strip(),
+        "model": data[24:64].decode("ascii").strip(),
+        "firmware": data[64:72].decode("ascii").strip(),
+    }
+
+
+# --- admin command builders/parsers -------------------------------------------
+
+#: CNS value selecting the controller data structure.
+CNS_CONTROLLER = 0x01
+
+#: Vendor log page id: device statistics.
+LOG_PAGE_STATS = 0xC0
+
+#: Fields of the statistics log page, in serialization order (u64 each).
+STATS_LOG_FIELDS: tuple[str, ...] = (
+    "nand_page_programs",
+    "nand_page_reads",
+    "nand_block_erases",
+    "buffer_flushes",
+    "buffer_forced_flushes",
+    "lsm_flushes",
+    "lsm_compactions",
+    "memcpy_bytes",
+    "commands_processed",
+)
+
+STATS_LOG_SIZE = MEM_PAGE_SIZE  # one page, mostly reserved
+
+
+def build_stats_log(values: dict[str, int]) -> bytes:
+    """Serialize the vendor statistics log page."""
+    data = bytearray(STATS_LOG_SIZE)
+    data[0:4] = _VENDOR_MAGIC
+    for i, field_name in enumerate(STATS_LOG_FIELDS):
+        struct.pack_into("<Q", data, 8 + i * 8, int(values.get(field_name, 0)))
+    return bytes(data)
+
+
+def parse_stats_log(data: bytes) -> dict[str, int]:
+    """Host side: decode the statistics log page."""
+    if len(data) < STATS_LOG_SIZE:
+        raise NVMeError(f"stats log must be {STATS_LOG_SIZE} bytes")
+    if data[0:4] != _VENDOR_MAGIC:
+        raise NVMeError("stats log lacks the BandSlim magic")
+    return {
+        field_name: struct.unpack_from("<Q", data, 8 + i * 8)[0]
+        for i, field_name in enumerate(STATS_LOG_FIELDS)
+    }
+
+
+def build_get_log_page_command(
+    cid: int, prp1: int, prp2: int, log_id: int = LOG_PAGE_STATS
+) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.raw[0] = int(AdminOpcode.GET_LOG_PAGE)
+    cmd.cid = cid
+    cmd.prp1 = prp1
+    cmd.prp2 = prp2
+    cmd.set_dword(10, log_id & 0xFF)
+    return cmd
+
+
+def build_identify_command(cid: int, prp1: int, prp2: int,
+                           cns: int = CNS_CONTROLLER) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.raw[0] = int(AdminOpcode.IDENTIFY)
+    cmd.cid = cid
+    cmd.prp1 = prp1
+    cmd.prp2 = prp2
+    cmd.set_dword(10, cns)
+    return cmd
+
+
+def build_set_features_command(cid: int, fid: FeatureId, value: int) -> NVMeCommand:
+    if not 0 <= value < 2**32:
+        raise NVMeError(f"feature value {value} out of 32-bit range")
+    cmd = NVMeCommand()
+    cmd.raw[0] = int(AdminOpcode.SET_FEATURES)
+    cmd.cid = cid
+    cmd.set_dword(10, int(fid))
+    cmd.set_dword(11, value)
+    return cmd
+
+
+def build_get_features_command(cid: int, fid: FeatureId) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.raw[0] = int(AdminOpcode.GET_FEATURES)
+    cmd.cid = cid
+    cmd.set_dword(10, int(fid))
+    return cmd
+
+
+@dataclass(frozen=True)
+class ParsedAdmin:
+    opcode: AdminOpcode
+    cid: int
+    cdw10: int
+    cdw11: int
+    prp1: int
+    prp2: int
+
+
+def parse_admin_command(cmd: NVMeCommand) -> ParsedAdmin:
+    try:
+        opcode = AdminOpcode(cmd.raw[0])
+    except ValueError:
+        raise NVMeError(f"unknown admin opcode {cmd.raw[0]:#x}") from None
+    return ParsedAdmin(
+        opcode=opcode,
+        cid=cmd.cid,
+        cdw10=cmd.get_dword(10),
+        cdw11=cmd.get_dword(11),
+        prp1=cmd.prp1,
+        prp2=cmd.prp2,
+    )

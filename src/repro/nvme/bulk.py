@@ -1,0 +1,97 @@
+"""Bulk PUT payload format — the host-side-batching comparator (§1).
+
+Dotori [9] and KV-CSD [27] mitigate transfer amplification by batching many
+pairs on the *host* and shipping one big payload. The paper's §1 names the
+costs: volatile host buffers risk data loss on power failure, and the
+device pays "extra overhead from unpacking them". To make that argument
+measurable, this module implements the approach: a packed payload of
+(key, value) records carried by one ``BULK_PUT`` command over ordinary PRP.
+
+Payload layout::
+
+    payload := count:u32  record*
+    record  := klen:u8  key  vlen:u32  value
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import NVMeError
+from repro.nvme.command import MAX_KEY_BYTES, NVMeCommand
+from repro.nvme.opcodes import KVOpcode
+from repro.nvme.prp import PRPDescriptor
+
+_HEADER = struct.Struct("<I")
+_VLEN = struct.Struct("<I")
+
+
+def pack_bulk_payload(pairs: list[tuple[bytes, bytes]]) -> bytes:
+    """Serialize (key, value) pairs into one bulk payload."""
+    if not pairs:
+        raise NVMeError("bulk payload needs at least one pair")
+    out = bytearray(_HEADER.pack(len(pairs)))
+    for key, value in pairs:
+        if not 0 < len(key) <= MAX_KEY_BYTES:
+            raise NVMeError(f"key length {len(key)} not in 1..{MAX_KEY_BYTES}")
+        if not value:
+            raise NVMeError("bulk payload values must be non-empty")
+        out += bytes([len(key)])
+        out += key
+        out += _VLEN.pack(len(value))
+        out += value
+    return bytes(out)
+
+
+def unpack_bulk_payload(payload: bytes) -> list[tuple[bytes, bytes]]:
+    """Device side: parse the records back out (charged per pair)."""
+    if len(payload) < _HEADER.size:
+        raise NVMeError("bulk payload shorter than its header")
+    (count,) = _HEADER.unpack_from(payload, 0)
+    pos = _HEADER.size
+    pairs: list[tuple[bytes, bytes]] = []
+    for _ in range(count):
+        if pos >= len(payload):
+            raise NVMeError("bulk payload truncated (key length)")
+        klen = payload[pos]
+        pos += 1
+        key = payload[pos : pos + klen]
+        pos += klen
+        if len(key) != klen:
+            raise NVMeError("bulk payload truncated (key)")
+        if pos + _VLEN.size > len(payload):
+            raise NVMeError("bulk payload truncated (value length)")
+        (vlen,) = _VLEN.unpack_from(payload, pos)
+        pos += _VLEN.size
+        value = payload[pos : pos + vlen]
+        pos += vlen
+        if len(value) != vlen:
+            raise NVMeError("bulk payload truncated (value)")
+        pairs.append((key, value))
+    return pairs
+
+
+def build_bulk_put_command(
+    cid: int, payload_size: int, pair_count: int, prp: PRPDescriptor, nsid: int = 1
+) -> NVMeCommand:
+    """One BULK_PUT command; the payload travels via PRP page-unit DMA."""
+    if payload_size <= 0:
+        raise NVMeError("bulk payload size must be positive")
+    if pair_count <= 0:
+        raise NVMeError("bulk pair count must be positive")
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.BULK_PUT
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.value_size = payload_size
+    cmd.set_dword(13, pair_count)
+    cmd.prp1 = prp.prp1
+    cmd.prp2 = prp.prp2
+    return cmd
+
+
+def parse_bulk_put_command(cmd: NVMeCommand) -> tuple[int, int, int, int, int]:
+    """(cid, payload_size, pair_count, prp1, prp2)."""
+    if cmd.opcode is not KVOpcode.BULK_PUT:
+        raise NVMeError(f"not a BULK_PUT command: {cmd.opcode.name}")
+    return cmd.cid, cmd.value_size, cmd.get_dword(13), cmd.prp1, cmd.prp2

@@ -1,0 +1,267 @@
+"""The 64-byte NVMe submission queue entry, encoded for real.
+
+Fidelity matters here: the whole point of BandSlim's fine-grained transfer
+is that a value can ride inside the command itself, so the simulator
+round-trips actual bytes through the actual dword layout of the paper's
+Figure 6. The controller decodes the same 64 bytes the driver encoded —
+nothing is passed "out of band".
+
+Dword map (write command, Figure 6a; standard NVMe field positions):
+
+====== ==========================================================
+dword  contents
+====== ==========================================================
+0      opcode (byte 0) | flags P/F/H (byte 1) | commandID (bytes 2–3)
+1      namespaceID
+2–3    key bytes 0–7
+4–5    metadata pointer — **piggyback bytes 0–7**
+6–7    PRP entry 1      — **piggyback bytes 8–15**
+8–9    PRP entry 2      — **piggyback bytes 16–23**
+10     valueSize
+11     keySize (byte 44) | reserved ×2 — **piggyback 24–25** | option — **26**
+12–13  reserved         — **piggyback bytes 27–34**
+14–15  key bytes 8–15
+====== ==========================================================
+
+giving the paper's 35-byte write-command piggyback capacity. The transfer
+command (Figure 6b) keeps only dword0 (opcode/CID) and dword1 (namespaceID),
+freeing dwords 2–15 = 56 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CommandFieldError
+from repro.nvme.opcodes import CommandFlags, KVOpcode
+from repro.units import NVME_COMMAND_SIZE
+
+#: Byte ranges (start, length) composing the write-command piggyback area,
+#: in canonical piggyback order. 24 + 2 + 1 + 8 = 35 bytes (paper §3.2).
+WRITE_PIGGYBACK_RANGES: tuple[tuple[int, int], ...] = (
+    (16, 24),  # dwords 4–9: metadata pointer + both PRP entries
+    (45, 2),   # dword 11: reserved bytes after keySize
+    (47, 1),   # dword 11: vendor option byte
+    (48, 8),   # dwords 12–13: reserved
+)
+
+#: Transfer command piggyback area: dwords 2–15.
+TRANSFER_PIGGYBACK_RANGE: tuple[int, int] = (8, 56)
+
+#: Maximum key the KV command format can carry (dwords 2–3 and 14–15).
+MAX_KEY_BYTES = 16
+
+
+class NVMeCommand:
+    """A 64-byte submission queue entry with typed field accessors."""
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw: bytes | bytearray | None = None) -> None:
+        if raw is None:
+            self.raw = bytearray(NVME_COMMAND_SIZE)
+        else:
+            if len(raw) != NVME_COMMAND_SIZE:
+                raise CommandFieldError(
+                    f"NVMe command must be {NVME_COMMAND_SIZE} bytes, got {len(raw)}"
+                )
+            self.raw = bytearray(raw)
+
+    # --- dword/byte primitives ---------------------------------------------
+
+    def get_dword(self, index: int) -> int:
+        if not 0 <= index < 16:
+            raise CommandFieldError(f"dword index {index} out of range")
+        return struct.unpack_from("<I", self.raw, index * 4)[0]
+
+    def set_dword(self, index: int, value: int) -> None:
+        if not 0 <= index < 16:
+            raise CommandFieldError(f"dword index {index} out of range")
+        if not 0 <= value < 2**32:
+            raise CommandFieldError(f"dword value {value:#x} out of range")
+        struct.pack_into("<I", self.raw, index * 4, value)
+
+    def get_bytes(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > NVME_COMMAND_SIZE:
+            raise CommandFieldError(f"byte range [{offset}, {offset + length}) invalid")
+        return bytes(self.raw[offset : offset + length])
+
+    def set_bytes(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > NVME_COMMAND_SIZE:
+            raise CommandFieldError(
+                f"byte range [{offset}, {offset + len(data)}) invalid"
+            )
+        self.raw[offset : offset + len(data)] = data
+
+    # --- dword0 ---------------------------------------------------------------
+
+    @property
+    def opcode(self) -> KVOpcode:
+        try:
+            return KVOpcode(self.raw[0])
+        except ValueError:
+            raise CommandFieldError(f"unknown opcode {self.raw[0]:#x}") from None
+
+    @opcode.setter
+    def opcode(self, value: KVOpcode) -> None:
+        self.raw[0] = int(value)
+
+    @property
+    def flags(self) -> CommandFlags:
+        return CommandFlags(self.raw[1])
+
+    @flags.setter
+    def flags(self, value: CommandFlags) -> None:
+        self.raw[1] = int(value)
+
+    @property
+    def cid(self) -> int:
+        return struct.unpack_from("<H", self.raw, 2)[0]
+
+    @cid.setter
+    def cid(self, value: int) -> None:
+        if not 0 <= value < 2**16:
+            raise CommandFieldError(f"commandID {value} out of range")
+        struct.pack_into("<H", self.raw, 2, value)
+
+    # --- dword1 ---------------------------------------------------------------
+
+    @property
+    def nsid(self) -> int:
+        return self.get_dword(1)
+
+    @nsid.setter
+    def nsid(self, value: int) -> None:
+        self.set_dword(1, value)
+
+    # --- key (dwords 2–3 and 14–15) --------------------------------------------
+
+    @property
+    def key_size(self) -> int:
+        return self.raw[44]
+
+    @key_size.setter
+    def key_size(self, value: int) -> None:
+        if not 0 < value <= MAX_KEY_BYTES:
+            raise CommandFieldError(
+                f"key size must be in 1..{MAX_KEY_BYTES}, got {value}"
+            )
+        self.raw[44] = value
+
+    @property
+    def key(self) -> bytes:
+        size = self.key_size
+        low = self.get_bytes(8, min(size, 8))
+        high = self.get_bytes(56, max(0, size - 8))
+        return low + high
+
+    @key.setter
+    def key(self, value: bytes) -> None:
+        if not 0 < len(value) <= MAX_KEY_BYTES:
+            raise CommandFieldError(
+                f"key must be 1..{MAX_KEY_BYTES} bytes, got {len(value)}"
+            )
+        self.set_bytes(8, b"\x00" * 8)
+        self.set_bytes(56, b"\x00" * 8)
+        self.set_bytes(8, value[:8])
+        if len(value) > 8:
+            self.set_bytes(56, value[8:])
+        self.key_size = len(value)
+
+    # --- value size (dword 10) ---------------------------------------------------
+
+    @property
+    def value_size(self) -> int:
+        return self.get_dword(10)
+
+    @value_size.setter
+    def value_size(self, value: int) -> None:
+        self.set_dword(10, value)
+
+    # --- PRP fields (dwords 6–9; only valid when not piggybacking there) ---------
+
+    @property
+    def prp1(self) -> int:
+        return struct.unpack_from("<Q", self.raw, 24)[0]
+
+    @prp1.setter
+    def prp1(self, value: int) -> None:
+        struct.pack_into("<Q", self.raw, 24, value)
+
+    @property
+    def prp2(self) -> int:
+        return struct.unpack_from("<Q", self.raw, 32)[0]
+
+    @prp2.setter
+    def prp2(self, value: int) -> None:
+        struct.pack_into("<Q", self.raw, 32, value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NVMeCommand) and self.raw == other.raw
+
+    def __repr__(self) -> str:
+        try:
+            op = self.opcode.name
+        except CommandFieldError:
+            op = f"{self.raw[0]:#x}"
+        return f"NVMeCommand(opcode={op}, cid={self.cid})"
+
+
+def write_piggyback_capacity() -> int:
+    """35 bytes: the write command's repurposable fields (paper §3.2)."""
+    return sum(length for _, length in WRITE_PIGGYBACK_RANGES)
+
+
+def transfer_piggyback_capacity() -> int:
+    """56 bytes: everything but dwords 0–1 in a transfer command."""
+    return TRANSFER_PIGGYBACK_RANGE[1]
+
+
+def pack_write_piggyback(cmd: NVMeCommand, fragment: bytes) -> None:
+    """Scatter ``fragment`` across the write command's piggyback ranges."""
+    if len(fragment) > write_piggyback_capacity():
+        raise CommandFieldError(
+            f"write piggyback fragment of {len(fragment)} bytes exceeds "
+            f"{write_piggyback_capacity()}"
+        )
+    pos = 0
+    for offset, length in WRITE_PIGGYBACK_RANGES:
+        chunk = fragment[pos : pos + length]
+        if not chunk:
+            break
+        cmd.set_bytes(offset, chunk)
+        pos += len(chunk)
+
+
+def unpack_write_piggyback(cmd: NVMeCommand, nbytes: int) -> bytes:
+    """Gather ``nbytes`` piggybacked bytes back out of a write command."""
+    if nbytes > write_piggyback_capacity():
+        raise CommandFieldError(
+            f"cannot unpack {nbytes} bytes; capacity is {write_piggyback_capacity()}"
+        )
+    out = bytearray()
+    remaining = nbytes
+    for offset, length in WRITE_PIGGYBACK_RANGES:
+        take = min(length, remaining)
+        if take == 0:
+            break
+        out += cmd.get_bytes(offset, take)
+        remaining -= take
+    return bytes(out)
+
+
+def pack_transfer_piggyback(cmd: NVMeCommand, fragment: bytes) -> None:
+    """Place ``fragment`` in a transfer command's 56-byte area."""
+    offset, capacity = TRANSFER_PIGGYBACK_RANGE
+    if len(fragment) > capacity:
+        raise CommandFieldError(
+            f"transfer fragment of {len(fragment)} bytes exceeds {capacity}"
+        )
+    cmd.set_bytes(offset, fragment)
+
+
+def unpack_transfer_piggyback(cmd: NVMeCommand, nbytes: int) -> bytes:
+    offset, capacity = TRANSFER_PIGGYBACK_RANGE
+    if nbytes > capacity:
+        raise CommandFieldError(f"cannot unpack {nbytes} bytes; capacity is {capacity}")
+    return cmd.get_bytes(offset, nbytes)

@@ -1,0 +1,103 @@
+"""Device-side iterator commands (SEEK/NEXT, after the KV-SSD of [22]).
+
+BandSlim is built on an "Iterator Interface Extended LSM-tree-based KVSSD"
+(Lee et al., SYSTOR '23 — the paper's [22]): range queries open a cursor
+*on the device* and pull batches of (key, value) pairs back, instead of the
+host issuing one GET per key. Three vendor opcodes implement it here:
+
+* ``ITER_OPEN``  — start key in the key field; CQE result = iterator id;
+* ``ITER_NEXT``  — iterator id in dword 13, a PRP buffer for the batch;
+  the device fills it with packed records and returns the count (result),
+  setting the CQE's ``result``'s high bit when the iteration is exhausted;
+* ``ITER_CLOSE`` — releases the cursor.
+
+Batch wire format (same record shape as bulk PUT)::
+
+    batch  := count:u32  record*
+    record := klen:u8  key  vlen:u32  value
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import NVMeError
+from repro.nvme.command import NVMeCommand
+from repro.nvme.opcodes import KVOpcode
+from repro.nvme.prp import PRPDescriptor
+
+_HEADER = struct.Struct("<I")
+_VLEN = struct.Struct("<I")
+
+#: High bit of the CQE result signals "no more keys".
+ITER_EXHAUSTED_FLAG = 1 << 31
+
+
+def build_iter_open_command(cid: int, start_key: bytes, nsid: int = 1) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.ITER_OPEN
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = start_key if start_key else b"\x00"
+    return cmd
+
+
+def build_iter_next_command(
+    cid: int, iterator_id: int, buffer_size: int, prp: PRPDescriptor, nsid: int = 1
+) -> NVMeCommand:
+    if buffer_size <= 0:
+        raise NVMeError("iterator batch buffer must be positive")
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.ITER_NEXT
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.set_dword(13, iterator_id)  # dword 10 carries the buffer size
+    cmd.value_size = buffer_size
+    cmd.prp1 = prp.prp1
+    cmd.prp2 = prp.prp2
+    return cmd
+
+
+def build_iter_close_command(cid: int, iterator_id: int, nsid: int = 1) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.ITER_CLOSE
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.set_dword(13, iterator_id)
+    return cmd
+
+
+def pack_batch(pairs: list[tuple[bytes, bytes]], capacity: int) -> tuple[bytes, int]:
+    """Serialize as many pairs as fit in ``capacity``; returns (blob, taken)."""
+    out = bytearray(_HEADER.size)
+    taken = 0
+    for key, value in pairs:
+        record = bytes([len(key)]) + key + _VLEN.pack(len(value)) + value
+        if len(out) + len(record) > capacity:
+            break
+        out += record
+        taken += 1
+    _HEADER.pack_into(out, 0, taken)
+    return bytes(out), taken
+
+
+def unpack_batch(blob: bytes) -> list[tuple[bytes, bytes]]:
+    """Host side: parse a batch buffer back into pairs."""
+    if len(blob) < _HEADER.size:
+        raise NVMeError("iterator batch shorter than its header")
+    (count,) = _HEADER.unpack_from(blob, 0)
+    pos = _HEADER.size
+    pairs = []
+    for _ in range(count):
+        klen = blob[pos]
+        pos += 1
+        key = blob[pos : pos + klen]
+        pos += klen
+        (vlen,) = _VLEN.unpack_from(blob, pos)
+        pos += _VLEN.size
+        value = blob[pos : pos + vlen]
+        pos += vlen
+        if len(key) != klen or len(value) != vlen:
+            raise NVMeError("iterator batch truncated")
+        pairs.append((key, value))
+    return pairs

@@ -1,0 +1,302 @@
+"""Builders and parsers for the KV command set (driver ⇄ controller ABI).
+
+The driver *builds* 64-byte commands; the controller *parses* the same
+bytes back. Tests round-trip every field through the wire format, so a
+layout mistake cannot hide behind out-of-band state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommandFieldError, NVMeError
+from repro.nvme.command import (
+    NVMeCommand,
+    pack_transfer_piggyback,
+    pack_write_piggyback,
+    transfer_piggyback_capacity,
+    unpack_transfer_piggyback,
+    unpack_write_piggyback,
+    write_piggyback_capacity,
+)
+from repro.nvme.opcodes import CommandFlags, KVOpcode
+from repro.nvme.prp import PRPDescriptor
+
+#: Public names for the two capacities (paper §3.2: 35 and 56 bytes).
+WRITE_PIGGYBACK_CAPACITY = write_piggyback_capacity()
+TRANSFER_PIGGYBACK_CAPACITY = transfer_piggyback_capacity()
+
+
+# --------------------------------------------------------------------------
+# Builders (driver side)
+# --------------------------------------------------------------------------
+
+def build_store_command(
+    cid: int,
+    key: bytes,
+    value_size: int,
+    prp: PRPDescriptor,
+    nsid: int = 1,
+) -> NVMeCommand:
+    """Baseline KV_STORE: value travels entirely via PRP page-unit DMA."""
+    if value_size <= 0:
+        raise NVMeError(f"store of non-positive value size {value_size}")
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.KV_STORE
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = key
+    cmd.value_size = value_size
+    cmd.prp1 = prp.prp1
+    cmd.prp2 = prp.prp2
+    return cmd
+
+
+def build_retrieve_command(
+    cid: int,
+    key: bytes,
+    buffer_size: int,
+    prp: PRPDescriptor,
+    nsid: int = 1,
+) -> NVMeCommand:
+    """KV_RETRIEVE: device DMAs the value into the described host pages."""
+    if buffer_size <= 0:
+        raise NVMeError(f"retrieve with non-positive buffer size {buffer_size}")
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.KV_RETRIEVE
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = key
+    cmd.value_size = buffer_size
+    cmd.prp1 = prp.prp1
+    cmd.prp2 = prp.prp2
+    return cmd
+
+
+def build_write_command(
+    cid: int,
+    key: bytes,
+    value_size: int,
+    inline: bytes = b"",
+    prp: PRPDescriptor | None = None,
+    final: bool = False,
+    nsid: int = 1,
+) -> NVMeCommand:
+    """BandSlim write command (Figure 6a).
+
+    ``inline`` rides in the 35-byte piggyback area; ``prp`` (hybrid mode)
+    describes the page-aligned head of the value. The two are mutually
+    exclusive because the piggyback area overlays the PRP fields.
+    """
+    if value_size <= 0:
+        raise NVMeError(f"write of non-positive value size {value_size}")
+    if inline and prp is not None:
+        raise NVMeError(
+            "write command cannot piggyback and carry a PRP: the piggyback "
+            "area overlays the PRP fields (Figure 6a)"
+        )
+    if len(inline) > WRITE_PIGGYBACK_CAPACITY:
+        raise CommandFieldError(
+            f"inline fragment {len(inline)} exceeds write capacity "
+            f"{WRITE_PIGGYBACK_CAPACITY}"
+        )
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.BANDSLIM_WRITE
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = key
+    cmd.value_size = value_size
+    flags = CommandFlags.NONE
+    if inline:
+        flags |= CommandFlags.PIGGYBACK
+        pack_write_piggyback(cmd, inline)
+    if prp is not None:
+        flags |= CommandFlags.HYBRID
+        cmd.prp1 = prp.prp1
+        cmd.prp2 = prp.prp2
+    if final:
+        flags |= CommandFlags.FINAL
+    cmd.flags = flags
+    return cmd
+
+
+def build_transfer_command(
+    cid: int,
+    fragment: bytes,
+    final: bool,
+    nsid: int = 1,
+) -> NVMeCommand:
+    """BandSlim transfer command (Figure 6b): 56 bytes of pure payload."""
+    if not fragment:
+        raise NVMeError("transfer command with empty fragment")
+    if len(fragment) > TRANSFER_PIGGYBACK_CAPACITY:
+        raise CommandFieldError(
+            f"fragment {len(fragment)} exceeds transfer capacity "
+            f"{TRANSFER_PIGGYBACK_CAPACITY}"
+        )
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.BANDSLIM_TRANSFER
+    cmd.cid = cid
+    cmd.nsid = nsid
+    flags = CommandFlags.PIGGYBACK
+    if final:
+        flags |= CommandFlags.FINAL
+    cmd.flags = flags
+    return_fragment_length_check(fragment)
+    pack_transfer_piggyback(cmd, fragment)
+    return cmd
+
+
+def return_fragment_length_check(fragment: bytes) -> None:
+    """Defensive check shared by transfer paths (fragment must be 1..56 B)."""
+    if not 1 <= len(fragment) <= TRANSFER_PIGGYBACK_CAPACITY:
+        raise CommandFieldError(f"bad fragment length {len(fragment)}")
+
+
+def build_delete_command(cid: int, key: bytes, nsid: int = 1) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.KV_DELETE
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = key
+    return cmd
+
+
+def build_exist_command(cid: int, key: bytes, nsid: int = 1) -> NVMeCommand:
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.KV_EXIST
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = key
+    return cmd
+
+
+def build_list_command(
+    cid: int, start_key: bytes, max_keys: int, prp: PRPDescriptor, nsid: int = 1
+) -> NVMeCommand:
+    """KV_LIST: keys >= start_key, up to max_keys, DMA'd to host pages."""
+    if max_keys <= 0:
+        raise NVMeError(f"list with non-positive max_keys {max_keys}")
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.KV_LIST
+    cmd.cid = cid
+    cmd.nsid = nsid
+    cmd.key = start_key
+    cmd.value_size = max_keys
+    cmd.prp1 = prp.prp1
+    cmd.prp2 = prp.prp2
+    return cmd
+
+
+# --------------------------------------------------------------------------
+# Parsers (controller side)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParsedStore:
+    cid: int
+    key: bytes
+    value_size: int
+    prp1: int
+    prp2: int
+
+
+@dataclass(frozen=True)
+class ParsedWrite:
+    cid: int
+    key: bytes
+    value_size: int
+    inline: bytes
+    hybrid: bool
+    final: bool
+    prp1: int
+    prp2: int
+
+    @property
+    def expected_trailing_bytes(self) -> int:
+        """Value bytes still to arrive via transfer commands."""
+        already = len(self.inline)
+        if self.hybrid:
+            # The PRP moved the page-aligned head; trailing commands carry
+            # the sub-page tail. The head size is implied by value_size:
+            # the largest page multiple strictly inside the value.
+            from repro.units import MEM_PAGE_SIZE, align_down
+
+            already += align_down(self.value_size, MEM_PAGE_SIZE)
+        return max(0, self.value_size - already)
+
+
+@dataclass(frozen=True)
+class ParsedTransfer:
+    cid: int
+    final: bool
+    #: Full 56-byte area; the controller slices the live prefix using its
+    #: per-command remaining-byte state (fragment length is not on the wire).
+    area: bytes
+
+
+@dataclass(frozen=True)
+class ParsedRetrieve:
+    cid: int
+    key: bytes
+    buffer_size: int
+    prp1: int
+    prp2: int
+
+
+def parse_store_command(cmd: NVMeCommand) -> ParsedStore:
+    if cmd.opcode is not KVOpcode.KV_STORE:
+        raise NVMeError(f"not a KV_STORE command: {cmd.opcode.name}")
+    return ParsedStore(
+        cid=cmd.cid,
+        key=cmd.key,
+        value_size=cmd.value_size,
+        prp1=cmd.prp1,
+        prp2=cmd.prp2,
+    )
+
+
+def parse_write_command(cmd: NVMeCommand) -> ParsedWrite:
+    if cmd.opcode is not KVOpcode.BANDSLIM_WRITE:
+        raise NVMeError(f"not a BANDSLIM_WRITE command: {cmd.opcode.name}")
+    flags = cmd.flags
+    hybrid = bool(flags & CommandFlags.HYBRID)
+    inline = b""
+    if flags & CommandFlags.PIGGYBACK:
+        if hybrid:
+            raise NVMeError("write command flags claim both piggyback and hybrid")
+        inline = unpack_write_piggyback(
+            cmd, min(cmd.value_size, WRITE_PIGGYBACK_CAPACITY)
+        )
+    return ParsedWrite(
+        cid=cmd.cid,
+        key=cmd.key,
+        value_size=cmd.value_size,
+        inline=inline,
+        hybrid=hybrid,
+        final=bool(flags & CommandFlags.FINAL),
+        prp1=cmd.prp1 if hybrid else 0,
+        prp2=cmd.prp2 if hybrid else 0,
+    )
+
+
+def parse_transfer_command(cmd: NVMeCommand) -> ParsedTransfer:
+    if cmd.opcode is not KVOpcode.BANDSLIM_TRANSFER:
+        raise NVMeError(f"not a BANDSLIM_TRANSFER command: {cmd.opcode.name}")
+    return ParsedTransfer(
+        cid=cmd.cid,
+        final=bool(cmd.flags & CommandFlags.FINAL),
+        area=unpack_transfer_piggyback(cmd, TRANSFER_PIGGYBACK_CAPACITY),
+    )
+
+
+def parse_retrieve_command(cmd: NVMeCommand) -> ParsedRetrieve:
+    if cmd.opcode is not KVOpcode.KV_RETRIEVE:
+        raise NVMeError(f"not a KV_RETRIEVE command: {cmd.opcode.name}")
+    return ParsedRetrieve(
+        cid=cmd.cid,
+        key=cmd.key,
+        buffer_size=cmd.value_size,
+        prp1=cmd.prp1,
+        prp2=cmd.prp2,
+    )

@@ -1,0 +1,81 @@
+"""NVMe Key-Value command set opcodes, plus BandSlim's vendor extensions.
+
+Standard opcodes follow the NVM Express Key Value Command Set Specification
+(TP 4076); BandSlim's write/transfer pair lives in the vendor-specific
+opcode range (0x80–0xFF), consistent with the paper's claim that the design
+"is not against the NVMe standard" (§1) — it repurposes reserved fields and
+vendor opcodes rather than altering the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class KVOpcode(enum.IntEnum):
+    """I/O command opcodes understood by the simulated KV-SSD."""
+
+    # --- NVMe KV command set (standard) -----------------------------------
+    #: Store a KV pair; value carried via PRP page-unit DMA (the Baseline).
+    KV_STORE = 0x01
+    #: Retrieve a value into host pages described by PRP.
+    KV_RETRIEVE = 0x02
+    #: List keys (backs the SEEK/NEXT iterator API).
+    KV_LIST = 0x06
+    #: Delete a KV pair.
+    KV_DELETE = 0x10
+    #: Existence probe.
+    KV_EXIST = 0x14
+
+    # --- BandSlim vendor extensions (§3.2, Figure 6) -----------------------
+    #: Initial write command: key + metadata + up to 35 piggybacked bytes.
+    #: May also carry a PRP for the page-unit part of a hybrid transfer.
+    BANDSLIM_WRITE = 0x81
+    #: Trailing transfer command: 56 piggybacked bytes, no key/metadata.
+    BANDSLIM_TRANSFER = 0x82
+    #: Host-side-batched bulk PUT (the Dotori/KV-CSD-style comparator the
+    #: paper argues against in §1; implemented for the ablation).
+    BULK_PUT = 0x83
+    #: Device-side iterator commands (the SEEK/NEXT interface of the
+    #: underlying iterator-extended KV-SSD [22]).
+    ITER_OPEN = 0x84
+    ITER_NEXT = 0x85
+    ITER_CLOSE = 0x86
+
+    @property
+    def is_vendor(self) -> bool:
+        return self.value >= 0x80
+
+    @property
+    def is_write_class(self) -> bool:
+        """Commands that mutate the store."""
+        return self in (
+            KVOpcode.KV_STORE,
+            KVOpcode.KV_DELETE,
+            KVOpcode.BANDSLIM_WRITE,
+            KVOpcode.BANDSLIM_TRANSFER,
+            KVOpcode.BULK_PUT,
+        )
+
+
+class CommandFlags(enum.IntFlag):
+    """Bits of the flags byte (the 'P'/'F' bits in the paper's Figure 6)."""
+
+    NONE = 0
+    #: P — the command carries piggybacked value bytes.
+    PIGGYBACK = 0x01
+    #: F — final fragment: no further transfer commands follow.
+    FINAL = 0x02
+    #: H — hybrid: this write command's PRP moves the page-aligned head of
+    #: the value; the tail arrives piggybacked in transfer commands.
+    HYBRID = 0x04
+
+
+class StatusCode(enum.IntEnum):
+    """Completion status codes (subset sufficient for the simulation)."""
+
+    SUCCESS = 0x00
+    INVALID_OPCODE = 0x01
+    INVALID_FIELD = 0x02
+    KEY_NOT_FOUND = 0x87
+    CAPACITY_EXCEEDED = 0x81

@@ -1,0 +1,115 @@
+"""Submission and completion queues with doorbell semantics.
+
+The paper's testbed submits through the NVMe passthrough, which keeps a
+single command in flight (§4.2) — but the queues themselves are real ring
+buffers with head/tail doorbells, so deeper-queue experiments (ablations)
+work without touching the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NVMeError, QueueFullError
+from repro.nvme.command import NVMeCommand
+from repro.nvme.opcodes import StatusCode
+
+
+@dataclass(frozen=True)
+class NVMeCompletion:
+    """A completion queue entry (the fields the simulation consumes)."""
+
+    cid: int
+    status: StatusCode = StatusCode.SUCCESS
+    #: Command-specific result dword (e.g. value size for EXIST/RETRIEVE).
+    result: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is StatusCode.SUCCESS
+
+
+class _Ring:
+    """Shared ring-buffer mechanics for SQ and CQ."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise NVMeError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._slots: list[object | None] = [None] * depth
+        self._head = 0  # consumer index
+        self._tail = 0  # producer index
+        self._count = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self.depth
+
+    def _push(self, item: object) -> int:
+        if self.is_full:
+            raise QueueFullError(f"queue full at depth {self.depth}")
+        slot = self._tail
+        self._slots[slot] = item
+        self._tail = (self._tail + 1) % self.depth
+        self._count += 1
+        return slot
+
+    def _pop(self) -> object:
+        if self.is_empty:
+            raise NVMeError("pop from empty queue")
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % self.depth
+        self._count -= 1
+        return item
+
+
+class SubmissionQueue(_Ring):
+    """Driver-side producer, controller-side consumer.
+
+    FIFO order is load-bearing: trailing transfer commands must be consumed
+    in submission order for fragment reassembly (paper §3.3.1 — "the driver
+    submits transfer commands to the submission queue where the write
+    command for that value was inserted, ensuring FIFO order").
+    """
+
+    def __init__(self, depth: int = 64, qid: int = 1) -> None:
+        super().__init__(depth)
+        self.qid = qid
+        self.doorbell_rings = 0
+
+    def submit(self, cmd: NVMeCommand) -> int:
+        """Enqueue a command and ring the tail doorbell; returns slot."""
+        slot = self._push(cmd)
+        self.doorbell_rings += 1
+        return slot
+
+    def fetch(self) -> NVMeCommand:
+        """Controller fetches the oldest pending command."""
+        cmd = self._pop()
+        assert isinstance(cmd, NVMeCommand)
+        return cmd
+
+
+class CompletionQueue(_Ring):
+    """Controller-side producer, driver-side consumer."""
+
+    def __init__(self, depth: int = 64, qid: int = 1) -> None:
+        super().__init__(depth)
+        self.qid = qid
+
+    def post(self, completion: NVMeCompletion) -> int:
+        return self._push(completion)
+
+    def reap(self) -> NVMeCompletion:
+        cqe = self._pop()
+        assert isinstance(cqe, NVMeCompletion)
+        return cqe

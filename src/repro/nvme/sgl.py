@@ -1,0 +1,81 @@
+"""Scatter-Gather List support, and why BandSlim does not use it.
+
+NVMe's SGL can describe byte-granular segments, which sounds like the fix
+for PRP's page-unit amplification — but the paper (§2.5) notes that SGL
+setup cost outweighs its benefit below 32 KiB, and the Linux kernel
+enforces exactly that threshold (``sgl_threshold`` in
+``drivers/nvme/host/pci.c``). We implement SGL descriptors so that the
+decision is executable: :func:`sgl_is_beneficial` is the kernel's policy,
+and the driver consults it (and, for every KV-sized value, gets "no").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NVMeError
+from repro.memory.host import HostBuffer
+from repro.units import KIB
+
+#: The Linux kernel's default ``sgl_threshold``: transfers below this use PRP.
+SGL_MIN_TRANSFER = 32 * KIB
+
+#: Size of one SGL data-block descriptor (address + length + type).
+SGL_DESCRIPTOR_SIZE = 16
+
+
+@dataclass(frozen=True)
+class SGLSegment:
+    """One byte-granular segment: (address, length)."""
+
+    addr: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise NVMeError(f"SGL segment length must be positive, got {self.length}")
+        if self.addr < 0:
+            raise NVMeError(f"SGL segment address must be non-negative")
+
+
+@dataclass(frozen=True)
+class SGLDescriptor:
+    """A (simplified, single-level) scatter-gather list."""
+
+    segments: tuple[SGLSegment, ...]
+
+    @property
+    def total_length(self) -> int:
+        return sum(seg.length for seg in self.segments)
+
+    @property
+    def descriptor_bytes(self) -> int:
+        """Bytes of descriptor metadata the device must fetch."""
+        return len(self.segments) * SGL_DESCRIPTOR_SIZE
+
+
+def build_sgl(buf: HostBuffer) -> SGLDescriptor:
+    """Describe a staged buffer with byte-exact SGL segments.
+
+    Unlike PRP, the final segment's length is the value's true remainder —
+    no page padding. Kept for protocol completeness and the threshold
+    ablation; the BandSlim driver never selects it for KV-sized values.
+    """
+    if buf.length == 0:
+        raise NVMeError("cannot build SGL for an empty buffer")
+    segments: list[SGLSegment] = []
+    remaining = buf.length
+    for page in buf.pages:
+        take = min(remaining, len(page.data))
+        segments.append(SGLSegment(addr=page.addr, length=take))
+        remaining -= take
+    if remaining != 0:
+        raise NVMeError(f"buffer pages do not cover length {buf.length}")
+    return SGLDescriptor(segments=tuple(segments))
+
+
+def sgl_is_beneficial(transfer_bytes: int, threshold: int = SGL_MIN_TRANSFER) -> bool:
+    """The kernel's ``sgl_threshold`` policy: SGL only at/above 32 KiB."""
+    if transfer_bytes < 0:
+        raise ValueError(f"transfer_bytes must be non-negative, got {transfer_bytes}")
+    return transfer_bytes >= threshold

@@ -1,0 +1,12 @@
+"""PCIe interconnect model: traffic accounting by category plus link timing."""
+
+from repro.pcie.link import PCIeLink, PCIeLinkConfig
+from repro.pcie.metrics import TrafficCategory, TrafficMeter, amplification_factor
+
+__all__ = [
+    "PCIeLink",
+    "PCIeLinkConfig",
+    "TrafficCategory",
+    "TrafficMeter",
+    "amplification_factor",
+]

@@ -1,0 +1,14 @@
+"""Simulation substrate: clock, latency model, metric collection, runner."""
+
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.sim.stats import Counter, Histogram, MetricSet, RunningStat
+
+__all__ = [
+    "SimClock",
+    "LatencyModel",
+    "Counter",
+    "Histogram",
+    "MetricSet",
+    "RunningStat",
+]

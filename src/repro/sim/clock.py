@@ -1,0 +1,84 @@
+"""Simulated wall clock.
+
+The whole device model is *event-sequential*: one NVMe passthrough command is
+in flight at a time (the paper's testbed serializes commands the same way,
+§4.2), so a single monotonically advancing clock is sufficient — no event
+queue is needed. Components charge time to the clock as they consume it;
+request latency is measured as the clock delta across a request.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in microseconds.
+
+    >>> clk = SimClock()
+    >>> clk.advance(2.5)
+    >>> clk.now_us
+    2.5
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError(f"start_us must be non-negative, got {start_us}")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_us * 1e-6
+
+    def advance(self, delta_us: float) -> float:
+        """Advance the clock by ``delta_us`` and return the new time.
+
+        Negative advances are rejected: simulated time never rewinds.
+        """
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by {delta_us} us")
+        self._now_us += delta_us
+        return self._now_us
+
+    def reset(self, start_us: float = 0.0) -> None:
+        """Reset the clock (used between bench repetitions)."""
+        if start_us < 0:
+            raise ValueError(f"start_us must be non-negative, got {start_us}")
+        self._now_us = float(start_us)
+
+    def stopwatch(self) -> "Stopwatch":
+        """Return a stopwatch anchored at the current instant."""
+        return Stopwatch(self)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_us={self._now_us!r})"
+
+
+class Stopwatch:
+    """Measures elapsed simulated time from its creation instant."""
+
+    __slots__ = ("_clock", "_start_us")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start_us = clock.now_us
+
+    @property
+    def start_us(self) -> float:
+        return self._start_us
+
+    def elapsed_us(self) -> float:
+        """Simulated microseconds since the stopwatch was created."""
+        return self._clock.now_us - self._start_us
+
+    def restart(self) -> float:
+        """Re-anchor at now; returns the lap time that just ended."""
+        lap = self.elapsed_us()
+        self._start_us = self._clock.now_us
+        return lap

@@ -1,0 +1,100 @@
+"""Side-by-side configuration comparison on identical inputs.
+
+The question downstream users actually ask — "what does BandSlim buy *my*
+workload?" — is an A/B/N comparison: same request stream, different device
+configurations, deltas on every metric. :func:`compare_configs` materializes
+the workload as a trace first, so every configuration sees byte-identical
+requests, then tabulates results with reductions relative to the first
+(baseline) column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.runner import RunResult, run_workload
+from repro.units import fmt_bytes
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Results of one workload across several configurations."""
+
+    workload: str
+    config_names: tuple[str, ...]
+    results: tuple[RunResult, ...]
+    rows: list[tuple] = field(default_factory=list, compare=False)
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results[0]
+
+    def reduction(self, metric, index: int) -> float:
+        """Fractional reduction of ``metric`` vs the baseline column."""
+        base = metric(self.baseline)
+        if base == 0:
+            return 0.0
+        return 1.0 - metric(self.results[index]) / base
+
+    def format(self) -> str:
+        """Render the comparison as an aligned table."""
+        metrics = [
+            ("avg response (us)", lambda r: f"{r.avg_response_us:.2f}"),
+            ("p99 response (us)", lambda r: f"{r.p99_response_us:.2f}"),
+            ("throughput (Kops/s)", lambda r: f"{r.throughput_kops:.1f}"),
+            ("PCIe traffic", lambda r: fmt_bytes(r.pcie_total_bytes)),
+            ("MMIO traffic", lambda r: fmt_bytes(r.mmio_bytes)),
+            ("NAND page writes", lambda r: str(r.nand_page_writes_with_flush)),
+            ("avg memcpy (us/op)", lambda r: f"{r.avg_memcpy_us:.2f}"),
+        ]
+        label_width = max(len(label) for label, _ in metrics)
+        col_width = max(12, *(len(n) for n in self.config_names)) + 2
+        lines = [f"workload: {self.workload} ({self.baseline.ops} ops)"]
+        header = " " * label_width + "".join(
+            name.rjust(col_width) for name in self.config_names
+        )
+        lines.append(header)
+        lines.append(" " * label_width + "-" * (col_width * len(self.config_names)))
+        for label, fmt in metrics:
+            cells = "".join(fmt(r).rjust(col_width) for r in self.results)
+            lines.append(label.ljust(label_width) + cells)
+        # Reduction summary vs the first configuration.
+        if len(self.results) > 1:
+            lines.append("")
+            for i, name in enumerate(self.config_names[1:], start=1):
+                traffic = self.reduction(lambda r: r.pcie_total_bytes, i)
+                nand = self.reduction(
+                    lambda r: r.nand_page_writes_with_flush, i
+                )
+                resp = self.reduction(lambda r: r.avg_response_us, i)
+                lines.append(
+                    f"{name} vs {self.config_names[0]}: "
+                    f"{traffic:+.1%} traffic, {nand:+.1%} NAND writes, "
+                    f"{resp:+.1%} response (positive = reduced)"
+                )
+        return "\n".join(lines)
+
+
+def compare_configs(
+    configs: list,
+    workload,
+    latency=None,
+    **run_kwargs,
+) -> Comparison:
+    """Run ``workload`` through each configuration on identical inputs."""
+    if len(configs) < 1:
+        raise ConfigError("need at least one configuration to compare")
+    trace = Trace.record(workload)
+    names = []
+    results = []
+    for config in configs:
+        result = run_workload(config, trace, latency=latency, **run_kwargs)
+        names.append(result.config_name)
+        results.append(result)
+    return Comparison(
+        workload=trace.name,
+        config_names=tuple(names),
+        results=tuple(results),
+    )

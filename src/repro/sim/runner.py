@@ -1,0 +1,148 @@
+"""The experiment runner: one workload through one device configuration.
+
+Every figure in the paper reduces to "run workload W against configuration
+C and report some subset of {response time, throughput, PCIe traffic, MMIO
+traffic, NAND page writes, memcpy time}". :func:`run_workload` produces all
+of them in one :class:`RunResult`, so bench scripts only select and format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BandSlimConfig
+from repro.core.config import preset as config_preset
+from repro.device.kvssd import KVSSD
+from repro.errors import ConfigError
+from repro.pcie.metrics import amplification_factor
+from repro.sim.latency import LatencyModel
+from repro.workloads.generator import RequestKind, Workload
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything the paper's figures report, from one run."""
+
+    workload: str
+    config_name: str
+    ops: int
+    #: Sum of useful value bytes sent (TAF/WAF denominator).
+    value_bytes: int
+    #: Simulated time spent inside the workload (excludes final flush).
+    elapsed_us: float
+    avg_response_us: float
+    max_response_us: float
+    #: Latency distribution tails (exponential-bucket histogram estimate).
+    p50_response_us: float
+    p99_response_us: float
+    #: PCIe bytes, both directions, protocol + payload (Figs 3a/8/9a/10c).
+    pcie_total_bytes: int
+    #: Doorbell MMIO subset (Fig 10d).
+    mmio_bytes: int
+    #: NAND page programs during the workload (Figs 4a/11a/12c).
+    nand_page_writes: int
+    #: NAND page programs including the final drain of buffers.
+    nand_page_writes_with_flush: int
+    #: Mean per-op firmware memcpy time (Fig 12d).
+    avg_memcpy_us: float
+    #: Full component metric snapshot for deeper digging.
+    snapshot: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def throughput_kops(self) -> float:
+        """Operations per simulated millisecond = Kops/s (Figs 10b/12b)."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.ops / (self.elapsed_us / 1e3)
+
+    @property
+    def traffic_amplification(self) -> float:
+        """TAF: link bytes per useful value byte (Fig 3b)."""
+        return amplification_factor(self.pcie_total_bytes, self.value_bytes)
+
+    @property
+    def write_amplification(self) -> float:
+        """WAF: NAND bytes programmed per useful value byte (Fig 4b)."""
+        return amplification_factor(
+            int(self.snapshot.get("nand.bytes_programmed", 0)), self.value_bytes
+        )
+
+    def scaled_pcie_bytes(self, target_ops: int) -> float:
+        """Linear extrapolation to the paper's op count (byte metrics are
+        exactly per-op linear for fixed-distribution workloads)."""
+        return self.pcie_total_bytes * (target_ops / self.ops)
+
+    def scaled_nand_writes(self, target_ops: int) -> float:
+        return self.nand_page_writes * (target_ops / self.ops)
+
+
+def resolve_config(config: BandSlimConfig | str, **overrides) -> tuple[str, BandSlimConfig]:
+    """Accept either a preset name or a config object."""
+    if isinstance(config, str):
+        return config, config_preset(config, **overrides)
+    if isinstance(config, BandSlimConfig):
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return config.transfer_mode.value + "/" + config.packing.value, config
+    raise ConfigError(f"expected preset name or BandSlimConfig, got {type(config)}")
+
+
+def run_workload(
+    config: BandSlimConfig | str,
+    workload: Workload,
+    latency: LatencyModel | None = None,
+    device: KVSSD | None = None,
+    flush_at_end: bool = True,
+    **config_overrides,
+) -> RunResult:
+    """Drive ``workload`` through a device built from ``config``.
+
+    A fresh device is built unless one is passed in (multi-phase
+    experiments reuse a device across workloads).
+    """
+    name, cfg = resolve_config(config, **config_overrides)
+    if workload.max_value_bytes > cfg.max_value_bytes:
+        cfg = cfg.with_overrides(max_value_bytes=workload.max_value_bytes)
+    if device is None:
+        device = KVSSD.build(config=cfg, latency=latency)
+    driver = device.driver
+
+    start_us = device.clock.now_us
+    start_programs = device.flash.page_programs
+    for request in workload.requests():
+        if request.kind is RequestKind.PUT:
+            assert request.value is not None
+            driver.put(request.key, request.value)
+        elif request.kind is RequestKind.GET:
+            driver.get(request.key, max_size=workload.max_value_bytes)
+        elif request.kind is RequestKind.DELETE:
+            driver.delete(request.key)
+        else:
+            raise ConfigError(f"runner does not handle {request.kind}")
+    elapsed_us = device.clock.now_us - start_us
+    nand_during = device.flash.page_programs - start_programs
+
+    if flush_at_end:
+        driver.flush()
+    nand_total = device.flash.page_programs - start_programs
+
+    put_stat = driver.metrics.stat("put_latency_us")
+    put_hist = driver.metrics.histogram("put_latency_us")
+    memcpy_stat = device.controller.metrics.stat("memcpy_us_per_op")
+    return RunResult(
+        workload=workload.name,
+        config_name=name,
+        ops=workload.num_ops,
+        value_bytes=workload.total_value_bytes,
+        elapsed_us=elapsed_us,
+        avg_response_us=put_stat.mean,
+        max_response_us=put_stat.max,
+        p50_response_us=put_hist.percentile(50),
+        p99_response_us=put_hist.percentile(99),
+        pcie_total_bytes=device.link.meter.total_bytes,
+        mmio_bytes=device.link.meter.mmio_bytes,
+        nand_page_writes=nand_during,
+        nand_page_writes_with_flush=nand_total,
+        avg_memcpy_us=memcpy_stat.mean,
+        snapshot=device.snapshot(),
+    )

@@ -1,0 +1,281 @@
+"""Metric primitives: counters, running statistics, histograms.
+
+The evaluation section of the paper reports totals (PCIe bytes, NAND page
+programs), averages (response time, memcpy time), and rates (Kops/s). These
+primitives back all of them. ``RunningStat`` uses Welford's online algorithm
+so million-operation runs keep O(1) memory; callers that need percentiles
+opt into sample retention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """A named monotonically increasing tally (events and bytes)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def add(self, amount: int = 1) -> int:
+        """Increase the counter; negative amounts are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount}")
+        self._value += amount
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class RunningStat:
+    """Online mean/variance/min/max (Welford), O(1) memory.
+
+    >>> s = RunningStat("lat")
+    >>> for x in (1.0, 2.0, 3.0): s.record(x)
+    >>> s.mean
+    2.0
+    """
+
+    __slots__ = ("name", "_n", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        self._n += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); 0 for fewer than 2 samples."""
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else 0.0
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another stat into this one (parallel-runs aggregation)."""
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n = other._n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+            return
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat({self.name!r}, n={self._n}, mean={self.mean:.3f}, "
+            f"min={self.min:.3f}, max={self.max:.3f})"
+        )
+
+
+class Histogram:
+    """Fixed-boundary histogram with overflow bucket and percentiles.
+
+    Boundaries are upper bin edges; a sample lands in the first bin whose
+    edge is >= the sample. Percentiles are linear within the winning bin,
+    which is accurate enough for latency reporting.
+    """
+
+    __slots__ = ("name", "_edges", "_counts", "_n", "_lowest_edge")
+
+    def __init__(self, name: str, edges: Iterable[float]) -> None:
+        self.name = name
+        self._edges = sorted(float(e) for e in edges)
+        if not self._edges:
+            raise ValueError("histogram needs at least one edge")
+        if len(set(self._edges)) != len(self._edges):
+            raise ValueError("histogram edges must be distinct")
+        self._counts = [0] * (len(self._edges) + 1)  # +1 = overflow
+        self._n = 0
+        self._lowest_edge = self._edges[0]
+
+    @classmethod
+    def exponential(
+        cls, name: str, start: float = 1.0, factor: float = 2.0, count: int = 24
+    ) -> "Histogram":
+        """Histogram with geometrically spaced edges (latency-friendly)."""
+        if start <= 0 or factor <= 1 or count < 1:
+            raise ValueError("need start>0, factor>1, count>=1")
+        return cls(name, [start * factor**i for i in range(count)])
+
+    def record(self, value: float) -> None:
+        self._n += 1
+        lo, hi = 0, len(self._edges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._edges[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._counts[lo] += 1
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """(upper_edge, count) pairs; overflow reported with edge=inf."""
+        pairs = list(zip(self._edges, self._counts[:-1]))
+        pairs.append((math.inf, self._counts[-1]))
+        return pairs
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100)."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self._n == 0:
+            return 0.0
+        target = math.ceil(self._n * p / 100.0)
+        seen = 0
+        prev_edge = 0.0
+        for edge, cnt in zip(self._edges, self._counts):
+            if seen + cnt >= target:
+                if cnt == 0:
+                    return edge
+                frac = (target - seen) / cnt
+                return prev_edge + frac * (edge - prev_edge)
+            seen += cnt
+            prev_edge = edge
+        return self._edges[-1]  # overflow bucket: clamp to last edge
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self._edges) + 1)
+        self._n = 0
+
+
+class MetricSet:
+    """A namespaced registry of counters and stats for one component.
+
+    Components create their metrics up front (``meter.counter("nand.programs")``)
+    and the bench harness walks ``snapshot()`` to build report rows.
+    """
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._counters: dict[str, Counter] = {}
+        self._stats: dict[str, RunningStat] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(self._qualify(name))
+        return self._counters[name]
+
+    def stat(self, name: str) -> RunningStat:
+        """Get-or-create a running statistic."""
+        if name not in self._stats:
+            self._stats[name] = RunningStat(self._qualify(name))
+        return self._stats[name]
+
+    def histogram(self, name: str, edges: Iterable[float] | None = None) -> Histogram:
+        """Get-or-create a histogram (exponential edges by default)."""
+        if name not in self._histograms:
+            if edges is None:
+                self._histograms[name] = Histogram.exponential(self._qualify(name))
+            else:
+                self._histograms[name] = Histogram(self._qualify(name), edges)
+        return self._histograms[name]
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def stats(self) -> Iterator[RunningStat]:
+        return iter(self._stats.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat {qualified_name: value} view of everything recorded."""
+        out: dict[str, float] = {}
+        for c in self._counters.values():
+            out[c.name] = float(c.value)
+        for s in self._stats.values():
+            out[f"{s.name}.mean"] = s.mean
+            out[f"{s.name}.count"] = float(s.count)
+            out[f"{s.name}.total"] = s.total
+        for h in self._histograms.values():
+            out[f"{h.name}.p50"] = h.percentile(50)
+            out[f"{h.name}.p99"] = h.percentile(99)
+        return out
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for s in self._stats.values():
+            s.reset()
+        for h in self._histograms.values():
+            h.reset()

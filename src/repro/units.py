@@ -1,0 +1,97 @@
+"""Size units and alignment arithmetic used across the whole stack.
+
+Every component of the simulated stack (PRP construction, DMA engine,
+NAND page buffer, FTL) reasons in terms of the same three units:
+
+* the host **memory page** (4 KiB) — the PRP/DMA transfer unit,
+* the **NAND page** (16 KiB by default) — the flash program unit,
+* the **NVMe command** (64 B) — the piggybacking vehicle.
+
+Keeping the alignment helpers in one module means the 4 KiB assumption the
+paper calls out (§2.3) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Host memory page size; the PRP transfer unit (NVMe base spec).
+MEM_PAGE_SIZE = 4 * KIB
+
+#: NVMe submission queue entry size (NVMe base spec §4.2).
+NVME_COMMAND_SIZE = 64
+
+#: Default NAND page size used by the Cosmos+ OpenSSD module (paper §2.3).
+DEFAULT_NAND_PAGE_SIZE = 16 * KIB
+
+#: Doorbell register write size (one 32-bit MMIO store).
+DOORBELL_WRITE_SIZE = 4
+
+#: Completion queue entry size (NVMe base spec §4.6).
+NVME_COMPLETION_SIZE = 16
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return -(-value // alignment) * alignment
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value % alignment == 0
+
+
+def pages_needed(nbytes: int, page_size: int = MEM_PAGE_SIZE) -> int:
+    """Number of whole pages required to hold ``nbytes`` bytes.
+
+    This is the quantity the paper's Traffic Amplification Factor is built
+    on: a 32 B value still needs one whole 4 KiB page on the wire (§2.4).
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if nbytes == 0:
+        return 0
+    return -(-nbytes // page_size)
+
+
+def split_sizes(total: int, chunk: int) -> list[int]:
+    """Split ``total`` bytes into ``chunk``-sized pieces, last one short.
+
+    ``split_sizes(130, 56) == [56, 56, 18]`` — exactly how a piggybacked
+    value fans out over trailing transfer commands (§3.2).
+    """
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    out = [chunk] * (total // chunk)
+    rem = total % chunk
+    if rem:
+        out.append(rem)
+    return out
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (``"1.5 GB"``), for bench report rows."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,40 @@
+"""db_bench-style workload generation (paper §4.1)."""
+
+from repro.workloads.distributions import (
+    FixedSize,
+    MixGraphSizes,
+    TwoPointSizes,
+    UniformChoiceSizes,
+    ValueSizeDistribution,
+)
+from repro.workloads.generator import KeySequence, Request, RequestKind, Workload
+from repro.workloads.trace import Trace
+from repro.workloads.workloads import (
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_m,
+    workload_mixed,
+    PAPER_WORKLOADS,
+)
+
+__all__ = [
+    "ValueSizeDistribution",
+    "FixedSize",
+    "TwoPointSizes",
+    "UniformChoiceSizes",
+    "MixGraphSizes",
+    "KeySequence",
+    "Request",
+    "RequestKind",
+    "Workload",
+    "Trace",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "workload_d",
+    "workload_m",
+    "workload_mixed",
+    "PAPER_WORKLOADS",
+]

@@ -1,0 +1,79 @@
+"""A db_bench-flavored frontend (paper §4.1 uses a modified db_bench).
+
+Maps db_bench benchmark names onto this package's workload factories and
+runs them against a simulated device, printing a db_bench-style report.
+Used by the examples; benches use :mod:`repro.sim.runner` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import BandSlimConfig
+from repro.errors import WorkloadError
+from repro.sim.latency import LatencyModel
+from repro.sim.runner import RunResult, run_workload
+from repro.units import fmt_bytes
+from repro.workloads.distributions import FixedSize
+from repro.workloads.generator import Workload
+from repro.workloads.workloads import workload_a, workload_m
+
+
+def _fillrandom(n: int, value_size: int, seed: int) -> Workload:
+    return Workload(
+        name=f"fillrandom({value_size}B)",
+        num_ops=n,
+        size_dist=FixedSize(value_size),
+        seed=seed,
+        sequential_keys=False,
+    )
+
+
+#: db_bench benchmark name -> factory(num_ops, value_size, seed).
+_BENCHMARKS = {
+    "fillseq": lambda n, value_size, seed: workload_a(n, value_size, seed),
+    "fillrandom": _fillrandom,
+    "mixgraph": lambda n, value_size, seed: workload_m(n, seed),
+}
+
+
+@dataclass(frozen=True)
+class DBBenchReport:
+    """db_bench-style summary line data."""
+
+    benchmark: str
+    result: RunResult
+
+    def format(self) -> str:
+        r = self.result
+        micros_per_op = r.elapsed_us / r.ops
+        return (
+            f"{self.benchmark:<12} : {micros_per_op:10.3f} micros/op "
+            f"{r.throughput_kops * 1000:10.0f} ops/sec; "
+            f"pcie {fmt_bytes(r.pcie_total_bytes)}; "
+            f"nand writes {r.nand_page_writes}"
+        )
+
+
+def available_benchmarks() -> list[str]:
+    return sorted(_BENCHMARKS)
+
+
+def run_dbbench(
+    benchmark: str,
+    num_ops: int = 10_000,
+    value_size: int = 100,
+    seed: int = 0,
+    config: BandSlimConfig | str = "adaptive",
+    latency: LatencyModel | None = None,
+) -> DBBenchReport:
+    """Run one named db_bench benchmark and return its report."""
+    try:
+        factory = _BENCHMARKS[benchmark]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {benchmark!r}; available: {available_benchmarks()}"
+        ) from None
+    workload = factory(num_ops, value_size, seed)
+    result = run_workload(config, workload, latency=latency)
+    return DBBenchReport(benchmark=benchmark, result=result)

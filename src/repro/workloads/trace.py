@@ -1,0 +1,132 @@
+"""Workload trace record and replay.
+
+Research workflows want the *exact* request stream preserved — to compare
+configurations on identical inputs, to ship a failing sequence as a repro,
+or to re-run a generated workload long after the generator changed. A
+:class:`Trace` materializes any request stream and round-trips it through a
+compressed ``.npz`` file (keys, ops and payloads stored as concatenated
+byte arrays with offset indexes).
+
+A Trace quacks like a :class:`~repro.workloads.generator.Workload`, so
+``run_workload(config, Trace.load(path))`` just works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import Request, RequestKind
+
+_KIND_CODES = {kind: i for i, kind in enumerate(RequestKind)}
+_KIND_FROM_CODE = {i: kind for kind, i in _KIND_CODES.items()}
+
+#: Format version written into every trace file.
+TRACE_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A materialized, serializable request stream."""
+
+    name: str
+    _requests: list[Request]
+
+    def __post_init__(self) -> None:
+        if not self._requests:
+            raise WorkloadError("a trace must contain at least one request")
+
+    # --- construction -------------------------------------------------------
+
+    @classmethod
+    def from_requests(cls, name: str, requests: Iterable[Request]) -> "Trace":
+        return cls(name=name, _requests=list(requests))
+
+    @classmethod
+    def record(cls, workload) -> "Trace":
+        """Materialize a workload's stream (generator state frozen now)."""
+        return cls.from_requests(workload.name, workload.requests())
+
+    # --- workload protocol ---------------------------------------------------
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._requests)
+
+    @property
+    def total_value_bytes(self) -> int:
+        return sum(r.value_size for r in self._requests)
+
+    @property
+    def max_value_bytes(self) -> int:
+        return max((r.value_size for r in self._requests), default=1) or 1
+
+    def requests(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return self.requests()
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Trace)
+            and self.name == other.name
+            and self._requests == other._requests
+        )
+
+    # --- serialization ----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write a compressed trace file."""
+        kinds = np.array([_KIND_CODES[r.kind] for r in self._requests],
+                         dtype=np.uint8)
+        key_blob = b"".join(r.key for r in self._requests)
+        key_lens = np.array([len(r.key) for r in self._requests], dtype=np.uint16)
+        value_blob = b"".join(r.value or b"" for r in self._requests)
+        value_lens = np.array([r.value_size for r in self._requests],
+                              dtype=np.uint32)
+        np.savez_compressed(
+            path,
+            version=np.array([TRACE_VERSION], dtype=np.uint32),
+            name=np.frombuffer(self.name.encode("utf-8"), dtype=np.uint8),
+            kinds=kinds,
+            key_blob=np.frombuffer(key_blob, dtype=np.uint8),
+            key_lens=key_lens,
+            value_blob=np.frombuffer(value_blob, dtype=np.uint8),
+            value_lens=value_lens,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace file back into a replayable stream."""
+        with np.load(path) as data:
+            version = int(data["version"][0])
+            if version != TRACE_VERSION:
+                raise WorkloadError(
+                    f"trace version {version} unsupported (expected {TRACE_VERSION})"
+                )
+            name = bytes(data["name"].tobytes()).decode("utf-8")
+            kinds = data["kinds"]
+            key_blob = data["key_blob"].tobytes()
+            key_lens = data["key_lens"]
+            value_blob = data["value_blob"].tobytes()
+            value_lens = data["value_lens"]
+        requests: list[Request] = []
+        key_pos = 0
+        value_pos = 0
+        for code, key_len, value_len in zip(kinds, key_lens, value_lens):
+            kind = _KIND_FROM_CODE[int(code)]
+            key = key_blob[key_pos : key_pos + int(key_len)]
+            key_pos += int(key_len)
+            value = None
+            if kind is RequestKind.PUT:
+                value = value_blob[value_pos : value_pos + int(value_len)]
+            value_pos += int(value_len)
+            requests.append(Request(kind, key, value))
+        return cls(name=name, _requests=requests)

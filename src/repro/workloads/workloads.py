@@ -1,0 +1,112 @@
+"""The paper's five evaluation workloads (§4.1).
+
+* **A** — db_bench *fillseq*: sequential keys, one fixed value size.
+* **B** — 1 M random pairs, value 8 B or 2 KiB at 9:1 (small-dominant).
+* **C** — same sizes at 1:9 (large-dominant).
+* **D** — sizes {8 B … 2 KiB} in equal ratio, random order.
+* **M** — db_bench *mixgraph* All_random: ≤1 KiB values, ~70 % under 35 B.
+
+The paper issues 1 M PUTs per run (10 M for Fig 11); ``num_ops`` scales
+runs down while keeping the distributions identical — byte-count metrics
+are exactly linear in op count and latency means are distribution-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.units import KIB
+from repro.workloads.distributions import (
+    FixedSize,
+    MixGraphSizes,
+    TwoPointSizes,
+    UniformChoiceSizes,
+)
+from repro.workloads.generator import Workload
+
+#: Workload D's size set: "(8, 16, 32, 64, 128, 256, 512 bytes, 1 KB, and
+#: 2 KB) ... with each size having an equal ratio".
+WORKLOAD_D_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1 * KIB, 2 * KIB)
+
+
+def workload_a(num_ops: int, value_size: int, seed: int = 0) -> Workload:
+    """fillseq with a fixed value size (the Figs 3/4/8/9/11 sweep driver)."""
+    if value_size < 1:
+        raise WorkloadError(f"value_size must be >= 1, got {value_size}")
+    return Workload(
+        name=f"A(fillseq,{value_size}B)",
+        num_ops=num_ops,
+        size_dist=FixedSize(value_size),
+        seed=seed,
+        sequential_keys=True,
+    )
+
+
+def workload_b(num_ops: int, seed: int = 0) -> Workload:
+    """Small-dominant: 8 B vs 2 KiB at 9:1, random unique keys."""
+    return Workload(
+        name="B(8B:2K=9:1)",
+        num_ops=num_ops,
+        size_dist=TwoPointSizes(small=8, large=2 * KIB, small_fraction=0.9),
+        seed=seed,
+    )
+
+
+def workload_c(num_ops: int, seed: int = 0) -> Workload:
+    """Large-dominant: 8 B vs 2 KiB at 1:9."""
+    return Workload(
+        name="C(8B:2K=1:9)",
+        num_ops=num_ops,
+        size_dist=TwoPointSizes(small=8, large=2 * KIB, small_fraction=0.1),
+        seed=seed,
+    )
+
+
+def workload_d(num_ops: int, seed: int = 0) -> Workload:
+    """Balanced mix of 8 B … 2 KiB, equal ratio, random order."""
+    return Workload(
+        name="D(uniform 8B..2K)",
+        num_ops=num_ops,
+        size_dist=UniformChoiceSizes(WORKLOAD_D_SIZES),
+        seed=seed,
+    )
+
+
+def workload_m(num_ops: int, seed: int = 0) -> Workload:
+    """mixgraph All_random: real-world-shaped small values (§4.1)."""
+    return Workload(
+        name="M(mixgraph)",
+        num_ops=num_ops,
+        size_dist=MixGraphSizes(),
+        seed=seed,
+    )
+
+
+def workload_mixed(
+    num_ops: int,
+    read_fraction: float = 0.5,
+    seed: int = 0,
+) -> Workload:
+    """Mixed GET/PUT stream over mixgraph-sized values (extension).
+
+    The paper's evaluation is write-only; this workload exercises the full
+    read path (LSM probes, vLog/buffer reads, device→host DMA) at scale.
+    Run with NAND I/O enabled — GETs must be able to read flushed pages.
+    """
+    return Workload(
+        name=f"MIXED(r={read_fraction:.0%})",
+        num_ops=num_ops,
+        size_dist=MixGraphSizes(),
+        seed=seed,
+        read_fraction=read_fraction,
+    )
+
+
+#: name -> factory(num_ops, seed), the Fig 10/12 workload matrix.
+PAPER_WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "W(B)": workload_b,
+    "W(C)": workload_c,
+    "W(D)": workload_d,
+    "W(M)": workload_m,
+}

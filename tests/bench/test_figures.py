@@ -1,0 +1,105 @@
+"""Tests for the per-figure experiment definitions (at tiny op counts)."""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_FIGURES,
+    fig3,
+    fig8,
+    fig10,
+    fig12,
+    table1,
+    table2,
+)
+
+TINY = 40  # ops per point — structure checks only
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(ALL_FIGURES) == {
+            "table1", "table2", "fig3", "fig4", "fig8", "fig9",
+            "fig10", "fig11", "fig12",
+        }
+
+
+class TestTables:
+    def test_table1_structure(self):
+        (result,) = table1()
+        assert result.columns == ["component", "paper", "this reproduction"]
+        assert len(result.rows) == 3
+
+    def test_table2_structure(self):
+        (result,) = table2()
+        assert any("NVMe passthrough" in row[0] for row in result.rows)
+
+
+class TestFigureStructure:
+    def test_fig3_panels(self):
+        fig_a, fig_b = fig3(TINY)
+        assert fig_a.figure_id == "fig3a"
+        assert len(fig_a.rows) == 16          # 1..16 KiB
+        assert fig_b.figure_id == "fig3b"
+        assert fig_b.column("value_B") == [32, 64, 128, 256, 512, 1024]
+
+    def test_fig8_sweep_axis(self):
+        (fig,) = fig8(TINY)
+        assert fig.column("value_B")[0] == 4
+        assert fig.column("value_B")[-1] == 4096
+        assert len(fig.rows) == 11
+
+    def test_fig10_matrix(self):
+        panels = fig10(TINY)
+        assert [p.figure_id for p in panels] == [
+            "fig10a", "fig10b", "fig10c", "fig10d",
+        ]
+        for panel in panels:
+            assert panel.columns == ["config", "W(B)", "W(C)", "W(D)", "W(M)"]
+            assert [row[0] for row in panel.rows] == [
+                "baseline", "piggyback", "adaptive",
+            ]
+
+    def test_fig12_matrix(self):
+        panels = fig12(TINY)
+        for panel in panels:
+            assert [row[0] for row in panel.rows] == [
+                "block", "all", "select", "backfill",
+            ]
+
+    def test_values_numeric(self):
+        (fig,) = fig8(TINY)
+        for row in fig.rows:
+            assert all(isinstance(v, (int, float)) for v in row)
+
+    def test_notes_mention_scale(self):
+        fig_a, _ = fig3(TINY)
+        assert any("1 M ops" in note for note in fig_a.notes)
+
+
+class TestRemainingFigures:
+    def test_fig4_panels(self):
+        from repro.bench.figures import fig4
+
+        fig_a, fig_b = fig4(TINY)
+        assert fig_a.figure_id == "fig4a"
+        assert len(fig_a.rows) == 16
+        assert fig_b.figure_id == "fig4b"
+
+    def test_fig9_panels(self):
+        from repro.bench.figures import fig9
+
+        fig_a, fig_b = fig9(TINY)
+        assert fig_a.figure_id == "fig9a"
+        assert fig_b.figure_id == "fig9b"
+        assert fig_a.column("trailing_B")[0] == 4
+        assert fig_a.column("trailing_B")[-1] == 4096
+
+    def test_fig11_panels(self):
+        from repro.bench.figures import fig11
+
+        fig_a, fig_b = fig11(TINY)
+        assert fig_a.columns == [
+            "value_B", "baseline", "piggyback", "packing", "piggy+pack",
+        ]
+        assert len(fig_a.rows) == 11
+        assert fig_b.figure_id == "fig11b"

@@ -1,0 +1,79 @@
+"""Tests for bench result formatting and the ops knob."""
+
+import pytest
+
+from repro.bench.report import (
+    FigureResult,
+    OPS_ENV_VAR,
+    format_figure,
+    write_results,
+)
+from repro.bench.report import bench_ops as ops_default  # aliased: pytest would collect 'bench_*' names
+
+
+@pytest.fixture
+def fig():
+    return FigureResult(
+        figure_id="figX",
+        title="Demo",
+        columns=["size", "value"],
+        rows=[[32, 1.5], [64, 3.0]],
+        notes=["a note"],
+    )
+
+
+class TestBenchOps:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(OPS_ENV_VAR, raising=False)
+        assert ops_default(123) == 123
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(OPS_ENV_VAR, "777")
+        assert ops_default(123) == 777
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv(OPS_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            ops_default(123)
+
+
+class TestFigureResult:
+    def test_row_dicts(self, fig):
+        assert fig.row_dicts() == [
+            {"size": 32, "value": 1.5},
+            {"size": 64, "value": 3.0},
+        ]
+
+    def test_column(self, fig):
+        assert fig.column("size") == [32, 64]
+
+    def test_column_unknown_raises(self, fig):
+        with pytest.raises(ValueError):
+            fig.column("nope")
+
+
+class TestFormat:
+    def test_contains_header_rows_notes(self, fig):
+        text = format_figure(fig)
+        assert "figX: Demo" in text
+        assert "size" in text and "value" in text
+        assert "32" in text and "3.000" in text
+        assert "note: a note" in text
+
+    def test_columns_aligned(self, fig):
+        lines = format_figure(fig).splitlines()
+        header, sep = lines[1], lines[2]
+        assert len(header) == len(sep)
+
+    def test_large_numbers_thousands_separated(self):
+        f = FigureResult("f", "t", ["n"], [[1234567.0]])
+        assert "1,234,567" in format_figure(f)
+
+
+class TestWriteResults:
+    def test_writes_one_file_per_figure(self, tmp_path, fig):
+        other = FigureResult("figY", "Other", ["a"], [[1]])
+        paths = write_results([fig, other], str(tmp_path))
+        assert len(paths) == 2
+        assert (tmp_path / "figX.txt").read_text().startswith("== figX")
+        assert (tmp_path / "figY.txt").exists()

@@ -1,0 +1,77 @@
+"""Shared fixtures: clocks, latency models, small devices, tiny geometries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind, TransferMode
+from repro.device.kvssd import KVSSD
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def latency() -> LatencyModel:
+    return LatencyModel()
+
+
+@pytest.fixture
+def tiny_geometry() -> NandGeometry:
+    """A deliberately small module so GC paths are reachable in tests."""
+    return NandGeometry(
+        channels=2,
+        ways_per_channel=2,
+        blocks_per_way=8,
+        pages_per_block=8,
+        page_size=16 * KIB,
+    )
+
+
+@pytest.fixture
+def flash(tiny_geometry, clock, latency) -> NandFlash:
+    return NandFlash(tiny_geometry, clock, latency)
+
+
+@pytest.fixture
+def ftl(flash) -> PageMappedFTL:
+    return PageMappedFTL(flash, gc_reserve_blocks=2)
+
+
+def small_config(**overrides) -> BandSlimConfig:
+    """A config sized for fast tests (small pool, small NAND)."""
+    defaults = dict(
+        transfer_mode=TransferMode.ADAPTIVE,
+        packing=PackingPolicyKind.BACKFILL,
+        buffer_entries=8,
+        dlt_capacity=8,
+        scratch_bytes=256 * KIB,
+        max_value_bytes=128 * KIB,
+        nand_capacity_bytes=64 * MIB,
+        memtable_flush_bytes=16 * KIB,
+    )
+    defaults.update(overrides)
+    return BandSlimConfig(**defaults)
+
+
+@pytest.fixture
+def small_device() -> KVSSD:
+    return KVSSD.build(config=small_config())
+
+
+@pytest.fixture
+def device_factory():
+    """Factory fixture: build a small device with config overrides."""
+
+    def build(**overrides) -> KVSSD:
+        return KVSSD.build(config=small_config(**overrides))
+
+    return build

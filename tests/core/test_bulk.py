@@ -1,0 +1,113 @@
+"""Tests for bulk PUT (the §1 host-side-batching comparator) and HostBatcher."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.host.api import KVStore
+from repro.host.batcher import HostBatcher
+from repro.nvme.bulk import pack_bulk_payload, unpack_bulk_payload
+
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def store():
+    return KVStore.open(small_config())
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        pairs = [(b"k1", b"v1"), (b"key-two", b"x" * 3000), (b"k3", b"\x00\xff")]
+        assert unpack_bulk_payload(pack_bulk_payload(pairs)) == pairs
+
+    def test_empty_rejected(self):
+        with pytest.raises(NVMeError):
+            pack_bulk_payload([])
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(NVMeError):
+            pack_bulk_payload([(b"", b"v")])
+        with pytest.raises(NVMeError):
+            pack_bulk_payload([(b"x" * 17, b"v")])
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(NVMeError):
+            pack_bulk_payload([(b"k", b"")])
+
+    def test_truncated_payload_detected(self):
+        payload = pack_bulk_payload([(b"key", b"value")])
+        with pytest.raises(NVMeError):
+            unpack_bulk_payload(payload[:-2])
+
+
+class TestBulkPut:
+    def test_pairs_stored_and_readable(self, store):
+        pairs = [(f"bk{i:03d}".encode(), bytes([i]) * (i + 1)) for i in range(20)]
+        result = store.driver.bulk_put(pairs)
+        assert result.ok
+        assert result.commands == 1
+        for key, value in pairs:
+            assert store.get(key) == value
+
+    def test_one_command_regardless_of_pair_count(self, store):
+        from repro.pcie.metrics import TrafficCategory
+
+        before = store.device.link.meter.transactions_for(TrafficCategory.SQ_ENTRY)
+        store.driver.bulk_put([(f"k{i}".encode(), b"v" * 50) for i in range(30)])
+        sent = store.device.link.meter.transactions_for(
+            TrafficCategory.SQ_ENTRY
+        ) - before
+        assert sent == 1
+
+    def test_unpack_cost_charged_per_pair(self, store):
+        t0 = store.device.clock.now_us
+        store.driver.bulk_put([(f"k{i}".encode(), b"v") for i in range(10)])
+        elapsed = store.device.clock.now_us - t0
+        assert elapsed >= 10 * store.device.latency.unpack_per_pair_us
+
+    def test_values_packed_densely(self, store):
+        """Bulk values go through the packing path (KAML-style log)."""
+        store.driver.bulk_put([(f"k{i}".encode(), b"v" * 100) for i in range(10)])
+        store.flush()
+        # 1000 value bytes -> one NAND page (plus index), not ten 4K slots.
+        assert store.device.flash.page_programs <= 3
+
+
+class TestHostBatcher:
+    def test_batches_flush_at_threshold(self, store):
+        batcher = HostBatcher(store, batch_pairs=8)
+        for i in range(20):
+            batcher.put(f"k{i:02d}".encode(), b"v")
+        assert batcher.batches_sent == 2
+        assert batcher.exposure == 4
+        batcher.flush()
+        assert batcher.exposure == 0
+        assert batcher.pairs_sent == 20
+
+    def test_max_exposure_tracked(self, store):
+        batcher = HostBatcher(store, batch_pairs=16)
+        for i in range(10):
+            batcher.put(f"k{i:02d}".encode(), b"v")
+        assert batcher.max_exposure == 10
+
+    def test_power_failure_loses_acknowledged_writes(self, store):
+        """The paper's §1 warning, demonstrated: buffered-but-unsent
+        writes vanish in a host crash."""
+        batcher = HostBatcher(store, batch_pairs=100)
+        for i in range(10):
+            batcher.put(f"k{i:02d}".encode(), b"important")
+        lost = batcher.simulate_power_failure()
+        assert lost == 10
+        for i in range(10):
+            with pytest.raises(KeyNotFoundError):
+                store.get(f"k{i:02d}".encode())
+
+    def test_bandslim_has_zero_exposure_by_contrast(self, store):
+        """Per-pair fine-grained transfer acknowledges only durable writes."""
+        store.put(b"safe", b"v")
+        # Nothing host-buffered: the value is already on the device.
+        assert store.get(b"safe") == b"v"
+
+    def test_bad_batch_size_rejected(self, store):
+        with pytest.raises(NVMeError):
+            HostBatcher(store, batch_pairs=0)

@@ -1,0 +1,104 @@
+"""Tests for BandSlim configuration and the paper's presets (§4.1)."""
+
+import pytest
+
+from repro.core.config import (
+    BandSlimConfig,
+    PRESETS,
+    PackingPolicyKind,
+    TransferMode,
+    preset,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_default_config_valid(self):
+        cfg = BandSlimConfig()
+        assert cfg.transfer_mode is TransferMode.ADAPTIVE
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(threshold1=-1)
+
+    def test_rejects_nonpositive_coefficients(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(alpha=0)
+        with pytest.raises(ConfigError):
+            BandSlimConfig(beta=-1)
+
+    def test_rejects_zero_buffer_entries(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(buffer_entries=0)
+
+    def test_rejects_max_value_beyond_scratch(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(scratch_bytes=1 << 20, max_value_bytes=1 << 21)
+
+    def test_rejects_bad_vlog_fraction(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(vlog_fraction=0.99)
+
+
+class TestEffectiveThresholds:
+    def test_alpha_scales_threshold1(self):
+        """§3.2: users valuing traffic raise α to favor piggybacking."""
+        cfg = BandSlimConfig(threshold1=91, alpha=2.0)
+        assert cfg.effective_threshold1 == 182.0
+
+    def test_beta_scales_threshold2(self):
+        cfg = BandSlimConfig(threshold2=56, beta=3.0)
+        assert cfg.effective_threshold2 == 168.0
+
+    def test_unity_coefficients_identity(self):
+        cfg = BandSlimConfig(threshold1=91, threshold2=56)
+        assert cfg.effective_threshold1 == 91
+        assert cfg.effective_threshold2 == 56
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        a = BandSlimConfig()
+        b = a.with_overrides(threshold1=10)
+        assert b.threshold1 == 10
+        assert a.threshold1 != 10
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BandSlimConfig().threshold1 = 5  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_all_paper_configs_present(self):
+        expected = {
+            "baseline", "piggyback", "hybrid", "adaptive",
+            "packing", "piggy+pack", "block", "all", "select", "backfill",
+        }
+        # "integrated" is this repo's extension (§4.3 closing remark).
+        assert expected | {"integrated"} == set(PRESETS)
+
+    def test_baseline_is_prp_block(self):
+        cfg = preset("baseline")
+        assert cfg.transfer_mode is TransferMode.BASELINE
+        assert cfg.packing is PackingPolicyKind.BLOCK
+
+    def test_piggy_pack_combination(self):
+        cfg = preset("piggy+pack")
+        assert cfg.transfer_mode is TransferMode.PIGGYBACK
+        assert cfg.packing is PackingPolicyKind.ALL
+
+    def test_fig12_presets_use_adaptive_transfer(self):
+        """§4.3: "The driver transfers values using the adaptive method"."""
+        for name in ("block", "all", "select", "backfill"):
+            assert preset(name).transfer_mode is TransferMode.ADAPTIVE
+
+    def test_preset_case_insensitive(self):
+        assert preset("Baseline") == preset("baseline")
+
+    def test_preset_with_overrides(self):
+        cfg = preset("baseline", nand_io_enabled=False)
+        assert not cfg.nand_io_enabled
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            preset("warp-drive")

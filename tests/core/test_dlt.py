@@ -1,0 +1,120 @@
+"""Tests for the DMA Log Table (§3.3.3)."""
+
+import pytest
+
+from repro.core.dlt import DLTEntry, DMALogTable
+from repro.errors import PackingError
+from repro.units import KIB
+
+PAGE_16K = 16 * KIB
+
+
+def dlt(capacity=4, vlog_pages=2**26):
+    return DMALogTable(capacity=capacity, nand_page_size=PAGE_16K, vlog_pages=vlog_pages)
+
+
+class TestDLTEntry:
+    def test_valid(self):
+        e = DLTEntry(start=4096, size=2048)
+        assert e.end == 6144
+
+    def test_requires_page_aligned_start(self):
+        """DMA destinations are page-aligned by the engine restriction."""
+        with pytest.raises(PackingError):
+            DLTEntry(start=100, size=10)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(PackingError):
+            DLTEntry(start=0, size=0)
+
+
+class TestFIFO:
+    def test_oldest_is_fifo_head(self):
+        t = dlt()
+        t.push(DLTEntry(0, 100))
+        t.push(DLTEntry(4096, 100))
+        assert t.oldest().start == 0
+        t.consume_oldest()
+        assert t.oldest().start == 4096
+
+    def test_oldest_on_empty_raises(self):
+        with pytest.raises(PackingError):
+            dlt().oldest()
+
+    def test_consume_on_empty_raises(self):
+        with pytest.raises(PackingError):
+            dlt().consume_oldest()
+
+    def test_len_tracking(self):
+        t = dlt()
+        assert t.is_empty
+        t.push(DLTEntry(0, 10))
+        assert len(t) == 1
+        t.consume_oldest()
+        assert t.is_empty
+
+    def test_push_requires_placement_order(self):
+        t = dlt()
+        t.push(DLTEntry(8192, 100))
+        with pytest.raises(PackingError):
+            t.push(DLTEntry(4096, 100))
+
+    def test_wraparound(self):
+        t = dlt(capacity=2)
+        offs = [0, 4096, 8192, 12288, 16384]
+        for o in offs[:2]:
+            t.push(DLTEntry(o, 50))
+        t.consume_oldest()
+        t.push(DLTEntry(offs[2], 50))
+        assert t.oldest().start == 4096
+        assert len(t) == 2
+
+
+class TestOverflow:
+    def test_full_push_evicts_oldest(self):
+        """When full, the oldest backfill opportunity is abandoned."""
+        t = dlt(capacity=2)
+        t.push(DLTEntry(0, 10))
+        t.push(DLTEntry(4096, 10))
+        evicted = t.push(DLTEntry(8192, 10))
+        assert evicted is not None and evicted.start == 0
+        assert t.overflow_evictions == 1
+        assert len(t) == 2
+        assert t.oldest().start == 4096
+
+    def test_no_eviction_when_space(self):
+        t = dlt(capacity=2)
+        assert t.push(DLTEntry(0, 10)) is None
+
+
+class TestConsumeBelow:
+    def test_consumes_fully_passed_regions(self):
+        t = dlt()
+        t.push(DLTEntry(0, 4096))
+        t.push(DLTEntry(8192, 100))
+        consumed = t.consume_below(8192)
+        assert consumed == 1
+        assert t.oldest().start == 8192
+
+    def test_stops_at_live_region(self):
+        t = dlt()
+        t.push(DLTEntry(0, 100))
+        assert t.consume_below(50) == 0
+        assert len(t) == 1
+
+
+class TestSpaceAccounting:
+    def test_paper_bit_budget(self):
+        """§3.3.3: 1 TB/16 KiB → 26+2 bits + 4 B size; 512 entries ≈ 4 KiB."""
+        t = DMALogTable(capacity=512, nand_page_size=PAGE_16K, vlog_pages=2**26)
+        assert t.entry_bits() == 26 + 2 + 32
+        assert t.table_bytes() == (60 * 512 + 7) // 8  # 3840 B, under 4 KiB
+        assert t.table_bytes() <= 4 * KIB
+
+    def test_small_vlog_fewer_bits(self):
+        t = DMALogTable(capacity=8, nand_page_size=PAGE_16K, vlog_pages=1024)
+        assert t.entry_bits() == 10 + 2 + 32
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(PackingError):
+            DMALogTable(capacity=0, nand_page_size=PAGE_16K, vlog_pages=16)

@@ -1,0 +1,164 @@
+"""Tests for the host-side driver: plans → command sequences → results."""
+
+import pytest
+
+from repro.core.transfer import TransferMethod
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.nvme.opcodes import StatusCode
+from repro.pcie.metrics import TrafficCategory
+
+
+class TestPut:
+    def test_small_put_roundtrip(self, device_factory):
+        d = device_factory()
+        result = d.driver.put(b"k1", b"small")
+        assert result.ok
+        assert result.commands == 1
+        assert result.latency_us > 0
+
+    def test_put_command_count_matches_plan(self, small_device):
+        d = small_device
+        value = b"x" * 128  # adaptive: >91 -> PRP, 1 command
+        result = d.driver.put(b"k2", value)
+        plan = d.driver.planner.plan(128)
+        assert result.commands == plan.command_count
+
+    def test_piggyback_put_sends_trailing_commands(self, device_factory):
+        from repro.core.config import TransferMode
+
+        d = device_factory(transfer_mode=TransferMode.PIGGYBACK)
+        before = d.link.meter.transactions_for(TrafficCategory.SQ_ENTRY)
+        d.driver.put(b"k3", b"v" * 128)
+        sent = d.link.meter.transactions_for(TrafficCategory.SQ_ENTRY) - before
+        assert sent == 3  # 35 + 56 + 37
+
+    def test_empty_value_rejected(self, small_device):
+        with pytest.raises(NVMeError):
+            small_device.driver.put(b"k", b"")
+
+    def test_put_releases_staging_pages(self, small_device):
+        d = small_device
+        d.driver.put(b"k4", b"v" * 8192)  # PRP path stages pages
+        assert d.host_mem.allocated_pages == 0
+
+    def test_put_latency_recorded(self, small_device):
+        d = small_device
+        d.driver.put(b"k5", b"value")
+        assert d.driver.metrics.stat("put_latency_us").count == 1
+        assert d.driver.metrics.counter("puts").value == 1
+
+    def test_cids_wrap_without_collision_issue(self, small_device):
+        d = small_device
+        d.driver._next_cid = 2**16 - 1
+        d.driver.put(b"kw", b"x")
+        d.driver.put(b"kx", b"y")  # wrapped to 0
+        assert d.driver.get(b"kw").value == b"x"
+
+
+class TestGet:
+    def test_get_roundtrip(self, small_device):
+        d = small_device
+        d.driver.put(b"gk", b"round trip")
+        result = d.driver.get(b"gk")
+        assert result.ok
+        assert result.value == b"round trip"
+
+    def test_get_missing_raises(self, small_device):
+        with pytest.raises(KeyNotFoundError):
+            small_device.driver.get(b"missing")
+
+    def test_get_large_value(self, small_device):
+        d = small_device
+        value = bytes(i % 256 for i in range(10000))
+        d.driver.put(b"big", value)
+        assert d.driver.get(b"big").value == value
+
+    def test_get_releases_pages(self, small_device):
+        d = small_device
+        d.driver.put(b"gk2", b"x" * 100)
+        d.driver.get(b"gk2")
+        assert d.host_mem.allocated_pages == 0
+
+    def test_get_with_explicit_max_size(self, small_device):
+        d = small_device
+        d.driver.put(b"gk3", b"tiny")
+        assert d.driver.get(b"gk3", max_size=4096).value == b"tiny"
+
+
+class TestDeleteExist:
+    def test_delete_removes(self, small_device):
+        d = small_device
+        d.driver.put(b"dk", b"x")
+        d.driver.delete(b"dk")
+        assert not d.driver.exists(b"dk")
+        with pytest.raises(KeyNotFoundError):
+            d.driver.get(b"dk")
+
+    def test_delete_missing_raises(self, small_device):
+        with pytest.raises(KeyNotFoundError):
+            small_device.driver.delete(b"nope")
+
+    def test_exists(self, small_device):
+        d = small_device
+        assert not d.driver.exists(b"ek")
+        d.driver.put(b"ek", b"x")
+        assert d.driver.exists(b"ek")
+
+
+class TestListKeys:
+    def test_list_in_order(self, small_device):
+        d = small_device
+        for k in (b"cc", b"aa", b"bb"):
+            d.driver.put(k, b"v")
+        assert d.driver.list_keys(b"\x00", max_keys=10) == [b"aa", b"bb", b"cc"]
+
+    def test_list_from_start_key(self, small_device):
+        d = small_device
+        for k in (b"aa", b"bb", b"cc"):
+            d.driver.put(k, b"v")
+        assert d.driver.list_keys(b"bb", max_keys=10) == [b"bb", b"cc"]
+
+    def test_list_respects_max_keys(self, small_device):
+        d = small_device
+        for i in range(10):
+            d.driver.put(f"k{i}".encode(), b"v")
+        assert len(d.driver.list_keys(b"\x00", max_keys=3)) == 3
+
+    def test_list_empty_store(self, small_device):
+        assert small_device.driver.list_keys(b"\x00") == []
+
+
+class TestPlanExecutionFidelity:
+    """The driver must execute exactly the plan the planner produced."""
+
+    @pytest.mark.parametrize("size", [1, 35, 36, 91, 92, 128, 2048, 4096, 5000])
+    def test_roundtrip_across_plan_boundaries(self, small_device, size):
+        d = small_device
+        value = bytes(i % 256 for i in range(size))
+        key = f"sz{size}".encode()
+        d.driver.put(key, value)
+        assert d.driver.get(key).value == value
+
+    def test_hybrid_mode_roundtrip(self, device_factory):
+        from repro.core.config import TransferMode
+
+        d = device_factory(transfer_mode=TransferMode.HYBRID)
+        value = bytes(i % 256 for i in range(4096 + 200))
+        plan = d.driver.planner.plan(len(value))
+        assert plan.method is TransferMethod.HYBRID
+        d.driver.put(b"hy", value)
+        assert d.driver.get(b"hy").value == value
+
+    def test_status_propagates(self, small_device):
+        d = small_device
+        result = d.driver.put(b"ok", b"fine")
+        assert result.status is StatusCode.SUCCESS
+
+
+class TestFlush:
+    def test_flush_persists_everything(self, small_device):
+        d = small_device
+        d.driver.put(b"fk", b"persist me")
+        d.driver.flush()
+        assert d.buffer.open_entries == 0
+        assert d.driver.get(b"fk").value == b"persist me"

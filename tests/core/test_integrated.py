@@ -1,0 +1,142 @@
+"""Tests for the Integrated packing extension (§4.3 closing remark).
+
+Integrated = All Packing for DMA values at/below ``copy_threshold``,
+Backfill for larger ones — "integrating the strengths of both".
+"""
+
+import pytest
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind
+from repro.core.dlt import DMALogTable
+from repro.core.packing import (
+    AllPacking,
+    BackfillPacking,
+    IntegratedPacking,
+    NandPageBuffer,
+    make_policy,
+)
+from repro.errors import PackingError
+from repro.lsm.vlog import VLog
+from repro.memory.device import DeviceDRAM
+from repro.sim.runner import run_workload
+from repro.units import KIB, MEM_PAGE_SIZE
+from repro.workloads.workloads import workload_c, workload_m
+
+PAGE = 16 * KIB
+
+
+@pytest.fixture
+def rig(ftl):
+    pool = 4
+    dram = DeviceDRAM(pool * PAGE)
+    region = dram.carve_region("buf", pool * PAGE)
+    vlog = VLog(ftl, base_lpn=0, capacity_pages=64)
+    buffer = NandPageBuffer(region, vlog, ftl, pool_entries=pool)
+    return buffer, vlog
+
+
+def make(buffer, copy_threshold=3 * KIB, dlt_capacity=8):
+    dlt = DMALogTable(dlt_capacity, buffer.page_size, buffer.vlog.capacity_pages)
+    return IntegratedPacking(buffer, dlt, copy_threshold=copy_threshold)
+
+
+class TestPlacement:
+    def test_small_dma_packed_at_wp(self, rig):
+        """Below the threshold, behaves like All Packing."""
+        buffer, _ = rig
+        policy = make(buffer)
+        policy.place_piggyback(100)
+        p = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert p.value_offset == 100  # dense, not aligned
+        assert not p.direct           # WP unaligned -> staged copy
+        assert policy.metrics.counter("dma_copied").value == 1
+
+    def test_small_dma_at_aligned_wp_direct(self, rig):
+        buffer, _ = rig
+        policy = make(buffer)
+        p = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert p.value_offset == 0
+        assert p.direct  # WP aligned, no DLT regions: skip the memcpy
+
+    def test_large_dma_stays_aligned_and_logged(self, rig):
+        """Above the threshold, behaves like Backfill."""
+        buffer, _ = rig
+        policy = make(buffer)
+        policy.place_piggyback(100)
+        p = policy.place_dma(4096, MEM_PAGE_SIZE)
+        assert p.value_offset == 4096
+        assert p.direct
+        assert len(policy.dlt) == 1
+        assert policy.metrics.counter("dma_aligned").value == 1
+
+    def test_small_values_backfill_behind_large(self, rig):
+        buffer, _ = rig
+        policy = make(buffer)
+        policy.place_piggyback(50)               # WP = 50
+        policy.place_dma(8000, 2 * MEM_PAGE_SIZE)  # aligned at 4096, logged
+        d = policy.place_piggyback(40)
+        assert d.value_offset == 50              # backfilled
+
+    def test_small_dma_respects_dlt_regions(self, rig):
+        """A copied DMA value must not collide with a logged region."""
+        buffer, _ = rig
+        policy = make(buffer)
+        policy.place_dma(8000, 2 * MEM_PAGE_SIZE)   # region [0+align.. ) at 0
+        p = policy.place_dma(2048, MEM_PAGE_SIZE)   # small: copied
+        # Region was [0, 8000): WP must have skipped past it.
+        assert p.value_offset >= 8000
+
+    def test_threshold_zero_degenerates_to_backfill(self, rig):
+        buffer, _ = rig
+        policy = make(buffer, copy_threshold=0)
+        p = policy.place_dma(100, MEM_PAGE_SIZE)
+        assert p.value_offset == 0 and p.direct
+        assert len(policy.dlt) == 1  # logged, backfill-style
+
+    def test_negative_threshold_rejected(self, rig):
+        buffer, _ = rig
+        dlt = DMALogTable(8, buffer.page_size, buffer.vlog.capacity_pages)
+        with pytest.raises(PackingError):
+            IntegratedPacking(buffer, dlt, copy_threshold=-1)
+
+
+class TestFactory:
+    def test_make_policy_dispatch(self, rig):
+        buffer, _ = rig
+        cfg = BandSlimConfig(
+            packing=PackingPolicyKind.INTEGRATED, integrated_copy_threshold=2048
+        )
+        policy = make_policy(cfg, buffer, vlog_pages=64)
+        assert isinstance(policy, IntegratedPacking)
+        assert policy.copy_threshold == 2048
+
+
+class TestEndToEnd:
+    def test_roundtrip_through_device(self):
+        from repro.host.api import KVStore
+        from tests.conftest import small_config
+
+        store = KVStore.open(
+            small_config(packing=PackingPolicyKind.INTEGRATED)
+        )
+        for i, size in enumerate((8, 100, 2048, 4096, 9000)):
+            key = f"k{i}".encode()
+            value = bytes((i + j) % 256 for j in range(size))
+            store.put(key, value)
+            assert store.get(key) == value
+        store.flush()
+        assert store.get(b"k4") == bytes((4 + j) % 256 for j in range(9000))
+
+    def test_integrated_never_worse_than_both_parents(self):
+        """On W(C) it should track All; on W(M) it should track the better
+        of All/Backfill — the §4.3 integration promise."""
+        # Small pool: the run must reach steady-state flushing, otherwise
+        # Backfill's deferred flushes flatter it (see bench_ablation_integrated).
+        for factory in (workload_c, workload_m):
+            w = lambda: factory(800, seed=4)  # noqa: E731
+            allp = run_workload("all", w(), buffer_entries=8, dlt_capacity=8)
+            bf = run_workload("backfill", w(), buffer_entries=8, dlt_capacity=8)
+            integ = run_workload("integrated", w(), buffer_entries=8,
+                                 dlt_capacity=8)
+            best_parent = min(allp.avg_response_us, bf.avg_response_us)
+            assert integ.avg_response_us <= best_parent * 1.10, factory.__name__

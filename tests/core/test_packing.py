@@ -1,0 +1,385 @@
+"""Tests for the NAND page buffer and the four packing policies (§3.3).
+
+These tests drive the policies directly (no NVMe layer): place values,
+write bytes, and assert on placements, flush behavior, fragmentation and
+the DLT interactions of Figure 7.
+"""
+
+import pytest
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind
+from repro.core.dlt import DMALogTable
+from repro.core.packing import (
+    AllPacking,
+    BackfillPacking,
+    BlockPacking,
+    NandPageBuffer,
+    SelectivePacking,
+    make_policy,
+)
+from repro.errors import PackingError
+from repro.lsm.addressing import AddressingScheme
+from repro.lsm.vlog import VLog
+from repro.memory.device import DeviceDRAM
+from repro.units import KIB, MEM_PAGE_SIZE
+
+PAGE = 16 * KIB
+
+
+@pytest.fixture
+def rig(ftl):
+    """buffer + vlog backed by the tiny-geometry FTL; 4-entry pool."""
+    pool = 4
+    dram = DeviceDRAM(pool * PAGE)
+    region = dram.carve_region("buf", pool * PAGE)
+    vlog = VLog(ftl, base_lpn=0, capacity_pages=64)
+    buffer = NandPageBuffer(region, vlog, ftl, pool_entries=pool)
+    return buffer, vlog, ftl
+
+
+def make(policy_cls, buffer, dlt_capacity=8):
+    if policy_cls is BackfillPacking:
+        dlt = DMALogTable(dlt_capacity, buffer.page_size, buffer.vlog.capacity_pages)
+        return BackfillPacking(buffer, dlt)
+    return policy_cls(buffer)
+
+
+class TestNandPageBuffer:
+    def test_entries_open_sequentially_with_consecutive_lpns(self, rig):
+        buffer, vlog, _ = rig
+        buffer.open_through(3 * PAGE)
+        assert buffer.open_entries == 3
+        assert vlog.pages_allocated == 3
+
+    def test_write_and_read_bytes(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(PAGE)
+        buffer.write_bytes(100, b"hello")
+        assert buffer.read_bytes(100, 5) == b"hello"
+
+    def test_write_spanning_entries(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(2 * PAGE)
+        data = b"x" * 100
+        buffer.write_bytes(PAGE - 50, data)
+        assert buffer.read_bytes(PAGE - 50, 100) == data
+
+    def test_write_to_unopened_entry_rejected(self, rig):
+        buffer, _, _ = rig
+        with pytest.raises(PackingError):
+            buffer.write_bytes(0, b"x")
+
+    def test_flush_below_writes_nand_in_order(self, rig):
+        buffer, _, ftl = rig
+        buffer.open_through(2 * PAGE)
+        buffer.write_bytes(0, b"first")
+        buffer.write_bytes(PAGE, b"second")
+        events = buffer.flush_below(2 * PAGE)
+        assert [e.lpn for e in events] == [0, 1]
+        assert ftl.read(0)[:5] == b"first"
+        assert ftl.read(1)[:6] == b"second"
+
+    def test_flush_below_partial_frontier(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(2 * PAGE)
+        events = buffer.flush_below(PAGE + 1)  # entry 1 not fully below
+        assert len(events) == 1
+        assert buffer.open_entries == 1
+
+    def test_unflushed_page_served_then_gone(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(PAGE)
+        buffer.write_bytes(0, b"live")
+        assert buffer.unflushed_page(0)[:4] == b"live"
+        buffer.flush_below(PAGE)
+        assert buffer.unflushed_page(0) is None
+
+    def test_pool_overflow_force_flushes_oldest(self, rig):
+        buffer, _, _ = rig
+        events = buffer.open_through(5 * PAGE)  # pool is 4
+        forced = [e for e in events if e.forced]
+        assert len(forced) == 1
+        assert forced[0].entry_index == 0
+        assert buffer.metrics.counter("forced_flushes").value == 1
+
+    def test_slot_reuse_zeroed(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(PAGE)
+        buffer.write_bytes(0, b"old!")
+        buffer.open_through(5 * PAGE)  # forces entry 0 out; entry 4 reuses slot 0
+        assert buffer.read_bytes(4 * PAGE, 4) == b"\x00" * 4
+
+    def test_addr_of_translation(self, rig):
+        buffer, _, _ = rig
+        addr = buffer.addr_of(PAGE + 100, 32)
+        assert addr.lpn == 1
+        assert addr.offset == 100
+        assert addr.size == 32
+
+    def test_dma_page_targets_alignment_enforced(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(PAGE)
+        with pytest.raises(PackingError):
+            buffer.dma_page_targets(100, MEM_PAGE_SIZE)
+        with pytest.raises(PackingError):
+            buffer.dma_page_targets(0, 100)
+
+    def test_dma_page_targets_map_into_region(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(2 * PAGE)
+        targets = buffer.dma_page_targets(PAGE, 2 * MEM_PAGE_SIZE)
+        assert targets == [
+            buffer.region.abs_addr(PAGE),
+            buffer.region.abs_addr(PAGE + MEM_PAGE_SIZE),
+        ]
+
+    def test_flush_all_drains(self, rig):
+        buffer, _, _ = rig
+        buffer.open_through(3 * PAGE)
+        events = buffer.flush_all()
+        assert len(events) == 3
+        assert buffer.open_entries == 0
+
+    def test_nand_io_disabled_discards(self, ftl):
+        dram = DeviceDRAM(2 * PAGE)
+        region = dram.carve_region("buf", 2 * PAGE)
+        vlog = VLog(ftl, base_lpn=0, capacity_pages=8)
+        buffer = NandPageBuffer(region, vlog, ftl, 2, nand_io_enabled=False)
+        buffer.open_through(PAGE)
+        buffer.flush_below(PAGE)
+        assert ftl.flash.page_programs == 0
+
+
+class TestBlockPacking:
+    def test_every_value_starts_a_4k_slot(self, rig):
+        """§2.3: in-device packing along 4 KiB boundaries."""
+        buffer, _, _ = rig
+        policy = make(BlockPacking, buffer)
+        offsets = [policy.place_piggyback(32).value_offset for _ in range(4)]
+        assert offsets == [0, 4096, 8192, 12288]
+
+    def test_large_value_consumes_rounded_slots(self, rig):
+        buffer, _, _ = rig
+        policy = make(BlockPacking, buffer)
+        policy.place_dma(4096 + 32, 8192)
+        assert policy.place_piggyback(8).value_offset == 8192
+
+    def test_dma_lands_direct(self, rig):
+        buffer, _, _ = rig
+        policy = make(BlockPacking, buffer)
+        placement = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert placement.direct
+        assert placement.dma_target == placement.value_offset
+
+    def test_flush_after_four_small_values(self, rig):
+        """16 KiB page / 4 KiB slots: every 4th small value fills an entry."""
+        buffer, _, ftl = rig
+        policy = make(BlockPacking, buffer)
+        for i in range(4):
+            policy.place_piggyback(32)
+            policy.finalize_value()
+        assert ftl.flash.page_programs == 1
+
+    def test_fragmentation_accounted(self, rig):
+        buffer, _, _ = rig
+        policy = make(BlockPacking, buffer)
+        policy.place_piggyback(32)
+        assert policy.fragmentation_bytes == 4096 - 32
+
+    def test_page_addressing_sufficient(self, rig):
+        buffer, _, _ = rig
+        assert make(BlockPacking, buffer).required_addressing is AddressingScheme.PAGE
+
+
+class TestAllPacking:
+    def test_dense_packing_at_wp(self, rig):
+        buffer, _, _ = rig
+        policy = make(AllPacking, buffer)
+        a = policy.place_piggyback(30)
+        b = policy.place_piggyback(50)
+        assert (a.value_offset, b.value_offset) == (0, 30)
+        assert policy.fragmentation_bytes == 0
+
+    def test_dma_at_aligned_wp_is_direct(self, rig):
+        """§3.3.1: if WP and the DMA destination coincide, skip the memcpy."""
+        buffer, _, _ = rig
+        policy = make(AllPacking, buffer)
+        placement = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert placement.direct
+        assert placement.dma_target == 0
+
+    def test_dma_at_unaligned_wp_stages(self, rig):
+        buffer, _, _ = rig
+        policy = make(AllPacking, buffer)
+        policy.place_piggyback(100)
+        placement = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert not placement.direct
+        assert placement.value_offset == 100
+
+    def test_flush_only_after_full_page_of_data(self, rig):
+        buffer, _, ftl = rig
+        policy = make(AllPacking, buffer)
+        for _ in range(PAGE // 64):
+            policy.place_piggyback(64)
+            policy.finalize_value()
+        assert ftl.flash.page_programs == 1
+
+    def test_requires_fine_addressing(self, rig):
+        buffer, _, _ = rig
+        assert make(AllPacking, buffer).required_addressing is AddressingScheme.FINE
+
+
+class TestSelectivePacking:
+    def test_small_values_packed_densely(self, rig):
+        buffer, _, _ = rig
+        policy = make(SelectivePacking, buffer)
+        a = policy.place_piggyback(10)
+        b = policy.place_piggyback(20)
+        assert (a.value_offset, b.value_offset) == (0, 10)
+
+    def test_dma_skips_to_alignment_leaving_gap(self, rig):
+        """Figure 7(a): C lands at the next page boundary; the gap is lost."""
+        buffer, _, _ = rig
+        policy = make(SelectivePacking, buffer)
+        policy.place_piggyback(100)
+        placement = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert placement.direct
+        assert placement.value_offset == 4096
+        assert policy.fragmentation_bytes == 4096 - 100
+
+    def test_wp_moves_past_dma_value(self, rig):
+        """Figure 7(a): D packs right after C's value end."""
+        buffer, _, _ = rig
+        policy = make(SelectivePacking, buffer)
+        policy.place_piggyback(100)
+        policy.place_dma(2048, MEM_PAGE_SIZE)
+        d = policy.place_piggyback(8)
+        assert d.value_offset == 4096 + 2048
+
+    def test_no_memcpy_for_dma_values(self, rig):
+        buffer, _, _ = rig
+        policy = make(SelectivePacking, buffer)
+        policy.place_piggyback(1)  # unalign the WP
+        placement = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert placement.direct  # never staged, never copied
+
+
+class TestBackfillPacking:
+    def test_figure_7b_scenario(self, rig):
+        """A, B piggybacked; C via DMA; D backfills at the original WP."""
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        a = policy.place_piggyback(37)
+        b = policy.place_piggyback(37)
+        c = policy.place_dma(4096 + 512, 8192)
+        d = policy.place_piggyback(37)
+        assert (a.value_offset, b.value_offset) == (0, 37)
+        assert c.value_offset == 4096  # next boundary past the WP
+        assert d.value_offset == 74    # original WP — backfilled!
+        assert policy.backfill_bytes == 37
+
+    def test_wp_skips_colliding_region(self, rig):
+        """§3.3.3: WP + size exceeding the oldest region start jumps to its
+        end and consumes the entry."""
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        policy.place_dma(2048, MEM_PAGE_SIZE)  # region [0, 2048) (WP was 0)
+        v = policy.place_piggyback(100)
+        assert v.value_offset == 2048
+        assert policy.dlt.is_empty  # consumed
+
+    def test_small_value_fits_before_region(self, rig):
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        policy.place_piggyback(10)           # WP = 10
+        policy.place_dma(100, MEM_PAGE_SIZE)  # region [4096, 4196)
+        v = policy.place_piggyback(4000)      # 10+4000 <= 4096: fits
+        assert v.value_offset == 10
+        assert len(policy.dlt) == 1
+
+    def test_too_big_value_skips_gap(self, rig):
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        policy.place_piggyback(10)
+        policy.place_dma(100, MEM_PAGE_SIZE)  # [4096, 4196)
+        v = policy.place_piggyback(4090)      # 10+4090 > 4096: collide
+        assert v.value_offset == 4196
+        assert policy.fragmentation_bytes >= 4086
+
+    def test_consecutive_dma_regions_stack(self, rig):
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        c1 = policy.place_dma(2048, MEM_PAGE_SIZE)
+        c2 = policy.place_dma(2048, MEM_PAGE_SIZE)
+        assert c1.value_offset == 0
+        assert c2.value_offset == 4096  # aligned past c1's end
+
+    def test_multiple_region_skip_chain(self, rig):
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer)
+        policy.place_dma(4000, MEM_PAGE_SIZE)   # [0, 4000)
+        policy.place_dma(4000, MEM_PAGE_SIZE)   # [4096, 8096)
+        v = policy.place_piggyback(200)
+        # 96-byte gap at 4000 too small; value lands after second region.
+        assert v.value_offset == 8096
+        assert policy.dlt.is_empty
+
+    def test_dlt_eviction_advances_wp(self, rig):
+        buffer, _, _ = rig
+        policy = make(BackfillPacking, buffer, dlt_capacity=2)
+        policy.place_dma(2048, MEM_PAGE_SIZE)  # [0, 2048)
+        policy.place_dma(2048, MEM_PAGE_SIZE)  # [4096, 6144)
+        policy.place_dma(2048, MEM_PAGE_SIZE)  # [8192, ...) evicts oldest
+        v = policy.place_piggyback(10)
+        # WP was forced past the evicted region [0, 2048).
+        assert v.value_offset >= 2048
+
+    def test_flush_waits_for_wp(self, rig):
+        """Entries ahead of the WP must not flush (backfill pending)."""
+        buffer, _, ftl = rig
+        policy = make(BackfillPacking, buffer)
+        policy.place_dma(PAGE + 2048, 2 * PAGE)  # spans entries 0-1
+        policy.finalize_value()
+        assert ftl.flash.page_programs == 0  # WP still at 0
+
+    def test_forced_flush_bumps_wp_and_consumes_dlt(self, rig):
+        buffer, _, ftl = rig
+        policy = make(BackfillPacking, buffer, dlt_capacity=64)
+        # Fill the 4-entry pool with DMA placements while WP stays at 0.
+        for _ in range(5):
+            policy.place_dma(PAGE, PAGE)  # one full entry each
+            policy.finalize_value()
+        assert buffer.metrics.counter("forced_flushes").value >= 1
+        # WP must have been pushed past the flushed entry.
+        v = policy.place_piggyback(10)
+        assert v.value_offset >= PAGE
+
+    def test_requires_fine_addressing(self, rig):
+        buffer, _, _ = rig
+        assert (
+            make(BackfillPacking, buffer).required_addressing
+            is AddressingScheme.FINE
+        )
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (PackingPolicyKind.BLOCK, BlockPacking),
+            (PackingPolicyKind.ALL, AllPacking),
+            (PackingPolicyKind.SELECTIVE, SelectivePacking),
+            (PackingPolicyKind.BACKFILL, BackfillPacking),
+        ],
+    )
+    def test_factory_dispatch(self, rig, kind, cls):
+        buffer, _, _ = rig
+        config = BandSlimConfig(packing=kind)
+        policy = make_policy(config, buffer, vlog_pages=64)
+        assert isinstance(policy, cls)
+
+    def test_backfill_gets_dlt_sized_from_config(self, rig):
+        buffer, _, _ = rig
+        config = BandSlimConfig(packing=PackingPolicyKind.BACKFILL, dlt_capacity=17)
+        policy = make_policy(config, buffer, vlog_pages=64)
+        assert policy.dlt.capacity == 17

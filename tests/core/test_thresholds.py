@@ -1,0 +1,69 @@
+"""Tests for the exploratory threshold calibration (§3.2)."""
+
+import pytest
+
+from repro.core.config import BandSlimConfig
+from repro.core.thresholds import CalibrationResult, ThresholdCalibrator
+from repro.errors import ConfigError
+from repro.sim.latency import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One shared calibration run (it sweeps many device builds)."""
+    calibrator = ThresholdCalibrator(
+        ops_per_point=5,
+        sizes=(8, 32, 64, 91, 128, 256, 1024, 4096),
+        tails=(8, 56, 128),
+    )
+    return calibrator.calibrate()
+
+
+class TestCalibration:
+    def test_threshold1_in_two_command_range(self, result):
+        """With the default latency model, piggybacking wins through two
+        commands (91 B) and loses from three — the Fig 8 crossover."""
+        assert 36 <= result.threshold1 <= 91
+
+    def test_threshold2_zero_with_default_model(self, result):
+        """Fig 9(b): hybrid never beats PRP on response time."""
+        assert result.threshold2 == 0
+
+    def test_curves_recorded(self, result):
+        assert set(result.curves) == {"piggyback", "prp", "hybrid"}
+        sizes = [s for s, _ in result.curves["piggyback"]]
+        assert sizes == sorted(sizes)
+
+    def test_piggyback_monotone_in_command_count(self, result):
+        curve = dict(result.curves["piggyback"])
+        assert curve[8] < curve[128] < curve[1024]
+
+    def test_prp_flat_below_page(self, result):
+        """Baseline response constant for all sub-page sizes (Fig 8)."""
+        curve = dict(result.curves["prp"])
+        assert curve[8] == pytest.approx(curve[1024], rel=0.05)
+
+    def test_apply_installs_thresholds(self, result):
+        cfg = result.apply(BandSlimConfig())
+        assert cfg.threshold1 == result.threshold1
+        assert cfg.threshold2 == result.threshold2
+
+
+class TestCalibratorConfig:
+    def test_rejects_zero_ops(self):
+        with pytest.raises(ConfigError):
+            ThresholdCalibrator(ops_per_point=0)
+
+    def test_slower_dma_raises_threshold1(self):
+        """If DMA is costlier, piggybacking stays attractive for longer."""
+        slow_dma = LatencyModel().with_overrides(dma_setup_us=40.0)
+        calibrator = ThresholdCalibrator(
+            latency=slow_dma, ops_per_point=3,
+            sizes=(32, 91, 147, 203, 259), tails=(8,),
+        )
+        result = calibrator.calibrate()
+        assert result.threshold1 > 91
+
+    def test_result_is_dataclass_roundtrippable(self):
+        r = CalibrationResult(threshold1=91, threshold2=0)
+        assert r.apply(BandSlimConfig()).threshold1 == 91

@@ -1,0 +1,171 @@
+"""Tests for transfer planning: piggyback/PRP/hybrid/adaptive (§3.2)."""
+
+import pytest
+
+from repro.core.config import BandSlimConfig, TransferMode
+from repro.core.transfer import TransferMethod, TransferPlanner
+from repro.errors import NVMeError
+from repro.units import KIB, MEM_PAGE_SIZE
+
+
+def planner(mode=TransferMode.ADAPTIVE, **cfg):
+    return TransferPlanner(BandSlimConfig(transfer_mode=mode, **cfg))
+
+
+class TestPiggybackPlans:
+    def test_tiny_value_single_command(self):
+        plan = TransferPlanner.plan_piggyback(20)
+        assert plan.method is TransferMethod.PIGGYBACK
+        assert plan.inline_bytes == 20
+        assert plan.trailing_fragments == ()
+        assert plan.command_count == 1
+        assert plan.dma_pages == 0
+
+    def test_exactly_35_bytes_single_command(self):
+        plan = TransferPlanner.plan_piggyback(35)
+        assert plan.command_count == 1
+
+    def test_36_bytes_needs_trailing(self):
+        plan = TransferPlanner.plan_piggyback(36)
+        assert plan.inline_bytes == 35
+        assert plan.trailing_fragments == (1,)
+        assert plan.command_count == 2
+
+    def test_paper_128_byte_example(self):
+        """§3.2/Figure 5(b): 128 B needs 3 commands (35 + 56 + 37)."""
+        plan = TransferPlanner.plan_piggyback(128)
+        assert plan.command_count == 3
+        assert plan.inline_bytes == 35
+        assert plan.trailing_fragments == (56, 37)
+
+    def test_coverage_invariant(self):
+        for size in (1, 35, 36, 91, 92, 1000, 4096):
+            plan = TransferPlanner.plan_piggyback(size)
+            assert plan.inline_bytes + sum(plan.trailing_fragments) == size
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(NVMeError):
+            TransferPlanner.plan_piggyback(0)
+
+
+class TestPRPPlans:
+    def test_sub_page_value_one_page(self):
+        plan = TransferPlanner.plan_prp(32)
+        assert plan.method is TransferMethod.PRP
+        assert plan.dma_pages == 1
+        assert plan.dma_wire_bytes == MEM_PAGE_SIZE
+        assert plan.command_count == 1
+
+    def test_page_plus_32_two_pages(self):
+        """The paper's (4K+32)B example moves 8 KiB (§2.3)."""
+        plan = TransferPlanner.plan_prp(4096 + 32)
+        assert plan.dma_pages == 2
+        assert plan.dma_wire_bytes == 8192
+
+    def test_16k_four_pages(self):
+        assert TransferPlanner.plan_prp(16 * KIB).dma_pages == 4
+
+
+class TestHybridPlans:
+    def test_head_via_dma_tail_piggybacked(self):
+        plan = TransferPlanner.plan_hybrid(4096 + 32)
+        assert plan.method is TransferMethod.HYBRID
+        assert plan.dma_pages == 1
+        assert plan.inline_bytes == 0  # PRP occupies the piggyback fields
+        assert plan.trailing_fragments == (32,)
+        assert plan.command_count == 2
+
+    def test_long_tail_multiple_fragments(self):
+        plan = TransferPlanner.plan_hybrid(4096 + 130)
+        assert plan.trailing_fragments == (56, 56, 18)
+
+    def test_sub_page_degenerates_to_piggyback(self):
+        plan = TransferPlanner.plan_hybrid(100)
+        assert plan.method is TransferMethod.PIGGYBACK
+
+    def test_exact_pages_degenerate_to_prp(self):
+        plan = TransferPlanner.plan_hybrid(8192)
+        assert plan.method is TransferMethod.PRP
+
+    def test_multi_page_head(self):
+        plan = TransferPlanner.plan_hybrid(2 * 4096 + 5)
+        assert plan.dma_pages == 2
+        assert plan.trailing_fragments == (5,)
+
+
+class TestModeDispatch:
+    def test_baseline_always_prp(self):
+        p = planner(TransferMode.BASELINE)
+        for size in (8, 100, 5000):
+            assert p.plan(size).method is TransferMethod.PRP
+
+    def test_piggyback_always_piggyback(self):
+        p = planner(TransferMode.PIGGYBACK)
+        for size in (8, 100, 5000):
+            assert p.plan(size).method is TransferMethod.PIGGYBACK
+
+    def test_hybrid_mode(self):
+        p = planner(TransferMode.HYBRID)
+        assert p.plan(4100).method is TransferMethod.HYBRID
+
+    def test_max_value_enforced(self):
+        p = planner(TransferMode.BASELINE, max_value_bytes=1 * KIB, scratch_bytes=64 * KIB)
+        with pytest.raises(NVMeError):
+            p.plan(2 * KIB)
+
+
+class TestAdaptive:
+    def test_small_values_piggybacked(self):
+        p = planner()
+        assert p.plan(8).method is TransferMethod.PIGGYBACK
+        assert p.plan(91).method is TransferMethod.PIGGYBACK
+
+    def test_above_threshold1_uses_prp(self):
+        """Paper §4.2: adaptive "shifts from piggybacking to page-unit
+        DMA" at the calibrated threshold."""
+        p = planner()
+        assert p.plan(92).method is TransferMethod.PRP
+        assert p.plan(128).method is TransferMethod.PRP
+        assert p.plan(2 * KIB).method is TransferMethod.PRP
+
+    def test_alpha_extends_piggyback_range(self):
+        p = planner(alpha=2.0)
+        assert p.plan(180).method is TransferMethod.PIGGYBACK
+
+    def test_hybrid_disabled_when_threshold2_zero(self):
+        p = planner()  # threshold2 defaults to 0
+        assert p.plan(4096 + 32).method is TransferMethod.PRP
+
+    def test_hybrid_chosen_for_small_tails(self):
+        p = planner(threshold2=56)
+        assert p.plan(4096 + 32).method is TransferMethod.HYBRID
+        assert p.plan(4096 + 57).method is TransferMethod.PRP
+
+    def test_beta_extends_hybrid_range(self):
+        p = planner(threshold2=56, beta=2.0)
+        assert p.plan(4096 + 100).method is TransferMethod.HYBRID
+
+    def test_sub_page_never_hybrid(self):
+        p = planner(threshold2=4096)
+        assert p.plan(2000).method is TransferMethod.PRP
+
+
+class TestTrafficPrediction:
+    def test_piggyback_wire_bytes(self):
+        p = planner()
+        plan = TransferPlanner.plan_piggyback(128)
+        assert p.predicted_wire_bytes(plan, 88) == 3 * 88
+
+    def test_prp_wire_bytes_includes_page_padding(self):
+        p = planner()
+        plan = TransferPlanner.plan_prp(32)
+        assert p.predicted_wire_bytes(plan, 88) == 88 + 4096
+
+    def test_prp_list_fetch_counted(self):
+        p = planner()
+        plan = TransferPlanner.plan_prp(3 * 4096)
+        assert p.predicted_wire_bytes(plan, 88) == 88 + 3 * 4096 + 2 * 8
+
+    def test_command_bytes(self):
+        plan = TransferPlanner.plan_piggyback(128)
+        assert TransferPlanner.command_bytes(plan) == 3 * 64

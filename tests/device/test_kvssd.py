@@ -1,0 +1,90 @@
+"""Tests for device assembly: wiring, partitioning, snapshots."""
+
+import pytest
+
+from repro.core.config import BandSlimConfig, PackingPolicyKind
+from repro.core.packing import BackfillPacking, BlockPacking
+from repro.device.kvssd import KVSSD
+from repro.units import KIB, MIB
+
+
+def build(**overrides):
+    defaults = dict(
+        buffer_entries=4,
+        dlt_capacity=4,
+        scratch_bytes=128 * KIB,
+        max_value_bytes=64 * KIB,
+        nand_capacity_bytes=64 * MIB,
+    )
+    defaults.update(overrides)
+    return KVSSD.build(config=BandSlimConfig(**defaults))
+
+
+class TestAssembly:
+    def test_build_produces_wired_device(self):
+        d = build()
+        assert d.driver.controller is d.controller
+        assert d.controller.buffer is d.buffer
+        assert d.lsm.vlog is d.vlog
+
+    def test_vlog_and_sstable_spaces_disjoint(self):
+        d = build()
+        assert d.vlog.base_lpn == 0
+        assert d.lsm.store.space.base_lpn == d.vlog.capacity_pages
+
+    def test_logical_space_leaves_gc_headroom(self):
+        d = build()
+        usable = d.vlog.capacity_pages + d.lsm.store.space.capacity_pages
+        assert usable < d.geometry.total_pages
+
+    def test_dram_sized_for_pool_and_scratch(self):
+        d = build()
+        expected = 4 * d.geometry.page_size + 128 * KIB
+        assert d.dram.size == expected
+
+    def test_policy_matches_config(self):
+        assert isinstance(build().policy, BackfillPacking)
+        assert isinstance(
+            build(packing=PackingPolicyKind.BLOCK).policy, BlockPacking
+        )
+
+    def test_shared_clock_everywhere(self):
+        d = build()
+        assert d.link.clock is d.clock
+        assert d.flash.clock is d.clock
+        assert d.lsm.clock is d.clock
+
+    def test_nand_disabled_never_programs(self):
+        d = build(nand_io_enabled=False)
+        for i in range(200):
+            d.driver.put(f"k{i:04d}".encode(), b"v" * 2048)
+        assert d.flash.page_programs == 0
+
+    def test_nand_disabled_memtable_never_spills(self):
+        d = build(nand_io_enabled=False, memtable_flush_bytes=1 * KIB)
+        for i in range(200):
+            d.driver.put(f"k{i:04d}".encode(), b"v" * 64)
+        assert d.lsm.flush_count == 0
+
+
+class TestSnapshot:
+    def test_snapshot_covers_components(self):
+        d = build()
+        d.driver.put(b"k", b"v" * 100)
+        snap = d.snapshot()
+        for key in (
+            "pcie.total_bytes",
+            "nand.page_programs",
+            "buffer.flushes",
+            "driver.puts",
+            "controller.commands_processed",
+            "clock.now_us",
+        ):
+            assert key in snap, key
+
+    def test_snapshot_reflects_activity(self):
+        d = build()
+        d.driver.put(b"k", b"v" * 100)
+        snap = d.snapshot()
+        assert snap["driver.puts"] == 1.0
+        assert snap["pcie.total_bytes"] > 0

@@ -1,0 +1,190 @@
+"""Tests for the user-level KV API: PUT/GET/SEEK/NEXT (§2.1)."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, NVMeError
+from repro.host.api import KVStore
+
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def store():
+    return KVStore.open(small_config())
+
+
+class TestPointOps:
+    def test_put_get(self, store):
+        store.put(b"user:1", b"alice")
+        assert store.get(b"user:1") == b"alice"
+
+    def test_put_returns_latency(self, store):
+        assert store.put(b"k", b"v") > 0
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"ghost")
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert not store.exists(b"k")
+
+    def test_exists(self, store):
+        assert not store.exists(b"k")
+        store.put(b"k", b"v")
+        assert store.exists(b"k")
+
+    def test_key_type_checked(self, store):
+        with pytest.raises(NVMeError):
+            store.put("string-key", b"v")  # type: ignore[arg-type]
+
+    def test_key_length_checked(self, store):
+        with pytest.raises(NVMeError):
+            store.put(b"", b"v")
+        with pytest.raises(NVMeError):
+            store.put(b"x" * 17, b"v")
+
+    def test_variable_value_sizes(self, store):
+        """The KV interface's whole point: arbitrary-size values."""
+        for size in (1, 35, 91, 100, 2048, 4096, 5000, 16384):
+            key = f"s{size}".encode()
+            value = bytes(i % 256 for i in range(size))
+            store.put(key, value)
+            assert store.get(key) == value
+
+
+class TestIterator:
+    def test_seek_next_in_order(self, store):
+        for k in (b"cherry", b"apple", b"banana"):
+            store.put(k, b"fruit:" + k)
+        it = store.seek(b"a")
+        assert it.next() == (b"apple", b"fruit:apple")
+        assert it.next() == (b"banana", b"fruit:banana")
+        assert it.next() == (b"cherry", b"fruit:cherry")
+        assert it.next() is None
+
+    def test_seek_mid_range(self, store):
+        for k in (b"aa", b"bb", b"cc"):
+            store.put(k, b"v")
+        it = store.seek(b"b")
+        assert it.next()[0] == b"bb"
+
+    def test_iterator_protocol(self, store):
+        for i in range(5):
+            store.put(f"k{i}".encode(), b"v")
+        keys = [k for k, _ in store.seek(b"")]
+        assert keys == [f"k{i}".encode() for i in range(5)]
+
+    def test_scan_with_limit(self, store):
+        for i in range(10):
+            store.put(f"k{i}".encode(), b"v")
+        assert len(list(store.scan(limit=4))) == 4
+
+    def test_scan_beyond_batch_size(self, store):
+        """More keys than one LIST batch: iterator must refill."""
+        for i in range(80):
+            store.put(f"key{i:03d}".encode(), str(i).encode())
+        pairs = list(store.scan())
+        assert len(pairs) == 80
+        assert [k for k, _ in pairs] == sorted(k for k, _ in pairs)
+
+    def test_empty_store_scan(self, store):
+        assert list(store.scan()) == []
+
+
+class TestLifecycle:
+    def test_flush_then_read(self, store):
+        store.put(b"k", b"persisted")
+        store.flush()
+        assert store.get(b"k") == b"persisted"
+
+    def test_stats_exposed(self, store):
+        store.put(b"k", b"v")
+        stats = store.stats()
+        assert stats["driver.puts"] == 1.0
+
+    def test_open_with_defaults(self):
+        s = KVStore.open()
+        s.put(b"k", b"v")
+        assert s.get(b"k") == b"v"
+
+
+class TestIteratorUnderMutation:
+    def test_delete_between_list_and_get_is_skipped(self, store):
+        """A key deleted mid-scan must be skipped, not crash the iterator."""
+        for k in (b"aa", b"bb", b"cc"):
+            store.put(k, b"v:" + k)
+        it = store.seek(b"")
+        first = it.next()
+        assert first[0] == b"aa"
+        # The iterator has b"bb" pending in its batch; delete it now.
+        store.delete(b"bb")
+        rest = [pair[0] for pair in iter(lambda: it.next(), None)]
+        assert rest == [b"cc"]
+
+    def test_keys_inserted_behind_cursor_not_revisited(self, store):
+        for k in (b"m1", b"m2"):
+            store.put(k, b"v")
+        it = store.seek(b"")
+        assert it.next()[0] == b"m1"
+        store.put(b"a-early", b"v")  # sorts before the cursor
+        remaining = [pair[0] for pair in iter(lambda: it.next(), None)]
+        assert b"a-early" not in remaining
+
+
+class TestMemTableBounded:
+    def test_memtable_memory_stays_constant_under_load(self, store):
+        """§3.4: "even though the size of MemTable increases, it remains
+        constant due to LSM-tree flushes and resets"."""
+        limit = store.device.lsm.config.memtable_flush_bytes
+        peak = 0
+        for i in range(800):
+            store.put(f"k{i:05d}".encode(), b"v" * 16)
+            peak = max(peak, store.device.lsm.memtable.approx_bytes)
+        # Bounded by the flush threshold plus one entry of slack.
+        assert peak <= limit + 64
+
+
+class TestMaxLengthKeyScan:
+    def test_scan_with_16_byte_keys_across_batches(self, store):
+        """Batch resume must survive maximum-length keys (a resume key of
+        last+\\x00 would overflow the 16-byte wire field)."""
+        keys = [bytes([0x40 + i]) * 16 for i in range(40)]  # > one batch
+        for k in keys:
+            store.put(k, b"v:" + k[:4])
+        scanned = [k for k, _ in store.scan()]
+        assert scanned == sorted(keys)
+
+    def test_seek_starting_at_max_length_key(self, store):
+        k = b"\xff" * 16
+        store.put(k, b"last")
+        it = store.seek(k)
+        assert it.next() == (k, b"last")
+        assert it.next() is None
+
+
+class TestCompactVlog:
+    def test_compact_vlog_convenience(self, store):
+        for r in range(4):
+            for i in range(30):
+                store.put(f"k{i:03d}".encode(), bytes([r]) * 500)
+        store.flush()
+        report = store.compact_vlog(dead_threshold=0.3)
+        assert report.did_work
+        for i in range(30):
+            assert store.get(f"k{i:03d}".encode()) == bytes([3]) * 500
+
+    def test_below_threshold_is_noop(self, store):
+        # 200 piggybacked 64 B values pack densely: the flushed region is
+        # mostly live, so a high threshold must decline to compact.
+        for i in range(200):
+            store.put(f"k{i:03d}".encode(), bytes([i % 256]) * 64)
+        store.flush()
+        report = store.compact_vlog(dead_threshold=0.99)
+        assert not report.did_work

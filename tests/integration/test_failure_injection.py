@@ -1,0 +1,118 @@
+"""Failure injection: wrong inputs and exhausted resources fail loudly.
+
+A behavioral model earns trust by *not* absorbing errors: corrupted wire
+bytes must corrupt data (proving the value really travels through the
+command encoding), stale PRP pointers must blow up, and exhausted
+substrates must raise their specific exceptions instead of wedging.
+"""
+
+import pytest
+
+from repro.core.config import PackingPolicyKind, TransferMode
+from repro.errors import (
+    HostMemoryError,
+    LSMError,
+    NVMeError,
+    VLogError,
+)
+from repro.host.api import KVStore
+from repro.nvme.kv import build_store_command, build_write_command
+from repro.nvme.command import WRITE_PIGGYBACK_RANGES
+from repro.nvme.prp import build_prp
+
+from tests.conftest import small_config
+
+
+class TestWireCorruption:
+    def test_flipped_piggyback_byte_corrupts_the_value(self):
+        """The value truly rides inside the command: corrupt the command,
+        corrupt the data — no out-of-band copy can save it."""
+        store = KVStore.open(small_config())
+        d = store.device
+        value = b"A" * 20
+        cmd = build_write_command(1, b"victim", len(value), inline=value,
+                                  final=True)
+        offset, _ = WRITE_PIGGYBACK_RANGES[0]
+        cmd.raw[offset] ^= 0xFF  # corruption on the "wire"
+        d.controller.sq.submit(cmd)
+        d.controller.process_next()
+        d.controller.cq.reap()
+        got = store.get(b"victim")
+        assert got != value
+        assert got[1:] == value[1:]  # exactly the flipped byte differs
+
+    def test_flipped_key_byte_stores_under_wrong_key(self):
+        store = KVStore.open(small_config())
+        d = store.device
+        cmd = build_write_command(1, b"good", 3, inline=b"xyz", final=True)
+        cmd.raw[8] ^= 0x01  # first key byte lives at dword 2
+        d.controller.sq.submit(cmd)
+        d.controller.process_next()
+        d.controller.cq.reap()
+        assert not store.exists(b"good")
+
+
+class TestStalePointers:
+    def test_prp_to_freed_page_detected(self):
+        """A use-after-free in the DMA path must be caught, not read junk."""
+        store = KVStore.open(small_config())
+        d = store.device
+        buf = d.host_mem.stage_value(b"x" * 2048)
+        prp = build_prp(d.host_mem, buf)
+        d.host_mem.release(buf)  # freed before the device fetches it
+        cmd = build_store_command(2, b"stale", 2048, prp)
+        d.controller.sq.submit(cmd)
+        with pytest.raises(HostMemoryError):
+            d.controller.process_next()
+
+    def test_transfer_for_unknown_cid_rejected(self):
+        from repro.nvme.kv import build_transfer_command
+
+        store = KVStore.open(small_config())
+        d = store.device
+        d.controller.sq.submit(build_transfer_command(77, b"orphan", final=True))
+        with pytest.raises(NVMeError):
+            d.controller.process_next()
+
+
+class TestResourceExhaustion:
+    def test_vlog_exhaustion_raises_vlog_error(self):
+        """Filling the value log must fail with the specific error."""
+        store = KVStore.open(
+            small_config(nand_capacity_bytes=4 << 20, vlog_fraction=0.3)
+        )
+        with pytest.raises((VLogError, LSMError)):
+            for i in range(100_000):
+                store.put(f"k{i:06d}".encode(), b"x" * 8192)
+
+    def test_oversized_value_rejected_at_plan_time(self):
+        store = KVStore.open(small_config())
+        with pytest.raises(NVMeError):
+            store.put(b"big", b"x" * (store.device.config.max_value_bytes + 1))
+
+
+class TestModeMatrixUnderChurn:
+    """Every transfer×packing combination survives a hostile mixed pattern."""
+
+    @pytest.mark.parametrize("transfer", list(TransferMode))
+    @pytest.mark.parametrize(
+        "packing", [PackingPolicyKind.ALL, PackingPolicyKind.BACKFILL,
+                    PackingPolicyKind.INTEGRATED]
+    )
+    def test_churn_roundtrip(self, transfer, packing):
+        store = KVStore.open(
+            small_config(transfer_mode=transfer, packing=packing,
+                         memtable_flush_bytes=2048)
+        )
+        model = {}
+        for i in range(120):
+            key = f"k{i % 37:03d}".encode()
+            size = (i * 97) % 5000 + 1
+            value = bytes((i + j) % 256 for j in range(size))
+            store.put(key, value)
+            model[key] = value
+            if i % 11 == 10:
+                store.delete(key)
+                del model[key]
+        for key, value in model.items():
+            assert store.get(key) == value

@@ -1,0 +1,59 @@
+"""Validates the linear-extrapolation claim EXPERIMENTS.md relies on.
+
+Benches run at reduced op counts and report byte/count metrics scaled to
+the paper's 1 M / 10 M operations. That is only legitimate if the metrics
+really are per-op linear and the latency means are size-stable. These
+tests check both, with a 30× scale jump.
+"""
+
+import pytest
+
+from repro.sim.runner import run_workload
+from repro.workloads.workloads import workload_a, workload_m
+
+SMALL = 1_000
+LARGE = 30_000
+
+
+class TestByteMetricsExactlyLinear:
+    def test_fixed_size_traffic_scales_exactly(self):
+        small = run_workload("baseline", workload_a(SMALL, 32), nand_io_enabled=False)
+        large = run_workload("baseline", workload_a(LARGE, 32), nand_io_enabled=False)
+        assert large.pcie_total_bytes == small.pcie_total_bytes * (LARGE // SMALL)
+
+    def test_piggyback_traffic_scales_exactly(self):
+        small = run_workload("piggyback", workload_a(SMALL, 128), nand_io_enabled=False)
+        large = run_workload("piggyback", workload_a(LARGE, 128), nand_io_enabled=False)
+        assert large.pcie_total_bytes == small.pcie_total_bytes * (LARGE // SMALL)
+
+    def test_nand_writes_scale_within_buffer_residue(self):
+        small = run_workload("baseline", workload_a(SMALL, 2048))
+        large = run_workload("baseline", workload_a(LARGE, 2048))
+        scaled = small.nand_page_writes_with_flush * (LARGE // SMALL)
+        # LSM flush/compaction timing differs slightly across scales.
+        assert large.nand_page_writes_with_flush == pytest.approx(scaled, rel=0.05)
+
+
+class TestLatencyMeansStable:
+    def test_fillseq_mean_response_size_invariant(self):
+        small = run_workload("baseline", workload_a(SMALL, 1024), nand_io_enabled=False)
+        large = run_workload("baseline", workload_a(LARGE, 1024), nand_io_enabled=False)
+        assert large.avg_response_us == pytest.approx(small.avg_response_us, rel=0.01)
+
+    def test_mixgraph_mean_response_distribution_stable(self):
+        """Random-size workloads: means converge across scales (same GPD)."""
+        small = run_workload("adaptive", workload_m(2_000, seed=1), nand_io_enabled=False)
+        large = run_workload("adaptive", workload_m(20_000, seed=2), nand_io_enabled=False)
+        assert large.avg_response_us == pytest.approx(small.avg_response_us, rel=0.10)
+
+    def test_seed_invariance_of_the_shape(self):
+        """Different seeds, same distribution: headline ratios hold."""
+        ratios = []
+        for seed in (1, 7, 42):
+            base = run_workload("baseline", workload_m(2_000, seed=seed),
+                                nand_io_enabled=False)
+            pig = run_workload("piggyback", workload_m(2_000, seed=seed),
+                               nand_io_enabled=False)
+            ratios.append(pig.pcie_total_bytes / base.pcie_total_bytes)
+        assert max(ratios) - min(ratios) < 0.01
+        assert all(r < 0.05 for r in ratios)  # ~97 % reduction at any seed

@@ -1,0 +1,87 @@
+"""Tests for vLog value addressing: fine vs page-unit encoding (§3.4)."""
+
+import pytest
+
+from repro.errors import VLogError
+from repro.lsm.addressing import AddressingScheme, ValueAddress
+from repro.units import KIB
+
+PAGE_16K = 16 * KIB
+
+
+class TestValueAddress:
+    def test_valid(self):
+        addr = ValueAddress(lpn=3, offset=100, size=32)
+        assert addr.end_offset == 132
+
+    def test_rejects_negative_lpn(self):
+        with pytest.raises(VLogError):
+            ValueAddress(lpn=-1, offset=0, size=1)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(VLogError):
+            ValueAddress(lpn=0, offset=-1, size=1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(VLogError):
+            ValueAddress(lpn=0, offset=0, size=0)
+
+    def test_ordering(self):
+        assert ValueAddress(0, 0, 1) < ValueAddress(0, 1, 1) < ValueAddress(1, 0, 1)
+
+
+class TestBitBudgets:
+    def test_fine_offset_bits_for_16k_page(self):
+        """Byte offsets in a 16 KiB page need 14 bits."""
+        assert AddressingScheme.FINE.offset_bits(PAGE_16K) == 14
+
+    def test_page_offset_bits_for_16k_page(self):
+        """Four 4 KiB slots per 16 KiB page need 2 bits (§3.3.3)."""
+        assert AddressingScheme.PAGE.offset_bits(PAGE_16K) == 2
+
+    def test_paper_1tb_example(self):
+        """§3.3.3: 1 TB / 16 KiB pages → 26 LPN bits; 26+2 page vs 26+14 fine."""
+        vlog_pages = 2**26
+        assert AddressingScheme.PAGE.entry_addr_bits(vlog_pages, PAGE_16K) == 28
+        assert AddressingScheme.FINE.entry_addr_bits(vlog_pages, PAGE_16K) == 40
+
+    def test_lpn_bits_small_space(self):
+        assert AddressingScheme.FINE.lpn_bits(1024) == 10
+
+
+class TestEncodeDecode:
+    def test_fine_roundtrip_arbitrary_offset(self):
+        addr = ValueAddress(lpn=77, offset=12345, size=99)
+        enc = AddressingScheme.FINE.encode(addr, PAGE_16K)
+        dec = AddressingScheme.FINE.decode(enc, 99, PAGE_16K)
+        assert dec == addr
+
+    def test_page_roundtrip_aligned_offset(self):
+        addr = ValueAddress(lpn=5, offset=8192, size=4096)
+        enc = AddressingScheme.PAGE.encode(addr, PAGE_16K)
+        dec = AddressingScheme.PAGE.decode(enc, 4096, PAGE_16K)
+        assert dec == addr
+
+    def test_page_scheme_rejects_byte_offsets(self):
+        """§3.4: fine-grained packing *requires* byte-level addressing."""
+        addr = ValueAddress(lpn=5, offset=100, size=10)
+        with pytest.raises(VLogError):
+            AddressingScheme.PAGE.encode(addr, PAGE_16K)
+
+    def test_fine_rejects_offset_beyond_page(self):
+        addr = ValueAddress(lpn=0, offset=PAGE_16K, size=1)
+        with pytest.raises(VLogError):
+            AddressingScheme.FINE.encode(addr, PAGE_16K)
+
+    def test_encodings_distinct_across_pages(self):
+        a = AddressingScheme.FINE.encode(ValueAddress(1, 0, 1), PAGE_16K)
+        b = AddressingScheme.FINE.encode(ValueAddress(0, 1, 1), PAGE_16K)
+        assert a != b
+
+    def test_roundtrip_exhaustive_small_page(self):
+        page = 8 * KIB
+        scheme = AddressingScheme.FINE
+        for lpn in (0, 1, 1000):
+            for offset in (0, 1, page - 1):
+                addr = ValueAddress(lpn, offset, 7)
+                assert scheme.decode(scheme.encode(addr, page), 7, page) == addr

@@ -1,0 +1,60 @@
+"""Tests for the k-way merge with newest-first shadowing."""
+
+from repro.lsm.addressing import ValueAddress
+from repro.lsm.iterators import drop_tombstones, merge_entries
+
+
+def addr(n: int) -> ValueAddress:
+    return ValueAddress(lpn=n, offset=0, size=1)
+
+
+class TestMergeEntries:
+    def test_merges_sorted_streams(self):
+        a = [(b"a", addr(1)), (b"c", addr(3))]
+        b = [(b"b", addr(2)), (b"d", addr(4))]
+        merged = list(merge_entries([a, b]))
+        assert [k for k, _ in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_newest_source_wins_on_duplicates(self):
+        newer = [(b"k", addr(100))]
+        older = [(b"k", addr(1))]
+        merged = list(merge_entries([newer, older]))
+        assert merged == [(b"k", addr(100))]
+
+    def test_duplicate_across_three_sources(self):
+        s0 = [(b"k", addr(3))]
+        s1 = [(b"k", addr(2))]
+        s2 = [(b"k", addr(1)), (b"z", addr(9))]
+        merged = list(merge_entries([s0, s1, s2]))
+        assert merged == [(b"k", addr(3)), (b"z", addr(9))]
+
+    def test_tombstone_shadows_older_value(self):
+        newer = [(b"k", None)]
+        older = [(b"k", addr(1))]
+        assert list(merge_entries([newer, older])) == [(b"k", None)]
+
+    def test_empty_sources(self):
+        assert list(merge_entries([])) == []
+        assert list(merge_entries([[], []])) == []
+
+    def test_single_source_passthrough(self):
+        src = [(b"a", addr(1)), (b"b", None)]
+        assert list(merge_entries([src])) == src
+
+    def test_interleaved_many_sources(self):
+        sources = [
+            [(f"k{i:03d}".encode(), addr(i)) for i in range(start, 100, 4)]
+            for start in range(4)
+        ]
+        merged = [k for k, _ in merge_entries(sources)]
+        assert merged == sorted(merged)
+        assert len(merged) == 100
+
+
+class TestDropTombstones:
+    def test_drops_only_tombstones(self):
+        entries = [(b"a", addr(1)), (b"b", None), (b"c", addr(3))]
+        assert list(drop_tombstones(entries)) == [(b"a", addr(1)), (b"c", addr(3))]
+
+    def test_empty(self):
+        assert list(drop_tombstones([])) == []

@@ -1,0 +1,102 @@
+"""Tests for the MemTable: sorted order, tombstones, size accounting."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.addressing import ValueAddress
+from repro.lsm.memtable import MemTable
+
+
+def addr(n: int) -> ValueAddress:
+    return ValueAddress(lpn=n, offset=0, size=8)
+
+
+class TestPutGet:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(b"k", addr(1))
+        found, a = mt.get(b"k")
+        assert found and a == addr(1)
+
+    def test_missing_key(self):
+        found, a = MemTable().get(b"nope")
+        assert not found and a is None
+
+    def test_overwrite_keeps_latest(self):
+        mt = MemTable()
+        mt.put(b"k", addr(1))
+        mt.put(b"k", addr(2))
+        assert mt.get(b"k") == (True, addr(2))
+        assert len(mt) == 1
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(LSMError):
+            MemTable().put(b"", addr(1))
+
+
+class TestTombstones:
+    def test_delete_records_tombstone(self):
+        mt = MemTable()
+        mt.put(b"k", addr(1))
+        mt.delete(b"k")
+        found, a = mt.get(b"k")
+        assert found and a is None
+
+    def test_delete_unknown_key_still_tombstones(self):
+        """A tombstone must shadow versions in lower levels."""
+        mt = MemTable()
+        mt.delete(b"k")
+        found, a = mt.get(b"k")
+        assert found and a is None
+
+    def test_empty_key_delete_rejected(self):
+        with pytest.raises(LSMError):
+            MemTable().delete(b"")
+
+
+class TestOrdering:
+    def test_sorted_items(self):
+        mt = MemTable()
+        for k in (b"c", b"a", b"b"):
+            mt.put(k, addr(1))
+        assert [k for k, _ in mt.sorted_items()] == [b"a", b"b", b"c"]
+
+    def test_items_from_start_key(self):
+        mt = MemTable()
+        for k in (b"apple", b"banana", b"cherry"):
+            mt.put(k, addr(1))
+        assert [k for k, _ in mt.items_from(b"b")] == [b"banana", b"cherry"]
+
+    def test_items_from_exact_key_inclusive(self):
+        mt = MemTable()
+        mt.put(b"b", addr(1))
+        assert [k for k, _ in mt.items_from(b"b")] == [b"b"]
+
+    def test_overwrites_do_not_duplicate_sorted_keys(self):
+        mt = MemTable()
+        mt.put(b"x", addr(1))
+        mt.put(b"x", addr(2))
+        assert [k for k, _ in mt.sorted_items()] == [b"x"]
+
+
+class TestSizeAccounting:
+    def test_grows_with_entries(self):
+        mt = MemTable()
+        before = mt.approx_bytes
+        mt.put(b"key1", addr(1))
+        assert mt.approx_bytes > before
+
+    def test_overwrite_does_not_grow(self):
+        mt = MemTable()
+        mt.put(b"key1", addr(1))
+        size = mt.approx_bytes
+        mt.put(b"key1", addr(2))
+        assert mt.approx_bytes == size
+
+    def test_clear_resets(self):
+        mt = MemTable()
+        mt.put(b"key1", addr(1))
+        mt.clear()
+        assert mt.is_empty
+        assert mt.approx_bytes == 0
+        assert len(mt) == 0

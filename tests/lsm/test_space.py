@@ -1,0 +1,51 @@
+"""Tests for the logical page space allocator."""
+
+import pytest
+
+from repro.errors import LSMError
+from repro.lsm.space import PageSpace
+
+
+class TestPageSpace:
+    def test_sequential_allocation(self):
+        sp = PageSpace(base_lpn=100, capacity_pages=3)
+        assert [sp.alloc() for _ in range(3)] == [100, 101, 102]
+
+    def test_exhaustion(self):
+        sp = PageSpace(0, 1)
+        sp.alloc()
+        with pytest.raises(LSMError):
+            sp.alloc()
+
+    def test_free_recycles(self):
+        sp = PageSpace(0, 2)
+        a = sp.alloc()
+        sp.free(a)
+        assert sp.alloc() == a
+
+    def test_free_unallocated_rejected(self):
+        sp = PageSpace(0, 10)
+        with pytest.raises(LSMError):
+            sp.free(5)
+
+    def test_free_outside_range_rejected(self):
+        sp = PageSpace(10, 10)
+        with pytest.raises(LSMError):
+            sp.free(9)
+
+    def test_pages_in_use(self):
+        sp = PageSpace(0, 10)
+        a = sp.alloc()
+        sp.alloc()
+        assert sp.pages_in_use == 2
+        sp.free(a)
+        assert sp.pages_in_use == 1
+
+    def test_bounds_validation(self):
+        with pytest.raises(LSMError):
+            PageSpace(-1, 10)
+        with pytest.raises(LSMError):
+            PageSpace(0, 0)
+
+    def test_end_lpn(self):
+        assert PageSpace(5, 10).end_lpn == 15

@@ -1,0 +1,148 @@
+"""Tests for the LSM-tree facade: put/get/delete/scan across flush cycles."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError, LSMError
+from repro.lsm.addressing import ValueAddress
+from repro.lsm.space import PageSpace
+from repro.lsm.tree import LSMConfig, LSMTree
+from repro.lsm.vlog import VLog
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+
+@pytest.fixture
+def tree():
+    geo = NandGeometry(
+        channels=2, ways_per_channel=2, blocks_per_way=32,
+        pages_per_block=16, page_size=16 * KIB,
+    )
+    clock = SimClock()
+    latency = LatencyModel()
+    flash = NandFlash(geo, clock, latency)
+    ftl = PageMappedFTL(flash, gc_reserve_blocks=4)
+    vlog = VLog(ftl, base_lpn=0, capacity_pages=512)
+    space = PageSpace(base_lpn=512, capacity_pages=geo.total_pages - 512)
+    config = LSMConfig(memtable_flush_bytes=2 * KIB)
+    t = LSMTree(ftl, vlog, space, clock, latency, config)
+    # Back the vLog with real NAND pages so get() can resolve addresses:
+    # each test value i lives at (lpn=i//128, offset=(i%128)*64, size<=64).
+    return t
+
+
+def put_backed(tree, i: int, payload: bytes):
+    """Store payload in the vLog page space and index it."""
+    assert len(payload) <= 64
+    lpn, slot = divmod(i, 128)
+    while tree.vlog.pages_allocated <= lpn:
+        tree.vlog.alloc_page()
+    # Accumulate page content in a side dict, reprogramming via FTL is
+    # write-once per page; instead pre-build pages lazily per 128 slots.
+    key = f"key{i:06d}".encode()
+    addr = ValueAddress(lpn=lpn, offset=slot * 64, size=len(payload))
+    tree.put(key, addr)
+    return key, addr
+
+
+class TestPutGetAddress:
+    def test_put_then_get_address(self, tree):
+        addr = ValueAddress(lpn=0, offset=0, size=8)
+        tree.vlog.alloc_page()
+        tree.put(b"k", addr)
+        assert tree.get_address(b"k") == addr
+
+    def test_missing_key_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.get_address(b"missing")
+
+    def test_overwrite_returns_latest(self, tree):
+        tree.put(b"k", ValueAddress(0, 0, 8))
+        tree.put(b"k", ValueAddress(1, 64, 9))
+        assert tree.get_address(b"k") == ValueAddress(1, 64, 9)
+
+    def test_exists(self, tree):
+        tree.put(b"k", ValueAddress(0, 0, 8))
+        assert tree.exists(b"k")
+        assert not tree.exists(b"nope")
+
+    def test_get_survives_flush(self, tree):
+        for i in range(400):
+            key, addr = put_backed(tree, i, b"x" * 8)
+        assert tree.flush_count > 0
+        for probe in (0, 200, 399):
+            key = f"key{probe:06d}".encode()
+            got = tree.get_address(key)
+            assert got.lpn == probe // 128
+            assert got.offset == (probe % 128) * 64
+
+    def test_clock_charged_per_insert(self, tree):
+        t0 = tree.clock.now_us
+        tree.put(b"k", ValueAddress(0, 0, 8))
+        assert tree.clock.now_us > t0
+
+
+class TestDelete:
+    def test_delete_hides_key(self, tree):
+        tree.put(b"k", ValueAddress(0, 0, 8))
+        tree.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            tree.get_address(b"k")
+
+    def test_delete_shadow_survives_flush(self, tree):
+        for i in range(200):
+            put_backed(tree, i, b"x" * 8)
+        tree.delete(b"key000100")
+        for i in range(200, 400):
+            put_backed(tree, i, b"x" * 8)  # force more flushes
+        with pytest.raises(KeyNotFoundError):
+            tree.get_address(b"key000100")
+
+
+class TestScan:
+    def test_scan_ordered_across_memtable_and_tables(self, tree):
+        for i in range(300):
+            put_backed(tree, i, b"x" * 8)
+        keys = [k for k, _ in tree.scan_from(b"key000290")]
+        assert keys[:10] == [f"key{i:06d}".encode() for i in range(290, 300)]
+
+    def test_scan_skips_tombstones(self, tree):
+        tree.put(b"a", ValueAddress(0, 0, 1))
+        tree.put(b"b", ValueAddress(0, 1, 1))
+        tree.delete(b"a")
+        keys = [k for k, _ in tree.scan_from(b"")]
+        assert keys == [b"b"]
+
+    def test_scan_sees_newest_version(self, tree):
+        for i in range(300):
+            put_backed(tree, i, b"x" * 8)
+        tree.put(b"key000000", ValueAddress(3, 128, 5))
+        pairs = dict(tree.scan_from(b"key000000"))
+        assert pairs[b"key000000"] == ValueAddress(3, 128, 5)
+
+
+class TestFlushSemantics:
+    def test_explicit_flush_empties_memtable(self, tree):
+        tree.put(b"k", ValueAddress(0, 0, 8))
+        tree.flush_memtable()
+        assert tree.memtable.is_empty
+        assert tree.get_address(b"k") == ValueAddress(0, 0, 8)
+
+    def test_flush_of_empty_memtable_is_noop(self, tree):
+        before = tree.flush_count
+        tree.flush_memtable()
+        assert tree.flush_count == before
+
+    def test_entry_addr_bits_reflects_scheme(self, tree):
+        bits = tree.entry_addr_bits()
+        # 512 vLog pages -> 9 LPN bits; fine 16 KiB offsets -> 14 bits.
+        assert bits == 9 + 14
+
+
+class TestConfig:
+    def test_rejects_tiny_flush_threshold(self):
+        with pytest.raises(LSMError):
+            LSMConfig(memtable_flush_bytes=10)

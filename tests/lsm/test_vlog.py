@@ -1,0 +1,107 @@
+"""Tests for the vLog: allocation, read-through, page-spanning reads."""
+
+import pytest
+
+from repro.errors import VLogError
+from repro.lsm.addressing import ValueAddress
+from repro.lsm.vlog import VLog
+
+
+@pytest.fixture
+def vlog(ftl):
+    return VLog(ftl, base_lpn=0, capacity_pages=16)
+
+
+class TestAllocation:
+    def test_sequential_lpns(self, vlog):
+        assert [vlog.alloc_page() for _ in range(3)] == [0, 1, 2]
+
+    def test_base_offset(self, ftl):
+        v = VLog(ftl, base_lpn=100, capacity_pages=4)
+        assert v.alloc_page() == 100
+        assert v.end_lpn == 104
+
+    def test_exhaustion(self, ftl):
+        v = VLog(ftl, base_lpn=0, capacity_pages=1)
+        v.alloc_page()
+        with pytest.raises(VLogError):
+            v.alloc_page()
+
+    def test_pages_allocated(self, vlog):
+        vlog.alloc_page()
+        vlog.alloc_page()
+        assert vlog.pages_allocated == 2
+
+    def test_contains(self, ftl):
+        v = VLog(ftl, base_lpn=5, capacity_pages=3)
+        assert v.contains(5) and v.contains(7)
+        assert not v.contains(4) and not v.contains(8)
+
+    def test_bad_construction(self, ftl):
+        with pytest.raises(VLogError):
+            VLog(ftl, base_lpn=-1, capacity_pages=4)
+        with pytest.raises(VLogError):
+            VLog(ftl, base_lpn=0, capacity_pages=0)
+
+
+class TestReadThroughNAND:
+    def test_read_flushed_value(self, vlog, ftl):
+        lpn = vlog.alloc_page()
+        page = bytearray(vlog.page_size)
+        page[100:105] = b"hello"
+        ftl.write(lpn, bytes(page))
+        addr = ValueAddress(lpn=lpn, offset=100, size=5)
+        assert vlog.read(addr) == b"hello"
+
+    def test_read_spanning_two_pages(self, vlog, ftl):
+        l0, l1 = vlog.alloc_page(), vlog.alloc_page()
+        p = vlog.page_size
+        ftl.write(l0, b"\x00" * (p - 3) + b"abc")
+        ftl.write(l1, b"defgh" + b"\x00" * (p - 5))
+        addr = ValueAddress(lpn=l0, offset=p - 3, size=8)
+        assert vlog.read(addr) == b"abcdefgh"
+
+    def test_read_outside_vlog_rejected(self, vlog):
+        with pytest.raises(VLogError):
+            vlog.read(ValueAddress(lpn=99, offset=0, size=4))
+
+    def test_offset_beyond_page_rejected(self, vlog):
+        with pytest.raises(VLogError):
+            vlog.read(ValueAddress(lpn=0, offset=vlog.page_size, size=1))
+
+
+class TestReadThroughBuffer:
+    class FakeBuffer:
+        """Serves LPN 0 from 'DRAM', leaving others to NAND."""
+
+        def __init__(self, page_size):
+            self.page = bytearray(page_size)
+            self.page[0:6] = b"buffed"
+
+        def unflushed_page(self, lpn):
+            return bytes(self.page) if lpn == 0 else None
+
+    def test_unflushed_page_served_from_buffer(self, vlog):
+        vlog.alloc_page()
+        vlog.attach_buffer(self.FakeBuffer(vlog.page_size))
+        addr = ValueAddress(lpn=0, offset=0, size=6)
+        assert vlog.read(addr) == b"buffed"
+
+    def test_buffer_miss_falls_through_to_nand(self, vlog, ftl):
+        vlog.alloc_page()
+        lpn = vlog.alloc_page()
+        vlog.attach_buffer(self.FakeBuffer(vlog.page_size))
+        ftl.write(lpn, b"nandy" + b"\x00" * (vlog.page_size - 5))
+        assert vlog.read(ValueAddress(lpn=lpn, offset=0, size=5)) == b"nandy"
+
+    def test_read_spanning_buffer_and_nand(self, vlog, ftl):
+        """A value whose head flushed to NAND but whose tail is buffered...
+        or here the reverse: page 0 buffered, page 1 on NAND."""
+        vlog.alloc_page()
+        lpn1 = vlog.alloc_page()
+        fake = self.FakeBuffer(vlog.page_size)
+        fake.page[-2:] = b"xy"
+        vlog.attach_buffer(fake)
+        ftl.write(lpn1, b"z" + b"\x00" * (vlog.page_size - 1))
+        addr = ValueAddress(lpn=0, offset=vlog.page_size - 2, size=3)
+        assert vlog.read(addr) == b"xyz"

@@ -1,0 +1,117 @@
+"""Tests for the LRU page cache and its FTL integration."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.memory.cache import PageCache
+
+
+class TestLRUMechanics:
+    def test_miss_then_hit(self):
+        c = PageCache(4)
+        assert c.get(1) is None
+        c.put(1, b"one")
+        assert c.get(1) == b"one"
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        c = PageCache(2)
+        c.put(1, b"a")
+        c.put(2, b"b")
+        c.get(1)          # 1 becomes most-recent
+        c.put(3, b"c")    # evicts 2
+        assert c.get(2) is None
+        assert c.get(1) == b"a"
+        assert c.get(3) == b"c"
+        assert c.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        c = PageCache(2)
+        c.put(1, b"old")
+        c.put(1, b"new")
+        assert len(c) == 1
+        assert c.get(1) == b"new"
+
+    def test_invalidate(self):
+        c = PageCache(2)
+        c.put(1, b"a")
+        c.invalidate(1)
+        assert c.get(1) is None
+        assert c.invalidations == 1
+
+    def test_invalidate_absent_is_noop(self):
+        c = PageCache(2)
+        c.invalidate(99)
+        assert c.invalidations == 0
+
+    def test_hit_rate(self):
+        c = PageCache(2)
+        c.put(1, b"a")
+        c.get(1)
+        c.get(2)
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            PageCache(0)
+
+    def test_clear(self):
+        c = PageCache(2)
+        c.put(1, b"a")
+        c.clear()
+        assert len(c) == 0
+
+
+class TestFTLIntegration:
+    def test_second_read_served_from_cache(self, ftl):
+        ftl.attach_read_cache(PageCache(4))
+        ftl.write(1, b"data")
+        reads_before = ftl.flash.page_reads
+        ftl.read(1)
+        ftl.read(1)
+        ftl.read(1)
+        assert ftl.flash.page_reads == reads_before + 1  # one real read
+
+    def test_cache_hit_is_faster(self, ftl):
+        ftl.attach_read_cache(PageCache(4), hit_cost_us=2.0)
+        ftl.write(1, b"data")
+        t0 = ftl.flash.clock.now_us
+        ftl.read(1)
+        miss_cost = ftl.flash.clock.now_us - t0
+        t1 = ftl.flash.clock.now_us
+        ftl.read(1)
+        hit_cost = ftl.flash.clock.now_us - t1
+        assert hit_cost == pytest.approx(2.0)
+        assert hit_cost < miss_cost
+
+    def test_overwrite_invalidates(self, ftl):
+        ftl.attach_read_cache(PageCache(4))
+        ftl.write(1, b"v1")
+        ftl.read(1)
+        ftl.write(1, b"v2")
+        assert ftl.read(1)[:2] == b"v2"  # no stale cache serve
+
+    def test_trim_invalidates(self, ftl):
+        from repro.errors import FTLError
+
+        ftl.attach_read_cache(PageCache(4))
+        ftl.write(1, b"v1")
+        ftl.read(1)
+        ftl.trim(1)
+        with pytest.raises(FTLError):
+            ftl.read(1)
+
+    def test_device_level_wiring(self, device_factory):
+        d = device_factory(read_cache_pages=8)
+        assert d.ftl._cache is not None
+        d.driver.put(b"k", b"v" * 100)
+        d.driver.flush()
+        reads_before = d.flash.page_reads
+        d.driver.get(b"k")
+        first = d.flash.page_reads - reads_before
+        d.driver.get(b"k")
+        second = d.flash.page_reads - reads_before - first
+        assert second < max(first, 1) or first == 0
+
+    def test_cache_off_by_default(self, device_factory):
+        assert device_factory().ftl._cache is None

@@ -1,0 +1,96 @@
+"""Tests for device DRAM and regions."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.memory.device import DeviceDRAM
+
+
+class TestDeviceDRAM:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceDRAM(0)
+
+    def test_write_read_roundtrip(self):
+        dram = DeviceDRAM(1024)
+        dram.write(100, b"hello")
+        assert dram.read(100, 5) == b"hello"
+
+    def test_bounds_checked(self):
+        dram = DeviceDRAM(64)
+        with pytest.raises(DeviceMemoryError):
+            dram.write(60, b"too long")
+        with pytest.raises(DeviceMemoryError):
+            dram.read(64, 1)
+        with pytest.raises(DeviceMemoryError):
+            dram.read(-1, 1)
+
+    def test_memcpy_moves_bytes_and_counts(self):
+        dram = DeviceDRAM(1024)
+        dram.write(0, b"abcdef")
+        dram.memcpy(dst=100, src=0, nbytes=6)
+        assert dram.read(100, 6) == b"abcdef"
+        assert dram.memcpy_bytes_total == 6
+
+    def test_fill(self):
+        dram = DeviceDRAM(64)
+        dram.fill(8, 4, 0xAB)
+        assert dram.read(8, 4) == b"\xab\xab\xab\xab"
+
+    def test_fill_rejects_bad_byte(self):
+        with pytest.raises(DeviceMemoryError):
+            DeviceDRAM(64).fill(0, 4, 300)
+
+
+class TestRegions:
+    def test_carve_sequential_regions(self):
+        dram = DeviceDRAM(1000)
+        a = dram.carve_region("a", 400)
+        b = dram.carve_region("b", 600)
+        assert a.base == 0
+        assert b.base == 400
+
+    def test_carve_overflow_rejected(self):
+        dram = DeviceDRAM(100)
+        dram.carve_region("a", 80)
+        with pytest.raises(DeviceMemoryError):
+            dram.carve_region("b", 21)
+
+    def test_region_write_read_relative(self):
+        dram = DeviceDRAM(1000)
+        dram.carve_region("pad", 100)
+        r = dram.carve_region("r", 100)
+        r.write(10, b"xy")
+        assert r.read(10, 2) == b"xy"
+        assert dram.read(110, 2) == b"xy"
+
+    def test_region_write_cannot_overrun(self):
+        dram = DeviceDRAM(1000)
+        r = dram.carve_region("r", 16)
+        with pytest.raises(DeviceMemoryError):
+            r.write(10, b"1234567")
+
+    def test_region_read_cannot_overrun(self):
+        dram = DeviceDRAM(1000)
+        r = dram.carve_region("r", 16)
+        with pytest.raises(DeviceMemoryError):
+            r.read(10, 7)
+
+    def test_abs_and_rel_addresses_invert(self):
+        dram = DeviceDRAM(1000)
+        dram.carve_region("pad", 128)
+        r = dram.carve_region("r", 64)
+        assert r.rel_offset(r.abs_addr(10)) == 10
+
+    def test_abs_addr_bounds(self):
+        dram = DeviceDRAM(1000)
+        r = dram.carve_region("r", 64)
+        with pytest.raises(DeviceMemoryError):
+            r.abs_addr(65)
+
+    def test_region_fill(self):
+        dram = DeviceDRAM(256)
+        r = dram.carve_region("r", 64)
+        r.write(0, b"zzzz")
+        r.fill(0, 4, 0)
+        assert r.read(0, 4) == b"\x00" * 4

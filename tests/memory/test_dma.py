@@ -1,0 +1,97 @@
+"""Tests for the DMA engine and its page-alignment restriction (§2.5)."""
+
+import pytest
+
+from repro.errors import DMAAlignmentError
+from repro.memory.device import DeviceDRAM
+from repro.memory.dma import DMAEngine
+from repro.memory.host import HostMemory
+from repro.pcie.link import PCIeLink
+from repro.pcie.metrics import TrafficCategory
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import MEM_PAGE_SIZE
+
+
+@pytest.fixture
+def engine():
+    clock = SimClock()
+    link = PCIeLink(clock, LatencyModel())
+    dram = DeviceDRAM(16 * MEM_PAGE_SIZE)
+    host = HostMemory()
+    return DMAEngine(link, dram, host)
+
+
+class TestAlignmentRestriction:
+    def test_unaligned_destination_rejected(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * 100)
+        with pytest.raises(DMAAlignmentError):
+            engine.host_to_device(buf, device_addr=100)
+
+    def test_aligned_destination_accepted(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * 100)
+        engine.host_to_device(buf, device_addr=MEM_PAGE_SIZE)
+        assert engine.h2d_transfers == 1
+
+    def test_d2h_unaligned_rejected(self, engine):
+        buf = engine.host_mem.alloc_buffer(100)
+        with pytest.raises(DMAAlignmentError):
+            engine.device_to_host(1, buf)
+
+    def test_scatter_targets_all_checked(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * (MEM_PAGE_SIZE + 1))
+        with pytest.raises(DMAAlignmentError):
+            engine.host_to_device_scatter(buf, [0, 17])
+
+    def test_scatter_target_count_checked(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * (MEM_PAGE_SIZE + 1))
+        with pytest.raises(DMAAlignmentError):
+            engine.host_to_device_scatter(buf, [0])
+
+
+class TestTransfers:
+    def test_h2d_moves_whole_pages(self, engine):
+        """A 32 B value transfers 4096 wire bytes — the §2.3 amplification."""
+        buf = engine.host_mem.stage_value(b"v" * 32)
+        wire = engine.host_to_device(buf, 0)
+        assert wire == MEM_PAGE_SIZE
+        assert engine.link.meter.bytes_for(TrafficCategory.DMA_H2D) == MEM_PAGE_SIZE
+
+    def test_h2d_content_lands_in_dram(self, engine):
+        value = bytes(range(256)) * 4
+        buf = engine.host_mem.stage_value(value)
+        engine.host_to_device(buf, 0)
+        assert engine.dram.read(0, len(value)) == value
+
+    def test_multipage_value_content(self, engine):
+        value = b"ab" * 3000
+        buf = engine.host_mem.stage_value(value)
+        engine.host_to_device(buf, MEM_PAGE_SIZE)
+        assert engine.dram.read(MEM_PAGE_SIZE, len(value)) == value
+
+    def test_scatter_lands_pages_at_targets(self, engine):
+        value = b"A" * MEM_PAGE_SIZE + b"B" * 10
+        buf = engine.host_mem.stage_value(value)
+        targets = [2 * MEM_PAGE_SIZE, 5 * MEM_PAGE_SIZE]
+        engine.host_to_device_scatter(buf, targets)
+        assert engine.dram.read(2 * MEM_PAGE_SIZE, 4) == b"AAAA"
+        assert engine.dram.read(5 * MEM_PAGE_SIZE, 2) == b"B" * 2
+
+    def test_scatter_charges_one_transaction(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * (2 * MEM_PAGE_SIZE))
+        engine.host_to_device_scatter(buf, [0, MEM_PAGE_SIZE])
+        assert engine.link.meter.transactions_for(TrafficCategory.DMA_H2D) == 1
+
+    def test_d2h_roundtrip(self, engine):
+        payload = b"payload!" * 100
+        engine.dram.write(0, payload)
+        buf = engine.host_mem.alloc_buffer(len(payload))
+        engine.device_to_host(0, buf)
+        assert buf.tobytes() == payload
+        assert engine.d2h_transfers == 1
+
+    def test_transfers_advance_clock(self, engine):
+        buf = engine.host_mem.stage_value(b"x" * 64)
+        t0 = engine.link.clock.now_us
+        engine.host_to_device(buf, 0)
+        assert engine.link.clock.now_us > t0

@@ -1,0 +1,130 @@
+"""Tests for host memory pages, buffers and the allocator."""
+
+import pytest
+
+from repro.errors import HostMemoryError
+from repro.memory.host import HostBuffer, HostMemory, HostPage
+from repro.units import MEM_PAGE_SIZE
+
+
+class TestHostPage:
+    def test_requires_aligned_address(self):
+        with pytest.raises(HostMemoryError):
+            HostPage(addr=123)
+
+    def test_requires_full_page_data(self):
+        with pytest.raises(HostMemoryError):
+            HostPage(addr=0, data=bytearray(10))
+
+    def test_valid_page(self):
+        p = HostPage(addr=MEM_PAGE_SIZE * 3)
+        assert len(p.data) == MEM_PAGE_SIZE
+
+
+class TestHostBuffer:
+    def test_page_count_must_match_length(self):
+        page = HostPage(addr=0)
+        with pytest.raises(HostMemoryError):
+            HostBuffer(pages=[page, HostPage(addr=MEM_PAGE_SIZE)], length=100)
+
+    def test_wire_bytes_are_page_padded(self):
+        """§2.3: a 32 B value still moves a whole page."""
+        buf = HostBuffer(pages=[HostPage(addr=0)], length=32)
+        assert buf.wire_bytes == MEM_PAGE_SIZE
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(HostMemoryError):
+            HostBuffer(pages=[], length=-1)
+
+    def test_empty_buffer_allowed(self):
+        buf = HostBuffer(pages=[], length=0)
+        assert buf.wire_bytes == 0
+
+    def test_tobytes_truncates_to_length(self):
+        page = HostPage(addr=0)
+        page.data[:5] = b"hello"
+        buf = HostBuffer(pages=[page], length=5)
+        assert buf.tobytes() == b"hello"
+
+    def test_page_addrs(self):
+        pages = [HostPage(addr=0), HostPage(addr=MEM_PAGE_SIZE)]
+        buf = HostBuffer(pages=pages, length=MEM_PAGE_SIZE + 1)
+        assert buf.page_addrs == [0, MEM_PAGE_SIZE]
+
+
+class TestHostMemory:
+    def test_alloc_returns_aligned_distinct_pages(self):
+        mem = HostMemory()
+        a, b = mem.alloc_page(), mem.alloc_page()
+        assert a.addr != b.addr
+        assert a.addr % MEM_PAGE_SIZE == 0
+
+    def test_alloc_zeroes_page(self):
+        mem = HostMemory()
+        page = mem.alloc_page()
+        assert bytes(page.data) == b"\x00" * MEM_PAGE_SIZE
+
+    def test_free_recycles_address(self):
+        mem = HostMemory()
+        page = mem.alloc_page()
+        addr = page.addr
+        mem.free_page(page)
+        assert mem.alloc_page().addr == addr
+
+    def test_double_free_rejected(self):
+        mem = HostMemory()
+        page = mem.alloc_page()
+        mem.free_page(page)
+        with pytest.raises(HostMemoryError):
+            mem.free_page(page)
+
+    def test_stage_value_copies_content(self):
+        mem = HostMemory()
+        value = bytes(range(200))
+        buf = mem.stage_value(value)
+        assert buf.tobytes() == value
+        assert len(buf.pages) == 1
+
+    def test_stage_large_value_spans_pages(self):
+        mem = HostMemory()
+        value = b"ab" * 3000  # 6000 bytes -> 2 pages
+        buf = mem.stage_value(value)
+        assert len(buf.pages) == 2
+        assert buf.tobytes() == value
+
+    def test_stage_exact_page(self):
+        mem = HostMemory()
+        value = b"x" * MEM_PAGE_SIZE
+        buf = mem.stage_value(value)
+        assert len(buf.pages) == 1
+        assert buf.tobytes() == value
+
+    def test_release_returns_all_pages(self):
+        mem = HostMemory()
+        buf = mem.stage_value(b"y" * 10000)
+        assert mem.allocated_pages == 3
+        mem.release(buf)
+        assert mem.allocated_pages == 0
+
+    def test_alloc_buffer_uninitialized(self):
+        mem = HostMemory()
+        buf = mem.alloc_buffer(5000)
+        assert len(buf.pages) == 2
+        assert buf.length == 5000
+
+    def test_page_at_resolves_live_pages(self):
+        mem = HostMemory()
+        page = mem.alloc_page()
+        assert mem.page_at(page.addr) is page
+
+    def test_page_at_rejects_unknown(self):
+        mem = HostMemory()
+        with pytest.raises(HostMemoryError):
+            mem.page_at(0xDEAD000)
+
+    def test_page_at_rejects_freed(self):
+        mem = HostMemory()
+        page = mem.alloc_page()
+        mem.free_page(page)
+        with pytest.raises(HostMemoryError):
+            mem.page_at(page.addr)

@@ -1,0 +1,119 @@
+"""Tests for NAND flash semantics: program-once, in-order, erase, counters."""
+
+import pytest
+
+from repro.errors import NandError, ProgramError
+from repro.nand.flash import NandFlash
+
+
+class TestProgram:
+    def test_program_read_roundtrip(self, flash):
+        flash.program(0, b"hello")
+        page = flash.read(0)
+        assert page[:5] == b"hello"
+        assert len(page) == flash.geometry.page_size
+
+    def test_short_data_zero_padded(self, flash):
+        flash.program(0, b"x")
+        assert flash.read(0)[1:10] == b"\x00" * 9
+
+    def test_oversized_data_rejected(self, flash):
+        with pytest.raises(NandError):
+            flash.program(0, b"x" * (flash.geometry.page_size + 1))
+
+    def test_program_twice_rejected(self, flash):
+        """NAND pages are write-once between erases."""
+        flash.program(0, b"a")
+        with pytest.raises(ProgramError):
+            flash.program(0, b"b")
+
+    def test_out_of_order_program_rejected(self, flash):
+        """Pages within a block must be programmed sequentially."""
+        flash.program(0, b"a")
+        with pytest.raises(ProgramError):
+            flash.program(2, b"c")
+
+    def test_in_order_program_across_block(self, flash):
+        ppb = flash.geometry.pages_per_block
+        for i in range(ppb):
+            flash.program(i, bytes([i]))
+        # Next block starts at page 0 of that block, any time.
+        flash.program(ppb, b"next block")
+        assert flash.read(ppb)[:10] == b"next block"
+
+    def test_ppn_bounds(self, flash):
+        with pytest.raises(NandError):
+            flash.program(flash.geometry.total_pages, b"x")
+
+    def test_program_counts(self, flash):
+        flash.program(0, b"a")
+        flash.program(1, b"b")
+        assert flash.page_programs == 2
+        assert flash.bytes_programmed == 2 * flash.geometry.page_size
+
+    def test_program_advances_clock(self, flash):
+        t0 = flash.clock.now_us
+        flash.program(0, b"a")
+        assert flash.clock.now_us == pytest.approx(t0 + flash.latency.nand_program_us)
+
+
+class TestRead:
+    def test_read_unprogrammed_rejected(self, flash):
+        with pytest.raises(NandError):
+            flash.read(0)
+
+    def test_read_counts_and_clock(self, flash):
+        flash.program(0, b"a")
+        t0 = flash.clock.now_us
+        flash.read(0)
+        assert flash.page_reads == 1
+        assert flash.clock.now_us == pytest.approx(t0 + flash.latency.nand_read_us)
+
+    def test_is_programmed(self, flash):
+        assert not flash.is_programmed(0)
+        flash.program(0, b"a")
+        assert flash.is_programmed(0)
+
+
+class TestErase:
+    def test_erase_enables_reprogram(self, flash):
+        flash.program(0, b"a")
+        flash.erase_block(0)
+        flash.program(0, b"b")  # no ProgramError
+        assert flash.read(0)[:1] == b"b"
+
+    def test_erase_clears_content(self, flash):
+        flash.program(0, b"a")
+        flash.erase_block(0)
+        with pytest.raises(NandError):
+            flash.read(0)
+
+    def test_erase_counts(self, flash):
+        flash.erase_block(0)
+        flash.erase_block(0)
+        assert flash.block_erases == 2
+        assert flash.erase_count(0) == 2
+        assert flash.erase_count(1) == 0
+
+    def test_erase_bounds(self, flash):
+        with pytest.raises(NandError):
+            flash.erase_block(flash.geometry.total_blocks)
+
+    def test_pages_programmed_in_block_resets(self, flash):
+        flash.program(0, b"a")
+        flash.program(1, b"b")
+        assert flash.pages_programmed_in_block(0) == 2
+        flash.erase_block(0)
+        assert flash.pages_programmed_in_block(0) == 0
+
+
+class TestMetrics:
+    def test_reset_metrics(self, flash):
+        flash.program(0, b"a")
+        flash.reset_metrics()
+        assert flash.page_programs == 0
+
+    def test_snapshot_keys(self, flash):
+        snap = flash.metrics.snapshot()
+        assert "nand.page_programs" in snap
+        assert "nand.block_erases" in snap

@@ -1,0 +1,149 @@
+"""Tests for the page-mapped FTL: mapping, invalidation, allocation, striping."""
+
+import pytest
+
+from repro.errors import FTLError
+from repro.nand.ftl import PageMappedFTL
+
+
+class TestMapping:
+    def test_write_read_roundtrip(self, ftl):
+        ftl.write(5, b"value five")
+        assert ftl.read(5)[:10] == b"value five"
+
+    def test_unmapped_read_rejected(self, ftl):
+        with pytest.raises(FTLError):
+            ftl.read(42)
+
+    def test_rewrite_goes_out_of_place(self, ftl):
+        ppn1 = ftl.write(1, b"v1")
+        ppn2 = ftl.write(1, b"v2")
+        assert ppn1 != ppn2
+        assert ftl.read(1)[:2] == b"v2"
+
+    def test_rewrite_invalidates_old_page(self, ftl):
+        ppn1 = ftl.write(1, b"v1")
+        block1 = ftl.flash.geometry.block_of(ppn1)
+        ftl.write(1, b"v2")
+        assert ftl.lpn_of(ppn1) is None
+        assert ftl.valid_pages_in_block(block1) + 1 >= 1  # old page not counted
+
+    def test_negative_lpn_rejected(self, ftl):
+        with pytest.raises(FTLError):
+            ftl.write(-1, b"x")
+
+    def test_mapped_pages_count(self, ftl):
+        ftl.write(1, b"a")
+        ftl.write(2, b"b")
+        ftl.write(1, b"c")
+        assert ftl.mapped_pages == 2
+
+    def test_is_mapped(self, ftl):
+        assert not ftl.is_mapped(9)
+        ftl.write(9, b"x")
+        assert ftl.is_mapped(9)
+
+    def test_ppn_of_unmapped_raises(self, ftl):
+        with pytest.raises(FTLError):
+            ftl.ppn_of(1234)
+
+
+class TestTrim:
+    def test_trim_unmaps(self, ftl):
+        ftl.write(1, b"a")
+        ftl.trim(1)
+        assert not ftl.is_mapped(1)
+
+    def test_trim_unmapped_rejected(self, ftl):
+        with pytest.raises(FTLError):
+            ftl.trim(1)
+
+    def test_trim_decrements_validity(self, ftl):
+        ppn = ftl.write(1, b"a")
+        block = ftl.flash.geometry.block_of(ppn)
+        assert ftl.valid_pages_in_block(block) == 1
+        ftl.trim(1)
+        assert ftl.valid_pages_in_block(block) == 0
+
+
+class TestAllocation:
+    def test_writes_stripe_across_ways(self, ftl):
+        """Round-robin allocation spreads consecutive writes over ways."""
+        geo = ftl.flash.geometry
+        ppns = [ftl.write(i, b"x") for i in range(geo.total_ways)]
+        ways = {
+            (geo.decompose(p).channel, geo.decompose(p).way) for p in ppns
+        }
+        assert len(ways) == geo.total_ways
+
+    def test_free_block_count_decreases(self, ftl):
+        before = ftl.free_block_count
+        for i in range(ftl.flash.geometry.total_ways):
+            ftl.write(i, b"x")
+        assert ftl.free_block_count == before - ftl.flash.geometry.total_ways
+
+    def test_exhaustion_without_gc_raises(self, flash):
+        ftl = PageMappedFTL(flash, gc_reserve_blocks=1)
+        total = flash.geometry.total_pages
+        with pytest.raises(FTLError):
+            for i in range(total + 1):
+                ftl.write(i, b"x")
+
+    def test_logical_write_counter(self, ftl):
+        ftl.write(1, b"a")
+        ftl.write(1, b"b")
+        assert ftl.metrics.counter("logical_writes").value == 2
+
+
+class TestVictimsAndRelocation:
+    def test_victim_candidates_sorted_by_validity(self, ftl):
+        geo = ftl.flash.geometry
+        pages = geo.pages_per_block
+        ways = geo.total_ways
+        # Fill several blocks; rewrite some LPNs to create invalid pages.
+        for i in range(pages * ways * 2):
+            ftl.write(i, b"x")
+        for i in range(0, pages * ways, 2):
+            ftl.write(i, b"y")  # invalidate half the early pages
+        candidates = ftl.victim_candidates()
+        validities = [ftl.valid_pages_in_block(b) for b in candidates]
+        assert validities == sorted(validities)
+        assert candidates, "expected some fully-programmed victim blocks"
+
+    def test_relocate_block_preserves_data(self, ftl):
+        geo = ftl.flash.geometry
+        pages = geo.pages_per_block
+        ways = geo.total_ways
+        for i in range(pages * ways):
+            ftl.write(i, bytes([i % 256]))
+        victim = ftl.victim_candidates()[0]
+        survivors = [
+            lpn
+            for ppn in range(
+                geo.first_ppn_of_block(victim),
+                geo.first_ppn_of_block(victim) + pages,
+            )
+            if (lpn := ftl.lpn_of(ppn)) is not None
+        ]
+        moved = ftl.relocate_block(victim)
+        assert moved == len(survivors)
+        for lpn in survivors:
+            assert ftl.read(lpn)[:1] == bytes([lpn % 256])
+
+    def test_relocate_frees_the_block(self, ftl):
+        geo = ftl.flash.geometry
+        for i in range(geo.pages_per_block * geo.total_ways):
+            ftl.write(i, b"x")
+        victim = ftl.victim_candidates()[0]
+        erases_before = ftl.flash.block_erases
+        ftl.relocate_block(victim)
+        # The victim block is erased and reprogrammable from page 0.
+        assert ftl.flash.block_erases == erases_before + 1
+        assert ftl.flash.pages_programmed_in_block(victim) == 0
+
+    def test_relocate_open_block_rejected(self, ftl):
+        ftl.write(0, b"x")  # one page into some block; block still open
+        ppn = ftl.ppn_of(0)
+        block = ftl.flash.geometry.block_of(ppn)
+        with pytest.raises(FTLError):
+            ftl.relocate_block(block)

@@ -1,0 +1,85 @@
+"""Tests for NAND geometry and PPN addressing."""
+
+import pytest
+
+from repro.errors import ConfigError, NandError
+from repro.nand.geometry import NandGeometry, PageAddress, default_geometry
+from repro.units import GIB, KIB, TIB
+
+
+class TestShape:
+    def test_paper_default_shape(self):
+        """Table 1: 4 channels, 8 ways, 16 KiB pages."""
+        geo = NandGeometry()
+        assert geo.channels == 4
+        assert geo.ways_per_channel == 8
+        assert geo.page_size == 16 * KIB
+
+    def test_capacity_math(self):
+        geo = NandGeometry(
+            channels=2, ways_per_channel=2, blocks_per_way=4,
+            pages_per_block=8, page_size=16 * KIB,
+        )
+        assert geo.total_ways == 4
+        assert geo.total_blocks == 16
+        assert geo.total_pages == 128
+        assert geo.capacity_bytes == 128 * 16 * KIB
+        assert geo.block_size == 8 * 16 * KIB
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ConfigError):
+            NandGeometry(channels=0)
+        with pytest.raises(ConfigError):
+            NandGeometry(page_size=0)
+
+    def test_default_geometry_capacity(self):
+        geo = default_geometry(8 * GIB)
+        assert geo.capacity_bytes == pytest.approx(8 * GIB, rel=0.05)
+        assert geo.channels == 4
+        assert geo.ways_per_channel == 8
+
+    def test_default_geometry_1tb(self):
+        """Paper scale: 1 TB of 16 KiB pages needs 26-bit page numbers."""
+        geo = default_geometry(1 * TIB)
+        assert geo.total_pages == 2**26
+
+
+class TestAddressing:
+    @pytest.fixture
+    def geo(self):
+        return NandGeometry(
+            channels=2, ways_per_channel=3, blocks_per_way=4,
+            pages_per_block=5, page_size=16 * KIB,
+        )
+
+    def test_ppn_decompose_inverse(self, geo):
+        for ppn in range(geo.total_pages):
+            assert geo.ppn(geo.decompose(ppn)) == ppn
+
+    def test_consecutive_ppns_same_block_consecutive_pages(self, geo):
+        """PPN layout: in-block pages are adjacent (program-order)."""
+        a0 = geo.decompose(0)
+        a1 = geo.decompose(1)
+        assert (a1.channel, a1.way, a1.block) == (a0.channel, a0.way, a0.block)
+        assert a1.page == a0.page + 1
+
+    def test_block_of(self, geo):
+        assert geo.block_of(0) == 0
+        assert geo.block_of(geo.pages_per_block) == 1
+
+    def test_first_ppn_of_block(self, geo):
+        assert geo.first_ppn_of_block(2) == 2 * geo.pages_per_block
+
+    def test_bounds_rejected(self, geo):
+        with pytest.raises(NandError):
+            geo.decompose(geo.total_pages)
+        with pytest.raises(NandError):
+            geo.block_of(-1)
+        with pytest.raises(NandError):
+            geo.first_ppn_of_block(geo.total_blocks)
+
+    def test_validate_rejects_out_of_range_coords(self, geo):
+        with pytest.raises(NandError):
+            geo.ppn(PageAddress(channel=2, way=0, block=0, page=0))
+        with pytest.raises(NandError):
+            geo.ppn(PageAddress(channel=0, way=0, block=0, page=5))

@@ -1,0 +1,148 @@
+"""Tests for the admin command set: IDENTIFY and GET/SET FEATURES."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.nvme.admin import (
+    BandSlimCapabilities,
+    FeatureId,
+    IDENTIFY_DATA_SIZE,
+    VENDOR_ID,
+    build_identify_data,
+    identify_vendor_fields,
+    parse_identify_data,
+)
+
+
+@pytest.fixture
+def caps():
+    return BandSlimCapabilities(
+        write_piggyback_capacity=35,
+        transfer_piggyback_capacity=56,
+        nand_page_size=16384,
+        buffer_entries=512,
+        dlt_capacity=512,
+        transfer_mode="adaptive",
+        packing_policy="backfill",
+        threshold1=91,
+        threshold2=0,
+    )
+
+
+class TestIdentifyData:
+    def test_structure_size(self, caps):
+        assert len(build_identify_data(caps)) == IDENTIFY_DATA_SIZE
+
+    def test_capability_roundtrip(self, caps):
+        data = build_identify_data(caps)
+        assert parse_identify_data(data) == caps
+
+    def test_standard_fields(self, caps):
+        fields = identify_vendor_fields(build_identify_data(caps))
+        assert fields["vid"] == f"{VENDOR_ID:#06x}"
+        assert "BANDSLIM" in fields["serial"]
+        assert "BandSlim" in fields["model"]
+
+    def test_parse_rejects_short_data(self):
+        with pytest.raises(NVMeError):
+            parse_identify_data(b"\x00" * 100)
+
+    def test_parse_rejects_missing_magic(self, caps):
+        data = bytearray(build_identify_data(caps))
+        data[3072:3076] = b"XXXX"
+        with pytest.raises(NVMeError):
+            parse_identify_data(bytes(data))
+
+
+class TestAdminThroughDevice:
+    def test_identify_over_the_wire(self, small_device):
+        fields, caps = small_device.driver.identify()
+        assert caps.write_piggyback_capacity == 35
+        assert caps.transfer_piggyback_capacity == 56
+        assert caps.packing_policy == "backfill"
+        assert "BANDSLIM" in fields["serial"]
+
+    def test_identify_moves_real_dma_traffic(self, small_device):
+        from repro.pcie.metrics import TrafficCategory
+
+        before = small_device.link.meter.bytes_for(TrafficCategory.DMA_D2H)
+        small_device.driver.identify()
+        moved = small_device.link.meter.bytes_for(TrafficCategory.DMA_D2H) - before
+        assert moved == IDENTIFY_DATA_SIZE
+
+    def test_get_features_reads_thresholds(self, small_device):
+        d = small_device
+        assert d.driver.get_feature(FeatureId.THRESHOLD1) == d.config.threshold1
+        assert d.driver.get_feature(FeatureId.THRESHOLD2) == d.config.threshold2
+        assert d.driver.get_feature(FeatureId.ALPHA_MILLI) == 1000
+
+    def test_set_feature_updates_both_sides(self, small_device):
+        d = small_device
+        d.driver.set_feature(FeatureId.THRESHOLD1, 128)
+        assert d.controller.config.threshold1 == 128
+        assert d.driver.config.threshold1 == 128
+        assert d.driver.planner.config.threshold1 == 128
+        assert d.driver.get_feature(FeatureId.THRESHOLD1) == 128
+
+    def test_set_alpha_changes_adaptive_decisions(self, small_device):
+        """Runtime management actually changes transfer behavior."""
+        from repro.core.transfer import TransferMethod
+
+        d = small_device
+        assert d.driver.planner.plan(150).method is TransferMethod.PRP
+        d.driver.set_feature(FeatureId.ALPHA_MILLI, 2000)  # alpha = 2.0
+        assert d.driver.planner.plan(150).method is TransferMethod.PIGGYBACK
+
+    def test_set_invalid_alpha_rejected(self, small_device):
+        with pytest.raises(NVMeError):
+            small_device.driver.set_feature(FeatureId.ALPHA_MILLI, 0)
+
+    def test_identify_after_set_reflects_new_thresholds(self, small_device):
+        d = small_device
+        d.driver.set_feature(FeatureId.THRESHOLD2, 56)
+        _, caps = d.driver.identify()
+        assert caps.threshold2 == 56
+
+    def test_io_path_unaffected_by_admin(self, small_device):
+        d = small_device
+        d.driver.identify()
+        d.driver.put(b"k", b"v" * 100)
+        assert d.driver.get(b"k").value == b"v" * 100
+
+
+class TestStatsLogPage:
+    def test_log_page_roundtrip_pure(self):
+        from repro.nvme.admin import STATS_LOG_FIELDS, build_stats_log, parse_stats_log
+
+        values = {name: i * 7 for i, name in enumerate(STATS_LOG_FIELDS)}
+        assert parse_stats_log(build_stats_log(values)) == values
+
+    def test_log_page_over_the_wire(self, small_device):
+        d = small_device
+        d.driver.put(b"k1", b"v" * 5000)
+        d.driver.flush()
+        stats = d.driver.read_stats_log()
+        assert stats["nand_page_programs"] == d.flash.page_programs
+        assert stats["commands_processed"] >= 1
+        assert stats["buffer_flushes"] >= 1
+
+    def test_log_page_counts_grow(self, small_device):
+        d = small_device
+        before = d.driver.read_stats_log()
+        for i in range(20):
+            d.driver.put(f"k{i}".encode(), b"x" * 2048)
+        after = d.driver.read_stats_log()
+        assert after["commands_processed"] > before["commands_processed"]
+
+    def test_unknown_log_id_rejected(self, small_device):
+        from repro.errors import NVMeError
+        from repro.nvme.admin import build_get_log_page_command
+        from repro.nvme.prp import build_prp
+
+        d = small_device
+        buf = d.host_mem.alloc_buffer(4096)
+        prp = build_prp(d.host_mem, buf)
+        cmd = build_get_log_page_command(d.driver._cid(), prp.prp1, prp.prp2,
+                                         log_id=0x55)
+        cqe = d.driver._admin_roundtrip(cmd)
+        assert not cqe.ok

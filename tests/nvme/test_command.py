@@ -1,0 +1,216 @@
+"""Tests for the 64-byte command encoding and piggyback field layout."""
+
+import pytest
+
+from repro.errors import CommandFieldError
+from repro.nvme.command import (
+    MAX_KEY_BYTES,
+    NVMeCommand,
+    WRITE_PIGGYBACK_RANGES,
+    pack_transfer_piggyback,
+    pack_write_piggyback,
+    transfer_piggyback_capacity,
+    unpack_transfer_piggyback,
+    unpack_write_piggyback,
+    write_piggyback_capacity,
+)
+from repro.nvme.opcodes import CommandFlags, KVOpcode
+
+
+class TestRawLayout:
+    def test_fresh_command_is_64_zero_bytes(self):
+        cmd = NVMeCommand()
+        assert len(cmd.raw) == 64
+        assert bytes(cmd.raw) == b"\x00" * 64
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(CommandFieldError):
+            NVMeCommand(b"\x00" * 63)
+
+    def test_dword_roundtrip(self):
+        cmd = NVMeCommand()
+        cmd.set_dword(10, 0xDEADBEEF)
+        assert cmd.get_dword(10) == 0xDEADBEEF
+
+    def test_dword_little_endian(self):
+        cmd = NVMeCommand()
+        cmd.set_dword(1, 0x01020304)
+        assert cmd.get_bytes(4, 4) == b"\x04\x03\x02\x01"
+
+    def test_dword_index_bounds(self):
+        cmd = NVMeCommand()
+        with pytest.raises(CommandFieldError):
+            cmd.get_dword(16)
+        with pytest.raises(CommandFieldError):
+            cmd.set_dword(-1, 0)
+
+    def test_dword_value_bounds(self):
+        with pytest.raises(CommandFieldError):
+            NVMeCommand().set_dword(0, 2**32)
+
+    def test_byte_range_bounds(self):
+        cmd = NVMeCommand()
+        with pytest.raises(CommandFieldError):
+            cmd.set_bytes(60, b"12345")
+        with pytest.raises(CommandFieldError):
+            cmd.get_bytes(-1, 2)
+
+
+class TestTypedFields:
+    def test_opcode_roundtrip(self):
+        cmd = NVMeCommand()
+        cmd.opcode = KVOpcode.BANDSLIM_WRITE
+        assert cmd.opcode is KVOpcode.BANDSLIM_WRITE
+        assert cmd.raw[0] == 0x81
+
+    def test_unknown_opcode_raises(self):
+        cmd = NVMeCommand()
+        cmd.raw[0] = 0x77
+        with pytest.raises(CommandFieldError):
+            _ = cmd.opcode
+
+    def test_flags_roundtrip(self):
+        cmd = NVMeCommand()
+        cmd.flags = CommandFlags.PIGGYBACK | CommandFlags.FINAL
+        assert cmd.flags & CommandFlags.PIGGYBACK
+        assert cmd.flags & CommandFlags.FINAL
+        assert not cmd.flags & CommandFlags.HYBRID
+
+    def test_cid_roundtrip(self):
+        cmd = NVMeCommand()
+        cmd.cid = 0xBEEF
+        assert cmd.cid == 0xBEEF
+
+    def test_cid_bounds(self):
+        with pytest.raises(CommandFieldError):
+            NVMeCommand().cid = 2**16
+
+    def test_nsid(self):
+        cmd = NVMeCommand()
+        cmd.nsid = 3
+        assert cmd.nsid == 3
+
+    def test_value_size_in_dword10(self):
+        cmd = NVMeCommand()
+        cmd.value_size = 2048
+        assert cmd.get_dword(10) == 2048
+
+    def test_prp_fields(self):
+        cmd = NVMeCommand()
+        cmd.prp1 = 0x1_0000_0000
+        cmd.prp2 = 0x1_0000_1000
+        assert cmd.prp1 == 0x1_0000_0000
+        assert cmd.prp2 == 0x1_0000_1000
+
+
+class TestKeyField:
+    def test_short_key_roundtrip(self):
+        cmd = NVMeCommand()
+        cmd.key = b"usr1"
+        assert cmd.key == b"usr1"
+        assert cmd.key_size == 4
+
+    def test_key_spans_both_dword_areas(self):
+        """Keys >8 B use dwords 2–3 plus dwords 14–15 (Figure 6)."""
+        cmd = NVMeCommand()
+        key = bytes(range(1, 17))  # 16 bytes
+        cmd.key = key
+        assert cmd.key == key
+        assert cmd.get_bytes(8, 8) == key[:8]
+        assert cmd.get_bytes(56, 8) == key[8:]
+
+    def test_key_size_field_at_byte_44(self):
+        cmd = NVMeCommand()
+        cmd.key = b"abcd"
+        assert cmd.raw[44] == 4
+
+    def test_key_rewrite_clears_old_bytes(self):
+        cmd = NVMeCommand()
+        cmd.key = bytes(range(1, 17))
+        cmd.key = b"ab"
+        assert cmd.key == b"ab"
+
+    def test_key_length_bounds(self):
+        cmd = NVMeCommand()
+        with pytest.raises(CommandFieldError):
+            cmd.key = b""
+        with pytest.raises(CommandFieldError):
+            cmd.key = b"x" * (MAX_KEY_BYTES + 1)
+
+
+class TestPiggybackAreas:
+    def test_write_capacity_is_35_bytes(self):
+        """§3.2: dwords 4–9 (24) + dword11 spare (3) + dwords 12–13 (8)."""
+        assert write_piggyback_capacity() == 35
+
+    def test_transfer_capacity_is_56_bytes(self):
+        """§3.2: everything except dwords 0–1."""
+        assert transfer_piggyback_capacity() == 56
+
+    def test_write_ranges_do_not_touch_reserved_fields(self):
+        """Piggyback must avoid opcode/cid, nsid, key, valueSize, keySize."""
+        protected = set(range(0, 8)) | set(range(8, 16)) | set(range(40, 45)) | set(
+            range(56, 64)
+        )
+        for offset, length in WRITE_PIGGYBACK_RANGES:
+            for b in range(offset, offset + length):
+                assert b not in protected, f"byte {b} collides with a kept field"
+
+    def test_write_piggyback_roundtrip_full(self):
+        cmd = NVMeCommand()
+        fragment = bytes(range(35))
+        pack_write_piggyback(cmd, fragment)
+        assert unpack_write_piggyback(cmd, 35) == fragment
+
+    def test_write_piggyback_roundtrip_partial(self):
+        cmd = NVMeCommand()
+        pack_write_piggyback(cmd, b"hello")
+        assert unpack_write_piggyback(cmd, 5) == b"hello"
+
+    def test_write_piggyback_overflow_rejected(self):
+        with pytest.raises(CommandFieldError):
+            pack_write_piggyback(NVMeCommand(), bytes(36))
+
+    def test_write_unpack_overflow_rejected(self):
+        with pytest.raises(CommandFieldError):
+            unpack_write_piggyback(NVMeCommand(), 36)
+
+    def test_write_piggyback_preserves_key_and_sizes(self):
+        cmd = NVMeCommand()
+        cmd.key = b"k" * 16
+        cmd.value_size = 999
+        pack_write_piggyback(cmd, bytes(range(35)))
+        assert cmd.key == b"k" * 16
+        assert cmd.value_size == 999
+
+    def test_transfer_piggyback_roundtrip(self):
+        cmd = NVMeCommand()
+        fragment = bytes(range(56))
+        pack_transfer_piggyback(cmd, fragment)
+        assert unpack_transfer_piggyback(cmd, 56) == fragment
+
+    def test_transfer_piggyback_preserves_dword0_and_1(self):
+        cmd = NVMeCommand()
+        cmd.opcode = KVOpcode.BANDSLIM_TRANSFER
+        cmd.cid = 42
+        cmd.nsid = 1
+        pack_transfer_piggyback(cmd, b"\xff" * 56)
+        assert cmd.opcode is KVOpcode.BANDSLIM_TRANSFER
+        assert cmd.cid == 42
+        assert cmd.nsid == 1
+
+    def test_transfer_overflow_rejected(self):
+        with pytest.raises(CommandFieldError):
+            pack_transfer_piggyback(NVMeCommand(), bytes(57))
+
+
+class TestEquality:
+    def test_equal_raw_equal_commands(self):
+        a, b = NVMeCommand(), NVMeCommand()
+        a.cid = b.cid = 9
+        assert a == b
+
+    def test_repr_mentions_opcode(self):
+        cmd = NVMeCommand()
+        cmd.opcode = KVOpcode.KV_STORE
+        assert "KV_STORE" in repr(cmd)

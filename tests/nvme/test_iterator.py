@@ -1,0 +1,126 @@
+"""Tests for device-side iterators (ITER_OPEN/NEXT/CLOSE, after [22])."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.nvme.iterator import pack_batch, unpack_batch
+
+from tests.conftest import small_config
+
+
+@pytest.fixture
+def store():
+    from repro.host.api import KVStore
+
+    return KVStore.open(small_config(memtable_flush_bytes=2048))
+
+
+class TestBatchCodec:
+    def test_roundtrip(self):
+        pairs = [(b"k1", b"v1"), (b"key2", b"x" * 500)]
+        blob, taken = pack_batch(pairs, 4096)
+        assert taken == 2
+        assert unpack_batch(blob) == pairs
+
+    def test_capacity_respected(self):
+        pairs = [(b"k", b"v" * 100)] * 10
+        blob, taken = pack_batch(pairs, 250)
+        assert taken == 2  # 4 + 2*(1+1+4+100) = 216; third would be 322
+        assert len(blob) <= 250
+
+    def test_empty_batch(self):
+        blob, taken = pack_batch([], 4096)
+        assert taken == 0
+        assert unpack_batch(blob) == []
+
+    def test_truncated_detected(self):
+        blob, _ = pack_batch([(b"k", b"value")], 4096)
+        with pytest.raises(NVMeError):
+            unpack_batch(blob[:-1])
+
+
+class TestDeviceIterator:
+    def test_open_next_close_lifecycle(self, store):
+        for k in (b"cc", b"aa", b"bb"):
+            store.put(k, b"v:" + k)
+        it = store.driver.iter_open(b"")
+        pairs, exhausted = store.driver.iter_next(it)
+        assert pairs == [(b"aa", b"v:aa"), (b"bb", b"v:bb"), (b"cc", b"v:cc")]
+        assert exhausted
+        store.driver.iter_close(it)
+
+    def test_next_on_closed_iterator_fails(self, store):
+        it = store.driver.iter_open(b"")
+        store.driver.iter_close(it)
+        with pytest.raises(NVMeError):
+            store.driver.iter_next(it)
+
+    def test_close_unknown_iterator_fails(self, store):
+        with pytest.raises(NVMeError):
+            store.driver.iter_close(999)
+
+    def test_batching_across_multiple_next_calls(self, store):
+        for i in range(100):
+            store.put(f"k{i:04d}".encode(), bytes([i]) * 200)
+        it = store.driver.iter_open(b"")
+        collected = []
+        for _ in range(1000):
+            pairs, exhausted = store.driver.iter_next(it, batch_bytes=2048)
+            collected.extend(pairs)
+            if exhausted:
+                break
+        assert len(collected) == 100
+        assert [k for k, _ in collected] == sorted(k for k, _ in collected)
+        assert collected[5] == (b"k0005", bytes([5]) * 200)
+
+    def test_oversized_record_reports_capacity(self, store):
+        store.put(b"big", b"x" * 3000)
+        it = store.driver.iter_open(b"")
+        with pytest.raises(NVMeError, match="CAPACITY"):
+            store.driver.iter_next(it, batch_bytes=1024)
+
+    def test_start_key_respected(self, store):
+        for k in (b"aa", b"bb", b"cc"):
+            store.put(k, b"v")
+        it = store.driver.iter_open(b"bb")
+        pairs, _ = store.driver.iter_next(it)
+        assert [k for k, _ in pairs] == [b"bb", b"cc"]
+
+
+class TestDeviceScanAPI:
+    def test_matches_host_scan(self, store):
+        import random
+
+        rng = random.Random(5)
+        model = {}
+        for i in range(60):
+            key = f"k{rng.randrange(40):03d}".encode()
+            value = bytes([i]) * rng.randrange(1, 400)
+            store.put(key, value)
+            model[key] = value
+        host_view = list(store.scan())
+        device_view = list(store.device_scan())
+        assert device_view == host_view == sorted(model.items())
+
+    def test_limit(self, store):
+        for i in range(20):
+            store.put(f"k{i:02d}".encode(), b"v")
+        assert len(list(store.device_scan(limit=7))) == 7
+
+    def test_device_scan_uses_far_fewer_commands(self, store):
+        """The point of [22]'s interface: batch pulls, not GET-per-key."""
+        from repro.pcie.metrics import TrafficCategory
+
+        for i in range(50):
+            store.put(f"k{i:02d}".encode(), b"v" * 20)
+        meter = store.device.link.meter
+
+        before = meter.transactions_for(TrafficCategory.SQ_ENTRY)
+        list(store.scan())
+        host_cmds = meter.transactions_for(TrafficCategory.SQ_ENTRY) - before
+
+        before = meter.transactions_for(TrafficCategory.SQ_ENTRY)
+        list(store.device_scan())
+        device_cmds = meter.transactions_for(TrafficCategory.SQ_ENTRY) - before
+
+        assert device_cmds < host_cmds / 5

@@ -1,0 +1,190 @@
+"""Round-trip tests for KV command builders and parsers (driver ⇄ controller)."""
+
+import pytest
+
+from repro.errors import CommandFieldError, NVMeError
+from repro.memory.host import HostMemory
+from repro.nvme.kv import (
+    TRANSFER_PIGGYBACK_CAPACITY,
+    WRITE_PIGGYBACK_CAPACITY,
+    build_delete_command,
+    build_exist_command,
+    build_list_command,
+    build_retrieve_command,
+    build_store_command,
+    build_transfer_command,
+    build_write_command,
+    parse_retrieve_command,
+    parse_store_command,
+    parse_transfer_command,
+    parse_write_command,
+)
+from repro.nvme.opcodes import KVOpcode
+from repro.nvme.prp import build_prp
+
+
+@pytest.fixture
+def host_mem():
+    return HostMemory()
+
+
+def make_prp(host_mem, nbytes):
+    return build_prp(host_mem, host_mem.stage_value(b"x" * nbytes))
+
+
+class TestStoreCommand:
+    def test_roundtrip(self, host_mem):
+        prp = make_prp(host_mem, 2048)
+        cmd = build_store_command(7, b"key1", 2048, prp)
+        parsed = parse_store_command(cmd)
+        assert parsed.cid == 7
+        assert parsed.key == b"key1"
+        assert parsed.value_size == 2048
+        assert parsed.prp1 == prp.prp1
+
+    def test_two_page_prp(self, host_mem):
+        prp = make_prp(host_mem, 5000)
+        cmd = build_store_command(1, b"k", 5000, prp)
+        parsed = parse_store_command(cmd)
+        assert parsed.prp2 == prp.prp2 != 0
+
+    def test_rejects_zero_value_size(self, host_mem):
+        prp = make_prp(host_mem, 16)
+        with pytest.raises(NVMeError):
+            build_store_command(1, b"k", 0, prp)
+
+    def test_parse_rejects_wrong_opcode(self, host_mem):
+        prp = make_prp(host_mem, 16)
+        cmd = build_retrieve_command(1, b"k", 16, prp)
+        with pytest.raises(NVMeError):
+            parse_store_command(cmd)
+
+
+class TestWriteCommand:
+    def test_pure_inline_roundtrip(self):
+        value = bytes(range(30))
+        cmd = build_write_command(3, b"kk", 30, inline=value, final=True)
+        parsed = parse_write_command(cmd)
+        assert parsed.inline == value
+        assert parsed.final
+        assert not parsed.hybrid
+        assert parsed.expected_trailing_bytes == 0
+
+    def test_inline_with_trailing(self):
+        inline = bytes(range(WRITE_PIGGYBACK_CAPACITY))
+        cmd = build_write_command(3, b"kk", 100, inline=inline, final=False)
+        parsed = parse_write_command(cmd)
+        assert parsed.inline == inline
+        assert parsed.expected_trailing_bytes == 100 - WRITE_PIGGYBACK_CAPACITY
+
+    def test_inline_capacity_enforced(self):
+        with pytest.raises(CommandFieldError):
+            build_write_command(1, b"k", 100, inline=bytes(36))
+
+    def test_hybrid_roundtrip(self, host_mem):
+        prp = make_prp(host_mem, 4096)
+        cmd = build_write_command(4, b"hy", 4096 + 32, prp=prp, final=False)
+        parsed = parse_write_command(cmd)
+        assert parsed.hybrid
+        assert parsed.prp1 == prp.prp1
+        assert parsed.inline == b""
+        assert parsed.expected_trailing_bytes == 32
+
+    def test_inline_and_prp_mutually_exclusive(self, host_mem):
+        """The piggyback area overlays the PRP fields (Figure 6a)."""
+        prp = make_prp(host_mem, 4096)
+        with pytest.raises(NVMeError):
+            build_write_command(1, b"k", 5000, inline=b"x", prp=prp)
+
+    def test_rejects_zero_value(self):
+        with pytest.raises(NVMeError):
+            build_write_command(1, b"k", 0, inline=b"")
+
+    def test_inline_truncated_to_value_size_on_parse(self):
+        """A 10-byte value piggybacks 10 bytes, not 35."""
+        cmd = build_write_command(1, b"k", 10, inline=b"0123456789", final=True)
+        assert parse_write_command(cmd).inline == b"0123456789"
+
+
+class TestTransferCommand:
+    def test_roundtrip_full_fragment(self):
+        fragment = bytes(range(TRANSFER_PIGGYBACK_CAPACITY))
+        cmd = build_transfer_command(9, fragment, final=True)
+        parsed = parse_transfer_command(cmd)
+        assert parsed.cid == 9
+        assert parsed.final
+        assert parsed.area == fragment
+
+    def test_partial_fragment_prefix(self):
+        cmd = build_transfer_command(9, b"tail", final=True)
+        parsed = parse_transfer_command(cmd)
+        assert parsed.area[:4] == b"tail"
+
+    def test_nonfinal(self):
+        cmd = build_transfer_command(9, b"x" * 56, final=False)
+        assert not parse_transfer_command(cmd).final
+
+    def test_rejects_empty_fragment(self):
+        with pytest.raises(NVMeError):
+            build_transfer_command(1, b"", final=True)
+
+    def test_rejects_oversized_fragment(self):
+        with pytest.raises(CommandFieldError):
+            build_transfer_command(1, bytes(57), final=True)
+
+    def test_parse_rejects_wrong_opcode(self):
+        cmd = build_write_command(1, b"k", 5, inline=b"xxxxx", final=True)
+        with pytest.raises(NVMeError):
+            parse_transfer_command(cmd)
+
+
+class TestRetrieveCommand:
+    def test_roundtrip(self, host_mem):
+        prp = make_prp(host_mem, 4096)
+        cmd = build_retrieve_command(5, b"key", 4096, prp)
+        parsed = parse_retrieve_command(cmd)
+        assert parsed.cid == 5
+        assert parsed.key == b"key"
+        assert parsed.buffer_size == 4096
+
+    def test_rejects_zero_buffer(self, host_mem):
+        prp = make_prp(host_mem, 16)
+        with pytest.raises(NVMeError):
+            build_retrieve_command(1, b"k", 0, prp)
+
+
+class TestOtherCommands:
+    def test_delete(self):
+        cmd = build_delete_command(2, b"gone")
+        assert cmd.opcode is KVOpcode.KV_DELETE
+        assert cmd.key == b"gone"
+
+    def test_exist(self):
+        cmd = build_exist_command(2, b"here")
+        assert cmd.opcode is KVOpcode.KV_EXIST
+        assert cmd.key == b"here"
+
+    def test_list(self, host_mem):
+        prp = make_prp(host_mem, 4096)
+        cmd = build_list_command(2, b"aa", 10, prp)
+        assert cmd.opcode is KVOpcode.KV_LIST
+        assert cmd.key == b"aa"
+        assert cmd.value_size == 10
+
+    def test_list_rejects_zero_max(self, host_mem):
+        prp = make_prp(host_mem, 16)
+        with pytest.raises(NVMeError):
+            build_list_command(2, b"aa", 0, prp)
+
+
+class TestWireOnlyContract:
+    """The parser sees nothing but the 64 bytes the builder produced."""
+
+    def test_serialization_boundary(self):
+        original = build_write_command(11, b"wire", 20, inline=b"x" * 20, final=True)
+        from repro.nvme.command import NVMeCommand
+
+        rebuilt = NVMeCommand(bytes(original.raw))
+        parsed = parse_write_command(rebuilt)
+        assert parsed.key == b"wire"
+        assert parsed.inline == b"x" * 20

@@ -1,0 +1,102 @@
+"""Tests for PRP construction and device-side resolution."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.memory.host import HostMemory
+from repro.nvme.prp import PRP_ENTRY_SIZE, build_prp, resolve_prp
+from repro.pcie.link import PCIeLink
+from repro.pcie.metrics import TrafficCategory
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import MEM_PAGE_SIZE
+
+
+@pytest.fixture
+def host_mem():
+    return HostMemory()
+
+
+@pytest.fixture
+def link():
+    return PCIeLink(SimClock(), LatencyModel())
+
+
+class TestBuildPRP:
+    def test_single_page(self, host_mem):
+        buf = host_mem.stage_value(b"x" * 100)
+        prp = build_prp(host_mem, buf)
+        assert prp.n_pages == 1
+        assert prp.prp1 == buf.pages[0].addr
+        assert prp.prp2 == 0
+        assert not prp.uses_list
+
+    def test_two_pages(self, host_mem):
+        buf = host_mem.stage_value(b"x" * 5000)
+        prp = build_prp(host_mem, buf)
+        assert prp.n_pages == 2
+        assert prp.prp2 == buf.pages[1].addr
+        assert not prp.uses_list
+
+    def test_three_pages_uses_list(self, host_mem):
+        buf = host_mem.stage_value(b"x" * 9000)
+        prp = build_prp(host_mem, buf)
+        assert prp.uses_list
+        assert prp.prp2 == prp.list_page.addr
+
+    def test_list_page_contains_packed_addresses(self, host_mem):
+        buf = host_mem.stage_value(b"x" * (MEM_PAGE_SIZE * 4))
+        prp = build_prp(host_mem, buf)
+        import struct
+
+        entries = [
+            struct.unpack_from("<Q", prp.list_page.data, i * PRP_ENTRY_SIZE)[0]
+            for i in range(3)
+        ]
+        assert entries == [p.addr for p in buf.pages[1:]]
+
+    def test_rejects_empty_buffer(self, host_mem):
+        buf = host_mem.alloc_buffer(0)
+        with pytest.raises(NVMeError):
+            build_prp(host_mem, buf)
+
+
+class TestResolvePRP:
+    def _roundtrip(self, host_mem, link, nbytes):
+        value = bytes((i * 7) % 256 for i in range(nbytes))
+        buf = host_mem.stage_value(value)
+        prp = build_prp(host_mem, buf)
+        resolved = resolve_prp(host_mem, link, prp.prp1, prp.prp2, nbytes)
+        assert resolved.tobytes() == value
+        return prp
+
+    def test_single_page_roundtrip(self, host_mem, link):
+        self._roundtrip(host_mem, link, 32)
+
+    def test_two_page_roundtrip(self, host_mem, link):
+        self._roundtrip(host_mem, link, 4096 + 32)
+
+    def test_list_roundtrip(self, host_mem, link):
+        self._roundtrip(host_mem, link, 3 * MEM_PAGE_SIZE + 5)
+
+    def test_list_fetch_charged_to_link(self, host_mem, link):
+        """The controller fetching the PRP list is extra wire traffic."""
+        before = link.meter.bytes_for(TrafficCategory.SQ_ENTRY)
+        self._roundtrip(host_mem, link, 4 * MEM_PAGE_SIZE)
+        fetched = link.meter.bytes_for(TrafficCategory.SQ_ENTRY) - before
+        assert fetched == 3 * PRP_ENTRY_SIZE
+
+    def test_no_list_fetch_for_two_pages(self, host_mem, link):
+        before = link.meter.bytes_for(TrafficCategory.SQ_ENTRY)
+        self._roundtrip(host_mem, link, 2 * MEM_PAGE_SIZE)
+        assert link.meter.bytes_for(TrafficCategory.SQ_ENTRY) == before
+
+    def test_rejects_missing_prp2(self, host_mem, link):
+        buf = host_mem.stage_value(b"x" * 5000)
+        prp = build_prp(host_mem, buf)
+        with pytest.raises(NVMeError):
+            resolve_prp(host_mem, link, prp.prp1, 0, 5000)
+
+    def test_rejects_nonpositive_length(self, host_mem, link):
+        with pytest.raises(NVMeError):
+            resolve_prp(host_mem, link, 0, 0, 0)

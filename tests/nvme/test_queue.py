@@ -1,0 +1,103 @@
+"""Tests for submission/completion queues: FIFO order, depth, doorbells."""
+
+import pytest
+
+from repro.errors import NVMeError, QueueFullError
+from repro.nvme.command import NVMeCommand
+from repro.nvme.opcodes import KVOpcode, StatusCode
+from repro.nvme.queue import CompletionQueue, NVMeCompletion, SubmissionQueue
+
+
+def cmd_with_cid(cid: int) -> NVMeCommand:
+    c = NVMeCommand()
+    c.opcode = KVOpcode.KV_EXIST
+    c.cid = cid
+    return c
+
+
+class TestSubmissionQueue:
+    def test_fifo_order(self):
+        """FIFO is load-bearing for fragment reassembly (§3.3.1)."""
+        sq = SubmissionQueue(depth=4)
+        for cid in (1, 2, 3):
+            sq.submit(cmd_with_cid(cid))
+        assert [sq.fetch().cid for _ in range(3)] == [1, 2, 3]
+
+    def test_depth_enforced(self):
+        sq = SubmissionQueue(depth=2)
+        sq.submit(cmd_with_cid(1))
+        sq.submit(cmd_with_cid(2))
+        with pytest.raises(QueueFullError):
+            sq.submit(cmd_with_cid(3))
+
+    def test_wraps_around(self):
+        sq = SubmissionQueue(depth=2)
+        for cid in range(10):
+            sq.submit(cmd_with_cid(cid))
+            assert sq.fetch().cid == cid
+
+    def test_fetch_empty_raises(self):
+        with pytest.raises(NVMeError):
+            SubmissionQueue(depth=2).fetch()
+
+    def test_doorbell_counted_per_submit(self):
+        sq = SubmissionQueue(depth=8)
+        sq.submit(cmd_with_cid(1))
+        sq.submit(cmd_with_cid(2))
+        assert sq.doorbell_rings == 2
+
+    def test_occupancy(self):
+        sq = SubmissionQueue(depth=4)
+        assert sq.is_empty
+        sq.submit(cmd_with_cid(1))
+        assert sq.occupancy == 1
+        sq.fetch()
+        assert sq.is_empty
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(NVMeError):
+            SubmissionQueue(depth=0)
+
+
+class TestCompletionQueue:
+    def test_post_reap_roundtrip(self):
+        cq = CompletionQueue(depth=4)
+        cq.post(NVMeCompletion(cid=5, status=StatusCode.SUCCESS, result=99))
+        cqe = cq.reap()
+        assert cqe.cid == 5
+        assert cqe.ok
+        assert cqe.result == 99
+
+    def test_error_status_not_ok(self):
+        cqe = NVMeCompletion(cid=1, status=StatusCode.KEY_NOT_FOUND)
+        assert not cqe.ok
+
+    def test_fifo(self):
+        cq = CompletionQueue(depth=4)
+        cq.post(NVMeCompletion(cid=1))
+        cq.post(NVMeCompletion(cid=2))
+        assert cq.reap().cid == 1
+        assert cq.reap().cid == 2
+
+    def test_full_rejected(self):
+        cq = CompletionQueue(depth=1)
+        cq.post(NVMeCompletion(cid=1))
+        with pytest.raises(QueueFullError):
+            cq.post(NVMeCompletion(cid=2))
+
+    def test_reap_empty_raises(self):
+        with pytest.raises(NVMeError):
+            CompletionQueue(depth=2).reap()
+
+
+class TestOpcodes:
+    def test_vendor_range(self):
+        assert KVOpcode.BANDSLIM_WRITE.is_vendor
+        assert KVOpcode.BANDSLIM_TRANSFER.is_vendor
+        assert not KVOpcode.KV_STORE.is_vendor
+
+    def test_write_classification(self):
+        assert KVOpcode.KV_STORE.is_write_class
+        assert KVOpcode.BANDSLIM_WRITE.is_write_class
+        assert not KVOpcode.KV_RETRIEVE.is_write_class
+        assert not KVOpcode.KV_LIST.is_write_class

@@ -1,0 +1,71 @@
+"""Tests for SGL descriptors and the 32 KiB kernel threshold (§2.5)."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.memory.host import HostMemory
+from repro.nvme.sgl import (
+    SGL_MIN_TRANSFER,
+    SGLSegment,
+    build_sgl,
+    sgl_is_beneficial,
+)
+from repro.units import KIB, MEM_PAGE_SIZE
+
+
+class TestSGLSegment:
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(NVMeError):
+            SGLSegment(addr=0, length=0)
+
+    def test_rejects_negative_addr(self):
+        with pytest.raises(NVMeError):
+            SGLSegment(addr=-1, length=10)
+
+
+class TestBuildSGL:
+    def test_byte_exact_total(self):
+        """SGL describes the value's true size — no page padding."""
+        mem = HostMemory()
+        buf = mem.stage_value(b"v" * 100)
+        sgl = build_sgl(buf)
+        assert sgl.total_length == 100
+
+    def test_multipage_segments(self):
+        mem = HostMemory()
+        buf = mem.stage_value(b"v" * (MEM_PAGE_SIZE + 10))
+        sgl = build_sgl(buf)
+        assert len(sgl.segments) == 2
+        assert sgl.segments[0].length == MEM_PAGE_SIZE
+        assert sgl.segments[1].length == 10
+
+    def test_descriptor_overhead(self):
+        mem = HostMemory()
+        buf = mem.stage_value(b"v" * (2 * MEM_PAGE_SIZE + 1))
+        assert build_sgl(buf).descriptor_bytes == 3 * 16
+
+    def test_rejects_empty(self):
+        mem = HostMemory()
+        with pytest.raises(NVMeError):
+            build_sgl(mem.alloc_buffer(0))
+
+
+class TestKernelThreshold:
+    def test_threshold_is_32_kib(self):
+        """Linux's sgl_threshold — the paper's reason to avoid SGL."""
+        assert SGL_MIN_TRANSFER == 32 * KIB
+
+    def test_kv_sized_values_never_use_sgl(self):
+        for size in (8, 32, 100, 2048, 4096, 16 * KIB):
+            assert not sgl_is_beneficial(size)
+
+    def test_large_transfers_do(self):
+        assert sgl_is_beneficial(32 * KIB)
+        assert sgl_is_beneficial(1 << 20)
+
+    def test_custom_threshold(self):
+        assert sgl_is_beneficial(100, threshold=64)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sgl_is_beneficial(-1)

@@ -1,0 +1,91 @@
+"""Tests for traffic categorization and amplification factors."""
+
+import pytest
+
+from repro.pcie.metrics import TrafficCategory, TrafficMeter, amplification_factor
+
+
+class TestTrafficCategory:
+    def test_only_doorbell_is_mmio(self):
+        mmio = [c for c in TrafficCategory if c.is_mmio]
+        assert mmio == [TrafficCategory.DOORBELL]
+
+    def test_direction_classification(self):
+        assert TrafficCategory.SQ_ENTRY.host_to_device
+        assert TrafficCategory.DMA_H2D.host_to_device
+        assert TrafficCategory.DOORBELL.host_to_device
+        assert not TrafficCategory.CQ_ENTRY.host_to_device
+        assert not TrafficCategory.DMA_D2H.host_to_device
+
+
+class TestTrafficMeter:
+    def test_starts_empty(self):
+        assert TrafficMeter().total_bytes == 0
+
+    def test_record_accumulates_bytes_and_transactions(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DMA_H2D, 4096)
+        m.record(TrafficCategory.DMA_H2D, 4096)
+        assert m.bytes_for(TrafficCategory.DMA_H2D) == 8192
+        assert m.transactions_for(TrafficCategory.DMA_H2D) == 2
+
+    def test_total_spans_categories(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.SQ_ENTRY, 64)
+        m.record(TrafficCategory.CQ_ENTRY, 16)
+        m.record(TrafficCategory.DOORBELL, 4)
+        assert m.total_bytes == 84
+
+    def test_mmio_is_doorbell_only(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DOORBELL, 4)
+        m.record(TrafficCategory.SQ_ENTRY, 64)
+        assert m.mmio_bytes == 4
+
+    def test_payload_bytes_both_directions(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DMA_H2D, 4096)
+        m.record(TrafficCategory.DMA_D2H, 8192)
+        m.record(TrafficCategory.SQ_ENTRY, 64)
+        assert m.payload_bytes == 12288
+
+    def test_zero_byte_transaction_counted(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DOORBELL, 0)
+        assert m.transactions_for(TrafficCategory.DOORBELL) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().record(TrafficCategory.DOORBELL, -1)
+
+    def test_reset(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DMA_H2D, 100)
+        m.reset()
+        assert m.total_bytes == 0
+
+    def test_snapshot_has_totals(self):
+        m = TrafficMeter()
+        m.record(TrafficCategory.DOORBELL, 4)
+        snap = m.snapshot()
+        assert snap["pcie.total_bytes"] == 4.0
+        assert snap["pcie.mmio_bytes"] == 4.0
+
+
+class TestAmplificationFactor:
+    def test_paper_taf_values(self):
+        """Fig 3(b): a 32 B value shipping ~4 KiB amplifies ~130×."""
+        per_op = 4096 + 88  # page DMA + command/completion/doorbells
+        assert amplification_factor(per_op, 32) == pytest.approx(130.75)
+        assert amplification_factor(per_op, 1024) == pytest.approx(4.09, abs=0.01)
+
+    def test_identity_when_exact(self):
+        assert amplification_factor(100, 100) == 1.0
+
+    def test_rejects_zero_useful_bytes(self):
+        with pytest.raises(ValueError):
+            amplification_factor(100, 0)
+
+    def test_rejects_negative_link_bytes(self):
+        with pytest.raises(ValueError):
+            amplification_factor(-1, 10)

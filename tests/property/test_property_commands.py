@@ -1,0 +1,80 @@
+"""Property-based tests: the NVMe wire format round-trips arbitrary data."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvme.command import (
+    NVMeCommand,
+    pack_transfer_piggyback,
+    pack_write_piggyback,
+    unpack_transfer_piggyback,
+    unpack_write_piggyback,
+)
+from repro.nvme.kv import (
+    TRANSFER_PIGGYBACK_CAPACITY,
+    WRITE_PIGGYBACK_CAPACITY,
+    build_transfer_command,
+    build_write_command,
+    parse_transfer_command,
+    parse_write_command,
+)
+
+keys = st.binary(min_size=1, max_size=16)
+cids = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+class TestPiggybackFieldRoundtrip:
+    @given(fragment=st.binary(min_size=0, max_size=WRITE_PIGGYBACK_CAPACITY))
+    def test_write_area(self, fragment):
+        cmd = NVMeCommand()
+        pack_write_piggyback(cmd, fragment)
+        assert unpack_write_piggyback(cmd, len(fragment)) == fragment
+
+    @given(fragment=st.binary(min_size=0, max_size=TRANSFER_PIGGYBACK_CAPACITY))
+    def test_transfer_area(self, fragment):
+        cmd = NVMeCommand()
+        pack_transfer_piggyback(cmd, fragment)
+        assert unpack_transfer_piggyback(cmd, len(fragment)) == fragment
+
+    @given(
+        fragment=st.binary(min_size=0, max_size=WRITE_PIGGYBACK_CAPACITY),
+        key=keys,
+        value_size=st.integers(min_value=1, max_value=2**31),
+    )
+    def test_piggyback_never_corrupts_kept_fields(self, fragment, key, value_size):
+        """Whatever rides in the piggyback area, key/sizes must survive."""
+        cmd = NVMeCommand()
+        cmd.key = key
+        cmd.value_size = value_size
+        pack_write_piggyback(cmd, fragment)
+        assert cmd.key == key
+        assert cmd.value_size == value_size
+
+
+class TestCommandRoundtrip:
+    @given(cid=cids, key=keys, inline=st.binary(min_size=1, max_size=35))
+    @settings(max_examples=200)
+    def test_write_command_through_the_wire(self, cid, key, inline):
+        value_size = len(inline)
+        cmd = build_write_command(cid, key, value_size, inline=inline, final=True)
+        rebuilt = NVMeCommand(bytes(cmd.raw))  # serialize boundary
+        parsed = parse_write_command(rebuilt)
+        assert parsed.cid == cid
+        assert parsed.key == key
+        assert parsed.value_size == value_size
+        assert parsed.inline == inline
+        assert parsed.final
+
+    @given(cid=cids, fragment=st.binary(min_size=1, max_size=56), final=st.booleans())
+    def test_transfer_command_through_the_wire(self, cid, fragment, final):
+        cmd = build_transfer_command(cid, fragment, final=final)
+        parsed = parse_transfer_command(NVMeCommand(bytes(cmd.raw)))
+        assert parsed.cid == cid
+        assert parsed.final == final
+        assert parsed.area[: len(fragment)] == fragment
+
+    @given(key=keys)
+    def test_key_field_roundtrip(self, key):
+        cmd = NVMeCommand()
+        cmd.key = key
+        assert cmd.key == key

@@ -1,0 +1,98 @@
+"""Model-based property test: the FTL behaves like a dict, even across GC."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.gc import GreedyGarbageCollector
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+# ops: (lpn 0..working_set, payload byte | None = trim)
+ftl_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=47),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=255)),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def build_ftl():
+    geo = NandGeometry(
+        channels=2, ways_per_channel=2, blocks_per_way=8,
+        pages_per_block=8, page_size=16 * KIB,
+    )
+    flash = NandFlash(geo, SimClock(), LatencyModel())
+    ftl = PageMappedFTL(flash, gc_reserve_blocks=4)
+    gc = GreedyGarbageCollector(ftl, batch_blocks=2)
+    ftl.set_gc(gc)
+    return ftl
+
+
+class TestFTLModelEquivalence:
+    @given(ops=ftl_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, ops):
+        """Random write/trim streams under GC pressure: the LPN->data view
+        must always equal a plain dict."""
+        ftl = build_ftl()
+        model: dict[int, bytes] = {}
+        for lpn, payload in ops:
+            if payload is None:
+                if lpn in model:
+                    ftl.trim(lpn)
+                    del model[lpn]
+            else:
+                data = bytes([payload]) * 32
+                ftl.write(lpn, data)
+                model[lpn] = data
+        assert ftl.mapped_pages == len(model)
+        for lpn, data in model.items():
+            assert ftl.read(lpn)[:32] == data
+        for lpn in range(48):
+            assert ftl.is_mapped(lpn) == (lpn in model)
+
+    @given(ops=ftl_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_validity_accounting_consistent(self, ops):
+        """Per-block valid counts always sum to the mapped-page count."""
+        ftl = build_ftl()
+        live = set()
+        for lpn, payload in ops:
+            if payload is None:
+                if lpn in live:
+                    ftl.trim(lpn)
+                    live.discard(lpn)
+            else:
+                ftl.write(lpn, bytes([payload]))
+                live.add(lpn)
+            total_valid = sum(
+                ftl.valid_pages_in_block(b)
+                for b in range(ftl.flash.geometry.total_blocks)
+            )
+            assert total_valid == len(live)
+
+    @given(rounds=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_striping_stays_balanced_under_wraparound(self, rounds):
+        """Round-robin allocation keeps way utilization flat even after GC."""
+        ftl = build_ftl()
+        working_set = 48
+        for i in range(ftl.flash.geometry.total_pages * rounds // 2):
+            ftl.write(i % working_set, bytes([i % 256]))
+        per_way = ftl.way_utilization()
+        assert sum(per_way) == working_set
+        assert max(per_way) - min(per_way) <= working_set // 2
+
+    def test_wear_stats_shape(self):
+        ftl = build_ftl()
+        for i in range(ftl.flash.geometry.total_pages * 2):
+            ftl.write(i % 16, b"x")
+        stats = ftl.wear_stats()
+        assert stats["total_erases"] > 0
+        assert stats["min_erases"] <= stats["mean_erases"] <= stats["max_erases"]

@@ -1,0 +1,120 @@
+"""Property-based tests: the LSM-tree behaves like a sorted dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.lsm.addressing import ValueAddress
+from repro.lsm.space import PageSpace
+from repro.lsm.tree import LSMConfig, LSMTree
+from repro.lsm.vlog import VLog
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+keys = st.binary(min_size=1, max_size=12)
+# op: (key, lpn-or-None). None = delete.
+ops_strategy = st.lists(
+    st.tuples(keys, st.one_of(st.none(), st.integers(min_value=0, max_value=499))),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_tree(flush_bytes=2 * KIB):
+    geo = NandGeometry(
+        channels=2, ways_per_channel=2, blocks_per_way=64,
+        pages_per_block=16, page_size=16 * KIB,
+    )
+    clock = SimClock()
+    latency = LatencyModel()
+    flash = NandFlash(geo, clock, latency)
+    ftl = PageMappedFTL(flash, gc_reserve_blocks=4)
+    vlog = VLog(ftl, base_lpn=0, capacity_pages=500)
+    space = PageSpace(500, geo.total_pages - 500)
+    return LSMTree(
+        ftl, vlog, space, clock, latency,
+        LSMConfig(memtable_flush_bytes=flush_bytes),
+    )
+
+
+def addr_for(lpn: int) -> ValueAddress:
+    return ValueAddress(lpn=lpn, offset=(lpn * 17) % 4096, size=1 + lpn % 64)
+
+
+class TestDictEquivalence:
+    @given(ops=ops_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_get_matches_model(self, ops):
+        tree = build_tree()
+        model: dict[bytes, ValueAddress] = {}
+        for key, lpn in ops:
+            if lpn is None:
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                a = addr_for(lpn)
+                tree.put(key, a)
+                model[key] = a
+        for key, expected in model.items():
+            assert tree.get_address(key) == expected
+        # Deleted/absent keys stay absent.
+        for key, lpn in ops:
+            if key not in model:
+                try:
+                    tree.get_address(key)
+                    assert False, f"{key!r} should be gone"
+                except KeyNotFoundError:
+                    pass
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_scan_matches_sorted_model(self, ops):
+        tree = build_tree()
+        model: dict[bytes, ValueAddress] = {}
+        for key, lpn in ops:
+            if lpn is None:
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                a = addr_for(lpn)
+                tree.put(key, a)
+                model[key] = a
+        scanned = list(tree.scan_from(b""))
+        assert scanned == sorted(model.items())
+
+    @given(ops=ops_strategy, start=keys)
+    @settings(max_examples=60, deadline=None)
+    def test_scan_from_arbitrary_start(self, ops, start):
+        tree = build_tree()
+        model: dict[bytes, ValueAddress] = {}
+        for key, lpn in ops:
+            if lpn is None:
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                model[key] = addr_for(lpn)
+                tree.put(key, model[key])
+        scanned = list(tree.scan_from(start))
+        expected = sorted((k, v) for k, v in model.items() if k >= start)
+        assert scanned == expected
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_explicit_flushes_are_transparent(self, ops):
+        """Flushing between every op must not change observable state."""
+        tree = build_tree(flush_bytes=64 * KIB)  # no automatic flushes
+        model: dict[bytes, ValueAddress] = {}
+        for key, lpn in ops:
+            if lpn is None:
+                tree.delete(key)
+                model.pop(key, None)
+            else:
+                model[key] = addr_for(lpn)
+                tree.put(key, model[key])
+            tree.flush_memtable()
+        for key, expected in model.items():
+            assert tree.get_address(key) == expected

@@ -1,0 +1,170 @@
+"""Property-based tests: packing-policy invariants under random op mixes.
+
+The central invariant across all four policies: **no two placements ever
+overlap**, and byte content written at a placement is exactly what comes
+back out of the buffer/NAND. Backfilling adds: piggybacked placements never
+overlap logged DMA regions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dlt import DMALogTable
+from repro.core.packing import (
+    AllPacking,
+    BackfillPacking,
+    BlockPacking,
+    IntegratedPacking,
+    NandPageBuffer,
+    SelectivePacking,
+)
+from repro.lsm.vlog import VLog
+from repro.memory.device import DeviceDRAM
+from repro.nand.flash import NandFlash
+from repro.nand.ftl import PageMappedFTL
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB, MEM_PAGE_SIZE, pages_needed
+
+PAGE = 16 * KIB
+
+# One op: (is_dma, size). DMA sizes up to 2 pages; piggyback up to 200 B.
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just(False), st.integers(min_value=1, max_value=200)),
+        st.tuples(st.just(True), st.integers(min_value=1, max_value=8192)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+policy_names = st.sampled_from(["block", "all", "select", "backfill", "integrated"])
+
+
+def build_rig(pool_entries=8):
+    geo = NandGeometry(
+        channels=2, ways_per_channel=2, blocks_per_way=64,
+        pages_per_block=16, page_size=PAGE,
+    )
+    flash = NandFlash(geo, SimClock(), LatencyModel())
+    ftl = PageMappedFTL(flash, gc_reserve_blocks=4)
+    dram = DeviceDRAM(pool_entries * PAGE)
+    region = dram.carve_region("buf", pool_entries * PAGE)
+    vlog = VLog(ftl, base_lpn=0, capacity_pages=geo.total_pages // 2)
+    buffer = NandPageBuffer(region, vlog, ftl, pool_entries=pool_entries)
+    return buffer, vlog
+
+
+def make_policy(name, buffer):
+    if name == "block":
+        return BlockPacking(buffer)
+    if name == "all":
+        return AllPacking(buffer)
+    if name == "select":
+        return SelectivePacking(buffer)
+    dlt = DMALogTable(8, buffer.page_size, buffer.vlog.capacity_pages)
+    if name == "integrated":
+        return IntegratedPacking(buffer, dlt, copy_threshold=3 * KIB)
+    return BackfillPacking(buffer, dlt)
+
+
+def apply_ops(policy, buffer, ops):
+    """Run placements, writing a recognizable pattern for each value."""
+    placements = []
+    for i, (is_dma, size) in enumerate(ops):
+        if is_dma:
+            wire = pages_needed(size) * MEM_PAGE_SIZE
+            placement = policy.place_dma(size, wire)
+        else:
+            placement = policy.place_piggyback(size)
+        content = bytes([(i * 37 + 11) % 256]) * size
+        buffer.write_bytes(placement.value_offset, content)
+        policy.finalize_value()
+        placements.append((placement.value_offset, size, content))
+    return placements
+
+
+class TestNoOverlapInvariant:
+    @given(name=policy_names, ops=ops_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_placements_never_overlap(self, name, ops):
+        buffer, _ = build_rig()
+        policy = make_policy(name, buffer)
+        placements = apply_ops(policy, buffer, ops)
+        intervals = sorted((off, off + size) for off, size, _ in placements)
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, f"{name}: [{s1},{e1}) overlaps [{s2},{e2})"
+
+    @given(name=policy_names, ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_content_integrity_end_to_end(self, name, ops):
+        """Every placed value reads back intact, buffered or flushed."""
+        buffer, vlog = build_rig()
+        policy = make_policy(name, buffer)
+        placements = apply_ops(policy, buffer, ops)
+        for off, size, content in placements:
+            addr = buffer.addr_of(off, size)
+            assert vlog.read(addr) == content
+
+    @given(name=policy_names, ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_monotone_and_flush_safe(self, name, ops):
+        """The flush frontier never regresses, and no placement lands
+        below an already-flushed boundary."""
+        buffer, _ = build_rig()
+        policy = make_policy(name, buffer)
+        last_frontier = 0
+        flushed_through = 0
+        for i, (is_dma, size) in enumerate(ops):
+            if is_dma:
+                wire = pages_needed(size) * MEM_PAGE_SIZE
+                placement = policy.place_dma(size, wire)
+            else:
+                placement = policy.place_piggyback(size)
+            assert placement.value_offset >= flushed_through, name
+            events = policy.finalize_value()
+            for e in events:
+                flushed_through = max(flushed_through, e.end_offset)
+            frontier = policy.flush_frontier()
+            assert frontier >= last_frontier, name
+            last_frontier = frontier
+
+
+class TestBackfillSpecificInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_piggyback_avoids_live_dma_regions(self, ops):
+        buffer, _ = build_rig()
+        dlt = DMALogTable(8, buffer.page_size, buffer.vlog.capacity_pages)
+        policy = BackfillPacking(buffer, dlt)
+        dma_regions = []
+        for is_dma, size in ops:
+            if is_dma:
+                wire = pages_needed(size) * MEM_PAGE_SIZE
+                p = policy.place_dma(size, wire)
+                dma_regions.append((p.value_offset, p.value_offset + size))
+            else:
+                p = policy.place_piggyback(size)
+                for s, e in dma_regions:
+                    assert not (p.value_offset < e and s < p.value_offset + size), (
+                        f"piggyback [{p.value_offset},{p.value_offset+size}) "
+                        f"overlaps DMA region [{s},{e})"
+                    )
+            policy.finalize_value()
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_backfill_never_denser_than_all_packing_is_impossible(self, ops):
+        """All-Packing is the density optimum: Backfill's frontier travel
+        can never be smaller for the same op sequence."""
+        buffer_a, _ = build_rig()
+        all_policy = AllPacking(buffer_a)
+        apply_ops(all_policy, buffer_a, ops)
+        buffer_b, _ = build_rig()
+        dlt = DMALogTable(64, buffer_b.page_size, buffer_b.vlog.capacity_pages)
+        bf_policy = BackfillPacking(buffer_b, dlt)
+        apply_ops(bf_policy, buffer_b, ops)
+        all_high = buffer_a.metrics.counter("entries_opened").value
+        bf_high = buffer_b.metrics.counter("entries_opened").value
+        assert bf_high >= all_high

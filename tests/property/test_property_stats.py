@@ -1,0 +1,104 @@
+"""Property-based tests: stats primitives against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dlt import DLTEntry, DMALogTable
+from repro.sim.stats import Histogram, RunningStat
+from repro.workloads.generator import mix32
+
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+samples = st.lists(floats, min_size=1, max_size=300)
+
+
+class TestRunningStatVsNumpy:
+    @given(xs=samples)
+    def test_mean_total_minmax(self, xs):
+        s = RunningStat("s")
+        s.record_many(xs)
+        arr = np.asarray(xs)
+        assert s.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-6)
+        assert s.total == pytest.approx(arr.sum(), rel=1e-9, abs=1e-6)
+        assert s.min == arr.min()
+        assert s.max == arr.max()
+
+    @given(xs=st.lists(floats, min_size=2, max_size=300))
+    def test_variance(self, xs):
+        s = RunningStat("s")
+        s.record_many(xs)
+        expected = float(np.var(np.asarray(xs), ddof=1))
+        assert s.variance == pytest.approx(expected, rel=1e-6, abs=1e-3)
+
+    @given(xs=samples, ys=samples)
+    def test_merge_equals_concatenation(self, xs, ys):
+        a, b, ref = RunningStat("a"), RunningStat("b"), RunningStat("r")
+        a.record_many(xs)
+        b.record_many(ys)
+        ref.record_many(xs + ys)
+        a.merge(b)
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean, rel=1e-9, abs=1e-6)
+        assert a.variance == pytest.approx(ref.variance, rel=1e-6, abs=1e-3)
+
+
+class TestHistogramProperties:
+    @given(xs=st.lists(st.floats(min_value=0.1, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200))
+    def test_count_conserved(self, xs):
+        h = Histogram.exponential("h")
+        for x in xs:
+            h.record(x)
+        assert h.count == len(xs)
+        assert sum(c for _, c in h.bucket_counts()) == len(xs)
+
+    @given(xs=st.lists(st.floats(min_value=0.1, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=200))
+    def test_percentiles_monotone(self, xs):
+        h = Histogram.exponential("h")
+        for x in xs:
+            h.record(x)
+        ps = [h.percentile(p) for p in (10, 50, 90, 99, 100)]
+        assert ps == sorted(ps)
+
+
+class TestMix32Bijectivity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        base=st.integers(min_value=0, max_value=2**32 - 5000),
+    )
+    @settings(max_examples=50)
+    def test_no_collisions_in_window(self, seed, base):
+        outs = {mix32(base + i, seed) for i in range(2000)}
+        assert len(outs) == 2000
+
+
+class TestDLTModelEquivalence:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=8192),
+                       min_size=1, max_size=40),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_fifo_matches_deque_model(self, sizes, capacity):
+        """The circular DLT behaves exactly like a bounded FIFO."""
+        from collections import deque
+
+        table = DMALogTable(capacity, 16384, 2**20)
+        model: deque = deque()
+        offset = 0
+        for size in sizes:
+            start = offset
+            entry = DLTEntry(start=start, size=size)
+            evicted = table.push(entry)
+            if len(model) == capacity:
+                expected_evicted = model.popleft()
+                assert evicted == expected_evicted
+            else:
+                assert evicted is None
+            model.append(entry)
+            offset = ((start + size) // 4096 + 1) * 4096
+            assert len(table) == len(model)
+            if model:
+                assert table.oldest() == model[0]

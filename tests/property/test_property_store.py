@@ -1,0 +1,111 @@
+"""Property-based tests: the full device round-trips arbitrary KV data.
+
+This is the top-level correctness property: for any sequence of PUTs (any
+sizes, any preset), every value reads back byte-identical — having actually
+traversed command encoding, piggyback fields / PRP pages, DMA, packing,
+vLog addressing and (for flushed data) NAND.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PRESETS
+from repro.host.api import KVStore
+
+from tests.conftest import small_config
+
+kv_pairs = st.lists(
+    st.tuples(
+        st.binary(min_size=1, max_size=16),
+        st.binary(min_size=1, max_size=6000),
+    ),
+    min_size=1,
+    max_size=25,
+    unique_by=lambda kv: kv[0],
+)
+
+preset_names = st.sampled_from(sorted(PRESETS))
+
+
+def open_store(preset_name):
+    base = PRESETS[preset_name]
+    return KVStore.open(
+        small_config(transfer_mode=base.transfer_mode, packing=base.packing)
+    )
+
+
+class TestFullStackRoundtrip:
+    @given(name=preset_names, pairs=kv_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_put_get_roundtrip(self, name, pairs):
+        store = open_store(name)
+        for k, v in pairs:
+            store.put(k, v)
+        for k, v in pairs:
+            assert store.get(k) == v
+
+    @given(name=preset_names, pairs=kv_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_after_flush(self, name, pairs):
+        store = open_store(name)
+        for k, v in pairs:
+            store.put(k, v)
+        store.flush()
+        for k, v in pairs:
+            assert store.get(k) == v
+
+    @given(pairs=kv_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_scan_returns_sorted_keys(self, pairs):
+        store = open_store("backfill")
+        for k, v in pairs:
+            store.put(k, v)
+        scanned = [k for k, _ in store.scan()]
+        assert scanned == sorted(dict(pairs).keys())
+
+    @given(pairs=kv_pairs, overwrite_index=st.integers(min_value=0, max_value=24))
+    @settings(max_examples=30, deadline=None)
+    def test_overwrite_any_key(self, pairs, overwrite_index):
+        store = open_store("adaptive")
+        for k, v in pairs:
+            store.put(k, v)
+        target = pairs[overwrite_index % len(pairs)][0]
+        store.put(target, b"NEW")
+        assert store.get(target) == b"NEW"
+        for k, v in pairs:
+            if k != target:
+                assert store.get(k) == v
+
+
+class TestAccountingInvariants:
+    @given(pairs=kv_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_pcie_payload_at_least_value_bytes_for_baseline(self, pairs):
+        """PRP can only amplify: wire payload >= useful bytes, page-rounded."""
+        store = open_store("baseline")
+        for k, v in pairs:
+            store.put(k, v)
+        useful = sum(len(v) for _, v in dict(pairs).items())
+        assert store.device.link.meter.payload_bytes >= useful
+
+    @given(pairs=kv_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_piggyback_payload_dma_is_zero(self, pairs):
+        """Pure piggybacking never touches the DMA path for values."""
+        store = open_store("piggyback")
+        for k, v in pairs:
+            store.put(k, v)
+        from repro.pcie.metrics import TrafficCategory
+
+        assert store.device.link.meter.bytes_for(TrafficCategory.DMA_H2D) == 0
+
+    @given(pairs=kv_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_clock_strictly_increases_per_op(self, pairs):
+        store = open_store("adaptive")
+        last = store.device.clock.now_us
+        for k, v in pairs:
+            store.put(k, v)
+            now = store.device.clock.now_us
+            assert now > last
+            last = now

@@ -1,0 +1,86 @@
+"""Property-based tests: transfer plans always cover the value exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BandSlimConfig, TransferMode
+from repro.core.transfer import TransferMethod, TransferPlanner
+from repro.nvme.kv import TRANSFER_PIGGYBACK_CAPACITY, WRITE_PIGGYBACK_CAPACITY
+from repro.units import MEM_PAGE_SIZE
+
+sizes = st.integers(min_value=1, max_value=64 * 1024)
+
+
+def delivered_bytes(plan) -> int:
+    return plan.inline_bytes + sum(plan.trailing_fragments) + plan.dma_head_bytes
+
+
+class TestCoverage:
+    @given(size=sizes)
+    def test_piggyback_covers_exactly(self, size):
+        plan = TransferPlanner.plan_piggyback(size)
+        assert delivered_bytes(plan) == size
+        assert plan.inline_bytes <= WRITE_PIGGYBACK_CAPACITY
+        assert all(
+            1 <= f <= TRANSFER_PIGGYBACK_CAPACITY for f in plan.trailing_fragments
+        )
+
+    @given(size=sizes)
+    def test_prp_covers_exactly(self, size):
+        plan = TransferPlanner.plan_prp(size)
+        assert delivered_bytes(plan) == size
+        assert plan.dma_wire_bytes >= size
+        assert plan.dma_wire_bytes - size < MEM_PAGE_SIZE
+
+    @given(size=sizes)
+    def test_hybrid_covers_exactly(self, size):
+        plan = TransferPlanner.plan_hybrid(size)
+        assert delivered_bytes(plan) == size
+
+    @given(size=sizes)
+    def test_piggyback_command_count_formula(self, size):
+        plan = TransferPlanner.plan_piggyback(size)
+        expected = 1
+        if size > WRITE_PIGGYBACK_CAPACITY:
+            rest = size - WRITE_PIGGYBACK_CAPACITY
+            expected += -(-rest // TRANSFER_PIGGYBACK_CAPACITY)
+        assert plan.command_count == expected
+
+
+class TestAdaptiveDecisions:
+    @given(
+        size=sizes,
+        threshold1=st.integers(min_value=0, max_value=8192),
+        threshold2=st.integers(min_value=0, max_value=4096),
+        alpha=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        beta=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=300)
+    def test_adaptive_respects_thresholds(self, size, threshold1, threshold2, alpha, beta):
+        cfg = BandSlimConfig(
+            transfer_mode=TransferMode.ADAPTIVE,
+            threshold1=threshold1,
+            threshold2=threshold2,
+            alpha=alpha,
+            beta=beta,
+        )
+        plan = TransferPlanner(cfg).plan(size)
+        assert delivered_bytes(plan) == size
+        if size <= cfg.effective_threshold1:
+            assert plan.method is TransferMethod.PIGGYBACK
+        else:
+            tail = size % MEM_PAGE_SIZE
+            if tail and size > MEM_PAGE_SIZE and tail <= cfg.effective_threshold2:
+                assert plan.method in (TransferMethod.HYBRID, TransferMethod.PRP)
+            else:
+                assert plan.method is TransferMethod.PRP
+
+    @given(size=sizes)
+    def test_wire_prediction_nonnegative_and_ordered(self, size):
+        """Piggyback wire bytes beat PRP for small values, by construction."""
+        p = TransferPlanner(BandSlimConfig())
+        pig = p.predicted_wire_bytes(TransferPlanner.plan_piggyback(size), 88)
+        prp = p.predicted_wire_bytes(TransferPlanner.plan_prp(size), 88)
+        assert pig > 0 and prp > 0
+        if size <= 1024:
+            assert pig < prp  # Fig 8's left half

@@ -1,0 +1,75 @@
+"""Tests for the simulated clock and stopwatch."""
+
+import pytest
+
+from repro.sim.clock import SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now_us == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clk = SimClock()
+        clk.advance(1.5)
+        clk.advance(2.5)
+        assert clk.now_us == 4.0
+
+    def test_advance_returns_new_time(self):
+        clk = SimClock()
+        assert clk.advance(3.0) == 3.0
+
+    def test_zero_advance_allowed(self):
+        clk = SimClock()
+        clk.advance(0.0)
+        assert clk.now_us == 0.0
+
+    def test_time_never_rewinds(self):
+        clk = SimClock()
+        with pytest.raises(ValueError):
+            clk.advance(-0.1)
+
+    def test_seconds_view(self):
+        clk = SimClock()
+        clk.advance(2_000_000)
+        assert clk.now_s == pytest.approx(2.0)
+
+    def test_reset(self):
+        clk = SimClock()
+        clk.advance(10)
+        clk.reset()
+        assert clk.now_us == 0.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().reset(-5)
+
+
+class TestStopwatch:
+    def test_elapsed_tracks_clock(self):
+        clk = SimClock()
+        sw = clk.stopwatch()
+        clk.advance(7.0)
+        assert sw.elapsed_us() == 7.0
+
+    def test_restart_returns_lap(self):
+        clk = SimClock()
+        sw = clk.stopwatch()
+        clk.advance(3.0)
+        assert sw.restart() == 3.0
+        clk.advance(2.0)
+        assert sw.elapsed_us() == 2.0
+
+    def test_anchored_at_creation(self):
+        clk = SimClock()
+        clk.advance(5.0)
+        sw = Stopwatch(clk)
+        assert sw.start_us == 5.0
+        assert sw.elapsed_us() == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the A/B comparison helper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.compare import compare_configs
+from repro.workloads.workloads import workload_b, workload_m
+
+
+class TestCompareConfigs:
+    def test_identical_inputs_across_configs(self):
+        c = compare_configs(["baseline", "backfill"], workload_b(200, seed=1))
+        assert c.results[0].value_bytes == c.results[1].value_bytes
+        assert c.config_names == ("baseline", "backfill")
+
+    def test_reduction_math(self):
+        c = compare_configs(["baseline", "piggyback"],
+                            workload_m(300, seed=1), nand_io_enabled=False)
+        red = c.reduction(lambda r: r.pcie_total_bytes, 1)
+        manual = 1 - c.results[1].pcie_total_bytes / c.results[0].pcie_total_bytes
+        assert red == pytest.approx(manual)
+        assert red > 0.9  # the paper's W(M) headline zone
+
+    def test_single_config_allowed(self):
+        c = compare_configs(["adaptive"], workload_b(100, seed=1))
+        assert len(c.results) == 1
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_configs([], workload_b(50, seed=1))
+
+    def test_format_contains_all_columns_and_summary(self):
+        c = compare_configs(["baseline", "backfill"], workload_m(200, seed=1))
+        text = c.format()
+        assert "baseline" in text and "backfill" in text
+        assert "avg response" in text
+        assert "NAND page writes" in text
+        assert "vs baseline" in text
+
+    def test_reduction_of_zero_baseline_is_zero(self):
+        c = compare_configs(["baseline"], workload_b(50, seed=1),
+                            nand_io_enabled=False)
+        assert c.reduction(lambda r: r.nand_page_writes, 0) == 0.0
+
+
+class TestCompareCLI:
+    def test_compare_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--workload", "W(B)",
+                     "--configs", "baseline,all", "--num", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "all vs baseline" in out
+
+    def test_unknown_config_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--configs", "baseline,warp"]) == 2
+
+    def test_unknown_workload_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--workload", "W(Q)"]) == 2

@@ -1,0 +1,106 @@
+"""Tests for the latency model and its calibration-critical properties."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.latency import DEFAULT_LATENCY, LatencyModel
+from repro.units import KIB, MEM_PAGE_SIZE
+
+
+class TestConstruction:
+    def test_defaults_are_positive(self):
+        m = LatencyModel()
+        assert m.cmd_round_trip_us > 0
+        assert m.nand_program_us > 0
+
+    def test_rejects_negative_constant(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(nand_program_us=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            LatencyModel().nand_program_us = 5.0  # type: ignore[misc]
+
+    def test_with_overrides(self):
+        m = LatencyModel().with_overrides(nand_program_us=123.0)
+        assert m.nand_program_us == 123.0
+        assert m.nand_read_us == LatencyModel().nand_read_us
+
+
+class TestDerivedCosts:
+    def test_round_trip_is_sum_of_parts(self):
+        m = LatencyModel()
+        expected = (
+            m.mmio_doorbell_us + m.sq_fetch_us + m.cmd_process_us + m.completion_us
+        )
+        assert m.cmd_round_trip_us == pytest.approx(expected)
+
+    def test_dma_zero_bytes_is_free(self):
+        assert LatencyModel().dma_us(0) == 0.0
+
+    def test_dma_has_setup_cost(self):
+        m = LatencyModel()
+        assert m.dma_us(1) > m.dma_per_byte_us
+
+    def test_dma_scales_linearly_past_setup(self):
+        m = LatencyModel()
+        delta = m.dma_us(8192) - m.dma_us(4096)
+        assert delta == pytest.approx(4096 * m.dma_per_byte_us)
+
+    def test_dma_pages_matches_bytes(self):
+        m = LatencyModel()
+        assert m.dma_pages_us(2) == pytest.approx(m.dma_us(2 * MEM_PAGE_SIZE))
+
+    def test_dma_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyModel().dma_us(-1)
+        with pytest.raises(ValueError):
+            LatencyModel().dma_pages_us(-1)
+
+    def test_memcpy_zero_is_free(self):
+        assert LatencyModel().memcpy_us(0) == 0.0
+
+    def test_memcpy_scales(self):
+        m = LatencyModel()
+        assert m.memcpy_us(2000) > m.memcpy_us(1000) > 0
+
+    def test_memcpy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyModel().memcpy_us(-5)
+
+
+class TestPaperCalibration:
+    """The crossover structure the default constants must reproduce (Fig 8)."""
+
+    def test_piggyback_single_command_is_about_half_baseline(self):
+        """≤35 B: one round trip vs round trip + one 4 KiB page DMA."""
+        m = DEFAULT_LATENCY
+        piggy = m.cmd_round_trip_us
+        baseline = m.cmd_round_trip_us + m.dma_pages_us(1)
+        assert 0.4 < piggy / baseline < 0.6
+
+    def test_two_commands_near_parity_with_baseline(self):
+        """36–91 B: two round trips ≈ baseline ("almost identical" at 64 B)."""
+        m = DEFAULT_LATENCY
+        piggy = 2 * m.cmd_round_trip_us
+        baseline = m.cmd_round_trip_us + m.dma_pages_us(1)
+        assert abs(piggy - baseline) / baseline < 0.15
+
+    def test_three_commands_clearly_worse(self):
+        """≥128 B: trailing-command accumulation degrades piggybacking."""
+        m = DEFAULT_LATENCY
+        piggy = 3 * m.cmd_round_trip_us
+        baseline = m.cmd_round_trip_us + m.dma_pages_us(1)
+        assert piggy > baseline * 1.3
+
+    def test_nand_program_dominates_transfer(self):
+        """§2.4: write responses are ~10× transfer responses."""
+        m = DEFAULT_LATENCY
+        transfer = m.cmd_round_trip_us + m.dma_pages_us(4)
+        assert m.nand_program_us > 5 * transfer
+
+    def test_memcpy_of_2k_value_visible_but_below_page_program(self):
+        """Fig 12(d): All-Packing's 2 KiB copies cost ~10–30 µs."""
+        m = DEFAULT_LATENCY
+        cost = m.memcpy_us(2 * KIB)
+        assert 5.0 < cost < m.nand_program_us

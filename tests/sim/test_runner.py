@@ -1,0 +1,115 @@
+"""Tests for the experiment runner that backs every bench."""
+
+import pytest
+
+from repro.core.config import BandSlimConfig
+from repro.errors import ConfigError
+from repro.sim.runner import resolve_config, run_workload
+from repro.workloads.workloads import workload_a, workload_b
+
+
+class TestResolveConfig:
+    def test_preset_name(self):
+        name, cfg = resolve_config("baseline")
+        assert name == "baseline"
+        assert cfg.transfer_mode.value == "baseline"
+
+    def test_config_object_passthrough(self):
+        cfg = BandSlimConfig()
+        name, out = resolve_config(cfg)
+        assert out == cfg
+        assert "/" in name
+
+    def test_overrides_applied(self):
+        _, cfg = resolve_config("baseline", nand_io_enabled=False)
+        assert not cfg.nand_io_enabled
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_config(42)  # type: ignore[arg-type]
+
+
+class TestRunWorkload:
+    def test_result_fields_populated(self):
+        r = run_workload("adaptive", workload_a(100, 64))
+        assert r.ops == 100
+        assert r.value_bytes == 6400
+        assert r.elapsed_us > 0
+        assert r.avg_response_us > 0
+        assert r.pcie_total_bytes > 0
+        assert r.throughput_kops > 0
+
+    def test_taf_matches_paper_for_baseline_32b(self):
+        """Fig 3(b): baseline TAF at 32 B ≈ 130."""
+        r = run_workload("baseline", workload_a(200, 32), nand_io_enabled=False)
+        assert r.traffic_amplification == pytest.approx(130.75, rel=0.01)
+
+    def test_waf_tracks_nand_bytes(self):
+        r = run_workload("baseline", workload_a(500, 2048))
+        assert r.write_amplification > 1.0
+
+    def test_nand_counts_split_by_flush(self):
+        r = run_workload("backfill", workload_b(300, seed=2))
+        assert r.nand_page_writes_with_flush >= r.nand_page_writes
+
+    def test_deterministic_across_runs(self):
+        a = run_workload("adaptive", workload_b(200, seed=5))
+        b = run_workload("adaptive", workload_b(200, seed=5))
+        assert a.pcie_total_bytes == b.pcie_total_bytes
+        assert a.avg_response_us == b.avg_response_us
+        assert a.nand_page_writes == b.nand_page_writes
+
+    def test_scaling_helpers_linear(self):
+        r = run_workload("baseline", workload_a(100, 64))
+        assert r.scaled_pcie_bytes(1000) == pytest.approx(10 * r.pcie_total_bytes)
+        assert r.scaled_nand_writes(1000) == pytest.approx(10 * r.nand_page_writes)
+
+    def test_max_value_auto_extended(self):
+        """Values beyond the config cap (but within scratch) still run."""
+        from repro.workloads.distributions import FixedSize
+        from repro.workloads.generator import Workload
+
+        w = Workload(name="big", num_ops=3, size_dist=FixedSize(200_000), seed=0)
+        cfg = BandSlimConfig(scratch_bytes=1 << 20, max_value_bytes=1 << 16)
+        r = run_workload(cfg, w)
+        assert r.ops == 3
+
+    def test_values_beyond_scratch_rejected(self):
+        from repro.workloads.distributions import FixedSize
+        from repro.workloads.generator import Workload
+
+        w = Workload(name="huge", num_ops=2, size_dist=FixedSize(300_000), seed=0)
+        cfg = BandSlimConfig(scratch_bytes=1 << 18, max_value_bytes=1 << 17)
+        with pytest.raises(ConfigError):
+            run_workload(cfg, w)
+
+    def test_snapshot_attached(self):
+        r = run_workload("adaptive", workload_a(50, 64))
+        assert "nand.page_programs" in r.snapshot
+
+
+class TestDeviceReuse:
+    def test_runner_accepts_prebuilt_device(self):
+        """Multi-phase experiments run several workloads on one device."""
+        from repro.device.kvssd import KVSSD
+        from repro.core.config import preset
+
+        device = KVSSD.build(config=preset("backfill"))
+        from repro.workloads.workloads import workload_b
+
+        first = run_workload("backfill", workload_b(100, seed=1), device=device,
+                             flush_at_end=False)
+        second = run_workload("backfill", workload_b(100, seed=2), device=device)
+        # Same device accumulated both phases' traffic.
+        assert device.driver.metrics.counter("puts").value == 200
+        assert second.elapsed_us > 0
+        assert first.ops == second.ops == 100
+
+    def test_latency_override_propagates(self):
+        from repro.sim.latency import LatencyModel
+        from repro.workloads.workloads import workload_a
+
+        slow = LatencyModel().with_overrides(nand_program_us=4000.0)
+        fast = run_workload("baseline", workload_a(100, 16 * 1024))
+        sluggish = run_workload("baseline", workload_a(100, 16 * 1024), latency=slow)
+        assert sluggish.avg_response_us > fast.avg_response_us * 5

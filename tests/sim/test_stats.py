@@ -1,0 +1,202 @@
+"""Tests for counters, running stats, histograms and metric sets."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, MetricSet, RunningStat
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        assert c.value == 1
+
+    def test_add_amount(self):
+        c = Counter("c")
+        c.add(41)
+        c.add(1)
+        assert c.value == 42
+
+    def test_add_returns_new_value(self):
+        assert Counter("c").add(7) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.add(5)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRunningStat:
+    def test_empty_stat_reads_zero(self):
+        s = RunningStat("s")
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.min == 0.0
+        assert s.max == 0.0
+
+    def test_mean(self):
+        s = RunningStat("s")
+        s.record_many([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+
+    def test_total(self):
+        s = RunningStat("s")
+        s.record_many([1.5, 2.5])
+        assert s.total == pytest.approx(4.0)
+
+    def test_min_max(self):
+        s = RunningStat("s")
+        s.record_many([5.0, -1.0, 3.0])
+        assert s.min == -1.0
+        assert s.max == 5.0
+
+    def test_variance_matches_closed_form(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s = RunningStat("s")
+        s.record_many(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert s.variance == pytest.approx(var)
+        assert s.stdev == pytest.approx(math.sqrt(var))
+
+    def test_variance_of_single_sample_is_zero(self):
+        s = RunningStat("s")
+        s.record(3.0)
+        assert s.variance == 0.0
+
+    def test_reset(self):
+        s = RunningStat("s")
+        s.record(10.0)
+        s.reset()
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_merge_matches_sequential(self):
+        a, b, ref = RunningStat("a"), RunningStat("b"), RunningStat("ref")
+        xs, ys = [1.0, 2.0, 3.0], [10.0, 20.0]
+        a.record_many(xs)
+        b.record_many(ys)
+        ref.record_many(xs + ys)
+        a.merge(b)
+        assert a.count == ref.count
+        assert a.mean == pytest.approx(ref.mean)
+        assert a.variance == pytest.approx(ref.variance)
+        assert a.min == ref.min
+        assert a.max == ref.max
+
+    def test_merge_with_empty_is_identity(self):
+        a, b = RunningStat("a"), RunningStat("b")
+        a.record_many([1.0, 2.0])
+        a.merge(b)
+        assert a.count == 2
+        b.merge(a)
+        assert b.count == 2
+        assert b.mean == pytest.approx(1.5)
+
+
+class TestHistogram:
+    def test_requires_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+
+    def test_bucket_assignment(self):
+        h = Histogram("h", [10, 100, 1000])
+        for v in (5, 10, 50, 500, 5000):
+            h.record(v)
+        counts = dict(h.bucket_counts())
+        assert counts[10.0] == 2  # 5 and 10
+        assert counts[100.0] == 1
+        assert counts[1000.0] == 1
+        assert counts[math.inf] == 1
+
+    def test_exponential_factory(self):
+        h = Histogram.exponential("h", start=1, factor=2, count=4)
+        assert [e for e, _ in h.bucket_counts()][:-1] == [1, 2, 4, 8]
+
+    def test_exponential_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            Histogram.exponential("h", start=0)
+        with pytest.raises(ValueError):
+            Histogram.exponential("h", factor=1.0)
+
+    def test_percentile_empty_is_zero(self):
+        assert Histogram("h", [1, 2]).percentile(50) == 0.0
+
+    def test_percentile_bounds(self):
+        h = Histogram("h", [10, 20, 30])
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_percentile_monotonic(self):
+        h = Histogram.exponential("h")
+        for v in range(1, 200):
+            h.record(float(v))
+        assert h.percentile(50) <= h.percentile(90) <= h.percentile(99)
+
+    def test_percentile_roughly_correct(self):
+        h = Histogram("h", list(range(1, 101)))
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.percentile(50) == pytest.approx(50, abs=2)
+        assert h.percentile(99) == pytest.approx(99, abs=2)
+
+    def test_reset(self):
+        h = Histogram("h", [10])
+        h.record(1)
+        h.reset()
+        assert h.count == 0
+
+class TestMetricSet:
+    def test_counter_get_or_create(self):
+        m = MetricSet("ns")
+        c1 = m.counter("x")
+        c2 = m.counter("x")
+        assert c1 is c2
+        assert c1.name == "ns.x"
+
+    def test_stat_get_or_create(self):
+        m = MetricSet()
+        s = m.stat("lat")
+        assert m.stat("lat") is s
+        assert s.name == "lat"
+
+    def test_snapshot_includes_counters_and_stats(self):
+        m = MetricSet("dev")
+        m.counter("events").add(3)
+        m.stat("lat").record(5.0)
+        snap = m.snapshot()
+        assert snap["dev.events"] == 3.0
+        assert snap["dev.lat.mean"] == 5.0
+        assert snap["dev.lat.count"] == 1.0
+
+    def test_snapshot_includes_histogram_percentiles(self):
+        m = MetricSet()
+        h = m.histogram("lat")
+        h.record(4.0)
+        snap = m.snapshot()
+        assert "lat.p50" in snap
+        assert "lat.p99" in snap
+
+    def test_reset_clears_everything(self):
+        m = MetricSet()
+        m.counter("c").add(2)
+        m.stat("s").record(1.0)
+        m.reset()
+        assert m.counter("c").value == 0
+        assert m.stat("s").count == 0

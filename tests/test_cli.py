@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_lists_presets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "backfill" in out
+        assert "W(M)" in out
+
+
+class TestDBBench:
+    def test_fillseq(self, capsys):
+        assert main(["dbbench", "--benchmark", "fillseq", "--num", "50",
+                     "--value-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "micros/op" in out
+
+    def test_config_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["dbbench", "--config", "nonsense"])
+
+
+class TestWorkload:
+    def test_wm_summary(self, capsys):
+        assert main(["workload", "--name", "W(M)", "--num", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "avg response" in out
+        assert "NAND writes" in out
+        assert "TAF" in out
+
+    def test_no_nand_flag(self, capsys):
+        assert main(["workload", "--name", "W(B)", "--num", "100",
+                     "--no-nand"]) == 0
+        out = capsys.readouterr().out
+        assert "NAND writes     0" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["workload", "--name", "W(Z)", "--num", "10"]) == 2
+
+
+class TestCalibrate:
+    def test_prints_thresholds(self, capsys):
+        assert main(["calibrate", "--ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold1" in out
+        assert "threshold2" in out
+
+
+class TestBench:
+    def test_single_figure(self, capsys):
+        assert main(["bench", "fig3", "--ops", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out
+        assert "fig3b" in out
+
+    def test_writes_out_dir(self, tmp_path, capsys):
+        assert main(["bench", "table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestIdentify:
+    def test_prints_capability_block(self, capsys):
+        assert main(["identify", "--config", "backfill"]) == 0
+        out = capsys.readouterr().out
+        assert "IDENTIFY controller" in out
+        assert "write piggyback capacity    35 B" in out
+        assert "packing policy              backfill" in out

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import io
+import os
+import runpy
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_present():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    assert out.getvalue().strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_mentions_counters():
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(
+            os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__"
+        )
+    text = out.getvalue()
+    assert "PCIe traffic" in text
+    assert "NAND page writes" in text

@@ -1,0 +1,143 @@
+"""Unit tests for size/alignment arithmetic (repro.units)."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_NAND_PAGE_SIZE,
+    KIB,
+    MEM_PAGE_SIZE,
+    MIB,
+    NVME_COMMAND_SIZE,
+    align_down,
+    align_up,
+    fmt_bytes,
+    is_aligned,
+    pages_needed,
+    split_sizes,
+)
+
+
+class TestConstants:
+    def test_memory_page_is_4k(self):
+        assert MEM_PAGE_SIZE == 4096
+
+    def test_nand_page_is_16k(self):
+        assert DEFAULT_NAND_PAGE_SIZE == 16 * KIB
+
+    def test_nvme_command_is_64_bytes(self):
+        assert NVME_COMMAND_SIZE == 64
+
+    def test_unit_scaling(self):
+        assert MIB == 1024 * KIB == 1024 * 1024
+
+
+class TestAlignDown:
+    def test_exact_multiple_unchanged(self):
+        assert align_down(8192, 4096) == 8192
+
+    def test_rounds_down(self):
+        assert align_down(8193, 4096) == 8192
+        assert align_down(4095, 4096) == 0
+
+    def test_zero(self):
+        assert align_down(0, 4096) == 0
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(100, 0)
+        with pytest.raises(ValueError):
+            align_down(100, -4)
+
+
+class TestAlignUp:
+    def test_exact_multiple_unchanged(self):
+        assert align_up(8192, 4096) == 8192
+
+    def test_rounds_up(self):
+        assert align_up(1, 4096) == 4096
+        assert align_up(4097, 4096) == 8192
+
+    def test_zero(self):
+        assert align_up(0, 4096) == 0
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(100, 0)
+
+
+class TestIsAligned:
+    def test_aligned(self):
+        assert is_aligned(0, 4096)
+        assert is_aligned(12288, 4096)
+
+    def test_not_aligned(self):
+        assert not is_aligned(1, 4096)
+        assert not is_aligned(4095, 4096)
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(ValueError):
+            is_aligned(4096, 0)
+
+
+class TestPagesNeeded:
+    def test_zero_bytes_needs_no_pages(self):
+        assert pages_needed(0) == 0
+
+    def test_one_byte_needs_one_page(self):
+        assert pages_needed(1) == 1
+
+    def test_exact_page(self):
+        assert pages_needed(4096) == 1
+
+    def test_page_plus_one(self):
+        """The paper's (4K+32)B example: two pages on the wire (§2.3)."""
+        assert pages_needed(4096 + 32) == 2
+
+    def test_sixteen_kib_needs_four_pages(self):
+        assert pages_needed(16 * KIB) == 4
+
+    def test_custom_page_size(self):
+        assert pages_needed(16 * KIB + 1, 16 * KIB) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pages_needed(-1)
+
+
+class TestSplitSizes:
+    def test_exact_split(self):
+        assert split_sizes(112, 56) == [56, 56]
+
+    def test_remainder(self):
+        """130 piggybacked bytes → two full fragments + an 18-byte tail."""
+        assert split_sizes(130, 56) == [56, 56, 18]
+
+    def test_zero_total(self):
+        assert split_sizes(0, 56) == []
+
+    def test_small_total(self):
+        assert split_sizes(5, 56) == [5]
+
+    def test_sum_invariant(self):
+        for total in (0, 1, 55, 56, 57, 1000):
+            assert sum(split_sizes(total, 56)) == total
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            split_sizes(10, 0)
+        with pytest.raises(ValueError):
+            split_sizes(-1, 56)
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(12) == "12 B"
+
+    def test_kilobytes(self):
+        assert fmt_bytes(2048) == "2.00 KB"
+
+    def test_gigabytes(self):
+        assert fmt_bytes(4 * 1024**3) == "4.00 GB"
+
+    def test_fractional(self):
+        assert fmt_bytes(1536) == "1.50 KB"

@@ -1,0 +1,38 @@
+"""Tests for the db_bench-style frontend."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.dbbench import available_benchmarks, run_dbbench
+
+
+class TestDBBench:
+    def test_available_benchmarks(self):
+        assert {"fillseq", "fillrandom", "mixgraph"} <= set(available_benchmarks())
+
+    def test_fillseq_runs(self):
+        report = run_dbbench("fillseq", num_ops=50, value_size=64)
+        assert report.result.ops == 50
+        assert report.result.pcie_total_bytes > 0
+
+    def test_fillrandom_runs(self):
+        report = run_dbbench("fillrandom", num_ops=50, value_size=64)
+        assert report.result.ops == 50
+
+    def test_mixgraph_runs(self):
+        report = run_dbbench("mixgraph", num_ops=50)
+        assert report.result.value_bytes > 0
+
+    def test_report_format_contains_metrics(self):
+        line = run_dbbench("fillseq", num_ops=20, value_size=32).format()
+        assert "micros/op" in line
+        assert "ops/sec" in line
+        assert "nand writes" in line
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_dbbench("fillfancy")
+
+    def test_config_preset_accepted(self):
+        report = run_dbbench("fillseq", num_ops=20, value_size=32, config="baseline")
+        assert report.result.config_name == "baseline"

@@ -1,0 +1,115 @@
+"""Tests for value-size distributions, including the mixgraph GPD (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    FixedSize,
+    MixGraphSizes,
+    TwoPointSizes,
+    UniformChoiceSizes,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestFixedSize:
+    def test_all_same(self, rng):
+        sizes = FixedSize(100).sample(rng, 1000)
+        assert (sizes == 100).all()
+
+    def test_max_size(self):
+        assert FixedSize(64).max_size == 64
+
+    def test_rejects_zero(self):
+        with pytest.raises(WorkloadError):
+            FixedSize(0)
+
+
+class TestTwoPoint:
+    def test_workload_b_ratio(self, rng):
+        """W(B): 8 B vs 2 KiB at 9:1."""
+        dist = TwoPointSizes(small=8, large=2048, small_fraction=0.9)
+        sizes = dist.sample(rng, 50_000)
+        assert set(np.unique(sizes)) == {8, 2048}
+        small_frac = (sizes == 8).mean()
+        assert small_frac == pytest.approx(0.9, abs=0.01)
+
+    def test_workload_c_ratio(self, rng):
+        dist = TwoPointSizes(small=8, large=2048, small_fraction=0.1)
+        sizes = dist.sample(rng, 50_000)
+        assert (sizes == 8).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_max_size(self):
+        assert TwoPointSizes(8, 2048, 0.5).max_size == 2048
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TwoPointSizes(small=0, large=10, small_fraction=0.5)
+        with pytest.raises(WorkloadError):
+            TwoPointSizes(small=10, large=5, small_fraction=0.5)
+        with pytest.raises(WorkloadError):
+            TwoPointSizes(small=1, large=2, small_fraction=1.5)
+
+
+class TestUniformChoice:
+    def test_only_listed_sizes(self, rng):
+        dist = UniformChoiceSizes((8, 16, 32))
+        sizes = dist.sample(rng, 10_000)
+        assert set(np.unique(sizes)) <= {8, 16, 32}
+
+    def test_roughly_equal_ratio(self, rng):
+        """W(D): each size with an equal ratio."""
+        dist = UniformChoiceSizes((8, 16, 32, 64))
+        sizes = dist.sample(rng, 40_000)
+        for s in (8, 16, 32, 64):
+            assert (sizes == s).mean() == pytest.approx(0.25, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformChoiceSizes(())
+        with pytest.raises(WorkloadError):
+            UniformChoiceSizes((0, 8))
+
+
+class TestMixGraph:
+    def test_seventy_percent_under_35_bytes(self, rng):
+        """The paper's W(M) anchor: ~70 % of values below 35 B."""
+        dist = MixGraphSizes()
+        sizes = dist.sample(rng, 100_000)
+        frac = (sizes < 35).mean()
+        assert frac == pytest.approx(0.70, abs=0.04)
+
+    def test_analytic_fraction_matches_empirical(self, rng):
+        dist = MixGraphSizes()
+        sizes = dist.sample(rng, 100_000)
+        for threshold in (35, 100, 500):
+            analytic = dist.fraction_below(threshold)
+            empirical = (sizes < threshold).mean()
+            assert empirical == pytest.approx(analytic, abs=0.03)
+
+    def test_cap_enforced(self, rng):
+        """W(M): maximum value size of 1 KiB."""
+        sizes = MixGraphSizes().sample(rng, 100_000)
+        assert sizes.max() <= 1024
+        assert sizes.min() >= 1
+
+    def test_heavy_tail_exists(self, rng):
+        sizes = MixGraphSizes().sample(rng, 100_000)
+        assert (sizes > 500).any()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MixGraphSizes(sigma=0)
+        with pytest.raises(WorkloadError):
+            MixGraphSizes(floor=0)
+        with pytest.raises(WorkloadError):
+            MixGraphSizes(floor=2000, cap=1024)
+
+    def test_mean_size_helper(self, rng):
+        dist = FixedSize(77)
+        assert dist.mean_size(rng, 100) == 77.0

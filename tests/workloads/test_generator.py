@@ -1,0 +1,117 @@
+"""Tests for key generation (bijective mixer), values, request streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import FixedSize
+from repro.workloads.generator import (
+    KeySequence,
+    Request,
+    RequestKind,
+    Workload,
+    mix32,
+    mix32_array,
+)
+
+
+class TestMix32:
+    def test_bijective_on_sample(self):
+        """§4.1 demands *unique* keys; the mixer must never collide."""
+        seen = {mix32(i, seed=7) for i in range(100_000)}
+        assert len(seen) == 100_000
+
+    def test_seed_changes_mapping(self):
+        assert mix32(1, seed=1) != mix32(1, seed=2)
+
+    def test_deterministic(self):
+        assert mix32(12345, seed=9) == mix32(12345, seed=9)
+
+    def test_vectorized_matches_scalar(self):
+        xs = np.arange(1000, dtype=np.uint32)
+        vec = mix32_array(xs, seed=3)
+        for i in (0, 1, 999):
+            assert int(vec[i]) == mix32(i, seed=3)
+
+    def test_output_range(self):
+        assert 0 <= mix32(2**32 - 1, seed=0) < 2**32
+
+
+class TestKeySequence:
+    def test_sequential_keys_ordered(self):
+        ks = KeySequence(hashed=False)
+        keys = [ks.key(i) for i in range(100)]
+        assert keys == sorted(keys)
+        assert all(len(k) == 4 for k in keys)
+
+    def test_hashed_keys_unique(self):
+        ks = KeySequence(seed=11, hashed=True)
+        keys = {ks.key(i) for i in range(10_000)}
+        assert len(keys) == 10_000
+
+    def test_hashed_keys_scrambled(self):
+        ks = KeySequence(seed=11, hashed=True)
+        keys = [ks.key(i) for i in range(100)]
+        assert keys != sorted(keys)
+
+    def test_keys_batch_matches_scalar(self):
+        ks = KeySequence(seed=5)
+        assert ks.keys(50) == [ks.key(i) for i in range(50)]
+
+    def test_index_bounds(self):
+        with pytest.raises(WorkloadError):
+            KeySequence().key(-1)
+        with pytest.raises(WorkloadError):
+            KeySequence().key(2**32 + 1)
+
+
+class TestWorkload:
+    def test_request_stream_shape(self):
+        w = Workload(name="t", num_ops=10, size_dist=FixedSize(32), seed=1)
+        reqs = list(w.requests())
+        assert len(reqs) == 10
+        assert all(r.kind is RequestKind.PUT for r in reqs)
+        assert all(len(r.value) == 32 for r in reqs)
+
+    def test_total_value_bytes(self):
+        w = Workload(name="t", num_ops=10, size_dist=FixedSize(32), seed=1)
+        assert w.total_value_bytes == 320
+        assert w.mean_value_bytes == 32.0
+        assert w.max_value_bytes == 32
+
+    def test_deterministic_per_seed(self):
+        a = Workload(name="t", num_ops=5, size_dist=FixedSize(16), seed=9)
+        b = Workload(name="t", num_ops=5, size_dist=FixedSize(16), seed=9)
+        assert [r.key for r in a] == [r.key for r in b]
+        assert [r.value for r in a] == [r.value for r in b]
+
+    def test_different_seeds_differ(self):
+        a = Workload(name="t", num_ops=5, size_dist=FixedSize(16), seed=1)
+        b = Workload(name="t", num_ops=5, size_dist=FixedSize(16), seed=2)
+        assert [r.key for r in a] != [r.key for r in b]
+
+    def test_reiterable(self):
+        w = Workload(name="t", num_ops=3, size_dist=FixedSize(8), seed=0)
+        assert [r.key for r in w] == [r.key for r in w]
+
+    def test_sequential_keys_mode(self):
+        w = Workload(
+            name="t", num_ops=10, size_dist=FixedSize(8), seed=0,
+            sequential_keys=True,
+        )
+        keys = [r.key for r in w]
+        assert keys == sorted(keys)
+
+    def test_value_content_varies_by_index(self):
+        w = Workload(name="t", num_ops=50, size_dist=FixedSize(64), seed=0)
+        values = {w.value_for(i) for i in range(50)}
+        assert len(values) > 40  # overwhelmingly distinct
+
+    def test_rejects_zero_ops(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="t", num_ops=0, size_dist=FixedSize(8))
+
+    def test_request_value_size_property(self):
+        r = Request(RequestKind.PUT, b"k", b"abc")
+        assert r.value_size == 3
+        assert Request(RequestKind.GET, b"k").value_size == 0

@@ -1,0 +1,87 @@
+"""Tests for mixed GET/PUT workloads (read-path exercise at scale)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.runner import run_workload
+from repro.workloads.distributions import FixedSize
+from repro.workloads.generator import RequestKind, Workload
+from repro.workloads.workloads import workload_mixed
+
+
+class TestGeneration:
+    def test_read_fraction_respected(self):
+        w = Workload(name="m", num_ops=4000, size_dist=FixedSize(32),
+                     seed=3, read_fraction=0.4)
+        reads = sum(1 for r in w if r.kind is RequestKind.GET)
+        assert reads / 4000 == pytest.approx(0.4, abs=0.03)
+
+    def test_first_op_is_always_put(self):
+        for seed in range(5):
+            w = Workload(name="m", num_ops=10, size_dist=FixedSize(8),
+                         seed=seed, read_fraction=0.9)
+            assert next(iter(w)).kind is RequestKind.PUT
+
+    def test_reads_target_previously_written_keys(self):
+        w = Workload(name="m", num_ops=500, size_dist=FixedSize(8),
+                     seed=1, read_fraction=0.5)
+        written = set()
+        for req in w:
+            if req.kind is RequestKind.PUT:
+                written.add(req.key)
+            else:
+                assert req.key in written
+
+    def test_total_value_bytes_counts_puts_only(self):
+        w = Workload(name="m", num_ops=1000, size_dist=FixedSize(100),
+                     seed=2, read_fraction=0.3)
+        assert w.total_value_bytes == w.put_count * 100
+        assert w.put_count < 1000
+
+    def test_zero_read_fraction_is_pure_put(self):
+        w = Workload(name="m", num_ops=50, size_dist=FixedSize(8), seed=0)
+        assert all(r.kind is RequestKind.PUT for r in w)
+        assert w.put_count == 50
+
+    def test_deterministic(self):
+        a = Workload(name="m", num_ops=200, size_dist=FixedSize(8),
+                     seed=9, read_fraction=0.5)
+        b = Workload(name="m", num_ops=200, size_dist=FixedSize(8),
+                     seed=9, read_fraction=0.5)
+        assert [(r.kind, r.key) for r in a] == [(r.kind, r.key) for r in b]
+
+    def test_bounds_validated(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="m", num_ops=10, size_dist=FixedSize(8),
+                     read_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            Workload(name="m", num_ops=10, size_dist=FixedSize(8),
+                     read_fraction=-0.1)
+
+    def test_is_read_mask_exposed(self):
+        w = workload_mixed(300, read_fraction=0.5, seed=4)
+        assert w.is_read.dtype == np.bool_
+        assert w.is_read.sum() > 0
+
+
+class TestEndToEnd:
+    def test_mixed_workload_through_device(self):
+        r = run_workload("backfill", workload_mixed(400, read_fraction=0.3, seed=7))
+        assert r.ops == 400
+        assert float(r.snapshot["driver.gets"]) > 0
+        assert float(r.snapshot["driver.puts"]) > 0
+        # GETs moved payload back device->host.
+        assert float(r.snapshot["pcie.dma_d2h.bytes"]) > 0
+
+    def test_read_latency_tracked_separately(self):
+        r = run_workload("adaptive", workload_mixed(300, read_fraction=0.5, seed=7))
+        assert r.snapshot["driver.get_latency_us.mean"] > 0
+        assert r.snapshot["driver.get_latency_us.count"] == float(
+            r.snapshot["driver.gets"]
+        )
+
+    def test_percentiles_reported(self):
+        r = run_workload("adaptive", workload_mixed(300, read_fraction=0.2, seed=7))
+        assert r.p50_response_us > 0
+        assert r.p99_response_us >= r.p50_response_us

@@ -1,0 +1,91 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.runner import run_workload
+from repro.workloads.generator import Request, RequestKind
+from repro.workloads.trace import Trace
+from repro.workloads.workloads import workload_b, workload_mixed
+
+
+class TestRecord:
+    def test_record_materializes_stream(self):
+        w = workload_b(100, seed=3)
+        trace = Trace.record(w)
+        assert trace.num_ops == 100
+        assert trace.name == w.name
+        assert trace.total_value_bytes == w.total_value_bytes
+
+    def test_record_preserves_exact_requests(self):
+        w = workload_b(50, seed=3)
+        trace = Trace.record(w)
+        assert list(trace) == list(w.requests())
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace.from_requests("empty", [])
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        w = workload_mixed(120, read_fraction=0.3, seed=5)
+        trace = Trace.record(w)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded == trace
+
+    def test_mixed_kinds_survive(self, tmp_path):
+        reqs = [
+            Request(RequestKind.PUT, b"k1", b"v1"),
+            Request(RequestKind.GET, b"k1"),
+            Request(RequestKind.PUT, b"key-sixteen-by!", b"x" * 3000),
+            Request(RequestKind.DELETE, b"k1"),
+        ]
+        trace = Trace.from_requests("hand", reqs)
+        path = str(tmp_path / "t.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert list(loaded) == reqs
+
+    def test_variable_key_lengths(self, tmp_path):
+        reqs = [Request(RequestKind.PUT, bytes([65 + i]) * (i + 1), b"v")
+                for i in range(8)]
+        trace = Trace.from_requests("keys", reqs)
+        path = str(tmp_path / "k.npz")
+        trace.save(path)
+        assert [r.key for r in Trace.load(path)] == [r.key for r in reqs]
+
+    def test_version_check(self, tmp_path):
+        import numpy as np
+
+        w = workload_b(10, seed=1)
+        trace = Trace.record(w)
+        path = str(tmp_path / "v.npz")
+        trace.save(path)
+        data = dict(np.load(path))
+        data["version"] = np.array([99], dtype=np.uint32)
+        np.savez_compressed(path, **data)
+        with pytest.raises(WorkloadError):
+            Trace.load(path)
+
+
+class TestReplayThroughRunner:
+    def test_trace_replays_identically_to_source(self, tmp_path):
+        w = workload_b(150, seed=11)
+        trace = Trace.record(w)
+        path = str(tmp_path / "replay.npz")
+        trace.save(path)
+        original = run_workload("adaptive", w)
+        replayed = run_workload("adaptive", Trace.load(path))
+        assert replayed.pcie_total_bytes == original.pcie_total_bytes
+        assert replayed.nand_page_writes == original.nand_page_writes
+        assert replayed.avg_response_us == pytest.approx(original.avg_response_us)
+
+    def test_trace_usable_for_config_comparison(self, tmp_path):
+        trace = Trace.record(workload_b(100, seed=2))
+        a = run_workload("baseline", trace)
+        b = run_workload("backfill", trace)
+        assert a.value_bytes == b.value_bytes  # identical inputs, by design
+        assert b.nand_page_writes_with_flush < a.nand_page_writes_with_flush

@@ -1,0 +1,75 @@
+"""Tests for the paper's five workload definitions (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.workloads import (
+    PAPER_WORKLOADS,
+    WORKLOAD_D_SIZES,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_m,
+)
+
+
+class TestWorkloadA:
+    def test_fillseq_fixed_size_sequential(self):
+        w = workload_a(100, value_size=512)
+        keys = [r.key for r in w]
+        assert keys == sorted(keys)
+        assert all(r.value_size == 512 for r in w)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(WorkloadError):
+            workload_a(10, value_size=0)
+
+
+class TestWorkloadB:
+    def test_nine_to_one_small_dominant(self):
+        w = workload_b(20_000, seed=1)
+        sizes = w.sizes
+        assert set(np.unique(sizes)) == {8, 2048}
+        assert (sizes == 8).mean() == pytest.approx(0.9, abs=0.02)
+
+    def test_random_unique_keys(self):
+        w = workload_b(5000, seed=1)
+        keys = [r.key for r in w]
+        assert len(set(keys)) == 5000
+        assert keys != sorted(keys)
+
+
+class TestWorkloadC:
+    def test_ratio_reversed(self):
+        """W(C) is W(B) "with the value size ratio reversed to 1:9"."""
+        w = workload_c(20_000, seed=1)
+        assert (w.sizes == 8).mean() == pytest.approx(0.1, abs=0.02)
+
+
+class TestWorkloadD:
+    def test_paper_size_set(self):
+        assert WORKLOAD_D_SIZES == (8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+    def test_equal_ratio(self):
+        w = workload_d(45_000, seed=1)
+        for s in WORKLOAD_D_SIZES:
+            assert (w.sizes == s).mean() == pytest.approx(1 / 9, abs=0.01)
+
+
+class TestWorkloadM:
+    def test_mixgraph_shape(self):
+        w = workload_m(50_000, seed=1)
+        assert w.sizes.max() <= 1024
+        assert (w.sizes < 35).mean() == pytest.approx(0.70, abs=0.05)
+
+
+class TestRegistry:
+    def test_fig10_matrix_complete(self):
+        assert set(PAPER_WORKLOADS) == {"W(B)", "W(C)", "W(D)", "W(M)"}
+
+    def test_factories_accept_num_ops_and_seed(self):
+        for factory in PAPER_WORKLOADS.values():
+            w = factory(10, seed=3)
+            assert w.num_ops == 10
