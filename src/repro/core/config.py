@@ -84,6 +84,22 @@ class BandSlimConfig:
     # --- LSM ------------------------------------------------------------------
     memtable_flush_bytes: int = 256 * KIB
 
+    # --- fault recovery (see docs/fault-model.md) --------------------------------
+    #: ECC strength: bit flips per page read the FTL corrects in place.
+    ecc_correctable_bits: int = 8
+    #: Read-retry attempts before a read is declared uncorrectable.
+    read_retry_limit: int = 3
+    #: Fresh pages tried before a program is declared unrecoverable.
+    program_retry_limit: int = 4
+    #: Driver-level whole-operation retries on retryable statuses
+    #: (MEDIA_ERROR, DEVICE_BUSY) and command timeouts.
+    op_retry_limit: int = 4
+    #: Initial driver retry backoff in *simulated* µs; doubles per retry.
+    retry_backoff_us: float = 50.0
+    #: Per-command driver timeout in simulated µs; 0 disables timeout
+    #: detection (the default — NAND flush stalls legitimately run long).
+    command_timeout_us: float = 0.0
+
     # --- experiment switches ----------------------------------------------------
     #: §4.2 disables NAND I/O to isolate transfer effects.
     nand_io_enabled: bool = True
@@ -109,6 +125,14 @@ class BandSlimConfig:
             raise ConfigError("max_value_bytes cannot exceed scratch_bytes")
         if not 0.1 <= self.vlog_fraction <= 0.95:
             raise ConfigError("vlog_fraction must be in [0.1, 0.95]")
+        if self.ecc_correctable_bits < 0:
+            raise ConfigError("ecc_correctable_bits must be non-negative")
+        if self.read_retry_limit < 1:
+            raise ConfigError("read_retry_limit must be at least 1")
+        if self.program_retry_limit < 0 or self.op_retry_limit < 0:
+            raise ConfigError("retry limits must be non-negative")
+        if self.retry_backoff_us < 0 or self.command_timeout_us < 0:
+            raise ConfigError("retry backoff and command timeout must be >= 0")
 
     # --- effective thresholds -----------------------------------------------
 

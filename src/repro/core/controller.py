@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 from repro.core.config import BandSlimConfig
 from repro.core.packing import NandPageBuffer, PackingPolicy, Placement
-from repro.errors import KeyNotFoundError, NVMeError
+from repro.errors import (
+    BadBlockError,
+    KeyNotFoundError,
+    MediaError,
+    NVMeError,
+    TransferFaultError,
+)
+from repro.faults.injector import FaultInjector
 from repro.lsm.tree import LSMTree
 from repro.memory.device import DRAMRegion
 from repro.memory.dma import DMAEngine
@@ -80,6 +87,7 @@ class BandSlimController:
         scratch: DRAMRegion,
         sq: SubmissionQueue,
         cq: CompletionQueue,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.config = config
         self.link = link
@@ -98,6 +106,10 @@ class BandSlimController:
         self.metrics.counter("commands_processed")
         self.metrics.counter("memcpy_bytes")
         self.metrics.stat("memcpy_us_per_op")
+        if injector is not None:
+            self.metrics.counter("media_errors")
+            self.metrics.counter("internal_errors")
+            self.metrics.counter("transfer_faults")
         self._op_memcpy_us = 0.0
         #: Open iterator cursors for SEEK/NEXT (iterator id -> last key).
         self._iterators: dict[int, bytes] = {}
@@ -129,10 +141,39 @@ class BandSlimController:
     # --- main loop -----------------------------------------------------------
 
     def process_next(self) -> NVMeCompletion:
-        """Fetch one command from the SQ, handle it, post the CQE."""
+        """Fetch one command from the SQ, handle it, post the CQE.
+
+        Device-side fault escalations (media errors the FTL could not
+        recover, transient transfer faults) become NVMe statuses on the
+        completion queue — the host sees a failed command, never a raw
+        exception. Protocol-usage errors still raise: driving the simulator
+        wrongly is a bug, not a fault.
+        """
         cmd = self.sq.fetch()
         self.clock.advance(self.latency.cmd_process_us)
         self.metrics.counter("commands_processed").add(1)
+        try:
+            cqe = self._dispatch(cmd)
+        except BadBlockError:
+            self._pending.pop(cmd.cid, None)
+            self.metrics.counter("internal_errors").add(1)
+            cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.INTERNAL_ERROR)
+        except MediaError:
+            self._pending.pop(cmd.cid, None)
+            self.metrics.counter("media_errors").add(1)
+            cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.MEDIA_ERROR)
+        except TransferFaultError:
+            self._pending.pop(cmd.cid, None)
+            self.metrics.counter("transfer_faults").add(1)
+            cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.DEVICE_BUSY)
+        self.cq.post(cqe)
+        return cqe
+
+    def abort_pending(self, cid: int) -> None:
+        """Drop the mid-assembly value for ``cid`` (driver gave up on it)."""
+        self._pending.pop(cid, None)
+
+    def _dispatch(self, cmd) -> NVMeCompletion:
         opcode = cmd.opcode
         if opcode is KVOpcode.BANDSLIM_WRITE:
             cqe = self._handle_write(cmd)
@@ -158,7 +199,6 @@ class BandSlimController:
             cqe = self._handle_iter_close(cmd)
         else:
             cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_OPCODE)
-        self.cq.post(cqe)
         return cqe
 
     # --- write path -----------------------------------------------------------

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from repro.core.config import BandSlimConfig
 from repro.core.controller import BandSlimController
 from repro.core.transfer import TransferMethod, TransferPlan, TransferPlanner
-from repro.errors import KeyNotFoundError, NVMeError
+from repro.errors import CommandTimeoutError, KeyNotFoundError, NVMeError
+from repro.faults.injector import FaultInjector
 from repro.memory.host import HostMemory
 from repro.nvme.admin import (
     BandSlimCapabilities,
@@ -76,6 +77,7 @@ class BandSlimDriver:
         controller: BandSlimController,
         sq: SubmissionQueue,
         cq: CompletionQueue,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.config = config
         self.link = link
@@ -86,6 +88,8 @@ class BandSlimDriver:
         self.planner = TransferPlanner(config)
         self.clock = link.clock
         self._next_cid = 0
+        #: cid of the in-flight multi-command PUT (for abort on give-up).
+        self._active_put_cid: int | None = None
         # Keep this side of the stack in sync when admin SET FEATURES
         # changes the device's active configuration.
         controller.on_config_change(self._adopt_config)
@@ -97,6 +101,10 @@ class BandSlimDriver:
         # Exponential-bucket histograms back the p50/p99 the runner reports.
         self.metrics.histogram("put_latency_us")
         self.metrics.histogram("get_latency_us")
+        if injector is not None or config.command_timeout_us > 0:
+            self.metrics.counter("retries")
+            self.metrics.counter("timeouts")
+            self.metrics.counter("failed_ops")
 
     # --- plumbing ------------------------------------------------------------
 
@@ -107,6 +115,7 @@ class BandSlimDriver:
 
     def _roundtrip(self, cmd) -> NVMeCompletion:
         """One synchronous passthrough round trip."""
+        start = self.clock.now_us
         self.sq.submit(cmd)
         self.link.submit_command()
         self.controller.process_next()
@@ -116,7 +125,50 @@ class BandSlimDriver:
             raise NVMeError(
                 f"completion cid {cqe.cid} does not match command {cmd.cid}"
             )
+        timeout = self.config.command_timeout_us
+        if timeout > 0 and self.clock.now_us - start > timeout:
+            self.metrics.counter("timeouts").add(1)
+            raise CommandTimeoutError(
+                f"command {cmd.cid} took {self.clock.now_us - start:.1f} us "
+                f"(timeout {timeout:g} us)"
+            )
         return cqe
+
+    # --- fault recovery -------------------------------------------------------
+
+    def _with_recovery(self, attempt, cleanup=None) -> NVMeCompletion:
+        """Run one operation attempt; retry with exponential backoff.
+
+        ``attempt`` is re-invoked (building fresh commands) after any
+        retryable completion status or a command timeout, with the backoff
+        charged to the *simulated* clock so fault-load latency figures
+        include it. ``cleanup`` runs before each retry and before giving
+        up, releasing device-side state of the abandoned attempt.
+        """
+        backoff = self.config.retry_backoff_us
+        retries = 0
+        while True:
+            timed_out = False
+            try:
+                cqe = attempt()
+            except CommandTimeoutError:
+                timed_out = True
+                cqe = None
+            if cqe is not None and not cqe.status.retryable:
+                return cqe
+            if cleanup is not None:
+                cleanup()
+            if retries >= self.config.op_retry_limit:
+                self.metrics.counter("failed_ops").add(1)
+                if cqe is None:
+                    raise CommandTimeoutError(
+                        f"operation still timing out after {retries} retries"
+                    )
+                return cqe
+            retries += 1
+            self.metrics.counter("retries").add(1)
+            self.clock.advance(backoff)
+            backoff *= 2
 
     # --- PUT -----------------------------------------------------------------
 
@@ -126,7 +178,10 @@ class BandSlimDriver:
             raise NVMeError("empty values are not supported by the KV interface")
         plan = self.planner.plan(len(value))
         start = self.clock.now_us
-        cqe = self._execute_put(key, value, plan)
+        cqe = self._with_recovery(
+            lambda: self._execute_put(key, value, plan),
+            cleanup=self._abort_active_put,
+        )
         elapsed = self.clock.now_us - start
         self.metrics.stat("put_latency_us").record(elapsed)
         self.metrics.histogram("put_latency_us").record(elapsed)
@@ -134,6 +189,12 @@ class BandSlimDriver:
         return OpResult(
             latency_us=elapsed, commands=plan.command_count, status=cqe.status
         )
+
+    def _abort_active_put(self) -> None:
+        """Release device-side state of a PUT attempt being abandoned."""
+        if self._active_put_cid is not None:
+            self.controller.abort_pending(self._active_put_cid)
+            self._active_put_cid = None
 
     def _execute_put(self, key: bytes, value: bytes, plan: TransferPlan):
         if plan.method is TransferMethod.PRP:
@@ -147,6 +208,7 @@ class BandSlimDriver:
         prp = build_prp(self.host_mem, buf)
         try:
             cmd = build_store_command(self._cid(), key, len(value), prp)
+            self._active_put_cid = cmd.cid
             return self._roundtrip(cmd)
         finally:
             self._release_prp(buf, prp)
@@ -160,6 +222,7 @@ class BandSlimDriver:
             inline=inline,
             final=not plan.trailing_fragments,
         )
+        self._active_put_cid = cmd.cid
         cqe = self._roundtrip(cmd)
         if not cqe.ok or not plan.trailing_fragments:
             return cqe
@@ -177,6 +240,7 @@ class BandSlimDriver:
                 prp=prp,
                 final=not plan.trailing_fragments,
             )
+            self._active_put_cid = cmd.cid
             cqe = self._roundtrip(cmd)
         finally:
             self._release_prp(buf, prp)
@@ -271,8 +335,11 @@ class BandSlimDriver:
         prp = build_prp(self.host_mem, buf)
         start = self.clock.now_us
         try:
-            cmd = build_retrieve_command(self._cid(), key, size, prp)
-            cqe = self._roundtrip(cmd)
+            cqe = self._with_recovery(
+                lambda: self._roundtrip(
+                    build_retrieve_command(self._cid(), key, size, prp)
+                )
+            )
             elapsed = self.clock.now_us - start
             if cqe.status is StatusCode.KEY_NOT_FOUND:
                 raise KeyNotFoundError(f"key {key!r} not found")
@@ -287,7 +354,9 @@ class BandSlimDriver:
     def delete(self, key: bytes) -> OpResult:
         """Delete a pair; raises KeyNotFoundError if absent."""
         start = self.clock.now_us
-        cqe = self._roundtrip(build_delete_command(self._cid(), key))
+        cqe = self._with_recovery(
+            lambda: self._roundtrip(build_delete_command(self._cid(), key))
+        )
         if cqe.status is StatusCode.KEY_NOT_FOUND:
             raise KeyNotFoundError(f"key {key!r} not found")
         return OpResult(

@@ -16,6 +16,7 @@ from repro.core.controller import BandSlimController
 from repro.core.driver import BandSlimDriver
 from repro.core.packing import NandPageBuffer, PackingPolicy, make_policy
 from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
 from repro.lsm.space import PageSpace
 from repro.lsm.tree import LSMConfig, LSMTree
 from repro.lsm.vlog import VLog
@@ -51,6 +52,8 @@ class KVSSD:
     policy: PackingPolicy
     controller: BandSlimController
     driver: BandSlimDriver
+    #: Fault injector, present only when built with an enabled fault plan.
+    injector: FaultInjector | None = None
     geometry: NandGeometry = field(init=False)
 
     def __post_init__(self) -> None:
@@ -66,12 +69,20 @@ class KVSSD:
         geometry: NandGeometry | None = None,
         link_config: PCIeLinkConfig | None = None,
         queue_depth: int = 64,
+        fault_plan: FaultPlan | None = None,
     ) -> "KVSSD":
         config = config or BandSlimConfig()
         latency = latency or LatencyModel()
         geometry = geometry or default_geometry(config.nand_capacity_bytes)
         clock = SimClock()
-        link = PCIeLink(clock, latency, link_config)
+        # A plan that cannot inject anything builds a byte-identical device:
+        # no injector, no fault counters, no extra checks on the data paths.
+        injector = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        link = PCIeLink(clock, latency, link_config, injector=injector)
         host_mem = HostMemory()
 
         # Device DRAM: NAND page buffer pool + DMA/GET scratch.
@@ -80,8 +91,13 @@ class KVSSD:
         buffer_region = dram.carve_region("nand_page_buffer", buffer_bytes)
         scratch_region = dram.carve_region("scratch", config.scratch_bytes)
 
-        flash = NandFlash(geometry, clock, latency)
-        ftl = PageMappedFTL(flash)
+        flash = NandFlash(geometry, clock, latency, injector=injector)
+        ftl = PageMappedFTL(
+            flash,
+            ecc_correctable_bits=config.ecc_correctable_bits,
+            read_retry_limit=config.read_retry_limit,
+            program_retry_limit=config.program_retry_limit,
+        )
         gc = GreedyGarbageCollector(ftl)
         ftl.set_gc(gc)
         if config.read_cache_pages > 0:
@@ -140,12 +156,15 @@ class KVSSD:
             scratch_region,
             sq,
             cq,
+            injector=injector,
         )
         controller.attach_admin_queues(
             SubmissionQueue(depth=queue_depth, qid=0),
             CompletionQueue(depth=queue_depth, qid=0),
         )
-        driver = BandSlimDriver(config, link, host_mem, controller, sq, cq)
+        driver = BandSlimDriver(
+            config, link, host_mem, controller, sq, cq, injector=injector
+        )
         return cls(
             config=config,
             clock=clock,
@@ -162,6 +181,7 @@ class KVSSD:
             policy=policy,
             controller=controller,
             driver=driver,
+            injector=injector,
         )
 
     # --- metric roll-up -------------------------------------------------------
@@ -172,10 +192,14 @@ class KVSSD:
         out.update(self.link.meter.snapshot())
         out.update(self.flash.metrics.snapshot())
         out.update(self.ftl.metrics.snapshot())
+        out.update(self.gc.metrics.snapshot())
+        out.update(self.vlog.metrics.snapshot())
         out.update(self.buffer.metrics.snapshot())
         out.update(self.policy.metrics.snapshot())
         out.update(self.controller.metrics.snapshot())
         out.update(self.driver.metrics.snapshot())
         out.update(self.lsm.store.metrics.snapshot())
+        if self.injector is not None:
+            out.update(self.injector.metrics.snapshot())
         out["clock.now_us"] = self.clock.now_us
         return out

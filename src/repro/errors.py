@@ -3,6 +3,38 @@
 Every layer raises a subclass of :class:`ReproError`, so callers can catch
 the whole stack's failures with one ``except`` while tests assert on the
 precise class.
+
+Hierarchy (indentation = inheritance)::
+
+    ReproError
+    ├── ConfigError            configuration inconsistency
+    ├── NVMeError              protocol-level failure
+    │   ├── QueueFullError     SQ/CQ has no free slot
+    │   ├── CommandFieldError  value does not fit its command field
+    │   └── CommandTimeoutError  driver-side per-command timeout expired
+    ├── DMAAlignmentError      page-alignment restriction violated (§2.5)
+    ├── TransferFaultError     transient PCIe payload-transfer fault
+    ├── HostMemoryError        host page allocator failure
+    ├── DeviceMemoryError      device DRAM region failure
+    ├── NandError              NAND geometry violation / illegal ordering
+    │   ├── ProgramError       programming a non-erased page (usage bug)
+    │   └── MediaError         *media-level* failure (injected or wear)
+    │       ├── ProgramFailedError       NAND program op failed
+    │       ├── EraseFailedError         NAND block erase op failed
+    │       └── ReadUncorrectableError   bit flips exceeded ECC + read-retry
+    ├── FTLError               mapping failure (no free pages, bad LPN)
+    │   └── BadBlockError      bad-block spare pool exhausted / recovery dead-end
+    ├── LSMError               LSM-tree invariant violation
+    │   ├── KeyNotFoundError   GET/DELETE on an absent key
+    │   └── VLogError          value-log addressing failure
+    ├── PackingError           page-buffer packing invariant violation
+    └── WorkloadError          workload specification cannot be generated
+
+The *usage* errors (:class:`ProgramError`, :class:`FTLError`, ...) mean the
+simulator was driven incorrectly and always escape loudly. The *media*
+errors (:class:`MediaError` subtree, :class:`TransferFaultError`) model
+device faults injected by :mod:`repro.faults`; the controller converts them
+into NVMe completion statuses instead of letting them escape to the host.
 """
 
 from __future__ import annotations
@@ -28,8 +60,16 @@ class CommandFieldError(NVMeError):
     """A value does not fit in the command field it was assigned to."""
 
 
+class CommandTimeoutError(NVMeError):
+    """A command's simulated round trip exceeded the driver's timeout."""
+
+
 class DMAAlignmentError(ReproError):
     """DMA request violates the engine's page-alignment restriction (§2.5)."""
+
+
+class TransferFaultError(ReproError):
+    """Transient PCIe payload-transfer fault (CRC/replay-style, retryable)."""
 
 
 class HostMemoryError(ReproError):
@@ -48,8 +88,49 @@ class ProgramError(NandError):
     """Programming a page that is not erased (NAND pages write once)."""
 
 
+class MediaError(NandError):
+    """A NAND operation failed at the media level (injected or wear)."""
+
+
+class ProgramFailedError(MediaError):
+    """A NAND page program operation failed.
+
+    ``permanent`` distinguishes a grown-bad-block failure (the block must
+    be retired) from a transient one (retry on the next free page).
+    """
+
+    def __init__(
+        self, message: str, *, ppn: int = -1, block: int = -1, permanent: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.ppn = ppn
+        self.block = block
+        self.permanent = permanent
+
+
+class EraseFailedError(MediaError):
+    """A NAND block erase operation failed; the block must be retired."""
+
+    def __init__(self, message: str, *, block: int = -1) -> None:
+        super().__init__(message)
+        self.block = block
+
+
+class ReadUncorrectableError(MediaError):
+    """Bit flips in a page read exceeded ECC strength even after read-retry."""
+
+    def __init__(self, message: str, *, ppn: int = -1, bitflips: int = 0) -> None:
+        super().__init__(message)
+        self.ppn = ppn
+        self.bitflips = bitflips
+
+
 class FTLError(ReproError):
     """Flash translation layer mapping failure (no free pages, bad LPN)."""
+
+
+class BadBlockError(FTLError):
+    """Bad-block recovery dead-end (spare pool exhausted, retries spent)."""
 
 
 class LSMError(ReproError):

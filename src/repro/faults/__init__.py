@@ -1,0 +1,14 @@
+"""Deterministic fault injection for the simulated device stack.
+
+:class:`FaultPlan` declares *what* can fail (per-site probabilities, a wear
+model for read bit flips, and scripted "fail the Nth op of block B"
+entries); :class:`FaultInjector` is the seeded runtime that every substrate
+consults at its injection site. With no plan configured the injector is
+simply absent and every fault hook is a single ``is None`` check — the
+fault layer costs nothing when off.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSite, ScriptedFault
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultSite", "ScriptedFault"]

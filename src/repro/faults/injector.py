@@ -1,0 +1,132 @@
+"""The fault injector: one seeded RNG, consulted at every injection site.
+
+Determinism contract: the injector draws from a single private
+``random.Random(plan.seed)`` in call order, and every site draws only when
+its knob is non-zero. Given the same plan and the same operation sequence,
+the injected faults — and therefore every downstream recovery action and
+metric — are identical across runs.
+
+The injector only *decides*; it never mutates device state. Each substrate
+owns its own failure semantics (what a failed program does to the page
+pointer, what ECC can correct, ...) and its own metrics; the injector's
+``faults.*`` metric set records what was injected so benches can report
+injected-vs-recovered side by side.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.faults.plan import FaultPlan, FaultSite, ScriptedFault
+from repro.sim.stats import MetricSet
+
+
+class FaultInjector:
+    """Runtime fault oracle for one device instance."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: Ops seen per (site, block) — block None counts across all blocks.
+        self._site_counts: dict[tuple[FaultSite, int | None], int] = {}
+        self.metrics = MetricSet("faults")
+        # Pre-create so fault-enabled snapshots always carry the full set.
+        self.metrics.counter("program_faults")
+        self.metrics.counter("erase_faults")
+        self.metrics.counter("read_bitflip_events")
+        self.metrics.counter("bitflips_injected")
+        self.metrics.counter("transfer_faults")
+
+    @property
+    def enabled(self) -> bool:
+        return self.plan.enabled
+
+    # --- scripted schedule --------------------------------------------------
+
+    def _scripted_hit(self, site: FaultSite, block: int | None) -> ScriptedFault | None:
+        """Advance the op counters for ``site`` and return a matching fault.
+
+        Both the per-block and the any-block counter advance on every op,
+        so "the Nth program of block B" and "the Nth program anywhere"
+        schedules compose without interfering.
+        """
+        keys = [(site, None)]
+        if block is not None:
+            keys.append((site, block))
+        for key in keys:
+            self._site_counts[key] = self._site_counts.get(key, 0) + 1
+        for fault in self.plan.scripted:
+            if fault.site is not site:
+                continue
+            if fault.block is not None and fault.block != block:
+                continue
+            if self._site_counts[(site, fault.block)] == fault.nth:
+                return fault
+        return None
+
+    # --- site hooks ---------------------------------------------------------
+
+    def program_fault(self, block: int) -> str | None:
+        """``None`` for success, else ``"transient"`` or ``"permanent"``."""
+        scripted = self._scripted_hit(FaultSite.PROGRAM, block)
+        if scripted is not None:
+            self.metrics.counter("program_faults").add(1)
+            return "permanent" if scripted.permanent else "transient"
+        p = self.plan.program_fail_p
+        if p > 0 and self._rng.random() < p:
+            self.metrics.counter("program_faults").add(1)
+            ratio = self.plan.program_fail_permanent_ratio
+            if ratio > 0 and self._rng.random() < ratio:
+                return "permanent"
+            return "transient"
+        return None
+
+    def erase_fault(self, block: int) -> bool:
+        if self._scripted_hit(FaultSite.ERASE, block) is not None:
+            self.metrics.counter("erase_faults").add(1)
+            return True
+        p = self.plan.erase_fail_p
+        if p > 0 and self._rng.random() < p:
+            self.metrics.counter("erase_faults").add(1)
+            return True
+        return False
+
+    def read_bitflips(self, block: int, erase_count: int) -> int:
+        """Bit flips this read returns, Poisson around the wear model mean."""
+        scripted = self._scripted_hit(FaultSite.READ, block)
+        if scripted is not None:
+            flips = scripted.bitflips
+        else:
+            mean = (
+                self.plan.read_bitflip_base
+                + self.plan.read_bitflip_per_erase * erase_count
+            )
+            flips = self._poisson(mean) if mean > 0 else 0
+        if flips:
+            self.metrics.counter("read_bitflip_events").add(1)
+            self.metrics.counter("bitflips_injected").add(flips)
+        return flips
+
+    def transfer_fault(self) -> bool:
+        if self._scripted_hit(FaultSite.TRANSFER, None) is not None:
+            self.metrics.counter("transfer_faults").add(1)
+            return True
+        p = self.plan.transfer_fault_p
+        if p > 0 and self._rng.random() < p:
+            self.metrics.counter("transfer_faults").add(1)
+            return True
+        return False
+
+    # --- internals ----------------------------------------------------------
+
+    def _poisson(self, mean: float) -> int:
+        """Knuth's Poisson sampler — fine for the small means of wear noise."""
+        threshold = math.exp(-mean)
+        k = 0
+        p = 1.0
+        while True:
+            p *= self._rng.random()
+            if p <= threshold:
+                return k
+            k += 1

@@ -1,0 +1,128 @@
+"""Fault plans: the declarative description of what is allowed to break.
+
+A :class:`FaultPlan` is pure data — probabilities, wear-model rates and
+scripted one-shot faults — so a plan can be logged, diffed, and replayed.
+The same plan plus the same seed plus the same workload reproduces the
+same fault sequence bit-for-bit (the determinism the bench harness and the
+fault tests rely on).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class FaultSite(str, enum.Enum):
+    """Injection sites understood by the :class:`FaultInjector`."""
+
+    #: NAND page program (transient failure, or permanent = grown bad block).
+    PROGRAM = "program"
+    #: NAND block erase (failure retires the block).
+    ERASE = "erase"
+    #: NAND page read (bit flips; magnitude set by ``ScriptedFault.bitflips``).
+    READ = "read"
+    #: PCIe payload DMA in either direction (transient, retryable).
+    TRANSFER = "transfer"
+
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """Fail the ``nth`` operation at ``site`` (optionally of one block).
+
+    ``nth`` is 1-based and counted per ``(site, block)`` — with
+    ``block=None`` the counter spans every block, so ``nth=50`` means "the
+    fiftieth program anywhere in the module". ``permanent`` applies to
+    :attr:`FaultSite.PROGRAM` (grown bad block); ``bitflips`` applies to
+    :attr:`FaultSite.READ` (how many bits the read returns flipped).
+    """
+
+    site: FaultSite
+    nth: int = 1
+    block: int | None = None
+    permanent: bool = False
+    bitflips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nth < 1:
+            raise ConfigError(f"scripted fault nth must be >= 1, got {self.nth}")
+        if self.block is not None and self.block < 0:
+            raise ConfigError(f"scripted fault block must be >= 0, got {self.block}")
+        if self.bitflips < 0:
+            raise ConfigError(f"bitflips must be >= 0, got {self.bitflips}")
+        if self.site is FaultSite.READ and self.bitflips == 0:
+            raise ConfigError("a scripted READ fault needs bitflips >= 1")
+        if self.site is not FaultSite.READ and self.bitflips:
+            raise ConfigError(f"bitflips only applies to READ faults, not {self.site}")
+        if self.permanent and self.site is not FaultSite.PROGRAM:
+            raise ConfigError("permanent only applies to PROGRAM faults")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative fault configuration for one device build.
+
+    All probabilities default to zero and all schedules to empty, so
+    ``FaultPlan()`` describes a perfect device (and the builder skips the
+    injector entirely — see :attr:`enabled`).
+    """
+
+    #: Seed for the injector's private RNG. Two devices built with equal
+    #: plans and driven with equal workloads produce identical snapshots.
+    seed: int = 0xB5
+
+    # --- probabilistic faults (per operation) ------------------------------
+    #: Probability a NAND page program fails.
+    program_fail_p: float = 0.0
+    #: Of the failed programs, the fraction that are *permanent* — the
+    #: block has grown bad and must be retired (0 = all transient).
+    program_fail_permanent_ratio: float = 0.0
+    #: Probability a NAND block erase fails (always retires the block).
+    erase_fail_p: float = 0.0
+    #: Probability one payload DMA transfer suffers a transient PCIe fault.
+    transfer_fault_p: float = 0.0
+
+    # --- wear model: read bit flips ----------------------------------------
+    #: Expected bit flips per page read, independent of wear.
+    read_bitflip_base: float = 0.0
+    #: Additional expected bit flips per page read *per erase* of the
+    #: block — reads of worn blocks degrade first, like real NAND.
+    read_bitflip_per_erase: float = 0.0
+
+    # --- scripted one-shot faults ------------------------------------------
+    scripted: tuple[ScriptedFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "program_fail_p",
+            "program_fail_permanent_ratio",
+            "erase_fail_p",
+            "transfer_fault_p",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"FaultPlan.{name} must be in [0, 1], got {p}")
+        for name in ("read_bitflip_base", "read_bitflip_per_erase"):
+            rate = getattr(self, name)
+            if rate < 0:
+                raise ConfigError(f"FaultPlan.{name} must be >= 0, got {rate}")
+        # Accept any iterable of scripted faults but store a tuple so the
+        # plan stays hashable/frozen.
+        if not isinstance(self.scripted, tuple):
+            object.__setattr__(self, "scripted", tuple(self.scripted))
+
+    @property
+    def enabled(self) -> bool:
+        """True if this plan can ever inject anything."""
+        return bool(self.scripted) or any(
+            getattr(self, name) > 0
+            for name in (
+                "program_fail_p",
+                "erase_fail_p",
+                "transfer_fault_p",
+                "read_bitflip_base",
+                "read_bitflip_per_erase",
+            )
+        )

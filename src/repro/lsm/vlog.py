@@ -19,6 +19,7 @@ from typing import Protocol
 from repro.errors import VLogError
 from repro.lsm.addressing import ValueAddress
 from repro.nand.ftl import PageMappedFTL
+from repro.sim.stats import MetricSet
 
 
 class UnflushedReader(Protocol):
@@ -55,6 +56,10 @@ class VLog:
         self._next_lpn = base_lpn
         self._buffer: UnflushedReader = _NoBuffer()
         self.page_size = ftl.flash.geometry.page_size
+        self.metrics = MetricSet("vlog")
+        self.metrics.counter("pages_allocated")
+        self.metrics.counter("reads")
+        self.metrics.counter("bytes_read")
 
     def attach_buffer(self, buffer: UnflushedReader) -> None:
         """Wire the NAND page buffer in for read-your-writes."""
@@ -79,6 +84,7 @@ class VLog:
             )
         lpn = self._next_lpn
         self._next_lpn += 1
+        self.metrics.counter("pages_allocated").add(1)
         return lpn
 
     def _page_bytes(self, lpn: int) -> bytes:
@@ -112,4 +118,6 @@ class VLog:
             remaining -= take
             lpn += 1
             offset = 0
+        self.metrics.counter("reads").add(1)
+        self.metrics.counter("bytes_read").add(addr.size)
         return bytes(out)

@@ -7,6 +7,14 @@ NAND semantics enforced here (violations raise, they never silently pass):
 * reads of never-programmed pages fail (no hidden zero pages);
 * erase works on whole blocks only.
 
+With a :class:`~repro.faults.FaultInjector` attached, program/read/erase
+additionally consult the injector: failed programs consume their page and
+raise :class:`ProgramFailedError` after the full tPROG (real NAND reports
+failure only after the attempt), failed erases raise
+:class:`EraseFailedError`, and reads record injected bit flips in
+``last_read_bitflips`` for the FTL's ECC model to judge. Without an
+injector every hook is a single ``is None`` check.
+
 Page content is stored sparsely (dict keyed by PPN) so a module with a
 realistic logical capacity costs memory proportional to the data actually
 written, not the module size. Every program/read/erase advances the
@@ -16,7 +24,8 @@ are built from.
 
 from __future__ import annotations
 
-from repro.errors import NandError, ProgramError
+from repro.errors import EraseFailedError, NandError, ProgramError, ProgramFailedError
+from repro.faults.injector import FaultInjector
 from repro.nand.geometry import NandGeometry
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
@@ -31,10 +40,14 @@ class NandFlash:
         geometry: NandGeometry,
         clock: SimClock,
         latency: LatencyModel,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.geometry = geometry
         self.clock = clock
         self.latency = latency
+        self._injector = injector
+        #: Bit flips the most recent read returned (ECC input for the FTL).
+        self.last_read_bitflips = 0
         self._pages: dict[int, bytes] = {}
         #: Next programmable page index per block (in-block program order).
         self._next_page: dict[int, int] = {}
@@ -45,6 +58,15 @@ class NandFlash:
         self.metrics.counter("page_reads")
         self.metrics.counter("block_erases")
         self.metrics.counter("bytes_programmed")
+        if injector is not None:
+            self.metrics.counter("program_failures")
+            self.metrics.counter("erase_failures")
+            self.metrics.counter("read_bitflips")
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        """The attached fault injector (None on a perfect device)."""
+        return self._injector
 
     # --- counters exposed to benches ---------------------------------------
 
@@ -90,6 +112,19 @@ class NandFlash:
                 f"(expected page {expected}, got {in_block})"
             )
         self._next_page[block] = in_block + 1
+        if self._injector is not None:
+            fault = self._injector.program_fault(block)
+            if fault is not None:
+                # The page is consumed (pointer advanced) but holds nothing:
+                # real NAND burns the page and reports failure after tPROG.
+                self.metrics.counter("program_failures").add(1)
+                self.clock.advance(self.latency.nand_program_us)
+                raise ProgramFailedError(
+                    f"program of PPN {ppn} failed ({fault})",
+                    ppn=ppn,
+                    block=block,
+                    permanent=fault == "permanent",
+                )
         if len(data) < geo.page_size:
             data = data + b"\x00" * (geo.page_size - len(data))
         self._pages[ppn] = bytes(data)
@@ -98,13 +133,27 @@ class NandFlash:
         self.clock.advance(self.latency.nand_program_us)
 
     def read(self, ppn: int) -> bytes:
-        """Read one programmed page (full page size)."""
+        """Read one programmed page (full page size).
+
+        With an injector attached, ``last_read_bitflips`` reports how many
+        bits this read returned flipped. The *returned* bytes stay pristine
+        — the FTL's ECC layer either corrects (flips within ECC strength,
+        back to exactly these bytes) or refuses to return data at all
+        (:class:`ReadUncorrectableError`), so corrupted bytes never
+        propagate silently.
+        """
         if not 0 <= ppn < self.geometry.total_pages:
             raise NandError(f"read PPN {ppn} outside module")
         try:
             data = self._pages[ppn]
         except KeyError:
             raise NandError(f"read of never-programmed PPN {ppn}") from None
+        if self._injector is not None:
+            block = self.geometry.block_of(ppn)
+            flips = self._injector.read_bitflips(block, self.erase_count(block))
+            self.last_read_bitflips = flips
+            if flips:
+                self.metrics.counter("read_bitflips").add(flips)
         self.metrics.counter("page_reads").add(1)
         self.clock.advance(self.latency.nand_read_us)
         return data
@@ -117,6 +166,12 @@ class NandFlash:
         geo = self.geometry
         if not 0 <= block_index < geo.total_blocks:
             raise NandError(f"erase of block {block_index} outside module")
+        if self._injector is not None and self._injector.erase_fault(block_index):
+            self.metrics.counter("erase_failures").add(1)
+            self.clock.advance(self.latency.nand_erase_us)
+            raise EraseFailedError(
+                f"erase of block {block_index} failed", block=block_index
+            )
         first = geo.first_ppn_of_block(block_index)
         for ppn in range(first, first + geo.pages_per_block):
             self._pages.pop(ppn, None)

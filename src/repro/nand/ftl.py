@@ -6,21 +6,49 @@ This FTL provides that mapping: logical page number (LPN) → physical page
 number (PPN), with out-of-place updates, per-block validity tracking for
 garbage collection, and round-robin allocation across ways so writes stripe
 over the module's channels/ways like real firmware.
+
+With a fault injector attached the FTL is also the recovery layer:
+
+* **program recovery** — a transient program failure burns the page and
+  retries on the next free one; a permanent failure retires the block
+  (valid pages relocated, block pulled from the free pool) before retrying;
+* **ECC + read-retry** — reads whose bit flips are within
+  ``ecc_correctable_bits`` are corrected and counted; beyond that the read
+  is retried up to ``read_retry_limit`` times before
+  :class:`ReadUncorrectableError`; a page that needed retries is scrubbed
+  (relocated) so it does not degrade further;
+* **bad-block pool** — retired blocks come out of a bounded spare pool;
+  exhausting it raises :class:`BadBlockError` (device end-of-life).
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import FTLError
+from repro.errors import (
+    BadBlockError,
+    EraseFailedError,
+    FTLError,
+    ProgramFailedError,
+    ReadUncorrectableError,
+)
 from repro.nand.flash import NandFlash
 from repro.sim.stats import MetricSet
 
 
 class PageMappedFTL:
-    """LPN→PPN mapping with validity bookkeeping and GC hooks."""
+    """LPN→PPN mapping with validity bookkeeping, GC and media recovery."""
 
-    def __init__(self, flash: NandFlash, gc_reserve_blocks: int | None = None) -> None:
+    def __init__(
+        self,
+        flash: NandFlash,
+        gc_reserve_blocks: int | None = None,
+        *,
+        ecc_correctable_bits: int = 8,
+        read_retry_limit: int = 3,
+        program_retry_limit: int = 4,
+        spare_blocks: int | None = None,
+    ) -> None:
         self.flash = flash
         geo = flash.geometry
         #: Blocks kept in reserve as GC headroom (over-provisioning).
@@ -34,9 +62,28 @@ class PageMappedFTL:
                 f"GC reserve {self.gc_reserve_blocks} >= module blocks "
                 f"{geo.total_blocks}"
             )
+        if ecc_correctable_bits < 0:
+            raise FTLError(f"ecc_correctable_bits must be >= 0, got {ecc_correctable_bits}")
+        if read_retry_limit < 1:
+            raise FTLError(f"read_retry_limit must be >= 1, got {read_retry_limit}")
+        if program_retry_limit < 0:
+            raise FTLError(f"program_retry_limit must be >= 0, got {program_retry_limit}")
+        #: ECC strength: correctable bit flips per page read.
+        self.ecc_correctable_bits = ecc_correctable_bits
+        #: Read-retry attempts before a read is declared uncorrectable.
+        self.read_retry_limit = read_retry_limit
+        #: Fresh pages tried before a program is declared unrecoverable.
+        self.program_retry_limit = program_retry_limit
+        #: Bad blocks tolerated before the device is end-of-life. The pool
+        #: lives inside the GC reserve headroom, so retiring a block never
+        #: strands logical capacity.
+        self.spare_blocks = (
+            spare_blocks if spare_blocks is not None else max(1, geo.total_blocks // 64)
+        )
         self._map: dict[int, int] = {}            # lpn -> ppn
         self._reverse: dict[int, int] = {}        # ppn -> lpn
         self._valid_per_block: dict[int, int] = {}
+        self._bad_blocks: set[int] = set()
         self._free_blocks: dict[int, deque[int]] = {}
         self._active_block: dict[int, int | None] = {}
         for way in range(geo.total_ways):
@@ -48,11 +95,20 @@ class PageMappedFTL:
         self._rr_way = 0
         self._gc = None  # set via set_gc(); optional
         self._in_gc = False
+        self._in_scrub = False
         self._cache = None  # set via attach_read_cache(); optional
         self._cache_hit_us = 0.0
+        self._injector = flash.injector
         self.metrics = MetricSet("ftl")
         self.metrics.counter("logical_writes")
         self.metrics.counter("relocations")
+        if self._injector is not None:
+            self.metrics.counter("program_retries")
+            self.metrics.counter("bad_blocks_retired")
+            self.metrics.counter("ecc_corrected_bits")
+            self.metrics.counter("read_retries")
+            self.metrics.counter("reads_relocated")
+            self.metrics.counter("uncorrectable_reads")
 
     # --- wiring -----------------------------------------------------------
 
@@ -65,6 +121,13 @@ class PageMappedFTL:
     @property
     def free_block_count(self) -> int:
         return sum(len(q) for q in self._free_blocks.values())
+
+    @property
+    def bad_block_count(self) -> int:
+        return len(self._bad_blocks)
+
+    def is_bad_block(self, block_index: int) -> bool:
+        return block_index in self._bad_blocks
 
     @property
     def mapped_pages(self) -> int:
@@ -98,8 +161,7 @@ class PageMappedFTL:
         if lpn < 0:
             raise FTLError(f"negative LPN {lpn}")
         self._maybe_collect()
-        ppn = self._allocate_page()
-        self.flash.program(ppn, data)
+        ppn = self._program_page(data)
         self._invalidate_lpn(lpn)
         self._map[lpn] = ppn
         self._reverse[ppn] = lpn
@@ -116,7 +178,19 @@ class PageMappedFTL:
             if cached is not None:
                 self.flash.clock.advance(self._cache_hit_us)
                 return cached
-        data = self.flash.read(self.ppn_of(lpn))
+        ppn = self.ppn_of(lpn)
+        if self._injector is None:
+            data = self.flash.read(ppn)
+        else:
+            data, retried = self._read_page_ecc(ppn)
+            if retried and not self._in_gc and not self._in_scrub:
+                # The page needed read-retry to survive: scrub it (move the
+                # data to a fresh page) before it degrades past ECC.
+                self._in_scrub = True
+                try:
+                    self._scrub(lpn, data)
+                finally:
+                    self._in_scrub = False
         if self._cache is not None:
             self._cache.put(lpn, data)
         return data
@@ -156,6 +230,116 @@ class PageMappedFTL:
                 self._active_block[way] = block
                 return geo.first_ppn_of_block(block)
         raise FTLError("no free NAND pages in any way (GC exhausted)")
+
+    # --- media recovery -------------------------------------------------------
+
+    def _program_page(self, data: bytes) -> int:
+        """Program ``data`` on the next free page, recovering from failures.
+
+        Transient failures burn the failed page and retry on the next one;
+        permanent failures retire the block first. Gives up (and declares
+        the device unwritable) after ``program_retry_limit`` retries.
+        """
+        if self._injector is None:
+            ppn = self._allocate_page()
+            self.flash.program(ppn, data)
+            return ppn
+        last: ProgramFailedError | None = None
+        for _ in range(self.program_retry_limit + 1):
+            ppn = self._allocate_page()
+            try:
+                self.flash.program(ppn, data)
+                return ppn
+            except ProgramFailedError as exc:
+                last = exc
+                if exc.permanent:
+                    self._retire_block(exc.block)
+                else:
+                    self.metrics.counter("program_retries").add(1)
+        raise BadBlockError(
+            f"program failed on {self.program_retry_limit + 1} pages in a row"
+        ) from last
+
+    def _read_page_ecc(self, ppn: int) -> tuple[bytes, bool]:
+        """Read ``ppn`` through the ECC model: (data, needed_retry).
+
+        Flips within ``ecc_correctable_bits`` are corrected in the flash
+        controller; beyond that the read is retried (each retry pays a full
+        NAND read and re-samples the transient noise) up to
+        ``read_retry_limit`` times before the page is declared lost.
+        """
+        attempts = 0
+        while True:
+            data = self.flash.read(ppn)
+            flips = self.flash.last_read_bitflips
+            if flips == 0:
+                return data, attempts > 0
+            if flips <= self.ecc_correctable_bits:
+                self.metrics.counter("ecc_corrected_bits").add(flips)
+                return data, attempts > 0
+            attempts += 1
+            self.metrics.counter("read_retries").add(1)
+            if attempts >= self.read_retry_limit:
+                self.metrics.counter("uncorrectable_reads").add(1)
+                raise ReadUncorrectableError(
+                    f"PPN {ppn}: {flips} bit flips exceed ECC strength "
+                    f"{self.ecc_correctable_bits} after {attempts} read retries",
+                    ppn=ppn,
+                    bitflips=flips,
+                )
+
+    def _remap(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
+        """Move ``lpn`` from ``old_ppn`` to ``new_ppn`` (relocation rewire)."""
+        geo = self.flash.geometry
+        del self._reverse[old_ppn]
+        self._valid_per_block[geo.block_of(old_ppn)] -= 1
+        self._map[lpn] = new_ppn
+        self._reverse[new_ppn] = lpn
+        new_block = geo.block_of(new_ppn)
+        self._valid_per_block[new_block] = self._valid_per_block.get(new_block, 0) + 1
+
+    def _scrub(self, lpn: int, data: bytes) -> None:
+        """Relocate a read-marginal page so the next read starts fresh."""
+        old_ppn = self._map.get(lpn)
+        if old_ppn is None:
+            return
+        new_ppn = self._program_page(data)
+        self._remap(lpn, old_ppn, new_ppn)
+        self.metrics.counter("reads_relocated").add(1)
+
+    def _retire_block(self, block: int) -> None:
+        """Pull a grown-bad block out of service, relocating its valid data.
+
+        The retired block never rejoins a free list; its live pages move to
+        fresh pages via the normal recovery path. Exhausting the spare pool
+        raises :class:`BadBlockError` — the device has reached end-of-life.
+        """
+        if block in self._bad_blocks:
+            return
+        self._bad_blocks.add(block)
+        self.metrics.counter("bad_blocks_retired").add(1)
+        geo = self.flash.geometry
+        way = block // geo.blocks_per_way
+        try:
+            self._free_blocks[way].remove(block)
+        except ValueError:
+            pass  # not free: active or fully programmed
+        if self._active_block.get(way) == block:
+            self._active_block[way] = None
+        if len(self._bad_blocks) > self.spare_blocks:
+            raise BadBlockError(
+                f"{len(self._bad_blocks)} bad blocks exceed the spare pool "
+                f"of {self.spare_blocks}"
+            )
+        first = geo.first_ppn_of_block(block)
+        for ppn in range(first, first + geo.pages_per_block):
+            lpn = self._reverse.get(ppn)
+            if lpn is None or not self.flash.is_programmed(ppn):
+                continue
+            data, _ = self._read_page_ecc(ppn)
+            new_ppn = self._program_page(data)
+            self._remap(lpn, ppn, new_ppn)
+            self.metrics.counter("relocations").add(1)
 
     def _maybe_collect(self) -> None:
         if self._gc is None or self._in_gc:
@@ -206,7 +390,8 @@ class PageMappedFTL:
         candidates = [
             block
             for block in range(geo.total_blocks)
-            if self.flash.pages_programmed_in_block(block) == geo.pages_per_block
+            if block not in self._bad_blocks
+            and self.flash.pages_programmed_in_block(block) == geo.pages_per_block
         ]
         candidates.sort(key=lambda b: self._valid_per_block.get(b, 0))
         return candidates
@@ -218,6 +403,8 @@ class PageMappedFTL:
         way's free list.
         """
         geo = self.flash.geometry
+        if block_index in self._bad_blocks:
+            raise FTLError(f"relocating retired bad block {block_index}")
         if self.flash.pages_programmed_in_block(block_index) < geo.pages_per_block:
             raise FTLError(f"relocating block {block_index} that is still open")
         for way, active in self._active_block.items():
@@ -229,22 +416,23 @@ class PageMappedFTL:
             lpn = self._reverse.get(ppn)
             if lpn is None:
                 continue
-            data = self.flash.read(ppn)
-            new_ppn = self._allocate_page()
-            self.flash.program(new_ppn, data)
+            if self._injector is None:
+                data = self.flash.read(ppn)
+            else:
+                data, _ = self._read_page_ecc(ppn)
             # Rewire the mapping by hand (not via write(): relocation must
             # not re-trigger GC or count as a logical write).
-            del self._reverse[ppn]
-            self._valid_per_block[block_index] -= 1
-            self._map[lpn] = new_ppn
-            self._reverse[new_ppn] = lpn
-            new_block = geo.block_of(new_ppn)
-            self._valid_per_block[new_block] = (
-                self._valid_per_block.get(new_block, 0) + 1
-            )
+            new_ppn = self._program_page(data)
+            self._remap(lpn, ppn, new_ppn)
             moved += 1
             self.metrics.counter("relocations").add(1)
-        self.flash.erase_block(block_index)
+        try:
+            self.flash.erase_block(block_index)
+        except EraseFailedError:
+            # Every valid page has already moved; the block just never
+            # rejoins the free pool.
+            self._retire_block(block_index)
+            return moved
         way = block_index // geo.blocks_per_way
         self._free_blocks[way].append(block_index)
         return moved

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import FTLError
 from repro.nand.ftl import PageMappedFTL
+from repro.sim.stats import MetricSet
 
 
 class GreedyGarbageCollector:
@@ -21,13 +22,28 @@ class GreedyGarbageCollector:
             raise FTLError(f"batch_blocks must be >= 1, got {batch_blocks}")
         self.ftl = ftl
         self.batch_blocks = batch_blocks
-        self.collections = 0
-        self.blocks_reclaimed = 0
-        self.pages_relocated = 0
+        self.metrics = MetricSet("gc")
+        self.metrics.counter("collections")
+        self.metrics.counter("blocks_reclaimed")
+        self.metrics.counter("pages_relocated")
+
+    # Attribute-style accessors kept for callers that predate the MetricSet.
+
+    @property
+    def collections(self) -> int:
+        return self.metrics.counter("collections").value
+
+    @property
+    def blocks_reclaimed(self) -> int:
+        return self.metrics.counter("blocks_reclaimed").value
+
+    @property
+    def pages_relocated(self) -> int:
+        return self.metrics.counter("pages_relocated").value
 
     def collect(self) -> int:
         """Run one GC round; returns blocks reclaimed."""
-        self.collections += 1
+        self.metrics.counter("collections").add(1)
         reclaimed = 0
         target = self.ftl.gc_reserve_blocks + self.batch_blocks
         candidates = self.ftl.victim_candidates()
@@ -40,7 +56,7 @@ class GreedyGarbageCollector:
                 # Nothing reclaimable anywhere colder than this: every
                 # remaining candidate is fully valid too (sorted order).
                 break
-            self.pages_relocated += self.ftl.relocate_block(block)
-            self.blocks_reclaimed += 1
+            self.metrics.counter("pages_relocated").add(self.ftl.relocate_block(block))
+            self.metrics.counter("blocks_reclaimed").add(1)
             reclaimed += 1
         return reclaimed

@@ -77,5 +77,20 @@ class StatusCode(enum.IntEnum):
     SUCCESS = 0x00
     INVALID_OPCODE = 0x01
     INVALID_FIELD = 0x02
+    #: Unrecoverable device condition (bad-block spare pool exhausted, …).
+    #: Not retryable: the host should fail the operation upward.
+    INTERNAL_ERROR = 0x06
     KEY_NOT_FOUND = 0x87
     CAPACITY_EXCEEDED = 0x81
+    #: Media failure the device could not recover in place (uncorrectable
+    #: read, program/erase recovery dead-end). Retryable: read-retry
+    #: re-samples transient noise, so a host retry often succeeds.
+    MEDIA_ERROR = 0x82
+    #: Transient device-side condition (e.g. a PCIe payload transfer was
+    #: rejected by CRC). Retryable after backoff.
+    DEVICE_BUSY = 0x83
+
+    @property
+    def retryable(self) -> bool:
+        """Statuses a host driver may retry with backoff."""
+        return self in (StatusCode.MEDIA_ERROR, StatusCode.DEVICE_BUSY)

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransferFaultError
+from repro.faults.injector import FaultInjector
 from repro.pcie.metrics import TrafficCategory, TrafficMeter
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
@@ -54,11 +55,13 @@ class PCIeLink:
         clock: SimClock,
         latency: LatencyModel,
         config: PCIeLinkConfig | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.clock = clock
         self.latency = latency
         self.config = config or PCIeLinkConfig()
         self.meter = TrafficMeter()
+        self._injector = injector
 
     # --- command plumbing -------------------------------------------------
 
@@ -118,6 +121,7 @@ class PCIeLink:
             return
         self.meter.record(TrafficCategory.DMA_H2D, wire_bytes)
         self.clock.advance(self.latency.dma_us(wire_bytes))
+        self._maybe_transfer_fault(wire_bytes, "host-to-device")
 
     def dma_device_to_host(self, wire_bytes: int) -> None:
         """Page-unit DMA from device DRAM back to host memory (GET path)."""
@@ -127,6 +131,16 @@ class PCIeLink:
             return
         self.meter.record(TrafficCategory.DMA_D2H, wire_bytes)
         self.clock.advance(self.latency.dma_us(wire_bytes))
+        self._maybe_transfer_fault(wire_bytes, "device-to-host")
+
+    def _maybe_transfer_fault(self, wire_bytes: int, direction: str) -> None:
+        """Transient payload fault: the bytes crossed the wire (traffic and
+        time already charged) before the CRC check rejected them."""
+        if self._injector is not None and self._injector.transfer_fault():
+            raise TransferFaultError(
+                f"transient PCIe fault during {wire_bytes}-byte "
+                f"{direction} DMA"
+            )
 
     # --- derived -----------------------------------------------------------
 

@@ -1,0 +1,116 @@
+"""Host-visible recovery: NVMe status mapping, driver retry/backoff/timeout."""
+
+import pytest
+
+from repro.device.kvssd import KVSSD
+from repro.errors import CommandTimeoutError
+from repro.faults import FaultPlan, FaultSite, ScriptedFault
+from repro.nvme.opcodes import StatusCode
+
+from tests.conftest import small_config
+
+
+class TestStatusCodes:
+    def test_retryable_statuses(self):
+        assert StatusCode.MEDIA_ERROR.retryable
+        assert StatusCode.DEVICE_BUSY.retryable
+        assert not StatusCode.SUCCESS.retryable
+        assert not StatusCode.INTERNAL_ERROR.retryable
+        assert not StatusCode.KEY_NOT_FOUND.retryable
+
+
+class TestTransferFaultRecovery:
+    def test_transient_pcie_fault_is_retried_to_success(self):
+        plan = FaultPlan(scripted=(ScriptedFault(site=FaultSite.TRANSFER),))
+        d = KVSSD.build(config=small_config(), fault_plan=plan)
+        value = bytes(range(256)) * 16  # 4 KiB: goes out via PRP DMA
+        res = d.driver.put(b"key", value)
+        assert res.ok
+        assert d.driver.metrics.counter("retries").value == 1
+        assert d.controller.metrics.counter("transfer_faults").value == 1
+        assert d.driver.get(b"key").value == value
+
+    def test_backoff_is_charged_to_the_simulated_clock(self):
+        plan = FaultPlan(
+            scripted=(
+                ScriptedFault(site=FaultSite.TRANSFER, nth=1),
+                ScriptedFault(site=FaultSite.TRANSFER, nth=2),
+            )
+        )
+        d = KVSSD.build(config=small_config(), fault_plan=plan)
+        res = d.driver.put(b"key", b"x" * 4096)
+        assert res.ok
+        assert d.driver.metrics.counter("retries").value == 2
+        # Two backoffs at 50 then 100 simulated µs are part of the latency.
+        assert res.latency_us > 150
+
+
+class TestMediaErrorEscalation:
+    def test_unrecoverable_read_surfaces_as_media_error_status(self):
+        # Every read drowns in bit flips, so retrieve fails on all
+        # attempts; the driver gives up with the device's status, never
+        # with a raw exception.
+        plan = FaultPlan(seed=5, read_bitflip_base=64.0)
+        d = KVSSD.build(config=small_config(), fault_plan=plan)
+        res = d.driver.put(b"key", b"x" * 64)
+        assert res.ok  # buffered write: no NAND read involved
+        d.driver.flush()  # force the value down to NAND
+        got = d.driver.get(b"key")
+        assert got.status is StatusCode.MEDIA_ERROR
+        assert got.value is None
+        limit = d.config.op_retry_limit
+        assert d.driver.metrics.counter("retries").value == limit
+        assert d.driver.metrics.counter("failed_ops").value == 1
+        assert d.controller.metrics.counter("media_errors").value == limit + 1
+
+    def test_device_end_of_life_is_internal_error_and_not_retried(self):
+        # Every NAND program fails permanently: the first buffer flush
+        # retires blocks until recovery dead-ends in BadBlockError, which
+        # must reach the host as non-retryable INTERNAL_ERROR.
+        plan = FaultPlan(
+            program_fail_p=1.0, program_fail_permanent_ratio=1.0
+        )
+        d = KVSSD.build(config=small_config(), fault_plan=plan)
+        res = None
+        for i in range(200):
+            res = d.driver.put(f"k{i:03d}".encode(), b"v" * 600)
+            if not res.ok:
+                break
+        assert res is not None and not res.ok
+        assert res.status is StatusCode.INTERNAL_ERROR
+        assert d.controller.metrics.counter("internal_errors").value >= 1
+        assert d.driver.metrics.counter("retries").value == 0
+
+
+class TestCommandTimeout:
+    def test_timeout_exhausts_retries_then_raises(self):
+        # An impossible deadline: every command round trip times out, and
+        # after op_retry_limit backoffs the driver gives up loudly.
+        d = KVSSD.build(config=small_config(command_timeout_us=0.001))
+        start = d.clock.now_us
+        with pytest.raises(CommandTimeoutError):
+            d.driver.put(b"key", b"x" * 64)
+        limit = d.config.op_retry_limit
+        assert d.driver.metrics.counter("timeouts").value == limit + 1
+        assert d.driver.metrics.counter("retries").value == limit
+        assert d.driver.metrics.counter("failed_ops").value == 1
+        # Backoffs (50+100+200+400 µs) ran on the simulated clock.
+        assert d.clock.now_us - start > 750
+
+    def test_generous_timeout_changes_nothing(self):
+        d = KVSSD.build(config=small_config(command_timeout_us=10_000_000))
+        assert d.driver.put(b"key", b"x" * 500).ok
+        assert d.driver.get(b"key").value == b"x" * 500
+        assert d.driver.metrics.counter("timeouts").value == 0
+        assert d.driver.metrics.counter("retries").value == 0
+
+    def test_abandoned_put_leaves_no_pending_state(self):
+        # A piggybacked multi-command PUT that keeps timing out must not
+        # leave a half-assembled value on the device: flush would trip
+        # over it otherwise.
+        d = KVSSD.build(
+            config=small_config(command_timeout_us=0.001)
+        )
+        with pytest.raises(CommandTimeoutError):
+            d.driver.put(b"key", b"x" * 64)  # piggyback-sized
+        assert d.controller._pending == {}

@@ -1,0 +1,81 @@
+"""NAND-level fault semantics: what a failed program/erase/read leaves behind."""
+
+import pytest
+
+from repro.errors import EraseFailedError, ProgramFailedError
+from repro.faults import FaultInjector, FaultPlan, FaultSite, ScriptedFault
+from repro.nand.flash import NandFlash
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+
+def one_way_geometry() -> NandGeometry:
+    """Single way: PPNs allocate strictly sequentially, so tests can
+    predict exactly which physical page each program lands on."""
+    return NandGeometry(
+        channels=1,
+        ways_per_channel=1,
+        blocks_per_way=8,
+        pages_per_block=8,
+        page_size=4 * KIB,
+    )
+
+
+def make_flash(*scripted, **plan_kwargs) -> NandFlash:
+    plan = FaultPlan(scripted=tuple(scripted), **plan_kwargs)
+    return NandFlash(
+        one_way_geometry(), SimClock(), LatencyModel(), injector=FaultInjector(plan)
+    )
+
+
+class TestProgramFaults:
+    def test_failed_program_consumes_page_and_charges_tprog(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.PROGRAM, nth=1))
+        with pytest.raises(ProgramFailedError) as exc_info:
+            flash.program(0, b"doomed")
+        exc = exc_info.value
+        assert (exc.ppn, exc.block, exc.permanent) == (0, 0, False)
+        # Real NAND reports failure after tPROG, with the page burned:
+        assert flash.clock.now_us == flash.latency.nand_program_us
+        assert not flash.is_programmed(0)
+        assert flash.pages_programmed_in_block(0) == 1
+        assert flash.metrics.counter("program_failures").value == 1
+        # The next in-order page is still programmable.
+        flash.program(1, b"fine")
+        assert flash.read(1)[:4] == b"fine"
+
+    def test_permanent_flag_reaches_the_exception(self):
+        flash = make_flash(
+            ScriptedFault(site=FaultSite.PROGRAM, nth=1, permanent=True)
+        )
+        with pytest.raises(ProgramFailedError) as exc_info:
+            flash.program(0, b"x")
+        assert exc_info.value.permanent
+
+
+class TestEraseFaults:
+    def test_failed_erase_leaves_block_contents_intact(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.ERASE, nth=1, block=0))
+        flash.program(0, b"survivor")
+        with pytest.raises(EraseFailedError) as exc_info:
+            flash.erase_block(0)
+        assert exc_info.value.block == 0
+        assert flash.is_programmed(0)
+        assert flash.read(0)[:8] == b"survivor"
+        assert flash.erase_count(0) == 0
+        assert flash.metrics.counter("erase_failures").value == 1
+
+
+class TestReadBitflips:
+    def test_flips_reported_but_returned_bytes_stay_pristine(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.READ, nth=1, bitflips=5))
+        flash.program(0, b"exact")
+        data = flash.read(0)
+        assert flash.last_read_bitflips == 5
+        assert data[:5] == b"exact"  # ECC decision is the FTL's, not ours
+        assert flash.metrics.counter("read_bitflips").value == 5
+        # A clean re-read resets the per-read report.
+        flash.read(0)
+        assert flash.last_read_bitflips == 0

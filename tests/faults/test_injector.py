@@ -1,0 +1,160 @@
+"""FaultInjector: scripted schedules, seeded determinism, metrics."""
+
+from repro.faults import FaultInjector, FaultPlan, FaultSite, ScriptedFault
+
+
+def _decision_trace(injector: FaultInjector) -> list:
+    """A fixed mixed-site call sequence, recorded decision by decision."""
+    trace = []
+    for i in range(200):
+        trace.append(injector.program_fault(block=i % 8))
+        trace.append(injector.erase_fault(block=i % 8))
+        trace.append(injector.read_bitflips(block=i % 8, erase_count=i % 5))
+        trace.append(injector.transfer_fault())
+    return trace
+
+
+class TestDeterminism:
+    PLAN = FaultPlan(
+        seed=1234,
+        program_fail_p=0.3,
+        program_fail_permanent_ratio=0.5,
+        erase_fail_p=0.2,
+        transfer_fault_p=0.1,
+        read_bitflip_base=1.0,
+    )
+
+    def test_same_plan_same_decisions(self):
+        a = _decision_trace(FaultInjector(self.PLAN))
+        b = _decision_trace(FaultInjector(self.PLAN))
+        assert a == b
+
+    def test_different_seed_different_decisions(self):
+        a = _decision_trace(FaultInjector(self.PLAN))
+        b = _decision_trace(
+            FaultInjector(FaultPlan(**{**self.PLAN.__dict__, "seed": 99}))
+        )
+        assert a != b
+
+    def test_disabled_sites_never_draw(self):
+        """Zero-probability sites return success without consuming RNG
+        state, so adding calls at a disabled site cannot shift the faults
+        injected at an enabled one."""
+        plan = FaultPlan(seed=7, program_fail_p=0.5)
+        plain = FaultInjector(plan)
+        first = [plain.program_fault(0) for _ in range(50)]
+        noisy = FaultInjector(plan)
+        second = []
+        for _ in range(50):
+            noisy.erase_fault(0)       # disabled: must not consume RNG
+            noisy.transfer_fault()     # disabled: must not consume RNG
+            noisy.read_bitflips(0, 3)  # disabled: must not consume RNG
+            second.append(noisy.program_fault(0))
+        assert first == second
+
+
+class TestScriptedSchedule:
+    def test_nth_counts_across_all_blocks_when_block_is_none(self):
+        inj = FaultInjector(
+            FaultPlan(scripted=(ScriptedFault(site=FaultSite.PROGRAM, nth=2),))
+        )
+        assert inj.program_fault(block=5) is None
+        assert inj.program_fault(block=3) == "transient"
+        assert inj.program_fault(block=3) is None
+
+    def test_nth_counts_per_block_when_block_given(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(ScriptedFault(site=FaultSite.PROGRAM, nth=2, block=7),)
+            )
+        )
+        assert inj.program_fault(block=7) is None
+        assert inj.program_fault(block=3) is None  # other block: not counted
+        assert inj.program_fault(block=7) == "transient"
+
+    def test_per_block_and_any_block_schedules_compose(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(
+                    ScriptedFault(site=FaultSite.PROGRAM, nth=1, block=2),
+                    ScriptedFault(site=FaultSite.PROGRAM, nth=3),
+                )
+            )
+        )
+        assert inj.program_fault(block=0) is None
+        assert inj.program_fault(block=2) == "transient"  # 1st of block 2
+        assert inj.program_fault(block=1) == "transient"  # 3rd anywhere
+
+    def test_permanent_flag_propagates(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(
+                    ScriptedFault(site=FaultSite.PROGRAM, nth=1, permanent=True),
+                )
+            )
+        )
+        assert inj.program_fault(block=0) == "permanent"
+
+    def test_scripted_read_returns_exact_bitflips(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(ScriptedFault(site=FaultSite.READ, nth=2, bitflips=13),)
+            )
+        )
+        assert inj.read_bitflips(block=0, erase_count=0) == 0
+        assert inj.read_bitflips(block=0, erase_count=0) == 13
+
+    def test_scripted_erase_and_transfer(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(
+                    ScriptedFault(site=FaultSite.ERASE, nth=1, block=4),
+                    ScriptedFault(site=FaultSite.TRANSFER, nth=2),
+                )
+            )
+        )
+        assert inj.erase_fault(block=3) is False
+        assert inj.erase_fault(block=4) is True
+        assert inj.transfer_fault() is False
+        assert inj.transfer_fault() is True
+
+
+class TestWearModel:
+    def test_pristine_blocks_never_flip_without_base_rate(self):
+        inj = FaultInjector(FaultPlan(read_bitflip_per_erase=2.0))
+        assert all(
+            inj.read_bitflips(block=0, erase_count=0) == 0 for _ in range(100)
+        )
+
+    def test_worn_blocks_flip(self):
+        inj = FaultInjector(FaultPlan(seed=3, read_bitflip_per_erase=2.0))
+        flips = [inj.read_bitflips(block=0, erase_count=50) for _ in range(20)]
+        assert all(f > 0 for f in flips)  # Poisson(100) is never 0 in practice
+        mean = sum(flips) / len(flips)
+        assert 70 < mean < 130  # centred on per_erase * erase_count
+
+
+class TestInjectorMetrics:
+    def test_counters_reflect_injections(self):
+        inj = FaultInjector(
+            FaultPlan(
+                scripted=(
+                    ScriptedFault(site=FaultSite.PROGRAM, nth=1),
+                    ScriptedFault(site=FaultSite.ERASE, nth=1),
+                    ScriptedFault(site=FaultSite.READ, nth=1, bitflips=5),
+                    ScriptedFault(site=FaultSite.READ, nth=2, bitflips=3),
+                    ScriptedFault(site=FaultSite.TRANSFER, nth=1),
+                )
+            )
+        )
+        inj.program_fault(0)
+        inj.erase_fault(0)
+        inj.read_bitflips(0, 0)
+        inj.read_bitflips(0, 0)
+        inj.transfer_fault()
+        snap = inj.metrics.snapshot()
+        assert snap["faults.program_faults"] == 1
+        assert snap["faults.erase_faults"] == 1
+        assert snap["faults.read_bitflip_events"] == 2
+        assert snap["faults.bitflips_injected"] == 8
+        assert snap["faults.transfer_faults"] == 1

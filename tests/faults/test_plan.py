@@ -1,0 +1,83 @@
+"""FaultPlan / ScriptedFault validation and the `enabled` contract."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, FaultSite, ScriptedFault
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "program_fail_p",
+            "erase_fail_p",
+            "transfer_fault_p",
+            "read_bitflip_base",
+            "read_bitflip_per_erase",
+        ],
+    )
+    def test_any_nonzero_knob_enables(self, knob):
+        assert FaultPlan(**{knob: 0.01}).enabled
+
+    def test_scripted_fault_enables(self):
+        plan = FaultPlan(scripted=(ScriptedFault(site=FaultSite.PROGRAM),))
+        assert plan.enabled
+
+    def test_permanent_ratio_alone_does_not_enable(self):
+        """The ratio only qualifies failures; without a failure probability
+        the plan still cannot inject anything."""
+        assert not FaultPlan(program_fail_permanent_ratio=1.0).enabled
+
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "program_fail_p",
+            "program_fail_permanent_ratio",
+            "erase_fail_p",
+            "transfer_fault_p",
+        ],
+    )
+    def test_probabilities_must_be_in_unit_interval(self, knob, p):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{knob: p})
+
+    @pytest.mark.parametrize("knob", ["read_bitflip_base", "read_bitflip_per_erase"])
+    def test_bitflip_rates_must_be_non_negative(self, knob):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{knob: -1.0})
+
+    def test_scripted_list_coerced_to_tuple(self):
+        plan = FaultPlan(scripted=[ScriptedFault(site=FaultSite.ERASE)])
+        assert isinstance(plan.scripted, tuple)
+
+
+class TestScriptedFaultValidation:
+    def test_nth_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ScriptedFault(site=FaultSite.PROGRAM, nth=0)
+
+    def test_block_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            ScriptedFault(site=FaultSite.PROGRAM, block=-1)
+
+    def test_read_fault_requires_bitflips(self):
+        with pytest.raises(ConfigError):
+            ScriptedFault(site=FaultSite.READ)
+
+    def test_bitflips_only_valid_on_read(self):
+        with pytest.raises(ConfigError):
+            ScriptedFault(site=FaultSite.PROGRAM, bitflips=3)
+
+    def test_permanent_only_valid_on_program(self):
+        with pytest.raises(ConfigError):
+            ScriptedFault(site=FaultSite.ERASE, permanent=True)
+
+    def test_valid_forms_construct(self):
+        ScriptedFault(site=FaultSite.PROGRAM, nth=5, block=3, permanent=True)
+        ScriptedFault(site=FaultSite.READ, nth=2, bitflips=12)
+        ScriptedFault(site=FaultSite.TRANSFER)
