@@ -1,0 +1,249 @@
+"""Throughput bench: channel/way scaling + simulator wall-clock speed.
+
+Two measurements, both recorded in ``BENCH_throughput.json``:
+
+1. **Scaling sweep** — sustained NAND-bound writes through the pipelined
+   driver (:meth:`put_many`) across geometry × queue-depth combinations.
+   Reports *simulated* ops/sec; the acceptance floor is >= 4x at 4x8/deep
+   queue vs 1x1/QD1 (ISSUE 2).
+2. **Trace replay** — a fixed mixed PUT/GET workload through the ordinary
+   synchronous runner, measuring *wall-clock* simulator speed (simulated
+   ops per wall second, best of N repeats). This is the number the CI
+   smoke job gates: a fresh run failing to reach 70 % of the committed
+   baseline's throughput fails the build.
+
+Wall-clock numbers vary across machines, so the gate normalizes by a small
+CPU calibration loop (pure-Python ops/sec measured in-process): what is
+compared is ``wall_ops_per_sec / calibration_ops_per_sec``, a ratio that
+tracks simulator efficiency rather than host speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py            # full
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick    # CI
+    ... --out BENCH_throughput.json --baseline BENCH_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import preset
+from repro.device.kvssd import KVSSD
+from repro.sim.runner import run_workload
+from repro.units import MIB
+from repro.workloads.workloads import workload_mixed
+
+#: (channels, ways_per_channel, queue_depth) combinations swept.
+FULL_SWEEP = [
+    (1, 1, 1),
+    (1, 1, 32),
+    (2, 4, 8),
+    (2, 4, 32),
+    (4, 8, 8),
+    (4, 8, 32),
+]
+QUICK_SWEEP = [(1, 1, 1), (4, 8, 32)]
+
+
+def _calibrate(loops: int = 200_000) -> float:
+    """Pure-Python busy loop: host-speed yardstick for normalization."""
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            acc += i & 7
+        best = min(best, time.perf_counter() - t0)
+    return loops / best
+
+
+def run_scaling_sweep(ops: int, sweep) -> list[dict]:
+    """Sustained page-size writes via put_many on each configuration."""
+    rows = []
+    for channels, ways, qd in sweep:
+        cfg = preset(
+            "baseline",
+            nand_capacity_bytes=512 * MIB,
+            nand_channels=channels,
+            nand_ways=ways,
+            queue_depth=qd,
+        )
+        device = KVSSD.build(config=cfg)
+        page = device.geometry.page_size
+        pairs = [
+            (b"bench-%06d" % i, bytes([(i + j) % 256 for j in range(64)]) * (page // 64))
+            for i in range(ops)
+        ]
+        wall0 = time.perf_counter()
+        results = device.driver.put_many(pairs)
+        device.driver.flush()
+        wall = time.perf_counter() - wall0
+        assert all(r.ok for r in results)
+        elapsed_us = device.clock.now_us
+        rows.append(
+            {
+                "channels": channels,
+                "ways": ways,
+                "queue_depth": qd,
+                "ops": ops,
+                "sim_elapsed_us": round(elapsed_us, 3),
+                "sim_ops_per_sec": round(ops / (elapsed_us / 1e6), 1),
+                "wall_seconds": round(wall, 4),
+            }
+        )
+    base = rows[0]["sim_ops_per_sec"]
+    for row in rows:
+        row["speedup_vs_serial"] = round(row["sim_ops_per_sec"] / base, 2)
+    return rows
+
+
+def run_trace_replay(ops: int, repeats: int = 3) -> dict:
+    """Wall-clock simulator speed on a synchronous mixed trace."""
+    best_wall = float("inf")
+    sim_elapsed_us = 0.0
+    for _ in range(repeats):
+        workload = workload_mixed(ops, read_fraction=0.5, seed=1)
+        wall0 = time.perf_counter()
+        result = run_workload(
+            "backfill", workload, nand_capacity_bytes=256 * MIB
+        )
+        wall = time.perf_counter() - wall0
+        best_wall = min(best_wall, wall)
+        sim_elapsed_us = result.elapsed_us
+    return {
+        "workload": f"mixed({ops}, rf=0.5)",
+        "ops": ops,
+        "repeats": repeats,
+        "sim_elapsed_us": round(sim_elapsed_us, 3),
+        "best_wall_seconds": round(best_wall, 4),
+        "wall_ops_per_sec": round(ops / best_wall, 1),
+    }
+
+
+def check_against_baseline(
+    fresh: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Compare calibration-normalized wall throughput; list failures."""
+    problems = []
+    try:
+        base_norm = (
+            baseline["trace_replay"]["wall_ops_per_sec"]
+            / baseline["calibration_ops_per_sec"]
+        )
+    except (KeyError, TypeError, ZeroDivisionError):
+        return [f"baseline file lacks comparable fields: {sorted(baseline)}"]
+    fresh_norm = (
+        fresh["trace_replay"]["wall_ops_per_sec"] / fresh["calibration_ops_per_sec"]
+    )
+    floor = base_norm * (1.0 - max_regression)
+    if fresh_norm < floor:
+        problems.append(
+            f"simulator wall-clock throughput regressed: normalized "
+            f"{fresh_norm:.4f} < floor {floor:.4f} "
+            f"(baseline {base_norm:.4f}, allowed regression "
+            f"{max_regression:.0%})"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small op counts for CI smoke"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_throughput.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON to gate wall-clock regressions against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional wall-clock regression vs baseline",
+    )
+    parser.add_argument(
+        "--seed-ref",
+        type=float,
+        default=None,
+        help="trace-replay ops/wall-sec of the pre-optimization tree, "
+        "measured on this machine; records the wall-clock speedup",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            baseline = json.loads(baseline_path.read_text())
+        else:
+            print(f"note: baseline {baseline_path} missing; gate skipped")
+
+    scaling_ops = 120 if args.quick else 300
+    # The replay length is the same in both modes: the baseline gate
+    # compares normalized replay throughput, and per-op cost at 400 ops is
+    # dominated by device build amortization — not comparable to 2000.
+    replay_ops = 2000
+    sweep = QUICK_SWEEP if args.quick else FULL_SWEEP
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "calibration_ops_per_sec": round(_calibrate(), 1),
+        "scaling": run_scaling_sweep(scaling_ops, sweep),
+        "trace_replay": run_trace_replay(replay_ops),
+    }
+    if args.seed_ref:
+        report["seed_comparison"] = {
+            "seed_wall_ops_per_sec": args.seed_ref,
+            "wall_speedup_vs_seed": round(
+                report["trace_replay"]["wall_ops_per_sec"] / args.seed_ref, 3
+            ),
+            "note": "seed tree replayed on the same machine, same session",
+        }
+
+    peak = max(report["scaling"], key=lambda r: r["speedup_vs_serial"])
+    print(f"calibration: {report['calibration_ops_per_sec']:,.0f} loop-ops/s")
+    for row in report["scaling"]:
+        print(
+            f"  {row['channels']}x{row['ways']} qd={row['queue_depth']:>2}: "
+            f"{row['sim_ops_per_sec']:>10,.0f} sim-ops/s "
+            f"(x{row['speedup_vs_serial']:.2f}, wall {row['wall_seconds']:.2f}s)"
+        )
+    replay = report["trace_replay"]
+    print(
+        f"trace replay: {replay['wall_ops_per_sec']:,.0f} ops/wall-second "
+        f"({replay['ops']} ops in {replay['best_wall_seconds']:.2f}s best-of-"
+        f"{replay['repeats']})"
+    )
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    status = 0
+    if peak["speedup_vs_serial"] < 4.0:
+        print(
+            f"FAIL: peak parallel speedup x{peak['speedup_vs_serial']:.2f} "
+            f"is below the 4x acceptance floor"
+        )
+        status = 1
+    if baseline is not None:
+        problems = check_against_baseline(report, baseline, args.max_regression)
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        if problems:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

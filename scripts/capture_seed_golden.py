@@ -1,0 +1,152 @@
+"""Capture golden 1x1x1 numbers from the current model.
+
+Run on the seed (pre-parallelism) tree to freeze the reference values the
+QD=1 / 1-channel / 1-way regression test compares against byte-for-byte.
+"""
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import preset
+from repro.device.kvssd import KVSSD
+from repro.nand.geometry import NandGeometry
+from repro.sim.runner import resolve_config
+from repro.units import KIB, MIB
+from repro.workloads.generator import RequestKind
+from repro.workloads.workloads import workload_d, workload_mixed
+
+
+def geometry_1x1(capacity_bytes: int) -> NandGeometry:
+    base = NandGeometry(channels=1, ways_per_channel=1)
+    per_way = capacity_bytes // base.total_ways
+    return NandGeometry(
+        channels=1,
+        ways_per_channel=1,
+        blocks_per_way=max(1, per_way // base.block_size),
+        pages_per_block=base.pages_per_block,
+        page_size=base.page_size,
+    )
+
+
+def drive(config_name: str, capacity_bytes: int, workload) -> dict:
+    _, cfg = resolve_config(config_name, nand_capacity_bytes=capacity_bytes)
+    device = KVSSD.build(config=cfg, geometry=geometry_1x1(capacity_bytes))
+    driver = device.driver
+    latencies: list[float] = []
+    for request in workload.requests():
+        t0 = device.clock.now_us
+        if request.kind is RequestKind.PUT:
+            driver.put(request.key, request.value)
+        elif request.kind is RequestKind.GET:
+            driver.get(request.key, max_size=workload.max_value_bytes)
+        elif request.kind is RequestKind.DELETE:
+            driver.delete(request.key)
+        latencies.append(device.clock.now_us - t0)
+    driver.flush()
+    snap = device.snapshot()
+    return {
+        "config": config_name,
+        "capacity_bytes": capacity_bytes,
+        "workload": workload.name,
+        "latencies_us": latencies,
+        "clock_now_us": device.clock.now_us,
+        "pcie_total_bytes": device.link.meter.total_bytes,
+        "mmio_bytes": device.link.meter.mmio_bytes,
+        "nand_page_programs": snap.get("nand.page_programs", 0.0),
+        "nand_bytes_programmed": snap.get("nand.bytes_programmed", 0.0),
+        "snapshot": {k: v for k, v in sorted(snap.items())},
+    }
+
+
+def drive_gc_churn(capacity_bytes: int, ops: int, keys: int) -> dict:
+    """Overwrite-heavy fillseq on a tiny module so GC + erases fire."""
+    _, cfg = resolve_config(
+        "baseline",
+        nand_capacity_bytes=capacity_bytes,
+        memtable_flush_bytes=2 * KIB,
+    )
+    device = KVSSD.build(config=cfg, geometry=geometry_1x1(capacity_bytes))
+    driver = device.driver
+    page = device.geometry.page_size
+    latencies: list[float] = []
+    for i in range(ops):
+        key = b"churn-%05d" % (i % keys)
+        value = bytes([(i * 7 + j) % 256 for j in range(64)]) * (page // 64)
+        t0 = device.clock.now_us
+        driver.put(key, value)
+        latencies.append(device.clock.now_us - t0)
+    driver.flush()
+    snap = device.snapshot()
+    return {
+        "config": "baseline",
+        "capacity_bytes": capacity_bytes,
+        "workload": f"gc_churn({ops}x{keys})",
+        "latencies_us": latencies,
+        "clock_now_us": device.clock.now_us,
+        "pcie_total_bytes": device.link.meter.total_bytes,
+        "mmio_bytes": device.link.meter.mmio_bytes,
+        "nand_page_programs": snap.get("nand.page_programs", 0.0),
+        "nand_bytes_programmed": snap.get("nand.bytes_programmed", 0.0),
+        "snapshot": {k: v for k, v in sorted(snap.items())},
+    }
+
+
+def drive_flash_direct() -> dict:
+    """Standalone flash: program/read/erase cycles at 1x1, fixed order."""
+    from repro.nand.flash import NandFlash
+    from repro.sim.clock import SimClock
+    from repro.sim.latency import LatencyModel
+
+    geo = NandGeometry(
+        channels=1, ways_per_channel=1, blocks_per_way=4, pages_per_block=8,
+        page_size=2048,
+    )
+    clock = SimClock()
+    flash = NandFlash(geo, clock, LatencyModel())
+    marks: list[float] = []
+    for block in range(3):
+        first = geo.first_ppn_of_block(block)
+        for page in range(geo.pages_per_block if block < 2 else 5):
+            flash.program(first + page, bytes([block * 16 + page]) * 64)
+            marks.append(clock.now_us)
+    for ppn in (0, 5, 9, 17):
+        flash.read(ppn)
+        marks.append(clock.now_us)
+    flash.erase_block(0)
+    marks.append(clock.now_us)
+    flash.program(0, b"again")
+    marks.append(clock.now_us)
+    flash.erase_block(1)
+    marks.append(clock.now_us)
+    return {
+        "workload": "flash_direct",
+        "clock_marks_us": marks,
+        "clock_now_us": clock.now_us,
+        "snapshot": {k: v for k, v in sorted(flash.metrics.snapshot().items())},
+    }
+
+
+def main() -> None:
+    runs = {
+        "backfill_d": drive("backfill", 256 * MIB, workload_d(200, seed=7)),
+        "baseline_mixed": drive(
+            "baseline", 64 * MIB, workload_mixed(150, read_fraction=0.5, seed=3)
+        ),
+        "piggyback_d": drive("piggyback", 256 * MIB, workload_d(120, seed=11)),
+        "gc_churn": drive_gc_churn(16 * MIB, ops=380, keys=80),
+        "flash_direct": drive_flash_direct(),
+    }
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "tests/data/seed_golden_1x1.json")
+    out.write_text(json.dumps(runs, indent=1, sort_keys=True))
+    for name, run in runs.items():
+        print(
+            f"{name}: clock={run['clock_now_us']:.3f}us"
+            f" pcie={run.get('pcie_total_bytes', 0)}"
+            f" programs={run.get('nand_page_programs', 0)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

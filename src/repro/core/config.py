@@ -78,6 +78,13 @@ class BandSlimConfig:
     #: Device read cache over NAND pages, in pages (0 disables, matching
     #: the paper's memoryless read path; enable for read-heavy studies).
     read_cache_pages: int = 0
+    #: NAND channels / ways per channel (Table 1: 4 x 8). 1 x 1 serializes
+    #: every NAND op — the degenerate geometry the seed model charged.
+    nand_channels: int = 4
+    nand_ways: int = 8
+    #: Driver in-flight command window for :meth:`put_many`. 1 keeps the
+    #: paper testbed's synchronous passthrough (one command at a time).
+    queue_depth: int = 1
     #: Fraction of logical pages reserved for the vLog (rest: SSTables).
     vlog_fraction: float = 0.75
 
@@ -133,6 +140,10 @@ class BandSlimConfig:
             raise ConfigError("retry limits must be non-negative")
         if self.retry_backoff_us < 0 or self.command_timeout_us < 0:
             raise ConfigError("retry backoff and command timeout must be >= 0")
+        if self.nand_channels < 1 or self.nand_ways < 1:
+            raise ConfigError("nand_channels and nand_ways must be >= 1")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
 
     # --- effective thresholds -----------------------------------------------
 

@@ -61,7 +61,7 @@ from repro.sim.stats import MetricSet
 from repro.units import MEM_PAGE_SIZE, align_down, pages_needed
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingValue:
     """A value mid-assembly across write + trailing transfer commands."""
 
@@ -102,10 +102,17 @@ class BandSlimController:
         self.clock = link.clock
         self.latency = link.latency
         self._pending: dict[int, _PendingValue] = {}
+        self._flash = lsm.ftl.flash
         self.metrics = MetricSet("controller")
-        self.metrics.counter("commands_processed")
-        self.metrics.counter("memcpy_bytes")
-        self.metrics.stat("memcpy_us_per_op")
+        # Cached: bumped once per command / per memcpy on the hot path.
+        self._c_commands_processed = self.metrics.counter("commands_processed")
+        self._c_memcpy_bytes = self.metrics.counter("memcpy_bytes")
+        self._s_memcpy_us_per_op = self.metrics.stat("memcpy_us_per_op")
+        # Latency constants resolved once (the model is immutable): these
+        # are charged once or more per command.
+        self._cmd_process_us = self.latency.cmd_process_us
+        self._memcpy_setup_us = self.latency.memcpy_setup_us
+        self._memcpy_per_byte_us = self.latency.memcpy_per_byte_us
         if injector is not None:
             self.metrics.counter("media_errors")
             self.metrics.counter("internal_errors")
@@ -120,22 +127,36 @@ class BandSlimController:
         #: Callback invoked when SET FEATURES produces a new active config
         #: (the driver re-registers its planner through this).
         self._config_listeners: list = []
+        #: Raw-opcode dispatch table (skips the enum lookup per command).
+        self._handlers = {
+            int(KVOpcode.BANDSLIM_WRITE): self._handle_write,
+            int(KVOpcode.BANDSLIM_TRANSFER): self._handle_transfer,
+            int(KVOpcode.KV_STORE): self._handle_store,
+            int(KVOpcode.BULK_PUT): self._handle_bulk_put,
+            int(KVOpcode.KV_RETRIEVE): self._handle_retrieve,
+            int(KVOpcode.KV_DELETE): self._handle_delete,
+            int(KVOpcode.KV_EXIST): self._handle_exist,
+            int(KVOpcode.KV_LIST): self._handle_list,
+            int(KVOpcode.ITER_OPEN): self._handle_iter_open,
+            int(KVOpcode.ITER_NEXT): self._handle_iter_next,
+            int(KVOpcode.ITER_CLOSE): self._handle_iter_close,
+        }
 
     # --- cost helpers -------------------------------------------------------
 
     def _charge_memcpy(self, nbytes: int) -> None:
         if nbytes <= 0:
             return
-        cost = self.latency.memcpy_us(nbytes)
+        cost = self._memcpy_setup_us + nbytes * self._memcpy_per_byte_us
         self.clock.advance(cost)
-        self.metrics.counter("memcpy_bytes").add(nbytes)
+        self._c_memcpy_bytes.add(nbytes)
         self._op_memcpy_us += cost
 
     def _commit_value(self, pending: _PendingValue) -> None:
         addr = self.buffer.addr_of(pending.value_offset, pending.value_size)
         self.lsm.put(pending.key, addr)
         self.policy.finalize_value()
-        self.metrics.stat("memcpy_us_per_op").record(self._op_memcpy_us)
+        self._s_memcpy_us_per_op.record(self._op_memcpy_us)
         self._op_memcpy_us = 0.0
 
     # --- main loop -----------------------------------------------------------
@@ -149,9 +170,36 @@ class BandSlimController:
         exception. Protocol-usage errors still raise: driving the simulator
         wrongly is a bug, not a fault.
         """
+        cqe = self._process_one()
+        self.cq.post(cqe)
+        return cqe
+
+    def process_next_deferred(self) -> tuple[NVMeCompletion, float]:
+        """Handle one command with NAND time booked, not waited on.
+
+        Returns ``(cqe, finish_us)`` without posting: the command's serial
+        work (fetch, decode, DMA, memcpy) advances the clock as usual, but
+        page programs and erases only book their intervals on the
+        per-channel/per-way timeline. The finish time is when the last of
+        those intervals ends — the pipelined driver posts and reaps the
+        completion when virtual time reaches it, letting NAND work from
+        several in-flight commands overlap across ways.
+        """
+        flash = self._flash
+        flash.begin_deferred()
+        try:
+            cqe = self._process_one()
+        finally:
+            nand_end_us = flash.end_deferred()
+        finish_us = self.clock.now_us
+        if nand_end_us > finish_us:
+            finish_us = nand_end_us
+        return cqe, finish_us
+
+    def _process_one(self) -> NVMeCompletion:
         cmd = self.sq.fetch()
-        self.clock.advance(self.latency.cmd_process_us)
-        self.metrics.counter("commands_processed").add(1)
+        self.clock.advance(self._cmd_process_us)
+        self._c_commands_processed.add(1)
         try:
             cqe = self._dispatch(cmd)
         except BadBlockError:
@@ -166,7 +214,6 @@ class BandSlimController:
             self._pending.pop(cmd.cid, None)
             self.metrics.counter("transfer_faults").add(1)
             cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.DEVICE_BUSY)
-        self.cq.post(cqe)
         return cqe
 
     def abort_pending(self, cid: int) -> None:
@@ -174,32 +221,13 @@ class BandSlimController:
         self._pending.pop(cid, None)
 
     def _dispatch(self, cmd) -> NVMeCompletion:
-        opcode = cmd.opcode
-        if opcode is KVOpcode.BANDSLIM_WRITE:
-            cqe = self._handle_write(cmd)
-        elif opcode is KVOpcode.BANDSLIM_TRANSFER:
-            cqe = self._handle_transfer(cmd)
-        elif opcode is KVOpcode.KV_STORE:
-            cqe = self._handle_store(cmd)
-        elif opcode is KVOpcode.BULK_PUT:
-            cqe = self._handle_bulk_put(cmd)
-        elif opcode is KVOpcode.KV_RETRIEVE:
-            cqe = self._handle_retrieve(cmd)
-        elif opcode is KVOpcode.KV_DELETE:
-            cqe = self._handle_delete(cmd)
-        elif opcode is KVOpcode.KV_EXIST:
-            cqe = self._handle_exist(cmd)
-        elif opcode is KVOpcode.KV_LIST:
-            cqe = self._handle_list(cmd)
-        elif opcode is KVOpcode.ITER_OPEN:
-            cqe = self._handle_iter_open(cmd)
-        elif opcode is KVOpcode.ITER_NEXT:
-            cqe = self._handle_iter_next(cmd)
-        elif opcode is KVOpcode.ITER_CLOSE:
-            cqe = self._handle_iter_close(cmd)
-        else:
-            cqe = NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_OPCODE)
-        return cqe
+        handler = self._handlers.get(cmd.raw[0])
+        if handler is not None:
+            return handler(cmd)
+        # An unknown opcode byte raises (protocol misuse); a valid but
+        # unhandled opcode completes with INVALID_OPCODE, as before.
+        _ = cmd.opcode
+        return NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_OPCODE)
 
     # --- write path -----------------------------------------------------------
 
@@ -375,7 +403,10 @@ class BandSlimController:
         self._charge_memcpy(len(data))
         host_buf = resolve_prp(self.host_mem, self.link, prp1, prp2, buffer_size)
         n_pages = pages_needed(len(data))
-        out = type(host_buf)(pages=host_buf.pages[:n_pages], length=len(data))
+        if n_pages == len(host_buf.pages):
+            out = host_buf  # full-buffer DMA: no need to re-wrap the pages
+        else:
+            out = type(host_buf)(pages=host_buf.pages[:n_pages], length=len(data))
         self.dma.device_to_host(self.scratch.abs_addr(0), out)
         return NVMeCompletion(cid=cid, status=StatusCode.SUCCESS, result=len(data))
 
@@ -503,7 +534,7 @@ class BandSlimController:
             raise NVMeError("admin queues not attached")
         cmd = self.admin_sq.fetch()
         self.clock.advance(self.latency.cmd_process_us)
-        self.metrics.counter("commands_processed").add(1)
+        self._c_commands_processed.add(1)
         req = parse_admin_command(cmd)
         if req.opcode is AdminOpcode.IDENTIFY:
             cqe = self._handle_identify(req)

@@ -10,6 +10,13 @@ round-trip accumulation).
 Per-operation response time is the simulated-clock delta across the whole
 command sequence, including any NAND flush stalls the device incurred — the
 quantity plotted in Figs 8–12.
+
+:meth:`BandSlimDriver.put_many` is the multi-queue extension: up to
+``config.queue_depth`` commands stay in flight, their completions parked on
+a :class:`~repro.nvme.queue.CompletionScheduler` and reaped in NAND-finish
+order, so programs to distinct channels/ways overlap in virtual time (see
+docs/parallel-timing.md). At ``queue_depth=1`` it degenerates to the exact
+synchronous loop above.
 """
 
 from __future__ import annotations
@@ -46,13 +53,18 @@ from repro.nvme.kv import (
 )
 from repro.nvme.opcodes import StatusCode
 from repro.nvme.prp import PRPDescriptor, build_prp
-from repro.nvme.queue import CompletionQueue, NVMeCompletion, SubmissionQueue
+from repro.nvme.queue import (
+    CompletionQueue,
+    CompletionScheduler,
+    NVMeCompletion,
+    SubmissionQueue,
+)
 from repro.pcie.link import PCIeLink
 from repro.sim.stats import MetricSet
 from repro.units import MEM_PAGE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpResult:
     """Outcome of one driver operation, with its simulated latency."""
 
@@ -64,6 +76,19 @@ class OpResult:
     @property
     def ok(self) -> bool:
         return self.status is StatusCode.SUCCESS
+
+
+class _InflightPut:
+    """Book-keeping for one PUT whose commands are in the pipeline."""
+
+    __slots__ = ("index", "start_us", "remaining", "commands", "status")
+
+    def __init__(self, index: int, start_us: float, commands: int) -> None:
+        self.index = index
+        self.start_us = start_us
+        self.remaining = commands
+        self.commands = commands
+        self.status = StatusCode.SUCCESS
 
 
 class BandSlimDriver:
@@ -93,14 +118,16 @@ class BandSlimDriver:
         # Keep this side of the stack in sync when admin SET FEATURES
         # changes the device's active configuration.
         controller.on_config_change(self._adopt_config)
+        self._injector = injector
         self.metrics = MetricSet("driver")
-        self.metrics.stat("put_latency_us")
-        self.metrics.stat("get_latency_us")
-        self.metrics.counter("puts")
-        self.metrics.counter("gets")
+        # Cached: every operation records into these.
+        self._s_put_latency = self.metrics.stat("put_latency_us")
+        self._s_get_latency = self.metrics.stat("get_latency_us")
+        self._c_puts = self.metrics.counter("puts")
+        self._c_gets = self.metrics.counter("gets")
         # Exponential-bucket histograms back the p50/p99 the runner reports.
-        self.metrics.histogram("put_latency_us")
-        self.metrics.histogram("get_latency_us")
+        self._h_put_latency = self.metrics.histogram("put_latency_us")
+        self._h_get_latency = self.metrics.histogram("get_latency_us")
         if injector is not None or config.command_timeout_us > 0:
             self.metrics.counter("retries")
             self.metrics.counter("timeouts")
@@ -121,7 +148,8 @@ class BandSlimDriver:
         self.controller.process_next()
         self.link.complete_command()
         cqe = self.cq.reap()
-        if cqe.cid != cmd.cid:
+        raw = cmd.raw
+        if cqe.cid != (raw[2] | (raw[3] << 8)):  # cid bytes, direct
             raise NVMeError(
                 f"completion cid {cqe.cid} does not match command {cmd.cid}"
             )
@@ -178,17 +206,158 @@ class BandSlimDriver:
             raise NVMeError("empty values are not supported by the KV interface")
         plan = self.planner.plan(len(value))
         start = self.clock.now_us
-        cqe = self._with_recovery(
-            lambda: self._execute_put(key, value, plan),
-            cleanup=self._abort_active_put,
-        )
+        if self._injector is None and self.config.command_timeout_us == 0.0:
+            # No fault source and no timeout: one attempt is the common
+            # (and, absent injected faults, only) case — skip the recovery
+            # machinery. Retryable statuses still fall through to it.
+            cqe = self._execute_put(key, value, plan)
+            if cqe.status.retryable:
+                self._abort_active_put()
+                cqe = self._with_recovery(
+                    lambda: self._execute_put(key, value, plan),
+                    cleanup=self._abort_active_put,
+                )
+        else:
+            cqe = self._with_recovery(
+                lambda: self._execute_put(key, value, plan),
+                cleanup=self._abort_active_put,
+            )
         elapsed = self.clock.now_us - start
-        self.metrics.stat("put_latency_us").record(elapsed)
-        self.metrics.histogram("put_latency_us").record(elapsed)
-        self.metrics.counter("puts").add(1)
+        self._s_put_latency.record(elapsed)
+        self._h_put_latency.record(elapsed)
+        self._c_puts.add(1)
         return OpResult(
             latency_us=elapsed, commands=plan.command_count, status=cqe.status
         )
+
+    # --- pipelined PUT (queue depth > 1) -------------------------------------
+
+    def put_many(
+        self,
+        pairs,
+        queue_depth: int | None = None,
+    ) -> list[OpResult]:
+        """Store many pairs with up to ``queue_depth`` commands in flight.
+
+        Commands are still *processed* serially (one firmware core), but
+        their NAND programs only book busy intervals on the channel/way
+        timeline: a command's completion is delivered when virtual time
+        reaches its NAND finish, so programs from different in-flight
+        commands overlap on distinct ways. Completions are reaped in finish
+        order, not submission order. ``queue_depth`` defaults to
+        ``config.queue_depth``; at 1 (or with a fault injector attached,
+        whose per-op retry protocol is inherently synchronous) this falls
+        back to the sequential :meth:`put` loop.
+        """
+        qd = self.config.queue_depth if queue_depth is None else queue_depth
+        if qd < 1:
+            raise NVMeError(f"queue depth must be >= 1, got {qd}")
+        if qd == 1 or self._injector is not None:
+            return [self.put(key, value) for key, value in pairs]
+
+        results: list[OpResult | None] = []
+        inflight: dict[int, _InflightPut] = {}
+        scheduler = CompletionScheduler()
+
+        def deliver_one() -> None:
+            cqe, finish_us = scheduler.pop_earliest()
+            self.clock.advance_to(finish_us)
+            self.cq.post(cqe)
+            self.link.complete_command()
+            reaped = self.cq.reap()
+            rec = inflight[reaped.cid]
+            rec.remaining -= 1
+            if not reaped.ok and rec.status is StatusCode.SUCCESS:
+                rec.status = reaped.status
+            if rec.remaining == 0:
+                del inflight[reaped.cid]
+                elapsed = self.clock.now_us - rec.start_us
+                self._s_put_latency.record(elapsed)
+                self._h_put_latency.record(elapsed)
+                self._c_puts.add(1)
+                results[rec.index] = OpResult(
+                    latency_us=elapsed, commands=rec.commands, status=rec.status
+                )
+
+        def submit(cmd) -> None:
+            while scheduler.outstanding >= qd:
+                deliver_one()
+            self.sq.submit(cmd)
+            self.link.submit_command()
+            cqe, finish_us = self.controller.process_next_deferred()
+            scheduler.schedule(cqe, finish_us)
+
+        # Validate every pair before submitting anything: a bad value must
+        # raise (as the sequential path would) without leaving earlier
+        # commands parked undelivered in the scheduler.
+        pairs = list(pairs)
+        for _, value in pairs:
+            if not value:
+                raise NVMeError("empty values are not supported by the KV interface")
+            if len(value) > self.config.max_value_bytes:
+                raise NVMeError(
+                    f"value of {len(value)} bytes exceeds max_value_bytes "
+                    f"{self.config.max_value_bytes}"
+                )
+        for index, (key, value) in enumerate(pairs):
+            results.append(None)
+            plan = self.planner.plan(len(value))
+            rec = _InflightPut(index, self.clock.now_us, plan.command_count)
+            if plan.method is TransferMethod.PRP:
+                buf = self.host_mem.stage_value(value)
+                prp = build_prp(self.host_mem, buf)
+                try:
+                    cmd = build_store_command(self._cid(), key, len(value), prp)
+                    inflight[cmd.cid] = rec
+                    submit(cmd)  # processes the command; DMA is done after
+                finally:
+                    self._release_prp(buf, prp)
+            elif plan.method is TransferMethod.PIGGYBACK:
+                inline = value[: plan.inline_bytes]
+                cmd = build_write_command(
+                    self._cid(),
+                    key,
+                    len(value),
+                    inline=inline,
+                    final=not plan.trailing_fragments,
+                )
+                inflight[cmd.cid] = rec
+                submit(cmd)
+                self._submit_trailing(cmd.cid, value, plan.inline_bytes, plan, submit)
+            else:  # hybrid: page-aligned head via PRP + piggybacked tail
+                head = plan.dma_wire_bytes
+                buf = self.host_mem.stage_value(value[:head])
+                prp = build_prp(self.host_mem, buf)
+                try:
+                    cmd = build_write_command(
+                        self._cid(),
+                        key,
+                        len(value),
+                        prp=prp,
+                        final=not plan.trailing_fragments,
+                    )
+                    inflight[cmd.cid] = rec
+                    submit(cmd)
+                finally:
+                    self._release_prp(buf, prp)
+                self._submit_trailing(cmd.cid, value, head, plan, submit)
+        while scheduler.outstanding:
+            deliver_one()
+        assert all(result is not None for result in results)
+        return results
+
+    def _submit_trailing(
+        self, cid: int, value: bytes, sent: int, plan: TransferPlan, submit
+    ) -> None:
+        """Queue the trailing transfer commands through ``submit``."""
+        pos = sent
+        last = len(plan.trailing_fragments) - 1
+        for i, frag_size in enumerate(plan.trailing_fragments):
+            fragment = value[pos : pos + frag_size]
+            submit(build_transfer_command(cid, fragment, i == last))
+            pos += frag_size
+        if pos != len(value):
+            raise NVMeError(f"plan sent {pos} of {len(value)} bytes")
 
     def _abort_active_put(self) -> None:
         """Release device-side state of a PUT attempt being abandoned."""
@@ -321,9 +490,9 @@ class BandSlimDriver:
         finally:
             self._release_prp(buf, prp)
         elapsed = self.clock.now_us - start
-        self.metrics.stat("put_latency_us").record(elapsed)
-        self.metrics.histogram("put_latency_us").record(elapsed)
-        self.metrics.counter("puts").add(len(pairs))
+        self._s_put_latency.record(elapsed)
+        self._h_put_latency.record(elapsed)
+        self._c_puts.add(len(pairs))
         return OpResult(latency_us=elapsed, commands=1, status=cqe.status)
 
     # --- GET and friends -----------------------------------------------------------
@@ -335,20 +504,29 @@ class BandSlimDriver:
         prp = build_prp(self.host_mem, buf)
         start = self.clock.now_us
         try:
-            cqe = self._with_recovery(
-                lambda: self._roundtrip(
-                    build_retrieve_command(self._cid(), key, size, prp)
+            if self._injector is None and self.config.command_timeout_us == 0.0:
+                cqe = self._roundtrip(build_retrieve_command(self._cid(), key, size, prp))
+                if cqe.status.retryable:
+                    cqe = self._with_recovery(
+                        lambda: self._roundtrip(
+                            build_retrieve_command(self._cid(), key, size, prp)
+                        )
+                    )
+            else:
+                cqe = self._with_recovery(
+                    lambda: self._roundtrip(
+                        build_retrieve_command(self._cid(), key, size, prp)
+                    )
                 )
-            )
             elapsed = self.clock.now_us - start
             if cqe.status is StatusCode.KEY_NOT_FOUND:
                 raise KeyNotFoundError(f"key {key!r} not found")
             value = buf.tobytes()[: cqe.result] if cqe.ok else None
         finally:
             self._release_prp(buf, prp)
-        self.metrics.stat("get_latency_us").record(elapsed)
-        self.metrics.histogram("get_latency_us").record(elapsed)
-        self.metrics.counter("gets").add(1)
+        self._s_get_latency.record(elapsed)
+        self._h_get_latency.record(elapsed)
+        self._c_gets.add(1)
         return OpResult(latency_us=elapsed, commands=1, status=cqe.status, value=value)
 
     def delete(self, key: bytes) -> OpResult:

@@ -37,7 +37,7 @@ from repro.sim.stats import MetricSet
 from repro.units import MEM_PAGE_SIZE, align_up, is_aligned
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushEvent:
     """One buffer entry leaving the pool for NAND (or the bit bucket)."""
 
@@ -48,7 +48,7 @@ class FlushEvent:
     forced: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Placement:
     """Where one value's bytes will live, and how they get there."""
 
@@ -181,6 +181,12 @@ class NandPageBuffer:
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         """Firmware write into the buffer (segmented across entries)."""
+        in_entry = offset % self.page_size
+        if len(data) <= self.page_size - in_entry:
+            # Fits inside one entry — the overwhelmingly common case.
+            index = self._entry_for(offset)
+            self.region.write(self._slot_base(index) + in_entry, data)
+            return
         pos = 0
         while pos < len(data):
             index = self._entry_for(offset + pos)

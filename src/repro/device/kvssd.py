@@ -73,7 +73,9 @@ class KVSSD:
     ) -> "KVSSD":
         config = config or BandSlimConfig()
         latency = latency or LatencyModel()
-        geometry = geometry or default_geometry(config.nand_capacity_bytes)
+        geometry = geometry or default_geometry(
+            config.nand_capacity_bytes, config.nand_channels, config.nand_ways
+        )
         clock = SimClock()
         # A plan that cannot inject anything builds a byte-identical device:
         # no injector, no fault counters, no extra checks on the data paths.
@@ -143,8 +145,10 @@ class KVSSD:
             nand_io_enabled=config.nand_io_enabled,
         )
         policy = make_policy(config, buffer, vlog_pages)
-        sq = SubmissionQueue(depth=queue_depth)
-        cq = CompletionQueue(depth=queue_depth)
+        # Ring depth must cover the driver's pipelined in-flight window.
+        ring_depth = max(queue_depth, config.queue_depth)
+        sq = SubmissionQueue(depth=ring_depth)
+        cq = CompletionQueue(depth=ring_depth)
         controller = BandSlimController(
             config,
             link,

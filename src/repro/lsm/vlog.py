@@ -57,9 +57,10 @@ class VLog:
         self._buffer: UnflushedReader = _NoBuffer()
         self.page_size = ftl.flash.geometry.page_size
         self.metrics = MetricSet("vlog")
-        self.metrics.counter("pages_allocated")
-        self.metrics.counter("reads")
-        self.metrics.counter("bytes_read")
+        # Cached: bumped on every allocation / read.
+        self._c_pages_allocated = self.metrics.counter("pages_allocated")
+        self._c_reads = self.metrics.counter("reads")
+        self._c_bytes_read = self.metrics.counter("bytes_read")
 
     def attach_buffer(self, buffer: UnflushedReader) -> None:
         """Wire the NAND page buffer in for read-your-writes."""
@@ -84,7 +85,7 @@ class VLog:
             )
         lpn = self._next_lpn
         self._next_lpn += 1
-        self.metrics.counter("pages_allocated").add(1)
+        self._c_pages_allocated.add(1)
         return lpn
 
     def _page_bytes(self, lpn: int) -> bytes:
@@ -101,6 +102,18 @@ class VLog:
             raise VLogError(
                 f"address offset {addr.offset} outside page of {self.page_size}"
             )
+        if addr.size <= self.page_size - addr.offset:
+            # Single-page value (the common case): slice it straight out.
+            page = self._page_bytes(addr.lpn)
+            chunk = page[addr.offset : addr.offset + addr.size]
+            if len(chunk) < addr.size:
+                raise VLogError(
+                    f"torn read at LPN {addr.lpn}: wanted {addr.size} bytes "
+                    f"at offset {addr.offset}, page holds {len(page)}"
+                )
+            self._c_reads.add(1)
+            self._c_bytes_read.add(addr.size)
+            return chunk
         out = bytearray()
         lpn = addr.lpn
         offset = addr.offset
@@ -118,6 +131,6 @@ class VLog:
             remaining -= take
             lpn += 1
             offset = 0
-        self.metrics.counter("reads").add(1)
-        self.metrics.counter("bytes_read").add(addr.size)
+        self._c_reads.add(1)
+        self._c_bytes_read.add(addr.size)
         return bytes(out)

@@ -32,11 +32,20 @@ class DeviceDRAM:
             )
 
     def write(self, addr: int, data: bytes) -> None:
-        self._check(addr, len(data))
-        self._data[addr : addr + len(data)] = data
+        n = len(data)
+        if addr < 0 or addr + n > self.size:
+            raise DeviceMemoryError(
+                f"access [{addr:#x}, {addr + n:#x}) outside DRAM of "
+                f"size {self.size:#x}"
+            )
+        self._data[addr : addr + n] = data
 
     def read(self, addr: int, nbytes: int) -> bytes:
-        self._check(addr, nbytes)
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise DeviceMemoryError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside DRAM of "
+                f"size {self.size:#x}"
+            )
         return bytes(self._data[addr : addr + nbytes])
 
     def memcpy(self, dst: int, src: int, nbytes: int) -> None:
@@ -94,20 +103,22 @@ class DRAMRegion:
         return abs_addr - self.base
 
     def write(self, offset: int, data: bytes) -> None:
-        if offset + len(data) > self.size:
+        # Bounds in one check; dram.write re-validates against the full
+        # DRAM, so the abs_addr range check would be redundant here.
+        if offset < 0 or offset + len(data) > self.size:
             raise DeviceMemoryError(
                 f"write of {len(data)} bytes at offset {offset} overruns "
                 f"region {self.name!r} ({self.size} bytes)"
             )
-        self.dram.write(self.abs_addr(offset), data)
+        self.dram.write(self.base + offset, data)
 
     def read(self, offset: int, nbytes: int) -> bytes:
-        if offset + nbytes > self.size:
+        if offset < 0 or offset + nbytes > self.size:
             raise DeviceMemoryError(
                 f"read of {nbytes} bytes at offset {offset} overruns "
                 f"region {self.name!r} ({self.size} bytes)"
             )
-        return self.dram.read(self.abs_addr(offset), nbytes)
+        return self.dram.read(self.base + offset, nbytes)
 
     def fill(self, offset: int, nbytes: int, byte: int = 0) -> None:
         if offset + nbytes > self.size:

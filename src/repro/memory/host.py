@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from repro.errors import HostMemoryError
 from repro.units import MEM_PAGE_SIZE, pages_needed
 
+_ZERO_PAGE = bytes(MEM_PAGE_SIZE)
+
 
 @dataclass
 class HostPage:
@@ -63,6 +65,8 @@ class HostBuffer:
 
     def tobytes(self) -> bytes:
         """The useful payload bytes, reassembled across pages."""
+        if len(self.pages) == 1:
+            return bytes(self.pages[0].data[: self.length])
         raw = b"".join(bytes(p.data) for p in self.pages)
         return raw[: self.length]
 
@@ -79,7 +83,10 @@ class HostMemory:
 
     def __init__(self) -> None:
         self._next_addr = self.BASE_ADDR
-        self._free: list[int] = []
+        # Whole HostPage objects are recycled (not just addresses): every
+        # PUT stages and releases a buffer, and re-running the dataclass
+        # constructor per page shows up in trace-replay wall time.
+        self._free: list[HostPage] = []
         self._live: dict[int, HostPage] = {}
 
     @property
@@ -89,19 +96,19 @@ class HostMemory:
     def alloc_page(self) -> HostPage:
         """Allocate one zeroed page."""
         if self._free:
-            addr = self._free.pop()
+            page = self._free.pop()
+            page.data[:] = _ZERO_PAGE  # recycled pages come back zeroed
         else:
-            addr = self._next_addr
+            page = HostPage(self._next_addr)
             self._next_addr += MEM_PAGE_SIZE
-        page = HostPage(addr)
-        self._live[addr] = page
+        self._live[page.addr] = page
         return page
 
     def free_page(self, page: HostPage) -> None:
         if page.addr not in self._live:
             raise HostMemoryError(f"double free of page {page.addr:#x}")
         del self._live[page.addr]
-        self._free.append(page.addr)
+        self._free.append(page)
 
     def stage_value(self, value: bytes) -> HostBuffer:
         """Copy ``value`` into freshly allocated pages (driver PUT staging).

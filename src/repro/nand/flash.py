@@ -15,11 +15,23 @@ failure only after the attempt), failed erases raise
 ``last_read_bitflips`` for the FTL's ECC model to judge. Without an
 injector every hook is a single ``is None`` check.
 
+Timing goes through the per-channel/per-way
+:class:`~repro.sim.timeline.NandTimeline`. In the default *synchronous*
+mode every operation books its interval and advances the clock to the
+booked end — on an idle module that is exactly the seed's serial
+``clock.advance(duration)``, so queue-depth-1 behaviour is byte-identical
+(docs/parallel-timing.md). Inside a :meth:`begin_deferred` /
+:meth:`end_deferred` window the clock stays put and only the booked end
+times accumulate; the pipelined driver uses that to overlap NAND work on
+distinct ways across in-flight commands. Failed programs and erases book
+their full tPROG/tBERS too — a die reports failure only after the attempt,
+so the way is occupied either way.
+
 Page content is stored sparsely (dict keyed by PPN) so a module with a
 realistic logical capacity costs memory proportional to the data actually
-written, not the module size. Every program/read/erase advances the
-simulated clock and bumps the counters the paper's Figures 4, 11 and 12(c)
-are built from.
+written, not the module size. Each block tracks the set of PPNs it
+actually holds, so erase clears only those instead of sweeping the whole
+``pages_per_block`` range.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from repro.nand.geometry import NandGeometry
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 from repro.sim.stats import MetricSet
+from repro.sim.timeline import NandTimeline
 
 
 class NandFlash:
@@ -45,23 +58,39 @@ class NandFlash:
         self.geometry = geometry
         self.clock = clock
         self.latency = latency
+        self.timeline = NandTimeline(geometry)
         self._injector = injector
         #: Bit flips the most recent read returned (ECC input for the FTL).
         self.last_read_bitflips = 0
         self._pages: dict[int, bytes] = {}
         #: Next programmable page index per block (in-block program order).
         self._next_page: dict[int, int] = {}
+        #: PPNs holding data, per block — erase clears exactly these.
+        self._programmed_by_block: dict[int, set[int]] = {}
         self._erase_counts: dict[int, int] = {}
+        #: Deferred-booking depth; >0 while a pipelined command executes.
+        self._deferred = 0
+        self._deferred_end_us = 0.0
         self.metrics = MetricSet("nand")
-        # Pre-create so snapshots always include them.
-        self.metrics.counter("page_programs")
-        self.metrics.counter("page_reads")
-        self.metrics.counter("block_erases")
-        self.metrics.counter("bytes_programmed")
+        # Pre-create (and cache — these are the per-op hot path) so
+        # snapshots always include them.
+        self._c_page_programs = self.metrics.counter("page_programs")
+        self._c_page_reads = self.metrics.counter("page_reads")
+        self._c_block_erases = self.metrics.counter("block_erases")
+        self._c_bytes_programmed = self.metrics.counter("bytes_programmed")
         if injector is not None:
-            self.metrics.counter("program_failures")
-            self.metrics.counter("erase_failures")
-            self.metrics.counter("read_bitflips")
+            self._c_program_failures = self.metrics.counter("program_failures")
+            self._c_erase_failures = self.metrics.counter("erase_failures")
+            self._c_read_bitflips = self.metrics.counter("read_bitflips")
+        # Per-way index of a PPN: ppn // pages_per_way.
+        self._pages_per_way = geometry.pages_per_block * geometry.blocks_per_way
+        # Timing constants resolved once (latency is immutable): the derived
+        # xfer properties compute a min() per access otherwise.
+        self._t_program_us = latency.nand_program_us
+        self._t_program_xfer_us = latency.nand_program_xfer_us
+        self._t_read_us = latency.nand_read_us
+        self._t_read_xfer_us = latency.nand_read_xfer_us
+        self._t_erase_us = latency.nand_erase_us
 
     @property
     def injector(self) -> FaultInjector | None:
@@ -73,22 +102,52 @@ class NandFlash:
     @property
     def page_programs(self) -> int:
         """NAND page write I/O count — the paper's core WAF metric."""
-        return self.metrics.counter("page_programs").value
+        return self._c_page_programs.value
 
     @property
     def page_reads(self) -> int:
-        return self.metrics.counter("page_reads").value
+        return self._c_page_reads.value
 
     @property
     def block_erases(self) -> int:
-        return self.metrics.counter("block_erases").value
+        return self._c_block_erases.value
 
     @property
     def bytes_programmed(self) -> int:
-        return self.metrics.counter("bytes_programmed").value
+        return self._c_bytes_programmed.value
 
     def erase_count(self, block_index: int) -> int:
         return self._erase_counts.get(block_index, 0)
+
+    # --- deferred booking (pipelined command execution) ---------------------
+
+    def begin_deferred(self) -> None:
+        """Start booking NAND time without advancing the clock.
+
+        Nested calls stack; :meth:`end_deferred` must match. While deferred,
+        each op still starts no earlier than its resources are free, but
+        the host clock stays put — the caller collects the horizon from
+        :meth:`end_deferred` and delivers it as the command's finish time.
+        """
+        if self._deferred == 0:
+            self._deferred_end_us = self.clock.now_us
+        self._deferred += 1
+
+    def end_deferred(self) -> float:
+        """Close a deferred window; returns the latest booked end time."""
+        if self._deferred <= 0:
+            raise NandError("end_deferred without begin_deferred")
+        self._deferred -= 1
+        return self._deferred_end_us
+
+    def _settle(self, end_us: float) -> None:
+        """Account one booked interval: jump the clock (sync) or widen the
+        deferred horizon (pipelined)."""
+        if self._deferred:
+            if end_us > self._deferred_end_us:
+                self._deferred_end_us = end_us
+        else:
+            self.clock.advance_to(end_us)
 
     # --- operations ----------------------------------------------------------
 
@@ -116,9 +175,16 @@ class NandFlash:
             fault = self._injector.program_fault(block)
             if fault is not None:
                 # The page is consumed (pointer advanced) but holds nothing:
-                # real NAND burns the page and reports failure after tPROG.
-                self.metrics.counter("program_failures").add(1)
-                self.clock.advance(self.latency.nand_program_us)
+                # real NAND burns the page and reports failure after tPROG,
+                # and the way is occupied for the full attempt.
+                self._c_program_failures.add(1)
+                _, end = self.timeline.book_program(
+                    ppn // self._pages_per_way,
+                    self.clock.now_us,
+                    self._t_program_us,
+                    self._t_program_xfer_us,
+                )
+                self._settle(end)
                 raise ProgramFailedError(
                     f"program of PPN {ppn} failed ({fault})",
                     ppn=ppn,
@@ -128,9 +194,19 @@ class NandFlash:
         if len(data) < geo.page_size:
             data = data + b"\x00" * (geo.page_size - len(data))
         self._pages[ppn] = bytes(data)
-        self.metrics.counter("page_programs").add(1)
-        self.metrics.counter("bytes_programmed").add(geo.page_size)
-        self.clock.advance(self.latency.nand_program_us)
+        programmed = self._programmed_by_block.get(block)
+        if programmed is None:
+            programmed = self._programmed_by_block[block] = set()
+        programmed.add(ppn)
+        self._c_page_programs.add(1)
+        self._c_bytes_programmed.add(geo.page_size)
+        _, end = self.timeline.book_program(
+            ppn // self._pages_per_way,
+            self.clock.now_us,
+            self._t_program_us,
+            self._t_program_xfer_us,
+        )
+        self._settle(end)
 
     def read(self, ppn: int) -> bytes:
         """Read one programmed page (full page size).
@@ -153,9 +229,18 @@ class NandFlash:
             flips = self._injector.read_bitflips(block, self.erase_count(block))
             self.last_read_bitflips = flips
             if flips:
-                self.metrics.counter("read_bitflips").add(flips)
-        self.metrics.counter("page_reads").add(1)
-        self.clock.advance(self.latency.nand_read_us)
+                self._c_read_bitflips.add(flips)
+        self._c_page_reads.add(1)
+        _, end = self.timeline.book_read(
+            ppn // self._pages_per_way,
+            self.clock.now_us,
+            self._t_read_us,
+            self._t_read_xfer_us,
+        )
+        # Reads stay synchronous even inside a deferred window: the caller
+        # consumes the returned bytes immediately, so the firmware genuinely
+        # waits for them (and for the way, if a deferred program holds it).
+        self.clock.advance_to(end)
         return data
 
     def is_programmed(self, ppn: int) -> bool:
@@ -166,19 +251,29 @@ class NandFlash:
         geo = self.geometry
         if not 0 <= block_index < geo.total_blocks:
             raise NandError(f"erase of block {block_index} outside module")
+        way = block_index // geo.blocks_per_way
         if self._injector is not None and self._injector.erase_fault(block_index):
-            self.metrics.counter("erase_failures").add(1)
-            self.clock.advance(self.latency.nand_erase_us)
+            # A failed erase still holds the die for the full tBERS.
+            self._c_erase_failures.add(1)
+            _, end = self.timeline.book_erase(
+                way, self.clock.now_us, self._t_erase_us
+            )
+            self._settle(end)
             raise EraseFailedError(
                 f"erase of block {block_index} failed", block=block_index
             )
-        first = geo.first_ppn_of_block(block_index)
-        for ppn in range(first, first + geo.pages_per_block):
-            self._pages.pop(ppn, None)
+        programmed = self._programmed_by_block.pop(block_index, None)
+        if programmed:
+            pages = self._pages
+            for ppn in programmed:
+                del pages[ppn]
         self._next_page[block_index] = 0
         self._erase_counts[block_index] = self._erase_counts.get(block_index, 0) + 1
-        self.metrics.counter("block_erases").add(1)
-        self.clock.advance(self.latency.nand_erase_us)
+        self._c_block_erases.add(1)
+        _, end = self.timeline.book_erase(
+            way, self.clock.now_us, self._t_erase_us
+        )
+        self._settle(end)
 
     def pages_programmed_in_block(self, block_index: int) -> int:
         return self._next_page.get(block_index, 0)

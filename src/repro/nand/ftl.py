@@ -100,8 +100,9 @@ class PageMappedFTL:
         self._cache_hit_us = 0.0
         self._injector = flash.injector
         self.metrics = MetricSet("ftl")
-        self.metrics.counter("logical_writes")
-        self.metrics.counter("relocations")
+        # Hot-path counters cached as attributes; snapshot() stays string-keyed.
+        self._c_logical_writes = self.metrics.counter("logical_writes")
+        self._c_relocations = self.metrics.counter("relocations")
         if self._injector is not None:
             self.metrics.counter("program_retries")
             self.metrics.counter("bad_blocks_retired")
@@ -167,7 +168,7 @@ class PageMappedFTL:
         self._reverse[ppn] = lpn
         block = self.flash.geometry.block_of(ppn)
         self._valid_per_block[block] = self._valid_per_block.get(block, 0) + 1
-        self.metrics.counter("logical_writes").add(1)
+        self._c_logical_writes.add(1)
         if self._cache is not None:
             self._cache.invalidate(lpn)
         return ppn
@@ -339,7 +340,7 @@ class PageMappedFTL:
             data, _ = self._read_page_ecc(ppn)
             new_ppn = self._program_page(data)
             self._remap(lpn, ppn, new_ppn)
-            self.metrics.counter("relocations").add(1)
+            self._c_relocations.add(1)
 
     def _maybe_collect(self) -> None:
         if self._gc is None or self._in_gc:
@@ -425,7 +426,7 @@ class PageMappedFTL:
             new_ppn = self._program_page(data)
             self._remap(lpn, ppn, new_ppn)
             moved += 1
-            self.metrics.counter("relocations").add(1)
+            self._c_relocations.add(1)
         try:
             self.flash.erase_block(block_index)
         except EraseFailedError:

@@ -110,9 +110,22 @@ class NandGeometry:
 
 
 #: Table 1 shape at simulation-friendly capacity (default: 8 GiB module).
-def default_geometry(capacity_bytes: int = 8 * GIB) -> NandGeometry:
-    """Geometry with the paper's channel/way/page shape at a given capacity."""
-    base = NandGeometry()
+def default_geometry(
+    capacity_bytes: int = 8 * GIB,
+    channels: int | None = None,
+    ways_per_channel: int | None = None,
+) -> NandGeometry:
+    """Geometry with the paper's page/block shape at a given capacity.
+
+    ``channels``/``ways_per_channel`` default to the paper's 4 x 8; pass
+    other counts (e.g. from ``BandSlimConfig.nand_channels``/``nand_ways``)
+    to study parallelism scaling. Capacity is preserved: fewer ways get
+    proportionally more blocks each.
+    """
+    base = NandGeometry(
+        channels=channels if channels is not None else 4,
+        ways_per_channel=ways_per_channel if ways_per_channel is not None else 8,
+    )
     per_way_bytes = capacity_bytes // base.total_ways
     blocks_per_way = max(1, per_way_bytes // base.block_size)
     return NandGeometry(

@@ -150,23 +150,28 @@ class NVMeCommand:
 
     @property
     def key(self) -> bytes:
-        size = self.key_size
-        low = self.get_bytes(8, min(size, 8))
-        high = self.get_bytes(56, max(0, size - 8))
-        return low + high
+        raw = self.raw
+        size = raw[44]
+        if size <= 8:
+            return bytes(raw[8 : 8 + size])
+        return bytes(raw[8:16]) + bytes(raw[56 : 48 + size])
 
     @key.setter
     def key(self, value: bytes) -> None:
-        if not 0 < len(value) <= MAX_KEY_BYTES:
+        size = len(value)
+        if not 0 < size <= MAX_KEY_BYTES:
             raise CommandFieldError(
-                f"key must be 1..{MAX_KEY_BYTES} bytes, got {len(value)}"
+                f"key must be 1..{MAX_KEY_BYTES} bytes, got {size}"
             )
-        self.set_bytes(8, b"\x00" * 8)
-        self.set_bytes(56, b"\x00" * 8)
-        self.set_bytes(8, value[:8])
-        if len(value) > 8:
-            self.set_bytes(56, value[8:])
-        self.key_size = len(value)
+        raw = self.raw
+        raw[8:16] = b"\x00\x00\x00\x00\x00\x00\x00\x00"
+        raw[56:64] = b"\x00\x00\x00\x00\x00\x00\x00\x00"
+        if size <= 8:
+            raw[8 : 8 + size] = value
+        else:
+            raw[8:16] = value[:8]
+            raw[56 : 48 + size] = value[8:]
+        raw[44] = size
 
     # --- value size (dword 10) ---------------------------------------------------
 
@@ -205,6 +210,22 @@ class NVMeCommand:
         except CommandFieldError:
             op = f"{self.raw[0]:#x}"
         return f"NVMeCommand(opcode={op}, cid={self.cid})"
+
+
+def new_kv_command(opcode: int, cid: int, nsid: int, value_size: int) -> NVMeCommand:
+    """Builder fast path: dword 0/1 and valueSize in two packed writes.
+
+    Equivalent to setting ``opcode``/``cid``/``nsid``/``value_size`` through
+    the typed accessors (flags start at 0), minus four property dispatches —
+    every command the driver emits starts here.
+    """
+    if not 0 <= cid < 2**16:
+        raise CommandFieldError(f"commandID {cid} out of range")
+    cmd = NVMeCommand()
+    raw = cmd.raw
+    struct.pack_into("<BxHI", raw, 0, opcode, cid, nsid)
+    struct.pack_into("<I", raw, 40, value_size)
+    return cmd
 
 
 def write_piggyback_capacity() -> int:

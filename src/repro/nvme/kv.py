@@ -7,11 +7,13 @@ layout mistake cannot hide behind out-of-band state.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.errors import CommandFieldError, NVMeError
 from repro.nvme.command import (
     NVMeCommand,
+    new_kv_command,
     pack_transfer_piggyback,
     pack_write_piggyback,
     transfer_piggyback_capacity,
@@ -25,6 +27,17 @@ from repro.nvme.prp import PRPDescriptor
 #: Public names for the two capacities (paper §3.2: 35 and 56 bytes).
 WRITE_PIGGYBACK_CAPACITY = write_piggyback_capacity()
 TRANSFER_PIGGYBACK_CAPACITY = transfer_piggyback_capacity()
+
+# Parse-path constants: the parsers run once per command on the controller's
+# hot path, so they test the raw opcode/flag bytes against plain ints instead
+# of constructing enum members per call.
+_OP_STORE = int(KVOpcode.KV_STORE)
+_OP_RETRIEVE = int(KVOpcode.KV_RETRIEVE)
+_OP_WRITE = int(KVOpcode.BANDSLIM_WRITE)
+_OP_TRANSFER = int(KVOpcode.BANDSLIM_TRANSFER)
+_F_PIGGYBACK = int(CommandFlags.PIGGYBACK)
+_F_FINAL = int(CommandFlags.FINAL)
+_F_HYBRID = int(CommandFlags.HYBRID)
 
 
 # --------------------------------------------------------------------------
@@ -41,14 +54,9 @@ def build_store_command(
     """Baseline KV_STORE: value travels entirely via PRP page-unit DMA."""
     if value_size <= 0:
         raise NVMeError(f"store of non-positive value size {value_size}")
-    cmd = NVMeCommand()
-    cmd.opcode = KVOpcode.KV_STORE
-    cmd.cid = cid
-    cmd.nsid = nsid
+    cmd = new_kv_command(_OP_STORE, cid, nsid, value_size)
     cmd.key = key
-    cmd.value_size = value_size
-    cmd.prp1 = prp.prp1
-    cmd.prp2 = prp.prp2
+    struct.pack_into("<QQ", cmd.raw, 24, prp.prp1, prp.prp2)
     return cmd
 
 
@@ -62,14 +70,9 @@ def build_retrieve_command(
     """KV_RETRIEVE: device DMAs the value into the described host pages."""
     if buffer_size <= 0:
         raise NVMeError(f"retrieve with non-positive buffer size {buffer_size}")
-    cmd = NVMeCommand()
-    cmd.opcode = KVOpcode.KV_RETRIEVE
-    cmd.cid = cid
-    cmd.nsid = nsid
+    cmd = new_kv_command(_OP_RETRIEVE, cid, nsid, buffer_size)
     cmd.key = key
-    cmd.value_size = buffer_size
-    cmd.prp1 = prp.prp1
-    cmd.prp2 = prp.prp2
+    struct.pack_into("<QQ", cmd.raw, 24, prp.prp1, prp.prp2)
     return cmd
 
 
@@ -100,23 +103,18 @@ def build_write_command(
             f"inline fragment {len(inline)} exceeds write capacity "
             f"{WRITE_PIGGYBACK_CAPACITY}"
         )
-    cmd = NVMeCommand()
-    cmd.opcode = KVOpcode.BANDSLIM_WRITE
-    cmd.cid = cid
-    cmd.nsid = nsid
+    cmd = new_kv_command(_OP_WRITE, cid, nsid, value_size)
     cmd.key = key
-    cmd.value_size = value_size
-    flags = CommandFlags.NONE
+    flags = 0
     if inline:
-        flags |= CommandFlags.PIGGYBACK
+        flags |= _F_PIGGYBACK
         pack_write_piggyback(cmd, inline)
     if prp is not None:
-        flags |= CommandFlags.HYBRID
-        cmd.prp1 = prp.prp1
-        cmd.prp2 = prp.prp2
+        flags |= _F_HYBRID
+        struct.pack_into("<QQ", cmd.raw, 24, prp.prp1, prp.prp2)
     if final:
-        flags |= CommandFlags.FINAL
-    cmd.flags = flags
+        flags |= _F_FINAL
+    cmd.raw[1] = flags
     return cmd
 
 
@@ -134,14 +132,8 @@ def build_transfer_command(
             f"fragment {len(fragment)} exceeds transfer capacity "
             f"{TRANSFER_PIGGYBACK_CAPACITY}"
         )
-    cmd = NVMeCommand()
-    cmd.opcode = KVOpcode.BANDSLIM_TRANSFER
-    cmd.cid = cid
-    cmd.nsid = nsid
-    flags = CommandFlags.PIGGYBACK
-    if final:
-        flags |= CommandFlags.FINAL
-    cmd.flags = flags
+    cmd = new_kv_command(_OP_TRANSFER, cid, nsid, 0)
+    cmd.raw[1] = _F_PIGGYBACK | _F_FINAL if final else _F_PIGGYBACK
     return_fragment_length_check(fragment)
     pack_transfer_piggyback(cmd, fragment)
     return cmd
@@ -192,7 +184,7 @@ def build_list_command(
 # Parsers (controller side)
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedStore:
     cid: int
     key: bytes
@@ -201,7 +193,7 @@ class ParsedStore:
     prp2: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedWrite:
     cid: int
     key: bytes
@@ -226,7 +218,7 @@ class ParsedWrite:
         return max(0, self.value_size - already)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedTransfer:
     cid: int
     final: bool
@@ -235,7 +227,7 @@ class ParsedTransfer:
     area: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedRetrieve:
     cid: int
     key: bytes
@@ -245,7 +237,7 @@ class ParsedRetrieve:
 
 
 def parse_store_command(cmd: NVMeCommand) -> ParsedStore:
-    if cmd.opcode is not KVOpcode.KV_STORE:
+    if cmd.raw[0] != _OP_STORE:
         raise NVMeError(f"not a KV_STORE command: {cmd.opcode.name}")
     return ParsedStore(
         cid=cmd.cid,
@@ -257,12 +249,12 @@ def parse_store_command(cmd: NVMeCommand) -> ParsedStore:
 
 
 def parse_write_command(cmd: NVMeCommand) -> ParsedWrite:
-    if cmd.opcode is not KVOpcode.BANDSLIM_WRITE:
+    if cmd.raw[0] != _OP_WRITE:
         raise NVMeError(f"not a BANDSLIM_WRITE command: {cmd.opcode.name}")
-    flags = cmd.flags
-    hybrid = bool(flags & CommandFlags.HYBRID)
+    flags = cmd.raw[1]
+    hybrid = bool(flags & _F_HYBRID)
     inline = b""
-    if flags & CommandFlags.PIGGYBACK:
+    if flags & _F_PIGGYBACK:
         if hybrid:
             raise NVMeError("write command flags claim both piggyback and hybrid")
         inline = unpack_write_piggyback(
@@ -274,24 +266,24 @@ def parse_write_command(cmd: NVMeCommand) -> ParsedWrite:
         value_size=cmd.value_size,
         inline=inline,
         hybrid=hybrid,
-        final=bool(flags & CommandFlags.FINAL),
+        final=bool(flags & _F_FINAL),
         prp1=cmd.prp1 if hybrid else 0,
         prp2=cmd.prp2 if hybrid else 0,
     )
 
 
 def parse_transfer_command(cmd: NVMeCommand) -> ParsedTransfer:
-    if cmd.opcode is not KVOpcode.BANDSLIM_TRANSFER:
+    if cmd.raw[0] != _OP_TRANSFER:
         raise NVMeError(f"not a BANDSLIM_TRANSFER command: {cmd.opcode.name}")
     return ParsedTransfer(
         cid=cmd.cid,
-        final=bool(cmd.flags & CommandFlags.FINAL),
+        final=bool(cmd.raw[1] & _F_FINAL),
         area=unpack_transfer_piggyback(cmd, TRANSFER_PIGGYBACK_CAPACITY),
     )
 
 
 def parse_retrieve_command(cmd: NVMeCommand) -> ParsedRetrieve:
-    if cmd.opcode is not KVOpcode.KV_RETRIEVE:
+    if cmd.raw[0] != _OP_RETRIEVE:
         raise NVMeError(f"not a KV_RETRIEVE command: {cmd.opcode.name}")
     return ParsedRetrieve(
         cid=cmd.cid,

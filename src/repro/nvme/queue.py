@@ -2,12 +2,17 @@
 
 The paper's testbed submits through the NVMe passthrough, which keeps a
 single command in flight (§4.2) — but the queues themselves are real ring
-buffers with head/tail doorbells, so deeper-queue experiments (ablations)
-work without touching the driver.
+buffers with head/tail doorbells, so deeper-queue experiments work without
+touching the driver. For queue depths above 1 the pipelined driver parks
+each command's completion on a :class:`CompletionScheduler` keyed by its
+finish time on the NAND timeline, and reaps completions in *finish* order
+rather than submission order — commands whose NAND work lands on distinct
+ways complete out of order exactly as on multi-queue hardware.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from repro.errors import NVMeError, QueueFullError
@@ -15,7 +20,7 @@ from repro.nvme.command import NVMeCommand
 from repro.nvme.opcodes import StatusCode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NVMeCompletion:
     """A completion queue entry (the fields the simulation consumes)."""
 
@@ -27,6 +32,47 @@ class NVMeCompletion:
     @property
     def ok(self) -> bool:
         return self.status is StatusCode.SUCCESS
+
+
+class CompletionScheduler:
+    """Orders in-flight completions by virtual finish time.
+
+    The controller's deferred mode hands back ``(cqe, finish_us)`` pairs
+    without posting them; the driver parks them here and delivers the
+    earliest-finishing one whenever its in-flight window is full (or when
+    draining). Ties break by schedule order, matching hardware arbitration
+    of same-cycle completions.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, NVMeCompletion]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._heap)
+
+    @property
+    def earliest_finish_us(self) -> float:
+        if not self._heap:
+            raise NVMeError("no in-flight completions")
+        return self._heap[0][0]
+
+    def schedule(self, cqe: NVMeCompletion, finish_us: float) -> None:
+        heapq.heappush(self._heap, (finish_us, self._seq, cqe))
+        self._seq += 1
+
+    def pop_earliest(self) -> tuple[NVMeCompletion, float]:
+        """Remove and return the next-finishing (cqe, finish_us)."""
+        if not self._heap:
+            raise NVMeError("no in-flight completions")
+        finish_us, _, cqe = heapq.heappop(self._heap)
+        return cqe, finish_us
 
 
 class _Ring:
@@ -54,20 +100,22 @@ class _Ring:
         return self._count == self.depth
 
     def _push(self, item: object) -> int:
-        if self.is_full:
+        # Direct count checks: these two run twice per command.
+        if self._count == self.depth:
             raise QueueFullError(f"queue full at depth {self.depth}")
         slot = self._tail
         self._slots[slot] = item
-        self._tail = (self._tail + 1) % self.depth
+        self._tail = (slot + 1) % self.depth
         self._count += 1
         return slot
 
     def _pop(self) -> object:
-        if self.is_empty:
+        if self._count == 0:
             raise NVMeError("pop from empty queue")
-        item = self._slots[self._head]
-        self._slots[self._head] = None
-        self._head = (self._head + 1) % self.depth
+        head = self._head
+        item = self._slots[head]
+        self._slots[head] = None
+        self._head = (head + 1) % self.depth
         self._count -= 1
         return item
 
@@ -94,9 +142,7 @@ class SubmissionQueue(_Ring):
 
     def fetch(self) -> NVMeCommand:
         """Controller fetches the oldest pending command."""
-        cmd = self._pop()
-        assert isinstance(cmd, NVMeCommand)
-        return cmd
+        return self._pop()  # type: ignore[return-value]  # submit() types it
 
 
 class CompletionQueue(_Ring):
@@ -110,6 +156,4 @@ class CompletionQueue(_Ring):
         return self._push(completion)
 
     def reap(self) -> NVMeCompletion:
-        cqe = self._pop()
-        assert isinstance(cqe, NVMeCompletion)
-        return cqe
+        return self._pop()  # type: ignore[return-value]  # post() types it

@@ -62,6 +62,18 @@ class PCIeLink:
         self.config = config or PCIeLinkConfig()
         self.meter = TrafficMeter()
         self._injector = injector
+        # Per-command fast path: fixed byte sizes and fixed latencies, so
+        # resolve the counter pairs and latency sums once.
+        self._db_bytes, self._db_txns = self.meter.channel(TrafficCategory.DOORBELL)
+        self._sq_bytes, self._sq_txns = self.meter.channel(TrafficCategory.SQ_ENTRY)
+        self._cq_bytes, self._cq_txns = self.meter.channel(TrafficCategory.CQ_ENTRY)
+        self._h2d_bytes, self._h2d_txns = self.meter.channel(TrafficCategory.DMA_H2D)
+        self._d2h_bytes, self._d2h_txns = self.meter.channel(TrafficCategory.DMA_D2H)
+        self._doorbell_size = self.config.doorbell_bytes
+        self._submit_us = latency.mmio_doorbell_us + latency.sq_fetch_us
+        self._complete_us = latency.completion_us
+        self._dma_setup_us = latency.dma_setup_us
+        self._dma_per_byte_us = latency.dma_per_byte_us
 
     # --- command plumbing -------------------------------------------------
 
@@ -69,16 +81,23 @@ class PCIeLink:
         """Host rings the SQ doorbell; device fetches the 64 B SQE.
 
         Charged: doorbell MMIO store + SQE fetch over the link.
+        Counter increments are inlined (amounts are fixed non-negative
+        constants, so ``Counter.add``'s guard buys nothing): this pair of
+        methods runs twice per command and dominates protocol accounting.
         """
-        self.meter.record(TrafficCategory.DOORBELL, self.config.doorbell_bytes)
-        self.meter.record(TrafficCategory.SQ_ENTRY, NVME_COMMAND_SIZE)
-        self.clock.advance(self.latency.mmio_doorbell_us + self.latency.sq_fetch_us)
+        self._db_bytes._value += self._doorbell_size
+        self._db_txns._value += 1
+        self._sq_bytes._value += NVME_COMMAND_SIZE
+        self._sq_txns._value += 1
+        self.clock.advance(self._submit_us)
 
     def complete_command(self) -> None:
         """Device posts the 16 B CQE; host rings the CQ head doorbell."""
-        self.meter.record(TrafficCategory.CQ_ENTRY, NVME_COMPLETION_SIZE)
-        self.meter.record(TrafficCategory.DOORBELL, self.config.doorbell_bytes)
-        self.clock.advance(self.latency.completion_us)
+        self._cq_bytes._value += NVME_COMPLETION_SIZE
+        self._cq_txns._value += 1
+        self._db_bytes._value += self._doorbell_size
+        self._db_txns._value += 1
+        self.clock.advance(self._complete_us)
 
     def submit_commands(self, count: int) -> None:
         """Batched submission: one doorbell ring covers ``count`` SQEs.
@@ -119,8 +138,9 @@ class PCIeLink:
             raise ValueError(f"wire_bytes must be non-negative, got {wire_bytes}")
         if wire_bytes == 0:
             return
-        self.meter.record(TrafficCategory.DMA_H2D, wire_bytes)
-        self.clock.advance(self.latency.dma_us(wire_bytes))
+        self._h2d_bytes._value += wire_bytes
+        self._h2d_txns._value += 1
+        self.clock.advance(self._dma_setup_us + wire_bytes * self._dma_per_byte_us)
         self._maybe_transfer_fault(wire_bytes, "host-to-device")
 
     def dma_device_to_host(self, wire_bytes: int) -> None:
@@ -129,8 +149,9 @@ class PCIeLink:
             raise ValueError(f"wire_bytes must be non-negative, got {wire_bytes}")
         if wire_bytes == 0:
             return
-        self.meter.record(TrafficCategory.DMA_D2H, wire_bytes)
-        self.clock.advance(self.latency.dma_us(wire_bytes))
+        self._d2h_bytes._value += wire_bytes
+        self._d2h_txns._value += 1
+        self.clock.advance(self._dma_setup_us + wire_bytes * self._dma_per_byte_us)
         self._maybe_transfer_fault(wire_bytes, "device-to-host")
 
     def _maybe_transfer_fault(self, wire_bytes: int, direction: str) -> None:

@@ -50,24 +50,41 @@ class TrafficCategory(enum.Enum):
 class TrafficMeter:
     """Byte and transaction tallies per :class:`TrafficCategory`."""
 
+    __slots__ = ("_metrics", "_channels")
+
     def __init__(self) -> None:
         self._metrics = MetricSet("pcie")
-        for cat in TrafficCategory:
-            self._metrics.counter(f"{cat.value}.bytes")
-            self._metrics.counter(f"{cat.value}.transactions")
+        # record() sits on the per-command fast path; resolve each category's
+        # counter pair once here instead of two dict lookups per transaction.
+        self._channels = {
+            cat: (
+                self._metrics.counter(f"{cat.value}.bytes"),
+                self._metrics.counter(f"{cat.value}.transactions"),
+            )
+            for cat in TrafficCategory
+        }
 
     def record(self, category: TrafficCategory, nbytes: int) -> None:
         """Account one link transaction of ``nbytes`` payload bytes."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-        self._metrics.counter(f"{category.value}.bytes").add(nbytes)
-        self._metrics.counter(f"{category.value}.transactions").add(1)
+        bytes_counter, txn_counter = self._channels[category]
+        bytes_counter.add(nbytes)
+        txn_counter.add(1)
+
+    def channel(self, category: TrafficCategory):
+        """The (bytes, transactions) counter pair for one category.
+
+        Heavy callers (the link's per-command methods) hold these directly
+        instead of paying the category lookup on every transaction.
+        """
+        return self._channels[category]
 
     def bytes_for(self, category: TrafficCategory) -> int:
-        return self._metrics.counter(f"{category.value}.bytes").value
+        return self._channels[category][0].value
 
     def transactions_for(self, category: TrafficCategory) -> int:
-        return self._metrics.counter(f"{category.value}.transactions").value
+        return self._channels[category][1].value
 
     @property
     def total_bytes(self) -> int:

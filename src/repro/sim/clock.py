@@ -1,10 +1,16 @@
 """Simulated wall clock.
 
-The whole device model is *event-sequential*: one NVMe passthrough command is
-in flight at a time (the paper's testbed serializes commands the same way,
-§4.2), so a single monotonically advancing clock is sufficient — no event
-queue is needed. Components charge time to the clock as they consume it;
-request latency is measured as the clock delta across a request.
+At queue depth 1 the device model is *event-sequential*: one NVMe
+passthrough command is in flight at a time (the paper's testbed serializes
+commands the same way, §4.2) and components charge time to the clock as
+they consume it; request latency is the clock delta across a request.
+
+With queue depth > 1 the pipelined driver keeps several commands in
+flight: NAND operations are booked on the per-channel/per-way
+:class:`~repro.sim.timeline.NandTimeline` and completions are reaped in
+finish order, with :meth:`SimClock.advance_to` jumping the host clock to
+each completion's finish time. The clock stays the single source of
+"now"; the timeline only tracks when shared NAND resources become free.
 """
 
 from __future__ import annotations
@@ -44,6 +50,16 @@ class SimClock:
         if delta_us < 0:
             raise ValueError(f"cannot advance clock by {delta_us} us")
         self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> float:
+        """Advance the clock to absolute time ``t_us``; never rewinds.
+
+        A target in the past is a no-op (a completion whose finish time the
+        clock already passed is simply reaped "late"). Returns the new now.
+        """
+        if t_us > self._now_us:
+            self._now_us = t_us
         return self._now_us
 
     def reset(self, start_us: float = 0.0) -> None:

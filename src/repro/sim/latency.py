@@ -59,6 +59,12 @@ class LatencyModel:
     nand_read_us: float = 80.0
     #: Erase one NAND block.
     nand_erase_us: float = 3000.0
+    #: Flash-channel data transfer slice of a page program/read (16 KiB at
+    #: ~650 MB/s ONFI ≈ 25 µs). Only the timeline's channel-contention model
+    #: uses the split; the op's *total* duration stays nand_program_us /
+    #: nand_read_us, so QD=1 timing is unchanged. Clamped to the total when
+    #: an override makes the total smaller.
+    nand_xfer_us: float = 25.0
 
     # --- In-device CPU ------------------------------------------------------
     #: memcpy on the firmware core (≈100 MB/s byte-copy on a Cortex-A9).
@@ -91,6 +97,16 @@ class LatencyModel:
             + self.cmd_process_us
             + self.completion_us
         )
+
+    @property
+    def nand_program_xfer_us(self) -> float:
+        """Channel-bus slice of one page program (clamped to the total)."""
+        return min(self.nand_xfer_us, self.nand_program_us)
+
+    @property
+    def nand_read_xfer_us(self) -> float:
+        """Channel-bus slice of one page read (clamped to the total)."""
+        return min(self.nand_xfer_us, self.nand_read_us)
 
     def dma_us(self, nbytes: int) -> float:
         """Page-unit DMA of ``nbytes`` wire bytes (already page-padded)."""

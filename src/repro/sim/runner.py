@@ -109,12 +109,13 @@ def run_workload(
 
     start_us = device.clock.now_us
     start_programs = device.flash.page_programs
+    get_max_size = workload.max_value_bytes
     for request in workload.requests():
         if request.kind is RequestKind.PUT:
             assert request.value is not None
             driver.put(request.key, request.value)
         elif request.kind is RequestKind.GET:
-            driver.get(request.key, max_size=workload.max_value_bytes)
+            driver.get(request.key, max_size=get_max_size)
         elif request.kind is RequestKind.DELETE:
             driver.delete(request.key)
         else:

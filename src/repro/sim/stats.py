@@ -10,6 +10,7 @@ opt into sample retention.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
 
@@ -172,14 +173,9 @@ class Histogram:
 
     def record(self, value: float) -> None:
         self._n += 1
-        lo, hi = 0, len(self._edges)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._edges[mid] >= value:
-                hi = mid
-            else:
-                lo = mid + 1
-        self._counts[lo] += 1
+        # bisect_left finds the first edge >= value (overflow bucket when
+        # value exceeds every edge) — same search, C implementation.
+        self._counts[bisect_left(self._edges, value)] += 1
 
     @property
     def count(self) -> int:

@@ -1,0 +1,142 @@
+"""Per-channel / per-way NAND resource timeline (virtual-time scheduler).
+
+The paper's Cosmos+ platform is a 4-channel × 8-way module (Table 1): real
+firmware overlaps page programs on distinct ways while each channel's bus
+serializes data transfers and each way's cell array serializes its own
+program/read/erase. This module models exactly that — no event queue, just
+a ``busy_until_us`` timestamp per channel and per way, in the style of
+SimpleSSD's and Amber's resource-level parallelism (PAPERS.md): an
+operation issued at time *t* starts when its resources are free
+(``max(t, channel_busy, way_busy)``) and pushes their busy horizon to its
+end.
+
+Booking is separate from clock advancement on purpose. In synchronous
+(queue-depth-1) mode the caller advances :class:`~repro.sim.clock.SimClock`
+to the booked end, which degenerates to exactly the seed's serial
+``clock.advance(duration)`` — the QD=1 equivalence guarantee
+(docs/parallel-timing.md). In deferred mode (pipelined driver, QD>1) the
+clock stays put and only the booked end times flow back as completion
+finish times, so programs to distinct ways overlap in virtual time.
+
+Timing split per operation kind (see docs/parallel-timing.md):
+
+* **program** — channel transfer first (bus busy), then cell program; the
+  way is busy for the whole interval (transfer + tPROG).
+* **read** — cell sense first (way busy), then channel transfer; the way is
+  busy for the whole interval.
+* **erase** — way only; erase moves no data over the channel bus.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NandError
+from repro.nand.geometry import NandGeometry
+
+
+class NandTimeline:
+    """Busy-until bookkeeping for one NAND module's channels and ways."""
+
+    __slots__ = (
+        "geometry",
+        "channel_busy_until_us",
+        "way_busy_until_us",
+        "way_busy_total_us",
+        "_ways_per_channel",
+    )
+
+    def __init__(self, geometry: NandGeometry) -> None:
+        self.geometry = geometry
+        #: Absolute time each channel bus becomes free.
+        self.channel_busy_until_us = [0.0] * geometry.channels
+        #: Absolute time each way (die) becomes free.
+        self.way_busy_until_us = [0.0] * geometry.total_ways
+        #: Cumulative busy time per way (utilization accounting).
+        self.way_busy_total_us = [0.0] * geometry.total_ways
+        self._ways_per_channel = geometry.ways_per_channel
+
+    # --- queries ------------------------------------------------------------
+
+    def way_of_ppn(self, ppn: int) -> int:
+        geo = self.geometry
+        return ppn // (geo.pages_per_block * geo.blocks_per_way)
+
+    def way_of_block(self, block_index: int) -> int:
+        return block_index // self.geometry.blocks_per_way
+
+    @property
+    def frontier_us(self) -> float:
+        """Latest busy horizon across every way (module drain time)."""
+        return max(self.way_busy_until_us)
+
+    def way_utilization(self, elapsed_us: float) -> list[float]:
+        """Fraction of ``elapsed_us`` each way spent busy."""
+        if elapsed_us <= 0:
+            return [0.0] * len(self.way_busy_total_us)
+        return [busy / elapsed_us for busy in self.way_busy_total_us]
+
+    # --- booking ------------------------------------------------------------
+
+    def book_program(
+        self, way: int, issue_us: float, total_us: float, xfer_us: float
+    ) -> tuple[float, float]:
+        """Book one page program issued at ``issue_us``; returns (start, end).
+
+        The channel bus is held for the leading ``xfer_us`` (data shipped to
+        the plane register), the way for the whole ``total_us``.
+        """
+        channel = way // self._ways_per_channel
+        start = issue_us
+        way_free = self.way_busy_until_us[way]
+        if way_free > start:
+            start = way_free
+        ch_free = self.channel_busy_until_us[channel]
+        if ch_free > start:
+            start = ch_free
+        end = start + total_us
+        self.channel_busy_until_us[channel] = start + xfer_us
+        self.way_busy_until_us[way] = end
+        self.way_busy_total_us[way] += total_us
+        return start, end
+
+    def book_read(
+        self, way: int, issue_us: float, total_us: float, xfer_us: float
+    ) -> tuple[float, float]:
+        """Book one page read; sense on the way first, transfer out last."""
+        if xfer_us > total_us:
+            raise NandError(
+                f"read transfer {xfer_us}us exceeds total {total_us}us"
+            )
+        channel = way // self._ways_per_channel
+        start = issue_us
+        way_free = self.way_busy_until_us[way]
+        if way_free > start:
+            start = way_free
+        # Sense proceeds on the die; the data-out transfer then waits for a
+        # free bus slot, stretching the way's occupancy if the bus is busy.
+        xfer_start = start + (total_us - xfer_us)
+        ch_free = self.channel_busy_until_us[channel]
+        if ch_free > xfer_start:
+            xfer_start = ch_free
+        end = xfer_start + xfer_us
+        self.channel_busy_until_us[channel] = end
+        self.way_busy_until_us[way] = end
+        self.way_busy_total_us[way] += end - start
+        return start, end
+
+    def book_erase(self, way: int, issue_us: float, total_us: float) -> tuple[float, float]:
+        """Book one block erase; occupies the way only (no bus traffic)."""
+        start = issue_us
+        way_free = self.way_busy_until_us[way]
+        if way_free > start:
+            start = way_free
+        end = start + total_us
+        self.way_busy_until_us[way] = end
+        self.way_busy_total_us[way] += total_us
+        return start, end
+
+    def reset(self) -> None:
+        """Forget all bookings (bench repetitions)."""
+        geo = self.geometry
+        self.channel_busy_until_us = [0.0] * geo.channels
+        self.way_busy_until_us = [0.0] * geo.total_ways
+        self.way_busy_total_us = [0.0] * geo.total_ways

@@ -1,0 +1,93 @@
+"""Fault-path timing: failed programs/erases still occupy the way.
+
+Real NAND reports a program or erase failure only *after* the attempt, so
+the die is busy for the full tPROG/tBERS either way. The timeline must
+book failed operations exactly like successful ones — otherwise a fault-
+heavy workload would look faster than a clean one.
+"""
+
+import pytest
+
+from repro.errors import EraseFailedError, ProgramFailedError
+from repro.faults import FaultInjector, FaultPlan, FaultSite, ScriptedFault
+from repro.nand.flash import NandFlash
+from repro.nand.geometry import NandGeometry
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyModel
+from repro.units import KIB
+
+
+def two_way_geometry() -> NandGeometry:
+    return NandGeometry(
+        channels=1,
+        ways_per_channel=2,
+        blocks_per_way=4,
+        pages_per_block=8,
+        page_size=4 * KIB,
+    )
+
+
+def make_flash(*scripted) -> NandFlash:
+    plan = FaultPlan(scripted=tuple(scripted))
+    return NandFlash(
+        two_way_geometry(), SimClock(), LatencyModel(), injector=FaultInjector(plan)
+    )
+
+
+class TestFailedProgramOccupancy:
+    def test_failed_program_books_full_tprog_on_the_way(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.PROGRAM, nth=1))
+        with pytest.raises(ProgramFailedError):
+            flash.program(0, b"doomed")
+        tprog = flash.latency.nand_program_us
+        assert flash.timeline.way_busy_until_us[0] == tprog
+        assert flash.timeline.way_busy_total_us[0] == tprog
+        assert flash.clock.now_us == tprog
+
+    def test_retry_after_failure_queues_behind_the_failed_attempt(self):
+        """The FTL's retry on a fresh page cannot start until the die has
+        finished reporting the failed attempt."""
+        flash = make_flash(ScriptedFault(site=FaultSite.PROGRAM, nth=1))
+        with pytest.raises(ProgramFailedError):
+            flash.program(0, b"doomed")
+        flash.program(1, b"retry")
+        tprog = flash.latency.nand_program_us
+        assert flash.timeline.way_busy_until_us[0] == 2 * tprog
+        assert flash.timeline.way_busy_total_us[0] == 2 * tprog
+
+    def test_failed_program_in_deferred_window_widens_the_horizon(self):
+        """Pipelined commands see failed NAND work in their finish time."""
+        flash = make_flash(ScriptedFault(site=FaultSite.PROGRAM, nth=1))
+        flash.begin_deferred()
+        with pytest.raises(ProgramFailedError):
+            flash.program(0, b"doomed")
+        horizon = flash.end_deferred()
+        assert horizon == flash.latency.nand_program_us
+        assert flash.clock.now_us == 0.0  # deferred: clock stayed put
+
+    def test_sibling_way_stays_free_during_failed_program(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.PROGRAM, nth=1))
+        with pytest.raises(ProgramFailedError):
+            flash.program(0, b"doomed")
+        assert flash.timeline.way_busy_until_us[1] == 0.0
+
+
+class TestFailedEraseOccupancy:
+    def test_failed_erase_books_full_tbers_on_the_way(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.ERASE, nth=1, block=0))
+        with pytest.raises(EraseFailedError):
+            flash.erase_block(0)
+        tbers = flash.latency.nand_erase_us
+        assert flash.timeline.way_busy_until_us[0] == tbers
+        assert flash.timeline.way_busy_total_us[0] == tbers
+        assert flash.clock.now_us == tbers
+        # Erase moves no data: the channel bus never saw the failure.
+        assert flash.timeline.channel_busy_until_us[0] == 0.0
+
+    def test_program_after_failed_erase_waits_for_the_die(self):
+        flash = make_flash(ScriptedFault(site=FaultSite.ERASE, nth=1, block=0))
+        with pytest.raises(EraseFailedError):
+            flash.erase_block(0)
+        flash.program(0, b"data")
+        expected = flash.latency.nand_erase_us + flash.latency.nand_program_us
+        assert flash.clock.now_us == expected

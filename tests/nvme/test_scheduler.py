@@ -1,0 +1,72 @@
+"""CompletionScheduler: finish-time ordering for the pipelined driver."""
+
+import pytest
+
+from repro.errors import NVMeError
+from repro.nvme.opcodes import StatusCode
+from repro.nvme.queue import CompletionScheduler, NVMeCompletion
+
+
+def cqe(cid: int, status: StatusCode = StatusCode.SUCCESS) -> NVMeCompletion:
+    return NVMeCompletion(cid=cid, status=status)
+
+
+class TestOrdering:
+    def test_pops_in_finish_order_not_schedule_order(self):
+        sched = CompletionScheduler()
+        sched.schedule(cqe(1), 300.0)
+        sched.schedule(cqe(2), 100.0)
+        sched.schedule(cqe(3), 200.0)
+        order = [sched.pop_earliest() for _ in range(3)]
+        assert [(c.cid, t) for c, t in order] == [
+            (2, 100.0),
+            (3, 200.0),
+            (1, 300.0),
+        ]
+
+    def test_equal_finish_times_break_by_schedule_order(self):
+        """Same-cycle completions arbitrate FIFO, like hardware."""
+        sched = CompletionScheduler()
+        for cid in (7, 8, 9):
+            sched.schedule(cqe(cid), 50.0)
+        assert [sched.pop_earliest()[0].cid for _ in range(3)] == [7, 8, 9]
+
+    def test_interleaved_schedule_and_pop(self):
+        sched = CompletionScheduler()
+        sched.schedule(cqe(1), 400.0)
+        sched.schedule(cqe(2), 100.0)
+        assert sched.pop_earliest()[0].cid == 2
+        sched.schedule(cqe(3), 200.0)  # arrives after a pop, finishes first
+        assert sched.pop_earliest()[0].cid == 3
+        assert sched.pop_earliest()[0].cid == 1
+
+    def test_status_rides_through_unchanged(self):
+        sched = CompletionScheduler()
+        sched.schedule(cqe(5, StatusCode.MEDIA_ERROR), 10.0)
+        popped, _ = sched.pop_earliest()
+        assert popped.status is StatusCode.MEDIA_ERROR
+
+
+class TestAccounting:
+    def test_outstanding_and_len_track_the_heap(self):
+        sched = CompletionScheduler()
+        assert sched.outstanding == 0 and len(sched) == 0
+        sched.schedule(cqe(1), 1.0)
+        sched.schedule(cqe(2), 2.0)
+        assert sched.outstanding == 2 and len(sched) == 2
+        sched.pop_earliest()
+        assert sched.outstanding == 1
+
+    def test_earliest_finish_us_peeks_without_popping(self):
+        sched = CompletionScheduler()
+        sched.schedule(cqe(1), 30.0)
+        sched.schedule(cqe(2), 20.0)
+        assert sched.earliest_finish_us == 20.0
+        assert sched.outstanding == 2
+
+    def test_empty_scheduler_raises_on_pop_and_peek(self):
+        sched = CompletionScheduler()
+        with pytest.raises(NVMeError):
+            sched.pop_earliest()
+        with pytest.raises(NVMeError):
+            sched.earliest_finish_us

@@ -1,0 +1,111 @@
+"""QD=1 / 1-channel / 1-way equivalence: byte-identical to the seed model.
+
+The parallel timing engine (docs/parallel-timing.md) promises that the
+degenerate configuration — one channel, one way, queue depth 1 — reproduces
+the pre-parallelism simulator *exactly*: every per-request latency, every
+PCIe byte, every NAND program count. ``tests/data/seed_golden_1x1.json``
+was captured from the seed tree by ``scripts/capture_seed_golden.py``;
+this test re-runs the same scenarios on the current tree and compares
+every recorded number for equality (no tolerances — the guarantee is
+"identical", not "close").
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "seed_golden_1x1.json"
+CAPTURE_PATH = REPO_ROOT / "scripts" / "capture_seed_golden.py"
+
+
+def _load_capture_module():
+    spec = importlib.util.spec_from_file_location("capture_seed_golden", CAPTURE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def capture():
+    return _load_capture_module()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def assert_run_identical(fresh: dict, frozen: dict) -> None:
+    """Every scalar, every latency, every snapshot entry: exactly equal."""
+    assert fresh.keys() == frozen.keys()
+    for key in frozen:
+        if key in ("latencies_us", "clock_marks_us"):
+            assert len(fresh[key]) == len(frozen[key])
+            for i, (got, want) in enumerate(zip(fresh[key], frozen[key])):
+                assert got == want, f"{key}[{i}]: {got} != {want}"
+        elif key == "snapshot":
+            assert fresh[key] == frozen[key], _snapshot_delta(
+                fresh[key], frozen[key]
+            )
+        else:
+            assert fresh[key] == frozen[key], f"{key}: {fresh[key]} != {frozen[key]}"
+
+
+def _snapshot_delta(fresh: dict, frozen: dict) -> str:
+    diffs = [
+        f"{name}: {fresh.get(name)} != {frozen.get(name)}"
+        for name in sorted(set(fresh) | set(frozen))
+        if fresh.get(name) != frozen.get(name)
+    ]
+    return "snapshot mismatch: " + "; ".join(diffs[:10])
+
+
+def test_golden_file_exists_and_covers_all_scenarios(golden):
+    assert set(golden) == {
+        "backfill_d",
+        "baseline_mixed",
+        "piggyback_d",
+        "gc_churn",
+        "flash_direct",
+    }
+
+
+def test_backfill_workload_d_identical(capture, golden):
+    from repro.units import MIB
+    from repro.workloads.workloads import workload_d
+
+    fresh = capture.drive("backfill", 256 * MIB, workload_d(200, seed=7))
+    assert_run_identical(fresh, golden["backfill_d"])
+
+
+def test_baseline_mixed_identical(capture, golden):
+    from repro.units import MIB
+    from repro.workloads.workloads import workload_mixed
+
+    fresh = capture.drive(
+        "baseline", 64 * MIB, workload_mixed(150, read_fraction=0.5, seed=3)
+    )
+    assert_run_identical(fresh, golden["baseline_mixed"])
+
+
+def test_piggyback_workload_d_identical(capture, golden):
+    from repro.units import MIB
+    from repro.workloads.workloads import workload_d
+
+    fresh = capture.drive("piggyback", 256 * MIB, workload_d(120, seed=11))
+    assert_run_identical(fresh, golden["piggyback_d"])
+
+
+def test_gc_churn_with_erases_identical(capture, golden):
+    from repro.units import MIB
+
+    fresh = capture.drive_gc_churn(16 * MIB, ops=380, keys=80)
+    assert_run_identical(fresh, golden["gc_churn"])
+
+
+def test_flash_direct_program_read_erase_identical(capture, golden):
+    fresh = capture.drive_flash_direct()
+    assert_run_identical(fresh, golden["flash_direct"])

@@ -1,0 +1,205 @@
+"""NandTimeline: busy-until booking rules and timing invariants.
+
+The timeline is the whole parallel-timing engine (docs/parallel-timing.md),
+so these tests pin down its contract precisely: where operations start when
+resources are free vs contended, which resource each op kind occupies, and
+the global invariants (monotone horizons, per-way busy time bounded by
+elapsed virtual time) that the pipelined driver relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NandError
+from repro.nand.geometry import NandGeometry
+from repro.sim.timeline import NandTimeline
+
+
+def small_geometry(channels: int = 2, ways: int = 2) -> NandGeometry:
+    return NandGeometry(
+        channels=channels,
+        ways_per_channel=ways,
+        blocks_per_way=4,
+        pages_per_block=8,
+        page_size=2048,
+    )
+
+
+class TestAddressing:
+    def test_way_of_ppn_walks_ways_in_ppn_order(self):
+        geo = small_geometry()
+        tl = NandTimeline(geo)
+        pages_per_way = geo.pages_per_block * geo.blocks_per_way
+        assert tl.way_of_ppn(0) == 0
+        assert tl.way_of_ppn(pages_per_way - 1) == 0
+        assert tl.way_of_ppn(pages_per_way) == 1
+        assert tl.way_of_ppn(geo.total_pages - 1) == geo.total_ways - 1
+
+    def test_way_of_block_matches_way_of_first_ppn(self):
+        geo = small_geometry()
+        tl = NandTimeline(geo)
+        for block in range(geo.total_blocks):
+            ppn = geo.first_ppn_of_block(block)
+            assert tl.way_of_block(block) == tl.way_of_ppn(ppn)
+
+
+class TestProgramBooking:
+    def test_idle_program_starts_at_issue_time(self):
+        tl = NandTimeline(small_geometry())
+        start, end = tl.book_program(0, issue_us=10.0, total_us=400.0, xfer_us=25.0)
+        assert (start, end) == (10.0, 410.0)
+        assert tl.way_busy_until_us[0] == 410.0
+        assert tl.channel_busy_until_us[0] == 35.0  # bus held for xfer only
+
+    def test_same_way_serializes(self):
+        tl = NandTimeline(small_geometry())
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        start, end = tl.book_program(0, 0.0, 400.0, 25.0)
+        assert (start, end) == (400.0, 800.0)
+
+    def test_sibling_ways_overlap_except_bus_transfer(self):
+        """Two ways on one channel: cell programs overlap, transfers queue."""
+        tl = NandTimeline(small_geometry())
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        start, end = tl.book_program(1, 0.0, 400.0, 25.0)
+        # Way 1 is free but the shared bus is busy until 25.0.
+        assert (start, end) == (25.0, 425.0)
+        assert tl.frontier_us == 425.0  # not 800: the programs overlapped
+
+    def test_distinct_channels_fully_overlap(self):
+        geo = small_geometry()
+        tl = NandTimeline(geo)
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        other = geo.ways_per_channel  # first way of channel 1
+        start, end = tl.book_program(other, 0.0, 400.0, 25.0)
+        assert (start, end) == (0.0, 400.0)
+
+    def test_n_programs_across_n_ways_finish_in_one_tprog_plus_xfers(self):
+        """The headline overlap: N ways absorb N programs almost in parallel,
+        limited only by the serialized channel transfers."""
+        geo = small_geometry(channels=1, ways=4)
+        tl = NandTimeline(geo)
+        for way in range(4):
+            tl.book_program(way, 0.0, 400.0, 25.0)
+        assert tl.frontier_us == 3 * 25.0 + 400.0  # last xfer starts at 75
+
+    def test_busy_total_accumulates_full_duration(self):
+        tl = NandTimeline(small_geometry())
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        assert tl.way_busy_total_us[0] == 800.0
+
+
+class TestReadBooking:
+    def test_idle_read_spans_sense_plus_transfer(self):
+        tl = NandTimeline(small_geometry())
+        start, end = tl.book_read(0, 10.0, total_us=80.0, xfer_us=25.0)
+        assert (start, end) == (10.0, 90.0)
+        assert tl.channel_busy_until_us[0] == 90.0
+        assert tl.way_busy_until_us[0] == 90.0
+
+    def test_busy_bus_stretches_way_occupancy(self):
+        """Sense proceeds, but the data-out transfer waits for the bus —
+        the way stays occupied until its register drains."""
+        tl = NandTimeline(small_geometry(channels=1, ways=2))
+        tl.book_program(0, 0.0, 400.0, 100.0)  # bus busy until 100
+        start, end = tl.book_read(1, 0.0, total_us=80.0, xfer_us=25.0)
+        assert start == 0.0
+        assert end == 125.0  # sense done at 55, transfer waits for 100
+        assert tl.way_busy_until_us[1] == 125.0
+        assert tl.way_busy_total_us[1] == 125.0
+
+    def test_transfer_longer_than_total_is_rejected(self):
+        tl = NandTimeline(small_geometry())
+        with pytest.raises(NandError):
+            tl.book_read(0, 0.0, total_us=10.0, xfer_us=25.0)
+
+
+class TestEraseBooking:
+    def test_erase_occupies_way_only(self):
+        tl = NandTimeline(small_geometry())
+        start, end = tl.book_erase(0, 5.0, total_us=3000.0)
+        assert (start, end) == (5.0, 3005.0)
+        assert tl.way_busy_until_us[0] == 3005.0
+        assert tl.channel_busy_until_us[0] == 0.0  # no bus traffic
+
+    def test_erases_on_distinct_ways_overlap(self):
+        tl = NandTimeline(small_geometry())
+        tl.book_erase(0, 0.0, 3000.0)
+        tl.book_erase(1, 0.0, 3000.0)
+        tl.book_erase(2, 0.0, 3000.0)
+        assert tl.frontier_us == 3000.0
+
+
+class TestReset:
+    def test_reset_forgets_all_bookings(self):
+        tl = NandTimeline(small_geometry())
+        tl.book_program(0, 0.0, 400.0, 25.0)
+        tl.book_erase(1, 0.0, 3000.0)
+        tl.reset()
+        assert tl.frontier_us == 0.0
+        assert tl.channel_busy_until_us == [0.0, 0.0]
+        assert tl.way_busy_total_us == [0.0] * 4
+
+
+# --- invariants under arbitrary op sequences --------------------------------
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["program", "read", "erase"]),
+        st.integers(min_value=0, max_value=3),  # way
+        st.floats(min_value=0.0, max_value=50.0),  # issue-time increment
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS)
+def test_busy_horizons_are_monotone_and_starts_respect_issue(ops):
+    """Booking never moves a resource horizon backwards, and no operation
+    starts before it was issued — reordered completions upstream cannot
+    manufacture time travel down here."""
+    tl = NandTimeline(small_geometry())
+    now = 0.0
+    for kind, way, dt in ops:
+        now += dt
+        before_ways = list(tl.way_busy_until_us)
+        before_channels = list(tl.channel_busy_until_us)
+        if kind == "program":
+            start, end = tl.book_program(way, now, 400.0, 25.0)
+        elif kind == "read":
+            start, end = tl.book_read(way, now, 80.0, 25.0)
+        else:
+            start, end = tl.book_erase(way, now, 3000.0)
+        assert start >= now
+        assert end > start
+        for w, prev in enumerate(before_ways):
+            assert tl.way_busy_until_us[w] >= prev
+        for c, prev in enumerate(before_channels):
+            assert tl.channel_busy_until_us[c] >= prev
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=_OPS)
+def test_per_way_busy_time_never_exceeds_elapsed_virtual_time(ops):
+    """A single die cannot be busy for longer than the span of virtual time
+    it existed in: sum of its busy intervals <= drain time - first issue.
+    (The satellite invariant; a double-booked way would violate it.)"""
+    tl = NandTimeline(small_geometry())
+    now = 0.0
+    for kind, way, dt in ops:
+        now += dt
+        if kind == "program":
+            tl.book_program(way, now, 400.0, 25.0)
+        elif kind == "read":
+            tl.book_read(way, now, 80.0, 25.0)
+        else:
+            tl.book_erase(way, now, 3000.0)
+    elapsed = tl.frontier_us  # virtual time starts at 0
+    for way, busy in enumerate(tl.way_busy_total_us):
+        assert busy <= elapsed + 1e-9, f"way {way} busy {busy} > elapsed {elapsed}"
+    for frac in tl.way_utilization(elapsed):
+        assert 0.0 <= frac <= 1.0 + 1e-12
