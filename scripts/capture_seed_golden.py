@@ -45,7 +45,10 @@ def drive(config_name: str, capacity_bytes: int, workload) -> dict:
             driver.delete(request.key)
         latencies.append(device.clock.now_us - t0)
     driver.flush()
-    snap = device.snapshot()
+    # seed_schema: the frozen goldens predate the richer snapshot keys
+    # (histogram counts, stat spread, payload/h2d bytes); capture with the
+    # seed's exact key set so old and new trees produce comparable files.
+    snap = device.snapshot(seed_schema=True)
     return {
         "config": config_name,
         "capacity_bytes": capacity_bytes,
@@ -78,7 +81,7 @@ def drive_gc_churn(capacity_bytes: int, ops: int, keys: int) -> dict:
         driver.put(key, value)
         latencies.append(device.clock.now_us - t0)
     driver.flush()
-    snap = device.snapshot()
+    snap = device.snapshot(seed_schema=True)
     return {
         "config": "baseline",
         "capacity_bytes": capacity_bytes,
@@ -124,7 +127,10 @@ def drive_flash_direct() -> dict:
         "workload": "flash_direct",
         "clock_marks_us": marks,
         "clock_now_us": clock.now_us,
-        "snapshot": {k: v for k, v in sorted(flash.metrics.snapshot().items())},
+        "snapshot": {
+            k: v
+            for k, v in sorted(flash.metrics.snapshot(seed_schema=True).items())
+        },
     }
 
 

@@ -1,0 +1,133 @@
+"""Validate a JSONL trace dump (CI smoke check).
+
+Usage: python scripts/validate_trace.py trace.jsonl
+
+Checks the schema contract documented in docs/observability.md:
+
+* line 1 is a header with the expected schema version;
+* every subsequent line is a well-formed ``event`` or ``op`` record;
+* the header's event/op counts match the file contents;
+* every op's phase durations sum to its ``latency_us``;
+* every phase name belongs to the documented taxonomy.
+
+Exits non-zero (with a message per violation) on any failure.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+EXPECTED_VERSION = 1
+PHASES = frozenset(
+    (
+        "doorbell",
+        "sq_fetch",
+        "dispatch",
+        "dma",
+        "nand",
+        "memcpy",
+        "completion",
+        "backoff",
+        "other",
+    )
+)
+EVENT_KEYS = frozenset(("type", "ts_us", "dur_us", "cat", "name", "op", "res", "args"))
+OP_KEYS = frozenset(
+    (
+        "type",
+        "op",
+        "kind",
+        "start_us",
+        "end_us",
+        "latency_us",
+        "commands",
+        "status",
+        "phases",
+        "args",
+    )
+)
+PHASE_SUM_TOLERANCE_US = 1e-6
+
+
+def validate(path: str) -> list[str]:
+    errors: list[str] = []
+    with open(path, encoding="utf-8") as fp:
+        lines = fp.read().splitlines()
+    if not lines:
+        return [f"{path}: empty file"]
+
+    header = json.loads(lines[0])
+    if header.get("type") != "header":
+        errors.append(f"line 1: expected header, got {header.get('type')!r}")
+    if header.get("version") != EXPECTED_VERSION:
+        errors.append(
+            f"line 1: schema version {header.get('version')!r}, "
+            f"expected {EXPECTED_VERSION}"
+        )
+
+    events = ops = 0
+    for lineno, raw in enumerate(lines[1:], start=2):
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        kind = obj.get("type")
+        if kind == "event":
+            events += 1
+            extra = set(obj) - EVENT_KEYS
+            if extra:
+                errors.append(f"line {lineno}: unknown event keys {sorted(extra)}")
+            for key in ("ts_us", "dur_us"):
+                if not isinstance(obj.get(key), (int, float)):
+                    errors.append(f"line {lineno}: event missing numeric {key}")
+            if obj.get("dur_us", 0) < 0:
+                errors.append(f"line {lineno}: negative event duration")
+            if not obj.get("cat") or not obj.get("name"):
+                errors.append(f"line {lineno}: event missing cat/name")
+        elif kind == "op":
+            ops += 1
+            extra = set(obj) - OP_KEYS
+            if extra:
+                errors.append(f"line {lineno}: unknown op keys {sorted(extra)}")
+            phases = obj.get("phases", {})
+            bad = set(phases) - PHASES
+            if bad:
+                errors.append(f"line {lineno}: unknown phases {sorted(bad)}")
+            latency = obj.get("latency_us")
+            if not isinstance(latency, (int, float)):
+                errors.append(f"line {lineno}: op missing latency_us")
+            elif abs(sum(phases.values()) - latency) > PHASE_SUM_TOLERANCE_US:
+                errors.append(
+                    f"line {lineno}: op {obj.get('op')} phases sum to "
+                    f"{sum(phases.values()):.6f} us, latency is {latency:.6f} us"
+                )
+        else:
+            errors.append(f"line {lineno}: unknown line type {kind!r}")
+
+    if header.get("events") != events:
+        errors.append(
+            f"header claims {header.get('events')} events, file has {events}"
+        )
+    if header.get("ops") != ops:
+        errors.append(f"header claims {header.get('ops')} ops, file has {ops}")
+    if ops == 0:
+        errors.append("no op records: trace captured nothing")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = validate(argv[0])
+    if errors:
+        for err in errors:
+            print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    print(f"OK {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

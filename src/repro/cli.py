@@ -7,8 +7,13 @@ Subcommands
 ``dbbench``     run a db_bench-style benchmark against one configuration
 ``workload``    run one paper workload and print the full metric summary
 ``compare``     A/B/N configurations on byte-identical inputs
+``trace``       run a workload with per-command tracing and export events
 ``calibrate``   run the §3.2 threshold calibration and print the curves
 ``bench``       regenerate paper tables/figures (same as python -m repro.bench)
+
+``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
+``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
+``compare`` accepts ``--trace DIR`` for one JSONL dump per configuration.
 """
 
 from __future__ import annotations
@@ -59,15 +64,27 @@ def _cmd_identify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer():
+    from repro.sim.trace import Tracer
+
+    return Tracer()
+
+
 def _cmd_dbbench(args: argparse.Namespace) -> int:
+    tracer = _make_tracer() if args.trace else None
     report = run_dbbench(
         args.benchmark,
         num_ops=args.num,
         value_size=args.value_size,
         seed=args.seed,
         config=args.config,
+        tracer=tracer,
     )
     print(report.format())
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"trace: {len(tracer.events)} events, {len(tracer.ops)} ops "
+              f"-> {args.trace}")
     return 0
 
 
@@ -78,10 +95,12 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print(f"unknown workload {args.name!r}; choose from "
               f"{list(PAPER_WORKLOADS)}", file=sys.stderr)
         return 2
+    tracer = _make_tracer() if args.trace or args.trace_chrome else None
     result = run_workload(
         args.config,
         factory(args.num, seed=args.seed),
         nand_io_enabled=not args.no_nand and True,
+        tracer=tracer,
     )
     print(f"workload        {result.workload}")
     print(f"config          {result.config_name}")
@@ -95,10 +114,19 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     print(f"NAND writes     {result.nand_page_writes_with_flush} "
           f"(WAF {result.write_amplification:.1f})")
     print(f"avg memcpy      {result.avg_memcpy_us:.2f} us/op")
+    if tracer is not None:
+        if args.trace:
+            tracer.write_jsonl(args.trace)
+            print(f"trace           {len(tracer.events)} events -> {args.trace}")
+        if args.trace_chrome:
+            tracer.write_chrome(args.trace_chrome)
+            print(f"chrome trace    {args.trace_chrome}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    import os
+
     from repro.sim.compare import compare_configs
 
     try:
@@ -113,8 +141,54 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"unknown preset {name!r}; choose from {sorted(PRESETS)}",
                   file=sys.stderr)
             return 2
-    comparison = compare_configs(configs, factory(args.num, seed=args.seed))
+    tracers = {}
+
+    def make_tracer(index):
+        tracers[index] = _make_tracer()
+        return tracers[index]
+
+    comparison = compare_configs(
+        configs,
+        factory(args.num, seed=args.seed),
+        make_tracer=make_tracer if args.trace else None,
+    )
     print(comparison.format())
+    if args.trace:
+        os.makedirs(args.trace, exist_ok=True)
+        for index, tracer in tracers.items():
+            path = os.path.join(args.trace, f"{configs[index]}.jsonl")
+            tracer.write_jsonl(path)
+            print(f"trace[{configs[index]}] -> {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import format_phase_table
+
+    try:
+        factory = PAPER_WORKLOADS[args.name]
+    except KeyError:
+        print(f"unknown workload {args.name!r}; choose from "
+              f"{list(PAPER_WORKLOADS)}", file=sys.stderr)
+        return 2
+    tracer = _make_tracer()
+    result = run_workload(
+        args.config, factory(args.num, seed=args.seed), tracer=tracer
+    )
+    print(f"workload {result.workload} / config {result.config_name}: "
+          f"{result.ops} ops, {len(tracer.events)} events, "
+          f"{len(tracer.ops)} traced ops")
+    print()
+    print(format_phase_table(tracer.ops))
+    if args.out:
+        tracer.write_jsonl(args.out)
+        print(f"\nevents (JSONL) -> {args.out}")
+    if args.chrome:
+        tracer.write_chrome(args.chrome)
+        print(f"chrome trace   -> {args.chrome}")
+    if args.report:
+        for key, value in sorted(tracer.report().items()):
+            print(f"{key:<40} {value:.3f}")
     return 0
 
 
@@ -161,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--value-size", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--config", default="adaptive", choices=sorted(PRESETS))
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="dump the per-command event trace as JSONL")
 
     p = sub.add_parser("workload", help="run one paper workload")
     p.add_argument("--name", default="W(M)")
@@ -169,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
     p.add_argument("--no-nand", action="store_true",
                    help="disable NAND I/O (transfer isolation, §4.2)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="dump the per-command event trace as JSONL")
+    p.add_argument("--trace-chrome", metavar="FILE", default=None,
+                   help="dump the trace in chrome://tracing format")
 
     p = sub.add_parser("compare", help="A/B configurations on one workload")
     p.add_argument("--workload", default="W(M)")
@@ -176,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated preset names (first = baseline)")
     p.add_argument("--num", type=int, default=3_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="DIR", default=None,
+                   help="write one JSONL event trace per configuration")
+
+    p = sub.add_parser("trace", help="trace a workload per-command (Fig 12)")
+    p.add_argument("--name", default="W(M)")
+    p.add_argument("--num", type=int, default=1_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="dump the event stream as JSONL")
+    p.add_argument("--chrome", metavar="FILE", default=None,
+                   help="dump the trace in chrome://tracing format")
+    p.add_argument("--report", action="store_true",
+                   help="print the flat trace metric report")
 
     p = sub.add_parser("calibrate", help="derive adaptive thresholds (§3.2)")
     p.add_argument("--ops", type=int, default=100)
@@ -194,6 +288,7 @@ _HANDLERS = {
     "dbbench": _cmd_dbbench,
     "workload": _cmd_workload,
     "compare": _cmd_compare,
+    "trace": _cmd_trace,
     "calibrate": _cmd_calibrate,
     "bench": _cmd_bench,
 }

@@ -88,6 +88,7 @@ class BandSlimController:
         sq: SubmissionQueue,
         cq: CompletionQueue,
         injector: FaultInjector | None = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.link = link
@@ -101,6 +102,10 @@ class BandSlimController:
         self.cq = cq
         self.clock = link.clock
         self.latency = link.latency
+        #: Optional repro.sim.trace.Tracer; every hook is one None check.
+        self._tracer = tracer
+        #: Raw opcode byte -> lowercase mnemonic, for trace span labels.
+        self._opcode_names = {int(op): op.name.lower() for op in KVOpcode}
         self._pending: dict[int, _PendingValue] = {}
         self._flash = lsm.ftl.flash
         self.metrics = MetricSet("controller")
@@ -148,7 +153,16 @@ class BandSlimController:
         if nbytes <= 0:
             return
         cost = self._memcpy_setup_us + nbytes * self._memcpy_per_byte_us
-        self.clock.advance(cost)
+        tracer = self._tracer
+        if tracer is None:
+            self.clock.advance(cost)
+        else:
+            t0 = self.clock.now_us
+            self.clock.advance(cost)
+            tracer.span(
+                "controller", "memcpy", t0, self.clock.now_us,
+                phase="memcpy", bytes=nbytes,
+            )
         self._c_memcpy_bytes.add(nbytes)
         self._op_memcpy_us += cost
 
@@ -198,7 +212,18 @@ class BandSlimController:
 
     def _process_one(self) -> NVMeCompletion:
         cmd = self.sq.fetch()
-        self.clock.advance(self._cmd_process_us)
+        tracer = self._tracer
+        if tracer is None:
+            self.clock.advance(self._cmd_process_us)
+        else:
+            t0 = self.clock.now_us
+            self.clock.advance(self._cmd_process_us)
+            opcode = cmd.raw[0]
+            tracer.span(
+                "controller", "dispatch", t0, self.clock.now_us,
+                phase="dispatch", cid=cmd.cid,
+                opcode=self._opcode_names.get(opcode, f"0x{opcode:02x}"),
+            )
         self._c_commands_processed.add(1)
         try:
             cqe = self._dispatch(cmd)
@@ -533,7 +558,13 @@ class BandSlimController:
         if self.admin_sq is None or self.admin_cq is None:
             raise NVMeError("admin queues not attached")
         cmd = self.admin_sq.fetch()
+        t0 = self.clock.now_us
         self.clock.advance(self.latency.cmd_process_us)
+        if self._tracer is not None:
+            self._tracer.span(
+                "controller", "admin_dispatch", t0, self.clock.now_us,
+                phase="dispatch", cid=cmd.cid,
+            )
         self._c_commands_processed.add(1)
         req = parse_admin_command(cmd)
         if req.opcode is AdminOpcode.IDENTIFY:

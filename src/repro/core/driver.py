@@ -81,14 +81,17 @@ class OpResult:
 class _InflightPut:
     """Book-keeping for one PUT whose commands are in the pipeline."""
 
-    __slots__ = ("index", "start_us", "remaining", "commands", "status")
+    __slots__ = ("index", "start_us", "remaining", "commands", "status", "op_id")
 
-    def __init__(self, index: int, start_us: float, commands: int) -> None:
+    def __init__(
+        self, index: int, start_us: float, commands: int, op_id: int = 0
+    ) -> None:
         self.index = index
         self.start_us = start_us
         self.remaining = commands
         self.commands = commands
         self.status = StatusCode.SUCCESS
+        self.op_id = op_id
 
 
 class BandSlimDriver:
@@ -103,8 +106,11 @@ class BandSlimDriver:
         sq: SubmissionQueue,
         cq: CompletionQueue,
         injector: FaultInjector | None = None,
+        tracer=None,
     ) -> None:
         self.config = config
+        #: Optional repro.sim.trace.Tracer; every hook is one None check.
+        self._tracer = tracer
         self.link = link
         self.host_mem = host_mem
         self.controller = controller
@@ -195,7 +201,14 @@ class BandSlimDriver:
                 return cqe
             retries += 1
             self.metrics.counter("retries").add(1)
+            t0 = self.clock.now_us
             self.clock.advance(backoff)
+            if self._tracer is not None:
+                self._tracer.span(
+                    "driver", "backoff", t0, self.clock.now_us,
+                    phase="backoff", retry=retries,
+                    timed_out=timed_out,
+                )
             backoff *= 2
 
     # --- PUT -----------------------------------------------------------------
@@ -205,6 +218,12 @@ class BandSlimDriver:
         if not value:
             raise NVMeError("empty values are not supported by the KV interface")
         plan = self.planner.plan(len(value))
+        tracer = self._tracer
+        op_id = 0
+        if tracer is not None:
+            op_id = tracer.begin_op(
+                "put", value_size=len(value), method=plan.method.value
+            )
         start = self.clock.now_us
         if self._injector is None and self.config.command_timeout_us == 0.0:
             # No fault source and no timeout: one attempt is the common
@@ -226,6 +245,11 @@ class BandSlimDriver:
         self._s_put_latency.record(elapsed)
         self._h_put_latency.record(elapsed)
         self._c_puts.add(1)
+        if tracer is not None:
+            tracer.end_op(
+                op_id, status=cqe.status.name, latency_us=elapsed,
+                commands=plan.command_count,
+            )
         return OpResult(
             latency_us=elapsed, commands=plan.command_count, status=cqe.status
         )
@@ -258,10 +282,26 @@ class BandSlimDriver:
         results: list[OpResult | None] = []
         inflight: dict[int, _InflightPut] = {}
         scheduler = CompletionScheduler()
+        tracer = self._tracer
+        #: op_id of the PUT whose commands are currently being submitted;
+        #: submit() restores it after deliver_one() retargets the tracer.
+        submit_op = 0
 
         def deliver_one() -> None:
             cqe, finish_us = scheduler.pop_earliest()
-            self.clock.advance_to(finish_us)
+            if tracer is None:
+                self.clock.advance_to(finish_us)
+            else:
+                # Attribute the wait for this command's NAND finish (and the
+                # completion that follows) to the op it belongs to.
+                tracer.current_op = inflight[cqe.cid].op_id
+                t0 = self.clock.now_us
+                self.clock.advance_to(finish_us)
+                if self.clock.now_us > t0:
+                    tracer.span(
+                        "driver", "nand_wait", t0, self.clock.now_us,
+                        phase="nand", cid=cqe.cid,
+                    )
             self.cq.post(cqe)
             self.link.complete_command()
             reaped = self.cq.reap()
@@ -275,6 +315,11 @@ class BandSlimDriver:
                 self._s_put_latency.record(elapsed)
                 self._h_put_latency.record(elapsed)
                 self._c_puts.add(1)
+                if tracer is not None:
+                    tracer.end_op(
+                        rec.op_id, status=rec.status.name,
+                        latency_us=elapsed, commands=rec.commands,
+                    )
                 results[rec.index] = OpResult(
                     latency_us=elapsed, commands=rec.commands, status=rec.status
                 )
@@ -282,6 +327,8 @@ class BandSlimDriver:
         def submit(cmd) -> None:
             while scheduler.outstanding >= qd:
                 deliver_one()
+            if tracer is not None:
+                tracer.current_op = submit_op
             self.sq.submit(cmd)
             self.link.submit_command()
             cqe, finish_us = self.controller.process_next_deferred()
@@ -302,7 +349,13 @@ class BandSlimDriver:
         for index, (key, value) in enumerate(pairs):
             results.append(None)
             plan = self.planner.plan(len(value))
-            rec = _InflightPut(index, self.clock.now_us, plan.command_count)
+            if tracer is not None:
+                submit_op = tracer.begin_op(
+                    "put", value_size=len(value), method=plan.method.value
+                )
+            rec = _InflightPut(
+                index, self.clock.now_us, plan.command_count, op_id=submit_op
+            )
             if plan.method is TransferMethod.PRP:
                 buf = self.host_mem.stage_value(value)
                 prp = build_prp(self.host_mem, buf)
@@ -483,6 +536,12 @@ class BandSlimDriver:
         payload = pack_bulk_payload(pairs)
         buf = self.host_mem.stage_value(payload)
         prp = build_prp(self.host_mem, buf)
+        tracer = self._tracer
+        op_id = 0
+        if tracer is not None:
+            op_id = tracer.begin_op(
+                "bulk_put", pairs=len(pairs), payload_bytes=len(payload)
+            )
         start = self.clock.now_us
         try:
             cmd = build_bulk_put_command(self._cid(), len(payload), len(pairs), prp)
@@ -493,6 +552,8 @@ class BandSlimDriver:
         self._s_put_latency.record(elapsed)
         self._h_put_latency.record(elapsed)
         self._c_puts.add(len(pairs))
+        if tracer is not None:
+            tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
         return OpResult(latency_us=elapsed, commands=1, status=cqe.status)
 
     # --- GET and friends -----------------------------------------------------------
@@ -502,6 +563,10 @@ class BandSlimDriver:
         size = max_size if max_size is not None else self.config.max_value_bytes
         buf = self.host_mem.alloc_buffer(size)
         prp = build_prp(self.host_mem, buf)
+        tracer = self._tracer
+        op_id = 0
+        if tracer is not None:
+            op_id = tracer.begin_op("get", buffer_size=size)
         start = self.clock.now_us
         try:
             if self._injector is None and self.config.command_timeout_us == 0.0:
@@ -520,6 +585,8 @@ class BandSlimDriver:
                 )
             elapsed = self.clock.now_us - start
             if cqe.status is StatusCode.KEY_NOT_FOUND:
+                if tracer is not None:
+                    tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
                 raise KeyNotFoundError(f"key {key!r} not found")
             value = buf.tobytes()[: cqe.result] if cqe.ok else None
         finally:
@@ -527,19 +594,26 @@ class BandSlimDriver:
         self._s_get_latency.record(elapsed)
         self._h_get_latency.record(elapsed)
         self._c_gets.add(1)
+        if tracer is not None:
+            tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
         return OpResult(latency_us=elapsed, commands=1, status=cqe.status, value=value)
 
     def delete(self, key: bytes) -> OpResult:
         """Delete a pair; raises KeyNotFoundError if absent."""
+        tracer = self._tracer
+        op_id = 0
+        if tracer is not None:
+            op_id = tracer.begin_op("delete")
         start = self.clock.now_us
         cqe = self._with_recovery(
             lambda: self._roundtrip(build_delete_command(self._cid(), key))
         )
+        elapsed = self.clock.now_us - start
+        if tracer is not None:
+            tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
         if cqe.status is StatusCode.KEY_NOT_FOUND:
             raise KeyNotFoundError(f"key {key!r} not found")
-        return OpResult(
-            latency_us=self.clock.now_us - start, commands=1, status=cqe.status
-        )
+        return OpResult(latency_us=elapsed, commands=1, status=cqe.status)
 
     def exists(self, key: bytes) -> bool:
         """KV_EXIST probe without transferring the value."""

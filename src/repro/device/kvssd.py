@@ -54,6 +54,8 @@ class KVSSD:
     driver: BandSlimDriver
     #: Fault injector, present only when built with an enabled fault plan.
     injector: FaultInjector | None = None
+    #: Event tracer, present only when built with ``tracer=``.
+    tracer: object | None = None
     geometry: NandGeometry = field(init=False)
 
     def __post_init__(self) -> None:
@@ -70,6 +72,7 @@ class KVSSD:
         link_config: PCIeLinkConfig | None = None,
         queue_depth: int = 64,
         fault_plan: FaultPlan | None = None,
+        tracer=None,
     ) -> "KVSSD":
         config = config or BandSlimConfig()
         latency = latency or LatencyModel()
@@ -77,6 +80,10 @@ class KVSSD:
             config.nand_capacity_bytes, config.nand_channels, config.nand_ways
         )
         clock = SimClock()
+        if tracer is not None:
+            # The tracer is built clock-less (the clock exists only from
+            # here on); bind it before any component can emit an instant.
+            tracer.bind(clock)
         # A plan that cannot inject anything builds a byte-identical device:
         # no injector, no fault counters, no extra checks on the data paths.
         injector = (
@@ -84,7 +91,7 @@ class KVSSD:
             if fault_plan is not None and fault_plan.enabled
             else None
         )
-        link = PCIeLink(clock, latency, link_config, injector=injector)
+        link = PCIeLink(clock, latency, link_config, injector=injector, tracer=tracer)
         host_mem = HostMemory()
 
         # Device DRAM: NAND page buffer pool + DMA/GET scratch.
@@ -93,12 +100,13 @@ class KVSSD:
         buffer_region = dram.carve_region("nand_page_buffer", buffer_bytes)
         scratch_region = dram.carve_region("scratch", config.scratch_bytes)
 
-        flash = NandFlash(geometry, clock, latency, injector=injector)
+        flash = NandFlash(geometry, clock, latency, injector=injector, tracer=tracer)
         ftl = PageMappedFTL(
             flash,
             ecc_correctable_bits=config.ecc_correctable_bits,
             read_retry_limit=config.read_retry_limit,
             program_retry_limit=config.program_retry_limit,
+            tracer=tracer,
         )
         gc = GreedyGarbageCollector(ftl)
         ftl.set_gc(gc)
@@ -149,6 +157,9 @@ class KVSSD:
         ring_depth = max(queue_depth, config.queue_depth)
         sq = SubmissionQueue(depth=ring_depth)
         cq = CompletionQueue(depth=ring_depth)
+        if tracer is not None:
+            sq.attach_tracer(tracer)
+            cq.attach_tracer(tracer)
         controller = BandSlimController(
             config,
             link,
@@ -161,13 +172,17 @@ class KVSSD:
             sq,
             cq,
             injector=injector,
+            tracer=tracer,
         )
-        controller.attach_admin_queues(
-            SubmissionQueue(depth=queue_depth, qid=0),
-            CompletionQueue(depth=queue_depth, qid=0),
-        )
+        admin_sq = SubmissionQueue(depth=queue_depth, qid=0)
+        admin_cq = CompletionQueue(depth=queue_depth, qid=0)
+        if tracer is not None:
+            admin_sq.attach_tracer(tracer)
+            admin_cq.attach_tracer(tracer)
+        controller.attach_admin_queues(admin_sq, admin_cq)
         driver = BandSlimDriver(
-            config, link, host_mem, controller, sq, cq, injector=injector
+            config, link, host_mem, controller, sq, cq,
+            injector=injector, tracer=tracer,
         )
         return cls(
             config=config,
@@ -186,24 +201,29 @@ class KVSSD:
             controller=controller,
             driver=driver,
             injector=injector,
+            tracer=tracer,
         )
 
     # --- metric roll-up -------------------------------------------------------
 
-    def snapshot(self) -> dict[str, float]:
-        """Flat metric snapshot across every component."""
+    def snapshot(self, seed_schema: bool = False) -> dict[str, float]:
+        """Flat metric snapshot across every component.
+
+        ``seed_schema=True`` reproduces the seed's exact key set for the
+        frozen golden captures (see ``MetricSet.snapshot``).
+        """
         out: dict[str, float] = {}
-        out.update(self.link.meter.snapshot())
-        out.update(self.flash.metrics.snapshot())
-        out.update(self.ftl.metrics.snapshot())
-        out.update(self.gc.metrics.snapshot())
-        out.update(self.vlog.metrics.snapshot())
-        out.update(self.buffer.metrics.snapshot())
-        out.update(self.policy.metrics.snapshot())
-        out.update(self.controller.metrics.snapshot())
-        out.update(self.driver.metrics.snapshot())
-        out.update(self.lsm.store.metrics.snapshot())
+        out.update(self.link.meter.snapshot(seed_schema=seed_schema))
+        out.update(self.flash.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.ftl.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.gc.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.vlog.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.buffer.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.policy.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.controller.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.driver.metrics.snapshot(seed_schema=seed_schema))
+        out.update(self.lsm.store.metrics.snapshot(seed_schema=seed_schema))
         if self.injector is not None:
-            out.update(self.injector.metrics.snapshot())
+            out.update(self.injector.metrics.snapshot(seed_schema=seed_schema))
         out["clock.now_us"] = self.clock.now_us
         return out

@@ -54,12 +54,17 @@ class NandFlash:
         clock: SimClock,
         latency: LatencyModel,
         injector: FaultInjector | None = None,
+        tracer=None,
     ) -> None:
         self.geometry = geometry
         self.clock = clock
         self.latency = latency
         self.timeline = NandTimeline(geometry)
         self._injector = injector
+        #: Optional repro.sim.trace.Tracer; every hook is one None check.
+        self._tracer = tracer
+        if tracer is not None:
+            self.timeline.attach_tracer(tracer)
         #: Bit flips the most recent read returned (ECC input for the FTL).
         self.last_read_bitflips = 0
         self._pages: dict[int, bytes] = {}
@@ -178,13 +183,18 @@ class NandFlash:
                 # real NAND burns the page and reports failure after tPROG,
                 # and the way is occupied for the full attempt.
                 self._c_program_failures.add(1)
-                _, end = self.timeline.book_program(
-                    ppn // self._pages_per_way,
-                    self.clock.now_us,
-                    self._t_program_us,
-                    self._t_program_xfer_us,
+                way = ppn // self._pages_per_way
+                t0 = self.clock.now_us
+                start, end = self.timeline.book_program(
+                    way, t0, self._t_program_us, self._t_program_xfer_us
                 )
                 self._settle(end)
+                if self._tracer is not None:
+                    self._tracer.span(
+                        "nand", "program_failed", start, end, phase="nand",
+                        phase_us=self.clock.now_us - t0,
+                        resource=f"way{way}", ppn=ppn, fault=fault,
+                    )
                 raise ProgramFailedError(
                     f"program of PPN {ppn} failed ({fault})",
                     ppn=ppn,
@@ -200,13 +210,29 @@ class NandFlash:
         programmed.add(ppn)
         self._c_page_programs.add(1)
         self._c_bytes_programmed.add(geo.page_size)
-        _, end = self.timeline.book_program(
-            ppn // self._pages_per_way,
-            self.clock.now_us,
-            self._t_program_us,
-            self._t_program_xfer_us,
+        tracer = self._tracer
+        if tracer is None:
+            _, end = self.timeline.book_program(
+                ppn // self._pages_per_way,
+                self.clock.now_us,
+                self._t_program_us,
+                self._t_program_xfer_us,
+            )
+            self._settle(end)
+            return
+        way = ppn // self._pages_per_way
+        t0 = self.clock.now_us
+        start, end = self.timeline.book_program(
+            way, t0, self._t_program_us, self._t_program_xfer_us
         )
         self._settle(end)
+        # phase_us is the *clock* delta, not the booked duration: inside a
+        # deferred window the clock stays put and the wait is attributed at
+        # completion delivery instead (driver's nand_wait span).
+        tracer.span(
+            "nand", "program", start, end, phase="nand",
+            phase_us=self.clock.now_us - t0, resource=f"way{way}", ppn=ppn,
+        )
 
     def read(self, ppn: int) -> bytes:
         """Read one programmed page (full page size).
@@ -231,16 +257,20 @@ class NandFlash:
             if flips:
                 self._c_read_bitflips.add(flips)
         self._c_page_reads.add(1)
-        _, end = self.timeline.book_read(
-            ppn // self._pages_per_way,
-            self.clock.now_us,
-            self._t_read_us,
-            self._t_read_xfer_us,
+        way = ppn // self._pages_per_way
+        t0 = self.clock.now_us
+        start, end = self.timeline.book_read(
+            way, t0, self._t_read_us, self._t_read_xfer_us
         )
         # Reads stay synchronous even inside a deferred window: the caller
         # consumes the returned bytes immediately, so the firmware genuinely
         # waits for them (and for the way, if a deferred program holds it).
         self.clock.advance_to(end)
+        if self._tracer is not None:
+            self._tracer.span(
+                "nand", "read", start, end, phase="nand",
+                phase_us=self.clock.now_us - t0, resource=f"way{way}", ppn=ppn,
+            )
         return data
 
     def is_programmed(self, ppn: int) -> bool:
@@ -255,10 +285,15 @@ class NandFlash:
         if self._injector is not None and self._injector.erase_fault(block_index):
             # A failed erase still holds the die for the full tBERS.
             self._c_erase_failures.add(1)
-            _, end = self.timeline.book_erase(
-                way, self.clock.now_us, self._t_erase_us
-            )
+            t0 = self.clock.now_us
+            start, end = self.timeline.book_erase(way, t0, self._t_erase_us)
             self._settle(end)
+            if self._tracer is not None:
+                self._tracer.span(
+                    "nand", "erase_failed", start, end, phase="nand",
+                    phase_us=self.clock.now_us - t0,
+                    resource=f"way{way}", block=block_index,
+                )
             raise EraseFailedError(
                 f"erase of block {block_index} failed", block=block_index
             )
@@ -270,10 +305,15 @@ class NandFlash:
         self._next_page[block_index] = 0
         self._erase_counts[block_index] = self._erase_counts.get(block_index, 0) + 1
         self._c_block_erases.add(1)
-        _, end = self.timeline.book_erase(
-            way, self.clock.now_us, self._t_erase_us
-        )
+        t0 = self.clock.now_us
+        start, end = self.timeline.book_erase(way, t0, self._t_erase_us)
         self._settle(end)
+        if self._tracer is not None:
+            self._tracer.span(
+                "nand", "erase", start, end, phase="nand",
+                phase_us=self.clock.now_us - t0,
+                resource=f"way{way}", block=block_index,
+            )
 
     def pages_programmed_in_block(self, block_index: int) -> int:
         return self._next_page.get(block_index, 0)

@@ -48,8 +48,11 @@ class PageMappedFTL:
         read_retry_limit: int = 3,
         program_retry_limit: int = 4,
         spare_blocks: int | None = None,
+        tracer=None,
     ) -> None:
         self.flash = flash
+        #: Optional repro.sim.trace.Tracer; recovery events become instants.
+        self._tracer = tracer
         geo = flash.geometry
         #: Blocks kept in reserve as GC headroom (over-provisioning).
         self.gc_reserve_blocks = (
@@ -257,6 +260,10 @@ class PageMappedFTL:
                     self._retire_block(exc.block)
                 else:
                     self.metrics.counter("program_retries").add(1)
+                    if self._tracer is not None:
+                        self._tracer.instant(
+                            "ftl", "program_retry", block=exc.block
+                        )
         raise BadBlockError(
             f"program failed on {self.program_retry_limit + 1} pages in a row"
         ) from last
@@ -280,8 +287,16 @@ class PageMappedFTL:
                 return data, attempts > 0
             attempts += 1
             self.metrics.counter("read_retries").add(1)
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "ftl", "read_retry", ppn=ppn, bitflips=flips
+                )
             if attempts >= self.read_retry_limit:
                 self.metrics.counter("uncorrectable_reads").add(1)
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "ftl", "read_uncorrectable", ppn=ppn, bitflips=flips
+                    )
                 raise ReadUncorrectableError(
                     f"PPN {ppn}: {flips} bit flips exceed ECC strength "
                     f"{self.ecc_correctable_bits} after {attempts} read retries",
@@ -307,6 +322,8 @@ class PageMappedFTL:
         new_ppn = self._program_page(data)
         self._remap(lpn, old_ppn, new_ppn)
         self.metrics.counter("reads_relocated").add(1)
+        if self._tracer is not None:
+            self._tracer.instant("ftl", "scrub", lpn=lpn, ppn=new_ppn)
 
     def _retire_block(self, block: int) -> None:
         """Pull a grown-bad block out of service, relocating its valid data.
@@ -319,6 +336,8 @@ class PageMappedFTL:
             return
         self._bad_blocks.add(block)
         self.metrics.counter("bad_blocks_retired").add(1)
+        if self._tracer is not None:
+            self._tracer.instant("ftl", "bad_block_retired", block=block)
         geo = self.flash.geometry
         way = block // geo.blocks_per_way
         try:
@@ -436,4 +455,8 @@ class PageMappedFTL:
             return moved
         way = block_index // geo.blocks_per_way
         self._free_blocks[way].append(block_index)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "ftl", "gc_relocate_block", block=block_index, moved=moved
+            )
         return moved

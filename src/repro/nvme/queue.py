@@ -86,6 +86,11 @@ class _Ring:
         self._head = 0  # consumer index
         self._tail = 0  # producer index
         self._count = 0
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Record occupancy markers on every submit/fetch/post/reap."""
+        self._tracer = tracer
 
     @property
     def occupancy(self) -> int:
@@ -138,11 +143,22 @@ class SubmissionQueue(_Ring):
         """Enqueue a command and ring the tail doorbell; returns slot."""
         slot = self._push(cmd)
         self.doorbell_rings += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "queue", "sq_submit", resource=f"sq{self.qid}",
+                occupancy=self._count,
+            )
         return slot
 
     def fetch(self) -> NVMeCommand:
         """Controller fetches the oldest pending command."""
-        return self._pop()  # type: ignore[return-value]  # submit() types it
+        cmd = self._pop()
+        if self._tracer is not None:
+            self._tracer.instant(
+                "queue", "sq_fetch", resource=f"sq{self.qid}",
+                occupancy=self._count,
+            )
+        return cmd  # type: ignore[return-value]  # submit() types it
 
 
 class CompletionQueue(_Ring):
@@ -153,7 +169,19 @@ class CompletionQueue(_Ring):
         self.qid = qid
 
     def post(self, completion: NVMeCompletion) -> int:
-        return self._push(completion)
+        slot = self._push(completion)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "queue", "cq_post", resource=f"cq{self.qid}",
+                occupancy=self._count,
+            )
+        return slot
 
     def reap(self) -> NVMeCompletion:
-        return self._pop()  # type: ignore[return-value]  # post() types it
+        cqe = self._pop()
+        if self._tracer is not None:
+            self._tracer.instant(
+                "queue", "cq_reap", resource=f"cq{self.qid}",
+                occupancy=self._count,
+            )
+        return cqe  # type: ignore[return-value]  # post() types it

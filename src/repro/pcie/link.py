@@ -56,12 +56,15 @@ class PCIeLink:
         latency: LatencyModel,
         config: PCIeLinkConfig | None = None,
         injector: FaultInjector | None = None,
+        tracer=None,
     ) -> None:
         self.clock = clock
         self.latency = latency
         self.config = config or PCIeLinkConfig()
         self.meter = TrafficMeter()
         self._injector = injector
+        #: Optional repro.sim.trace.Tracer; every hook is one None check.
+        self._tracer = tracer
         # Per-command fast path: fixed byte sizes and fixed latencies, so
         # resolve the counter pairs and latency sums once.
         self._db_bytes, self._db_txns = self.meter.channel(TrafficCategory.DOORBELL)
@@ -89,7 +92,15 @@ class PCIeLink:
         self._db_txns._value += 1
         self._sq_bytes._value += NVME_COMMAND_SIZE
         self._sq_txns._value += 1
+        tracer = self._tracer
+        if tracer is None:
+            self.clock.advance(self._submit_us)
+            return
+        t0 = self.clock.now_us
         self.clock.advance(self._submit_us)
+        db_end = t0 + self.latency.mmio_doorbell_us
+        tracer.span("pcie", "doorbell", t0, db_end, phase="doorbell")
+        tracer.span("pcie", "sq_fetch", db_end, self.clock.now_us, phase="sq_fetch")
 
     def complete_command(self) -> None:
         """Device posts the 16 B CQE; host rings the CQ head doorbell."""
@@ -97,7 +108,13 @@ class PCIeLink:
         self._cq_txns._value += 1
         self._db_bytes._value += self._doorbell_size
         self._db_txns._value += 1
+        tracer = self._tracer
+        if tracer is None:
+            self.clock.advance(self._complete_us)
+            return
+        t0 = self.clock.now_us
         self.clock.advance(self._complete_us)
+        tracer.span("pcie", "completion", t0, self.clock.now_us, phase="completion")
 
     def submit_commands(self, count: int) -> None:
         """Batched submission: one doorbell ring covers ``count`` SQEs.
@@ -112,9 +129,17 @@ class PCIeLink:
         self.meter.record(TrafficCategory.DOORBELL, self.config.doorbell_bytes)
         for _ in range(count):
             self.meter.record(TrafficCategory.SQ_ENTRY, NVME_COMMAND_SIZE)
+        t0 = self.clock.now_us
         self.clock.advance(
             self.latency.mmio_doorbell_us + count * self.latency.sq_fetch_us
         )
+        if self._tracer is not None:
+            db_end = t0 + self.latency.mmio_doorbell_us
+            self._tracer.span("pcie", "doorbell", t0, db_end, phase="doorbell")
+            self._tracer.span(
+                "pcie", "sq_fetch", db_end, self.clock.now_us,
+                phase="sq_fetch", count=count,
+            )
 
     def complete_commands(self, count: int) -> None:
         """Coalesced completion: ``count`` CQEs, one interrupt + doorbell."""
@@ -123,7 +148,13 @@ class PCIeLink:
         for _ in range(count):
             self.meter.record(TrafficCategory.CQ_ENTRY, NVME_COMPLETION_SIZE)
         self.meter.record(TrafficCategory.DOORBELL, self.config.doorbell_bytes)
+        t0 = self.clock.now_us
         self.clock.advance(self.latency.completion_us)
+        if self._tracer is not None:
+            self._tracer.span(
+                "pcie", "completion", t0, self.clock.now_us,
+                phase="completion", count=count,
+            )
 
     # --- payload DMA -------------------------------------------------------
 
@@ -140,7 +171,13 @@ class PCIeLink:
             return
         self._h2d_bytes._value += wire_bytes
         self._h2d_txns._value += 1
+        t0 = self.clock.now_us
         self.clock.advance(self._dma_setup_us + wire_bytes * self._dma_per_byte_us)
+        if self._tracer is not None:
+            self._tracer.span(
+                "pcie", "dma_h2d", t0, self.clock.now_us,
+                phase="dma", bytes=wire_bytes,
+            )
         self._maybe_transfer_fault(wire_bytes, "host-to-device")
 
     def dma_device_to_host(self, wire_bytes: int) -> None:
@@ -151,7 +188,13 @@ class PCIeLink:
             return
         self._d2h_bytes._value += wire_bytes
         self._d2h_txns._value += 1
+        t0 = self.clock.now_us
         self.clock.advance(self._dma_setup_us + wire_bytes * self._dma_per_byte_us)
+        if self._tracer is not None:
+            self._tracer.span(
+                "pcie", "dma_d2h", t0, self.clock.now_us,
+                phase="dma", bytes=wire_bytes,
+            )
         self._maybe_transfer_fault(wire_bytes, "device-to-host")
 
     def _maybe_transfer_fault(self, wire_bytes: int, direction: str) -> None:

@@ -111,10 +111,19 @@ class TrafficMeter:
             TrafficCategory.DMA_D2H
         )
 
-    def snapshot(self) -> dict[str, float]:
-        out = self._metrics.snapshot()
+    def snapshot(self, seed_schema: bool = False) -> dict[str, float]:
+        """Per-category tallies plus the paper's derived byte totals.
+
+        ``payload_bytes`` and ``host_to_device_bytes`` are both §2.4 TAF
+        inputs; ``seed_schema=True`` omits them to reproduce the frozen
+        golden key set (see :meth:`repro.sim.stats.MetricSet.snapshot`).
+        """
+        out = self._metrics.snapshot(seed_schema=seed_schema)
         out["pcie.total_bytes"] = float(self.total_bytes)
         out["pcie.mmio_bytes"] = float(self.mmio_bytes)
+        if not seed_schema:
+            out["pcie.payload_bytes"] = float(self.payload_bytes)
+            out["pcie.host_to_device_bytes"] = float(self.host_to_device_bytes)
         return out
 
     def reset(self) -> None:

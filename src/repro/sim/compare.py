@@ -81,16 +81,26 @@ def compare_configs(
     configs: list,
     workload,
     latency=None,
+    make_tracer=None,
     **run_kwargs,
 ) -> Comparison:
-    """Run ``workload`` through each configuration on identical inputs."""
+    """Run ``workload`` through each configuration on identical inputs.
+
+    ``make_tracer``, when given, is called once per configuration (with the
+    resulting config name index) and must return a fresh
+    :class:`repro.sim.trace.Tracer` — one tracer per run, so event streams
+    never mix across columns.
+    """
     if len(configs) < 1:
         raise ConfigError("need at least one configuration to compare")
     trace = Trace.record(workload)
     names = []
     results = []
-    for config in configs:
-        result = run_workload(config, trace, latency=latency, **run_kwargs)
+    for i, config in enumerate(configs):
+        tracer = make_tracer(i) if make_tracer is not None else None
+        result = run_workload(
+            config, trace, latency=latency, tracer=tracer, **run_kwargs
+        )
         names.append(result.config_name)
         results.append(result)
     return Comparison(

@@ -93,18 +93,21 @@ def run_workload(
     latency: LatencyModel | None = None,
     device: KVSSD | None = None,
     flush_at_end: bool = True,
+    tracer=None,
     **config_overrides,
 ) -> RunResult:
     """Drive ``workload`` through a device built from ``config``.
 
     A fresh device is built unless one is passed in (multi-phase
-    experiments reuse a device across workloads).
+    experiments reuse a device across workloads). Passing a
+    :class:`repro.sim.trace.Tracer` threads it through the freshly built
+    stack; the snapshot then gains the tracer's report keys.
     """
     name, cfg = resolve_config(config, **config_overrides)
     if workload.max_value_bytes > cfg.max_value_bytes:
         cfg = cfg.with_overrides(max_value_bytes=workload.max_value_bytes)
     if device is None:
-        device = KVSSD.build(config=cfg, latency=latency)
+        device = KVSSD.build(config=cfg, latency=latency, tracer=tracer)
     driver = device.driver
 
     start_us = device.clock.now_us
@@ -130,6 +133,9 @@ def run_workload(
     put_stat = driver.metrics.stat("put_latency_us")
     put_hist = driver.metrics.histogram("put_latency_us")
     memcpy_stat = device.controller.metrics.stat("memcpy_us_per_op")
+    snapshot = device.snapshot()
+    if device.tracer is not None:
+        snapshot.update(device.tracer.report())
     return RunResult(
         workload=workload.name,
         config_name=name,
@@ -145,5 +151,5 @@ def run_workload(
         nand_page_writes=nand_during,
         nand_page_writes_with_flush=nand_total,
         avg_memcpy_us=memcpy_stat.mean,
-        snapshot=device.snapshot(),
+        snapshot=snapshot,
     )

@@ -42,6 +42,7 @@ class NandTimeline:
         "way_busy_until_us",
         "way_busy_total_us",
         "_ways_per_channel",
+        "_tracer",
     )
 
     def __init__(self, geometry: NandGeometry) -> None:
@@ -53,6 +54,11 @@ class NandTimeline:
         #: Cumulative busy time per way (utilization accounting).
         self.way_busy_total_us = [0.0] * geometry.total_ways
         self._ways_per_channel = geometry.ways_per_channel
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit a channel-bus span for every booked data transfer slice."""
+        self._tracer = tracer
 
     # --- queries ------------------------------------------------------------
 
@@ -62,6 +68,9 @@ class NandTimeline:
 
     def way_of_block(self, block_index: int) -> int:
         return block_index // self.geometry.blocks_per_way
+
+    def channel_of_way(self, way: int) -> int:
+        return way // self._ways_per_channel
 
     @property
     def frontier_us(self) -> float:
@@ -96,6 +105,11 @@ class NandTimeline:
         self.channel_busy_until_us[channel] = start + xfer_us
         self.way_busy_until_us[way] = end
         self.way_busy_total_us[way] += total_us
+        if self._tracer is not None:
+            self._tracer.span(
+                "nand_bus", "xfer_in", start, start + xfer_us,
+                resource=f"ch{channel}",
+            )
         return start, end
 
     def book_read(
@@ -121,6 +135,11 @@ class NandTimeline:
         self.channel_busy_until_us[channel] = end
         self.way_busy_until_us[way] = end
         self.way_busy_total_us[way] += end - start
+        if self._tracer is not None:
+            self._tracer.span(
+                "nand_bus", "xfer_out", xfer_start, end,
+                resource=f"ch{channel}",
+            )
         return start, end
 
     def book_erase(self, way: int, issue_us: float, total_us: float) -> tuple[float, float]:

@@ -1,0 +1,438 @@
+"""Per-command event/span tracing: the observability layer behind Fig 12.
+
+The paper's evaluation is an observability exercise — per-category PCIe
+byte counts (Figs 3, 8-10), response-time breakdowns by phase (Fig 12),
+NAND program counts — and aggregate totals cannot answer "where did this
+PUT's 400 µs go?". A :class:`Tracer` threads through the whole stack and
+records *spans* (simulated start/end timestamps) for every doorbell ring,
+SQE fetch, command dispatch, DMA transfer, firmware memcpy, NAND timeline
+booking, and completion, each tagged with the driver operation it serves.
+
+Design rules:
+
+* **Zero overhead when disabled.** Components hold ``tracer = None`` by
+  default and every hook is a single ``is None`` check — the same pattern
+  the fault injector uses. The frozen seed goldens
+  (``tests/sim/test_seed_regression.py``) run with no tracer and stay
+  byte-identical.
+* **Observation only.** The tracer never touches the simulated clock; a
+  traced run produces exactly the same latencies, byte counts and NAND
+  programs as an untraced one (asserted by
+  ``tests/integration/test_trace_integration.py``).
+* **Leaf-site phase attribution.** Only the sites that actually advance
+  the clock attribute phase time (link, controller dispatch/memcpy, flash,
+  driver backoff), so phases never double-count. Unattributed clock time
+  (LSM CPU costs such as MemTable inserts) lands in the ``other`` bucket,
+  and per-op phases sum exactly to the op's latency.
+
+Phase taxonomy (the Fig 12 decomposition):
+
+========== ==========================================================
+phase      simulated time spent in…
+========== ==========================================================
+doorbell   host MMIO doorbell writes (SQ tail / CQ head)
+sq_fetch   device fetching 64 B SQEs from host memory
+dispatch   firmware command decode/dispatch
+dma        payload DMA over the link, both directions
+nand       NAND programs/reads/erases, including flush stalls and,
+           for pipelined ops, the wait for the NAND finish time
+memcpy     in-device firmware memcpys (§3.3.1)
+completion CQE post + interrupt + host completion handling
+backoff    driver retry backoff under fault recovery
+other      unattributed remainder (LSM CPU costs, unpacking, …)
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+#: Schema version stamped into every JSONL dump.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every phase a per-op breakdown may contain, in report order.
+PHASES = (
+    "doorbell",
+    "sq_fetch",
+    "dispatch",
+    "dma",
+    "nand",
+    "memcpy",
+    "completion",
+    "backoff",
+    "other",
+)
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One timed span (or instant, when ``dur_us`` is 0) in the simulation."""
+
+    ts_us: float
+    dur_us: float
+    category: str
+    name: str
+    op_id: int | None = None
+    #: Resource lane the span occupies (``way3``, ``ch0``, ``sq1`` …).
+    resource: str | None = None
+    args: dict | None = None
+
+    def to_json_obj(self) -> dict:
+        obj: dict = {
+            "type": "event",
+            "ts_us": self.ts_us,
+            "dur_us": self.dur_us,
+            "cat": self.category,
+            "name": self.name,
+        }
+        if self.op_id is not None:
+            obj["op"] = self.op_id
+        if self.resource is not None:
+            obj["res"] = self.resource
+        if self.args:
+            obj["args"] = self.args
+        return obj
+
+
+@dataclass(slots=True)
+class OpTrace:
+    """One completed driver operation with its phase breakdown."""
+
+    op_id: int
+    kind: str
+    start_us: float
+    end_us: float
+    latency_us: float
+    commands: int
+    status: str
+    phases: dict[str, float]
+    args: dict | None = None
+
+    def to_json_obj(self) -> dict:
+        obj: dict = {
+            "type": "op",
+            "op": self.op_id,
+            "kind": self.kind,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "latency_us": self.latency_us,
+            "commands": self.commands,
+            "status": self.status,
+            "phases": self.phases,
+        }
+        if self.args:
+            obj["args"] = self.args
+        return obj
+
+
+@dataclass(slots=True)
+class _OpenOp:
+    """Book-keeping for an operation whose end_op has not arrived yet."""
+
+    op_id: int
+    kind: str
+    start_us: float
+    phases: dict[str, float] = field(default_factory=dict)
+    args: dict | None = None
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` spans and per-op phase breakdowns.
+
+    One tracer serves one device stack. Construction does not need the
+    simulated clock — :meth:`bind` is called by ``KVSSD.build`` once the
+    clock exists, so callers can create the tracer up front and hand it
+    to the factory.
+    """
+
+    __slots__ = (
+        "clock",
+        "events",
+        "ops",
+        "current_op",
+        "max_events",
+        "dropped_events",
+        "_open",
+        "_op_seq",
+    )
+
+    def __init__(self, clock=None, max_events: int | None = None) -> None:
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        self.ops: list[OpTrace] = []
+        #: The driver op currently executing; spans are tagged with it.
+        self.current_op: int | None = None
+        #: Optional cap on retained events (None = unbounded).
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._open: dict[int, _OpenOp] = {}
+        self._op_seq = 0
+
+    def bind(self, clock) -> None:
+        """Attach the simulated clock (used for instant timestamps)."""
+        self.clock = clock
+
+    # --- op lifecycle -------------------------------------------------------
+
+    def begin_op(self, kind: str, **args) -> int:
+        """Open a driver operation; returns its op id and makes it current."""
+        op_id = self._op_seq
+        self._op_seq += 1
+        self._open[op_id] = _OpenOp(
+            op_id=op_id,
+            kind=kind,
+            start_us=self.clock.now_us,
+            args=args or None,
+        )
+        self.current_op = op_id
+        return op_id
+
+    def end_op(
+        self, op_id: int, status: str, latency_us: float, commands: int = 1
+    ) -> OpTrace:
+        """Close an operation; the ``other`` phase absorbs the remainder.
+
+        Phase durations always sum exactly to ``latency_us``. For the
+        synchronous (QD=1) path every phase is non-negative; pipelined ops
+        overlap on the device, so their attributed phases can exceed the
+        wall latency and ``other`` goes negative — that overlap *is* the
+        information (docs/observability.md).
+        """
+        rec = self._open.pop(op_id)
+        attributed = sum(rec.phases.values())
+        other = latency_us - attributed
+        if abs(other) > 1e-9:
+            rec.phases["other"] = rec.phases.get("other", 0.0) + other
+        op = OpTrace(
+            op_id=op_id,
+            kind=rec.kind,
+            start_us=rec.start_us,
+            end_us=rec.start_us + latency_us,
+            latency_us=latency_us,
+            commands=commands,
+            status=status,
+            phases=rec.phases,
+            args=rec.args,
+        )
+        self.ops.append(op)
+        if self.current_op == op_id:
+            self.current_op = None
+        return op
+
+    @property
+    def open_ops(self) -> int:
+        """Operations begun but never ended (abandoned mid-flight)."""
+        return len(self._open)
+
+    # --- recording ----------------------------------------------------------
+
+    def span(
+        self,
+        category: str,
+        name: str,
+        start_us: float,
+        end_us: float,
+        phase: str | None = None,
+        phase_us: float | None = None,
+        resource: str | None = None,
+        **args,
+    ) -> None:
+        """Record a timed span; optionally attribute phase time.
+
+        ``phase_us`` defaults to the span duration but may differ: a NAND
+        program booked in a deferred window spans its timeline interval
+        while contributing zero clock time to the issuing op (the wait is
+        attributed when the completion is delivered).
+        """
+        if phase is not None:
+            op = self._open.get(self.current_op)  # type: ignore[arg-type]
+            if op is not None:
+                dur = end_us - start_us if phase_us is None else phase_us
+                if dur:
+                    op.phases[phase] = op.phases.get(phase, 0.0) + dur
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent(
+                ts_us=start_us,
+                dur_us=end_us - start_us,
+                category=category,
+                name=name,
+                op_id=self.current_op,
+                resource=resource,
+                args=args or None,
+            )
+        )
+
+    def add_phase(self, phase: str, dur_us: float) -> None:
+        """Attribute phase time to the current op without emitting an event."""
+        op = self._open.get(self.current_op)  # type: ignore[arg-type]
+        if op is not None and dur_us:
+            op.phases[phase] = op.phases.get(phase, 0.0) + dur_us
+
+    def instant(self, category: str, name: str, resource: str | None = None, **args) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        now = self.clock.now_us
+        self.span(category, name, now, now, resource=resource, **args)
+
+    # --- exporters ----------------------------------------------------------
+
+    def _header_obj(self) -> dict:
+        return {
+            "type": "header",
+            "version": TRACE_SCHEMA_VERSION,
+            "events": len(self.events),
+            "ops": len(self.ops),
+            "open_ops": self.open_ops,
+            "dropped_events": self.dropped_events,
+        }
+
+    def write_jsonl(self, dest: str | IO[str]) -> None:
+        """Dump header, every event, then every op as JSON lines."""
+        if isinstance(dest, str):
+            with open(dest, "w", encoding="utf-8") as fp:
+                self.write_jsonl(fp)
+            return
+        dest.write(json.dumps(self._header_obj()) + "\n")
+        for event in self.events:
+            dest.write(json.dumps(event.to_json_obj()) + "\n")
+        for op in self.ops:
+            dest.write(json.dumps(op.to_json_obj()) + "\n")
+
+    def chrome_trace(self) -> dict:
+        """The events as a Chrome ``trace_event`` document.
+
+        Load the written file in chrome://tracing (or Perfetto) to see
+        channel/way parallelism as horizontal lanes. Ops render on a
+        dedicated lane; resource-tagged spans (ways, channels, queues) get
+        one lane each; remaining categories share a lane per category.
+        """
+        tids: dict[str, int] = {"ops": 0}
+        def tid_for(lane: str) -> int:
+            if lane not in tids:
+                tids[lane] = len(tids)
+            return tids[lane]
+
+        trace_events: list[dict] = []
+        for op in self.ops:
+            trace_events.append(
+                {
+                    "name": f"{op.kind}#{op.op_id}",
+                    "cat": "op",
+                    "ph": "X",
+                    "ts": op.start_us,
+                    "dur": op.latency_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"status": op.status, "phases": op.phases},
+                }
+            )
+        for event in self.events:
+            lane = event.resource if event.resource is not None else event.category
+            obj = {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "X" if event.dur_us else "i",
+                "ts": event.ts_us,
+                "dur": event.dur_us,
+                "pid": 0,
+                "tid": tid_for(lane),
+            }
+            args = dict(event.args) if event.args else {}
+            if event.op_id is not None:
+                args["op"] = event.op_id
+            if args:
+                obj["args"] = args
+            trace_events.append(obj)
+        for lane, tid in tids.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, dest: str | IO[str]) -> None:
+        if isinstance(dest, str):
+            with open(dest, "w", encoding="utf-8") as fp:
+                self.write_chrome(fp)
+            return
+        json.dump(self.chrome_trace(), dest)
+
+    def report(self) -> dict[str, float]:
+        """Flat metric report: totals and per-kind phase means.
+
+        The same shape as ``MetricSet.snapshot()`` so bench harnesses can
+        merge it into their rows.
+        """
+        out: dict[str, float] = {
+            "trace.events": float(len(self.events)),
+            "trace.ops": float(len(self.ops)),
+            "trace.open_ops": float(self.open_ops),
+            "trace.dropped_events": float(self.dropped_events),
+        }
+        by_kind: dict[str, list[OpTrace]] = {}
+        for op in self.ops:
+            by_kind.setdefault(op.kind, []).append(op)
+        for kind, ops in sorted(by_kind.items()):
+            n = len(ops)
+            out[f"trace.{kind}.count"] = float(n)
+            out[f"trace.{kind}.latency_us.mean"] = sum(o.latency_us for o in ops) / n
+            for phase in PHASES:
+                total = sum(o.phases.get(phase, 0.0) for o in ops)
+                if total:
+                    out[f"trace.{kind}.phase.{phase}.mean_us"] = total / n
+        by_cat: dict[str, int] = {}
+        for event in self.events:
+            by_cat[event.category] = by_cat.get(event.category, 0) + 1
+        for cat, count in sorted(by_cat.items()):
+            out[f"trace.events.{cat}"] = float(count)
+        return out
+
+    def reset(self) -> None:
+        """Forget everything recorded (bench repetitions)."""
+        self.events.clear()
+        self.ops.clear()
+        self._open.clear()
+        self.current_op = None
+        self.dropped_events = 0
+
+
+def format_phase_table(ops: Iterable[OpTrace], kinds: tuple[str, ...] = ("put", "get")) -> str:
+    """Render mean per-phase durations per op kind as an aligned table."""
+    by_kind: dict[str, list[OpTrace]] = {}
+    for op in ops:
+        by_kind.setdefault(op.kind, []).append(op)
+    rows = []
+    header = f"{'phase':<12}" + "".join(
+        f"{kind + ' (us)':>16}" for kind in kinds if kind in by_kind
+    )
+    rows.append(header)
+    rows.append("-" * len(header))
+    shown = [k for k in kinds if k in by_kind]
+    for phase in PHASES:
+        cells = []
+        any_nonzero = False
+        for kind in shown:
+            ops_k = by_kind[kind]
+            mean = sum(o.phases.get(phase, 0.0) for o in ops_k) / len(ops_k)
+            any_nonzero = any_nonzero or mean != 0.0
+            cells.append(f"{mean:>16.3f}")
+        if any_nonzero:
+            rows.append(f"{phase:<12}" + "".join(cells))
+    total_cells = []
+    for kind in shown:
+        ops_k = by_kind[kind]
+        total_cells.append(
+            f"{sum(o.latency_us for o in ops_k) / len(ops_k):>16.3f}"
+        )
+    rows.append("-" * len(header))
+    rows.append(f"{'total':<12}" + "".join(total_cells))
+    return "\n".join(rows)

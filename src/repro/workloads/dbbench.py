@@ -66,6 +66,7 @@ def run_dbbench(
     seed: int = 0,
     config: BandSlimConfig | str = "adaptive",
     latency: LatencyModel | None = None,
+    tracer=None,
 ) -> DBBenchReport:
     """Run one named db_bench benchmark and return its report."""
     try:
@@ -75,5 +76,5 @@ def run_dbbench(
             f"unknown benchmark {benchmark!r}; available: {available_benchmarks()}"
         ) from None
     workload = factory(num_ops, value_size, seed)
-    result = run_workload(config, workload, latency=latency)
+    result = run_workload(config, workload, latency=latency, tracer=tracer)
     return DBBenchReport(benchmark=benchmark, result=result)

@@ -1,0 +1,143 @@
+"""Tracing end-to-end: observation-only, deterministic, phase-accurate.
+
+Three properties the tracer promises (docs/observability.md):
+
+1. A traced run is byte-identical to an untraced one — same latencies,
+   same PCIe bytes, same NAND programs, same metric snapshot.
+2. Per-op phase durations sum exactly to the op's latency.
+3. Same seed + config => identical event streams (reproducible traces).
+"""
+
+import pytest
+
+from repro.device.kvssd import KVSSD
+from repro.sim.runner import run_workload
+from repro.sim.trace import PHASES, Tracer
+from repro.workloads.workloads import workload_m, workload_mixed
+
+from tests.conftest import small_config
+
+
+def _core_snapshot(snapshot: dict) -> dict:
+    """Strip the tracer's merged report keys before comparing runs."""
+    return {k: v for k, v in snapshot.items() if not k.startswith("trace.")}
+
+
+def _event_key(event):
+    return (
+        event.ts_us,
+        event.dur_us,
+        event.category,
+        event.name,
+        event.op_id,
+        event.resource,
+        event.args,
+    )
+
+
+class TestObservationOnly:
+    def test_traced_run_matches_untraced_run(self):
+        workload = workload_mixed(150, read_fraction=0.4, seed=5)
+        plain = run_workload("backfill", workload)
+        tracer = Tracer()
+        traced = run_workload("backfill", workload, tracer=tracer)
+        assert traced.elapsed_us == plain.elapsed_us
+        assert traced.avg_response_us == plain.avg_response_us
+        assert traced.p99_response_us == plain.p99_response_us
+        assert traced.pcie_total_bytes == plain.pcie_total_bytes
+        assert traced.mmio_bytes == plain.mmio_bytes
+        assert traced.nand_page_writes_with_flush == plain.nand_page_writes_with_flush
+        assert _core_snapshot(traced.snapshot) == _core_snapshot(plain.snapshot)
+
+    def test_traced_snapshot_gains_report_keys(self):
+        tracer = Tracer()
+        result = run_workload("backfill", workload_m(60, seed=1), tracer=tracer)
+        assert result.snapshot["trace.ops"] == len(tracer.ops)
+        assert result.snapshot["trace.put.count"] > 0
+
+
+class TestPhaseAccounting:
+    def test_put_phases_sum_to_latency(self):
+        tracer = Tracer()
+        run_workload("backfill", workload_m(120, seed=2), tracer=tracer)
+        assert len(tracer.ops) == 120
+        assert tracer.open_ops == 0
+        for op in tracer.ops:
+            assert sum(op.phases.values()) == pytest.approx(
+                op.latency_us, abs=1e-9
+            ), f"op {op.op_id} ({op.kind})"
+            assert set(op.phases) <= set(PHASES)
+
+    def test_mixed_workload_covers_put_and_get(self):
+        tracer = Tracer()
+        run_workload(
+            "backfill", workload_mixed(120, read_fraction=0.5, seed=9),
+            tracer=tracer,
+        )
+        kinds = {op.kind for op in tracer.ops}
+        assert {"put", "get"} <= kinds
+        for op in tracer.ops:
+            assert sum(op.phases.values()) == pytest.approx(op.latency_us)
+
+    def test_pipelined_put_many_traces_every_op(self):
+        """QD>1 overlaps device work; phase sums must still be exact."""
+        tracer = Tracer()
+        device = KVSSD.build(config=small_config(), tracer=tracer)
+        pairs = [
+            (b"pm-%04d" % i, bytes([i % 256]) * 64) for i in range(200)
+        ]
+        results = device.driver.put_many(pairs, queue_depth=8)
+        assert len(results) == 200
+        assert len(tracer.ops) == 200
+        assert tracer.open_ops == 0
+        for op in tracer.ops:
+            assert sum(op.phases.values()) == pytest.approx(op.latency_us)
+        traced_latencies = sorted(op.latency_us for op in tracer.ops)
+        plain = KVSSD.build(config=small_config())
+        plain_results = plain.driver.put_many(pairs, queue_depth=8)
+        assert traced_latencies == sorted(r.latency_us for r in plain_results)
+
+    def test_get_phases_sum_to_latency(self):
+        tracer = Tracer()
+        device = KVSSD.build(config=small_config(), tracer=tracer)
+        device.driver.put(b"k1", b"v" * 100)
+        device.driver.get(b"k1", max_size=4096)
+        gets = [op for op in tracer.ops if op.kind == "get"]
+        assert len(gets) == 1
+        assert sum(gets[0].phases.values()) == pytest.approx(gets[0].latency_us)
+
+
+class TestDeterminism:
+    def test_same_seed_same_event_stream(self):
+        streams = []
+        for _ in range(2):
+            tracer = Tracer()
+            run_workload("backfill", workload_m(100, seed=4), tracer=tracer)
+            streams.append([_event_key(e) for e in tracer.events])
+        assert streams[0] == streams[1]
+        assert len(streams[0]) > 0
+
+    def test_different_seed_different_stream(self):
+        streams = []
+        for seed in (4, 5):
+            tracer = Tracer()
+            run_workload("backfill", workload_m(100, seed=seed), tracer=tracer)
+            streams.append([_event_key(e) for e in tracer.events])
+        assert streams[0] != streams[1]
+
+
+class TestSnapshotSatellites:
+    def test_traffic_meter_exports_payload_and_direction(self):
+        result = run_workload("backfill", workload_m(40, seed=3))
+        snap = result.snapshot
+        assert "pcie.payload_bytes" in snap
+        assert "pcie.host_to_device_bytes" in snap
+        assert 0 < snap["pcie.payload_bytes"] <= snap["pcie.total_bytes"]
+        assert 0 < snap["pcie.host_to_device_bytes"] <= snap["pcie.total_bytes"]
+
+    def test_empty_histograms_absent_from_run_snapshot(self):
+        # A pure-PUT workload never records a GET latency sample; its
+        # histogram must be omitted rather than reported as p99=0.
+        result = run_workload("backfill", workload_m(40, seed=3))
+        assert "driver.get_latency_us.p99" not in result.snapshot
+        assert result.snapshot["driver.put_latency_us.p99"] > 0

@@ -103,6 +103,23 @@ class TestRunningStat:
         assert b.count == 2
         assert b.mean == pytest.approx(1.5)
 
+    def test_merge_propagates_min_max_total(self):
+        a, b = RunningStat("a"), RunningStat("b")
+        a.record_many([3.0, 7.0])
+        b.record_many([-2.0, 11.0])
+        a.merge(b)
+        assert a.min == -2.0
+        assert a.max == 11.0
+        assert a.total == pytest.approx(19.0)
+
+    def test_merge_into_empty_copies_min_max_total(self):
+        a, b = RunningStat("a"), RunningStat("b")
+        b.record_many([4.0, 6.0])
+        a.merge(b)
+        assert a.min == 4.0
+        assert a.max == 6.0
+        assert a.total == pytest.approx(10.0)
+
 
 class TestHistogram:
     def test_requires_edges(self):
@@ -161,6 +178,46 @@ class TestHistogram:
         h.record(1)
         h.reset()
         assert h.count == 0
+        assert h.max == 0.0
+
+    def test_max_tracks_largest_sample(self):
+        h = Histogram("h", [1, 2, 4])
+        assert h.max == 0.0
+        h.record(0.5)
+        h.record(3.0)
+        assert h.max == 3.0
+
+    def test_overflow_percentile_reports_observed_max(self):
+        # The ISSUE repro: 99 samples at 100 us and one at 0.5 us against
+        # edges [1, 2, 4]. The p99 rank lands in the overflow bucket; the
+        # seed clamped it to the top edge (4.0 us), underreporting the tail
+        # by 25x. The fix reports the largest observed sample.
+        h = Histogram("h", [1, 2, 4])
+        for _ in range(99):
+            h.record(100.0)
+        h.record(0.5)
+        assert h.percentile(99) >= 100.0
+        assert h.percentile(50) >= 100.0
+
+    def test_overflow_without_samples_above_edges_uses_top_edge(self):
+        # All samples within range: overflow rank is unreachable, but a
+        # p=100 query of a top-bucket-heavy histogram stays interpolated.
+        h = Histogram("h", [10, 20])
+        h.record(15.0)
+        assert h.percentile(100) == pytest.approx(20.0)
+
+    def test_percentile_interpolates_past_empty_bins(self):
+        # An empty bin between populated ones must not satisfy the rank
+        # (the seed's cnt==0 path could return an edge uninterpolated).
+        h = Histogram("h", [10, 20, 30, 40])
+        for _ in range(2):
+            h.record(5.0)
+        for _ in range(2):
+            h.record(35.0)
+        # p75 -> rank 3, first bin holds 2, bins (10,20] and (20,30] empty,
+        # rank lands in (30,40] -> interpolate from 30.
+        assert h.percentile(75) == pytest.approx(35.0)
+
 
 class TestMetricSet:
     def test_counter_get_or_create(self):
@@ -200,3 +257,46 @@ class TestMetricSet:
         m.reset()
         assert m.counter("c").value == 0
         assert m.stat("s").count == 0
+
+    def test_snapshot_skips_never_recorded_histograms(self):
+        # A p50 of 0.0 for a histogram that saw no samples conflates
+        # "no data" with "zero latency"; empty histograms are omitted.
+        m = MetricSet("dev")
+        m.histogram("get_latency_us")
+        h = m.histogram("put_latency_us")
+        h.record(12.0)
+        snap = m.snapshot()
+        assert "dev.get_latency_us.p50" not in snap
+        assert "dev.get_latency_us.p99" not in snap
+        assert snap["dev.put_latency_us.count"] == 1.0
+        assert "dev.put_latency_us.p50" in snap
+
+    def test_snapshot_reports_stat_spread(self):
+        m = MetricSet()
+        s = m.stat("lat")
+        s.record_many([1.0, 3.0])
+        snap = m.snapshot()
+        assert snap["lat.min"] == 1.0
+        assert snap["lat.max"] == 3.0
+        assert snap["lat.stdev"] == pytest.approx(s.stdev)
+
+    def test_snapshot_omits_spread_for_empty_stats(self):
+        m = MetricSet()
+        m.stat("lat")
+        snap = m.snapshot()
+        assert snap["lat.count"] == 0.0
+        assert "lat.min" not in snap
+        assert "lat.stdev" not in snap
+
+    def test_seed_schema_reproduces_legacy_keys(self):
+        # The frozen goldens were captured with the seed's key set:
+        # mean/count/total only for stats, p50/p99 always (0.0 when empty).
+        m = MetricSet("dev")
+        m.stat("lat").record(5.0)
+        m.histogram("empty_hist")
+        snap = m.snapshot(seed_schema=True)
+        assert "dev.lat.min" not in snap
+        assert "dev.lat.stdev" not in snap
+        assert snap["dev.empty_hist.p50"] == 0.0
+        assert snap["dev.empty_hist.p99"] == 0.0
+        assert "dev.empty_hist.count" not in snap

@@ -1,0 +1,231 @@
+"""Unit tests for the per-command tracer (repro.sim.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.sim.trace import (
+    PHASES,
+    TRACE_SCHEMA_VERSION,
+    OpTrace,
+    Tracer,
+    format_phase_table,
+)
+
+
+class _Clock:
+    """Minimal stand-in for SimClock: just a now_us the tests can set."""
+
+    def __init__(self, now_us: float = 0.0) -> None:
+        self.now_us = now_us
+
+
+def _tracer(now_us: float = 0.0, **kwargs) -> Tracer:
+    return Tracer(clock=_Clock(now_us), **kwargs)
+
+
+class TestOpLifecycle:
+    def test_begin_op_assigns_sequential_ids_and_sets_current(self):
+        t = _tracer()
+        a = t.begin_op("put", value_size=100)
+        b = t.begin_op("get")
+        assert (a, b) == (0, 1)
+        assert t.current_op == b
+        assert t.open_ops == 2
+
+    def test_end_op_records_other_remainder(self):
+        t = _tracer(now_us=10.0)
+        op_id = t.begin_op("put")
+        t.span("pcie", "dma_h2d", 10.0, 13.0, phase="dma")
+        op = t.end_op(op_id, status="SUCCESS", latency_us=5.0)
+        assert op.phases["dma"] == pytest.approx(3.0)
+        assert op.phases["other"] == pytest.approx(2.0)
+        assert sum(op.phases.values()) == pytest.approx(op.latency_us)
+        assert t.open_ops == 0
+        assert t.current_op is None
+
+    def test_end_op_skips_negligible_other(self):
+        t = _tracer()
+        op_id = t.begin_op("put")
+        t.span("nand", "program", 0.0, 4.0, phase="nand")
+        op = t.end_op(op_id, status="SUCCESS", latency_us=4.0)
+        assert "other" not in op.phases
+
+    def test_pipelined_overlap_yields_negative_other(self):
+        # Overlapped device work can attribute more phase time than the
+        # op's wall latency; 'other' absorbs the (negative) difference so
+        # the sum identity still holds.
+        t = _tracer()
+        op_id = t.begin_op("put")
+        t.span("nand", "program", 0.0, 8.0, phase="nand")
+        op = t.end_op(op_id, status="SUCCESS", latency_us=5.0)
+        assert op.phases["other"] == pytest.approx(-3.0)
+        assert sum(op.phases.values()) == pytest.approx(5.0)
+
+    def test_phase_us_overrides_span_duration(self):
+        # A deferred NAND booking spans its timeline window but charges
+        # only the clock time the issuing op actually spent.
+        t = _tracer()
+        op_id = t.begin_op("put")
+        t.span("nand", "program", 100.0, 180.0, phase="nand", phase_us=0.0)
+        op = t.end_op(op_id, status="SUCCESS", latency_us=2.0)
+        assert "nand" not in op.phases
+        assert op.phases["other"] == pytest.approx(2.0)
+        assert t.events[0].dur_us == pytest.approx(80.0)
+
+    def test_end_op_keeps_kind_args_and_commands(self):
+        t = _tracer(now_us=7.0)
+        op_id = t.begin_op("put", value_size=64, method="piggyback")
+        op = t.end_op(op_id, status="SUCCESS", latency_us=3.0, commands=2)
+        assert op.kind == "put"
+        assert op.commands == 2
+        assert op.start_us == 7.0
+        assert op.end_us == pytest.approx(10.0)
+        assert op.args == {"value_size": 64, "method": "piggyback"}
+
+
+class TestRecording:
+    def test_span_tags_current_op(self):
+        t = _tracer()
+        op_id = t.begin_op("put")
+        t.span("pcie", "doorbell", 0.0, 0.1, phase="doorbell")
+        assert t.events[0].op_id == op_id
+
+    def test_span_outside_any_op_has_no_op_id(self):
+        t = _tracer()
+        t.span("nand", "flush_program", 0.0, 100.0, phase="nand")
+        assert t.events[0].op_id is None
+
+    def test_instant_is_zero_duration_at_clock_now(self):
+        t = _tracer(now_us=42.5)
+        t.instant("queue", "sq_submit", resource="sq1", occupancy=3)
+        ev = t.events[0]
+        assert ev.ts_us == 42.5
+        assert ev.dur_us == 0.0
+        assert ev.resource == "sq1"
+        assert ev.args == {"occupancy": 3}
+
+    def test_add_phase_does_not_emit_event(self):
+        t = _tracer()
+        op_id = t.begin_op("get")
+        t.add_phase("completion", 1.5)
+        assert t.events == []
+        op = t.end_op(op_id, status="SUCCESS", latency_us=1.5)
+        assert op.phases == {"completion": 1.5}
+
+    def test_max_events_cap_counts_drops_but_keeps_phases(self):
+        t = _tracer(max_events=1)
+        op_id = t.begin_op("put")
+        t.span("pcie", "dma_h2d", 0.0, 1.0, phase="dma")
+        t.span("nand", "program", 1.0, 3.0, phase="nand")
+        assert len(t.events) == 1
+        assert t.dropped_events == 1
+        op = t.end_op(op_id, status="SUCCESS", latency_us=3.0)
+        # Phase attribution survives the event drop.
+        assert op.phases["nand"] == pytest.approx(2.0)
+
+    def test_reset_clears_state(self):
+        t = _tracer(max_events=1)
+        t.begin_op("put")
+        t.span("a", "b", 0.0, 1.0)
+        t.span("a", "c", 1.0, 2.0)
+        t.reset()
+        assert t.events == []
+        assert t.ops == []
+        assert t.open_ops == 0
+        assert t.dropped_events == 0
+        assert t.current_op is None
+
+
+class TestExporters:
+    def _populated(self) -> Tracer:
+        t = _tracer()
+        op_id = t.begin_op("put", value_size=10)
+        t.span("pcie", "dma_h2d", 0.0, 2.0, phase="dma", bytes=128)
+        t.span("nand", "program", 2.0, 6.0, phase="nand", resource="way0")
+        t.end_op(op_id, status="SUCCESS", latency_us=6.0)
+        return t
+
+    def test_jsonl_header_events_then_ops(self):
+        t = self._populated()
+        buf = io.StringIO()
+        t.write_jsonl(buf)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["version"] == TRACE_SCHEMA_VERSION
+        assert lines[0]["events"] == 2
+        assert lines[0]["ops"] == 1
+        assert [ln["type"] for ln in lines[1:]] == ["event", "event", "op"]
+        event = lines[1]
+        assert event["cat"] == "pcie"
+        assert event["name"] == "dma_h2d"
+        assert event["args"] == {"bytes": 128}
+        op = lines[3]
+        assert op["kind"] == "put"
+        assert op["latency_us"] == pytest.approx(6.0)
+        assert sum(op["phases"].values()) == pytest.approx(op["latency_us"])
+
+    def test_jsonl_to_path(self, tmp_path):
+        t = self._populated()
+        path = tmp_path / "trace.jsonl"
+        t.write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + 2 + 1
+
+    def test_chrome_trace_lanes_and_metadata(self):
+        t = self._populated()
+        doc = t.chrome_trace()
+        events = doc["traceEvents"]
+        ops = [e for e in events if e.get("cat") == "op"]
+        assert len(ops) == 1
+        assert ops[0]["ph"] == "X"
+        assert ops[0]["tid"] == 0
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        # ops lane, pcie category lane, way0 resource lane.
+        assert {"ops", "pcie", "way0"} <= names
+
+    def test_report_totals_and_per_kind_means(self):
+        t = self._populated()
+        report = t.report()
+        assert report["trace.events"] == 2.0
+        assert report["trace.ops"] == 1.0
+        assert report["trace.open_ops"] == 0.0
+        assert report["trace.put.count"] == 1.0
+        assert report["trace.put.latency_us.mean"] == pytest.approx(6.0)
+        assert report["trace.put.phase.dma.mean_us"] == pytest.approx(2.0)
+        assert report["trace.put.phase.nand.mean_us"] == pytest.approx(4.0)
+        assert report["trace.events.pcie"] == 1.0
+        assert report["trace.events.nand"] == 1.0
+
+
+class TestFormatPhaseTable:
+    def test_table_shows_phases_and_totals(self):
+        ops = [
+            OpTrace(
+                op_id=0,
+                kind="put",
+                start_us=0.0,
+                end_us=5.0,
+                latency_us=5.0,
+                commands=1,
+                status="SUCCESS",
+                phases={"dma": 2.0, "nand": 3.0},
+            )
+        ]
+        table = format_phase_table(ops)
+        assert "put (us)" in table
+        assert "dma" in table
+        assert "nand" in table
+        assert "total" in table
+        # Phases with no time anywhere are not rendered as rows.
+        assert "backoff" not in table
+
+    def test_phase_order_is_fig12_taxonomy(self):
+        assert PHASES[0] == "doorbell"
+        assert PHASES[-1] == "other"
+        assert "nand" in PHASES and "memcpy" in PHASES

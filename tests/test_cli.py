@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+def _read_jsonl(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
 
 
 class TestInfo:
@@ -42,6 +48,66 @@ class TestWorkload:
 
     def test_unknown_workload(self, capsys):
         assert main(["workload", "--name", "W(Z)", "--num", "10"]) == 2
+
+
+class TestTrace:
+    def test_prints_phase_table(self, capsys):
+        assert main(["trace", "--name", "W(M)", "--num", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "traced ops" in out
+        assert "phase" in out
+        assert "total" in out
+
+    def test_writes_jsonl_and_chrome(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.chrome.json"
+        assert main(["trace", "--name", "W(M)", "--num", "30",
+                     "--out", str(jsonl), "--chrome", str(chrome)]) == 0
+        lines = _read_jsonl(jsonl)
+        assert lines[0]["type"] == "header"
+        assert lines[0]["version"] == 1
+        assert lines[0]["ops"] == 30
+        assert any(ln["type"] == "event" for ln in lines)
+        ops = [ln for ln in lines if ln["type"] == "op"]
+        assert len(ops) == 30
+        for op in ops:
+            assert sum(op["phases"].values()) == pytest.approx(op["latency_us"])
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_report_flag_prints_metrics(self, capsys):
+        assert main(["trace", "--name", "W(M)", "--num", "20",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "trace.put.count" in out
+
+    def test_unknown_workload(self):
+        assert main(["trace", "--name", "W(Z)", "--num", "10"]) == 2
+
+
+class TestTraceFlags:
+    def test_workload_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "w.jsonl"
+        assert main(["workload", "--name", "W(M)", "--num", "40",
+                     "--trace", str(path)]) == 0
+        assert _read_jsonl(path)[0]["type"] == "header"
+        assert "trace" in capsys.readouterr().out
+
+    def test_dbbench_trace_flag(self, tmp_path, capsys):
+        path = tmp_path / "d.jsonl"
+        assert main(["dbbench", "--benchmark", "fillseq", "--num", "40",
+                     "--value-size", "64", "--trace", str(path)]) == 0
+        assert _read_jsonl(path)[0]["type"] == "header"
+
+    def test_compare_trace_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["compare", "--workload", "W(M)", "--num", "40",
+                     "--configs", "baseline,backfill",
+                     "--trace", str(out_dir)]) == 0
+        for name in ("baseline", "backfill"):
+            lines = _read_jsonl(out_dir / f"{name}.jsonl")
+            assert lines[0]["type"] == "header"
+            assert lines[0]["ops"] > 0
 
 
 class TestCalibrate:
