@@ -2,11 +2,15 @@
 
 Run on the seed (pre-parallelism) tree to freeze the reference values the
 QD=1 / 1-channel / 1-way regression test compares against byte-for-byte.
+
+``--check`` regenerates the runs in memory and asserts they are
+byte-identical to the frozen file instead of rewriting it — CI uses this
+to prove a change left the seed behaviour untouched.
 """
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 from pathlib import Path
 
 from repro.core.config import preset
@@ -134,8 +138,8 @@ def drive_flash_direct() -> dict:
     }
 
 
-def main() -> None:
-    runs = {
+def capture_runs() -> dict:
+    return {
         "backfill_d": drive("backfill", 256 * MIB, workload_d(200, seed=7)),
         "baseline_mixed": drive(
             "baseline", 64 * MIB, workload_mixed(150, read_fraction=0.5, seed=3)
@@ -144,15 +148,46 @@ def main() -> None:
         "gc_churn": drive_gc_churn(16 * MIB, ops=380, keys=80),
         "flash_direct": drive_flash_direct(),
     }
-    out = Path(sys.argv[1] if len(sys.argv) > 1 else "tests/data/seed_golden_1x1.json")
-    out.write_text(json.dumps(runs, indent=1, sort_keys=True))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "out", nargs="?", default="tests/data/seed_golden_1x1.json",
+        help="golden file to write (or compare against with --check)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert the regenerated goldens match the frozen file "
+             "byte-for-byte instead of rewriting it",
+    )
+    args = parser.parse_args()
+    runs = capture_runs()
+    encoded = json.dumps(runs, indent=1, sort_keys=True)
+    out = Path(args.out)
+    if args.check:
+        frozen = out.read_text()
+        if encoded != frozen:
+            frozen_runs = json.loads(frozen)
+            drifted = sorted(
+                name
+                for name in set(runs) | set(frozen_runs)
+                if runs.get(name) != frozen_runs.get(name)
+            )
+            print(f"seed goldens DRIFTED from {out}: {', '.join(drifted)}")
+            return 1
+        print(f"seed goldens match {out} byte-for-byte "
+              f"({len(runs)} runs, {len(encoded)} bytes)")
+        return 0
+    out.write_text(encoded)
     for name, run in runs.items():
         print(
             f"{name}: clock={run['clock_now_us']:.3f}us"
             f" pcie={run.get('pcie_total_bytes', 0)}"
             f" programs={run.get('nand_page_programs', 0)}"
         )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Subcommands
 ``trace``       run a workload with per-command tracing and export events
 ``calibrate``   run the §3.2 threshold calibration and print the curves
 ``bench``       regenerate paper tables/figures (same as python -m repro.bench)
+``crashcheck``  cut power at sampled points and verify crash-consistency
 
 ``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
 ``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
@@ -204,6 +205,42 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crashcheck(args: argparse.Namespace) -> int:
+    from repro.core.config import preset as config_preset
+    from repro.recovery.crashcheck import run_crashcheck
+
+    config = config_preset(args.config) if args.config else None
+
+    def progress(done, total, report, violation_count):
+        if not args.quiet:
+            print(f"  cut {done:>3}/{total}: scanned {report.pages_scanned} "
+                  f"pages, torn {report.torn_pages}, replayed "
+                  f"{report.entries_replayed}, violations so far "
+                  f"{violation_count}")
+
+    report = run_crashcheck(
+        ops=args.ops,
+        crash_points=args.crash_points,
+        seed=args.seed,
+        config=config,
+        progress=progress,
+    )
+    print(f"crashcheck: {report.ops} ops, {report.crash_points} crash points, "
+          f"seed {report.seed}")
+    print(f"  dry run          {report.dry_run_us:.0f} us simulated")
+    print(f"  cuts fired       {report.cuts_fired}/{report.crash_points}")
+    print(f"  torn pages       {report.torn_pages} (all detected + retired)")
+    print(f"  entries replayed {report.entries_replayed}")
+    if report.ok:
+        print("  invariants       OK (flushed=>durable, "
+              "acked=>absent-or-durable, no corruption)")
+        return 0
+    print(f"  VIOLATIONS       {len(report.violations)}", file=sys.stderr)
+    for violation in report.violations:
+        print(f"    {violation}", file=sys.stderr)
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -274,6 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("calibrate", help="derive adaptive thresholds (§3.2)")
     p.add_argument("--ops", type=int, default=100)
 
+    p = sub.add_parser("crashcheck",
+                       help="verify crash-consistency under power loss")
+    p.add_argument("--ops", type=int, default=2_000)
+    p.add_argument("--crash-points", type=int, default=25)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--config", default=None, choices=sorted(PRESETS),
+                   help="base preset (crash-consistency mode is forced on)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cut progress lines")
+
     p = sub.add_parser("bench", help="regenerate paper tables/figures")
     p.add_argument("figures", nargs="*", default=["all"])
     p.add_argument("--ops", type=int, default=None)
@@ -290,6 +337,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "trace": _cmd_trace,
     "calibrate": _cmd_calibrate,
+    "crashcheck": _cmd_crashcheck,
     "bench": _cmd_bench,
 }
 

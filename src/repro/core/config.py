@@ -106,6 +106,12 @@ class BandSlimConfig:
     #: Per-command driver timeout in simulated µs; 0 disables timeout
     #: detection (the default — NAND flush stalls legitimately run long).
     command_timeout_us: float = 0.0
+    #: Crash-consistency mode (see docs/crash-consistency.md): the device
+    #: stamps per-page OOB metadata, honors NVMe FLUSH with a durable
+    #: manifest checkpoint, and supports ``KVSSD.remount()`` recovery.
+    #: Implied automatically when a fault plan enables power loss; off by
+    #: default so the seed goldens stay byte-identical.
+    crash_consistency: bool = False
 
     # --- experiment switches ----------------------------------------------------
     #: §4.2 disables NAND I/O to isolate transfer effects.

@@ -27,6 +27,7 @@ from repro.errors import (
     KeyNotFoundError,
     MediaError,
     NVMeError,
+    PowerLossError,
     TransferFaultError,
 )
 from repro.faults.injector import FaultInjector
@@ -89,6 +90,7 @@ class BandSlimController:
         cq: CompletionQueue,
         injector: FaultInjector | None = None,
         tracer=None,
+        journal=None,
     ) -> None:
         self.config = config
         self.link = link
@@ -108,6 +110,17 @@ class BandSlimController:
         self._opcode_names = {int(op): op.name.lower() for op in KVOpcode}
         self._pending: dict[int, _PendingValue] = {}
         self._flash = lsm.ftl.flash
+        #: Durability journal (crash-consistency mode). When present, every
+        #: committed value is recorded in the vLog value directory and the
+        #: FLUSH command writes a durable manifest checkpoint.
+        self._journal = journal
+        #: Power-loss gate, cached so the common no-power-faults path pays
+        #: one None check per command.
+        self._power_injector = (
+            injector
+            if injector is not None and injector.power_enabled
+            else None
+        )
         self.metrics = MetricSet("controller")
         # Cached: bumped once per command / per memcpy on the hot path.
         self._c_commands_processed = self.metrics.counter("commands_processed")
@@ -134,6 +147,7 @@ class BandSlimController:
         self._config_listeners: list = []
         #: Raw-opcode dispatch table (skips the enum lookup per command).
         self._handlers = {
+            int(KVOpcode.FLUSH): self._handle_flush,
             int(KVOpcode.BANDSLIM_WRITE): self._handle_write,
             int(KVOpcode.BANDSLIM_TRANSFER): self._handle_transfer,
             int(KVOpcode.KV_STORE): self._handle_store,
@@ -169,6 +183,8 @@ class BandSlimController:
     def _commit_value(self, pending: _PendingValue) -> None:
         addr = self.buffer.addr_of(pending.value_offset, pending.value_size)
         self.lsm.put(pending.key, addr)
+        if self._journal is not None:
+            self._journal.record_value(pending.key, addr, self.lsm.last_op_seq)
         self.policy.finalize_value()
         self._s_memcpy_us_per_op.record(self._op_memcpy_us)
         self._op_memcpy_us = 0.0
@@ -211,6 +227,13 @@ class BandSlimController:
         return cqe, finish_us
 
     def _process_one(self) -> NVMeCompletion:
+        if self._power_injector is not None and self._power_injector.power_down(
+            self.clock.now_us
+        ):
+            raise PowerLossError(
+                f"power lost at {self.clock.now_us:.1f} us: device frozen",
+                cut_us=self.clock.now_us,
+            )
         cmd = self.sq.fetch()
         tracer = self._tracer
         if tracer is None:
@@ -255,6 +278,19 @@ class BandSlimController:
         return NVMeCompletion(cid=cmd.cid, status=StatusCode.INVALID_OPCODE)
 
     # --- write path -----------------------------------------------------------
+
+    def _handle_flush(self, cmd) -> NVMeCompletion:
+        """NVMe FLUSH: drain volatile state, then checkpoint the manifest.
+
+        On completion everything acked before this command is durable —
+        the write buffer and MemTable have reached NAND, and the manifest
+        records the SSTable level layout plus the index-operation sequence
+        number up to which vLog directory entries are checkpointed.
+        """
+        self.flush_all()
+        if self._journal is not None:
+            self._journal.write_manifest(self.lsm)
+        return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS)
 
     def _handle_write(self, cmd) -> NVMeCompletion:
         req = parse_write_command(cmd)

@@ -45,6 +45,7 @@ from repro.nvme.admin import (
 from repro.nvme.kv import (
     build_delete_command,
     build_exist_command,
+    build_flush_command,
     build_list_command,
     build_retrieve_command,
     build_store_command,
@@ -759,3 +760,24 @@ class BandSlimDriver:
     def flush(self) -> None:
         """Drain device buffers (end of run / clean shutdown)."""
         self.controller.flush_all()
+
+    def nvme_flush(self) -> OpResult:
+        """NVMe FLUSH round trip: a durability barrier over the wire.
+
+        Unlike :meth:`flush` (a simulator convenience that pokes the
+        controller directly), this submits a real FLUSH command; when the
+        completion is reaped, every previously acked write is durable —
+        in crash-consistency mode the device has drained its buffers *and*
+        checkpointed its manifest, so a power cut afterwards loses nothing
+        acked before the flush.
+        """
+        tracer = self._tracer
+        op_id = 0
+        if tracer is not None:
+            op_id = tracer.begin_op("flush")
+        start = self.clock.now_us
+        cqe = self._roundtrip(build_flush_command(self._cid()))
+        elapsed = self.clock.now_us - start
+        if tracer is not None:
+            tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
+        return OpResult(latency_us=elapsed, commands=1, status=cqe.status)

@@ -169,6 +169,13 @@ class NandPageBuffer:
             events.append(self._flush_entry(next(iter(self._open)), forced=False))
         return events
 
+    def resume(self, next_index: int) -> None:
+        """Rebind an empty pool after remount: the next entry to open maps
+        to vLog page ``base_lpn + next_index`` (the durable tail)."""
+        if self._open:
+            raise PackingError("cannot resume a buffer with open entries")
+        self._next_index = next_index
+
     # --- data access ------------------------------------------------------------
 
     def _entry_for(self, offset: int) -> int:
@@ -290,6 +297,15 @@ class PackingPolicy(ABC):
     def on_forced_flush(self, event: FlushEvent) -> None:
         """React to a pool-overflow flush (subclasses adjust pointers)."""
 
+    def resume_at(self, offset: int) -> None:
+        """Reposition the placement pointers after remount.
+
+        ``offset`` is the page-aligned byte offset of the first reallocated
+        vLog page; any in-page packing or backfill opportunity that existed
+        before the crash is forfeited (that state was volatile).
+        """
+        raise PackingError(f"{type(self).__name__} cannot resume")
+
     def _open_handling_forced(self, end_offset: int) -> None:
         for event in self.buffer.open_through(end_offset):
             if event.forced:
@@ -337,6 +353,9 @@ class BlockPacking(PackingPolicy):
     def on_forced_flush(self, event: FlushEvent) -> None:
         self._cursor = max(self._cursor, event.end_offset)
 
+    def resume_at(self, offset: int) -> None:
+        self._cursor = offset
+
     @property
     def required_addressing(self) -> AddressingScheme:
         return AddressingScheme.PAGE
@@ -376,6 +395,9 @@ class AllPacking(PackingPolicy):
     def on_forced_flush(self, event: FlushEvent) -> None:
         self._wp = max(self._wp, event.end_offset)
 
+    def resume_at(self, offset: int) -> None:
+        self._wp = offset
+
     @property
     def required_addressing(self) -> AddressingScheme:
         return AddressingScheme.FINE
@@ -410,6 +432,9 @@ class SelectivePacking(PackingPolicy):
 
     def on_forced_flush(self, event: FlushEvent) -> None:
         self._wp = max(self._wp, event.end_offset)
+
+    def resume_at(self, offset: int) -> None:
+        self._wp = offset
 
     @property
     def required_addressing(self) -> AddressingScheme:
@@ -487,6 +512,12 @@ class BackfillPacking(PackingPolicy):
             self._wp = event.end_offset
         self.dlt.consume_below(self._wp)
         self._dma_frontier = max(self._dma_frontier, self._wp)
+
+    def resume_at(self, offset: int) -> None:
+        # The DLT is device DRAM — empty on a freshly-built policy; any
+        # backfillable gaps before the crash are gone for good.
+        self._wp = offset
+        self._dma_frontier = offset
 
     @property
     def required_addressing(self) -> AddressingScheme:

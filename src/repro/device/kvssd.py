@@ -56,6 +56,11 @@ class KVSSD:
     injector: FaultInjector | None = None
     #: Event tracer, present only when built with ``tracer=``.
     tracer: object | None = None
+    #: Durability journal, present only in crash-consistency mode (the
+    #: ``crash_consistency`` config knob, or a power-loss fault plan).
+    journal: object | None = None
+    #: RecoveryReport of the remount that produced this device, if any.
+    recovery: object | None = None
     geometry: NandGeometry = field(init=False)
 
     def __post_init__(self) -> None:
@@ -130,6 +135,22 @@ class KVSSD:
             base_lpn=vlog_pages, capacity_pages=usable_pages - vlog_pages
         )
 
+        # Durability mode: requested explicitly, or implied by a fault plan
+        # that can cut power (recovery is pointless without OOB metadata).
+        # Without it the journal stays None and every OOB/flush hook on the
+        # data path short-circuits — the seed goldens are byte-identical.
+        journal = None
+        if config.crash_consistency or (
+            injector is not None and injector.power_enabled
+        ):
+            from repro.recovery.journal import DurabilityJournal
+
+            # Manifest checkpoints live in logical pages above the
+            # vLog + SSTable space (they are found by scan, not mapped in
+            # advance, so the region only needs to not collide).
+            journal = DurabilityJournal(usable_pages, geometry.page_size)
+            ftl.attach_journal(journal)
+
         # §4.2 runs disable NAND I/O to isolate transfer effects: the
         # buffer discards flushes and the MemTable never spills.
         memtable_bytes = (
@@ -144,6 +165,7 @@ class KVSSD:
             clock,
             latency,
             LSMConfig(memtable_flush_bytes=memtable_bytes),
+            journal=journal,
         )
         buffer = NandPageBuffer(
             buffer_region,
@@ -173,6 +195,7 @@ class KVSSD:
             cq,
             injector=injector,
             tracer=tracer,
+            journal=journal,
         )
         admin_sq = SubmissionQueue(depth=queue_depth, qid=0)
         admin_cq = CompletionQueue(depth=queue_depth, qid=0)
@@ -202,7 +225,22 @@ class KVSSD:
             driver=driver,
             injector=injector,
             tracer=tracer,
+            journal=journal,
         )
+
+    # --- mount-time recovery ---------------------------------------------------
+
+    def remount(self) -> "KVSSD":
+        """Recover after a power cut: scan OOB, rebuild, replay.
+
+        Returns a fresh, usable :class:`KVSSD` sharing this device's flash
+        array, clock, link and injector; the recovery accounting is on
+        ``new_device.recovery``. Requires crash-consistency mode (see
+        ``config.crash_consistency``). This device must not be used after.
+        """
+        from repro.recovery.remount import remount
+
+        return remount(self)
 
     # --- metric roll-up -------------------------------------------------------
 
@@ -225,5 +263,13 @@ class KVSSD:
         out.update(self.lsm.store.metrics.snapshot(seed_schema=seed_schema))
         if self.injector is not None:
             out.update(self.injector.metrics.snapshot(seed_schema=seed_schema))
+        if not seed_schema:
+            # Device-health gauges (not MetricSet counters, so exported
+            # here): the crashcheck harness asserts the free pool never
+            # silently bottoms out. Gated off the seed schema, whose key
+            # set is frozen by the golden captures.
+            out["ftl.bad_blocks"] = float(self.ftl.bad_block_count)
+            out["ftl.free_blocks"] = float(self.ftl.free_block_count)
+            out["ftl.free_block_low_water"] = float(self.ftl.free_block_low_water)
         out["clock.now_us"] = self.clock.now_us
         return out

@@ -28,6 +28,7 @@ Hierarchy (indentation = inheritance)::
     │   ├── KeyNotFoundError   GET/DELETE on an absent key
     │   └── VLogError          value-log addressing failure
     ├── PackingError           page-buffer packing invariant violation
+    ├── PowerLossError         simulated power cut froze the device
     └── WorkloadError          workload specification cannot be generated
 
 The *usage* errors (:class:`ProgramError`, :class:`FTLError`, ...) mean the
@@ -147,6 +148,21 @@ class VLogError(LSMError):
 
 class PackingError(ReproError):
     """NAND page buffer packing policy invariant violation."""
+
+
+class PowerLossError(ReproError):
+    """A simulated power cut froze the device mid-operation.
+
+    Unlike the :class:`MediaError` subtree this is *not* converted into an
+    NVMe completion status — power loss takes the whole device down, so the
+    error escapes raw to the harness, which is expected to call
+    :meth:`repro.device.kvssd.KVSSD.remount` to bring the module back.
+    ``cut_us`` is the simulated timestamp at which power disappeared.
+    """
+
+    def __init__(self, message: str, *, cut_us: float = -1.0) -> None:
+        super().__init__(message)
+        self.cut_us = cut_us
 
 
 class WorkloadError(ReproError):

@@ -37,6 +37,19 @@ class FaultInjector:
         self.metrics.counter("read_bitflip_events")
         self.metrics.counter("bitflips_injected")
         self.metrics.counter("transfer_faults")
+        #: True while the simulated module is without power.
+        self.power_lost = False
+        #: Timestamp of the most recent cut (for reports), -1 if none yet.
+        self.last_cut_us = -1.0
+        # Power loss draws from its own stream: adding power knobs to a plan
+        # must never perturb the media-fault sequence above.
+        self.power_enabled = plan.power_enabled
+        self._power_rng = random.Random(plan.seed ^ 0x9E3779B1)
+        self._cuts = sorted(plan.power_loss_at_us)
+        self._next_cut = 0
+        if self.power_enabled:
+            self.metrics.counter("power_cuts")
+            self.metrics.counter("torn_pages")
 
     @property
     def enabled(self) -> bool:
@@ -51,6 +64,11 @@ class FaultInjector:
         so "the Nth program of block B" and "the Nth program anywhere"
         schedules compose without interfering.
         """
+        # Short-circuit when nothing is scripted: bookkeeping for a schedule
+        # that cannot match is wasted work, and keeping this path inert
+        # guarantees new fault kinds never shift existing seeded streams.
+        if not self.plan.scripted:
+            return None
         keys = [(site, None)]
         if block is not None:
             keys.append((site, block))
@@ -117,6 +135,52 @@ class FaultInjector:
             self.metrics.counter("transfer_faults").add(1)
             return True
         return False
+
+    # --- power loss ---------------------------------------------------------
+
+    def power_down(self, now_us: float) -> bool:
+        """True if the module is (or just went) without power at ``now_us``.
+
+        Consumes any scheduled cut whose timestamp has passed; the cut fires
+        at the first device activity at or after its timestamp.
+        """
+        if self.power_lost:
+            return True
+        if self._next_cut < len(self._cuts) and self._cuts[self._next_cut] <= now_us:
+            self._record_cut(self._cuts[self._next_cut])
+            self._next_cut += 1
+            return True
+        return False
+
+    def power_cut_during(self, start_us: float, end_us: float) -> float | None:
+        """Cut timestamp if power dies inside ``(start_us, end_us]``.
+
+        Checks the scheduled cut list first, then the per-program
+        probability; the probabilistic draw doubles as the (uniform) cut
+        position inside the window. Marks the module as down on a hit.
+        """
+        if self._next_cut < len(self._cuts):
+            cut = self._cuts[self._next_cut]
+            if cut <= end_us:
+                self._next_cut += 1
+                self._record_cut(max(cut, start_us))
+                return self.last_cut_us
+        p = self.plan.power_loss_per_program_p
+        if p > 0:
+            u = self._power_rng.random()
+            if u < p:
+                self._record_cut(start_us + (u / p) * (end_us - start_us))
+                return self.last_cut_us
+        return None
+
+    def power_restore(self) -> None:
+        """Bring the module back up (called by remount)."""
+        self.power_lost = False
+
+    def _record_cut(self, cut_us: float) -> None:
+        self.power_lost = True
+        self.last_cut_us = cut_us
+        self.metrics.counter("power_cuts").add(1)
 
     # --- internals ----------------------------------------------------------
 

@@ -91,6 +91,17 @@ class FaultPlan:
     #: block — reads of worn blocks degrade first, like real NAND.
     read_bitflip_per_erase: float = 0.0
 
+    # --- power loss ---------------------------------------------------------
+    #: Scripted power cuts: absolute simulated timestamps (µs) at which the
+    #: device loses power. The cut fires at the first device activity at or
+    #: after the timestamp; a cut landing inside a NAND program window tears
+    #: that page. Each timestamp fires at most once (remount re-arms none).
+    power_loss_at_us: tuple[float, ...] = field(default_factory=tuple)
+    #: Probability any one NAND page program is interrupted by a power cut
+    #: (drawn from a *separate* RNG stream so enabling this never perturbs
+    #: the media-fault sequence of an otherwise identical plan).
+    power_loss_per_program_p: float = 0.0
+
     # --- scripted one-shot faults ------------------------------------------
     scripted: tuple[ScriptedFault, ...] = field(default_factory=tuple)
 
@@ -108,15 +119,32 @@ class FaultPlan:
             rate = getattr(self, name)
             if rate < 0:
                 raise ConfigError(f"FaultPlan.{name} must be >= 0, got {rate}")
+        if not 0.0 <= self.power_loss_per_program_p <= 1.0:
+            raise ConfigError(
+                "FaultPlan.power_loss_per_program_p must be in [0, 1], "
+                f"got {self.power_loss_per_program_p}"
+            )
+        if not isinstance(self.power_loss_at_us, tuple):
+            object.__setattr__(
+                self, "power_loss_at_us", tuple(self.power_loss_at_us)
+            )
+        for cut in self.power_loss_at_us:
+            if cut < 0:
+                raise ConfigError(f"power_loss_at_us must be >= 0, got {cut}")
         # Accept any iterable of scripted faults but store a tuple so the
         # plan stays hashable/frozen.
         if not isinstance(self.scripted, tuple):
             object.__setattr__(self, "scripted", tuple(self.scripted))
 
     @property
+    def power_enabled(self) -> bool:
+        """True if this plan can ever cut power."""
+        return bool(self.power_loss_at_us) or self.power_loss_per_program_p > 0
+
+    @property
     def enabled(self) -> bool:
         """True if this plan can ever inject anything."""
-        return bool(self.scripted) or any(
+        return bool(self.scripted) or self.power_enabled or any(
             getattr(self, name) > 0
             for name in (
                 "program_fail_p",

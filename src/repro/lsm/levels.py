@@ -42,6 +42,7 @@ class LeveledStore:
         l1_page_budget: int = 64,
         level_size_ratio: int = 10,
         table_page_budget: int = 16,
+        journal=None,
     ) -> None:
         if max_levels < 2:
             raise LSMError(f"need at least 2 levels, got {max_levels}")
@@ -49,6 +50,11 @@ class LeveledStore:
             raise LSMError("bad compaction parameters")
         self.ftl = ftl
         self.space = space
+        #: Durability journal (crash-consistency mode); when present, dead
+        #: tables are *deferred-released* — their pages stay mapped until
+        #: the next manifest write, so a crash before the manifest lands
+        #: can still recover the previous checkpoint's tables.
+        self._journal = journal
         self.scheme = scheme
         self.max_levels = max_levels
         self.l0_compaction_trigger = l0_compaction_trigger
@@ -176,7 +182,7 @@ class LeveledStore:
         self.levels[0] = []
         self.levels[1] = sorted(keep + new_tables, key=lambda t: t.min_key)
         for t in inputs_new + overlapping:
-            t.release(self.ftl, self.space)
+            self._release(t)
         self.metrics.counter("compactions").add(1)
 
     def _compact_level(self, level: int) -> None:
@@ -198,7 +204,15 @@ class LeveledStore:
         new_tables = self._build_tables(merged)
         self.levels[level] = self.levels[level][1:]
         self.levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
-        victim.release(self.ftl, self.space)
+        self._release(victim)
         for t in overlapping:
-            t.release(self.ftl, self.space)
+            self._release(t)
         self.metrics.counter("compactions").add(1)
+
+    def _release(self, table: SSTable) -> None:
+        """Free a dead table's pages — immediately, or deferred until the
+        next durable manifest in crash-consistency mode."""
+        if self._journal is not None:
+            self._journal.defer_release(table)
+        else:
+            table.release(self.ftl, self.space)

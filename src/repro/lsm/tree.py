@@ -53,13 +53,21 @@ class LSMTree:
         clock: SimClock,
         latency: LatencyModel,
         config: LSMConfig | None = None,
+        journal=None,
     ) -> None:
         self.config = config or LSMConfig()
         self.ftl = ftl
         self.vlog = vlog
         self.clock = clock
         self.latency = latency
+        #: Durability journal (crash-consistency mode) or None; consulted
+        #: by the vLog compactor to defer trims past the next checkpoint.
+        self.journal = journal
         self.memtable = MemTable(self.config.scheme)
+        #: Monotonic index-operation sequence number; the durability
+        #: journal stamps vlog value-directory entries with it so remount
+        #: can replay exactly the ops newer than the last checkpoint.
+        self.last_op_seq = 0
         self.store = LeveledStore(
             ftl,
             sstable_space,
@@ -68,6 +76,7 @@ class LSMTree:
             l0_compaction_trigger=self.config.l0_compaction_trigger,
             l1_page_budget=self.config.l1_page_budget,
             level_size_ratio=self.config.level_size_ratio,
+            journal=journal,
         )
 
     # --- write path ---------------------------------------------------------
@@ -75,11 +84,13 @@ class LSMTree:
     def put(self, key: bytes, addr: ValueAddress) -> None:
         """Index a value that packing already placed in the vLog."""
         self.clock.advance(self.latency.memtable_insert_us)
+        self.last_op_seq += 1
         self.memtable.put(key, addr)
         self._maybe_flush()
 
     def delete(self, key: bytes) -> None:
         self.clock.advance(self.latency.memtable_insert_us)
+        self.last_op_seq += 1
         self.memtable.delete(key)
         self._maybe_flush()
 

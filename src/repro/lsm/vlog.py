@@ -77,6 +77,20 @@ class VLog:
     def contains(self, lpn: int) -> bool:
         return self.base_lpn <= lpn < self.end_lpn
 
+    def resume(self, next_lpn: int) -> None:
+        """Reset the tail allocator after remount.
+
+        Recovery rebuilds the FTL mapping from OOB metadata, then resumes
+        the vLog tail just past the last *durable* logical page; logical
+        pages that were open in the lost write buffer are reallocated.
+        """
+        if not self.base_lpn <= next_lpn <= self.end_lpn:
+            raise VLogError(
+                f"resume LPN {next_lpn} outside vLog "
+                f"[{self.base_lpn}, {self.end_lpn}]"
+            )
+        self._next_lpn = next_lpn
+
     def alloc_page(self) -> int:
         """Allocate the next logical page at the vLog tail."""
         if self._next_lpn >= self.end_lpn:

@@ -138,10 +138,24 @@ class VLogCompactor:
             moved_bytes += len(value)
 
         trimmed = 0
+        journal = self.lsm.journal
         for lpn in range(start, cutoff):
             if self.vlog.ftl.is_mapped(lpn):
-                self.vlog.ftl.trim(lpn)
+                if journal is not None:
+                    # Crash-consistency mode: the durable index may still
+                    # reference this page — trim only once the next
+                    # manifest checkpoint is durable.
+                    journal.defer_vlog_trim(lpn)
+                else:
+                    self.vlog.ftl.trim(lpn)
                 trimmed += 1
+        if journal is not None:
+            # Recorded in the next manifest so remount never re-maps the
+            # reclaimed range (trimmed-then-crashed pages must not
+            # resurrect once the trim is durable).
+            journal.vlog_trimmed_through = max(
+                journal.vlog_trimmed_through, cutoff
+            )
         self._compacted_through = cutoff
 
         self.metrics.counter("rounds").add(1)

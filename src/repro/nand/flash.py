@@ -36,13 +36,48 @@ actually holds, so erase clears only those instead of sweeping the whole
 
 from __future__ import annotations
 
-from repro.errors import EraseFailedError, NandError, ProgramError, ProgramFailedError
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import (
+    EraseFailedError,
+    NandError,
+    PowerLossError,
+    ProgramError,
+    ProgramFailedError,
+)
 from repro.faults.injector import FaultInjector
 from repro.nand.geometry import NandGeometry
 from repro.sim.clock import SimClock
 from repro.sim.latency import LatencyModel
 from repro.sim.stats import MetricSet
 from repro.sim.timeline import NandTimeline
+
+
+def page_crc(data: bytes) -> int:
+    """Payload CRC stored in the OOB area (the torn-page detector)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True, slots=True)
+class PageOOB:
+    """Per-page out-of-band (spare-area) metadata, programmed atomically
+    with the page.
+
+    Real NAND pages carry a spare area the FTL uses for crash recovery;
+    here it holds the logical page number, a device-wide monotonic program
+    sequence number (highest-seq-wins at remount), a payload CRC (a torn
+    page's stored CRC never matches its stored payload), and an opaque
+    ``meta`` tuple the durability journal uses for its vlog value
+    directory. Pages programmed without OOB (plain ``program(ppn, data)``)
+    cost nothing and cannot be recovered.
+    """
+
+    lpn: int
+    seq: int
+    crc: int = 0
+    torn: bool = False
+    meta: tuple = ()
 
 
 class NandFlash:
@@ -68,6 +103,9 @@ class NandFlash:
         #: Bit flips the most recent read returned (ECC input for the FTL).
         self.last_read_bitflips = 0
         self._pages: dict[int, bytes] = {}
+        #: OOB/spare-area metadata, present only for pages programmed with
+        #: ``oob=`` (i.e. in durability mode) — zero cost otherwise.
+        self._oob: dict[int, PageOOB] = {}
         #: Next programmable page index per block (in-block program order).
         self._next_page: dict[int, int] = {}
         #: PPNs holding data, per block — erase clears exactly these.
@@ -156,8 +194,13 @@ class NandFlash:
 
     # --- operations ----------------------------------------------------------
 
-    def program(self, ppn: int, data: bytes) -> None:
-        """Program one page. ``data`` may be short; it is page-padded."""
+    def program(self, ppn: int, data: bytes, oob: PageOOB | None = None) -> None:
+        """Program one page. ``data`` may be short; it is page-padded.
+
+        ``oob`` is written atomically with the page (except when a power
+        cut tears the program, in which case the stored CRC reflects only
+        the partially programmed payload and can never match it).
+        """
         geo = self.geometry
         if not 0 <= ppn < geo.total_pages:
             raise NandError(f"program PPN {ppn} outside module")
@@ -175,6 +218,8 @@ class NandFlash:
                 f"block {block}: pages must be programmed in order "
                 f"(expected page {expected}, got {in_block})"
             )
+        if self._injector is not None:
+            self._power_gate(self._injector)
         self._next_page[block] = in_block + 1
         if self._injector is not None:
             fault = self._injector.program_fault(block)
@@ -203,13 +248,25 @@ class NandFlash:
                 )
         if len(data) < geo.page_size:
             data = data + b"\x00" * (geo.page_size - len(data))
-        self._pages[ppn] = bytes(data)
-        programmed = self._programmed_by_block.get(block)
-        if programmed is None:
-            programmed = self._programmed_by_block[block] = set()
-        programmed.add(ppn)
-        self._c_page_programs.add(1)
-        self._c_bytes_programmed.add(geo.page_size)
+        if self._injector is not None and self._injector.power_enabled:
+            way = ppn // self._pages_per_way
+            t0 = self.clock.now_us
+            start, end = self.timeline.book_program(
+                way, t0, self._t_program_us, self._t_program_xfer_us
+            )
+            cut = self._injector.power_cut_during(start, end)
+            if cut is not None:
+                self._tear_page(ppn, block, data, oob, cut)
+            self._store_page(ppn, block, data, oob, geo)
+            self._settle(end)
+            if self._tracer is not None:
+                self._tracer.span(
+                    "nand", "program", start, end, phase="nand",
+                    phase_us=self.clock.now_us - t0,
+                    resource=f"way{way}", ppn=ppn,
+                )
+            return
+        self._store_page(ppn, block, data, oob, geo)
         tracer = self._tracer
         if tracer is None:
             _, end = self.timeline.book_program(
@@ -234,6 +291,87 @@ class NandFlash:
             phase_us=self.clock.now_us - t0, resource=f"way{way}", ppn=ppn,
         )
 
+    def _store_page(self, ppn, block, data, oob, geo) -> None:
+        self._pages[ppn] = bytes(data)
+        if oob is not None:
+            self._oob[ppn] = oob
+        programmed = self._programmed_by_block.get(block)
+        if programmed is None:
+            programmed = self._programmed_by_block[block] = set()
+        programmed.add(ppn)
+        self._c_page_programs.add(1)
+        self._c_bytes_programmed.add(geo.page_size)
+
+    def _tear_page(self, ppn, block, data, oob, cut_us) -> None:
+        """A power cut landed inside this program window: the page is
+        consumed and holds a *torn* payload — its stored OOB CRC covers only
+        the bits that made it, so it can never match the payload — and the
+        module freezes. Raises :class:`PowerLossError`."""
+        self._pages[ppn] = bytes(data)
+        partial = data[: max(1, self.geometry.page_size // 2)]
+        if oob is not None:
+            self._oob[ppn] = PageOOB(
+                lpn=oob.lpn, seq=oob.seq, crc=page_crc(partial),
+                torn=True, meta=oob.meta,
+            )
+        programmed = self._programmed_by_block.get(block)
+        if programmed is None:
+            programmed = self._programmed_by_block[block] = set()
+        programmed.add(ppn)
+        self._injector.metrics.counter("torn_pages").add(1)
+        self.clock.advance_to(cut_us)
+        raise PowerLossError(
+            f"power cut at {cut_us:.3f} us tore PPN {ppn}", cut_us=cut_us
+        )
+
+    def _power_gate(self, inj: FaultInjector) -> None:
+        """Freeze every media op once power is gone (or a scheduled cut's
+        timestamp has passed)."""
+        if inj.power_enabled and inj.power_down(self.clock.now_us):
+            raise PowerLossError(
+                f"device is powered down (cut at {inj.last_cut_us:.3f} us)",
+                cut_us=inj.last_cut_us,
+            )
+
+    # --- OOB / recovery access ----------------------------------------------
+
+    def page_oob(self, ppn: int) -> PageOOB | None:
+        """The OOB metadata of ``ppn`` (None if programmed without OOB)."""
+        return self._oob.get(ppn)
+
+    def programmed_ppns(self):
+        """All currently programmed PPNs, ascending (for recovery scans)."""
+        return sorted(self._pages)
+
+    def scan_read(self, ppn: int) -> tuple[bytes, PageOOB | None]:
+        """Recovery-mode page read: payload + OOB in one access.
+
+        Books a normal read on the timeline (mount-time scans are not free)
+        but bypasses the wear/bit-flip model — recovery judges page
+        integrity by the OOB CRC, not by ECC, so injected flips would only
+        double-count. Never raises for torn pages; the caller inspects the
+        OOB and decides.
+        """
+        if not 0 <= ppn < self.geometry.total_pages:
+            raise NandError(f"scan_read PPN {ppn} outside module")
+        try:
+            data = self._pages[ppn]
+        except KeyError:
+            raise NandError(f"scan_read of never-programmed PPN {ppn}") from None
+        self._c_page_reads.add(1)
+        way = ppn // self._pages_per_way
+        t0 = self.clock.now_us
+        start, end = self.timeline.book_read(
+            way, t0, self._t_read_us, self._t_read_xfer_us
+        )
+        self.clock.advance_to(end)
+        if self._tracer is not None:
+            self._tracer.span(
+                "nand", "scan_read", start, end, phase="nand",
+                phase_us=self.clock.now_us - t0, resource=f"way{way}", ppn=ppn,
+            )
+        return data, self._oob.get(ppn)
+
     def read(self, ppn: int) -> bytes:
         """Read one programmed page (full page size).
 
@@ -251,6 +389,7 @@ class NandFlash:
         except KeyError:
             raise NandError(f"read of never-programmed PPN {ppn}") from None
         if self._injector is not None:
+            self._power_gate(self._injector)
             block = self.geometry.block_of(ppn)
             flips = self._injector.read_bitflips(block, self.erase_count(block))
             self.last_read_bitflips = flips
@@ -282,6 +421,8 @@ class NandFlash:
         if not 0 <= block_index < geo.total_blocks:
             raise NandError(f"erase of block {block_index} outside module")
         way = block_index // geo.blocks_per_way
+        if self._injector is not None:
+            self._power_gate(self._injector)
         if self._injector is not None and self._injector.erase_fault(block_index):
             # A failed erase still holds the die for the full tBERS.
             self._c_erase_failures.add(1)
@@ -300,8 +441,10 @@ class NandFlash:
         programmed = self._programmed_by_block.pop(block_index, None)
         if programmed:
             pages = self._pages
+            oob = self._oob
             for ppn in programmed:
                 del pages[ppn]
+                oob.pop(ppn, None)
         self._next_page[block_index] = 0
         self._erase_counts[block_index] = self._erase_counts.get(block_index, 0) + 1
         self._c_block_erases.add(1)

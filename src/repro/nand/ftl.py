@@ -32,7 +32,7 @@ from repro.errors import (
     ProgramFailedError,
     ReadUncorrectableError,
 )
-from repro.nand.flash import NandFlash
+from repro.nand.flash import NandFlash, PageOOB, page_crc
 from repro.sim.stats import MetricSet
 
 
@@ -49,8 +49,15 @@ class PageMappedFTL:
         program_retry_limit: int = 4,
         spare_blocks: int | None = None,
         tracer=None,
+        journal=None,
     ) -> None:
         self.flash = flash
+        #: Durability journal (crash-consistency mode). When present every
+        #: program carries OOB metadata (LPN, monotonic sequence number,
+        #: payload CRC, vlog value-directory entries) so remount can
+        #: rebuild this in-RAM mapping from media alone.
+        self._journal = journal
+        self._seq = 0
         #: Optional repro.sim.trace.Tracer; recovery events become instants.
         self._tracer = tracer
         geo = flash.geometry
@@ -96,6 +103,10 @@ class PageMappedFTL:
             self._free_blocks[way] = blocks
             self._active_block[way] = None
         self._rr_way = 0
+        # Free-block low-water mark (crashcheck asserts the device never
+        # silently exhausts its spare headroom); plain ints, zero-cost.
+        self._free_count = geo.total_blocks
+        self._free_low_water = geo.total_blocks
         self._gc = None  # set via set_gc(); optional
         self._in_gc = False
         self._in_scrub = False
@@ -120,6 +131,12 @@ class PageMappedFTL:
         """Attach a garbage collector consulted when free space runs low."""
         self._gc = gc
 
+    def attach_journal(self, journal) -> None:
+        """Enable crash-consistency OOB stamping (before any write)."""
+        if self._map:
+            raise FTLError("cannot attach a journal to a written FTL")
+        self._journal = journal
+
     # --- queries -----------------------------------------------------------
 
     @property
@@ -129,6 +146,11 @@ class PageMappedFTL:
     @property
     def bad_block_count(self) -> int:
         return len(self._bad_blocks)
+
+    @property
+    def free_block_low_water(self) -> int:
+        """Fewest simultaneously-free blocks ever seen on this mount."""
+        return self._free_low_water
 
     def is_bad_block(self, block_index: int) -> bool:
         return block_index in self._bad_blocks
@@ -165,7 +187,12 @@ class PageMappedFTL:
         if lpn < 0:
             raise FTLError(f"negative LPN {lpn}")
         self._maybe_collect()
-        ppn = self._program_page(data)
+        if self._journal is None:
+            ppn = self._program_page(data)
+        else:
+            ppn = self._program_page(
+                data, lpn=lpn, meta=self._journal.pop_meta(lpn)
+            )
         self._invalidate_lpn(lpn)
         self._map[lpn] = ppn
         self._reverse[ppn] = lpn
@@ -232,27 +259,45 @@ class PageMappedFTL:
             if self._free_blocks[way]:
                 block = self._free_blocks[way].popleft()
                 self._active_block[way] = block
+                self._free_count -= 1
+                if self._free_count < self._free_low_water:
+                    self._free_low_water = self._free_count
                 return geo.first_ppn_of_block(block)
         raise FTLError("no free NAND pages in any way (GC exhausted)")
 
     # --- media recovery -------------------------------------------------------
 
-    def _program_page(self, data: bytes) -> int:
+    def _make_oob(self, lpn: int, data: bytes, meta: tuple) -> PageOOB:
+        """OOB block for one program: fresh sequence number + payload CRC
+        over the page-padded bytes (what a scan will read back)."""
+        self._seq += 1
+        page_size = self.flash.geometry.page_size
+        if len(data) < page_size:
+            data = data + b"\x00" * (page_size - len(data))
+        return PageOOB(lpn=lpn, seq=self._seq, crc=page_crc(data), meta=meta)
+
+    def _meta_of(self, ppn: int) -> tuple:
+        """Value-directory entries riding ``ppn``'s OOB (for relocation)."""
+        oob = self.flash.page_oob(ppn)
+        return oob.meta if oob is not None else ()
+
+    def _program_page(self, data: bytes, lpn: int = -1, meta: tuple = ()) -> int:
         """Program ``data`` on the next free page, recovering from failures.
 
         Transient failures burn the failed page and retry on the next one;
         permanent failures retire the block first. Gives up (and declares
         the device unwritable) after ``program_retry_limit`` retries.
         """
+        oob = None if self._journal is None else self._make_oob(lpn, data, meta)
         if self._injector is None:
             ppn = self._allocate_page()
-            self.flash.program(ppn, data)
+            self.flash.program(ppn, data, oob)
             return ppn
         last: ProgramFailedError | None = None
         for _ in range(self.program_retry_limit + 1):
             ppn = self._allocate_page()
             try:
-                self.flash.program(ppn, data)
+                self.flash.program(ppn, data, oob)
                 return ppn
             except ProgramFailedError as exc:
                 last = exc
@@ -319,7 +364,7 @@ class PageMappedFTL:
         old_ppn = self._map.get(lpn)
         if old_ppn is None:
             return
-        new_ppn = self._program_page(data)
+        new_ppn = self._program_page(data, lpn=lpn, meta=self._meta_of(old_ppn))
         self._remap(lpn, old_ppn, new_ppn)
         self.metrics.counter("reads_relocated").add(1)
         if self._tracer is not None:
@@ -344,6 +389,10 @@ class PageMappedFTL:
             self._free_blocks[way].remove(block)
         except ValueError:
             pass  # not free: active or fully programmed
+        else:
+            self._free_count -= 1
+            if self._free_count < self._free_low_water:
+                self._free_low_water = self._free_count
         if self._active_block.get(way) == block:
             self._active_block[way] = None
         if len(self._bad_blocks) > self.spare_blocks:
@@ -357,9 +406,63 @@ class PageMappedFTL:
             if lpn is None or not self.flash.is_programmed(ppn):
                 continue
             data, _ = self._read_page_ecc(ppn)
-            new_ppn = self._program_page(data)
+            new_ppn = self._program_page(data, lpn=lpn, meta=self._meta_of(ppn))
             self._remap(lpn, ppn, new_ppn)
             self._c_relocations.add(1)
+
+    # --- mount-time recovery ---------------------------------------------------
+
+    def adopt_mapping(
+        self,
+        mapping: dict[int, int],
+        bad_blocks=(),
+        next_seq: int = 0,
+    ) -> None:
+        """Rebuild the in-RAM FTL state from a recovery scan.
+
+        ``mapping`` is the lpn→ppn table the OOB scan decided on
+        (highest-sequence-number winner per LPN, torn pages excluded);
+        ``bad_blocks`` carries the persisted bad-block table across the
+        crash; ``next_seq`` is the highest OOB sequence number seen, so new
+        programs keep the device-wide ordering monotonic. Free/active block
+        state is derived from the flash module's program pointers: empty
+        blocks are free, one partial block per way resumes as active, and
+        any extra partial blocks are sealed (never programmed further).
+        """
+        geo = self.flash.geometry
+        reverse = {ppn: lpn for lpn, ppn in mapping.items()}
+        if len(reverse) != len(mapping):
+            raise FTLError("adopt_mapping: one PPN backs two LPNs")
+        self._map = dict(mapping)
+        self._reverse = reverse
+        valid: dict[int, int] = {}
+        for ppn in reverse:
+            block = geo.block_of(ppn)
+            valid[block] = valid.get(block, 0) + 1
+        self._valid_per_block = valid
+        self._bad_blocks = set(bad_blocks)
+        self._seq = next_seq
+        self._rr_way = 0
+        free_count = 0
+        for way in range(geo.total_ways):
+            queue = deque()
+            self._active_block[way] = None
+            for index in range(geo.blocks_per_way):
+                block = way * geo.blocks_per_way + index
+                if block in self._bad_blocks:
+                    continue
+                used = self.flash.pages_programmed_in_block(block)
+                if used == 0:
+                    queue.append(block)
+                elif used < geo.pages_per_block and self._active_block[way] is None:
+                    self._active_block[way] = block
+            self._free_blocks[way] = queue
+            free_count += len(queue)
+        self._free_count = free_count
+        self._free_low_water = free_count
+        if self._cache is not None:
+            for lpn in list(mapping):
+                self._cache.invalidate(lpn)
 
     def _maybe_collect(self) -> None:
         if self._gc is None or self._in_gc:
@@ -442,7 +545,7 @@ class PageMappedFTL:
                 data, _ = self._read_page_ecc(ppn)
             # Rewire the mapping by hand (not via write(): relocation must
             # not re-trigger GC or count as a logical write).
-            new_ppn = self._program_page(data)
+            new_ppn = self._program_page(data, lpn=lpn, meta=self._meta_of(ppn))
             self._remap(lpn, ppn, new_ppn)
             moved += 1
             self._c_relocations.add(1)
@@ -455,6 +558,7 @@ class PageMappedFTL:
             return moved
         way = block_index // geo.blocks_per_way
         self._free_blocks[way].append(block_index)
+        self._free_count += 1
         if self._tracer is not None:
             self._tracer.instant(
                 "ftl", "gc_relocate_block", block=block_index, moved=moved

@@ -145,6 +145,20 @@ def return_fragment_length_check(fragment: bytes) -> None:
         raise CommandFieldError(f"bad fragment length {len(fragment)}")
 
 
+def build_flush_command(cid: int, nsid: int = 1) -> NVMeCommand:
+    """NVMe FLUSH: persist everything acked before this command.
+
+    In crash-consistency mode the controller drains the NAND page buffer
+    and MemTable, then writes a durable manifest checkpoint; a power cut
+    after the completion can no longer lose any previously acked write.
+    """
+    cmd = NVMeCommand()
+    cmd.opcode = KVOpcode.FLUSH
+    cmd.cid = cid
+    cmd.nsid = nsid
+    return cmd
+
+
 def build_delete_command(cid: int, key: bytes, nsid: int = 1) -> NVMeCommand:
     cmd = NVMeCommand()
     cmd.opcode = KVOpcode.KV_DELETE

@@ -16,6 +16,9 @@ class KVOpcode(enum.IntEnum):
     """I/O command opcodes understood by the simulated KV-SSD."""
 
     # --- NVMe KV command set (standard) -----------------------------------
+    #: Flush: everything acked before this command is durable when it
+    #: completes (NVMe base spec semantics, reused by the KV command set).
+    FLUSH = 0x00
     #: Store a KV pair; value carried via PRP page-unit DMA (the Baseline).
     KV_STORE = 0x01
     #: Retrieve a value into host pages described by PRP.

@@ -1,0 +1,28 @@
+"""Crash consistency: durability journal, mount-time recovery, checker.
+
+The pieces (see docs/crash-consistency.md):
+
+* :class:`~repro.recovery.journal.DurabilityJournal` — device-side state
+  that makes volatile structures reconstructible: per-page OOB stamping
+  (via the FTL), the vLog value directory, and the manifest checkpoint
+  written at NVMe FLUSH.
+* :func:`~repro.recovery.remount.remount` — full-device OOB scan that
+  rebuilds the FTL mapping, restores the manifest's LSM level layout and
+  replays the durable vLog tail, returning a fresh :class:`KVSSD` plus a
+  :class:`~repro.recovery.remount.RecoveryReport`.
+* :func:`~repro.recovery.crashcheck.run_crashcheck` — the harness that
+  cuts power at sampled points of a seeded workload and verifies the
+  durability invariants after every remount.
+"""
+
+from repro.recovery.crashcheck import CrashCheckReport, run_crashcheck
+from repro.recovery.journal import DurabilityJournal
+from repro.recovery.remount import RecoveryReport, remount
+
+__all__ = [
+    "CrashCheckReport",
+    "DurabilityJournal",
+    "RecoveryReport",
+    "remount",
+    "run_crashcheck",
+]

@@ -1,0 +1,209 @@
+"""The durability journal: what the device persists beyond raw pages.
+
+Crash-consistency mode changes nothing about *where* data goes — values
+still pack into vLog pages, index entries into SSTable pages. What it adds
+is enough *metadata* for a cold remount to rebuild every volatile
+structure from media alone:
+
+* **OOB stamping** — every FTL program carries (LPN, device-wide sequence
+  number, payload CRC) in the page's spare area; the journal itself only
+  holds the *vLog value directory* entries waiting to ride along.
+* **vLog value directory** — each committed value records
+  ``(key, lpn, offset, size, op_seq)`` keyed by the *last* logical page of
+  its span; when that page is programmed, the entries embed in its OOB.
+  At remount, entries newer than the manifest checkpoint replay into the
+  LSM-tree — the WAL substitute that makes acked-and-flushed writes
+  durable without a separate log device.
+* **manifest checkpoint** — written only by the NVMe FLUSH command: the
+  SSTable level layout, the logical allocator states and the
+  index-operation sequence number up to which the tree is durable. Pages
+  live in a logical region above the vLog/SSTable space and are found by
+  the remount scan like any other page.
+* **deferred releases** — dead SSTables (compaction inputs) keep their
+  pages mapped until the *next* manifest is durable, so a crash between a
+  compaction and its checkpoint can still recover the previous layout.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ReproError
+
+#: Manifest page header: magic, generation, part index, part count,
+#: payload bytes in this part.
+_HEADER = struct.Struct("<4sIIII")
+_MAGIC = b"BSMF"
+
+
+class RecoveryError(ReproError):
+    """Mount-time recovery could not reconstruct a consistent device."""
+
+
+class DurabilityJournal:
+    """Crash-consistency bookkeeping shared by FTL, LSM and controller."""
+
+    def __init__(self, manifest_base_lpn: int, page_size: int) -> None:
+        if manifest_base_lpn <= 0 or page_size <= _HEADER.size:
+            raise RecoveryError(
+                f"bad journal shape: base {manifest_base_lpn}, "
+                f"page {page_size}"
+            )
+        self.manifest_base_lpn = manifest_base_lpn
+        self.page_size = page_size
+        #: Last-LPN of a value span -> directory entries waiting to embed
+        #: in that page's OOB when it programs.
+        self._pending: dict[int, list[tuple]] = {}
+        #: Dead SSTables whose pages stay mapped until the next manifest.
+        self._deferred: list = []
+        #: vLog pages the compactor reclaimed, trimmed only once the next
+        #: manifest is durable (the durable index may still reference them).
+        self._deferred_trims: list[int] = []
+        #: vLog compaction frontier as of the last durable manifest: every
+        #: logical page below it was durably trimmed, so the remount scan
+        #: must never map it again ("no resurrection").
+        self.vlog_trimmed_through = 0
+        #: op_seq up to which the manifest has the tree durable.
+        self.checkpoint_op_seq = 0
+        #: Monotonic manifest generation (0 = never written).
+        self.manifest_gen = 0
+        #: Next free logical page in the manifest region.
+        self._manifest_next = manifest_base_lpn
+        #: Logical pages of the currently durable manifest generation.
+        self.prev_manifest_lpns: list[int] = []
+
+    # --- vLog value directory ------------------------------------------------
+
+    def record_value(self, key: bytes, addr, op_seq: int) -> None:
+        """Register a committed value for OOB embedding.
+
+        The entry rides the *last* page of the value's span: replay needs
+        the whole value durable, and pages program in span order, so the
+        last page's arrival implies the others made it too (remount still
+        verifies every spanned LPN is mapped).
+        """
+        last_lpn = addr.lpn + (addr.offset + addr.size - 1) // self.page_size
+        entry = (bytes(key), addr.lpn, addr.offset, addr.size, op_seq)
+        self._pending.setdefault(last_lpn, []).append(entry)
+
+    def pop_meta(self, lpn: int) -> tuple:
+        """Directory entries to embed in ``lpn``'s OOB (consumed once)."""
+        entries = self._pending.pop(lpn, None)
+        return tuple(entries) if entries else ()
+
+    # --- deferred SSTable release ---------------------------------------------
+
+    def defer_release(self, table) -> None:
+        """Park a dead table until the next manifest is durable."""
+        self._deferred.append(table)
+
+    def defer_vlog_trim(self, lpn: int) -> None:
+        """Park a compacted vLog page until the next manifest is durable.
+
+        Trimming immediately would let GC erase a page the *durable* index
+        (last manifest + replayable directory entries) still references; a
+        crash before the next checkpoint would then read into the void.
+        """
+        self._deferred_trims.append(lpn)
+
+    # --- manifest checkpoint ----------------------------------------------------
+
+    def write_manifest(self, lsm) -> list[int]:
+        """Persist a new manifest generation; returns its logical pages.
+
+        Called with the device drained (buffer + MemTable flushed): the
+        serialized layout references only pages already on NAND. The
+        logical-space free list is serialized *as if* the deferred tables
+        were already released — they are, right after the new generation
+        is durable — so a crash on either side of the release restores a
+        consistent allocator.
+        """
+        space = lsm.store.space
+        deferred_lpns = [
+            lpn for table in self._deferred for lpn in table.lpns
+        ]
+        self.manifest_gen += 1
+        payload = json.dumps(
+            {
+                "gen": self.manifest_gen,
+                "op_seq": lsm.last_op_seq,
+                "vlog_next": lsm.vlog._next_lpn,
+                "vlog_trimmed_through": self.vlog_trimmed_through,
+                "space_next": space._next,
+                "space_free": sorted(space._free + deferred_lpns),
+                "levels": [
+                    [
+                        {
+                            "id": t.table_id,
+                            "entries": t.entry_count,
+                            "pages": t.lpns,
+                        }
+                        for t in level
+                    ]
+                    for level in lsm.store.levels
+                ],
+            },
+            separators=(",", ":"),
+        ).encode("ascii")
+        chunk_size = self.page_size - _HEADER.size
+        chunks = [
+            payload[i : i + chunk_size]
+            for i in range(0, len(payload), chunk_size)
+        ] or [b""]
+        lpns: list[int] = []
+        for part, chunk in enumerate(chunks):
+            lpn = self._manifest_next
+            self._manifest_next += 1
+            header = _HEADER.pack(
+                _MAGIC, self.manifest_gen, part, len(chunks), len(chunk)
+            )
+            lsm.ftl.write(lpn, header + chunk)
+            lpns.append(lpn)
+        # The new generation is durable: the previous one and the deferred
+        # tables' pages may now really go away.
+        for lpn in self.prev_manifest_lpns:
+            if lsm.ftl.is_mapped(lpn):
+                lsm.ftl.trim(lpn)
+        self.prev_manifest_lpns = lpns
+        self.checkpoint_op_seq = lsm.last_op_seq
+        for table in self._deferred:
+            table.release(lsm.ftl, space)
+        self._deferred.clear()
+        for trim_lpn in self._deferred_trims:
+            if lsm.ftl.is_mapped(trim_lpn):
+                lsm.ftl.trim(trim_lpn)
+        self._deferred_trims.clear()
+        return lpns
+
+
+def parse_manifest_page(data: bytes):
+    """Decode one manifest page: (gen, part, total, chunk) or None."""
+    if len(data) < _HEADER.size:
+        return None
+    magic, gen, part, total, length = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC or total < 1 or part >= total:
+        return None
+    if _HEADER.size + length > len(data):
+        return None
+    return gen, part, total, data[_HEADER.size : _HEADER.size + length]
+
+
+def assemble_manifest(parts: dict[int, tuple[int, bytes]]):
+    """Reassemble a generation's payload from its per-part chunks.
+
+    ``parts`` maps part index -> (declared part count, chunk). Returns the
+    parsed payload dict, or None if the generation is incomplete (a crash
+    landed mid-write) or corrupt.
+    """
+    if 0 not in parts:
+        return None
+    total = parts[0][0]
+    if sorted(parts) != list(range(total)):
+        return None
+    if any(declared != total for declared, _ in parts.values()):
+        return None
+    try:
+        return json.loads(b"".join(parts[i][1] for i in range(total)))
+    except (ValueError, UnicodeDecodeError):
+        return None

@@ -1,0 +1,69 @@
+"""Satellite: FLUSH after a pipelined burst reaps in NAND-finish order."""
+
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.units import MIB
+
+# No injector: put_many only pipelines without one (the fault-retry
+# protocol is synchronous); crash_consistency alone arms the journal.
+PIPELINE_CFG = BandSlimConfig().with_overrides(
+    crash_consistency=True,
+    nand_capacity_bytes=64 * MIB,
+    buffer_entries=8,
+    queue_depth=8,
+)
+
+
+def _pairs(count, size=4000):
+    return [
+        (
+            b"piped-%05d" % i,
+            bytes([(i * 17 + j) % 256 for j in range(64)]) * (size // 64),
+        )
+        for i in range(count)
+    ]
+
+
+class TestFlushAfterPipeline:
+    def test_flush_drains_pipelined_writes_to_durability(self):
+        device = KVSSD.build(PIPELINE_CFG)
+        pairs = _pairs(120)
+        results = device.driver.put_many(pairs, queue_depth=8)
+        assert all(r.ok for r in results)
+        flush_result = device.driver.nvme_flush()
+        assert flush_result.ok
+        assert device.journal.manifest_gen == 1
+        recovered = device.remount()
+        # Everything acked before the FLUSH must be byte-exact after a
+        # crash immediately following it.
+        for key, value in pairs:
+            assert recovered.driver.get(key).value == value, key
+
+    def test_interleaved_bursts_and_flushes(self):
+        device = KVSSD.build(PIPELINE_CFG)
+        everything = []
+        for burst in range(3):
+            pairs = _pairs(40, size=2500 + burst * 700)
+            pairs = [(b"b%d-" % burst + k, v) for k, v in pairs]
+            device.driver.put_many(pairs, queue_depth=8)
+            device.driver.nvme_flush()
+            everything.extend(pairs)
+        assert device.journal.manifest_gen == 3
+        recovered = device.remount()
+        for key, value in everything:
+            assert recovered.driver.get(key).value == value, key
+
+    def test_pipelined_and_sequential_flush_agree_on_content(self):
+        piped = KVSSD.build(PIPELINE_CFG)
+        seq = KVSSD.build(PIPELINE_CFG)
+        pairs = _pairs(60)
+        piped.driver.put_many(pairs, queue_depth=8)
+        for key, value in pairs:
+            seq.driver.put(key, value)
+        piped.driver.nvme_flush()
+        seq.driver.nvme_flush()
+        rec_piped = piped.remount()
+        rec_seq = seq.remount()
+        for key, value in pairs:
+            assert rec_piped.driver.get(key).value == value
+            assert rec_seq.driver.get(key).value == value

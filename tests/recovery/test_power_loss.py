@@ -1,0 +1,140 @@
+"""Power-loss injection: cuts, torn pages, frozen device, RNG isolation."""
+
+import pytest
+
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.errors import PowerLossError
+from repro.faults import FaultInjector, FaultPlan
+from repro.units import MIB
+
+CRASH_CFG = BandSlimConfig().with_overrides(
+    crash_consistency=True,
+    nand_capacity_bytes=64 * MIB,
+    buffer_entries=8,
+)
+
+
+def _fill(driver, count, tag=b"k", size=3000):
+    acked = {}
+    for i in range(count):
+        key = tag + b"-%05d" % i
+        value = bytes([(i * 13 + j) % 256 for j in range(64)]) * (size // 64)
+        driver.put(key, value)
+        acked[key] = value
+    return acked
+
+
+class TestScriptedCut:
+    def test_cut_fires_and_freezes_the_device(self):
+        plan = FaultPlan(power_loss_at_us=(5_000.0,))
+        device = KVSSD.build(CRASH_CFG, fault_plan=plan)
+        with pytest.raises(PowerLossError):
+            _fill(device.driver, 500)
+        assert device.injector.power_lost
+        assert device.injector.last_cut_us >= 5_000.0
+        # Frozen: every further command dies the same way until remount.
+        with pytest.raises(PowerLossError):
+            device.driver.put(b"after", b"the lights went out")
+        snap = device.injector.metrics.snapshot()
+        assert snap["faults.power_cuts"] == 1
+
+    def test_cut_beyond_activity_never_fires(self):
+        plan = FaultPlan(power_loss_at_us=(10**12,))
+        device = KVSSD.build(CRASH_CFG, fault_plan=plan)
+        _fill(device.driver, 20)
+        assert not device.injector.power_lost
+
+    def test_power_plan_implies_journal(self):
+        cfg = BandSlimConfig().with_overrides(nand_capacity_bytes=64 * MIB)
+        assert not cfg.crash_consistency
+        device = KVSSD.build(cfg, fault_plan=FaultPlan(power_loss_at_us=(1.0,)))
+        assert device.journal is not None
+
+
+class TestTornPages:
+    def test_cut_inside_a_program_window_tears_the_page(self):
+        plan = FaultPlan(power_loss_per_program_p=1.0)
+        device = KVSSD.build(CRASH_CFG, fault_plan=plan)
+        page = device.geometry.page_size
+        with pytest.raises(PowerLossError):
+            # Overflow the 8-entry pool so a NAND program must happen.
+            _fill(device.driver, 12, size=page)
+        snap = device.injector.metrics.snapshot()
+        assert snap["faults.torn_pages"] >= 1
+        torn = [
+            ppn
+            for ppn in device.flash.programmed_ppns()
+            if device.flash.page_oob(ppn) is not None
+            and device.flash.page_oob(ppn).torn
+        ]
+        assert torn  # the interrupted program left a marked torn page
+
+
+class TestRngIsolation:
+    """Satellite: power knobs must never perturb seeded media-fault streams."""
+
+    MEDIA_PLAN = FaultPlan(
+        seed=1234,
+        program_fail_p=0.3,
+        program_fail_permanent_ratio=0.5,
+        erase_fail_p=0.2,
+        read_bitflip_base=1.0,
+    )
+
+    def _media_trace(self, injector: FaultInjector, power_noise: bool) -> list:
+        trace = []
+        for i in range(200):
+            trace.append(injector.program_fault(block=i % 8))
+            if power_noise:
+                # Power draws between media draws: separate RNG stream, so
+                # the media decisions below must be unaffected.
+                injector.power_cut_during(float(i), float(i) + 0.5)
+                injector.power_restore()
+            trace.append(injector.erase_fault(block=i % 8))
+            trace.append(injector.read_bitflips(block=i % 8, erase_count=i % 5))
+        return trace
+
+    def test_power_draws_do_not_shift_media_decisions(self):
+        plain = self._media_trace(FaultInjector(self.MEDIA_PLAN), False)
+        noisy_plan = FaultPlan(
+            **{
+                **self.MEDIA_PLAN.__dict__,
+                "power_loss_per_program_p": 0.25,
+            }
+        )
+        noisy = self._media_trace(FaultInjector(noisy_plan), True)
+        assert plain == noisy
+
+    def test_scheduled_cuts_do_not_shift_media_decisions(self):
+        plain = self._media_trace(FaultInjector(self.MEDIA_PLAN), False)
+        scheduled_plan = FaultPlan(
+            **{
+                **self.MEDIA_PLAN.__dict__,
+                "power_loss_at_us": (50.0, 120.0),
+            }
+        )
+        scheduled = self._media_trace(FaultInjector(scheduled_plan), True)
+        assert plain == scheduled
+
+
+class TestSnapshotHealthGauges:
+    """Satellite: bad-block count and free-block low-water in snapshot()."""
+
+    def test_gauges_present_in_default_snapshot(self):
+        device = KVSSD.build(CRASH_CFG)
+        _fill(device.driver, 30)
+        snap = device.snapshot()
+        assert snap["ftl.bad_blocks"] == 0.0
+        assert snap["ftl.free_blocks"] >= 0.0
+        assert snap["ftl.free_block_low_water"] <= snap["ftl.free_blocks"] + (
+            device.geometry.total_ways  # active blocks left the free pool
+        )
+        assert snap["ftl.free_block_low_water"] >= 0.0
+
+    def test_gauges_absent_from_seed_schema(self):
+        device = KVSSD.build(BandSlimConfig())
+        snap = device.snapshot(seed_schema=True)
+        assert "ftl.bad_blocks" not in snap
+        assert "ftl.free_blocks" not in snap
+        assert "ftl.free_block_low_water" not in snap

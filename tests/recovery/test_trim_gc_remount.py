@@ -1,0 +1,111 @@
+"""Satellite: trim + GC + crash interplay — no resurrection, no void reads."""
+
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.errors import KeyNotFoundError
+from repro.lsm.vlog_gc import VLogCompactor
+from repro.units import MIB
+
+CRASH_CFG = BandSlimConfig().with_overrides(
+    crash_consistency=True,
+    nand_capacity_bytes=64 * MIB,
+    buffer_entries=8,
+)
+
+
+def _get(driver, key):
+    try:
+        return driver.get(key).value
+    except KeyNotFoundError:
+        return None
+
+
+def _churn(driver, rounds=6, keys=20, size=3000):
+    """Overwrite the same keys repeatedly: most vLog bytes become dead."""
+    live = {}
+    for r in range(rounds):
+        for i in range(keys):
+            key = b"churn-%03d" % i
+            value = bytes([(r * 31 + i + j) % 256 for j in range(64)]) * (
+                size // 64
+            )
+            driver.put(key, value)
+            live[key] = value
+    return live
+
+
+class TestDeferredTrim:
+    def test_compactor_defers_trims_until_checkpoint(self):
+        device = KVSSD.build(CRASH_CFG)
+        live = _churn(device.driver)
+        device.driver.nvme_flush()
+        compactor = VLogCompactor(device.lsm, device.policy, device.buffer)
+        report = compactor.compact()
+        assert report.pages_trimmed > 0
+        victims = [
+            lpn
+            for lpn in range(device.vlog.base_lpn, compactor.compacted_through_lpn)
+            if device.ftl.is_mapped(lpn)
+        ]
+        # Crash-consistency mode: the reclaimed pages stay mapped (the
+        # durable index still references them) until the next checkpoint.
+        assert victims
+        device.driver.nvme_flush()
+        assert not any(device.ftl.is_mapped(lpn) for lpn in victims)
+        for key, value in live.items():
+            assert _get(device.driver, key) == value
+
+    def test_crash_before_checkpoint_keeps_old_copies_readable(self):
+        device = KVSSD.build(CRASH_CFG)
+        live = _churn(device.driver)
+        device.driver.nvme_flush()
+        compactor = VLogCompactor(device.lsm, device.policy, device.buffer)
+        assert compactor.compact().pages_trimmed > 0
+        # Crash NOW: the relocations and trims were never checkpointed, so
+        # recovery must serve every value from the pre-compaction copies —
+        # which deferral kept mapped and therefore safe from GC erase.
+        recovered = device.remount()
+        for key, value in live.items():
+            assert _get(recovered.driver, key) == value, key
+
+    def test_trimmed_then_crashed_lpns_do_not_resurrect(self):
+        device = KVSSD.build(CRASH_CFG)
+        live = _churn(device.driver)
+        device.driver.nvme_flush()
+        compactor = VLogCompactor(device.lsm, device.policy, device.buffer)
+        assert compactor.compact().pages_trimmed > 0
+        cutoff = compactor.compacted_through_lpn
+        device.driver.nvme_flush()  # trim becomes durable with the manifest
+        # Unflushed tail work after the checkpoint, then crash.
+        device.driver.put(b"tail", b"unflushed tail write")
+        recovered = device.remount()
+        # The durably reclaimed range must not come back from the scan,
+        # even though its physical pages may still sit intact on flash.
+        assert not any(
+            recovered.ftl.is_mapped(lpn)
+            for lpn in range(recovered.vlog.base_lpn, cutoff)
+        )
+        assert recovered.journal.vlog_trimmed_through == cutoff
+        for key, value in live.items():
+            assert _get(recovered.driver, key) == value, key
+
+
+class TestFtlTrimGc:
+    def test_trim_makes_pages_reclaimable_by_gc(self):
+        device = KVSSD.build(CRASH_CFG)
+        ftl = device.ftl
+        page = device.geometry.page_size
+        base = device.lsm.store.space.base_lpn
+        lpns = list(range(base, base + 12))
+        for lpn in lpns:
+            ftl.write(lpn, bytes([lpn % 256]) * page)
+        victim_ppns = [ftl.ppn_of(lpn) for lpn in lpns[:6]]
+        for lpn in lpns[:6]:
+            ftl.trim(lpn)
+        # The trimmed pages' physical copies are invalid: GC may erase
+        # their block without relocating them, and they back no LPN.
+        for lpn, ppn in zip(lpns[:6], victim_ppns):
+            assert not ftl.is_mapped(lpn)
+            assert ftl.lpn_of(ppn) is None
+        for lpn in lpns[6:]:
+            assert ftl.is_mapped(lpn)

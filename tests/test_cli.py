@@ -145,3 +145,18 @@ class TestIdentify:
         assert "IDENTIFY controller" in out
         assert "write piggyback capacity    35 B" in out
         assert "packing policy              backfill" in out
+
+
+class TestCrashCheck:
+    def test_small_run_exits_zero(self, capsys):
+        assert main(["crashcheck", "--ops", "120", "--crash-points", "2",
+                     "--seed", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants       OK" in out
+        assert "cuts fired" in out
+
+    def test_progress_lines_by_default(self, capsys):
+        assert main(["crashcheck", "--ops", "100", "--crash-points", "2",
+                     "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "cut   1/2" in out
