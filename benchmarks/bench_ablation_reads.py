@@ -3,19 +3,29 @@
 The paper evaluates writes only; a natural question for adopters is whether
 byte-offset value placement costs anything on reads. It shouldn't — a value
 at offset 74 of a 16 KiB page reads the same one page as a value at offset
-0 — and this bench verifies that, sweeping value sizes and packing policies
-on a read-heavy mixed workload.
+0 — and the serial sweep verifies that across packing policies.
+
+The pipelined sweep then measures what packing *buys* reads: with
+``get_many`` keeping a queue of GETs in flight, in-flight commands whose
+values share a physical page coalesce onto one NAND sense (the packed
+layouts put hundreds of 64 B values on a page; Block's 4 KiB slots cap it
+at 4), so the densely packed layouts turn their space win into a read
+bandwidth win. Coalesce and cache hit rates are reported beside latency.
 """
 
 from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.core.config import preset
+from repro.device.kvssd import KVSSD
 from repro.sim.runner import run_workload
 from repro.workloads.workloads import workload_mixed
 
 OPS = _bench_ops(1500)
 POLICIES = ("block", "all", "backfill")
+VALUE_SIZE = 64
+CACHE_PAGES = 64
 
 
-def _sweep():
+def _serial_sweep():
     rows = []
     for policy in POLICIES:
         r = run_workload(
@@ -45,8 +55,69 @@ def _sweep():
     )
 
 
+def _pipelined_run(policy: str, queue_depth: int, cache_pages: int) -> dict:
+    cfg = preset(
+        policy,
+        buffer_entries=16,
+        dlt_capacity=16,
+        queue_depth=queue_depth,
+        read_cache_pages=cache_pages,
+    )
+    device = KVSSD.build(cfg)
+    keys = [b"abl-%06d" % i for i in range(OPS)]
+    pairs = [(key, bytes([i % 256]) * VALUE_SIZE) for i, key in enumerate(keys)]
+    device.driver.put_many(pairs)
+    device.driver.flush()
+    before = device.snapshot()
+    t0 = device.clock.now_us
+    results = device.driver.get_many(keys, max_size=4096)
+    elapsed = device.clock.now_us - t0
+    assert all(r.ok for r in results)
+    after = device.snapshot()
+    sensed = after["nand.page_reads"] - before["nand.page_reads"]
+    coalesced = after.get("nand.coalesced_reads", 0.0) - before.get(
+        "nand.coalesced_reads", 0.0
+    )
+    total = sensed + coalesced
+    cache = device.ftl._cache
+    return {
+        "us_per_get": elapsed / OPS,
+        "nand_reads_per_get": sensed / OPS,
+        "coalesce_rate": coalesced / total if total else 0.0,
+        "cache_hit_rate": cache.hit_rate if cache is not None else 0.0,
+    }
+
+
+def _pipelined_sweep():
+    rows = []
+    for policy in POLICIES:
+        for qd, cache_pages in ((1, 0), (8, 0), (8, CACHE_PAGES)):
+            r = _pipelined_run(policy, qd, cache_pages)
+            rows.append(
+                [policy, qd, cache_pages,
+                 round(r["us_per_get"], 2),
+                 round(r["nand_reads_per_get"], 3),
+                 round(r["coalesce_rate"], 3),
+                 round(r["cache_hit_rate"], 3)]
+            )
+    return FigureResult(
+        figure_id="ablation_reads_pipelined",
+        title=f"Pipelined GETs ({OPS} x {VALUE_SIZE} B values): "
+              f"packing x queue depth x cache",
+        columns=["policy", "queue_depth", "cache_pages", "us_per_get",
+                 "nand_reads_per_get", "coalesce_rate", "cache_hit_rate"],
+        rows=rows,
+        notes=[
+            "qd>1 overlaps index probes and value reads across ways and "
+            "coalesces in-flight reads of shared pages into one sense",
+            "packed layouts coalesce value reads that Block's "
+            "one-value-per-slot layout cannot",
+        ],
+    )
+
+
 def bench_read_path(benchmark, emit):
-    fig = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    fig = benchmark.pedantic(_serial_sweep, rounds=1, iterations=1)
     emit([fig])
     reads = dict(zip(fig.column("policy"), fig.column("nand_reads_per_get")))
     gets = dict(zip(fig.column("policy"), fig.column("get_latency_us")))
@@ -56,3 +127,30 @@ def bench_read_path(benchmark, emit):
     # And GET latency must not regress materially.
     assert gets["backfill"] <= gets["block"] * 1.2
     benchmark.extra_info["reads_per_get_backfill"] = reads["backfill"]
+
+
+def bench_read_pipeline(benchmark, emit):
+    fig = benchmark.pedantic(_pipelined_sweep, rounds=1, iterations=1)
+    emit([fig])
+    by_key = {
+        (row[0], row[1], row[2]): dict(zip(fig.columns, row))
+        for row in fig.rows
+    }
+    for policy in POLICIES:
+        serial = by_key[(policy, 1, 0)]
+        piped = by_key[(policy, 8, 0)]
+        # Pipelining must cut per-GET time and coalesce some reads.
+        assert piped["us_per_get"] < serial["us_per_get"] / 2
+        assert piped["coalesce_rate"] > 0.0
+        # The serial path books every read for real.
+        assert serial["coalesce_rate"] == 0.0
+    cached = by_key[("all", 8, CACHE_PAGES)]
+    assert cached["cache_hit_rate"] > 0.5
+    benchmark.extra_info["packed_coalesce_rate"] = by_key[("all", 8, 0)][
+        "coalesce_rate"
+    ]
+    benchmark.extra_info["packed_pipeline_speedup"] = round(
+        by_key[("all", 1, 0)]["us_per_get"]
+        / by_key[("all", 8, 0)]["us_per_get"],
+        2,
+    )

@@ -102,6 +102,108 @@ def run_scaling_sweep(ops: int, sweep) -> list[dict]:
     return rows
 
 
+def run_read_scaling_sweep(ops: int, sweep) -> list[dict]:
+    """Pipelined-read scaling: GET-only and mixed rf=0.5, cache on/off.
+
+    Values are small (64 B) and densely packed (preset ``all``), so the
+    serial baseline is dominated by two dependent NAND reads per GET
+    (SSTable index probe + value page) while the pipelined path overlaps
+    them across ways and coalesces shared-page senses. Rows report
+    *simulated* read throughput plus the coalesce and cache hit rates;
+    speedups are computed within each (kind, cache) group against its
+    1x1/QD1 row.
+    """
+    rows = []
+    for cache_pages in (0, 256):
+        for kind in ("get", "mixed"):
+            for channels, ways, qd in sweep:
+                cfg = preset(
+                    "all",
+                    nand_capacity_bytes=512 * MIB,
+                    nand_channels=channels,
+                    nand_ways=ways,
+                    queue_depth=qd,
+                    read_cache_pages=cache_pages,
+                )
+                device = KVSSD.build(config=cfg)
+                keys = [b"rbench-%06d" % i for i in range(ops)]
+                preload = [
+                    (key, bytes([(i + j) % 256 for j in range(64)]))
+                    for i, key in enumerate(keys)
+                ]
+                device.driver.put_many(preload)
+                device.driver.flush()  # GETs must probe SSTables on NAND
+
+                before = device.snapshot()
+                read_us = 0.0
+                wall0 = time.perf_counter()
+                if kind == "get":
+                    t0 = device.clock.now_us
+                    results = device.driver.get_many(keys, max_size=4096)
+                    read_us = device.clock.now_us - t0
+                    assert all(r.ok for r in results)
+                else:
+                    # Mixed rf=0.5 in windows: a put burst of fresh keys,
+                    # then a get burst over preloaded keys. Only the get
+                    # windows count toward read throughput; at QD1 both
+                    # bursts degenerate to the serial per-op loops, so
+                    # rows are comparable across queue depths.
+                    window = 32
+                    for base in range(0, ops, window):
+                        chunk = keys[base : base + window]
+                        fresh = [
+                            (b"mix-%06d" % (base + i), value)
+                            for i, (_, value) in enumerate(
+                                preload[base : base + window]
+                            )
+                        ]
+                        device.driver.put_many(fresh)
+                        t0 = device.clock.now_us
+                        results = device.driver.get_many(chunk, max_size=4096)
+                        read_us += device.clock.now_us - t0
+                        assert all(r.ok for r in results)
+                wall = time.perf_counter() - wall0
+                after = device.snapshot()
+
+                sensed = after["nand.page_reads"] - before["nand.page_reads"]
+                coalesced = after.get("nand.coalesced_reads", 0.0) - before.get(
+                    "nand.coalesced_reads", 0.0
+                )
+                total_reads = sensed + coalesced
+                cache = device.ftl._cache
+                rows.append(
+                    {
+                        "kind": kind,
+                        "cache_pages": cache_pages,
+                        "channels": channels,
+                        "ways": ways,
+                        "queue_depth": qd,
+                        "ops": ops,
+                        "read_sim_us": round(read_us, 3),
+                        "read_us_per_op": round(read_us / ops, 3),
+                        "read_ops_per_sec": round(ops / (read_us / 1e6), 1),
+                        "coalesce_rate": round(coalesced / total_reads, 4)
+                        if total_reads
+                        else 0.0,
+                        "cache_hit_rate": round(cache.hit_rate, 4)
+                        if cache is not None
+                        else 0.0,
+                        "wall_seconds": round(wall, 4),
+                    }
+                )
+    base_of = {
+        (row["kind"], row["cache_pages"]): row["read_ops_per_sec"]
+        for row in rows
+        if (row["channels"], row["ways"], row["queue_depth"]) == (1, 1, 1)
+    }
+    for row in rows:
+        base = base_of.get((row["kind"], row["cache_pages"]))
+        row["read_speedup_vs_serial"] = (
+            round(row["read_ops_per_sec"] / base, 2) if base else None
+        )
+    return rows
+
+
 def run_trace_replay(ops: int, repeats: int = 3) -> dict:
     """Wall-clock simulator speed on a synchronous mixed trace."""
     best_wall = float("inf")
@@ -195,10 +297,11 @@ def main(argv=None) -> int:
     sweep = QUICK_SWEEP if args.quick else FULL_SWEEP
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "quick": args.quick,
         "calibration_ops_per_sec": round(_calibrate(), 1),
         "scaling": run_scaling_sweep(scaling_ops, sweep),
+        "read_scaling": run_read_scaling_sweep(scaling_ops, sweep),
         "trace_replay": run_trace_replay(replay_ops),
     }
     if args.seed_ref:
@@ -218,6 +321,15 @@ def main(argv=None) -> int:
             f"{row['sim_ops_per_sec']:>10,.0f} sim-ops/s "
             f"(x{row['speedup_vs_serial']:.2f}, wall {row['wall_seconds']:.2f}s)"
         )
+    for row in report["read_scaling"]:
+        print(
+            f"  read[{row['kind']:>5}] cache={row['cache_pages']:>3} "
+            f"{row['channels']}x{row['ways']} qd={row['queue_depth']:>2}: "
+            f"{row['read_ops_per_sec']:>10,.0f} sim-reads/s "
+            f"(x{row['read_speedup_vs_serial']:.2f}, "
+            f"coalesce {row['coalesce_rate']:.0%}, "
+            f"cache {row['cache_hit_rate']:.0%})"
+        )
     replay = report["trace_replay"]
     print(
         f"trace replay: {replay['wall_ops_per_sec']:,.0f} ops/wall-second "
@@ -235,6 +347,29 @@ def main(argv=None) -> int:
             f"FAIL: peak parallel speedup x{peak['speedup_vs_serial']:.2f} "
             f"is below the 4x acceptance floor"
         )
+        status = 1
+    read_peak = max(
+        (
+            row
+            for row in report["read_scaling"]
+            if row["kind"] == "mixed" and row["cache_pages"] == 0
+        ),
+        key=lambda r: r["read_speedup_vs_serial"],
+    )
+    if read_peak["read_speedup_vs_serial"] < 4.0:
+        print(
+            f"FAIL: peak mixed read speedup "
+            f"x{read_peak['read_speedup_vs_serial']:.2f} (cache off) is "
+            f"below the 4x acceptance floor"
+        )
+        status = 1
+    packed_peak = max(
+        row["coalesce_rate"]
+        for row in report["read_scaling"]
+        if row["queue_depth"] > 1 and row["cache_pages"] == 0
+    )
+    if packed_peak <= 0.0:
+        print("FAIL: packed layout showed no page-read coalescing")
         status = 1
     if baseline is not None:
         problems = check_against_baseline(report, baseline, args.max_regression)

@@ -1,0 +1,130 @@
+"""Determinism gate for the pipelined read path (CI smoke check).
+
+Usage: PYTHONPATH=src python scripts/check_read_determinism.py
+
+Runs a seeded read-heavy workload — pipelined get_many batches (including
+missing keys), exists_many probes, and a readahead scan — twice per
+claim and asserts:
+
+1. **traced == untraced**: attaching a Tracer must not move the simulated
+   clock, change any returned value, or perturb a single metric.
+2. **QD1 == serial**: get_many/exists_many at queue depth 1 must be
+   clock- and metric-identical to the equivalent serial get/exists loop
+   (the zero-cost guarantee backing the frozen seed goldens; the goldens
+   themselves are checked by ``capture_seed_golden.py --check``).
+
+Exits non-zero with a message per violation.
+"""
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.core.config import PRESETS
+from repro.device.kvssd import KVSSD
+from repro.host.api import KVStore
+from repro.sim.trace import Tracer
+from repro.units import MIB
+
+SEED = 0x5EED
+KEY_COUNT = 120
+
+
+def _keys():
+    return [b"det-%05d" % i for i in range(KEY_COUNT)]
+
+
+def _value(i: int) -> bytes:
+    rng = random.Random(SEED + i)
+    return bytes(rng.randrange(256) for _ in range(64 + i % 192))
+
+
+def _run_read_heavy(queue_depth: int, tracer=None):
+    """The seeded workload; returns (device, observable outputs)."""
+    config = PRESETS["all"].with_overrides(
+        nand_capacity_bytes=64 * MIB,
+        queue_depth=queue_depth,
+        read_cache_pages=32,
+    )
+    device = KVSSD.build(config, tracer=tracer)
+    driver = device.driver
+    keys = _keys()
+    outputs = []
+    for i, key in enumerate(keys):
+        driver.put(key, _value(i))
+    driver.flush()
+    rng = random.Random(SEED)
+    for _ in range(4):
+        batch = rng.sample(keys, 40) + [b"absent-%d" % rng.randrange(10)]
+        outputs.append(
+            [(r.status.name, r.value) for r in driver.get_many(batch)]
+        )
+    outputs.append(driver.exists_many(rng.sample(keys, 30) + [b"nope"]))
+    outputs.append(list(KVStore(device).scan(limit=50)))
+    return device, outputs
+
+
+def _run_serial_loop():
+    """Reference for claim 2: plain get/exists loops, no *_many calls."""
+    config = PRESETS["all"].with_overrides(
+        nand_capacity_bytes=64 * MIB, queue_depth=1, read_cache_pages=32
+    )
+    device = KVSSD.build(config)
+    driver = device.driver
+    keys = _keys()
+    for i, key in enumerate(keys):
+        driver.put(key, _value(i))
+    driver.flush()
+    for key in keys:
+        driver.get(key)
+    for key in keys[:30]:
+        driver.exists(key)
+    return device
+
+
+def main() -> int:
+    errors = []
+
+    plain_dev, plain_out = _run_read_heavy(queue_depth=8)
+    traced_dev, traced_out = _run_read_heavy(queue_depth=8, tracer=Tracer())
+    if plain_dev.clock.now_us != traced_dev.clock.now_us:
+        errors.append(
+            f"tracer moved the clock: {plain_dev.clock.now_us} != "
+            f"{traced_dev.clock.now_us}"
+        )
+    if plain_out != traced_out:
+        errors.append("tracer changed returned values")
+    if plain_dev.snapshot() != traced_dev.snapshot():
+        errors.append("tracer perturbed the metric snapshot")
+
+    loop_dev = _run_serial_loop()
+    many_config = PRESETS["all"].with_overrides(
+        nand_capacity_bytes=64 * MIB, queue_depth=1, read_cache_pages=32
+    )
+    many_dev = KVSSD.build(many_config)
+    keys = _keys()
+    for i, key in enumerate(keys):
+        many_dev.driver.put(key, _value(i))
+    many_dev.driver.flush()
+    many_dev.driver.get_many(keys)
+    many_dev.driver.exists_many(keys[:30])
+    if loop_dev.clock.now_us != many_dev.clock.now_us:
+        errors.append(
+            f"QD1 get_many diverged from the serial loop: "
+            f"{loop_dev.clock.now_us} != {many_dev.clock.now_us}"
+        )
+    if loop_dev.snapshot() != many_dev.snapshot():
+        errors.append("QD1 get_many perturbed the metric snapshot")
+
+    for error in errors:
+        print(f"FAIL: {error}")
+    if not errors:
+        print(
+            "read determinism OK: traced==untraced and QD1==serial "
+            f"({KEY_COUNT} keys, seed {SEED:#x})"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

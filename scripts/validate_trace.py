@@ -26,6 +26,7 @@ PHASES = frozenset(
         "dma",
         "nand",
         "memcpy",
+        "cache",
         "completion",
         "backoff",
         "other",

@@ -78,6 +78,10 @@ class BandSlimConfig:
     #: Device read cache over NAND pages, in pages (0 disables, matching
     #: the paper's memoryless read path; enable for read-heavy studies).
     read_cache_pages: int = 0
+    #: Device-DRAM lookup cost charged to a read-cache hit, in simulated
+    #: µs (hits skip the NAND sense/transfer entirely; see
+    #: docs/latency-model.md).
+    read_cache_hit_us: float = 2.0
     #: NAND channels / ways per channel (Table 1: 4 x 8). 1 x 1 serializes
     #: every NAND op — the degenerate geometry the seed model charged.
     nand_channels: int = 4
@@ -150,6 +154,10 @@ class BandSlimConfig:
             raise ConfigError("nand_channels and nand_ways must be >= 1")
         if self.queue_depth < 1:
             raise ConfigError("queue_depth must be >= 1")
+        if self.read_cache_pages < 0:
+            raise ConfigError("read_cache_pages must be >= 0")
+        if self.read_cache_hit_us < 0:
+            raise ConfigError("read_cache_hit_us must be >= 0")
 
     # --- effective thresholds -----------------------------------------------
 

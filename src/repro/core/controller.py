@@ -110,6 +110,9 @@ class BandSlimController:
         self._opcode_names = {int(op): op.name.lower() for op in KVOpcode}
         self._pending: dict[int, _PendingValue] = {}
         self._flash = lsm.ftl.flash
+        #: ReadCoalescer of the pipelined GET/EXIST batch in flight (None
+        #: outside a batch — the serial read path never sees any of this).
+        self._read_batch = None
         #: Durability journal (crash-consistency mode). When present, every
         #: committed value is recorded in the vLog value directory and the
         #: FLUSH command writes a durable manifest checkpoint.
@@ -225,6 +228,31 @@ class BandSlimController:
         if nand_end_us > finish_us:
             finish_us = nand_end_us
         return cqe, finish_us
+
+    def begin_read_batch(self):
+        """Arm deferred, page-coalesced NAND reads for a pipelined batch.
+
+        Between this and :meth:`end_read_batch`, RETRIEVE/EXIST commands
+        processed through :meth:`process_next_deferred` open a deferred-read
+        window around their index probe + vLog read: reads book on the
+        channel/way timeline instead of stalling the firmware clock, and
+        in-flight reads of the same physical page share one sense/transfer
+        booking (see :class:`~repro.sim.timeline.ReadCoalescer`). Returns
+        the batch's coalescer for accounting.
+        """
+        from repro.sim.timeline import ReadCoalescer
+
+        coalescer = ReadCoalescer()
+        self._read_batch = coalescer
+        self._flash.set_read_coalescer(coalescer)
+        return coalescer
+
+    def end_read_batch(self):
+        """Disarm the read batch; returns its coalescer (for stats)."""
+        coalescer = self._read_batch
+        self._read_batch = None
+        self._flash.set_read_coalescer(None)
+        return coalescer
 
     def _process_one(self) -> NVMeCompletion:
         if self._power_injector is not None and self._power_injector.power_down(
@@ -445,15 +473,39 @@ class BandSlimController:
 
     def _handle_retrieve(self, cmd) -> NVMeCompletion:
         req = parse_retrieve_command(cmd)
-        try:
-            addr = self.lsm.get_address(req.key)
-        except KeyNotFoundError:
-            return NVMeCompletion(cid=req.cid, status=StatusCode.KEY_NOT_FOUND)
-        if addr.size > req.buffer_size:
-            return NVMeCompletion(
-                cid=req.cid, status=StatusCode.CAPACITY_EXCEEDED, result=addr.size
-            )
-        data = self.lsm.vlog.read(addr)
+        if self._read_batch is not None:
+            # Pipelined batch: the index probe's SSTable reads and the vLog
+            # value read book on the timeline (chained — the probe resolves
+            # the value's address) instead of stalling the firmware clock,
+            # so NAND waits of in-flight GETs overlap across ways.
+            flash = self._flash
+            flash.begin_deferred_reads()
+            try:
+                try:
+                    addr = self.lsm.get_address(req.key)
+                except KeyNotFoundError:
+                    return NVMeCompletion(
+                        cid=req.cid, status=StatusCode.KEY_NOT_FOUND
+                    )
+                if addr.size > req.buffer_size:
+                    return NVMeCompletion(
+                        cid=req.cid,
+                        status=StatusCode.CAPACITY_EXCEEDED,
+                        result=addr.size,
+                    )
+                data = self.lsm.vlog.read(addr)
+            finally:
+                flash.end_deferred_reads()
+        else:
+            try:
+                addr = self.lsm.get_address(req.key)
+            except KeyNotFoundError:
+                return NVMeCompletion(cid=req.cid, status=StatusCode.KEY_NOT_FOUND)
+            if addr.size > req.buffer_size:
+                return NVMeCompletion(
+                    cid=req.cid, status=StatusCode.CAPACITY_EXCEEDED, result=addr.size
+                )
+            data = self.lsm.vlog.read(addr)
         return self._dma_to_host(req.cid, req.prp1, req.prp2, req.buffer_size, data)
 
     def _dma_to_host(
@@ -479,10 +531,16 @@ class BandSlimController:
         return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS)
 
     def _handle_exist(self, cmd) -> NVMeCompletion:
+        batched = self._read_batch is not None
+        if batched:
+            self._flash.begin_deferred_reads()
         try:
             addr = self.lsm.get_address(cmd.key)
         except KeyNotFoundError:
             return NVMeCompletion(cid=cmd.cid, status=StatusCode.KEY_NOT_FOUND)
+        finally:
+            if batched:
+                self._flash.end_deferred_reads()
         return NVMeCompletion(cid=cmd.cid, status=StatusCode.SUCCESS, result=addr.size)
 
     def _handle_list(self, cmd) -> NVMeCompletion:

@@ -95,6 +95,19 @@ class _InflightPut:
         self.op_id = op_id
 
 
+class _InflightGet:
+    """Book-keeping for one GET whose command is in the pipeline."""
+
+    __slots__ = ("index", "start_us", "op_id", "buf", "prp")
+
+    def __init__(self, index: int, start_us: float, op_id: int, buf, prp) -> None:
+        self.index = index
+        self.start_us = start_us
+        self.op_id = op_id
+        self.buf = buf
+        self.prp = prp
+
+
 class BandSlimDriver:
     """User-facing PUT/GET/DELETE/EXIST/LIST over the simulated link."""
 
@@ -562,6 +575,14 @@ class BandSlimDriver:
     def get(self, key: bytes, max_size: int | None = None) -> OpResult:
         """Retrieve a value; raises KeyNotFoundError if absent."""
         size = max_size if max_size is not None else self.config.max_value_bytes
+        result = self._get_one(key, size)
+        if result.status is StatusCode.KEY_NOT_FOUND:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return result
+
+    def _get_one(self, key: bytes, size: int) -> OpResult:
+        """One synchronous GET; returns the result instead of raising on a
+        missing key (batch semantics — :meth:`get` adds the raise)."""
         buf = self.host_mem.alloc_buffer(size)
         prp = build_prp(self.host_mem, buf)
         tracer = self._tracer
@@ -588,7 +609,10 @@ class BandSlimDriver:
             if cqe.status is StatusCode.KEY_NOT_FOUND:
                 if tracer is not None:
                     tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
-                raise KeyNotFoundError(f"key {key!r} not found")
+                # Not-found GETs record no latency metrics (they never did).
+                return OpResult(
+                    latency_us=elapsed, commands=1, status=cqe.status
+                )
             value = buf.tobytes()[: cqe.result] if cqe.ok else None
         finally:
             self._release_prp(buf, prp)
@@ -598,6 +622,148 @@ class BandSlimDriver:
         if tracer is not None:
             tracer.end_op(op_id, status=cqe.status.name, latency_us=elapsed)
         return OpResult(latency_us=elapsed, commands=1, status=cqe.status, value=value)
+
+    # --- pipelined GET / EXIST (queue depth > 1) ------------------------------
+
+    def get_many(
+        self,
+        keys,
+        max_size: int | None = None,
+        queue_depth: int | None = None,
+    ) -> list[OpResult]:
+        """Retrieve many keys with up to ``queue_depth`` GETs in flight.
+
+        The read-side twin of :meth:`put_many`: commands are processed
+        serially (one firmware core) but their NAND reads only book busy
+        intervals on the channel/way timeline — completions are reaped in
+        NAND-finish order, so index probes and value reads of different
+        in-flight GETs overlap across ways, and in-flight reads of the same
+        physical page share a single sense/transfer booking (the packed
+        layouts' read payoff; see docs/parallel-timing.md).
+
+        Unlike :meth:`get`, a missing key does not raise: its slot carries
+        ``status == KEY_NOT_FOUND`` and ``value is None``, so one absent
+        key cannot abort a batch. ``queue_depth`` defaults to
+        ``config.queue_depth``; at 1 (or with a fault injector attached,
+        whose per-op retry protocol is inherently synchronous) this falls
+        back to the sequential GET loop.
+        """
+        qd = self.config.queue_depth if queue_depth is None else queue_depth
+        if qd < 1:
+            raise NVMeError(f"queue depth must be >= 1, got {qd}")
+        size = max_size if max_size is not None else self.config.max_value_bytes
+        keys = list(keys)
+        if qd == 1 or self._injector is not None:
+            return [self._get_one(key, size) for key in keys]
+
+        results: list[OpResult | None] = [None] * len(keys)
+        inflight: dict[int, _InflightGet] = {}
+        scheduler = CompletionScheduler()
+        tracer = self._tracer
+
+        def deliver_one() -> None:
+            cqe, finish_us = scheduler.pop_earliest()
+            rec = inflight.pop(cqe.cid)
+            if tracer is None:
+                self.clock.advance_to(finish_us)
+            else:
+                # Attribute the wait for this command's NAND finish (and
+                # the completion that follows) to the op it belongs to.
+                tracer.current_op = rec.op_id
+                t0 = self.clock.now_us
+                self.clock.advance_to(finish_us)
+                if self.clock.now_us > t0:
+                    tracer.span(
+                        "driver", "nand_wait", t0, self.clock.now_us,
+                        phase="nand", cid=cqe.cid,
+                    )
+            self.cq.post(cqe)
+            self.link.complete_command()
+            reaped = self.cq.reap()
+            elapsed = self.clock.now_us - rec.start_us
+            value = None
+            if reaped.ok:
+                value = rec.buf.tobytes()[: reaped.result]
+            self._release_prp(rec.buf, rec.prp)
+            if reaped.status is not StatusCode.KEY_NOT_FOUND:
+                self._s_get_latency.record(elapsed)
+                self._h_get_latency.record(elapsed)
+                self._c_gets.add(1)
+            if tracer is not None:
+                tracer.end_op(
+                    rec.op_id, status=reaped.status.name, latency_us=elapsed
+                )
+            results[rec.index] = OpResult(
+                latency_us=elapsed, commands=1, status=reaped.status, value=value
+            )
+
+        self.controller.begin_read_batch()
+        try:
+            for index, key in enumerate(keys):
+                while scheduler.outstanding >= qd:
+                    deliver_one()
+                op_id = 0
+                if tracer is not None:
+                    op_id = tracer.begin_op("get", buffer_size=size)
+                    tracer.current_op = op_id
+                buf = self.host_mem.alloc_buffer(size)
+                prp = build_prp(self.host_mem, buf)
+                cmd = build_retrieve_command(self._cid(), key, size, prp)
+                inflight[cmd.cid] = _InflightGet(
+                    index, self.clock.now_us, op_id, buf, prp
+                )
+                self.sq.submit(cmd)
+                self.link.submit_command()
+                cqe, finish_us = self.controller.process_next_deferred()
+                scheduler.schedule(cqe, finish_us)
+            while scheduler.outstanding:
+                deliver_one()
+        finally:
+            self.controller.end_read_batch()
+        assert all(result is not None for result in results)
+        return results
+
+    def exists_many(self, keys, queue_depth: int | None = None) -> list[bool]:
+        """KV_EXIST probes with up to ``queue_depth`` commands in flight.
+
+        Index probes of in-flight commands overlap (and coalesce on shared
+        SSTable pages) exactly as in :meth:`get_many`; no value moves.
+        """
+        qd = self.config.queue_depth if queue_depth is None else queue_depth
+        if qd < 1:
+            raise NVMeError(f"queue depth must be >= 1, got {qd}")
+        keys = list(keys)
+        if qd == 1 or self._injector is not None:
+            return [self.exists(key) for key in keys]
+
+        results: list[bool] = [False] * len(keys)
+        index_of: dict[int, int] = {}
+        scheduler = CompletionScheduler()
+
+        def deliver_one() -> None:
+            cqe, finish_us = scheduler.pop_earliest()
+            self.clock.advance_to(finish_us)
+            self.cq.post(cqe)
+            self.link.complete_command()
+            reaped = self.cq.reap()
+            results[index_of.pop(reaped.cid)] = reaped.ok
+
+        self.controller.begin_read_batch()
+        try:
+            for index, key in enumerate(keys):
+                while scheduler.outstanding >= qd:
+                    deliver_one()
+                cmd = build_exist_command(self._cid(), key)
+                index_of[cmd.cid] = index
+                self.sq.submit(cmd)
+                self.link.submit_command()
+                cqe, finish_us = self.controller.process_next_deferred()
+                scheduler.schedule(cqe, finish_us)
+            while scheduler.outstanding:
+                deliver_one()
+        finally:
+            self.controller.end_read_batch()
+        return results
 
     def delete(self, key: bytes) -> OpResult:
         """Delete a pair; raises KeyNotFoundError if absent."""

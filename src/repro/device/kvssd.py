@@ -118,7 +118,10 @@ class KVSSD:
         if config.read_cache_pages > 0:
             from repro.memory.cache import PageCache
 
-            ftl.attach_read_cache(PageCache(config.read_cache_pages))
+            ftl.attach_read_cache(
+                PageCache(config.read_cache_pages),
+                hit_cost_us=config.read_cache_hit_us,
+            )
         dma = DMAEngine(link, dram, host_mem)
 
         # Logical page space: vLog head, SSTable region tail. The logical

@@ -80,9 +80,30 @@ class KVStore:
         """Position an iterator at the first key >= start_key (SEEK)."""
         return KVIterator(self, start_key)
 
-    def scan(self, start_key: bytes = b"\x00", limit: int | None = None):
-        """Convenience: yield (key, value) pairs from start_key onward."""
-        it = self.seek(start_key)
+    def scan(
+        self,
+        start_key: bytes = b"\x00",
+        limit: int | None = None,
+        readahead: bool | None = None,
+    ):
+        """Convenience: yield (key, value) pairs from start_key onward.
+
+        ``readahead=None`` (the default) enables batched value readahead
+        whenever the device is configured with ``queue_depth > 1``: each
+        LIST batch of keys is resolved with one pipelined
+        :meth:`~repro.core.driver.BandSlimDriver.get_many` call instead of
+        a GET per key (see :class:`~repro.nvme.iterator.ScanReadahead`).
+        Pass True/False to force it either way; at queue depth 1 both
+        paths issue the same command sequence.
+        """
+        if readahead is None:
+            readahead = self.driver.config.queue_depth > 1
+        if readahead:
+            from repro.nvme.iterator import ScanReadahead
+
+            it = ScanReadahead(self.driver, start_key)
+        else:
+            it = self.seek(start_key)
         count = 0
         while limit is None or count < limit:
             pair = it.next()

@@ -5,8 +5,16 @@ evaluation is write-only so it never shows, but the read path cares — and
 it interacts with BandSlim's packing in an interesting way: densely packed
 values share pages, so sequential GETs (range scans) hit the same cached
 page over and over, while the Block layout's one-value-per-4 KiB-slot
-spreads the same data across 4× the pages. `bench_ablation_scan.py`
-measures exactly that synergy.
+spreads the same data across 4× the pages. `bench_ablation_scan.py` and
+`bench_ablation_reads.py` measure exactly that synergy.
+
+The cache is *timeline-aware*: each entry carries ``ready_us``, the booked
+NAND completion of the read that filled it. On the synchronous path the
+fill has always completed (``ready_us <= now``) and hits behave exactly as
+before; inside a pipelined GET batch a hit on a page whose deferred fill
+is still in flight must not complete before the fill does, so the FTL
+settles that dependency into the command's finish horizon
+(see ``NandFlash.settle_read_dependency``).
 
 Disabled by default (`read_cache_pages = 0`) so every paper-figure bench
 runs with the paper's memoryless read path.
@@ -28,7 +36,8 @@ class PageCache:
                 f"cache capacity must be >= 1 page, got {capacity_pages}"
             )
         self.capacity_pages = capacity_pages
-        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        #: lpn -> (data, ready_us of the NAND read that filled the entry).
+        self._pages: OrderedDict[int, tuple[bytes, float]] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -43,25 +52,35 @@ class PageCache:
         return self.hits / total if total else 0.0
 
     def get(self, lpn: int) -> bytes | None:
-        """Look up a page; refreshes LRU position on hit."""
-        data = self._pages.get(lpn)
-        if data is None:
+        """Look up a page's bytes; refreshes LRU position on hit."""
+        entry = self.lookup(lpn)
+        return entry[0] if entry is not None else None
+
+    def lookup(self, lpn: int) -> tuple[bytes, float] | None:
+        """Look up ``(data, ready_us)``; refreshes LRU position on hit."""
+        entry = self._pages.get(lpn)
+        if entry is None:
             self.misses += 1
             return None
         self._pages.move_to_end(lpn)
         self.hits += 1
-        return data
+        return entry
 
-    def put(self, lpn: int, data: bytes) -> None:
-        """Insert/refresh a page, evicting the LRU page when full."""
+    def put(self, lpn: int, data: bytes, ready_us: float = 0.0) -> None:
+        """Insert/refresh a page, evicting the LRU page when full.
+
+        ``ready_us`` is the booked NAND completion of the fill read; 0 (the
+        default) means "already available" and preserves the plain-LRU
+        behaviour for callers that do not track timing.
+        """
         if lpn in self._pages:
             self._pages.move_to_end(lpn)
-            self._pages[lpn] = data
+            self._pages[lpn] = (data, ready_us)
             return
         if len(self._pages) >= self.capacity_pages:
             self._pages.popitem(last=False)
             self.evictions += 1
-        self._pages[lpn] = data
+        self._pages[lpn] = (data, ready_us)
 
     def invalidate(self, lpn: int) -> None:
         """Drop a page (its logical content changed or was trimmed)."""

@@ -114,6 +114,21 @@ class NandFlash:
         #: Deferred-booking depth; >0 while a pipelined command executes.
         self._deferred = 0
         self._deferred_end_us = 0.0
+        #: Deferred-*read* depth; >0 only inside a pipelined GET/EXIST
+        #: command's read window (see begin_deferred_reads).
+        self._defer_reads = 0
+        #: Issue point for the next read of the current command: reads
+        #: within one command chain (an index probe's result addresses the
+        #: value read), while reads of different in-flight commands overlap.
+        self._read_chain_us = 0.0
+        #: Shared-page window for the current batch (ReadCoalescer | None).
+        self._coalescer = None
+        #: Lazily created: pipelined batches only (seed snapshots unchanged).
+        self._c_coalesced_reads = None
+        #: Booked end of the most recent page read (sync: == clock.now_us).
+        #: The FTL stamps cache fills with it so a later hit on a page whose
+        #: deferred fill is still in flight cannot complete before the fill.
+        self.last_read_end_us = 0.0
         self.metrics = MetricSet("nand")
         # Pre-create (and cache — these are the per-op hot path) so
         # snapshots always include them.
@@ -191,6 +206,91 @@ class NandFlash:
                 self._deferred_end_us = end_us
         else:
             self.clock.advance_to(end_us)
+
+    # --- deferred reads (pipelined GET execution) ----------------------------
+
+    def begin_deferred_reads(self) -> None:
+        """Let :meth:`read` book instead of wait, inside a deferred window.
+
+        By default reads stay synchronous even while deferred — most
+        callers (recovery scans, GC relocation, compaction) consume the
+        bytes immediately, so the firmware genuinely waits. A pipelined
+        RETRIEVE instead opens this window around its index probe + vLog
+        read: each read books on the timeline and only pushes the command's
+        finish horizon. Reads *within* the window chain (the probe's result
+        addresses the value read), so per-command ordering is preserved
+        while reads of different in-flight commands overlap across ways.
+        """
+        self._defer_reads += 1
+        self._read_chain_us = self.clock.now_us
+
+    def end_deferred_reads(self) -> None:
+        """Close the window opened by :meth:`begin_deferred_reads`."""
+        if self._defer_reads <= 0:
+            raise NandError("end_deferred_reads without begin_deferred_reads")
+        self._defer_reads -= 1
+
+    def set_read_coalescer(self, coalescer) -> None:
+        """Attach (or detach, with None) the batch's shared-page window."""
+        self._coalescer = coalescer
+
+    def settle_read_dependency(self, ready_us: float) -> None:
+        """The caller consumes data whose NAND fill completes at ``ready_us``
+        (a cache hit on a page another in-flight command is still reading)."""
+        if self._defer_reads and self._deferred:
+            if ready_us > self._read_chain_us:
+                self._read_chain_us = ready_us
+            self._settle(ready_us)
+        elif ready_us > self.clock.now_us:
+            self.clock.advance_to(ready_us)
+
+    def _read_deferred(self, ppn: int, data: bytes) -> bytes:
+        """Book (or coalesce) one page read inside a deferred-read window."""
+        issue = self._read_chain_us
+        now = self.clock.now_us
+        if issue < now:
+            issue = now
+        coal = self._coalescer
+        if coal is not None:
+            shared_end = coal.window.get(ppn)
+            if shared_end is not None and shared_end > issue:
+                # An in-flight sense of this page serves this command too:
+                # no new booking — one bus slice, N memcpys.
+                coal.coalesced += 1
+                if self._c_coalesced_reads is None:
+                    self._c_coalesced_reads = self.metrics.counter(
+                        "coalesced_reads"
+                    )
+                self._c_coalesced_reads.add(1)
+                if shared_end > self._read_chain_us:
+                    self._read_chain_us = shared_end
+                self.last_read_end_us = shared_end
+                self._settle(shared_end)
+                if self._tracer is not None:
+                    self._tracer.span(
+                        "nand", "read_coalesced", issue, shared_end,
+                        phase="nand", phase_us=0.0, ppn=ppn,
+                    )
+                return data
+        self._c_page_reads.add(1)
+        way = ppn // self._pages_per_way
+        start, end = self.timeline.book_read(
+            way, issue, self._t_read_us, self._t_read_xfer_us
+        )
+        if coal is not None:
+            coal.window[ppn] = end
+            coal.sensed += 1
+        self._read_chain_us = end
+        self.last_read_end_us = end
+        self._settle(end)
+        if self._tracer is not None:
+            # phase_us 0: the clock stays put; the wait is attributed at
+            # completion delivery (the driver's nand_wait span).
+            self._tracer.span(
+                "nand", "read", start, end, phase="nand",
+                phase_us=0.0, resource=f"way{way}", ppn=ppn,
+            )
+        return data
 
     # --- operations ----------------------------------------------------------
 
@@ -388,6 +488,8 @@ class NandFlash:
             data = self._pages[ppn]
         except KeyError:
             raise NandError(f"read of never-programmed PPN {ppn}") from None
+        if self._defer_reads and self._deferred and self._injector is None:
+            return self._read_deferred(ppn, data)
         if self._injector is not None:
             self._power_gate(self._injector)
             block = self.geometry.block_of(ppn)
@@ -401,9 +503,11 @@ class NandFlash:
         start, end = self.timeline.book_read(
             way, t0, self._t_read_us, self._t_read_xfer_us
         )
-        # Reads stay synchronous even inside a deferred window: the caller
-        # consumes the returned bytes immediately, so the firmware genuinely
-        # waits for them (and for the way, if a deferred program holds it).
+        # Outside a deferred-*read* window, reads stay synchronous even
+        # inside a deferred (program) window: the caller consumes the
+        # returned bytes immediately, so the firmware genuinely waits for
+        # them (and for the way, if a deferred program holds it).
+        self.last_read_end_us = end
         self.clock.advance_to(end)
         if self._tracer is not None:
             self._tracer.span(

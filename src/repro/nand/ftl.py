@@ -204,11 +204,26 @@ class PageMappedFTL:
         return ppn
 
     def read(self, lpn: int) -> bytes:
-        if self._cache is not None:
-            cached = self._cache.get(lpn)
-            if cached is not None:
-                self.flash.clock.advance(self._cache_hit_us)
-                return cached
+        cache = self._cache
+        if cache is not None:
+            entry = cache.lookup(lpn)
+            if entry is not None:
+                data, ready_us = entry
+                flash = self.flash
+                if self._tracer is None:
+                    flash.clock.advance(self._cache_hit_us)
+                else:
+                    t0 = flash.clock.now_us
+                    flash.clock.advance(self._cache_hit_us)
+                    self._tracer.span(
+                        "ftl", "cache_hit", t0, flash.clock.now_us,
+                        phase="cache", lpn=lpn,
+                    )
+                if ready_us > flash.clock.now_us:
+                    # The fill read is still in flight (deferred batch):
+                    # this hit cannot complete before the fill does.
+                    flash.settle_read_dependency(ready_us)
+                return data
         ppn = self.ppn_of(lpn)
         if self._injector is None:
             data = self.flash.read(ppn)
@@ -222,8 +237,8 @@ class PageMappedFTL:
                     self._scrub(lpn, data)
                 finally:
                     self._in_scrub = False
-        if self._cache is not None:
-            self._cache.put(lpn, data)
+        if cache is not None:
+            cache.put(lpn, data, ready_us=self.flash.last_read_end_us)
         return data
 
     def trim(self, lpn: int) -> None:

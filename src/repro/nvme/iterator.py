@@ -81,6 +81,78 @@ def pack_batch(pairs: list[tuple[bytes, bytes]], capacity: int) -> tuple[bytes, 
     return bytes(out), taken
 
 
+class ScanReadahead:
+    """Host-side scan cursor that resolves values with pipelined GETs.
+
+    The plain host scan (``KVIterator``) resolves each listed key with a
+    synchronous GET — two serial NAND reads (index probe + value page)
+    per pair. This cursor instead resolves a whole LIST batch with one
+    :meth:`~repro.core.driver.BandSlimDriver.get_many` call, so the reads
+    of consecutive keys overlap across ways and, under the packed
+    layouts, coalesce onto shared page senses (see
+    docs/parallel-timing.md).
+
+    Resume semantics are identical to ``KVIterator``: resume from the
+    last returned key *inclusive* and drop the duplicate, so
+    maximum-length keys never overflow the key field; keys deleted
+    between the LIST and the GET batch are skipped.
+    """
+
+    def __init__(
+        self,
+        driver,
+        start_key: bytes,
+        batch_keys: int = 32,
+        max_value_bytes: int | None = None,
+    ) -> None:
+        if batch_keys < 2:
+            raise NVMeError(f"readahead batch must be >= 2 keys, got {batch_keys}")
+        self.driver = driver
+        self.batch_keys = batch_keys
+        self._max_value_bytes = max_value_bytes
+        self._pending: list[tuple[bytes, bytes]] = []
+        self._resume_key = start_key or b"\x00"
+        self._last_returned: bytes | None = None
+        self._exhausted = False
+
+    def _refill(self) -> None:
+        if self._exhausted:
+            return
+        keys = self.driver.list_keys(self._resume_key, max_keys=self.batch_keys)
+        if keys and keys[0] == self._last_returned:
+            keys = keys[1:]
+        if not keys:
+            self._exhausted = True
+            return
+        self._last_returned = keys[-1]
+        self._resume_key = keys[-1]
+        if len(keys) < self.batch_keys - 1:
+            self._exhausted = True
+        results = self.driver.get_many(keys, max_size=self._max_value_bytes)
+        # A key deleted between LIST and GET resolves to KEY_NOT_FOUND
+        # (value None) — skip it, exactly as the QD1 iterator does.
+        self._pending = [
+            (key, result.value)
+            for key, result in zip(keys, results)
+            if result.value is not None
+        ]
+
+    def next(self) -> tuple[bytes, bytes] | None:
+        """The following (key, value) pair, or None at end of keyspace."""
+        while not self._pending:
+            if self._exhausted:
+                return None
+            self._refill()
+        return self._pending.pop(0)
+
+    def __iter__(self):
+        while True:
+            pair = self.next()
+            if pair is None:
+                return
+            yield pair
+
+
 def unpack_batch(blob: bytes) -> list[tuple[bytes, bytes]]:
     """Host side: parse a batch buffer back into pairs."""
     if len(blob) < _HEADER.size:

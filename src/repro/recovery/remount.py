@@ -218,7 +218,13 @@ def remount(device):
     if config.read_cache_pages > 0:
         from repro.memory.cache import PageCache
 
-        ftl.attach_read_cache(PageCache(config.read_cache_pages))
+        # A fresh (empty) cache: torn pages retired during the scan and
+        # any pre-cut contents are gone with the power cut — nothing
+        # stale can survive the remount.
+        ftl.attach_read_cache(
+            PageCache(config.read_cache_pages),
+            hit_cost_us=config.read_cache_hit_us,
+        )
     ftl.adopt_mapping(
         mapping, bad_blocks=device.ftl._bad_blocks, next_seq=max_seq
     )

@@ -33,6 +33,41 @@ from repro.errors import NandError
 from repro.nand.geometry import NandGeometry
 
 
+class ReadCoalescer:
+    """Shared-page read window for one pipelined GET/EXIST batch.
+
+    While a batch of reads is in flight, several commands whose data lives
+    on the same physical page can be served by a *single* NAND sense and
+    data-out transfer: the first command books the read on the timeline and
+    records ``ppn -> booked end``; later commands whose issue point falls
+    inside that window ride along — no new booking, one bus slice, N
+    device-side memcpys. Once virtual time passes the booked end the data
+    has left the plane register, so a fresh sense is booked (retention
+    across completions is the page cache's job, not the coalescer's).
+
+    The packed layouts are what make this pay off: All/Backfill put many
+    values on one 16 KiB page, so a scan-shaped batch coalesces most of its
+    senses away, while the Block layout's one-value-per-slot spreads the
+    same batch across 4x the pages.
+    """
+
+    __slots__ = ("window", "sensed", "coalesced")
+
+    def __init__(self) -> None:
+        #: ppn -> booked end of the in-flight sense+transfer serving it.
+        self.window: dict[int, float] = {}
+        #: Reads that booked a real NAND sense during this batch.
+        self.sensed = 0
+        #: Reads served by an in-flight sense of the same page.
+        self.coalesced = 0
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of batch reads that shared an in-flight sense."""
+        total = self.sensed + self.coalesced
+        return self.coalesced / total if total else 0.0
+
+
 class NandTimeline:
     """Busy-until bookkeeping for one NAND module's channels and ways."""
 

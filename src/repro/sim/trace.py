@@ -37,6 +37,7 @@ dma        payload DMA over the link, both directions
 nand       NAND programs/reads/erases, including flush stalls and,
            for pipelined ops, the wait for the NAND finish time
 memcpy     in-device firmware memcpys (§3.3.1)
+cache      device-DRAM read-cache hit lookups (read_cache_pages > 0)
 completion CQE post + interrupt + host completion handling
 backoff    driver retry backoff under fault recovery
 other      unattributed remainder (LSM CPU costs, unpacking, …)
@@ -60,6 +61,7 @@ PHASES = (
     "dma",
     "nand",
     "memcpy",
+    "cache",
     "completion",
     "backoff",
     "other",

@@ -1,0 +1,195 @@
+"""Satellite: read-cache coherence across every page-relocation path.
+
+A stale cached page is a silent wrong read, so each mutation path is
+checked end-to-end with the cache attached and warm: vLog GC relocation,
+FTL garbage collection, DELETE, overwrite, bad-block style remapping via
+GC, and remount. The capstone is a churn test asserting a cache-on device
+never diverges from a cache-off twin.
+"""
+
+import pytest
+
+from repro.core.config import PRESETS
+from repro.device.kvssd import KVSSD
+from repro.errors import KeyNotFoundError
+from repro.host.api import KVStore
+from repro.memory.cache import PageCache
+from repro.nand.gc import GreedyGarbageCollector
+from repro.units import MIB
+
+
+def _store(**overrides) -> KVStore:
+    merged = dict(
+        nand_capacity_bytes=64 * MIB,
+        read_cache_pages=32,
+        memtable_flush_bytes=16 * 1024,
+    )
+    merged.update(overrides)
+    return KVStore(KVSSD.build(PRESETS["all"].with_overrides(**merged)))
+
+
+def _value(i: int, size: int = 400) -> bytes:
+    return bytes((i * 31 + j) % 256 for j in range(size))
+
+
+class TestPageCacheUnit:
+    def test_lookup_returns_data_and_ready_time(self):
+        c = PageCache(4)
+        c.put(7, b"page", ready_us=123.5)
+        assert c.lookup(7) == (b"page", 123.5)
+
+    def test_put_defaults_to_already_available(self):
+        c = PageCache(4)
+        c.put(7, b"page")
+        assert c.lookup(7) == (b"page", 0.0)
+
+    def test_refresh_replaces_ready_time(self):
+        c = PageCache(4)
+        c.put(7, b"old", ready_us=10.0)
+        c.put(7, b"new", ready_us=20.0)
+        assert c.lookup(7) == (b"new", 20.0)
+
+
+class TestDeleteAndOverwrite:
+    def test_delete_then_get_raises_despite_warm_cache(self):
+        store = _store()
+        store.put(b"k1", _value(1))
+        store.flush()
+        assert store.get(b"k1") == _value(1)  # warms the cache
+        store.delete(b"k1")
+        assert not store.exists(b"k1")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k1")
+
+    def test_delete_then_reput_returns_new_value(self):
+        store = _store()
+        store.put(b"k1", _value(1))
+        store.flush()
+        store.get(b"k1")
+        store.delete(b"k1")
+        store.put(b"k1", _value(99))
+        store.flush()
+        assert store.get(b"k1") == _value(99)
+
+    def test_overwrite_visible_through_warm_cache(self):
+        store = _store()
+        store.put(b"k1", _value(1))
+        store.flush()
+        store.get(b"k1")
+        store.put(b"k1", _value(2))
+        store.flush()
+        assert store.get(b"k1") == _value(2)
+
+
+class TestVLogCompactionCoherence:
+    def test_relocated_values_read_correctly_after_warm_cache(self):
+        store = _store()
+        keys = [b"gc-%04d" % i for i in range(120)]
+        for i, key in enumerate(keys):
+            store.put(key, _value(i))
+        store.flush()
+        for key in keys:  # warm the cache on the pre-move layout
+            store.get(key)
+        for key in keys[::2]:  # kill half: creates dead vLog space
+            store.delete(key)
+        report = store.compact_vlog(dead_threshold=0.01)
+        assert report is not None and report.did_work
+        for i, key in enumerate(keys):
+            if i % 2 == 0:
+                assert not store.exists(key)
+            else:
+                assert store.get(key) == _value(i), key
+
+    def test_trimmed_victim_range_is_not_served_from_cache(self):
+        store = _store()
+        keys = [b"tv-%04d" % i for i in range(60)]
+        for i, key in enumerate(keys):
+            store.put(key, _value(i))
+        store.flush()
+        for key in keys:
+            store.get(key)
+        store.compact_vlog(dead_threshold=0.0)
+        # Every survivor must resolve to its relocated copy, never the
+        # trimmed original page.
+        for i, key in enumerate(keys):
+            assert store.get(key) == _value(i)
+
+
+class TestFTLGarbageCollection:
+    def test_gc_relocation_is_transparent_to_warm_cache(self, ftl):
+        # The greedy GC moves live pages to fresh blocks; the mapping is
+        # content-preserving, so a warm cache (keyed by lpn) stays valid.
+        gc = GreedyGarbageCollector(ftl)
+        ftl.set_gc(gc)
+        ftl.attach_read_cache(PageCache(64))
+        pages = {lpn: b"%04d" % lpn * 64 for lpn in range(40)}
+        for lpn, data in pages.items():
+            ftl.write(lpn, data)
+        for lpn in pages:
+            ftl.read(lpn)
+        for lpn in range(0, 40, 2):  # free up space, then force GC
+            ftl.trim(lpn)
+            del pages[lpn]
+        gc.collect()
+        for lpn, data in pages.items():
+            got = ftl.read(lpn)
+            assert got[: len(data)] == data
+
+
+class TestRemountCoherence:
+    def test_remount_starts_with_an_empty_cache(self):
+        device = KVSSD.build(
+            PRESETS["all"].with_overrides(
+                nand_capacity_bytes=64 * MIB,
+                read_cache_pages=32,
+                crash_consistency=True,
+            )
+        )
+        for i in range(30):
+            device.driver.put(b"rm-%04d" % i, _value(i))
+        device.driver.nvme_flush()
+        for i in range(30):
+            device.driver.get(b"rm-%04d" % i)
+        assert len(device.ftl._cache) > 0
+        recovered = device.remount()
+        assert recovered.ftl._cache is not None
+        # A fresh cache object: no pre-cut entry can survive the remount
+        # (the recovery scan itself may already have filled a few pages).
+        assert recovered.ftl._cache is not device.ftl._cache
+        assert (
+            recovered.ftl._cache_hit_us
+            == recovered.config.read_cache_hit_us
+        )
+        for i in range(30):
+            assert recovered.driver.get(b"rm-%04d" % i).value == _value(i)
+
+
+class TestChurnEquivalence:
+    def test_cache_on_never_diverges_from_cache_off(self):
+        on = _store()
+        off = _store(read_cache_pages=0)
+        keys = [b"ch-%04d" % i for i in range(80)]
+
+        def run(store):
+            out = []
+            for i, key in enumerate(keys):
+                store.put(key, _value(i))
+            store.flush()
+            for key in keys:
+                out.append(store.get(key))
+            for key in keys[::3]:
+                store.delete(key)
+            for i, key in enumerate(keys[1::3]):
+                store.put(key, _value(1000 + i))
+            store.flush()
+            store.compact_vlog(dead_threshold=0.0)
+            for key in keys:
+                try:
+                    out.append(store.get(key))
+                except KeyNotFoundError:
+                    out.append(None)
+            out.append(sorted(store.scan()))
+            return out
+
+        assert run(on) == run(off)
+        assert on.device.ftl._cache.hits > 0  # the cache actually engaged

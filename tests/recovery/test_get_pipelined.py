@@ -1,0 +1,111 @@
+"""Satellite: pipelined reads under faults (the read twin of flush tests).
+
+get_many must stay correct when the media misbehaves: with a fault
+injector attached the driver falls back to the serial per-op retry
+protocol (ECC read-retry, scrubbing), and a power cut mid-batch must
+leave every value acked *before* the cut byte-identical to what a
+remounted device returns.
+"""
+
+import pytest
+
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.errors import PowerLossError
+from repro.faults import FaultPlan
+from repro.units import MIB
+
+PIPELINE_CFG = BandSlimConfig().with_overrides(
+    crash_consistency=True,
+    nand_capacity_bytes=64 * MIB,
+    buffer_entries=8,
+    queue_depth=8,
+)
+
+KEYS = [b"gp-%05d" % i for i in range(80)]
+
+
+def _value(i: int) -> bytes:
+    return bytes([(i * 13 + j) % 256 for j in range(64)]) * 40
+
+
+def _loaded(fault_plan=None) -> KVSSD:
+    device = KVSSD.build(PIPELINE_CFG, fault_plan=fault_plan)
+    for i, key in enumerate(KEYS):
+        device.driver.put(key, _value(i))
+    device.driver.nvme_flush()
+    return device
+
+
+class TestGetManyUnderMediaFaults:
+    def test_bitflips_are_corrected_across_a_batch(self):
+        # Wear-style bit flips under the ECC limit: every GET must still
+        # return exact bytes (the injector forces the serial fallback,
+        # whose read-retry protocol corrects in place).
+        device = _loaded(FaultPlan(seed=7, read_bitflip_base=2.0))
+        results = device.driver.get_many(KEYS)
+        assert [r.value for r in results] == [
+            _value(i) for i in range(len(KEYS))
+        ]
+        snap = device.snapshot()
+        assert snap["faults.bitflips_injected"] > 0
+
+    def test_heavy_bitflips_trigger_retry_and_still_succeed(self):
+        device = _loaded(
+            FaultPlan(seed=11, read_bitflip_base=6.0, read_bitflip_per_erase=1.0)
+        )
+        results = device.driver.get_many(KEYS)
+        assert all(r.ok for r in results)
+        assert [r.value for r in results] == [
+            _value(i) for i in range(len(KEYS))
+        ]
+
+    def test_injector_forces_serial_fallback(self):
+        device = _loaded(FaultPlan(seed=3, read_bitflip_base=1.0))
+        device.driver.get_many(KEYS)
+        # The pipelined path never engages with an injector attached, so
+        # the lazy coalesce counter must not exist.
+        assert "nand.coalesced_reads" not in device.snapshot()
+
+
+class TestGetManyAcrossPowerCut:
+    def test_values_acked_before_cut_match_remounted_state(self):
+        device = _loaded()
+        cut_at = device.clock.now_us + 2_000.0
+        plan = FaultPlan(power_loss_at_us=(cut_at,))
+        # Arm a cut on the *running* device mid-read-burst: rebuild with
+        # the same flash via a fresh injected twin is not possible, so we
+        # instead run the batch on an injected device loaded identically.
+        injected = KVSSD.build(PIPELINE_CFG, fault_plan=plan)
+        for i, key in enumerate(KEYS):
+            injected.driver.put(key, _value(i))
+        injected.driver.nvme_flush()
+        acked: dict[bytes, bytes] = {}
+        try:
+            for key in KEYS:
+                result = injected.driver.get(key)
+                acked[key] = result.value
+        except PowerLossError:
+            pass
+        assert injected.injector.power_lost or len(acked) == len(KEYS)
+        recovered = injected.remount()
+        # Reads mutate nothing: every value acked before the lights went
+        # out must be exactly what the remounted device serves.
+        for key, value in acked.items():
+            assert recovered.driver.get(key).value == value, key
+
+    def test_pipelined_batch_after_remount_is_complete(self):
+        device = _loaded()
+        recovered = device.remount()
+        results = recovered.driver.get_many(KEYS)
+        assert [r.value for r in results] == [
+            _value(i) for i in range(len(KEYS))
+        ]
+
+    def test_batch_on_frozen_device_raises_power_loss(self):
+        plan = FaultPlan(power_loss_at_us=(1.0,))
+        device = KVSSD.build(PIPELINE_CFG, fault_plan=plan)
+        with pytest.raises(PowerLossError):
+            device.driver.put(b"k", b"v" * 64)
+        with pytest.raises(PowerLossError):
+            device.driver.get_many([b"k"])
