@@ -1,0 +1,178 @@
+"""Array-layer benches: rebuild throttle, hot-shard skew, rolling remounts.
+
+Beyond the paper: the BandSlim stack as one device of a replicated array
+(see docs/array.md). Three questions a deployment cares about:
+
+* **Throttle tradeoff** — ``rebuild_throttle`` interleaves keyspace copies
+  between foreground ops; more copies per op drains the rebuild faster but
+  stalls the foreground tail. The sweep makes the p99-vs-rebuild-rate
+  curve visible, and the oracle must hold at every point.
+* **Hot-shard skew** — a zipf-skewed keyspace concentrates load on the hot
+  key's replica set; replication spreads reads, the ring spreads keys.
+* **Rolling remounts** — the maintenance story: every device pulled and
+  remounted in turn under live traffic, zero acked writes lost.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.array import ArrayStore
+from repro.array.scenario import run_device_loss, run_rolling_remounts
+from repro.bench.report import FigureResult, bench_ops as _bench_ops
+from repro.core.config import BandSlimConfig
+from repro.units import KIB, MIB
+
+OPS = _bench_ops(400)
+THROTTLES = (0.5, 2.0, 8.0, 32.0)
+
+
+def _array_cfg(**overrides):
+    base = dict(
+        array_shards=3,
+        replication_factor=2,
+        write_quorum=1,
+        nand_capacity_bytes=64 * MIB,
+        buffer_entries=32,
+        memtable_flush_bytes=16 * KIB,
+        dlt_capacity=64,
+    )
+    base.update(overrides)
+    return BandSlimConfig(**base)
+
+
+def _throttle_sweep():
+    rows = []
+    for throttle in THROTTLES:
+        report = run_device_loss(
+            ops=OPS, seed=17, kill_mode="failstop",
+            rebuild_throttle=throttle,
+        )
+        assert report.ok, report.violations
+        rows.append(
+            [throttle,
+             round(report.put_p99_us, 1),
+             round(report.get_p99_us, 1),
+             report.rebuild_copied,
+             report.failovers]
+        )
+    return FigureResult(
+        figure_id="array_throttle",
+        title=f"Device-loss under live traffic ({OPS} ops, R=2): "
+              f"foreground p99 vs rebuild throttle",
+        columns=["copies_per_op", "put_p99_us", "get_p99_us",
+                 "rebuild_copied", "failovers"],
+        rows=rows,
+        notes=[
+            "copies run between foreground ops and are charged to the next "
+            "op's latency: higher throttle = faster rebuild, fatter tail",
+            "the durability oracle (acked => durable on >= quorum replicas) "
+            "holds at every throttle",
+        ],
+    )
+
+
+def _zipf_keys(rng, count, n_keys, exponent=1.1):
+    keys = [b"hot%05d" % i for i in range(n_keys)]
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(n_keys)]
+    return keys, rng.choices(keys, weights=weights, k=count)
+
+
+def _skew_run(replication):
+    cfg = _array_cfg(replication_factor=replication)
+    store = ArrayStore.build(config=cfg)
+    rng = random.Random(23)
+    _, picks = _zipf_keys(rng, OPS, max(16, OPS // 8))
+    for i, key in enumerate(picks):
+        if i % 4 == 3:
+            try:
+                store.get(key)
+            except Exception:
+                pass
+        else:
+            store.put(key, b"z" * 128)
+    snap = store.snapshot()
+    loads = [
+        snap[f"shard{i}.driver.puts"] + snap[f"shard{i}.driver.gets"]
+        for i in range(cfg.array_shards)
+    ]
+    mean = sum(loads) / len(loads)
+    return {
+        "max_over_mean": max(loads) / mean if mean else 0.0,
+        "loads": [int(x) for x in loads],
+        "put_p99_us": snap.get("array.put_latency_us.p99", 0.0),
+    }
+
+
+def _skew_sweep():
+    rows = []
+    for replication in (1, 2, 3):
+        r = _skew_run(replication)
+        rows.append(
+            [replication, round(r["max_over_mean"], 2),
+             str(r["loads"]), round(r["put_p99_us"], 1)]
+        )
+    return FigureResult(
+        figure_id="array_skew",
+        title=f"Hot-shard skew (zipf keys, {OPS} ops, 3 devices): "
+              f"device load vs replication",
+        columns=["replication", "max_load_over_mean", "per_device_ops",
+                 "put_p99_us"],
+        rows=rows,
+        notes=[
+            "zipf(1.1) key popularity; the consistent-hash ring spreads "
+            "keys, replication spreads each hot key across R devices",
+        ],
+    )
+
+
+def _rolling():
+    report = run_rolling_remounts(ops_per_phase=max(40, OPS // 8), seed=29)
+    assert report.ok, report.violations
+    return FigureResult(
+        figure_id="array_rolling",
+        title="Rolling remounts: every device pulled + remounted in turn",
+        columns=["metric", "value"],
+        rows=[
+            ["ops", report.ops],
+            ["acked_puts", report.acked_puts],
+            ["acked_deletes", report.acked_deletes],
+            ["rebuild_copied", report.rebuild_copied],
+            ["rebuild_skipped_live_won", report.rebuild_skipped],
+            ["failovers", report.failovers],
+            ["put_p99_us", round(report.put_p99_us, 1)],
+            ["violations", len(report.violations)],
+        ],
+        notes=[
+            "fail-stop pull, remount recovery from the device's own media, "
+            "survivors stream the delta; the oracle holds end to end",
+        ],
+    )
+
+
+def bench_rebuild_throttle(benchmark, emit):
+    fig = benchmark.pedantic(_throttle_sweep, rounds=1, iterations=1)
+    emit([fig])
+    copied = dict(zip(fig.column("copies_per_op"), fig.column("rebuild_copied")))
+    # A faster throttle must never rebuild *less* of the slice during the
+    # same traffic window.
+    assert copied[THROTTLES[-1]] >= copied[THROTTLES[0]]
+    benchmark.extra_info["p99_at_max_throttle"] = fig.rows[-1][1]
+
+
+def bench_hot_shard_skew(benchmark, emit):
+    fig = benchmark.pedantic(_skew_sweep, rounds=1, iterations=1)
+    emit([fig])
+    ratios = dict(zip(fig.column("replication"), fig.column("max_load_over_mean")))
+    # R=3 puts every key on every device: per-device load is exactly even.
+    assert ratios[3] <= ratios[1] + 0.01
+    benchmark.extra_info["skew_r1"] = ratios[1]
+
+
+def bench_rolling_remounts(benchmark, emit):
+    fig = benchmark.pedantic(_rolling, rounds=1, iterations=1)
+    emit([fig])
+    rows = dict(fig.rows)
+    assert rows["violations"] == 0
+    assert rows["rebuild_copied"] > 0
+    benchmark.extra_info["rebuild_copied"] = rows["rebuild_copied"]

@@ -1,0 +1,37 @@
+"""Host-side multi-device array: sharding, replication, rebuild.
+
+See :mod:`repro.array.store` for the router, :mod:`repro.array.ring` for
+placement, :mod:`repro.array.rebuild` for live device rebuild and
+:mod:`repro.array.scenario` for the deterministic fault scenarios +
+durability oracle. ``docs/array.md`` is the narrative walkthrough.
+"""
+
+from repro.array.codec import (
+    FLAG_TOMBSTONE,
+    HEADER_BYTES,
+    decode_value,
+    encode_value,
+)
+from repro.array.rebuild import RebuildJob
+from repro.array.ring import HashRing
+from repro.array.scenario import (
+    ScenarioReport,
+    run_device_loss,
+    run_rolling_remounts,
+)
+from repro.array.store import ArrayStore, DeviceState, ShardDevice
+
+__all__ = [
+    "ArrayStore",
+    "DeviceState",
+    "FLAG_TOMBSTONE",
+    "HEADER_BYTES",
+    "HashRing",
+    "RebuildJob",
+    "ScenarioReport",
+    "ShardDevice",
+    "decode_value",
+    "encode_value",
+    "run_device_loss",
+    "run_rolling_remounts",
+]

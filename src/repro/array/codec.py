@@ -1,0 +1,48 @@
+"""Replica value envelope: the op-seq header read-repair compares.
+
+Every value the array stores on a device is wrapped in a small header
+carrying the array-wide operation sequence number that wrote it plus a
+flag byte. The header is what makes replica divergence *decidable*: two
+replicas returning different bytes for one key are ordered by ``seq``,
+the larger one wins, and read-repair rewrites the loser — no vector
+clocks needed because the array router is a single writer.
+
+Deletes are stored as *tombstones* (header with the tombstone flag and an
+empty payload) rather than device-level deletes, so a replica that missed
+a delete can still lose the comparison against it.
+
+Layout: ``<u64 seq, u8 flags>`` little-endian, then the raw payload.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ArrayError
+
+_HEADER = struct.Struct("<QB")
+
+#: Bytes the envelope adds to every stored value.
+HEADER_BYTES = _HEADER.size
+
+#: Flag bit: this entry is a delete marker, not a value.
+FLAG_TOMBSTONE = 0x01
+
+
+def encode_value(seq: int, payload: bytes, tombstone: bool = False) -> bytes:
+    """Wrap ``payload`` with its op-seq header (tombstones carry none)."""
+    if seq < 0:
+        raise ArrayError(f"op seq must be >= 0, got {seq}")
+    flags = FLAG_TOMBSTONE if tombstone else 0
+    return _HEADER.pack(seq, flags) + (b"" if tombstone else payload)
+
+
+def decode_value(blob: bytes) -> tuple[int, bool, bytes]:
+    """``(seq, tombstone, payload)`` of one stored replica blob."""
+    if len(blob) < HEADER_BYTES:
+        raise ArrayError(
+            f"replica blob of {len(blob)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte envelope header"
+        )
+    seq, flags = _HEADER.unpack_from(blob)
+    return seq, bool(flags & FLAG_TOMBSTONE), blob[HEADER_BYTES:]

@@ -1,0 +1,141 @@
+"""Live device rebuild: re-stream a dead device's keyspace slice.
+
+When :meth:`~repro.array.store.ArrayStore.start_rebuild` attaches a
+replacement device for a DOWN shard, a :class:`RebuildJob` copies the
+shard's slice of the keyspace from the surviving replicas onto it while
+foreground traffic keeps flowing:
+
+* The **pending set** is computed once at start: every key on any healthy
+  replica that the ring assigns to the rebuilding device, in sorted order
+  (deterministic given deterministic traffic).
+* Each :meth:`step` copy reads the newest surviving version (by op-seq,
+  see :mod:`repro.array.codec`) and writes the raw replica blob to the
+  target — **unless the target already holds an equal-or-newer version**,
+  which happens precisely when a live foreground write raced ahead of the
+  copy (REBUILDING replicas take live writes). The seq comparison makes
+  copy-vs-live-write ordering a non-issue: newest always wins.
+* The copy cost (survivor read + target program, summed — the host
+  rebuild thread is serial) is returned as a *stall* that the store
+  charges to foreground latency, so ``rebuild_throttle`` trades rebuild
+  speed against foreground p99 in a measurable way.
+
+A key whose every surviving replica is unreachable is counted
+``unrecoverable`` (with R healthy survivors this cannot happen; it needs a
+second failure mid-rebuild).
+"""
+
+from __future__ import annotations
+
+from repro.array.codec import decode_value
+from repro.errors import (
+    CommandTimeoutError,
+    KeyNotFoundError,
+    PowerLossError,
+)
+
+
+class RebuildJob:
+    """One in-flight rebuild of ``shard`` from its surviving replicas."""
+
+    def __init__(self, store, shard) -> None:
+        from repro.array.store import iter_device_keys
+
+        self.store = store
+        self.shard = shard
+        self.started_us = store.now_us
+        self.copied = 0
+        self.skipped = 0
+        self.unrecoverable = 0
+        pending: set[bytes] = set()
+        for other in store.devices:
+            if other is shard or not other.up:
+                continue
+            for key in iter_device_keys(other.driver):
+                if store.ring.owns(key, shard.index, store.replication):
+                    pending.add(key)
+        self._pending = sorted(pending, reverse=True)  # pop() from the front
+        self._retried: set[bytes] = set()
+
+    @property
+    def finished(self) -> bool:
+        return not self._pending
+
+    @property
+    def remaining(self) -> int:
+        return len(self._pending)
+
+    def step(self, budget: int) -> float:
+        """Copy up to ``budget`` keys; returns the host-thread stall (µs)."""
+        stall = 0.0
+        while budget > 0 and self._pending:
+            key = self._pending.pop()
+            budget -= 1
+            stall += self._copy_one(key)
+        if not self._pending and self.store.rebuild is self:
+            self.store._complete_rebuild(self)
+        return stall
+
+    def _copy_one(self, key: bytes) -> float:
+        store, target = self.store, self.shard
+        cost = 0.0
+        newest_seq = -1
+        newest_blob = None
+        for other in store.devices:
+            if other is target or not other.up:
+                continue
+            blob, latency = self._replica_read(other, key)
+            cost += latency
+            if blob is None:
+                continue
+            seq, _, _ = decode_value(blob)
+            if seq > newest_seq:
+                newest_seq = seq
+                newest_blob = blob
+        if newest_blob is None:
+            self.unrecoverable += 1
+            return cost
+        have, latency = self._replica_read(target, key)
+        cost += latency
+        if have is not None and decode_value(have)[0] >= newest_seq:
+            # A live foreground write already landed a newer (or this very)
+            # version on the replacement — the copy would be a rollback.
+            self.skipped += 1
+            return cost
+        try:
+            result = target.driver.put(key, newest_blob)
+        except PowerLossError:
+            # The replacement died too: abandon the job, device stays DOWN.
+            store._mark_down(target)
+            store._rebuild = None
+            self._pending.clear()
+            return cost
+        except CommandTimeoutError:
+            result = None
+        if result is not None and result.ok:
+            cost += result.latency_us
+            target.missed.discard(key)
+            self.copied += 1
+        elif key not in self._retried:
+            self._retried.add(key)
+            self._pending.insert(0, key)  # one retry, at the tail
+        else:
+            # Persistent target failure: give up on this key — a later
+            # read-repair or scrub() pass will converge it.
+            self.unrecoverable += 1
+        return cost
+
+    def _replica_read(self, shard, key: bytes):
+        """``(blob_or_None, latency_us)`` from one replica, fault-tolerant."""
+        start = shard.device.clock.now_us
+        try:
+            result = shard.driver.get(key)
+        except KeyNotFoundError:
+            return None, shard.device.clock.now_us - start
+        except PowerLossError:
+            self.store._mark_down(shard)
+            return None, 0.0
+        except CommandTimeoutError:
+            return None, 0.0
+        if not result.ok or result.value is None:
+            return None, 0.0
+        return result.value, result.latency_us

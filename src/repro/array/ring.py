@@ -1,0 +1,83 @@
+"""Consistent-hash ring: deterministic key → replica-set placement.
+
+The router shards keys across N independent devices with a classic
+virtual-node consistent-hash ring (the Dynamo/Cassandra placement shape).
+Each device owns ``vnodes`` points on a 64-bit ring; a key hashes to a
+point and its R replicas are the next R *distinct* devices walking
+clockwise. Properties the array layer relies on:
+
+* **Determinism across processes.** Points come from SHA-1 of stable
+  labels (never Python's salted ``hash``), so the same key maps to the
+  same replica set in every run — the scenario oracle and the golden
+  reports depend on it.
+* **Replica sets are stable under device death.** Placement is a pure
+  function of (key, device count); a dead device keeps its slots and is
+  simply skipped by the router, so rebuild streams exactly the slice the
+  ring assigns to it.
+* **Smooth load.** With the default 64 vnodes per device the per-device
+  keyspace share stays within a few percent of uniform (asserted by
+  ``tests/array/test_ring.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.errors import ConfigError
+
+
+def _point(data: bytes) -> int:
+    """64-bit ring position of ``data`` (stable across runs/platforms)."""
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring over ``devices`` device indices."""
+
+    __slots__ = ("devices", "vnodes", "_points", "_hashes")
+
+    def __init__(self, devices: int, vnodes: int = 64) -> None:
+        if devices < 1:
+            raise ConfigError(f"ring needs at least one device, got {devices}")
+        if vnodes < 1:
+            raise ConfigError(f"ring needs at least one vnode, got {vnodes}")
+        self.devices = devices
+        self.vnodes = vnodes
+        points = [
+            (_point(b"device%d:vnode%d" % (dev, vn)), dev)
+            for dev in range(devices)
+            for vn in range(vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._hashes = [p for p, _ in points]
+
+    def replicas(self, key: bytes, r: int) -> tuple[int, ...]:
+        """The ``r`` distinct devices holding ``key``, preference-ordered.
+
+        The first entry is the key's *primary* (the device reads prefer);
+        the rest are its successors on the ring.
+        """
+        if not 1 <= r <= self.devices:
+            raise ConfigError(
+                f"replication {r} impossible with {self.devices} device(s)"
+            )
+        index = bisect_right(self._hashes, _point(key)) % len(self._points)
+        out: list[int] = []
+        seen: set[int] = set()
+        while len(out) < r:
+            dev = self._points[index][1]
+            if dev not in seen:
+                seen.add(dev)
+                out.append(dev)
+            index = (index + 1) % len(self._points)
+        return tuple(out)
+
+    def primary(self, key: bytes) -> int:
+        """The key's first-preference device."""
+        return self.replicas(key, 1)[0]
+
+    def owns(self, key: bytes, device: int, r: int) -> bool:
+        """True if ``device`` is one of the key's ``r`` replicas."""
+        return device in self.replicas(key, r)

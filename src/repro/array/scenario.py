@@ -1,0 +1,448 @@
+"""Deterministic array fault scenarios + the array durability oracle.
+
+:func:`run_device_loss` is the PR's acceptance scenario: seeded mixed
+traffic against an R-way replicated array, one device dies mid-burst
+(scripted power cut or fail-stop), traffic continues degraded, a
+replacement is rebuilt under live load, and at the end a crashcheck-style
+oracle verifies:
+
+* **No acked write lost** — every acknowledged PUT/DELETE is readable
+  (reflecting its value or its deletion) from the array.
+* **Reads succeed throughout** — no read ever failed outright while
+  degraded (replication covered the dead device).
+* **Acked ⇒ durable on ≥ quorum replicas** — after rebuild + scrub, every
+  key's surviving version sits identically on all of its healthy ring
+  replicas (no stale replica survives read-repair) and on at least
+  ``write_quorum`` of them, and that version is one the oracle allows:
+  the last acked write, or a *newer* quorum-failed residue (a write that
+  raised :class:`~repro.errors.QuorumError` may legitimately survive on a
+  minority and spread — Dynamo semantics, "not acked" ≠ "guaranteed
+  absent").
+
+Determinism: traffic comes from one ``random.Random(seed)``; device
+placement from the SHA-1 ring; power cuts from a scripted timestamp
+learned by dry-running an identical plan-free array (same config, same
+traffic) and reading the victim's clock at the kill op. Two runs with the
+same arguments produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.array.codec import decode_value
+from repro.array.store import ArrayStore, iter_device_keys
+from repro.core.config import BandSlimConfig
+from repro.errors import (
+    ArrayError,
+    ConfigError,
+    KeyNotFoundError,
+    QuorumError,
+)
+from repro.faults.plan import FaultPlan
+
+#: Value-size mix for scenario traffic: the paper's small-value-heavy
+#: shape (§4.1 uses 8 B – 4 KiB) so packing and piggybacking both engage.
+_SIZE_BUCKETS = (16, 64, 91, 256, 1024, 3072)
+
+_TOMBSTONE = object()  # oracle marker: last acked op deleted the key
+
+
+@dataclass
+class ScenarioReport:
+    """Everything a scenario run measured plus its oracle verdict."""
+
+    name: str
+    ops: int
+    shards: int
+    replication: int
+    write_quorum: int
+    seed: int
+    kill_mode: str
+    victim: int
+    kill_at: int
+    rebuild_at: int
+    remount: bool
+    acked_puts: int = 0
+    acked_deletes: int = 0
+    quorum_failures: int = 0
+    reads: int = 0
+    failovers: int = 0
+    read_repairs: int = 0
+    repaired_replicas: int = 0
+    scrub_repairs: int = 0
+    rebuild_copied: int = 0
+    rebuild_skipped: int = 0
+    rebuild_unrecoverable: int = 0
+    put_p50_us: float = 0.0
+    put_p99_us: float = 0.0
+    get_p50_us: float = 0.0
+    get_p99_us: float = 0.0
+    now_us: float = 0.0
+    keys_checked: int = 0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_obj(self) -> dict:
+        out = asdict(self)
+        out["ok"] = self.ok
+        return out
+
+
+class _Oracle:
+    """Tracks what the array *promised* so the end state can be judged."""
+
+    def __init__(self) -> None:
+        #: key -> payload of the last *acked* write (_TOMBSTONE for deletes).
+        self.acked: dict[bytes, object] = {}
+        self.acked_seq: dict[bytes, int] = {}
+        #: key -> {seq: payload} of quorum-failed writes newer than the
+        #: last ack — versions that may legitimately surface later.
+        self.residue: dict[bytes, dict[int, object]] = {}
+
+    def ack(self, key: bytes, seq: int, payload) -> None:
+        self.acked[key] = payload
+        self.acked_seq[key] = seq
+        # Older residues can never win a seq comparison again.
+        residues = self.residue.get(key)
+        if residues:
+            for old in [s for s in residues if s <= seq]:
+                del residues[old]
+            if not residues:
+                del self.residue[key]
+
+    def fail(self, key: bytes, seq: int, payload) -> None:
+        self.residue.setdefault(key, {})[seq] = payload
+
+    def allowed(self, key: bytes) -> dict:
+        """{seq: payload_or_TOMBSTONE} the key may legitimately hold."""
+        out = dict(self.residue.get(key, ()))
+        if key in self.acked:
+            out[self.acked_seq[key]] = self.acked[key]
+        return out
+
+    def check_read(self, key: bytes, found: bool, payload) -> str | None:
+        """Judge one live read; returns a violation string or None."""
+        allowed = self.allowed(key)
+        if not allowed:
+            # Never acked, no residue: must be absent.
+            return (
+                f"read of never-written key {key!r} returned a value"
+                if found else None
+            )
+        ok_values = set()
+        for version in allowed.values():
+            if version is _TOMBSTONE:
+                ok_values.add(None)
+            else:
+                ok_values.add(version)
+        got = payload if found else None
+        if got in ok_values:
+            return None
+        return (
+            f"read of key {key!r} returned "
+            f"{'absent' if got is None else got[:16]!r} which matches no "
+            f"acked or residual version"
+        )
+
+
+def _mixed_op(rng, keys: list[bytes]) -> tuple[str, bytes, bytes]:
+    """One seeded traffic op: (kind, key, payload)."""
+    key = keys[rng.randrange(len(keys))]
+    roll = rng.random()
+    if roll < 0.60:
+        size = _SIZE_BUCKETS[rng.randrange(len(_SIZE_BUCKETS))]
+        return ("put", key, rng.getrandbits(8 * size).to_bytes(size, "little"))
+    if roll < 0.90:
+        return ("get", key, b"")
+    return ("delete", key, b"")
+
+
+def _drive_op(store: ArrayStore, oracle: _Oracle, report, op) -> None:
+    kind, key, payload = op
+    if kind == "put":
+        try:
+            store.put(key, payload)
+        except QuorumError:
+            oracle.fail(key, store.last_seq, payload)
+            report.quorum_failures += 1
+        else:
+            oracle.ack(key, store.last_seq, payload)
+            report.acked_puts += 1
+    elif kind == "delete":
+        try:
+            store.delete(key)
+        except QuorumError:
+            oracle.fail(key, store.last_seq, _TOMBSTONE)
+            report.quorum_failures += 1
+        else:
+            oracle.ack(key, store.last_seq, _TOMBSTONE)
+            report.acked_deletes += 1
+    else:
+        report.reads += 1
+        try:
+            value = store.get(key)
+            found = True
+        except KeyNotFoundError:
+            value, found = None, False
+        except ArrayError as exc:
+            report.violations.append(
+                f"read of key {key!r} failed outright while degraded: {exc}"
+            )
+            return
+        violation = oracle.check_read(key, found, value)
+        if violation:
+            report.violations.append(violation)
+
+
+def _verify_final(store: ArrayStore, oracle: _Oracle, report) -> None:
+    """The end-state oracle: acked ⇒ durable on ≥ quorum, no stale replica."""
+    # 1. Every acked write is readable through the array.
+    for key in sorted(oracle.acked):
+        try:
+            value = store.get(key)
+            found = True
+        except KeyNotFoundError:
+            value, found = None, False
+        except ArrayError as exc:
+            report.violations.append(f"final read of {key!r} failed: {exc}")
+            continue
+        violation = oracle.check_read(key, found, value)
+        if violation:
+            report.violations.append("final state: " + violation)
+
+    # 2. Replica-level durability + convergence.
+    keys: set[bytes] = set(oracle.acked)
+    for shard in store.devices:
+        if shard.up:
+            keys.update(iter_device_keys(shard.driver))
+    for key in sorted(keys):
+        replicas = store.replicas_of(key)
+        up_replicas = [i for i in replicas if store.devices[i].up]
+        versions: dict[int, tuple] = {}
+        for index in up_replicas:
+            try:
+                result = store.devices[index].driver.get(key)
+            except KeyNotFoundError:
+                continue
+            if result.ok and result.value is not None:
+                versions[index] = decode_value(result.value)
+        report.keys_checked += 1
+        allowed = oracle.allowed(key)
+        if not versions:
+            if any(v is not _TOMBSTONE for v in allowed.values()):
+                report.violations.append(
+                    f"acked key {key!r} is absent from every healthy replica"
+                )
+            continue
+        distinct = {(v[0], v[1], v[2]) for v in versions.values()}
+        if len(distinct) > 1:
+            report.violations.append(
+                f"stale replica survived scrub for key {key!r}: "
+                f"seqs {sorted(v[0] for v in versions.values())}"
+            )
+            continue
+        seq, tombstone, payload = next(iter(distinct))
+        if allowed:
+            want = allowed.get(seq)
+            matches = (want is _TOMBSTONE and tombstone) or (
+                want is not _TOMBSTONE and want is not None and want == payload
+            )
+            if not matches:
+                report.violations.append(
+                    f"replicas of key {key!r} hold seq {seq} which matches "
+                    f"no acked or residual version"
+                )
+                continue
+        quorum_need = min(report.write_quorum, len(up_replicas))
+        if key in oracle.acked and len(versions) < quorum_need:
+            report.violations.append(
+                f"acked key {key!r} durable on only {len(versions)} of "
+                f"{quorum_need} required replicas"
+            )
+
+
+def _base_config(config: BandSlimConfig | None, shards, replication, quorum,
+                 rebuild_throttle, crash_consistency) -> BandSlimConfig:
+    config = config or BandSlimConfig(
+        # Small media + fast flushes keep scenario runs quick while still
+        # exercising real flush/journal traffic (same trick as crashcheck).
+        nand_capacity_bytes=64 * 1024 * 1024,
+        buffer_entries=32,
+        memtable_flush_bytes=16 * 1024,
+        dlt_capacity=64,
+    )
+    return config.with_overrides(
+        array_shards=shards,
+        replication_factor=replication,
+        write_quorum=quorum,
+        rebuild_throttle=rebuild_throttle,
+        crash_consistency=crash_consistency or config.crash_consistency,
+    )
+
+
+def _find_cut_us(config, ops, seed, keys_count, victim, kill_at) -> float:
+    """Dry-run an identical plan-free array to learn the victim's clock."""
+    import random
+
+    rng = random.Random(seed)
+    keys = [b"ak%06d" % i for i in range(keys_count)]
+    store = ArrayStore.build(config=config)
+    probe = ScenarioReport(
+        name="dry-run", ops=ops, shards=config.array_shards,
+        replication=config.replication_factor,
+        write_quorum=config.write_quorum, seed=seed, kill_mode="none",
+        victim=victim, kill_at=kill_at, rebuild_at=-1, remount=False,
+    )
+    oracle = _Oracle()
+    for _ in range(kill_at):
+        _drive_op(store, oracle, probe, _mixed_op(rng, keys))
+    return store.devices[victim].device.clock.now_us
+
+
+def run_device_loss(
+    ops: int = 600,
+    shards: int = 3,
+    replication: int = 2,
+    write_quorum: int = 1,
+    seed: int = 0xA11A,
+    victim: int = 0,
+    kill_at: int | None = None,
+    rebuild_at: int | None = None,
+    kill_mode: str = "power",
+    remount: bool = False,
+    rebuild_throttle: float = 4.0,
+    config: BandSlimConfig | None = None,
+) -> ScenarioReport:
+    """Kill one device mid-burst, rebuild it live, judge the end state."""
+    if kill_mode not in ("power", "failstop"):
+        raise ConfigError(f"unknown kill_mode {kill_mode!r}")
+    if remount and kill_mode != "power":
+        # Fail-stop remounts are exercised by run_rolling_remounts with
+        # crash_consistency=True; here remount implies a real power cut.
+        raise ConfigError("remount rebuild needs kill_mode='power'")
+    kill_at = ops // 3 if kill_at is None else kill_at
+    rebuild_at = (2 * ops) // 3 if rebuild_at is None else rebuild_at
+    if not 0 <= kill_at <= rebuild_at <= ops:
+        raise ConfigError("need 0 <= kill_at <= rebuild_at <= ops")
+    config = _base_config(
+        config, shards, replication, write_quorum, rebuild_throttle,
+        crash_consistency=(kill_mode == "power"),
+    )
+    keys_count = max(16, ops // 8)
+
+    device_plans = [None] * shards
+    if kill_mode == "power":
+        cut_us = _find_cut_us(config, ops, seed, keys_count, victim, kill_at)
+        device_plans[victim] = FaultPlan(
+            seed=seed & 0xFFFF, power_loss_at_us=(cut_us,)
+        )
+
+    import random
+
+    rng = random.Random(seed)
+    keys = [b"ak%06d" % i for i in range(keys_count)]
+    store = ArrayStore.build(config=config, device_plans=device_plans)
+    report = ScenarioReport(
+        name="device-loss", ops=ops, shards=shards, replication=replication,
+        write_quorum=write_quorum, seed=seed, kill_mode=kill_mode,
+        victim=victim, kill_at=kill_at, rebuild_at=rebuild_at,
+        remount=remount,
+    )
+    oracle = _Oracle()
+    for op_index in range(ops):
+        if op_index == kill_at and kill_mode == "failstop":
+            store.kill_device(victim)
+        if op_index == rebuild_at:
+            # A scripted power cut only fires on device activity; make the
+            # death detectable before asking for a rebuild.
+            if store.probe_device(victim):
+                report.violations.append(
+                    f"device {victim} still up at rebuild op {rebuild_at} "
+                    f"(kill never landed)"
+                )
+            else:
+                store.start_rebuild(victim, remount=remount)
+        _drive_op(store, oracle, report, _mixed_op(rng, keys))
+    store.drain_rebuild()
+    report.scrub_repairs = store.scrub()
+    _verify_final(store, oracle, report)
+    _fill_stats(store, report)
+    return report
+
+
+def run_rolling_remounts(
+    ops_per_phase: int = 150,
+    shards: int = 3,
+    replication: int = 2,
+    write_quorum: int = 1,
+    seed: int = 0xB0BB,
+    rebuild_throttle: float = 8.0,
+    config: BandSlimConfig | None = None,
+) -> ScenarioReport:
+    """Take every device down in turn (fail-stop + remount rebuild).
+
+    Models a rolling maintenance pass: each device is pulled, loses its
+    un-flushed state, and is remounted from its own media then topped up
+    from the survivors — the array must never lose an acked write.
+    """
+    config = _base_config(
+        config, shards, replication, write_quorum, rebuild_throttle,
+        crash_consistency=True,
+    )
+    import random
+
+    rng = random.Random(seed)
+    keys = [b"rk%05d" % i for i in range(max(16, ops_per_phase // 4))]
+    store = ArrayStore.build(config=config)
+    total_ops = ops_per_phase * (2 * shards + 1)
+    report = ScenarioReport(
+        name="rolling-remounts", ops=total_ops, shards=shards,
+        replication=replication, write_quorum=write_quorum, seed=seed,
+        kill_mode="failstop", victim=-1, kill_at=-1, rebuild_at=-1,
+        remount=True,
+    )
+    oracle = _Oracle()
+
+    def burst() -> None:
+        for _ in range(ops_per_phase):
+            _drive_op(store, oracle, report, _mixed_op(rng, keys))
+
+    burst()
+    for victim in range(shards):
+        store.kill_device(victim)
+        burst()  # degraded traffic against the survivors
+        store.start_rebuild(victim, remount=True)
+        burst()  # rebuild under live load
+        store.drain_rebuild()
+    report.scrub_repairs = store.scrub()
+    _verify_final(store, oracle, report)
+    _fill_stats(store, report)
+    return report
+
+
+def _fill_stats(store: ArrayStore, report: ScenarioReport) -> None:
+    snap = store.snapshot()
+    report.failovers = int(snap.get("array.failovers", 0))
+    report.read_repairs = int(snap.get("array.read_repairs", 0))
+    report.repaired_replicas = int(snap.get("array.repaired_replicas", 0))
+    report.rebuild_copied = int(snap.get("array.rebuild_keys_copied", 0))
+    report.rebuild_skipped = int(snap.get("array.rebuild_keys_skipped", 0))
+    report.rebuild_unrecoverable = int(
+        snap.get("array.rebuild_keys_unrecoverable", 0)
+    )
+    report.put_p50_us = snap.get("array.put_latency_us.p50", 0.0)
+    report.put_p99_us = snap.get("array.put_latency_us.p99", 0.0)
+    report.get_p50_us = snap.get("array.get_latency_us.p50", 0.0)
+    report.get_p99_us = snap.get("array.get_latency_us.p99", 0.0)
+    report.now_us = store.now_us
+    if store.rebuild is not None:
+        report.violations.append("rebuild never completed")
+    for shard in store.devices:
+        if not shard.up:
+            report.violations.append(
+                f"device {shard.index} still down at scenario end"
+            )

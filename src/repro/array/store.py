@@ -1,0 +1,689 @@
+"""ArrayStore: host-side router over N independent KV-SSD stacks.
+
+One :class:`~repro.device.kvssd.KVSSD` is a single device; the array turns
+the existing driver/device boundary into a fault-tolerant scale-out tier:
+
+* **Sharding** — keys are placed by a consistent-hash ring
+  (:class:`~repro.array.ring.HashRing`) across ``config.array_shards``
+  fully independent device stacks, each with its own clock, NAND array,
+  FTL and driver.
+* **Replication** — writes go to all ``config.replication_factor``
+  replicas and are acknowledged once ``config.write_quorum`` replicas
+  acked; the array-level write latency is the quorum-th fastest replica
+  (the replicas run in parallel on their own simulated clocks).
+  Per-replica timeout/backoff is the device driver's existing retry
+  machinery (``op_retry_limit``, ``retry_backoff_us``,
+  ``command_timeout_us``).
+* **Failover reads + read-repair** — a read is served by the first
+  healthy replica in preference order; whenever the preferred replica is
+  unavailable (device down, known-missed write, replica error) the read
+  fans to every healthy replica, the newest version wins by op-seq
+  (:mod:`repro.array.codec`), and stale replicas are rewritten in place.
+* **Device loss + rebuild** — a replica operation that dies with
+  :class:`~repro.errors.PowerLossError` (or an explicit
+  :meth:`ArrayStore.kill_device`) marks the device DOWN; traffic continues
+  against the degraded set. :meth:`ArrayStore.start_rebuild` streams the
+  dead device's keyspace slice from the surviving replicas onto a
+  replacement (fresh device or ``KVSSD.remount()``) while live traffic
+  continues, throttled by ``config.rebuild_throttle`` (see
+  :mod:`repro.array.rebuild`).
+
+Host-side time: each device advances its own simulated clock; the array
+keeps a host virtual clock that advances by each operation's array-level
+latency (plus any rebuild-copy stall the host thread incurred between
+ops). Tracing: pass a dedicated ``Tracer`` to get ``array/route``,
+``array/repair`` and ``array/rebuild`` spans on the host timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.array.codec import HEADER_BYTES, decode_value, encode_value
+from repro.array.ring import HashRing
+from repro.core.config import BandSlimConfig
+from repro.device.kvssd import KVSSD
+from repro.errors import (
+    ArrayError,
+    CommandTimeoutError,
+    ConfigError,
+    KeyNotFoundError,
+    NVMeError,
+    PowerLossError,
+    QuorumError,
+)
+from repro.faults.plan import FaultPlan
+from repro.nvme.command import MAX_KEY_BYTES
+from repro.sim.stats import MetricSet
+
+#: Snapshot keys that must not be summed across shards in the global rollup.
+_NON_SUMMABLE_SUFFIXES = (".mean", ".min", ".max", ".stdev", ".p50", ".p99")
+
+
+class DeviceState(enum.Enum):
+    """Lifecycle of one device behind the router."""
+
+    #: Serving reads and writes; counts toward write quorums.
+    UP = "up"
+    #: Dead (power loss or fail-stop); skipped by the router.
+    DOWN = "down"
+    #: Replacement attached and receiving live writes + rebuild copies,
+    #: but not yet caught up: excluded from reads and quorum counting.
+    REBUILDING = "rebuilding"
+
+
+class _HostClock:
+    """The array layer's virtual clock (host thread time, in µs).
+
+    Device clocks advance independently; this one orders array-level
+    events (op completions, rebuild progress, trace spans).
+    """
+
+    __slots__ = ("now_us",)
+
+    def __init__(self) -> None:
+        self.now_us = 0.0
+
+    def advance(self, dur_us: float) -> None:
+        self.now_us += dur_us
+
+
+@dataclass
+class ShardDevice:
+    """One device slot of the array: the stack plus its router state."""
+
+    index: int
+    device: KVSSD
+    plan: FaultPlan | None = None
+    state: DeviceState = DeviceState.UP
+    #: Keys this replica is known to have missed (written while it was
+    #: down/rebuilding, or whose replica write failed). Reads skip the
+    #: replica for these keys; read-repair and rebuild clear them.
+    missed: set = field(default_factory=set)
+
+    @property
+    def driver(self):
+        return self.device.driver
+
+    @property
+    def up(self) -> bool:
+        return self.state is DeviceState.UP
+
+
+def iter_device_keys(driver, batch: int = 64):
+    """Yield every key on one device in order (LIST-command pagination)."""
+    resume = b"\x00"
+    last = None
+    while True:
+        keys = driver.list_keys(resume, max_keys=batch)
+        if keys and keys[0] == last:
+            keys = keys[1:]
+        if not keys:
+            return
+        yield from keys
+        last = keys[-1]
+        resume = keys[-1]
+        if len(keys) < batch - 1:
+            return
+
+
+class ArrayStore:
+    """Consistent-hash sharded, R-way replicated KV store over KV-SSDs."""
+
+    def __init__(
+        self,
+        devices,
+        config: BandSlimConfig,
+        vnodes: int = 64,
+        tracer=None,
+        latency=None,
+        queue_depth: int = 64,
+    ) -> None:
+        self.devices: list[ShardDevice] = list(devices)
+        if not self.devices:
+            raise ConfigError("an array needs at least one device")
+        if config.replication_factor > len(self.devices):
+            raise ConfigError(
+                f"replication_factor {config.replication_factor} exceeds "
+                f"{len(self.devices)} device(s)"
+            )
+        self.config = config
+        self.replication = config.replication_factor
+        self.write_quorum = config.write_quorum
+        self.ring = HashRing(len(self.devices), vnodes=vnodes)
+        self._latency = latency
+        self._queue_depth = queue_depth
+        self._clock = _HostClock()
+        self._tracer = tracer
+        if tracer is not None:
+            # The tracer is dedicated to the array layer and records on
+            # the host timeline (device tracers would record device time).
+            tracer.bind(self._clock)
+        self._op_seq = 0
+        self._rebuild = None
+        self._rebuild_credit = 0.0
+        self._pending_stall_us = 0.0
+        self.metrics = MetricSet("array")
+        self._c_puts = self.metrics.counter("puts")
+        self._c_gets = self.metrics.counter("gets")
+        self._c_deletes = self.metrics.counter("deletes")
+        self._c_failovers = self.metrics.counter("failovers")
+        self._c_read_repairs = self.metrics.counter("read_repairs")
+        self._c_repaired_replicas = self.metrics.counter("repaired_replicas")
+        self._c_replica_write_failures = self.metrics.counter(
+            "replica_write_failures"
+        )
+        self._c_quorum_failures = self.metrics.counter("quorum_failures")
+        self._c_degraded_events = self.metrics.counter("degraded_events")
+        self._c_rebuilds = self.metrics.counter("rebuilds_completed")
+        self._c_rebuild_copied = self.metrics.counter("rebuild_keys_copied")
+        self._c_rebuild_skipped = self.metrics.counter("rebuild_keys_skipped")
+        self._c_rebuild_unrecoverable = self.metrics.counter(
+            "rebuild_keys_unrecoverable"
+        )
+        self._h_put = self.metrics.histogram("put_latency_us")
+        self._h_get = self.metrics.histogram("get_latency_us")
+        self._s_put = self.metrics.stat("put_latency_us")
+        self._s_get = self.metrics.stat("get_latency_us")
+
+    # --- factory -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: BandSlimConfig | None = None,
+        device_plans=None,
+        latency=None,
+        vnodes: int = 64,
+        tracer=None,
+        queue_depth: int = 64,
+    ) -> "ArrayStore":
+        """Build ``config.array_shards`` independent stacks and route them.
+
+        ``device_plans`` is an optional per-device list of
+        :class:`~repro.faults.plan.FaultPlan` (None entries = perfect
+        device) — the failure driver for device-loss scenarios.
+        """
+        config = config or BandSlimConfig()
+        shards = config.array_shards
+        plans = list(device_plans or [])
+        if len(plans) > shards:
+            raise ConfigError(
+                f"{len(plans)} device plans for {shards} shard(s)"
+            )
+        plans += [None] * (shards - len(plans))
+        devices = [
+            ShardDevice(
+                index=i,
+                device=KVSSD.build(
+                    config=config,
+                    latency=latency,
+                    fault_plan=plans[i],
+                    queue_depth=queue_depth,
+                ),
+                plan=plans[i],
+            )
+            for i in range(shards)
+        ]
+        return cls(
+            devices,
+            config,
+            vnodes=vnodes,
+            tracer=tracer,
+            latency=latency,
+            queue_depth=queue_depth,
+        )
+
+    # --- introspection -----------------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """Host-side virtual time (µs)."""
+        return self._clock.now_us
+
+    @property
+    def last_seq(self) -> int:
+        """Op-seq of the most recently attempted write (acked or not)."""
+        return self._op_seq
+
+    @property
+    def rebuild(self):
+        """The in-flight :class:`~repro.array.rebuild.RebuildJob`, if any."""
+        return self._rebuild
+
+    @property
+    def devices_up(self) -> int:
+        return sum(1 for shard in self.devices if shard.up)
+
+    def replicas_of(self, key: bytes) -> tuple[int, ...]:
+        """The device indices holding ``key`` (preference-ordered)."""
+        return self.ring.replicas(key, self.replication)
+
+    # --- point operations --------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes):
+            raise NVMeError(f"keys must be bytes, got {type(key).__name__}")
+        if not 0 < len(key) <= MAX_KEY_BYTES:
+            raise NVMeError(
+                f"key length must be 1..{MAX_KEY_BYTES} bytes, got {len(key)}"
+            )
+
+    def put(self, key: bytes, value: bytes) -> float:
+        """Replicated PUT; returns the array-level latency (µs).
+
+        Raises :class:`~repro.errors.QuorumError` when fewer than
+        ``write_quorum`` healthy replicas acknowledged — the write is then
+        *not acked* (though surviving partial copies may later spread via
+        read-repair, which is legitimate quorum-system behavior).
+        """
+        if not isinstance(value, bytes):
+            raise NVMeError(
+                f"values must be bytes, got {type(value).__name__}"
+            )
+        latency = self._write(key, value, tombstone=False)
+        self._c_puts.add(1)
+        return latency
+
+    def delete(self, key: bytes) -> float:
+        """Replicated DELETE (stored as a tombstone so replicas converge)."""
+        latency = self._write(key, b"", tombstone=True)
+        self._c_deletes.add(1)
+        return latency
+
+    def get(self, key: bytes) -> bytes:
+        """Read ``key`` from one replica, failing over and repairing.
+
+        Raises :class:`~repro.errors.KeyNotFoundError` when absent (or
+        deleted), :class:`~repro.errors.ArrayError` when no replica of the
+        key is reachable at all.
+        """
+        found, payload = self._read(key)
+        if not found:
+            raise KeyNotFoundError(f"key {key!r} not found in the array")
+        return payload
+
+    def exists(self, key: bytes) -> bool:
+        found, _ = self._read(key)
+        return found
+
+    # --- write path --------------------------------------------------------
+
+    def _write(self, key: bytes, payload: bytes, tombstone: bool) -> float:
+        self._check_key(key)
+        if len(payload) > self.config.max_value_bytes - HEADER_BYTES:
+            raise NVMeError(
+                f"value of {len(payload)} bytes exceeds the array maximum "
+                f"of {self.config.max_value_bytes - HEADER_BYTES}"
+            )
+        self._op_seq += 1
+        blob = encode_value(self._op_seq, payload, tombstone=tombstone)
+        targets = self.ring.replicas(key, self.replication)
+        kind = "delete" if tombstone else "put"
+        t0 = self.now_us
+        ack_lats: list[float] = []
+        for index in targets:
+            shard = self.devices[index]
+            if shard.state is DeviceState.DOWN:
+                shard.missed.add(key)
+                continue
+            result = self._replica_put(shard, key, blob)
+            if result is None or not result.ok:
+                shard.missed.add(key)
+                self._c_replica_write_failures.add(1)
+                continue
+            shard.missed.discard(key)
+            if shard.up:
+                # A REBUILDING replica takes the write to stay warm but
+                # does not count toward the quorum until caught up.
+                ack_lats.append(result.latency_us)
+        if len(ack_lats) < self.write_quorum:
+            self._c_quorum_failures.add(1)
+            self._trace_route(kind, targets, t0, self.now_us, acked=False)
+            raise QuorumError(
+                f"{kind} of key {key!r} reached {len(ack_lats)} of "
+                f"{self.write_quorum} required replica ack(s)"
+            )
+        ack_lats.sort()
+        latency = self._finish_op(
+            ack_lats[self.write_quorum - 1], self._h_put, self._s_put
+        )
+        self._trace_route(kind, targets, t0, self.now_us, acked=True)
+        self._pump_rebuild()
+        return latency
+
+    def _replica_put(self, shard: ShardDevice, key: bytes, blob: bytes):
+        try:
+            return shard.driver.put(key, blob)
+        except PowerLossError:
+            self._mark_down(shard)
+            return None
+        except CommandTimeoutError:
+            return None
+
+    # --- read path ---------------------------------------------------------
+
+    def _read(self, key: bytes) -> tuple[bool, bytes]:
+        """``(found, payload)`` with failover and read-repair."""
+        self._check_key(key)
+        targets = self.ring.replicas(key, self.replication)
+        t0 = self.now_us
+        preferred = None
+        failover = False
+        for index in targets:
+            shard = self.devices[index]
+            if not shard.up or key in shard.missed:
+                failover = True
+                continue
+            preferred = shard
+            break
+        if preferred is not None and not failover:
+            status, result = self._replica_get(preferred, key)
+            if status == "ok":
+                seq, tombstone, payload = decode_value(result.value)
+                latency = self._finish_op(
+                    result.latency_us, self._h_get, self._s_get
+                )
+                self._c_gets.add(1)
+                self._trace_route(
+                    "get", targets, t0, self.now_us, device=preferred.index
+                )
+                self._pump_rebuild()
+                return (not tombstone, payload if not tombstone else b"")
+            if status == "missing":
+                # Authoritative: the primary took every write for this key.
+                latency = self._finish_op(
+                    result, self._h_get, self._s_get
+                )
+                self._c_gets.add(1)
+                self._trace_route(
+                    "get", targets, t0, self.now_us, device=preferred.index
+                )
+                self._pump_rebuild()
+                return (False, b"")
+            failover = True  # replica error: fall through to the repair fan
+        # Failover: fan to every healthy replica, repair stragglers.
+        self._c_failovers.add(1)
+        newest, fan_latency = self._read_repair(key, targets)
+        latency = self._finish_op(fan_latency, self._h_get, self._s_get)
+        self._c_gets.add(1)
+        self._trace_route(
+            "get", targets, t0, self.now_us, failover=True
+        )
+        self._pump_rebuild()
+        if newest is None:
+            return (False, b"")
+        seq, tombstone, payload = newest
+        return (not tombstone, payload if not tombstone else b"")
+
+    def _replica_get(self, shard: ShardDevice, key: bytes):
+        """``("ok", OpResult)`` | ``("missing", latency_us)`` | ``("error", 0)``."""
+        start = shard.device.clock.now_us
+        try:
+            result = shard.driver.get(key)
+        except KeyNotFoundError:
+            return ("missing", shard.device.clock.now_us - start)
+        except PowerLossError:
+            self._mark_down(shard)
+            return ("error", 0.0)
+        except CommandTimeoutError:
+            return ("error", 0.0)
+        if not result.ok or result.value is None:
+            return ("error", 0.0)
+        return ("ok", result)
+
+    def _read_repair(self, key: bytes, targets) -> tuple[tuple | None, float]:
+        """Fan-read every healthy replica; rewrite stale ones in place.
+
+        Returns ``(newest, latency_us)`` where ``newest`` is the winning
+        ``(seq, tombstone, payload)`` (None when no healthy replica holds
+        the key) and latency models the parallel fan: max replica read
+        plus, when repairs happened, the max repair write.
+        """
+        t0 = self.now_us
+        holders: list[tuple[ShardDevice, tuple | None, bytes | None]] = []
+        read_lats = [0.0]
+        reached = 0
+        for index in targets:
+            shard = self.devices[index]
+            if not shard.up:
+                continue
+            status, result = self._replica_get(shard, key)
+            if status == "error":
+                continue
+            reached += 1
+            if status == "missing":
+                holders.append((shard, None, None))
+                read_lats.append(result)
+                continue
+            version = decode_value(result.value)
+            holders.append((shard, version, result.value))
+            read_lats.append(result.latency_us)
+        if reached == 0:
+            raise ArrayError(
+                f"no healthy replica of key {key!r} is reachable "
+                f"(replica set {list(targets)})"
+            )
+        newest = None
+        newest_blob = None
+        for _, version, blob in holders:
+            if version is not None and (newest is None or version[0] > newest[0]):
+                newest = version
+                newest_blob = blob
+        repair_lats = [0.0]
+        repaired = 0
+        if newest is not None:
+            for shard, version, _ in holders:
+                if version is not None and version[0] >= newest[0]:
+                    # Already current — a stale missed marker (e.g. from a
+                    # conservative write-failure mark) is now disproved.
+                    shard.missed.discard(key)
+                    continue
+                result = self._replica_put(shard, key, newest_blob)
+                if result is not None and result.ok:
+                    shard.missed.discard(key)
+                    repaired += 1
+                    repair_lats.append(result.latency_us)
+        if repaired:
+            self._c_read_repairs.add(1)
+            self._c_repaired_replicas.add(repaired)
+        latency = max(read_lats) + max(repair_lats)
+        if self._tracer is not None:
+            self._tracer.span(
+                "array", "repair", t0, t0 + latency,
+                replicas=[s.index for s, _, _ in holders],
+                repaired=repaired,
+                newest_seq=newest[0] if newest else None,
+            )
+        return newest, latency
+
+    def scrub(self) -> int:
+        """Sweep every key on every healthy device through read-repair.
+
+        Returns the number of replica rewrites. Used after a rebuild (and
+        by the scenario oracle) to guarantee no stale replica survives.
+        """
+        before = self._c_repaired_replicas.value
+        keys: set[bytes] = set()
+        for shard in self.devices:
+            if shard.up:
+                keys.update(iter_device_keys(shard.driver))
+        for key in sorted(keys):
+            targets = self.ring.replicas(key, self.replication)
+            _, latency = self._read_repair(key, targets)
+            self._clock.advance(latency)
+        return self._c_repaired_replicas.value - before
+
+    # --- device lifecycle --------------------------------------------------
+
+    def kill_device(self, index: int) -> None:
+        """Fail-stop ``index``: mark it DOWN without touching its media."""
+        shard = self.devices[index]
+        if shard.state is DeviceState.DOWN:
+            return
+        if shard.state is DeviceState.REBUILDING:
+            raise ArrayError(f"device {index} is mid-rebuild; cannot kill")
+        self._mark_down(shard)
+
+    def probe_device(self, index: int) -> bool:
+        """Touch a device so a pending power cut fires; True if still up."""
+        shard = self.devices[index]
+        if not shard.up:
+            return False
+        try:
+            shard.driver.exists(b"\x00array-probe")
+        except PowerLossError:
+            self._mark_down(shard)
+        return shard.up
+
+    def _mark_down(self, shard: ShardDevice) -> None:
+        if shard.state is DeviceState.DOWN:
+            return
+        shard.state = DeviceState.DOWN
+        self._c_degraded_events.add(1)
+        if self._tracer is not None:
+            self._tracer.instant("array", "device_down", device=shard.index)
+
+    # --- rebuild -----------------------------------------------------------
+
+    def start_rebuild(self, index: int, remount: bool = False):
+        """Attach a replacement for DOWN device ``index`` and start syncing.
+
+        ``remount=False`` builds a factory-fresh stack (new hardware);
+        ``remount=True`` recovers the dead device's own media via
+        :meth:`~repro.device.kvssd.KVSSD.remount` (crash-consistency mode
+        required) — surviving replicas then only re-stream what the crash
+        lost. Either way the replacement serves live writes immediately
+        (state REBUILDING) and is promoted to UP when the keyspace slice
+        has been copied. Returns the :class:`RebuildJob`.
+        """
+        from repro.array.rebuild import RebuildJob
+
+        shard = self.devices[index]
+        if self._rebuild is not None:
+            raise ArrayError("a rebuild is already in progress")
+        if shard.state is not DeviceState.DOWN:
+            raise ArrayError(f"device {index} is {shard.state.value}, not down")
+        if remount:
+            replacement = shard.device.remount()
+        else:
+            replacement = KVSSD.build(
+                config=self.config,
+                latency=self._latency,
+                queue_depth=self._queue_depth,
+            )
+        shard.device = replacement
+        shard.state = DeviceState.REBUILDING
+        self._rebuild = RebuildJob(self, shard)
+        self._rebuild_credit = 0.0
+        if self._rebuild.finished:
+            # Nothing to copy (empty keyspace slice): promote immediately.
+            self._complete_rebuild(self._rebuild)
+        return self._rebuild
+
+    def pump_rebuild(self, budget: int) -> int:
+        """Run up to ``budget`` rebuild copies now; returns copies made."""
+        if self._rebuild is None:
+            return 0
+        job = self._rebuild
+        before = job.copied + job.skipped
+        stall = job.step(budget)
+        self._clock.advance(stall)
+        return job.copied + job.skipped - before
+
+    def drain_rebuild(self) -> None:
+        """Run the rebuild to completion, ignoring the throttle."""
+        while self._rebuild is not None:
+            stall = self._rebuild.step(256)
+            self._clock.advance(stall)
+
+    def _pump_rebuild(self) -> None:
+        """Post-op throttled rebuild progress (host thread interleaving).
+
+        The copies run *between* foreground ops, so their cost lands on
+        the next op's latency as ``_pending_stall_us`` — that is the
+        foreground-p99 vs rebuild-rate tradeoff ``rebuild_throttle``
+        controls.
+        """
+        if self._rebuild is None:
+            return
+        throttle = self.config.rebuild_throttle
+        if throttle <= 0:
+            return
+        self._rebuild_credit += throttle
+        budget = int(self._rebuild_credit)
+        if budget <= 0:
+            return
+        self._rebuild_credit -= budget
+        self._pending_stall_us += self._rebuild.step(budget)
+
+    def _complete_rebuild(self, job) -> None:
+        shard = job.shard
+        shard.state = DeviceState.UP
+        shard.missed.clear()
+        self._rebuild = None
+        self._c_rebuilds.add(1)
+        self._c_rebuild_copied.add(job.copied)
+        self._c_rebuild_skipped.add(job.skipped)
+        self._c_rebuild_unrecoverable.add(job.unrecoverable)
+        if self._tracer is not None:
+            self._tracer.span(
+                "array", "rebuild", job.started_us, self.now_us,
+                device=shard.index, copied=job.copied,
+                skipped=job.skipped, unrecoverable=job.unrecoverable,
+            )
+
+    # --- latency / trace plumbing ------------------------------------------
+
+    def _finish_op(self, base_latency_us: float, hist, stat) -> float:
+        """Charge an op: base latency plus any pending rebuild stall."""
+        total = base_latency_us + self._pending_stall_us
+        self._pending_stall_us = 0.0
+        self._clock.advance(total)
+        hist.record(total)
+        stat.record(total)
+        return total
+
+    def _trace_route(self, kind, targets, t0, t1, **args) -> None:
+        if self._tracer is not None:
+            self._tracer.span(
+                "array", "route", t0, t1, op=kind,
+                replicas=list(targets), **args,
+            )
+
+    # --- metric roll-up ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Per-shard (``shardN.``-prefixed) plus global rolled-up metrics.
+
+        Counter-like device keys are summed across shards into their bare
+        name; per-shard means/percentiles are exported prefixed only (a
+        sum of means is meaningless). ``clock.now_us`` rolls up as the max
+        across devices. Array-layer counters live under ``array.``.
+        """
+        out: dict[str, float] = {}
+        totals: dict[str, float] = {}
+        for shard in self.devices:
+            prefix = f"shard{shard.index}."
+            for key, value in shard.device.snapshot().items():
+                out[prefix + key] = value
+                if key == "clock.now_us":
+                    totals[key] = max(totals.get(key, 0.0), value)
+                elif not key.endswith(_NON_SUMMABLE_SUFFIXES):
+                    totals[key] = totals.get(key, 0.0) + value
+            out[prefix + "up"] = 1.0 if shard.up else 0.0
+        out.update(totals)
+        out.update(self.metrics.snapshot())
+        out["array.devices"] = float(len(self.devices))
+        out["array.devices_up"] = float(self.devices_up)
+        out["array.rebuild_active"] = 1.0 if self._rebuild is not None else 0.0
+        out["array.now_us"] = self.now_us
+        return out
+
+    def flush(self) -> None:
+        """Drain every healthy device's buffers (clean shutdown)."""
+        for shard in self.devices:
+            if shard.up:
+                shard.driver.flush()

@@ -11,6 +11,8 @@ Subcommands
 ``calibrate``   run the §3.2 threshold calibration and print the curves
 ``bench``       regenerate paper tables/figures (same as python -m repro.bench)
 ``crashcheck``  cut power at sampled points and verify crash-consistency
+``array``       run a sharded multi-device fault scenario (device loss,
+                live rebuild) and verify the array durability oracle
 
 ``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
 ``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
@@ -205,6 +207,18 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json_report(path: str, obj: dict) -> None:
+    """Dump a JSON report to ``path`` ('-' = stdout)."""
+    import json
+
+    text = json.dumps(obj, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
 def _cmd_crashcheck(args: argparse.Namespace) -> int:
     from repro.core.config import preset as config_preset
     from repro.recovery.crashcheck import run_crashcheck
@@ -231,9 +245,63 @@ def _cmd_crashcheck(args: argparse.Namespace) -> int:
     print(f"  cuts fired       {report.cuts_fired}/{report.crash_points}")
     print(f"  torn pages       {report.torn_pages} (all detected + retired)")
     print(f"  entries replayed {report.entries_replayed}")
+    if args.json:
+        _write_json_report(args.json, report.to_json_obj())
     if report.ok:
         print("  invariants       OK (flushed=>durable, "
               "acked=>absent-or-durable, no corruption)")
+        return 0
+    print(f"  VIOLATIONS       {len(report.violations)}", file=sys.stderr)
+    for violation in report.violations:
+        print(f"    {violation}", file=sys.stderr)
+    return 1
+
+
+def _cmd_array(args: argparse.Namespace) -> int:
+    from repro.array.scenario import run_device_loss, run_rolling_remounts
+
+    if args.scenario == "rolling":
+        report = run_rolling_remounts(
+            ops_per_phase=max(1, args.ops // (2 * args.shards + 1)),
+            shards=args.shards,
+            replication=args.replication,
+            write_quorum=args.quorum,
+            seed=args.seed,
+            rebuild_throttle=args.rebuild_throttle,
+        )
+    else:
+        report = run_device_loss(
+            ops=args.ops,
+            shards=args.shards,
+            replication=args.replication,
+            write_quorum=args.quorum,
+            seed=args.seed,
+            kill_mode=args.kill_mode,
+            remount=args.remount,
+            rebuild_throttle=args.rebuild_throttle,
+        )
+    if not args.quiet:
+        print(f"array {report.name}: {report.ops} ops over {report.shards} "
+              f"devices, R={report.replication} Q={report.write_quorum}, "
+              f"seed {report.seed}")
+        print(f"  acked            {report.acked_puts} puts, "
+              f"{report.acked_deletes} deletes "
+              f"({report.quorum_failures} quorum failures)")
+        print(f"  reads            {report.reads} "
+              f"({report.failovers} failovers, "
+              f"{report.read_repairs} read-repairs)")
+        print(f"  rebuild          {report.rebuild_copied} copied, "
+              f"{report.rebuild_skipped} skipped (live write won), "
+              f"{report.rebuild_unrecoverable} unrecoverable")
+        print(f"  foreground p99   put {report.put_p99_us:.0f} us / "
+              f"get {report.get_p99_us:.0f} us")
+        print(f"  keys checked     {report.keys_checked}")
+    if args.json:
+        _write_json_report(args.json, report.to_json_obj())
+    if report.ok:
+        if not args.quiet:
+            print("  oracle           OK (no acked write lost, reads served "
+                  "throughout, acked=>durable on >=quorum replicas)")
         return 0
     print(f"  VIOLATIONS       {len(report.violations)}", file=sys.stderr)
     for violation in report.violations:
@@ -320,6 +388,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base preset (crash-consistency mode is forced on)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cut progress lines")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the report as JSON ('-' = stdout)")
+
+    p = sub.add_parser("array",
+                       help="multi-device array fault scenario + oracle")
+    p.add_argument("--scenario", default="device-loss",
+                   choices=["device-loss", "rolling"],
+                   help="device-loss: kill one device mid-burst and rebuild "
+                        "live; rolling: remount every device in turn")
+    p.add_argument("--ops", type=int, default=600)
+    p.add_argument("--shards", type=int, default=3)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--quorum", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0xA11A)
+    p.add_argument("--kill-mode", default="power",
+                   choices=["power", "failstop"],
+                   help="power: scripted power cut; failstop: router-level")
+    p.add_argument("--remount", action="store_true",
+                   help="rebuild onto the dead device's own recovered media "
+                        "instead of a factory-fresh replacement")
+    p.add_argument("--rebuild-throttle", type=float, default=4.0,
+                   help="rebuild copies allowed per foreground op")
+    p.add_argument("--quiet", action="store_true")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the report as JSON ('-' = stdout)")
 
     p = sub.add_parser("bench", help="regenerate paper tables/figures")
     p.add_argument("figures", nargs="*", default=["all"])
@@ -338,6 +431,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "calibrate": _cmd_calibrate,
     "crashcheck": _cmd_crashcheck,
+    "array": _cmd_array,
     "bench": _cmd_bench,
 }
 

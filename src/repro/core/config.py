@@ -117,6 +117,24 @@ class BandSlimConfig:
     #: default so the seed goldens stay byte-identical.
     crash_consistency: bool = False
 
+    # --- multi-device array (see docs/array.md) ----------------------------------
+    #: Independent KV-SSD stacks the host-side router shards keys across.
+    #: 1 keeps the single-device stack (the array layer is never built, so
+    #: every seed golden stays byte-identical).
+    array_shards: int = 1
+    #: Replicas per key (R-way). Each key lives on ``replication_factor``
+    #: distinct devices chosen by consistent hashing.
+    replication_factor: int = 1
+    #: Replica acks required before a write is acknowledged to the caller.
+    #: The array-level write latency is the quorum-th fastest replica ack.
+    write_quorum: int = 1
+    #: Rebuild pacing: keyspace-slice copies the rebuild engine may run per
+    #: foreground operation while a device is being rebuilt under live
+    #: traffic. Higher drains the rebuild faster but stalls foreground ops
+    #: longer (the host thread interleaves copies between ops); 0 disables
+    #: auto-pumping — only ``drain_rebuild()`` makes progress.
+    rebuild_throttle: float = 4.0
+
     # --- experiment switches ----------------------------------------------------
     #: §4.2 disables NAND I/O to isolate transfer effects.
     nand_io_enabled: bool = True
@@ -158,6 +176,20 @@ class BandSlimConfig:
             raise ConfigError("read_cache_pages must be >= 0")
         if self.read_cache_hit_us < 0:
             raise ConfigError("read_cache_hit_us must be >= 0")
+        if self.array_shards < 1:
+            raise ConfigError("array_shards must be >= 1")
+        if not 1 <= self.replication_factor <= self.array_shards:
+            raise ConfigError(
+                "replication_factor must be in [1, array_shards], got "
+                f"{self.replication_factor} with {self.array_shards} shard(s)"
+            )
+        if not 1 <= self.write_quorum <= self.replication_factor:
+            raise ConfigError(
+                "write_quorum must be in [1, replication_factor], got "
+                f"{self.write_quorum} with replication {self.replication_factor}"
+            )
+        if self.rebuild_throttle < 0:
+            raise ConfigError("rebuild_throttle must be >= 0")
 
     # --- effective thresholds -----------------------------------------------
 

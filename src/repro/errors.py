@@ -29,6 +29,8 @@ Hierarchy (indentation = inheritance)::
     │   └── VLogError          value-log addressing failure
     ├── PackingError           page-buffer packing invariant violation
     ├── PowerLossError         simulated power cut froze the device
+    ├── ArrayError             multi-device array routing/rebuild failure
+    │   └── QuorumError        write acked by fewer replicas than the quorum
     └── WorkloadError          workload specification cannot be generated
 
 The *usage* errors (:class:`ProgramError`, :class:`FTLError`, ...) mean the
@@ -163,6 +165,19 @@ class PowerLossError(ReproError):
     def __init__(self, message: str, *, cut_us: float = -1.0) -> None:
         super().__init__(message)
         self.cut_us = cut_us
+
+
+class ArrayError(ReproError):
+    """Multi-device array failure (no replica available, bad rebuild call)."""
+
+
+class QuorumError(ArrayError):
+    """A replicated write was acknowledged by fewer replicas than the
+    configured ``write_quorum``.
+
+    The write may still exist on some replicas (a later read-repair or
+    scrub can spread it); callers must treat the operation as *not acked*.
+    """
 
 
 class WorkloadError(ReproError):

@@ -64,6 +64,14 @@ class CrashCheckReport:
     def ok(self) -> bool:
         return not self.violations
 
+    def to_json_obj(self) -> dict:
+        """JSON-serializable view (the CLI's ``--json`` report shape)."""
+        from dataclasses import asdict
+
+        out = asdict(self)
+        out["ok"] = self.ok
+        return out
+
 
 def _workload(ops: int, seed: int):
     """The deterministic op stream: ('put', k, v) | ('delete', k) | ('flush',).

@@ -1,0 +1,50 @@
+"""Replica value envelope: roundtrip, tombstones, malformed blobs."""
+
+import pytest
+
+from repro.array.codec import (
+    FLAG_TOMBSTONE,
+    HEADER_BYTES,
+    decode_value,
+    encode_value,
+)
+from repro.errors import ArrayError
+
+
+class TestRoundtrip:
+    def test_value_roundtrips(self):
+        blob = encode_value(42, b"payload bytes")
+        assert len(blob) == HEADER_BYTES + len(b"payload bytes")
+        assert decode_value(blob) == (42, False, b"payload bytes")
+
+    def test_empty_payload_is_legal(self):
+        # The device rejects empty values; the envelope makes them non-empty.
+        blob = encode_value(7, b"")
+        assert len(blob) == HEADER_BYTES
+        assert decode_value(blob) == (7, False, b"")
+
+    def test_tombstone_carries_no_payload(self):
+        blob = encode_value(9, b"ignored", tombstone=True)
+        assert len(blob) == HEADER_BYTES
+        seq, tombstone, payload = decode_value(blob)
+        assert (seq, tombstone, payload) == (9, True, b"")
+        assert blob[8] & FLAG_TOMBSTONE
+
+    def test_seq_ordering_survives_encoding(self):
+        older = decode_value(encode_value(10, b"old"))
+        newer = decode_value(encode_value(11, b"new"))
+        assert newer[0] > older[0]
+
+    def test_large_seq(self):
+        blob = encode_value(2**63, b"x")
+        assert decode_value(blob)[0] == 2**63
+
+
+class TestValidation:
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ArrayError):
+            encode_value(-1, b"x")
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(ArrayError):
+            decode_value(b"\x00" * (HEADER_BYTES - 1))

@@ -1,0 +1,62 @@
+"""Consistent-hash ring: determinism, balance, replica-set shape."""
+
+import pytest
+
+from repro.array.ring import HashRing
+from repro.errors import ConfigError
+
+
+class TestPlacement:
+    def test_replicas_are_distinct_and_preference_ordered(self):
+        ring = HashRing(5)
+        for i in range(200):
+            reps = ring.replicas(b"key-%d" % i, 3)
+            assert len(reps) == 3
+            assert len(set(reps)) == 3
+            assert all(0 <= d < 5 for d in reps)
+            assert reps[0] == ring.primary(b"key-%d" % i)
+
+    def test_deterministic_across_instances(self):
+        a = HashRing(4, vnodes=32)
+        b = HashRing(4, vnodes=32)
+        keys = [b"k%04d" % i for i in range(300)]
+        assert [a.replicas(k, 2) for k in keys] == [
+            b.replicas(k, 2) for k in keys
+        ]
+
+    def test_owns_matches_replicas(self):
+        ring = HashRing(4)
+        key = b"ownership-probe"
+        reps = set(ring.replicas(key, 2))
+        for dev in range(4):
+            assert ring.owns(key, dev, 2) == (dev in reps)
+
+    def test_load_is_roughly_uniform(self):
+        ring = HashRing(4, vnodes=64)
+        counts = [0, 0, 0, 0]
+        n = 4000
+        for i in range(n):
+            counts[ring.primary(b"load-%06d" % i)] += 1
+        # With 64 vnodes/device the primary share should be near n/4; allow
+        # a generous band so the test never flakes on hash quirks.
+        for c in counts:
+            assert 0.5 * n / 4 < c < 1.7 * n / 4, counts
+
+    def test_single_device_owns_everything(self):
+        ring = HashRing(1, vnodes=8)
+        assert ring.replicas(b"anything", 1) == (0,)
+
+
+class TestValidation:
+    def test_rejects_zero_devices_and_vnodes(self):
+        with pytest.raises(ConfigError):
+            HashRing(0)
+        with pytest.raises(ConfigError):
+            HashRing(2, vnodes=0)
+
+    def test_rejects_impossible_replication(self):
+        ring = HashRing(3)
+        with pytest.raises(ConfigError):
+            ring.replicas(b"k", 0)
+        with pytest.raises(ConfigError):
+            ring.replicas(b"k", 4)

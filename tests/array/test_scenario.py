@@ -1,0 +1,64 @@
+"""The deterministic fault scenarios and their durability oracle."""
+
+import pytest
+
+from repro.array.scenario import (
+    run_device_loss,
+    run_rolling_remounts,
+)
+from repro.errors import ConfigError
+
+
+class TestDeviceLoss:
+    def test_power_cut_scenario_passes_the_oracle(self):
+        # The PR's acceptance scenario: R=2, one seeded power cut under
+        # live mixed traffic, live rebuild, zero acked writes lost.
+        report = run_device_loss(ops=300, seed=7)
+        assert report.ok, report.violations
+        assert report.kill_mode == "power"
+        assert report.acked_puts > 0
+        assert report.rebuild_copied > 0
+        assert report.keys_checked > 0
+
+    def test_failstop_scenario_passes_the_oracle(self):
+        report = run_device_loss(ops=250, seed=13, kill_mode="failstop")
+        assert report.ok, report.violations
+
+    def test_remount_variant_passes_the_oracle(self):
+        report = run_device_loss(ops=250, seed=11, remount=True)
+        assert report.ok, report.violations
+
+    def test_deterministic_for_a_fixed_seed(self):
+        a = run_device_loss(ops=220, seed=42)
+        b = run_device_loss(ops=220, seed=42)
+        assert a.to_json_obj() == b.to_json_obj()
+
+    def test_reads_failed_over_while_degraded(self):
+        report = run_device_loss(ops=300, seed=7)
+        assert report.failovers > 0
+
+    def test_json_report_shape(self):
+        import json
+
+        report = run_device_loss(ops=150, seed=3)
+        obj = report.to_json_obj()
+        json.dumps(obj)  # must be serializable as-is
+        assert obj["ok"] is True
+        assert obj["violations"] == []
+        assert obj["shards"] == 3
+
+    def test_argument_validation(self):
+        with pytest.raises(ConfigError):
+            run_device_loss(ops=100, kill_mode="meteor")
+        with pytest.raises(ConfigError):
+            run_device_loss(ops=100, kill_at=90, rebuild_at=50)
+        with pytest.raises(ConfigError):
+            run_device_loss(ops=100, remount=True, kill_mode="failstop")
+
+
+class TestRollingRemounts:
+    def test_rolling_maintenance_never_loses_an_acked_write(self):
+        report = run_rolling_remounts(ops_per_phase=60, seed=3)
+        assert report.ok, report.violations
+        assert report.rebuild_copied > 0
+        assert report.acked_puts > 0

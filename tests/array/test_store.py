@@ -1,0 +1,237 @@
+"""ArrayStore basics: routing, replication, quorum, snapshot rollup."""
+
+import pytest
+
+from repro.array import ArrayStore
+from repro.array.codec import HEADER_BYTES, decode_value
+from repro.core.config import BandSlimConfig
+from repro.errors import (
+    ConfigError,
+    KeyNotFoundError,
+    NVMeError,
+    QuorumError,
+)
+from repro.units import KIB, MIB
+
+
+def _cfg(**overrides):
+    base = dict(
+        array_shards=3,
+        replication_factor=2,
+        write_quorum=1,
+        nand_capacity_bytes=64 * MIB,
+        buffer_entries=32,
+        memtable_flush_bytes=16 * KIB,
+        dlt_capacity=64,
+    )
+    base.update(overrides)
+    return BandSlimConfig(**base)
+
+
+class TestConfigValidation:
+    def test_replication_cannot_exceed_shards(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(array_shards=2, replication_factor=3)
+
+    def test_quorum_cannot_exceed_replication(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(
+                array_shards=3, replication_factor=2, write_quorum=3
+            )
+
+    def test_negative_throttle_rejected(self):
+        with pytest.raises(ConfigError):
+            BandSlimConfig(rebuild_throttle=-1.0)
+
+
+class TestPointOps:
+    def test_put_get_delete_roundtrip(self):
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"alpha", b"one")
+        store.put(b"beta", b"two")
+        assert store.get(b"alpha") == b"one"
+        assert store.exists(b"beta")
+        store.delete(b"alpha")
+        assert not store.exists(b"alpha")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"alpha")
+
+    def test_overwrite_wins(self):
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_empty_value_roundtrips(self):
+        # The single-device driver rejects empty values; the array's
+        # envelope header makes them representable.
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"empty", b"")
+        assert store.get(b"empty") == b""
+        assert store.exists(b"empty")
+
+    def test_value_lands_on_every_ring_replica(self):
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"spread", b"copies")
+        replicas = store.replicas_of(b"spread")
+        assert len(replicas) == 2
+        for index in replicas:
+            result = store.devices[index].driver.get(b"spread")
+            seq, tombstone, payload = decode_value(result.value)
+            assert payload == b"copies"
+            assert not tombstone
+
+    def test_non_replicas_never_see_the_key(self):
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"spread", b"copies")
+        replicas = set(store.replicas_of(b"spread"))
+        for shard in store.devices:
+            if shard.index not in replicas:
+                with pytest.raises(KeyNotFoundError):
+                    shard.driver.get(b"spread")
+
+    def test_key_and_value_validation(self):
+        store = ArrayStore.build(config=_cfg())
+        with pytest.raises(NVMeError):
+            store.put(b"", b"v")
+        with pytest.raises(NVMeError):
+            store.put("not-bytes", b"v")
+        with pytest.raises(NVMeError):
+            store.put(b"k", "not-bytes")
+        limit = _cfg().max_value_bytes - HEADER_BYTES
+        store.put(b"max", b"x" * limit)
+        with pytest.raises(NVMeError):
+            store.put(b"too-big", b"x" * (limit + 1))
+
+    def test_latency_advances_host_clock(self):
+        store = ArrayStore.build(config=_cfg())
+        assert store.now_us == 0.0
+        latency = store.put(b"k", b"v")
+        assert latency > 0
+        assert store.now_us == pytest.approx(latency)
+
+
+class TestQuorum:
+    def test_write_quorum_two_needs_two_live_replicas(self):
+        store = ArrayStore.build(
+            config=_cfg(array_shards=2, replication_factor=2, write_quorum=2)
+        )
+        store.put(b"k", b"v")  # both up: fine
+        store.kill_device(0)
+        with pytest.raises(QuorumError):
+            store.put(b"k", b"v2")
+        snap = store.snapshot()
+        assert snap["array.quorum_failures"] == 1
+
+    def test_quorum_one_survives_single_death(self):
+        store = ArrayStore.build(
+            config=_cfg(array_shards=2, replication_factor=2, write_quorum=1)
+        )
+        store.kill_device(1)
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_quorum_latency_is_quorum_th_fastest(self):
+        # With Q=R=1 the latency equals the single replica ack; with Q=2
+        # it is the slower of the two parallel acks — so Q=2 >= Q=1 for
+        # the same op stream.
+        lat1 = []
+        lat2 = []
+        for quorum, sink in ((1, lat1), (2, lat2)):
+            store = ArrayStore.build(
+                config=_cfg(
+                    array_shards=2, replication_factor=2, write_quorum=quorum
+                )
+            )
+            for i in range(10):
+                sink.append(store.put(b"k%02d" % i, b"v" * 100))
+        assert sum(lat2) >= sum(lat1)
+
+
+class TestSnapshot:
+    def test_per_shard_and_global_rollup(self):
+        store = ArrayStore.build(config=_cfg())
+        for i in range(12):
+            store.put(b"s%03d" % i, b"v" * 64)
+        snap = store.snapshot()
+        # Per-shard prefixed views exist and include the health gauge.
+        for i in range(3):
+            assert snap[f"shard{i}.up"] == 1.0
+            assert f"shard{i}.clock.now_us" in snap
+        # Counter-like keys roll up as the sum across shards.
+        per_shard = [snap[f"shard{i}.driver.puts"] for i in range(3)]
+        assert snap["driver.puts"] == sum(per_shard)
+        # R=2: every array put lands on two devices.
+        assert snap["driver.puts"] == 24.0
+        # Means are never summed into the global namespace.
+        assert snap["clock.now_us"] == max(
+            snap[f"shard{i}.clock.now_us"] for i in range(3)
+        )
+        assert snap["array.devices"] == 3.0
+        assert snap["array.devices_up"] == 3.0
+        assert snap["array.puts"] == 12.0
+
+    def test_snapshot_reflects_degraded_state(self):
+        store = ArrayStore.build(config=_cfg())
+        store.kill_device(2)
+        snap = store.snapshot()
+        assert snap["shard2.up"] == 0.0
+        assert snap["array.devices_up"] == 2.0
+        assert snap["array.degraded_events"] == 1.0
+
+
+class TestBuildValidation:
+    def test_plan_list_longer_than_shards_rejected(self):
+        from repro.faults.plan import FaultPlan
+
+        with pytest.raises(ConfigError):
+            ArrayStore.build(
+                config=_cfg(array_shards=2, replication_factor=1),
+                device_plans=[FaultPlan()] * 3,
+            )
+
+
+class TestTracing:
+    def _events(self, store, tracer):
+        return [(e.category, e.name) for e in tracer.events]
+
+    def test_route_and_repair_spans_recorded(self):
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+        store = ArrayStore.build(config=_cfg(), tracer=tracer)
+        store.put(b"traced", b"payload")
+        store.get(b"traced")
+        names = self._events(store, tracer)
+        assert ("array", "route") in names
+        # Force a failover read so the repair span fires too.
+        primary = store.replicas_of(b"traced")[0]
+        store.devices[primary].missed.add(b"traced")
+        assert store.get(b"traced") == b"payload"
+        names = self._events(store, tracer)
+        assert ("array", "repair") in names
+
+    def test_rebuild_and_death_spans_recorded(self):
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+        store = ArrayStore.build(config=_cfg(), tracer=tracer)
+        for i in range(8):
+            store.put(b"key%d" % i, b"v%d" % i)
+        store.kill_device(0)
+        store.start_rebuild(0)
+        store.drain_rebuild()
+        names = self._events(store, tracer)
+        assert ("array", "device_down") in names
+        assert ("array", "rebuild") in names
+        rebuild = next(
+            e for e in tracer.events
+            if e.category == "array" and e.name == "rebuild"
+        )
+        assert rebuild.args["copied"] + rebuild.args["skipped"] >= 0
+        assert rebuild.dur_us >= 0.0
+
+    def test_untraced_store_records_nothing(self):
+        store = ArrayStore.build(config=_cfg())
+        store.put(b"quiet", b"v")
+        assert store._tracer is None

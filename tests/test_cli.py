@@ -160,3 +160,84 @@ class TestCrashCheck:
                      "--seed", "9"]) == 0
         out = capsys.readouterr().out
         assert "cut   1/2" in out
+
+    def test_json_report_file(self, tmp_path, capsys):
+        path = tmp_path / "crash.json"
+        assert main(["crashcheck", "--ops", "120", "--crash-points", "2",
+                     "--seed", "3", "--quiet", "--json", str(path)]) == 0
+        obj = json.loads(path.read_text())
+        assert obj["ok"] is True
+        assert obj["violations"] == []
+        assert obj["ops"] == 120
+        assert obj["crash_points"] == 2
+
+    def test_json_report_stdout(self, capsys):
+        assert main(["crashcheck", "--ops", "100", "--crash-points", "2",
+                     "--seed", "9", "--quiet", "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        obj = json.loads(out[start:end])
+        assert obj["ok"] is True
+
+    def test_violations_exit_nonzero_for_ci(self, monkeypatch, capsys,
+                                            tmp_path):
+        # CI gates on the exit code: force a failing report through the
+        # handler and check both the code and the stderr summary.
+        from repro.recovery.crashcheck import CrashCheckReport
+
+        bad = CrashCheckReport(
+            ops=10, crash_points=1, seed=1, dry_run_us=1.0, cuts_fired=1,
+            torn_pages=0, entries_replayed=0,
+            violations=["flushed key k lost after cut"],
+        )
+        monkeypatch.setattr(
+            "repro.recovery.crashcheck.run_crashcheck",
+            lambda **kwargs: bad,
+        )
+        path = tmp_path / "bad.json"
+        assert main(["crashcheck", "--quiet", "--json", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "VIOLATIONS" in err
+        assert "flushed key k lost" in err
+        assert json.loads(path.read_text())["ok"] is False
+
+
+class TestArray:
+    def test_device_loss_scenario_exits_zero(self, capsys):
+        assert main(["array", "--ops", "200", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle           OK" in out
+        assert "rebuild" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = tmp_path / "array.json"
+        assert main(["array", "--ops", "150", "--seed", "3", "--quiet",
+                     "--json", str(path)]) == 0
+        obj = json.loads(path.read_text())
+        assert obj["ok"] is True
+        assert obj["name"] == "device-loss"
+        assert obj["shards"] == 3
+        assert obj["violations"] == []
+        assert capsys.readouterr().out == ""
+
+    def test_rolling_scenario(self, capsys):
+        assert main(["array", "--scenario", "rolling", "--ops", "280",
+                     "--seed", "5", "--quiet"]) == 0
+
+    def test_violations_exit_nonzero_for_ci(self, monkeypatch, capsys):
+        from repro.array.scenario import ScenarioReport
+
+        bad = ScenarioReport(
+            name="device-loss", ops=10, shards=3, replication=2,
+            write_quorum=1, seed=1, kill_mode="power", victim=0,
+            kill_at=3, rebuild_at=6, remount=False,
+            violations=["acked key b'k' is absent from every replica"],
+        )
+        monkeypatch.setattr(
+            "repro.array.scenario.run_device_loss",
+            lambda **kwargs: bad,
+        )
+        assert main(["array", "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert "VIOLATIONS" in err
