@@ -21,6 +21,7 @@ from repro.array import ArrayStore
 from repro.array.scenario import run_device_loss, run_rolling_remounts
 from repro.bench.report import FigureResult, bench_ops as _bench_ops
 from repro.core.config import BandSlimConfig
+from repro.sim.sweeprun import parallel_map
 from repro.units import KIB, MIB
 
 OPS = _bench_ops(400)
@@ -41,21 +42,24 @@ def _array_cfg(**overrides):
     return BandSlimConfig(**base)
 
 
+def _throttle_point(throttle):
+    """One sweep point — module-level so parallel_map can pickle it."""
+    report = run_device_loss(
+        ops=OPS, seed=17, kill_mode="failstop",
+        rebuild_throttle=throttle,
+    )
+    assert report.ok, report.violations
+    return [throttle,
+            round(report.put_p99_us, 1),
+            round(report.get_p99_us, 1),
+            report.rebuild_copied,
+            report.failovers]
+
+
 def _throttle_sweep():
-    rows = []
-    for throttle in THROTTLES:
-        report = run_device_loss(
-            ops=OPS, seed=17, kill_mode="failstop",
-            rebuild_throttle=throttle,
-        )
-        assert report.ok, report.violations
-        rows.append(
-            [throttle,
-             round(report.put_p99_us, 1),
-             round(report.get_p99_us, 1),
-             report.rebuild_copied,
-             report.failovers]
-        )
+    # Points are independent runs: fan across cores when
+    # REPRO_BENCH_WORKERS asks for it, serial (identical rows) otherwise.
+    rows = parallel_map(_throttle_point, THROTTLES)
     return FigureResult(
         figure_id="array_throttle",
         title=f"Device-loss under live traffic ({OPS} ops, R=2): "
@@ -76,6 +80,13 @@ def _zipf_keys(rng, count, n_keys, exponent=1.1):
     keys = [b"hot%05d" % i for i in range(n_keys)]
     weights = [1.0 / (rank + 1) ** exponent for rank in range(n_keys)]
     return keys, rng.choices(keys, weights=weights, k=count)
+
+
+def _skew_point(replication):
+    """One skew sweep point — module-level for parallel_map."""
+    r = _skew_run(replication)
+    return [replication, round(r["max_over_mean"], 2),
+            str(r["loads"]), round(r["put_p99_us"], 1)]
 
 
 def _skew_run(replication):
@@ -105,13 +116,7 @@ def _skew_run(replication):
 
 
 def _skew_sweep():
-    rows = []
-    for replication in (1, 2, 3):
-        r = _skew_run(replication)
-        rows.append(
-            [replication, round(r["max_over_mean"], 2),
-             str(r["loads"]), round(r["put_p99_us"], 1)]
-        )
+    rows = parallel_map(_skew_point, (1, 2, 3))
     return FigureResult(
         figure_id="array_skew",
         title=f"Hot-shard skew (zipf keys, {OPS} ops, 3 devices): "

@@ -13,6 +13,8 @@ Subcommands
 ``crashcheck``  cut power at sampled points and verify crash-consistency
 ``array``       run a sharded multi-device fault scenario (device loss,
                 live rebuild) and verify the array durability oracle
+``sweep``       fan a seeds x geometries x queue-depths x workloads grid
+                across worker processes and merge one deterministic JSON
 
 ``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
 ``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
@@ -22,6 +24,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import fields
 
@@ -309,6 +312,66 @@ def _cmd_array(args: argparse.Namespace) -> int:
     return 1
 
 
+def _parse_geometries(text: str) -> list[tuple[int, int]]:
+    """``"1x1,2x4"`` -> ``[(1, 1), (2, 4)]``."""
+    geometries = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        channels, _, ways = item.partition("x")
+        geometries.append((int(channels), int(ways)))
+    return geometries
+
+
+def _parse_ints(text: str) -> list[int]:
+    return [int(item) for item in text.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweeprun import build_grid, run_sweep, strip_wall_fields
+
+    try:
+        grid = build_grid(
+            seeds=_parse_ints(args.seeds),
+            geometries=_parse_geometries(args.geometries),
+            queue_depths=_parse_ints(args.qds),
+            workloads=[w.strip() for w in args.workloads.split(",") if w.strip()],
+            ops=args.ops,
+            config=args.config,
+            batch_window=args.batch_window if args.batch_window > 1 else None,
+        )
+    except ValueError as exc:
+        print(f"bad grid specification: {exc}", file=sys.stderr)
+        return 2
+    if not grid:
+        print("empty sweep grid", file=sys.stderr)
+        return 2
+
+    report = run_sweep(grid, workers=args.workers)
+    print(f"sweep: {report['point_count']} points, {args.workers} worker(s), "
+          f"{report['wall_seconds']:.2f}s wall")
+    for row in report["points"]:
+        print(f"  {row['workload']:<7} {row['config']:<10} "
+              f"{row['channels']}x{row['ways']} qd={row['queue_depth']:>2} "
+              f"seed={row['seed']}: {row['throughput_kops']:>9.1f} Kops/s "
+              f"(sim), TAF {row['traffic_amplification']:.2f}")
+    if args.json:
+        _write_json_report(args.json, report)
+        if args.json != "-":
+            print(f"report -> {args.json}")
+
+    if args.selfcheck:
+        serial = run_sweep(grid, workers=1)
+        if strip_wall_fields(serial) != strip_wall_fields(report):
+            print("SELF-CHECK FAILED: parallel merge differs from serial run",
+                  file=sys.stderr)
+            return 1
+        print(f"self-check OK: {args.workers}-worker merge is identical to "
+              f"the serial run (modulo wall times)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -414,6 +477,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE", default=None,
                    help="write the report as JSON ('-' = stdout)")
 
+    p = sub.add_parser("sweep",
+                       help="multiprocess experiment sweep with merged JSON")
+    p.add_argument("--workers", type=int, default=max(1, os.cpu_count() or 1),
+                   help="worker processes (1 = serial in-process)")
+    p.add_argument("--ops", type=int, default=400)
+    p.add_argument("--seeds", default="0,1", help="comma-separated seeds")
+    p.add_argument("--geometries", default="1x1,2x4",
+                   help="comma-separated channelsxways, e.g. 1x1,2x4")
+    p.add_argument("--qds", default="1,32",
+                   help="comma-separated queue depths")
+    p.add_argument("--workloads", default="mixed",
+                   help="comma-separated: mixed, B, C, D, M")
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+    p.add_argument("--batch-window", type=int, default=256,
+                   help="batched-replay window (<=1 = serial replay)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the merged report as JSON ('-' = stdout)")
+    p.add_argument("--selfcheck", action="store_true",
+                   help="re-run serially and verify the merged JSON is "
+                        "identical modulo wall times")
+
     p = sub.add_parser("bench", help="regenerate paper tables/figures")
     p.add_argument("figures", nargs="*", default=["all"])
     p.add_argument("--ops", type=int, default=None)
@@ -432,6 +516,7 @@ _HANDLERS = {
     "calibrate": _cmd_calibrate,
     "crashcheck": _cmd_crashcheck,
     "array": _cmd_array,
+    "sweep": _cmd_sweep,
     "bench": _cmd_bench,
 }
 

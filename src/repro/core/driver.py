@@ -135,6 +135,11 @@ class BandSlimDriver:
         self._next_cid = 0
         #: cid of the in-flight multi-command PUT (for abort on give-up).
         self._active_put_cid: int | None = None
+        #: Batched event-core fast path (repro.sim.engine); built lazily on
+        #: the first eligible batch. ``_fused_enabled = False`` forces the
+        #: generic pipeline — the equivalence tests diff the two.
+        self._fused_enabled = True
+        self._engine = None
         # Keep this side of the stack in sync when admin SET FEATURES
         # changes the device's active configuration.
         controller.on_config_change(self._adopt_config)
@@ -159,6 +164,37 @@ class BandSlimDriver:
         cid = self._next_cid
         self._next_cid = (self._next_cid + 1) % 2**16
         return cid
+
+    def _fused_eligible(self) -> bool:
+        """True when a batch may run on the fused event core.
+
+        The fused path replicates the generic pipeline bit-for-bit only in
+        the plain regime: no tracer (spans need real per-command calls), no
+        fault injector and no timeout (recovery is synchronous by design),
+        no durability journal (journal hooks ride the real handlers), and
+        no piggyback state parked from an aborted PUT.
+        """
+        controller = self.controller
+        return (
+            self._fused_enabled
+            and self._tracer is None
+            and self._injector is None
+            and self.config.command_timeout_us == 0.0
+            and controller._journal is None
+            and controller._power_injector is None
+            and not controller._pending
+            # The engine writes the deferred-window flags directly; a live
+            # window (impossible via the public API) would be clobbered.
+            and controller._flash._deferred == 0
+            and controller._flash._defer_reads == 0
+        )
+
+    def _fused_engine(self):
+        if self._engine is None:
+            from repro.sim.engine import FusedBatchEngine
+
+            self._engine = FusedBatchEngine(self)
+        return self._engine
 
     def _roundtrip(self, cmd) -> NVMeCompletion:
         """One synchronous passthrough round trip."""
@@ -352,6 +388,7 @@ class BandSlimDriver:
         # raise (as the sequential path would) without leaving earlier
         # commands parked undelivered in the scheduler.
         pairs = list(pairs)
+        plans = []
         for _, value in pairs:
             if not value:
                 raise NVMeError("empty values are not supported by the KV interface")
@@ -360,9 +397,16 @@ class BandSlimDriver:
                     f"value of {len(value)} bytes exceeds max_value_bytes "
                     f"{self.config.max_value_bytes}"
                 )
+            plans.append(self.planner.plan(len(value)))
+        if self._fused_eligible() and all(
+            plan.method is not TransferMethod.HYBRID and plan.dma_pages <= 512
+            for plan in plans
+        ):
+            results.extend([None] * len(pairs))
+            return self._fused_engine().put_batch(pairs, plans, qd, results)
         for index, (key, value) in enumerate(pairs):
             results.append(None)
-            plan = self.planner.plan(len(value))
+            plan = plans[index]
             if tracer is not None:
                 submit_op = tracer.begin_op(
                     "put", value_size=len(value), method=plan.method.value
@@ -655,6 +699,8 @@ class BandSlimDriver:
         keys = list(keys)
         if qd == 1 or self._injector is not None:
             return [self._get_one(key, size) for key in keys]
+        if self._fused_eligible() and 0 < size <= 512 * MEM_PAGE_SIZE:
+            return self._fused_engine().get_batch(keys, size, qd)
 
         results: list[OpResult | None] = [None] * len(keys)
         inflight: dict[int, _InflightGet] = {}

@@ -63,6 +63,11 @@ class Placement:
         return self.dma_target is not None
 
 
+#: Shared no-op result for open_through's common case. Callers only
+#: iterate flush events; never mutate this.
+_NO_EVENTS: list[FlushEvent] = []
+
+
 class NandPageBuffer:
     """Circular pool of NAND-page-sized write buffer entries."""
 
@@ -83,6 +88,13 @@ class NandPageBuffer:
                 f"entries of {self.page_size}"
             )
         self.region = region
+        # Hot-path shortcut: entry slots are provably inside the region
+        # (slot < pool_entries * page_size <= region.size), so per-byte
+        # access goes straight to DRAM with the region base folded in,
+        # skipping the redundant region-level bounds check.
+        self._dram_write = region.dram.write
+        self._dram_read = region.dram.read
+        self._region_base = region.base
         self.vlog = vlog
         self.ftl = ftl
         self.pool_entries = pool_entries
@@ -91,9 +103,11 @@ class NandPageBuffer:
         self._open: OrderedDict[int, int] = OrderedDict()
         self._next_index = 0
         self.metrics = MetricSet("buffer")
-        self.metrics.counter("flushes")
-        self.metrics.counter("forced_flushes")
-        self.metrics.counter("entries_opened")
+        # Cached: hot-path counters (every placement funnels through
+        # open_through / the flush paths).
+        self._c_flushes = self.metrics.counter("flushes")
+        self._c_forced_flushes = self.metrics.counter("forced_flushes")
+        self._c_entries_opened = self.metrics.counter("entries_opened")
         vlog.attach_buffer(self)
 
     # --- entry lifecycle ---------------------------------------------------
@@ -121,7 +135,7 @@ class NandPageBuffer:
         self._open[index] = lpn
         self.region.fill(self._slot_base(index), self.page_size, 0)
         self._next_index = index + 1
-        self.metrics.counter("entries_opened").add(1)
+        self._c_entries_opened.add(1)
         return events
 
     def open_through(self, end_offset: int) -> list[FlushEvent]:
@@ -129,8 +143,12 @@ class NandPageBuffer:
         force-flush events the caller must react to (WP adjustment)."""
         if end_offset < 0:
             raise PackingError(f"negative offset {end_offset}")
-        events: list[FlushEvent] = []
         last_needed = (end_offset - 1) // self.page_size if end_offset else -1
+        if self._next_index > last_needed:
+            # Covering entries already exist — the per-placement common
+            # case; skip the event-list allocation.
+            return _NO_EVENTS
+        events: list[FlushEvent] = []
         while self._next_index <= last_needed:
             events.extend(self._open_next())
         return events
@@ -140,9 +158,9 @@ class NandPageBuffer:
         data = self.region.read(self._slot_base(entry_index), self.page_size)
         if self.nand_io_enabled:
             self.ftl.write(lpn, data)
-        self.metrics.counter("flushes").add(1)
+        self._c_flushes.add(1)
         if forced:
-            self.metrics.counter("forced_flushes").add(1)
+            self._c_forced_flushes.add(1)
         return FlushEvent(
             entry_index=entry_index,
             lpn=lpn,
@@ -153,20 +171,46 @@ class NandPageBuffer:
 
     def flush_below(self, frontier_offset: int) -> list[FlushEvent]:
         """Flush every open entry entirely below ``frontier_offset``."""
-        events = []
+        events = None
         while self._open:
             oldest = next(iter(self._open))
             if (oldest + 1) * self.page_size <= frontier_offset:
+                if events is None:
+                    events = []
                 events.append(self._flush_entry(oldest, forced=False))
             else:
                 break
-        return events
+        # Runs once per PUT and usually flushes nothing; skip the alloc.
+        return _NO_EVENTS if events is None else events
 
     def flush_all(self) -> list[FlushEvent]:
-        """Flush everything (shutdown / end of run)."""
-        events = []
+        """Flush everything (shutdown / end of run).
+
+        Drains as one :meth:`~repro.nand.ftl.PageMappedFTL.write_many`
+        batch: the entries are popped in open order and their pages handed
+        to the FTL in that same order, so the result is identical to
+        per-entry flushing — the FTL just skips per-page attribute churn.
+        """
+        events: list[FlushEvent] = []
+        pending: list[tuple[int, bytes]] = []
+        page_size = self.page_size
         while self._open:
-            events.append(self._flush_entry(next(iter(self._open)), forced=False))
+            entry_index = next(iter(self._open))
+            lpn = self._open.pop(entry_index)
+            pending.append((lpn, self.region.read(self._slot_base(entry_index), page_size)))
+            events.append(
+                FlushEvent(
+                    entry_index=entry_index,
+                    lpn=lpn,
+                    start_offset=entry_index * page_size,
+                    end_offset=(entry_index + 1) * page_size,
+                    forced=False,
+                )
+            )
+        if pending:
+            if self.nand_io_enabled:
+                self.ftl.write_many(pending)
+            self._c_flushes.add(len(pending))
         return events
 
     def resume(self, next_index: int) -> None:
@@ -192,7 +236,9 @@ class NandPageBuffer:
         if len(data) <= self.page_size - in_entry:
             # Fits inside one entry — the overwhelmingly common case.
             index = self._entry_for(offset)
-            self.region.write(self._slot_base(index) + in_entry, data)
+            self._dram_write(
+                self._region_base + self._slot_base(index) + in_entry, data
+            )
             return
         pos = 0
         while pos < len(data):
@@ -244,7 +290,9 @@ class NandPageBuffer:
         """vLog read-through: serve still-buffered pages (read-your-writes)."""
         index = lpn - self.vlog.base_lpn
         if index in self._open:
-            return self.region.read(self._slot_base(index), self.page_size)
+            return self._dram_read(
+                self._region_base + self._slot_base(index), self.page_size
+            )
         return None
 
 
@@ -260,9 +308,11 @@ class PackingPolicy(ABC):
     def __init__(self, buffer: NandPageBuffer) -> None:
         self.buffer = buffer
         self.metrics = MetricSet(f"packing.{self.kind.value}")
-        self.metrics.counter("values_placed")
-        self.metrics.counter("fragmentation_bytes")
-        self.metrics.counter("backfill_bytes")
+        # finalize_value runs once per PUT: hold the counter, skip the
+        # per-call registry lookup.
+        self._c_values_placed = self.metrics.counter("values_placed")
+        self._c_fragmentation = self.metrics.counter("fragmentation_bytes")
+        self._c_backfill = self.metrics.counter("backfill_bytes")
 
     # --- abstract placement API ---------------------------------------------
 
@@ -291,7 +341,7 @@ class PackingPolicy(ABC):
 
     def finalize_value(self) -> list[FlushEvent]:
         """Called after a value's bytes are all in; flushes complete entries."""
-        self.metrics.counter("values_placed").add(1)
+        self._c_values_placed._value += 1
         return self.buffer.flush_below(self.flush_frontier())
 
     def on_forced_flush(self, event: FlushEvent) -> None:
@@ -335,7 +385,7 @@ class BlockPacking(PackingPolicy):
         start = self._cursor
         consumed = align_up(value_size, MEM_PAGE_SIZE)
         self._cursor += consumed
-        self.metrics.counter("fragmentation_bytes").add(consumed - value_size)
+        self._c_fragmentation.add(consumed - value_size)
         self._open_handling_forced(self._cursor)
         return Placement(value_offset=start, dma_target=None)
 
@@ -343,7 +393,7 @@ class BlockPacking(PackingPolicy):
         start = self._cursor
         consumed = align_up(value_size, MEM_PAGE_SIZE)
         self._cursor += consumed
-        self.metrics.counter("fragmentation_bytes").add(consumed - value_size)
+        self._c_fragmentation.add(consumed - value_size)
         self._open_handling_forced(start + max(consumed, wire_bytes))
         return Placement(value_offset=start, dma_target=start)
 
@@ -421,7 +471,7 @@ class SelectivePacking(PackingPolicy):
 
     def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
         start = align_up(self._wp, MEM_PAGE_SIZE)
-        self.metrics.counter("fragmentation_bytes").add(start - self._wp)
+        self._c_fragmentation.add(start - self._wp)
         # WP moves to the end of the DMA'd value (Figure 7a).
         self._wp = start + value_size
         self._open_handling_forced(start + max(value_size, wire_bytes))
@@ -467,11 +517,26 @@ class BackfillPacking(PackingPolicy):
             if self._wp + value_size <= oldest.start:
                 return
             lost = max(0, oldest.start - self._wp)
-            self.metrics.counter("fragmentation_bytes").add(lost)
+            self._c_fragmentation.add(lost)
             self._wp = max(self._wp, oldest.end)
             self.dlt.consume_oldest()
 
     def place_piggyback(self, value_size: int) -> Placement:
+        wp = self._wp
+        end = wp + value_size
+        dlt = self.dlt
+        buffer = self.buffer
+        # Fast path — no colliding DMA region ahead and the covering
+        # buffer entries are already open: the placement reduces to
+        # advancing the WP. Exactly the state changes of the loop below
+        # when _skip_colliding_regions and open_through both no-op.
+        if (dlt._count == 0 or end <= dlt._ring[dlt._head].start) and (
+            end <= buffer._next_index * buffer.page_size
+        ):
+            self._wp = end
+            if wp < self._dma_frontier:
+                self._c_backfill.add(value_size)
+            return Placement(value_offset=wp, dma_target=None)
         while True:
             self._skip_colliding_regions(value_size)
             wp_before = self._wp
@@ -482,7 +547,7 @@ class BackfillPacking(PackingPolicy):
         start = self._wp
         self._wp += value_size
         if start < self._dma_frontier:
-            self.metrics.counter("backfill_bytes").add(value_size)
+            self._c_backfill.add(value_size)
         return Placement(value_offset=start, dma_target=None)
 
     def place_dma(self, value_size: int, wire_bytes: int) -> Placement:
@@ -493,7 +558,7 @@ class BackfillPacking(PackingPolicy):
             # the evicted region's end.
             lost = max(0, evicted.end - self._wp)
             if lost:
-                self.metrics.counter("fragmentation_bytes").add(
+                self._c_fragmentation.add(
                     max(0, evicted.start - self._wp)
                 )
             self._wp = max(self._wp, evicted.end)
@@ -506,7 +571,7 @@ class BackfillPacking(PackingPolicy):
 
     def on_forced_flush(self, event: FlushEvent) -> None:
         if self._wp < event.end_offset:
-            self.metrics.counter("fragmentation_bytes").add(
+            self._c_fragmentation.add(
                 event.end_offset - self._wp
             )
             self._wp = event.end_offset
@@ -578,7 +643,7 @@ class IntegratedPacking(BackfillPacking):
                 self._open_handling_forced(start + value_size)
         self._wp = start + value_size
         if start < self._dma_frontier:
-            self.metrics.counter("backfill_bytes").add(value_size)
+            self._c_backfill.add(value_size)
         self.metrics.counter("dma_copied").add(1)
         return Placement(value_offset=start, dma_target=start if direct else None)
 

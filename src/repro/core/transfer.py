@@ -94,7 +94,20 @@ class TransferPlanner:
     """Chooses and constructs :class:`TransferPlan`\\ s per the config."""
 
     def __init__(self, config: BandSlimConfig) -> None:
-        self.config = config
+        self._cache: dict[int, TransferPlan] = {}
+        self._config = config
+
+    @property
+    def config(self) -> BandSlimConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: BandSlimConfig) -> None:
+        # Plans are memoized per value size; any config swap (admin SET
+        # FEATURES via the driver's on_config_change hook, or tests poking
+        # the planner directly) may change thresholds/mode, so drop them.
+        self._config = config
+        self._cache.clear()
 
     # --- plan constructors ---------------------------------------------------
 
@@ -154,21 +167,30 @@ class TransferPlanner:
     # --- mode dispatch -----------------------------------------------------------
 
     def plan(self, value_size: int) -> TransferPlan:
-        mode = self.config.transfer_mode
+        # Plans are pure functions of (config, value_size); memoize per
+        # size. The size-vs-limit check stays outside the cache so an
+        # oversize value raises even after a max_value_bytes decrease.
         if value_size > self.config.max_value_bytes:
             raise NVMeError(
                 f"value of {value_size} bytes exceeds max_value_bytes "
                 f"{self.config.max_value_bytes}"
             )
+        cached = self._cache.get(value_size)
+        if cached is not None:
+            return cached
+        mode = self.config.transfer_mode
         if mode is TransferMode.BASELINE:
-            return self.plan_prp(value_size)
-        if mode is TransferMode.PIGGYBACK:
-            return self.plan_piggyback(value_size)
-        if mode is TransferMode.HYBRID:
-            return self.plan_hybrid(value_size)
-        if mode is TransferMode.ADAPTIVE:
-            return self.plan_adaptive(value_size)
-        raise ConfigError(f"unhandled transfer mode {mode}")
+            plan = self.plan_prp(value_size)
+        elif mode is TransferMode.PIGGYBACK:
+            plan = self.plan_piggyback(value_size)
+        elif mode is TransferMode.HYBRID:
+            plan = self.plan_hybrid(value_size)
+        elif mode is TransferMode.ADAPTIVE:
+            plan = self.plan_adaptive(value_size)
+        else:
+            raise ConfigError(f"unhandled transfer mode {mode}")
+        self._cache[value_size] = plan
+        return plan
 
     def plan_adaptive(self, value_size: int) -> TransferPlan:
         """The §3.2 threshold policy.

@@ -110,6 +110,9 @@ class SSTable:
         """Serialize sorted ``items`` into NAND pages via the FTL."""
         page_size = ftl.flash.geometry.page_size
         pages: list[_PageMeta] = []
+        # Serialization never reads back from the FTL, so page programs are
+        # deferred and issued as a single ordered write_many batch at the end.
+        pending: list[tuple[int, bytes]] = []
         buf = bytearray(_PAGE_HEADER.size)
         keys_in_page: list[bytes] = []
         entry_count = 0
@@ -121,7 +124,7 @@ class SSTable:
                 return
             _PAGE_HEADER.pack_into(buf, 0, len(keys_in_page))
             lpn = space.alloc()
-            ftl.write(lpn, bytes(buf))
+            pending.append((lpn, bytes(buf)))
             pages.append(
                 _PageMeta(lpn=lpn, first_key=keys_in_page[0], last_key=keys_in_page[-1])
             )
@@ -143,6 +146,7 @@ class SSTable:
         flush_page()
         if entry_count == 0:
             raise LSMError("cannot build an empty SSTable")
+        ftl.write_many(pending)
         cls._next_id += 1
         return cls(cls._next_id, pages, entry_count, scheme, page_size)
 

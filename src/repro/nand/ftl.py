@@ -203,6 +203,44 @@ class PageMappedFTL:
             self._cache.invalidate(lpn)
         return ppn
 
+    def write_many(self, pages) -> list[int]:
+        """Batched :meth:`write`: one call for a run of logical pages.
+
+        ``pages`` is an iterable of ``(lpn, data)`` in program order. The
+        per-page sequence (GC check, program, map/validity update, cache
+        invalidation) is exactly :meth:`write`'s, with the map/validity
+        lookups and metric bound once per batch — callers that produce
+        whole runs of pages (write-buffer drain, SSTable serialization)
+        skip the per-page attribute churn.
+        """
+        journal = self._journal
+        cache = self._cache
+        block_of = self.flash.geometry.block_of
+        lpn_map = self._map
+        reverse = self._reverse
+        valid = self._valid_per_block
+        c_writes = self._c_logical_writes
+        program = self._program_page
+        ppns: list[int] = []
+        for lpn, data in pages:
+            if lpn < 0:
+                raise FTLError(f"negative LPN {lpn}")
+            self._maybe_collect()
+            if journal is None:
+                ppn = program(data)
+            else:
+                ppn = program(data, lpn=lpn, meta=journal.pop_meta(lpn))
+            self._invalidate_lpn(lpn)
+            lpn_map[lpn] = ppn
+            reverse[ppn] = lpn
+            block = block_of(ppn)
+            valid[block] = valid.get(block, 0) + 1
+            c_writes._value += 1
+            if cache is not None:
+                cache.invalidate(lpn)
+            ppns.append(ppn)
+        return ppns
+
     def read(self, lpn: int) -> bytes:
         cache = self._cache
         if cache is not None:

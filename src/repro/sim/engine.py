@@ -1,0 +1,672 @@
+"""Batched discrete-event fast path for the pipelined PUT/GET hot loops.
+
+``FusedBatchEngine`` executes a whole ``put_many``/``get_many`` batch with
+the per-command protocol plumbing *fused*: submission/completion byte
+accounting, the per-command clock arithmetic, and the completion heap all
+run on local variables, flushed back to the real counters once per batch.
+The simulation itself — packing placement, LSM index ops, vLog reads, NAND
+timeline bookings — still goes through the real objects, with the
+simulated clock synchronized around every such call.
+
+Why this is safe (and how it is proven):
+
+* **Bit-identical clock arithmetic.** ``SimClock.advance`` is a single
+  ``_now_us += delta`` on a float. The engine applies the *same* ``+=``
+  operations with the *same* cached per-instance constants
+  (``link._submit_us``, ``controller._cmd_process_us``, ...) in the *same*
+  order as the generic path, so the final clock value is equal at the bit
+  level, not merely approximately. ``tests/sim/test_engine.py`` asserts
+  exact clock/snapshot equality against the generic path on randomized op
+  sequences, and the frozen seed goldens cover the serial path.
+* **Same completion order.** Completions park on a heap keyed by
+  ``(finish_us, seq)`` with a per-batch monotonic ``seq`` — exactly
+  :class:`repro.nvme.queue.CompletionScheduler`'s ordering rule.
+* **Metric totals flushed, samples recorded live.** Pure counters
+  (PCIe bytes/transactions, commands processed, memcpy bytes, puts/gets,
+  doorbell rings, DMA transfer counts, the command-id cursor) accumulate
+  in locals and flush in a ``finally``; per-sample statistics (latency
+  stats/histograms, ``memcpy_us_per_op``) are recorded through the real
+  ``record()`` calls so Welford state and bucket counts match exactly.
+* **Skipped work is invisible.** Host-page staging, PRP list construction,
+  SQ/CQ ring pushes, and the device-scratch bounce of the GET path are
+  net-zero simulated state that ``KVSSD.snapshot()`` never sees; the
+  engine skips the object churn but still charges every byte and
+  microsecond they imply (including the >2-page PRP-list fetch).
+
+Eligibility is decided by the driver (see ``BandSlimDriver.put_many``):
+queue depth > 1, no tracer, no fault injector, no command timeout, no
+durability journal, no pending piggyback state, and no HYBRID transfer
+plans in the batch. Anything else falls back to the generic path.
+
+Slots are pooled and reused across batches (no per-op object churn); every
+field is reassigned on reuse, which ``tests/sim/test_engine.py`` checks by
+interleaving dissimilar batches through one engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from heapq import heappop, heappush
+
+from repro.errors import KeyNotFoundError
+from repro.nvme.opcodes import StatusCode
+
+from repro.core.driver import OpResult as _op_result
+from repro.units import (
+    MEM_PAGE_SIZE,
+    NVME_COMMAND_SIZE,
+    NVME_COMPLETION_SIZE,
+    pages_needed,
+)
+
+_ZERO_PAGE = bytes(MEM_PAGE_SIZE)
+
+
+class _PutSlot:
+    """Pooled per-op record for an in-flight batched PUT."""
+
+    __slots__ = ("index", "start_us", "remaining", "commands")
+
+
+class _GetSlot:
+    """Pooled per-op record for an in-flight batched GET."""
+
+    __slots__ = ("index", "start_us", "status", "value")
+
+
+class FusedBatchEngine:
+    """Executes eligible ``put_many``/``get_many`` batches on local state."""
+
+    __slots__ = ("driver", "_put_pool", "_get_pool")
+
+    def __init__(self, driver) -> None:
+        self.driver = driver
+        self._put_pool: list[_PutSlot] = []
+        self._get_pool: list[_GetSlot] = []
+
+    def _put_slots(self, count: int) -> list[_PutSlot]:
+        pool = self._put_pool
+        while len(pool) < count:
+            pool.append(_PutSlot())
+        return pool
+
+    def _get_slots(self, count: int) -> list[_GetSlot]:
+        pool = self._get_pool
+        while len(pool) < count:
+            pool.append(_GetSlot())
+        return pool
+
+    # --- batched PUT ------------------------------------------------------
+
+    def put_batch(self, pairs, plans, qd: int, results: list) -> list:
+        """Fused equivalent of the generic ``put_many`` pipeline.
+
+        ``pairs`` are pre-validated (non-empty, within ``max_value_bytes``)
+        and ``plans`` contains one PIGGYBACK or PRP plan per pair (no
+        HYBRID — the driver gates that).
+        """
+        driver = self.driver
+        link = driver.link
+        clock = driver.clock
+        controller = driver.controller
+        flash = controller._flash
+        policy = controller.policy
+        buffer = controller.buffer
+        lsm = controller.lsm
+        dma = controller.dma
+        dram = dma.dram
+        sq = driver.sq
+
+        # Fixed per-command costs/sizes, resolved once per batch. Reading
+        # them fresh each batch keeps config changes (SET FEATURES) honest.
+        submit_us = link._submit_us
+        complete_us = link._complete_us
+        dma_setup_us = link._dma_setup_us
+        dma_per_byte_us = link._dma_per_byte_us
+        doorbell = link._doorbell_size
+        sq_fetch_us = link.latency.sq_fetch_us
+        cmd_process_us = controller._cmd_process_us
+        memcpy_setup_us = controller._memcpy_setup_us
+        memcpy_per_byte_us = controller._memcpy_per_byte_us
+
+        # Latency stat/histogram state unpacked onto locals: the loop body
+        # applies the exact Welford/bucket updates RunningStat.record and
+        # Histogram.record would, in the same order, and the finally below
+        # writes the state back. Nothing reads these stats mid-batch.
+        s_put = driver._s_put_latency
+        sp_n = s_put._n
+        sp_total = s_put._total
+        sp_mean = s_put._mean
+        sp_m2 = s_put._m2
+        sp_min = s_put._min
+        sp_max = s_put._max
+        h_put = driver._h_put_latency
+        hp_n = h_put._n
+        hp_max = h_put._max
+        hp_edges = h_put._edges
+        hp_counts = h_put._counts  # mutated in place, no write-back needed
+        s_memcpy = controller._s_memcpy_us_per_op
+        sm_n = s_memcpy._n
+        sm_total = s_memcpy._total
+        sm_mean = s_memcpy._mean
+        sm_m2 = s_memcpy._m2
+        sm_min = s_memcpy._min
+        sm_max = s_memcpy._max
+        bisect = bisect_left
+        place_piggyback = policy.place_piggyback
+        place_dma = policy.place_dma
+        finalize_value = policy.finalize_value
+        write_bytes = buffer.write_bytes
+        addr_of = buffer.addr_of
+        page_targets = buffer.dma_page_targets
+        lsm_put = lsm.put
+        dram_write = dram.write
+        op_result = _op_result
+        success = StatusCode.SUCCESS
+
+        now = clock._now_us
+        heap: list = []
+        seq = 0
+        inflight = 0
+        # Batch accumulators, flushed in the finally below.
+        ncommands = 0
+        db_txns = sq_txns = cq_txns = 0
+        sq_bytes = 0
+        h2d_bytes = h2d_txns = 0
+        memcpy_bytes = 0
+        puts = 0
+        # Residue carried across ops: a preceding GET's memcpy charge lands
+        # in the next PUT's memcpy_us_per_op sample, as in the generic path.
+        op_memcpy = controller._op_memcpy_us
+
+        slots = self._put_slots(len(pairs))
+        try:
+            for index, (key, value) in enumerate(pairs):
+                plan = plans[index]
+                n_cmds = plan.command_count
+                slot = slots[index]
+                slot.index = index
+                slot.start_us = now
+                slot.remaining = n_cmds
+                slot.commands = n_cmds
+
+                if plan.inline_bytes:  # PIGGYBACK: inline head + fragments
+                    vsize = len(value)
+                    cursor = 0
+                    value_offset = 0
+                    pos = plan.inline_bytes
+                    for cmd_i in range(n_cmds):
+                        # Reap until a queue slot frees up (finish order).
+                        while inflight >= qd:
+                            finish, _, done = heappop(heap)
+                            inflight -= 1
+                            if finish > now:
+                                now = finish
+                            cq_txns += 1
+                            db_txns += 1
+                            now += complete_us
+                            done.remaining -= 1
+                            if done.remaining == 0:
+                                elapsed = now - done.start_us
+                                sp_n += 1
+                                sp_total += elapsed
+                                delta = elapsed - sp_mean
+                                sp_mean += delta / sp_n
+                                sp_m2 += delta * (elapsed - sp_mean)
+                                if elapsed < sp_min:
+                                    sp_min = elapsed
+                                if elapsed > sp_max:
+                                    sp_max = elapsed
+                                hp_n += 1
+                                if elapsed > hp_max:
+                                    hp_max = elapsed
+                                hp_counts[bisect(hp_edges, elapsed)] += 1
+                                puts += 1
+                                results[done.index] = op_result(
+                                    elapsed, done.commands, success
+                                )
+                        # Submit: doorbell MMIO + 64 B SQE fetch.
+                        db_txns += 1
+                        sq_txns += 1
+                        sq_bytes += NVME_COMMAND_SIZE
+                        now += submit_us
+                        ncommands += 1
+                        # Inlined flash.begin_deferred() (depth known 0).
+                        flash._deferred = 1
+                        flash._deferred_end_us = now
+                        now += cmd_process_us
+                        try:
+                            if cmd_i == 0:
+                                clock._now_us = now
+                                placement = place_piggyback(vsize)
+                                now = clock._now_us
+                                value_offset = placement.value_offset
+                                take = plan.inline_bytes
+                                write_bytes(value_offset, value[:take])
+                                cursor = value_offset + take
+                            else:
+                                take = plan.trailing_fragments[cmd_i - 1]
+                                write_bytes(cursor, value[pos : pos + take])
+                                cursor += take
+                                pos += take
+                            cost = memcpy_setup_us + take * memcpy_per_byte_us
+                            now += cost
+                            memcpy_bytes += take
+                            op_memcpy += cost
+                            if cmd_i == n_cmds - 1:  # final fragment: commit
+                                addr = addr_of(value_offset, vsize)
+                                clock._now_us = now
+                                lsm_put(key, addr)
+                                finalize_value()
+                                now = clock._now_us
+                                sm_n += 1
+                                sm_total += op_memcpy
+                                delta = op_memcpy - sm_mean
+                                sm_mean += delta / sm_n
+                                sm_m2 += delta * (op_memcpy - sm_mean)
+                                if op_memcpy < sm_min:
+                                    sm_min = op_memcpy
+                                if op_memcpy > sm_max:
+                                    sm_max = op_memcpy
+                                op_memcpy = 0.0
+                        finally:
+                            flash._deferred = 0
+                            nand_end = flash._deferred_end_us
+                        if nand_end < now:
+                            nand_end = now
+                        heappush(heap, (nand_end, seq, slot))
+                        seq += 1
+                        inflight += 1
+                else:  # PRP: one STORE command, page-unit DMA
+                    while inflight >= qd:
+                        finish, _, done = heappop(heap)
+                        inflight -= 1
+                        if finish > now:
+                            now = finish
+                        cq_txns += 1
+                        db_txns += 1
+                        now += complete_us
+                        done.remaining -= 1
+                        if done.remaining == 0:
+                            elapsed = now - done.start_us
+                            sp_n += 1
+                            sp_total += elapsed
+                            delta = elapsed - sp_mean
+                            sp_mean += delta / sp_n
+                            sp_m2 += delta * (elapsed - sp_mean)
+                            if elapsed < sp_min:
+                                sp_min = elapsed
+                            if elapsed > sp_max:
+                                sp_max = elapsed
+                            hp_n += 1
+                            if elapsed > hp_max:
+                                hp_max = elapsed
+                            hp_counts[bisect(hp_edges, elapsed)] += 1
+                            puts += 1
+                            results[done.index] = op_result(
+                                elapsed, done.commands, success
+                            )
+                    db_txns += 1
+                    sq_txns += 1
+                    sq_bytes += NVME_COMMAND_SIZE
+                    now += submit_us
+                    ncommands += 1
+                    flash._deferred = 1
+                    flash._deferred_end_us = now
+                    now += cmd_process_us
+                    try:
+                        vsize = len(value)
+                        n_pages = plan.dma_pages
+                        wire = plan.dma_wire_bytes
+                        clock._now_us = now
+                        placement = place_dma(vsize, wire)
+                        now = clock._now_us
+                        if n_pages > 2:
+                            # PRP-list fetch: (n-1) 8 B entries, one txn.
+                            sq_bytes += (n_pages - 1) * 8
+                            sq_txns += 1
+                            now += sq_fetch_us
+                        target = placement.dma_target
+                        if target is not None:
+                            # Direct scatter into the NAND page buffer. The
+                            # staged host pages are zero-padded, so the
+                            # trailing partial page lands as value + zeros.
+                            # Targets come from the buffer's entry mapping —
+                            # wire pages are NOT contiguous in DRAM when the
+                            # placement wraps the entry ring.
+                            targets = page_targets(target, wire)
+                            for page_i in range(n_pages):
+                                chunk = value[
+                                    page_i * MEM_PAGE_SIZE : (page_i + 1) * MEM_PAGE_SIZE
+                                ]
+                                if len(chunk) < MEM_PAGE_SIZE:
+                                    chunk = chunk + _ZERO_PAGE[len(chunk) :]
+                                dram_write(targets[page_i], chunk)
+                            h2d_bytes += wire
+                            h2d_txns += 1
+                            now += dma_setup_us + wire * dma_per_byte_us
+                        else:
+                            # Unaligned placement: DMA to device scratch,
+                            # then memcpy into place. The scratch bounce
+                            # itself is simulated-state-free; only its
+                            # byte/time charges matter.
+                            h2d_bytes += wire
+                            h2d_txns += 1
+                            now += dma_setup_us + wire * dma_per_byte_us
+                            write_bytes(placement.value_offset, value)
+                            cost = memcpy_setup_us + vsize * memcpy_per_byte_us
+                            now += cost
+                            memcpy_bytes += vsize
+                            op_memcpy += cost
+                        addr = addr_of(placement.value_offset, vsize)
+                        clock._now_us = now
+                        lsm_put(key, addr)
+                        finalize_value()
+                        now = clock._now_us
+                        sm_n += 1
+                        sm_total += op_memcpy
+                        delta = op_memcpy - sm_mean
+                        sm_mean += delta / sm_n
+                        sm_m2 += delta * (op_memcpy - sm_mean)
+                        if op_memcpy < sm_min:
+                            sm_min = op_memcpy
+                        if op_memcpy > sm_max:
+                            sm_max = op_memcpy
+                        op_memcpy = 0.0
+                    finally:
+                        flash._deferred = 0
+                        nand_end = flash._deferred_end_us
+                    if nand_end < now:
+                        nand_end = now
+                    heappush(heap, (nand_end, seq, slot))
+                    seq += 1
+                    inflight += 1
+            # Drain the tail.
+            while heap:
+                finish, _, done = heappop(heap)
+                if finish > now:
+                    now = finish
+                cq_txns += 1
+                db_txns += 1
+                now += complete_us
+                done.remaining -= 1
+                if done.remaining == 0:
+                    elapsed = now - done.start_us
+                    sp_n += 1
+                    sp_total += elapsed
+                    delta = elapsed - sp_mean
+                    sp_mean += delta / sp_n
+                    sp_m2 += delta * (elapsed - sp_mean)
+                    if elapsed < sp_min:
+                        sp_min = elapsed
+                    if elapsed > sp_max:
+                        sp_max = elapsed
+                    hp_n += 1
+                    if elapsed > hp_max:
+                        hp_max = elapsed
+                    hp_counts[bisect(hp_edges, elapsed)] += 1
+                    puts += 1
+                    results[done.index] = op_result(elapsed, done.commands, success)
+        finally:
+            clock._now_us = now
+            controller._op_memcpy_us = op_memcpy
+            s_put._n = sp_n
+            s_put._total = sp_total
+            s_put._mean = sp_mean
+            s_put._m2 = sp_m2
+            s_put._min = sp_min
+            s_put._max = sp_max
+            h_put._n = hp_n
+            h_put._max = hp_max
+            s_memcpy._n = sm_n
+            s_memcpy._total = sm_total
+            s_memcpy._mean = sm_mean
+            s_memcpy._m2 = sm_m2
+            s_memcpy._min = sm_min
+            s_memcpy._max = sm_max
+            link._db_bytes._value += (db_txns) * doorbell
+            link._db_txns._value += db_txns
+            link._sq_bytes._value += sq_bytes
+            link._sq_txns._value += sq_txns
+            link._cq_bytes._value += cq_txns * NVME_COMPLETION_SIZE
+            link._cq_txns._value += cq_txns
+            link._h2d_bytes._value += h2d_bytes
+            link._h2d_txns._value += h2d_txns
+            dma.h2d_transfers += h2d_txns
+            sq.doorbell_rings += ncommands
+            controller._c_commands_processed._value += ncommands
+            controller._c_memcpy_bytes._value += memcpy_bytes
+            driver._c_puts._value += puts
+            driver._next_cid = (driver._next_cid + len(pairs)) % 2**16
+        return results
+
+    # --- batched GET ------------------------------------------------------
+
+    def get_batch(self, keys, size: int, qd: int) -> list:
+        """Fused equivalent of the generic ``get_many`` pipeline."""
+        driver = self.driver
+        link = driver.link
+        clock = driver.clock
+        controller = driver.controller
+        flash = controller._flash
+        lsm = controller.lsm
+        dma = driver.controller.dma
+        sq = driver.sq
+
+        submit_us = link._submit_us
+        complete_us = link._complete_us
+        dma_setup_us = link._dma_setup_us
+        dma_per_byte_us = link._dma_per_byte_us
+        doorbell = link._doorbell_size
+        sq_fetch_us = link.latency.sq_fetch_us
+        cmd_process_us = controller._cmd_process_us
+        memcpy_setup_us = controller._memcpy_setup_us
+        memcpy_per_byte_us = controller._memcpy_per_byte_us
+        #: >2-page PRP lists are keyed on the *buffer* size, as in
+        #: ``_dma_to_host`` — the host allocates for ``size`` up front.
+        prp_list_entries = pages_needed(size) - 1 if size > 2 * MEM_PAGE_SIZE else 0
+
+        # Stat/histogram state on locals; see put_batch for the rules.
+        s_get = driver._s_get_latency
+        sg_n = s_get._n
+        sg_total = s_get._total
+        sg_mean = s_get._mean
+        sg_m2 = s_get._m2
+        sg_min = s_get._min
+        sg_max = s_get._max
+        h_get = driver._h_get_latency
+        hg_n = h_get._n
+        hg_max = h_get._max
+        hg_edges = h_get._edges
+        hg_counts = h_get._counts
+        bisect = bisect_left
+        get_address = lsm.get_address
+        vlog = lsm.vlog
+        vlog_read = vlog.read
+        # Buffered single-page reads (the common case under write-heavy
+        # mixes) are served straight from the write buffer: same slice,
+        # same counters, no simulated cost — exactly what VLog.read does,
+        # minus the call chain. Anything else falls through to the real
+        # read (NAND timing, multi-page spans, bounds errors).
+        page_size = vlog.page_size
+        vlog_base = vlog.base_lpn
+        vlog_end = vlog.end_lpn
+        unflushed_page = vlog._buffer.unflushed_page
+        vr_reads = 0
+        vr_bytes = 0
+        op_result = _op_result
+        success = StatusCode.SUCCESS
+        not_found = StatusCode.KEY_NOT_FOUND
+        capacity_exceeded = StatusCode.CAPACITY_EXCEEDED
+
+        results: list = [None] * len(keys)
+        now = clock._now_us
+        heap: list = []
+        seq = 0
+        inflight = 0
+        ncommands = 0
+        db_txns = sq_txns = cq_txns = 0
+        sq_bytes = 0
+        d2h_bytes = d2h_txns = 0
+        memcpy_bytes = 0
+        gets = 0
+        op_memcpy = controller._op_memcpy_us
+
+        slots = self._get_slots(len(keys))
+        controller.begin_read_batch()
+        try:
+            for index, key in enumerate(keys):
+                while inflight >= qd:
+                    finish, _, done = heappop(heap)
+                    inflight -= 1
+                    if finish > now:
+                        now = finish
+                    cq_txns += 1
+                    db_txns += 1
+                    now += complete_us
+                    elapsed = now - done.start_us
+                    status = done.status
+                    if status is not not_found:
+                        sg_n += 1
+                        sg_total += elapsed
+                        delta = elapsed - sg_mean
+                        sg_mean += delta / sg_n
+                        sg_m2 += delta * (elapsed - sg_mean)
+                        if elapsed < sg_min:
+                            sg_min = elapsed
+                        if elapsed > sg_max:
+                            sg_max = elapsed
+                        hg_n += 1
+                        if elapsed > hg_max:
+                            hg_max = elapsed
+                        hg_counts[bisect(hg_edges, elapsed)] += 1
+                        gets += 1
+                    results[done.index] = op_result(elapsed, 1, status, done.value)
+                slot = slots[index]
+                slot.index = index
+                slot.start_us = now
+                # Submit.
+                db_txns += 1
+                sq_txns += 1
+                sq_bytes += NVME_COMMAND_SIZE
+                now += submit_us
+                ncommands += 1
+                # Inlined begin_deferred()/begin_deferred_reads().
+                flash._deferred = 1
+                flash._deferred_end_us = now
+                now += cmd_process_us
+                try:
+                    status = success
+                    data = None
+                    flash._defer_reads = 1
+                    flash._read_chain_us = now
+                    clock._now_us = now
+                    try:
+                        try:
+                            addr = get_address(key)
+                        except KeyNotFoundError:
+                            status = not_found
+                        else:
+                            asize = addr.size
+                            if asize > size:
+                                status = capacity_exceeded
+                            else:
+                                offset = addr.offset
+                                lpn = addr.lpn
+                                if (
+                                    offset < page_size
+                                    and asize <= page_size - offset
+                                    and vlog_base <= lpn < vlog_end
+                                ):
+                                    page = unflushed_page(lpn)
+                                    if page is None:
+                                        data = vlog_read(addr)
+                                    else:
+                                        data = page[offset : offset + asize]
+                                        vr_reads += 1
+                                        vr_bytes += asize
+                                else:
+                                    data = vlog_read(addr)
+                    finally:
+                        flash._defer_reads = 0
+                    now = clock._now_us
+                    if status is success:
+                        n = len(data)
+                        if n:
+                            cost = memcpy_setup_us + n * memcpy_per_byte_us
+                            now += cost
+                            memcpy_bytes += n
+                            op_memcpy += cost
+                        if prp_list_entries:
+                            sq_bytes += prp_list_entries * 8
+                            sq_txns += 1
+                            now += sq_fetch_us
+                        wire = -(-n // MEM_PAGE_SIZE) * MEM_PAGE_SIZE
+                        if wire:
+                            d2h_bytes += wire
+                            d2h_txns += 1
+                            now += dma_setup_us + wire * dma_per_byte_us
+                    slot.status = status
+                    slot.value = data
+                finally:
+                    flash._deferred = 0
+                    nand_end = flash._deferred_end_us
+                if nand_end < now:
+                    nand_end = now
+                heappush(heap, (nand_end, seq, slot))
+                seq += 1
+                inflight += 1
+            while heap:
+                finish, _, done = heappop(heap)
+                if finish > now:
+                    now = finish
+                cq_txns += 1
+                db_txns += 1
+                now += complete_us
+                elapsed = now - done.start_us
+                status = done.status
+                if status is not not_found:
+                    sg_n += 1
+                    sg_total += elapsed
+                    delta = elapsed - sg_mean
+                    sg_mean += delta / sg_n
+                    sg_m2 += delta * (elapsed - sg_mean)
+                    if elapsed < sg_min:
+                        sg_min = elapsed
+                    if elapsed > sg_max:
+                        sg_max = elapsed
+                    hg_n += 1
+                    if elapsed > hg_max:
+                        hg_max = elapsed
+                    hg_counts[bisect(hg_edges, elapsed)] += 1
+                    gets += 1
+                results[done.index] = op_result(elapsed, 1, status, done.value)
+        finally:
+            controller.end_read_batch()
+            clock._now_us = now
+            controller._op_memcpy_us = op_memcpy
+            s_get._n = sg_n
+            s_get._total = sg_total
+            s_get._mean = sg_mean
+            s_get._m2 = sg_m2
+            s_get._min = sg_min
+            s_get._max = sg_max
+            h_get._n = hg_n
+            h_get._max = hg_max
+            vlog._c_reads._value += vr_reads
+            vlog._c_bytes_read._value += vr_bytes
+            link._db_bytes._value += db_txns * doorbell
+            link._db_txns._value += db_txns
+            link._sq_bytes._value += sq_bytes
+            link._sq_txns._value += sq_txns
+            link._cq_bytes._value += cq_txns * NVME_COMPLETION_SIZE
+            link._cq_txns._value += cq_txns
+            link._d2h_bytes._value += d2h_bytes
+            link._d2h_txns._value += d2h_txns
+            dma.d2h_transfers += d2h_txns
+            sq.doorbell_rings += ncommands
+            controller._c_commands_processed._value += ncommands
+            controller._c_memcpy_bytes._value += memcpy_bytes
+            driver._c_gets._value += gets
+            driver._next_cid = (driver._next_cid + len(keys)) % 2**16
+        return results

@@ -94,6 +94,8 @@ def run_workload(
     device: KVSSD | None = None,
     flush_at_end: bool = True,
     tracer=None,
+    batch_window: int | None = None,
+    batch_queue_depth: int = 32,
     **config_overrides,
 ) -> RunResult:
     """Drive ``workload`` through a device built from ``config``.
@@ -102,6 +104,14 @@ def run_workload(
     experiments reuse a device across workloads). Passing a
     :class:`repro.sim.trace.Tracer` threads it through the freshly built
     stack; the snapshot then gains the tracer's report keys.
+
+    ``batch_window`` switches the replay to *batched dispatch*: requests
+    are collected into windows of that many ops and issued through
+    ``put_many``/``get_many`` at ``batch_queue_depth``. PUTs of a window
+    run before its GETs (the generator only ever reads keys written
+    earlier, so every read still sees its value); DELETEs flush the
+    window. This is a different — pipelined — experiment than the serial
+    replay, with its own simulated timings; it is exactly as deterministic.
     """
     name, cfg = resolve_config(config, **config_overrides)
     if workload.max_value_bytes > cfg.max_value_bytes:
@@ -113,16 +123,21 @@ def run_workload(
     start_us = device.clock.now_us
     start_programs = device.flash.page_programs
     get_max_size = workload.max_value_bytes
-    for request in workload.requests():
-        if request.kind is RequestKind.PUT:
-            assert request.value is not None
-            driver.put(request.key, request.value)
-        elif request.kind is RequestKind.GET:
-            driver.get(request.key, max_size=get_max_size)
-        elif request.kind is RequestKind.DELETE:
-            driver.delete(request.key)
-        else:
-            raise ConfigError(f"runner does not handle {request.kind}")
+    if batch_window is not None and batch_window > 1:
+        _replay_batched(
+            driver, workload, get_max_size, batch_window, batch_queue_depth
+        )
+    else:
+        for request in workload.requests():
+            if request.kind is RequestKind.PUT:
+                assert request.value is not None
+                driver.put(request.key, request.value)
+            elif request.kind is RequestKind.GET:
+                driver.get(request.key, max_size=get_max_size)
+            elif request.kind is RequestKind.DELETE:
+                driver.delete(request.key)
+            else:
+                raise ConfigError(f"runner does not handle {request.kind}")
     elapsed_us = device.clock.now_us - start_us
     nand_during = device.flash.page_programs - start_programs
 
@@ -153,3 +168,38 @@ def run_workload(
         avg_memcpy_us=memcpy_stat.mean,
         snapshot=snapshot,
     )
+
+
+def _replay_batched(driver, workload, get_max_size, window, queue_depth) -> None:
+    """Window-batched dispatch: PUT runs via put_many, GET runs via get_many.
+
+    Within a window PUTs are dispatched before GETs. The workload
+    generator's read targets always reference earlier ops, so a GET whose
+    PUT shares the window still finds its key; relative order within each
+    kind is preserved. DELETEs (and any other kind) act as barriers.
+    """
+    puts: list[tuple[bytes, bytes]] = []
+    gets: list[bytes] = []
+
+    def dispatch() -> None:
+        if puts:
+            driver.put_many(puts, queue_depth=queue_depth)
+            puts.clear()
+        if gets:
+            driver.get_many(gets, max_size=get_max_size, queue_depth=queue_depth)
+            gets.clear()
+
+    for request in workload.requests():
+        if request.kind is RequestKind.PUT:
+            assert request.value is not None
+            puts.append((request.key, request.value))
+        elif request.kind is RequestKind.GET:
+            gets.append(request.key)
+        elif request.kind is RequestKind.DELETE:
+            dispatch()
+            driver.delete(request.key)
+        else:
+            raise ConfigError(f"runner does not handle {request.kind}")
+        if len(puts) + len(gets) >= window:
+            dispatch()
+    dispatch()

@@ -1,0 +1,209 @@
+"""Multiprocess sweep runner: one grid, many cores, one deterministic JSON.
+
+Experiment sweeps (seeds × geometries × queue depths × workloads) are
+embarrassingly parallel: every point builds its own device from scratch,
+so points share no state and can run in separate *processes* — sidestepping
+the GIL that makes in-process threading useless for a pure-Python
+simulator. The rules that keep the merged output deterministic:
+
+* **Per-worker isolation.** A point function builds everything it needs
+  (workload, config, device) inside the worker from the picklable
+  :class:`SweepPoint` description. Nothing is shared, nothing is global.
+* **Deterministic merge.** The grid is sorted by :attr:`SweepPoint.key`
+  *before* dispatch and results come back via ``Pool.map`` (order
+  preserving), so the merged ``points`` list is byte-identical however
+  many workers ran it. Only ``wall_seconds`` varies between runs — the
+  self-check (``python -m repro sweep --selfcheck``) strips it and
+  asserts serial == parallel on everything else.
+* **Fork start method.** Workers inherit the imported tree on Linux
+  (cheap); where fork is unavailable the spawn method works too since
+  points re-import everything they use.
+
+``parallel_map`` is the bench-facing wrapper: benchmarks hand it a
+module-level function and a list of picklable items and get results in
+item order, serial when ``workers <= 1`` (the default unless
+``REPRO_BENCH_WORKERS`` says otherwise).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigError
+from repro.units import MIB
+
+#: Fields in a point row that legitimately differ run-to-run (host timing).
+WALL_FIELDS = ("wall_seconds",)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One picklable grid point; the worker rebuilds everything from it."""
+
+    workload: str
+    config: str
+    channels: int
+    ways: int
+    queue_depth: int
+    seed: int
+    ops: int
+    read_fraction: float = 0.5
+    #: Batched replay window (None = serial per-op replay).
+    batch_window: int | None = 256
+
+    @property
+    def key(self) -> tuple:
+        """Total order for the deterministic merge."""
+        return (
+            self.workload,
+            self.config,
+            self.channels,
+            self.ways,
+            self.queue_depth,
+            self.seed,
+        )
+
+
+def build_workload(name: str, ops: int, seed: int, read_fraction: float = 0.5):
+    """Resolve a sweep workload name: ``mixed`` or a paper workload letter."""
+    from repro.workloads.workloads import PAPER_WORKLOADS, workload_mixed
+
+    if name == "mixed":
+        return workload_mixed(ops, read_fraction=read_fraction, seed=seed)
+    factory = PAPER_WORKLOADS.get(name) or PAPER_WORKLOADS.get(f"W({name})")
+    if factory is None:
+        known = ["mixed"] + sorted(PAPER_WORKLOADS)
+        raise ConfigError(f"unknown sweep workload {name!r}; choose from {known}")
+    return factory(ops, seed=seed)
+
+
+def run_point(point: SweepPoint) -> dict:
+    """Execute one grid point and return its (deterministic) result row.
+
+    Module-level so it pickles; imports the simulator lazily so spawn-based
+    pools work the same as fork-based ones.
+    """
+    from repro.sim.runner import run_workload
+
+    workload = build_workload(
+        point.workload, point.ops, point.seed, point.read_fraction
+    )
+    wall0 = time.perf_counter()
+    result = run_workload(
+        point.config,
+        workload,
+        nand_capacity_bytes=256 * MIB,
+        nand_channels=point.channels,
+        nand_ways=point.ways,
+        queue_depth=point.queue_depth,
+        batch_window=point.batch_window,
+        batch_queue_depth=point.queue_depth,
+    )
+    wall = time.perf_counter() - wall0
+    row = asdict(point)
+    row.update(
+        sim_elapsed_us=round(result.elapsed_us, 3),
+        throughput_kops=round(result.throughput_kops, 3),
+        avg_response_us=round(result.avg_response_us, 4),
+        p99_response_us=round(result.p99_response_us, 4),
+        pcie_total_bytes=result.pcie_total_bytes,
+        mmio_bytes=result.mmio_bytes,
+        nand_page_writes=result.nand_page_writes_with_flush,
+        traffic_amplification=round(result.traffic_amplification, 4),
+        wall_seconds=round(wall, 4),
+    )
+    return row
+
+
+def build_grid(
+    seeds,
+    geometries,
+    queue_depths,
+    workloads,
+    ops: int,
+    config: str = "backfill",
+    batch_window: int | None = 256,
+) -> list[SweepPoint]:
+    """The full cross product, pre-sorted by the merge key."""
+    points = [
+        SweepPoint(
+            workload=workload,
+            config=config,
+            channels=channels,
+            ways=ways,
+            queue_depth=qd,
+            seed=seed,
+            ops=ops,
+            batch_window=batch_window,
+        )
+        for workload in workloads
+        for channels, ways in geometries
+        for qd in queue_depths
+        for seed in seeds
+    ]
+    points.sort(key=lambda p: p.key)
+    return points
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS`` (default: serial)."""
+    try:
+        return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    except ValueError:
+        return 1
+
+
+def _pool_context():
+    # fork inherits the imported tree (cheap start); fall back to spawn
+    # where fork doesn't exist — run_point re-imports what it needs.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(func, items, workers: int | None = None) -> list:
+    """``[func(x) for x in items]`` across processes, order preserving.
+
+    ``func`` must be a module-level (picklable) function and ``items``
+    picklable values. ``workers <= 1`` runs serially in-process — same
+    results, no pool overhead — so callers can wire it unconditionally.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(items)) if items else 1
+    if workers <= 1:
+        return [func(item) for item in items]
+    with _pool_context().Pool(processes=workers) as pool:
+        # chunksize=1: points are coarse (whole runs), keep the queue fed.
+        return pool.map(func, items, chunksize=1)
+
+
+def run_sweep(points: list[SweepPoint], workers: int = 1) -> dict:
+    """Run a grid and merge into the canonical report object."""
+    wall0 = time.perf_counter()
+    rows = parallel_map(run_point, points, workers=workers)
+    wall = time.perf_counter() - wall0
+    return {
+        "schema": 1,
+        "workers": workers,
+        "points": rows,
+        "point_count": len(rows),
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def strip_wall_fields(report: dict) -> dict:
+    """A copy of ``report`` with host-timing fields removed (self-check)."""
+    stripped = {
+        key: value
+        for key, value in report.items()
+        if key not in ("wall_seconds", "workers")
+    }
+    stripped["points"] = [
+        {k: v for k, v in row.items() if k not in WALL_FIELDS}
+        for row in report["points"]
+    ]
+    return stripped

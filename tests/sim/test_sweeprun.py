@@ -1,0 +1,78 @@
+"""Tests for the multiprocess sweep runner (repro.sim.sweeprun)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.sweeprun import (
+    SweepPoint,
+    build_grid,
+    build_workload,
+    parallel_map,
+    run_point,
+    run_sweep,
+    strip_wall_fields,
+)
+
+
+class TestGrid:
+    def test_cross_product_sorted_by_key(self):
+        grid = build_grid(
+            seeds=[1, 0],
+            geometries=[(2, 4), (1, 1)],
+            queue_depths=[32, 1],
+            workloads=["mixed"],
+            ops=10,
+        )
+        assert len(grid) == 8
+        assert [p.key for p in grid] == sorted(p.key for p in grid)
+
+    def test_points_are_picklable(self):
+        import pickle
+
+        point = SweepPoint(
+            workload="mixed", config="backfill", channels=1, ways=1,
+            queue_depth=4, seed=0, ops=10,
+        )
+        assert pickle.loads(pickle.dumps(point)) == point
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            build_workload("nonesuch", ops=10, seed=0)
+
+    def test_paper_workload_letter_resolves(self):
+        assert build_workload("C", ops=10, seed=0).num_ops == 10
+
+
+class TestDeterministicMerge:
+    def test_parallel_merge_identical_to_serial(self):
+        grid = build_grid(
+            seeds=[0, 1],
+            geometries=[(1, 1)],
+            queue_depths=[1, 8],
+            workloads=["mixed"],
+            ops=60,
+        )
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=2)
+        assert strip_wall_fields(serial) == strip_wall_fields(parallel)
+        assert parallel["workers"] == 2
+        assert parallel["point_count"] == len(grid)
+
+    def test_point_row_carries_grid_coordinates(self):
+        point = SweepPoint(
+            workload="mixed", config="backfill", channels=2, ways=2,
+            queue_depth=4, seed=3, ops=40,
+        )
+        row = run_point(point)
+        assert row["seed"] == 3 and row["channels"] == 2
+        assert row["throughput_kops"] > 0
+        assert row["wall_seconds"] >= 0
+
+
+class TestParallelMap:
+    def test_serial_fallback_preserves_order(self):
+        assert parallel_map(abs, [-3, 2, -1], workers=1) == [3, 2, 1]
+
+    def test_worker_count_capped_by_items(self):
+        # 2 items, 8 workers: must not hang or error.
+        assert parallel_map(abs, [-5, 4], workers=8) == [5, 4]
