@@ -1,0 +1,138 @@
+"""Latency-under-load bench: offered-RPS sweep through the KV service.
+
+Drives the networked server (``repro.serve``) with the open-loop load
+generator (``repro.loadgen``) across a grid of offered request rates and
+records p50/p99/p999 latency, achieved throughput and SERVER_BUSY
+rejections per rate, plus the detected saturation knee — vanilla
+(``baseline``: page-granular PRP transfers) against the variant
+(``backfill``: fine-grained piggyback + backfill packing), same seed,
+same arrival schedule.
+
+Everything is measured in *virtual* microseconds over the simulated
+device, and the client runs one connection, so the whole table is
+deterministic: the committed ``BENCH_latency_under_load.json`` is a
+reviewable diff, not a noisy measurement. A second run of one sweep
+point double-checks that before the file is written.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_latency_under_load.py          # full
+    PYTHONPATH=src python benchmarks/bench_latency_under_load.py --quick  # CI
+    ... --out BENCH_latency_under_load.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.loadgen import run_loadtest, run_rps_sweep
+
+FULL_RPS_POINTS = [2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0]
+QUICK_RPS_POINTS = [4_000.0, 16_000.0, 64_000.0]
+
+#: vanilla-vs-variant pair: page-granular PRP transfer vs the paper's
+#: piggyback + backfill packing stack.
+CONFIGS = ["baseline", "backfill"]
+
+
+def run_config_sweep(
+    preset: str, rps_points: list[float], requests: int, seed: int
+) -> dict:
+    return run_rps_sweep(
+        rps_points,
+        preset,
+        requests=requests,
+        conns=1,
+        seed=seed,
+        num_keys=200,
+        value_size=256,
+        read_fraction=0.5,
+    )
+
+
+def check_determinism(preset: str, rps: float, requests: int, seed: int) -> bool:
+    """Two identical runs must produce identical reports."""
+    first = run_loadtest(
+        preset, rps=rps, requests=requests, conns=1, seed=seed, num_keys=200
+    )
+    second = run_loadtest(
+        preset, rps=rps, requests=requests, conns=1, seed=seed, num_keys=200
+    )
+    return first.to_dict() == second.to_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small op counts for CI smoke"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_latency_under_load.json", help="output JSON path"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rps_points = QUICK_RPS_POINTS if args.quick else FULL_RPS_POINTS
+    requests = 400 if args.quick else 1_500
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "seed": args.seed,
+        "requests_per_point": requests,
+        "process": "poisson",
+        "configs": {},
+    }
+    for preset in CONFIGS:
+        sweep = run_config_sweep(preset, rps_points, requests, args.seed)
+        report["configs"][preset] = sweep
+        print(f"{preset}: knee = "
+              f"{'none' if sweep['knee_rps'] is None else '%.0f rps' % sweep['knee_rps']}")
+        for row in sweep["rows"]:
+            print(f"  rps {row['offered_rps']:>8.0f}: "
+                  f"achieved {row['achieved_rps']:>9.1f}, "
+                  f"p50 {row['p50_us']:>9.1f} us, "
+                  f"p99 {row['p99_us']:>9.1f} us, "
+                  f"p999 {row['p999_us']:>9.1f} us, "
+                  f"busy {row['busy_rejected']}")
+
+    status = 0
+    total_protocol_errors = sum(
+        row["protocol_errors"]
+        for sweep in report["configs"].values()
+        for row in sweep["rows"]
+    )
+    if total_protocol_errors:
+        print(f"FAIL: {total_protocol_errors} protocol errors during the sweep")
+        status = 1
+
+    vanilla = report["configs"]["baseline"]
+    variant = report["configs"]["backfill"]
+    # The variant must not saturate earlier than vanilla: knee(backfill)
+    # >= knee(baseline) (None = never saturated inside the swept range).
+    v_knee, b_knee = vanilla["knee_rps"], variant["knee_rps"]
+    report["knee_comparison"] = {"baseline": v_knee, "backfill": b_knee}
+    if v_knee is not None and b_knee is not None and b_knee < v_knee:
+        print(f"FAIL: variant knees earlier ({b_knee:.0f}) than "
+              f"vanilla ({v_knee:.0f})")
+        status = 1
+
+    deterministic = check_determinism(
+        "backfill", rps_points[0], requests, args.seed
+    )
+    report["deterministic"] = deterministic
+    if not deterministic:
+        print("FAIL: repeated sweep point produced a different report")
+        status = 1
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

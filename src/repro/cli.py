@@ -15,6 +15,11 @@ Subcommands
                 live rebuild) and verify the array durability oracle
 ``sweep``       fan a seeds x geometries x queue-depths x workloads grid
                 across worker processes and merge one deterministic JSON
+``serve``       expose a simulated store over TCP (text protocol, see
+                docs/serving.md) with admission control and backpressure
+``loadtest``    drive a server with an open-loop Poisson/ON-OFF load and
+                report p50/p99/p999 latency; ``--rps-sweep`` produces the
+                offered-rate curve with the saturation knee detected
 
 ``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
 ``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
@@ -372,6 +377,110 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_settings_from_args(args: argparse.Namespace):
+    from repro.serve.server import ServerSettings
+
+    settings = ServerSettings()
+    if getattr(args, "host", None) is not None:
+        settings.host = args.host
+    if getattr(args, "port", None) is not None:
+        settings.port = args.port
+    if args.max_inflight is not None:
+        settings.max_inflight = args.max_inflight
+    if args.max_queue_delay_us is not None:
+        settings.max_queue_delay_us = args.max_queue_delay_us
+    return settings
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.backend import StoreBackend
+    from repro.serve.server import KVServer
+
+    async def _serve() -> int:
+        backend = StoreBackend.build(args.config, array_shards=args.shards)
+        server = KVServer(backend, _server_settings_from_args(args))
+        host, port = await server.start()
+        print(f"serving {args.config} "
+              f"({'array x%d' % args.shards if args.shards > 1 else 'single device'}) "
+              f"on {host}:{port}")
+        print("protocol: GET/SET/DEL/SCAN/STATS (docs/serving.md); Ctrl-C stops")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nbye")
+        return 0
+
+
+def _loadtest_row(row: dict) -> str:
+    return (f"  {row['offered_rps']:>9.0f} {row['achieved_rps']:>10.1f} "
+            f"{row['p50_us']:>10.1f} {row['p99_us']:>10.1f} "
+            f"{row['p999_us']:>10.1f} {row['busy_rejected']:>6} "
+            f"{row['errors']:>5}")
+
+
+_LOADTEST_HEADER = (f"  {'offered':>9} {'achieved':>10} {'p50_us':>10} "
+                    f"{'p99_us':>10} {'p999_us':>10} {'busy':>6} {'err':>5}")
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.loadgen import run_loadtest, run_rps_sweep
+
+    kwargs = dict(
+        requests=args.requests,
+        conns=args.conns,
+        process=args.process,
+        seed=args.seed,
+        num_keys=args.num_keys,
+        value_size=args.value_size,
+        read_fraction=args.read_fraction,
+        window=args.window,
+        array_shards=args.shards,
+        settings=_server_settings_from_args(args),
+    )
+    if args.rps_sweep:
+        points = [float(p) for p in args.rps_sweep.split(",") if p.strip()]
+        report = run_rps_sweep(points, args.config, **kwargs)
+        print(f"open-loop sweep: {args.config}, {args.process} arrivals, "
+              f"{args.requests} requests/point, {args.conns} conn(s), "
+              f"seed {args.seed}")
+        print(_LOADTEST_HEADER)
+        for row in report["rows"]:
+            print(_loadtest_row(row))
+        knee = report["knee_rps"]
+        print(f"saturation knee: "
+              f"{'none detected' if knee is None else '%.0f rps' % knee}")
+        if args.json:
+            _write_json_report(args.json, report)
+            if args.json != "-":
+                print(f"report -> {args.json}")
+        return 0
+    result = run_loadtest(args.config, rps=args.rps, **kwargs)
+    row = result.to_dict()
+    print(f"open-loop run: {args.config}, {args.process} arrivals, "
+          f"seed {args.seed}")
+    print(_LOADTEST_HEADER)
+    print(_loadtest_row(row))
+    if row["protocol_errors"]:
+        print(f"PROTOCOL ERRORS: {row['protocol_errors']}", file=sys.stderr)
+        return 1
+    if args.json:
+        _write_json_report(args.json, {"schema": 1, "rows": [row],
+                                       "preset": args.config, "knee_rps": None})
+        if args.json != "-":
+            print(f"report -> {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -498,6 +607,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-run serially and verify the merged JSON is "
                         "identical modulo wall times")
 
+    p = sub.add_parser("serve",
+                       help="serve a simulated store over TCP (docs/serving.md)")
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--shards", type=int, default=1,
+                   help=">1 serves a sharded ArrayStore (SCAN unsupported)")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="device queue slots before SERVER_BUSY")
+    p.add_argument("--max-queue-delay-us", type=float, default=None,
+                   help="projected-wait admission bound (<=0 disables)")
+
+    p = sub.add_parser("loadtest",
+                       help="open-loop load against an in-process server")
+    p.add_argument("--config", default="backfill", choices=sorted(PRESETS))
+    p.add_argument("--rps", type=float, default=5_000.0,
+                   help="offered request rate (virtual time)")
+    p.add_argument("--rps-sweep", default=None, metavar="R1,R2,...",
+                   help="sweep offered rates and detect the saturation knee")
+    p.add_argument("--requests", type=int, default=2_000)
+    p.add_argument("--conns", type=int, default=1,
+                   help="client connections (1 = fully deterministic)")
+    p.add_argument("--process", default="poisson",
+                   choices=["poisson", "onoff"],
+                   help="arrival process (onoff = bursty, same mean rate)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--num-keys", type=int, default=500)
+    p.add_argument("--value-size", type=int, default=256)
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--window", type=int, default=64,
+                   help="per-connection pipelined-send window")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--max-inflight", type=int, default=None)
+    p.add_argument("--max-queue-delay-us", type=float, default=None)
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the report as JSON ('-' = stdout)")
+
     p = sub.add_parser("bench", help="regenerate paper tables/figures")
     p.add_argument("figures", nargs="*", default=["all"])
     p.add_argument("--ops", type=int, default=None)
@@ -517,6 +664,8 @@ _HANDLERS = {
     "crashcheck": _cmd_crashcheck,
     "array": _cmd_array,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "bench": _cmd_bench,
 }
 

@@ -1,0 +1,30 @@
+"""Open-loop load generation for the networked KV service.
+
+Unlike the repo's closed-loop benchmarks (next request issued when the
+previous completes — which silently throttles to whatever the device can
+absorb), this package schedules requests on an *arrival process* at a
+target RPS: Poisson or bursty ON/OFF, in virtual microseconds. Every
+request carries its intended arrival stamp, so queueing delay during
+overload is charged in full — the coordinated-omission trap closed-loop
+harnesses fall into cannot occur (see ``docs/serving.md``).
+"""
+
+from repro.loadgen.arrivals import onoff_arrivals, poisson_arrivals
+from repro.loadgen.ops import LoadOp, generate_ops
+from repro.loadgen.runner import (
+    LoadtestReport,
+    detect_knee,
+    run_loadtest,
+    run_rps_sweep,
+)
+
+__all__ = [
+    "LoadOp",
+    "LoadtestReport",
+    "detect_knee",
+    "generate_ops",
+    "onoff_arrivals",
+    "poisson_arrivals",
+    "run_loadtest",
+    "run_rps_sweep",
+]

@@ -1,0 +1,70 @@
+"""Arrival processes: when each request *should* hit the server.
+
+All times are virtual microseconds relative to the session start. The
+generator commits to the schedule up front (open loop) — completions
+never influence arrivals, which is what makes the measured latency
+distribution honest under overload.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def poisson_arrivals(rps: float, count: int, seed: int = 0) -> list[float]:
+    """``count`` Poisson arrivals at mean rate ``rps`` (exp interarrivals)."""
+    if rps <= 0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    rate_per_us = rps / 1e6
+    now = 0.0
+    out = []
+    for _ in range(count):
+        now += rng.expovariate(rate_per_us)
+        out.append(now)
+    return out
+
+
+def onoff_arrivals(
+    rps: float,
+    count: int,
+    seed: int = 0,
+    on_us: float = 50_000.0,
+    off_us: float = 50_000.0,
+) -> list[float]:
+    """Bursty ON/OFF arrivals with mean rate ``rps``.
+
+    The source alternates between exponentially distributed ON and OFF
+    periods (means ``on_us``/``off_us``). During ON it emits Poisson
+    arrivals at the *peak* rate ``rps * (on + off) / on``, so the duty
+    cycle brings the long-run average back to ``rps`` — same offered
+    load as :func:`poisson_arrivals`, far nastier queueing.
+    """
+    if rps <= 0:
+        raise ValueError(f"rps must be positive, got {rps}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if on_us <= 0 or off_us < 0:
+        raise ValueError("need on_us > 0 and off_us >= 0")
+    rng = random.Random(seed)
+    peak_rate_per_us = (rps / 1e6) * (on_us + off_us) / on_us
+    out: list[float] = []
+    now = 0.0
+    while len(out) < count:
+        burst_end = now + rng.expovariate(1.0 / on_us)
+        while len(out) < count:
+            now += rng.expovariate(peak_rate_per_us)
+            if now > burst_end:
+                now = burst_end
+                break
+            out.append(now)
+        now += rng.expovariate(1.0 / off_us) if off_us else 0.0
+    return out
+
+
+ARRIVAL_PROCESSES = {
+    "poisson": poisson_arrivals,
+    "onoff": onoff_arrivals,
+}

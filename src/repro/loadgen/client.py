@@ -1,0 +1,131 @@
+"""Pipelined asyncio client for the KV service.
+
+Operations are assigned round-robin across ``conns`` connections; each
+connection pipelines its share with a bounded send window (sent but
+unanswered requests). The window only shapes *real-time* flow control —
+every request carries its virtual arrival stamp from the open-loop
+schedule, so the measured latency distribution is independent of how
+fast the client machine happens to push bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.loadgen.ops import LoadOp
+from repro.serve import protocol
+
+
+@dataclass
+class OpOutcome:
+    """One completed request, in the coordinate system of the schedule."""
+
+    kind: str  # response kind: STORED/VALUE/DELETED/NOT_FOUND/SERVER_BUSY/ERR
+    arrival_us: float
+    latency_us: float
+    detail: str = ""
+
+
+@dataclass
+class ClientRunResult:
+    """Everything the load run observed, before aggregation."""
+
+    outcomes: list[OpOutcome] = field(default_factory=list)
+    #: Client-side framing failures (should always be zero).
+    parse_errors: int = 0
+
+
+def _encode(op: LoadOp, arrival_us: float) -> bytes:
+    if op.kind == "SET":
+        return protocol.encode_set_request(op.key, op.value, arrival_us)
+    if op.kind == "GET":
+        return protocol.encode_get_request(op.key, arrival_us)
+    if op.kind == "DEL":
+        return protocol.encode_del_request(op.key, arrival_us)
+    raise ValueError(f"unsupported op kind {op.kind!r}")
+
+
+async def _run_connection(
+    host: str,
+    port: int,
+    schedule: list[tuple[LoadOp, float]],
+    window: int,
+    result: ClientRunResult,
+) -> None:
+    """Drive one connection through its slice of the schedule."""
+    reader, writer = await asyncio.open_connection(host, port)
+    parser = protocol.ResponseParser()
+    pending: deque[float] = deque()  # arrival stamps, send order
+    slots = asyncio.Semaphore(window)
+    received = 0
+    expected = len(schedule)
+
+    async def read_loop() -> None:
+        nonlocal received
+        while received < expected:
+            data = await reader.read(1 << 16)
+            if not data:
+                raise ConnectionResetError("server closed mid-run")
+            try:
+                responses = parser.feed(data)
+            except ValueError:
+                result.parse_errors += 1
+                raise
+            for response in responses:
+                arrival = pending.popleft()
+                result.outcomes.append(
+                    OpOutcome(
+                        kind=response.kind,
+                        arrival_us=arrival,
+                        latency_us=response.latency_us,
+                        detail=response.detail,
+                    )
+                )
+                received += 1
+                slots.release()
+
+    read_task = asyncio.get_running_loop().create_task(read_loop())
+    try:
+        for op, arrival in schedule:
+            await slots.acquire()
+            pending.append(arrival)
+            writer.write(_encode(op, arrival))
+            await writer.drain()
+        await read_task
+    finally:
+        if not read_task.done():
+            read_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run_client(
+    host: str,
+    port: int,
+    ops: list[LoadOp],
+    arrivals: list[float],
+    conns: int = 1,
+    window: int = 64,
+) -> ClientRunResult:
+    """Send ``ops`` on the ``arrivals`` schedule over ``conns`` connections."""
+    if len(ops) != len(arrivals):
+        raise ValueError("ops and arrivals must be the same length")
+    if conns <= 0 or window <= 0:
+        raise ValueError("conns and window must be positive")
+    schedules: list[list[tuple[LoadOp, float]]] = [[] for _ in range(conns)]
+    for index, (op, arrival) in enumerate(zip(ops, arrivals)):
+        schedules[index % conns].append((op, arrival))
+    result = ClientRunResult()
+    await asyncio.gather(
+        *(
+            _run_connection(host, port, schedule, window, result)
+            for schedule in schedules
+            if schedule
+        )
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Deterministic request-mix generation for the load harness.
+
+Keys are drawn uniformly from a fixed keyspace (``k<index>`` — printable,
+<= 16 bytes, so they survive the text protocol); values are seeded random
+bytes. GETs only ever target the preloaded keyspace, so a fresh store
+preloaded with ``num_keys`` values serves every read.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """One generated client operation."""
+
+    kind: str  # "SET" | "GET" | "DEL"
+    key: bytes
+    value: bytes | None = None
+
+
+def key_for(index: int) -> bytes:
+    return b"k%010d" % index
+
+
+def generate_ops(
+    count: int,
+    num_keys: int = 2000,
+    value_size: int = 256,
+    read_fraction: float = 0.5,
+    delete_fraction: float = 0.0,
+    seed: int = 0,
+) -> list[LoadOp]:
+    """A seeded SET/GET/DEL mix over the ``num_keys`` keyspace.
+
+    Deletes immediately re-SET the same key later with probability 1 (the
+    keyspace stays fully populated on average): a DEL is emitted, and the
+    next time the key is drawn for a GET it may legitimately be missing —
+    the harness counts NOT_FOUND separately from errors.
+    """
+    if num_keys <= 0:
+        raise ValueError("num_keys must be positive")
+    if not 0 <= read_fraction <= 1 or not 0 <= delete_fraction <= 1:
+        raise ValueError("fractions must be within [0, 1]")
+    if read_fraction + delete_fraction > 1:
+        raise ValueError("read_fraction + delete_fraction must be <= 1")
+    rng = random.Random(seed)
+    ops: list[LoadOp] = []
+    for _ in range(count):
+        draw = rng.random()
+        index = rng.randrange(num_keys)
+        if draw < read_fraction:
+            ops.append(LoadOp(kind="GET", key=key_for(index)))
+        elif draw < read_fraction + delete_fraction:
+            ops.append(LoadOp(kind="DEL", key=key_for(index)))
+        else:
+            ops.append(
+                LoadOp(
+                    kind="SET",
+                    key=key_for(index),
+                    value=rng.randbytes(value_size),
+                )
+            )
+    return ops
+
+
+def preload_values(num_keys: int, value_size: int, seed: int = 0):
+    """Yield the (key, value) pairs the store is seeded with pre-test."""
+    rng = random.Random(seed ^ 0x5EED)
+    for index in range(num_keys):
+        yield key_for(index), rng.randbytes(value_size)

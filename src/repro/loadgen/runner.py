@@ -1,0 +1,201 @@
+"""Loadtest orchestration: server boot, preload, run, aggregate, sweep.
+
+The headline artefact is the offered-RPS sweep: p50/p99/p999 latency (in
+virtual µs) against offered load, with the saturation knee detected from
+the curve. Because both the arrival schedule and the device model are
+deterministic at a fixed seed (single connection), two runs of the same
+sweep produce identical tables — the curves are reviewable diffs, not
+noisy measurements.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass, field
+
+from repro.loadgen.arrivals import ARRIVAL_PROCESSES
+from repro.loadgen.client import run_client
+from repro.loadgen.ops import generate_ops, preload_values
+from repro.serve.backend import StoreBackend
+from repro.serve.server import LATENCY_EDGES, KVServer, ServerSettings
+from repro.sim.stats import Histogram
+
+#: Response kinds that mean the device actually served the request.
+_COMPLETED_KINDS = frozenset({"STORED", "VALUE", "DELETED", "NOT_FOUND"})
+
+
+@dataclass
+class LoadtestReport:
+    """Aggregated outcome of one open-loop run at one offered rate."""
+
+    preset: str
+    process: str
+    offered_rps: float
+    requests: int
+    conns: int
+    seed: int
+    completed: int = 0
+    busy_rejected: int = 0
+    not_found: int = 0
+    errors: int = 0
+    protocol_errors: int = 0
+    achieved_rps: float = 0.0
+    span_us: float = 0.0
+    p50_us: float = 0.0
+    p99_us: float = 0.0
+    p999_us: float = 0.0
+    max_us: float = 0.0
+    server_stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _aggregate(
+    report: LoadtestReport, outcomes, parse_errors: int
+) -> LoadtestReport:
+    hist = Histogram("loadgen.latency_us", LATENCY_EDGES)
+    span_us = 0.0
+    for outcome in outcomes:
+        if outcome.kind == "SERVER_BUSY":
+            report.busy_rejected += 1
+            continue
+        if outcome.kind == "ERR":
+            report.errors += 1
+            if outcome.detail.startswith("PROTO"):
+                report.protocol_errors += 1
+            continue
+        if outcome.kind not in _COMPLETED_KINDS:
+            report.errors += 1
+            continue
+        if outcome.kind == "NOT_FOUND":
+            report.not_found += 1
+        report.completed += 1
+        hist.record(outcome.latency_us)
+        finish = outcome.arrival_us + outcome.latency_us
+        if finish > span_us:
+            span_us = finish
+    report.protocol_errors += parse_errors
+    report.span_us = round(span_us, 3)
+    if hist.count:
+        report.p50_us = round(hist.percentile(50.0), 3)
+        report.p99_us = round(hist.percentile(99.0), 3)
+        report.p999_us = round(hist.percentile(99.9), 3)
+        report.max_us = round(hist.max, 3)
+    if span_us > 0:
+        report.achieved_rps = round(report.completed / (span_us / 1e6), 3)
+    return report
+
+
+def run_loadtest(
+    preset: str = "backfill",
+    *,
+    rps: float = 5000.0,
+    requests: int = 2000,
+    conns: int = 1,
+    process: str = "poisson",
+    seed: int = 0,
+    num_keys: int = 500,
+    value_size: int = 256,
+    read_fraction: float = 0.5,
+    delete_fraction: float = 0.0,
+    window: int = 64,
+    array_shards: int = 1,
+    settings: ServerSettings | None = None,
+    include_server_stats: bool = False,
+) -> LoadtestReport:
+    """Boot an in-process server, preload, run one open-loop burst."""
+    try:
+        arrival_fn = ARRIVAL_PROCESSES[process]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {process!r}; "
+            f"choose from {sorted(ARRIVAL_PROCESSES)}"
+        ) from None
+    ops = generate_ops(
+        requests,
+        num_keys=num_keys,
+        value_size=value_size,
+        read_fraction=read_fraction,
+        delete_fraction=delete_fraction,
+        seed=seed,
+    )
+    arrivals = arrival_fn(rps, requests, seed=seed + 1)
+    report = LoadtestReport(
+        preset=preset,
+        process=process,
+        offered_rps=rps,
+        requests=requests,
+        conns=conns,
+        seed=seed,
+    )
+
+    async def _run() -> None:
+        backend = StoreBackend.build(preset, array_shards=array_shards)
+        for key, value in preload_values(num_keys, value_size, seed=seed):
+            backend.store.put(key, value)
+        server = KVServer(backend, settings)
+        host, port = await server.start()
+        try:
+            result = await run_client(
+                host, port, ops, arrivals, conns=conns, window=window,
+            )
+        finally:
+            await server.stop()
+        _aggregate(report, result.outcomes, result.parse_errors)
+        if include_server_stats:
+            report.server_stats = {
+                name: value
+                for name, value in server.stats().items()
+                if name.startswith("serve.")
+            }
+
+    asyncio.run(_run())
+    return report
+
+
+def detect_knee(
+    rows: list[LoadtestReport],
+    *,
+    p99_factor: float = 5.0,
+    busy_fraction: float = 0.05,
+    achieved_ratio: float = 0.9,
+) -> float | None:
+    """First offered RPS where the service visibly saturates.
+
+    Saturation = any of: p99 blows past ``p99_factor`` x the lowest-rate
+    p99, more than ``busy_fraction`` of requests bounced SERVER_BUSY, or
+    achieved throughput fell below ``achieved_ratio`` of offered.
+    """
+    if not rows:
+        return None
+    ordered = sorted(rows, key=lambda row: row.offered_rps)
+    base_p99 = next(
+        (row.p99_us for row in ordered if row.p99_us > 0), 0.0
+    )
+    for row in ordered:
+        if base_p99 and row.p99_us > p99_factor * base_p99:
+            return row.offered_rps
+        if row.requests and row.busy_rejected / row.requests > busy_fraction:
+            return row.offered_rps
+        if row.achieved_rps < achieved_ratio * row.offered_rps:
+            return row.offered_rps
+    return None
+
+
+def run_rps_sweep(
+    rps_points: list[float],
+    preset: str = "backfill",
+    **loadtest_kwargs,
+) -> dict:
+    """Run :func:`run_loadtest` at each offered rate; detect the knee."""
+    rows = [
+        run_loadtest(preset, rps=rps, **loadtest_kwargs)
+        for rps in sorted(rps_points)
+    ]
+    return {
+        "schema": 1,
+        "preset": preset,
+        "rows": [row.to_dict() for row in rows],
+        "knee_rps": detect_knee(rows),
+    }

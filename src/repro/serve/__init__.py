@@ -1,0 +1,32 @@
+"""Host-side network serving layer over the simulated KV-SSD.
+
+``repro.serve`` turns the single-caller ``KVStore``/``ArrayStore`` stacks
+into a networked service: an asyncio TCP server speaking a minimal
+memcached/RESP-like text protocol (GET/SET/DEL/SCAN/STATS) with
+per-connection framing, bounded queues, admission control, and explicit
+``SERVER_BUSY`` backpressure when the simulated device saturates.
+
+Request latency is accounted in *virtual* microseconds — open-loop
+arrival stamps from the load generator plus the device's simulated
+service time — so the reported latency-under-load curves are
+deterministic and free of coordinated omission (see ``docs/serving.md``).
+"""
+
+from repro.serve.backend import StoreBackend
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    Request,
+    RequestParser,
+    ResponseParser,
+)
+from repro.serve.server import KVServer, ServerSettings
+
+__all__ = [
+    "KVServer",
+    "MAX_LINE_BYTES",
+    "Request",
+    "RequestParser",
+    "ResponseParser",
+    "ServerSettings",
+    "StoreBackend",
+]

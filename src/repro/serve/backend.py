@@ -1,0 +1,141 @@
+"""Device-side executor for the KV service.
+
+The simulator is synchronous: a driver call runs to completion and
+advances the device's simulated clock by the op's latency. The backend
+wraps one :class:`~repro.host.api.KVStore` (or a sharded
+:class:`~repro.array.store.ArrayStore`) behind a uniform ``execute()``
+that returns the outcome *plus the simulated service time* — the single
+number the server's virtual-time queueing model needs. One asyncio worker
+drains the device queue, so backend calls never interleave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BandSlimConfig
+from repro.core.config import preset as config_preset
+from repro.errors import KeyNotFoundError, ReproError
+from repro.serve.protocol import Request
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one device-side command."""
+
+    #: STORED / VALUE / DELETED / NOT_FOUND / RANGE / ERR
+    kind: str
+    service_us: float
+    value: bytes | None = None
+    pairs: list = field(default_factory=list)
+    detail: str = ""
+
+
+class StoreBackend:
+    """Uniform synchronous executor over a KVStore or ArrayStore."""
+
+    def __init__(self, store, *, scan_limit_max: int = 256) -> None:
+        self.store = store
+        self.scan_limit_max = scan_limit_max
+        # ArrayStore routers expose now_us directly; single-device stores
+        # read the device clock.
+        if hasattr(store, "now_us"):
+            self._now = lambda: store.now_us
+        else:
+            self._now = lambda: store.device.clock.now_us
+        self.supports_scan = hasattr(store, "scan")
+
+    @classmethod
+    def build(
+        cls,
+        config: BandSlimConfig | str | None = "backfill",
+        *,
+        array_shards: int = 1,
+        replication: int = 1,
+        write_quorum: int = 1,
+        scan_limit_max: int = 256,
+        **build_kwargs,
+    ) -> "StoreBackend":
+        """Build a fresh simulated store to serve.
+
+        ``array_shards > 1`` builds a sharded/replicated ``ArrayStore``
+        (SCAN unsupported there); otherwise a single-device ``KVStore``.
+        """
+        if isinstance(config, str):
+            config = config_preset(config)
+        elif config is None:
+            config = BandSlimConfig()
+        if array_shards > 1:
+            from repro.array.store import ArrayStore
+
+            config = config.with_overrides(
+                array_shards=array_shards,
+                replication_factor=replication,
+                write_quorum=write_quorum,
+            )
+            store = ArrayStore.build(config=config, **build_kwargs)
+        else:
+            from repro.host.api import KVStore
+
+            store = KVStore.open(config=config, **build_kwargs)
+        return cls(store, scan_limit_max=scan_limit_max)
+
+    @property
+    def now_us(self) -> float:
+        """The store's simulated clock (µs)."""
+        return self._now()
+
+    @property
+    def max_value_bytes(self) -> int:
+        """The store's configured value-size ceiling (protocol guard)."""
+        if hasattr(self.store, "config"):
+            return self.store.config.max_value_bytes
+        return self.store.device.config.max_value_bytes
+
+    def execute(self, request: Request) -> ExecResult:
+        """Run one device op; service time is the simulated-clock delta."""
+        t0 = self._now()
+        try:
+            if request.op == "SET":
+                self.store.put(request.key, request.value)
+                return ExecResult(kind="STORED", service_us=self._now() - t0)
+            if request.op == "GET":
+                value = self.store.get(request.key)
+                return ExecResult(
+                    kind="VALUE", service_us=self._now() - t0, value=value,
+                )
+            if request.op == "DEL":
+                self.store.delete(request.key)
+                return ExecResult(kind="DELETED", service_us=self._now() - t0)
+            if request.op == "SCAN":
+                if not self.supports_scan:
+                    return ExecResult(
+                        kind="ERR",
+                        service_us=self._now() - t0,
+                        detail="SCAN unsupported by this backend",
+                    )
+                limit = min(request.limit or 1, self.scan_limit_max)
+                pairs = list(self.store.scan(request.key, limit=limit))
+                return ExecResult(
+                    kind="RANGE", service_us=self._now() - t0, pairs=pairs,
+                )
+        except KeyNotFoundError:
+            return ExecResult(kind="NOT_FOUND", service_us=self._now() - t0)
+        except ReproError as exc:
+            # Device-level failure (quorum loss, media error escalation...):
+            # report it to the client, charge the time it took.
+            return ExecResult(
+                kind="ERR", service_us=self._now() - t0, detail=str(exc),
+            )
+        return ExecResult(
+            kind="ERR", service_us=0.0, detail=f"unhandled op {request.op!r}",
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        """Full device metric snapshot (STATS passthrough)."""
+        if hasattr(self.store, "stats"):
+            return self.store.stats()
+        return self.store.snapshot()
+
+    def flush(self) -> None:
+        self.store.flush()

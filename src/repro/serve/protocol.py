@@ -1,0 +1,408 @@
+"""Wire protocol for the KV service: a minimal memcached/RESP-like text
+framing with binary-safe value payloads.
+
+Requests are single CRLF-terminated lines; ``SET`` carries a raw value
+payload (``<vlen>`` bytes plus a trailing CRLF) after its command line:
+
+    PING
+    SET <key> <vlen> [<arrival_us>]\\r\\n<value bytes>\\r\\n
+    GET <key> [<arrival_us>]
+    DEL <key> [<arrival_us>]
+    SCAN <start_key> <limit> [<arrival_us>]
+    STATS
+    QUIT
+
+``<arrival_us>`` is the request's *virtual* arrival timestamp in
+microseconds, relative to the session start — the open-loop load
+generator stamps it so the server can account queueing delay against the
+intended schedule rather than the send time (no coordinated omission).
+When omitted the server treats the request as arriving the moment the
+device frees up (zero queue wait).
+
+Responses (one per request, in request order per connection):
+
+    PONG
+    STORED <latency_us> <service_us>
+    VALUE <vlen> <latency_us> <service_us>\\r\\n<value bytes>\\r\\n
+    DELETED <latency_us> <service_us>
+    NOT_FOUND <latency_us> <service_us>
+    RANGE <count> <latency_us> <service_us>\\r\\n then per pair:
+        ITEM <key> <vlen>\\r\\n<value bytes>\\r\\n   and finally: END
+    STAT <name> <value>\\r\\n ... END
+    SERVER_BUSY <projected_wait_us>
+    ERR <code> <message>
+    BYE
+
+``latency_us`` is queue wait + device service in virtual time;
+``service_us`` is the device part alone. Parsing is incremental on both
+sides: feed bytes, collect complete messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MAX_KEY_BYTES = 16
+#: Upper bound on a command line; anything longer is a framing error.
+MAX_LINE_BYTES = 4096
+_CRLF = b"\r\n"
+
+#: Commands the device worker executes (everything else is served inline).
+DEVICE_OPS = frozenset({"SET", "GET", "DEL", "SCAN"})
+INLINE_OPS = frozenset({"PING", "STATS", "QUIT"})
+
+
+@dataclass
+class Request:
+    """One parsed client request (or a framing error to answer in order)."""
+
+    op: str
+    key: bytes | None = None
+    value: bytes | None = None
+    limit: int | None = None
+    #: Virtual arrival stamp (relative µs), None = "arrive when free".
+    arrival_us: float | None = None
+    #: Parse/validation failure; the server answers ``ERR`` in order.
+    error: str | None = None
+
+
+def _valid_key(token: bytes) -> bool:
+    if not 0 < len(token) <= MAX_KEY_BYTES:
+        return False
+    # Printable ASCII without space — tokens survive text framing.
+    return all(0x21 <= b <= 0x7E for b in token)
+
+
+def _parse_arrival(token: bytes) -> float:
+    value = float(token)
+    if value < 0 or value != value or value == float("inf"):
+        raise ValueError(f"bad arrival stamp {token!r}")
+    return value
+
+
+class RequestParser:
+    """Incremental request de-framer: ``feed(data)`` -> complete requests.
+
+    Framing errors are returned as :class:`Request` objects with ``error``
+    set (never raised): the server must answer every request in order, so
+    a malformed line produces an in-order ``ERR`` response. Errors that
+    desynchronise the stream (oversized line, bad SET header) also set
+    :attr:`fatal` — the connection should be closed after responding.
+    """
+
+    def __init__(self, max_value_bytes: int = 1 << 20) -> None:
+        self.max_value_bytes = max_value_bytes
+        self._buf = bytearray()
+        #: SET awaiting its payload: (request, vlen).
+        self._pending_set: tuple[Request, int] | None = None
+        self.fatal: str | None = None
+
+    def feed(self, data: bytes) -> list[Request]:
+        """Consume bytes; return every request completed by them."""
+        if self.fatal is not None:
+            return []
+        self._buf.extend(data)
+        out: list[Request] = []
+        while True:
+            if self._pending_set is not None:
+                request, vlen = self._pending_set
+                if len(self._buf) < vlen + 2:
+                    break
+                payload = bytes(self._buf[:vlen])
+                trailer = bytes(self._buf[vlen:vlen + 2])
+                del self._buf[:vlen + 2]
+                self._pending_set = None
+                if trailer != _CRLF:
+                    self.fatal = "value payload not CRLF-terminated"
+                    out.append(Request(op="SET", error=self.fatal))
+                    return out
+                request.value = payload
+                out.append(request)
+                continue
+            nl = self._buf.find(b"\n")
+            if nl < 0:
+                if len(self._buf) > MAX_LINE_BYTES:
+                    self.fatal = "command line too long"
+                    out.append(Request(op="?", error=self.fatal))
+                return out
+            line = bytes(self._buf[:nl]).rstrip(b"\r")
+            del self._buf[:nl + 1]
+            if not line:
+                continue
+            request = self._parse_line(line)
+            if request is not None:
+                out.append(request)
+        return out
+
+    def _parse_line(self, line: bytes) -> Request | None:
+        tokens = line.split()
+        op = tokens[0].upper().decode("ascii", "replace")
+        if op == "SET":
+            if len(tokens) not in (3, 4):
+                return Request(op=op, error="SET wants: key vlen [arrival_us]")
+            if not _valid_key(tokens[1]):
+                return Request(op=op, error="bad key")
+            try:
+                vlen = int(tokens[2])
+                arrival = _parse_arrival(tokens[3]) if len(tokens) == 4 else None
+            except ValueError:
+                return Request(op=op, error="bad SET header")
+            if not 0 <= vlen <= self.max_value_bytes:
+                # The payload length can no longer be trusted to re-frame.
+                self.fatal = f"value length {vlen} out of range"
+                return Request(op=op, error=self.fatal)
+            self._pending_set = (
+                Request(op=op, key=tokens[1], arrival_us=arrival), vlen,
+            )
+            return None
+        if op in ("GET", "DEL"):
+            if len(tokens) not in (2, 3):
+                return Request(op=op, error=f"{op} wants: key [arrival_us]")
+            if not _valid_key(tokens[1]):
+                return Request(op=op, error="bad key")
+            try:
+                arrival = _parse_arrival(tokens[2]) if len(tokens) == 3 else None
+            except ValueError:
+                return Request(op=op, error="bad arrival stamp")
+            return Request(op=op, key=tokens[1], arrival_us=arrival)
+        if op == "SCAN":
+            if len(tokens) not in (3, 4):
+                return Request(op=op, error="SCAN wants: start_key limit [arrival_us]")
+            if not _valid_key(tokens[1]):
+                return Request(op=op, error="bad key")
+            try:
+                limit = int(tokens[2])
+                arrival = _parse_arrival(tokens[3]) if len(tokens) == 4 else None
+            except ValueError:
+                return Request(op=op, error="bad SCAN header")
+            if limit <= 0:
+                return Request(op=op, error="SCAN limit must be positive")
+            return Request(op=op, key=tokens[1], limit=limit, arrival_us=arrival)
+        if op in INLINE_OPS:
+            if len(tokens) != 1:
+                return Request(op=op, error=f"{op} takes no arguments")
+            return Request(op=op)
+        return Request(op=op, error=f"unknown command {op!r}")
+
+
+# --- request encoding (client side) -----------------------------------------
+
+
+def _stamp(arrival_us: float | None) -> bytes:
+    return b"" if arrival_us is None else b" %.3f" % arrival_us
+
+
+def encode_set_request(
+    key: bytes, value: bytes, arrival_us: float | None = None
+) -> bytes:
+    return b"SET %s %d%s\r\n%s\r\n" % (key, len(value), _stamp(arrival_us), value)
+
+
+def encode_get_request(key: bytes, arrival_us: float | None = None) -> bytes:
+    return b"GET %s%s\r\n" % (key, _stamp(arrival_us))
+
+
+def encode_del_request(key: bytes, arrival_us: float | None = None) -> bytes:
+    return b"DEL %s%s\r\n" % (key, _stamp(arrival_us))
+
+
+def encode_scan_request(
+    start_key: bytes, limit: int, arrival_us: float | None = None
+) -> bytes:
+    return b"SCAN %s %d%s\r\n" % (start_key, limit, _stamp(arrival_us))
+
+
+PING_REQUEST = b"PING\r\n"
+STATS_REQUEST = b"STATS\r\n"
+QUIT_REQUEST = b"QUIT\r\n"
+
+
+# --- response encoding (server side) ---------------------------------------
+
+
+def encode_stored(latency_us: float, service_us: float) -> bytes:
+    return b"STORED %.3f %.3f\r\n" % (latency_us, service_us)
+
+
+def encode_deleted(latency_us: float, service_us: float) -> bytes:
+    return b"DELETED %.3f %.3f\r\n" % (latency_us, service_us)
+
+
+def encode_not_found(latency_us: float, service_us: float) -> bytes:
+    return b"NOT_FOUND %.3f %.3f\r\n" % (latency_us, service_us)
+
+
+def encode_value(value: bytes, latency_us: float, service_us: float) -> bytes:
+    return b"VALUE %d %.3f %.3f\r\n%s\r\n" % (
+        len(value), latency_us, service_us, value,
+    )
+
+
+def encode_range(pairs, latency_us: float, service_us: float) -> bytes:
+    chunks = [b"RANGE %d %.3f %.3f\r\n" % (len(pairs), latency_us, service_us)]
+    for key, value in pairs:
+        chunks.append(b"ITEM %s %d\r\n%s\r\n" % (key, len(value), value))
+    chunks.append(b"END\r\n")
+    return b"".join(chunks)
+
+
+def encode_stats(snapshot: dict) -> bytes:
+    chunks = [
+        b"STAT %s %s\r\n" % (name.encode(), repr(value).encode())
+        for name, value in sorted(snapshot.items())
+    ]
+    chunks.append(b"END\r\n")
+    return b"".join(chunks)
+
+
+def encode_busy(projected_wait_us: float) -> bytes:
+    return b"SERVER_BUSY %.3f\r\n" % projected_wait_us
+
+
+def encode_error(code: str, message: str) -> bytes:
+    return b"ERR %s %s\r\n" % (code.encode(), message.encode())
+
+
+PONG = b"PONG\r\n"
+BYE = b"BYE\r\n"
+
+
+# --- response parsing (client side) -----------------------------------------
+
+
+@dataclass
+class Response:
+    """One parsed server response."""
+
+    kind: str  # STORED/VALUE/DELETED/NOT_FOUND/RANGE/STATS/SERVER_BUSY/ERR/PONG/BYE
+    latency_us: float = 0.0
+    service_us: float = 0.0
+    value: bytes | None = None
+    pairs: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    #: SERVER_BUSY projected wait, ERR message.
+    detail: str = ""
+
+
+class ResponseParser:
+    """Incremental client-side response de-framer (mirror of RequestParser)."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._value_head: Response | None = None  # VALUE awaiting payload
+        self._value_len = 0
+        self._range_head: Response | None = None  # RANGE collecting ITEMs
+        self._range_left = 0
+        self._item_key: bytes | None = None
+        self._item_len = 0
+        self._stats_head: Response | None = None  # STATS collecting STAT lines
+
+    def feed(self, data: bytes) -> list[Response]:
+        self._buf.extend(data)
+        out: list[Response] = []
+        while True:
+            response = self._step()
+            if response is None:
+                return out
+            out.append(response)
+
+    def _take_payload(self, length: int) -> bytes | None:
+        if len(self._buf) < length + 2:
+            return None
+        payload = bytes(self._buf[:length])
+        if bytes(self._buf[length:length + 2]) != _CRLF:
+            raise ValueError("payload not CRLF-terminated")
+        del self._buf[:length + 2]
+        return payload
+
+    def _take_line(self) -> bytes | None:
+        nl = self._buf.find(b"\n")
+        if nl < 0:
+            if len(self._buf) > MAX_LINE_BYTES:
+                raise ValueError("response line too long")
+            return None
+        line = bytes(self._buf[:nl]).rstrip(b"\r")
+        del self._buf[:nl + 1]
+        return line
+
+    def _step(self) -> Response | None:  # noqa: PLR0911 - protocol dispatch
+        if self._value_head is not None:
+            payload = self._take_payload(self._value_len)
+            if payload is None:
+                return None
+            response, self._value_head = self._value_head, None
+            response.value = payload
+            return response
+        if self._item_key is not None:
+            payload = self._take_payload(self._item_len)
+            if payload is None:
+                return None
+            assert self._range_head is not None
+            self._range_head.pairs.append((self._item_key, payload))
+            self._item_key = None
+            return self._step()
+        line = self._take_line()
+        if line is None:
+            return None
+        if not line:
+            return self._step()
+        tokens = line.split()
+        head = tokens[0]
+        if self._range_head is not None:
+            if head == b"ITEM":
+                self._item_key = tokens[1]
+                self._item_len = int(tokens[2])
+                self._range_left -= 1
+                return self._step()
+            if head == b"END":
+                if self._range_left != 0:
+                    raise ValueError("RANGE item count mismatch")
+                response, self._range_head = self._range_head, None
+                return response
+            raise ValueError(f"unexpected line inside RANGE: {line!r}")
+        if self._stats_head is not None:
+            if head == b"STAT":
+                self._stats_head.stats[tokens[1].decode()] = float(tokens[2])
+                return self._step()
+            if head == b"END":
+                response, self._stats_head = self._stats_head, None
+                return response
+            raise ValueError(f"unexpected line inside STATS: {line!r}")
+        if head == b"STORED" or head == b"DELETED" or head == b"NOT_FOUND":
+            return Response(
+                kind=head.decode(),
+                latency_us=float(tokens[1]),
+                service_us=float(tokens[2]),
+            )
+        if head == b"VALUE":
+            self._value_len = int(tokens[1])
+            self._value_head = Response(
+                kind="VALUE",
+                latency_us=float(tokens[2]),
+                service_us=float(tokens[3]),
+            )
+            return self._step()
+        if head == b"RANGE":
+            self._range_left = int(tokens[1])
+            self._range_head = Response(
+                kind="RANGE",
+                latency_us=float(tokens[2]),
+                service_us=float(tokens[3]),
+            )
+            return self._step()
+        if head == b"STAT":
+            self._stats_head = Response(kind="STATS")
+            self._stats_head.stats[tokens[1].decode()] = float(tokens[2])
+            return self._step()
+        if head == b"SERVER_BUSY":
+            return Response(kind="SERVER_BUSY", detail=tokens[1].decode())
+        if head == b"ERR":
+            return Response(kind="ERR", detail=line[4:].decode(errors="replace"))
+        if head == b"PONG":
+            return Response(kind="PONG")
+        if head == b"BYE":
+            return Response(kind="BYE")
+        if head == b"END":
+            # Empty STATS (no metrics yet): END with no STAT lines.
+            return Response(kind="STATS")
+        raise ValueError(f"unknown response line {line!r}")

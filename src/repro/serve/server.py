@@ -1,0 +1,317 @@
+"""Asyncio KV server: framing, bounded queues, admission, backpressure.
+
+Architecture (per ``docs/serving.md``):
+
+* One **reader task** per connection de-frames requests and dispatches
+  them. Every request immediately gets a future on the connection's
+  response queue, so responses always flow back in request order even
+  when rejections resolve instantly and device ops resolve later.
+* One **writer task** per connection awaits those futures in FIFO order
+  and writes the encoded responses (``drain()`` applies TCP backpressure
+  towards slow readers).
+* One global **device worker** drains the bounded device queue. The
+  simulator is synchronous, so the worker is the only place driver calls
+  happen; it also runs the virtual-time queueing model below.
+
+Virtual-time accounting: each request carries an optional open-loop
+arrival stamp (relative µs). The worker keeps ``device_free_us`` — the
+virtual time the device finishes its current backlog — and computes
+
+    start      = max(arrival, device_free)
+    completion = start + service          (service = simulated op time)
+    latency    = completion - arrival     (queue wait + service)
+
+which is an FCFS M/G/1-style queue over the *intended* schedule: a
+request that queues behind a burst is charged its full wait even though
+the load generator never blocked, so coordinated omission cannot hide
+the knee.
+
+Admission control (checked at dispatch, before enqueueing):
+
+* device queue full (``max_inflight`` slots)          -> ``SERVER_BUSY``
+* projected wait ``(device_free - arrival) + qsize * EWMA(service)``
+  above ``max_queue_delay_us``                        -> ``SERVER_BUSY``
+* per-connection in-flight above ``per_conn_inflight`` -> ``SERVER_BUSY``
+
+Rejected requests never touch the device; the client sees an explicit
+``SERVER_BUSY <projected_wait_us>`` and decides whether to shed or retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.serve import protocol
+from repro.serve.backend import StoreBackend
+from repro.sim.stats import Histogram, MetricSet
+
+#: Latency histograms need finer-than-2x buckets for smooth p99/p999
+#: curves: quarter-octave edges spanning ~1 µs .. ~16 s.
+LATENCY_EDGES = tuple(2.0 ** (i / 4.0) for i in range(97))
+
+_CLOSE = object()  # response-queue sentinel: no more responses
+_SHUTDOWN = object()  # device-queue sentinel: worker exits
+
+
+def _latency_histogram(metrics: MetricSet, name: str) -> Histogram:
+    return metrics.histogram(name, LATENCY_EDGES)
+
+
+@dataclass
+class ServerSettings:
+    """Knobs for the serving layer (device config lives on the backend)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read the bound port off the server
+    #: Device-queue slots: admitted-but-unserved requests.
+    max_inflight: int = 256
+    #: Per-connection admitted-but-unserved bound (fairness: one client
+    #: cannot monopolise the device queue).
+    per_conn_inflight: int = 128
+    #: Admission bound on projected queueing delay; <= 0 disables the
+    #: delay-based check (the queue-slot bound still applies).
+    max_queue_delay_us: float = 200_000.0
+    #: EWMA weight for the projected-service estimate.
+    service_ewma_alpha: float = 0.1
+
+
+class _Connection:
+    """Per-connection state shared by the reader/writer pair."""
+
+    __slots__ = ("writer", "responses", "inflight", "parser", "closing")
+
+    def __init__(self, writer, max_value_bytes: int) -> None:
+        self.writer = writer
+        self.responses: asyncio.Queue = asyncio.Queue()
+        self.inflight = 0
+        self.parser = protocol.RequestParser(max_value_bytes=max_value_bytes)
+        self.closing = False
+
+
+class KVServer:
+    """The networked KV service over one simulated store."""
+
+    def __init__(self, backend: StoreBackend,
+                 settings: ServerSettings | None = None) -> None:
+        self.backend = backend
+        self.settings = settings or ServerSettings()
+        self.metrics = MetricSet("serve")
+        # Create the histograms up front so STATS always shows the set.
+        _latency_histogram(self.metrics, "latency_us")
+        _latency_histogram(self.metrics, "wait_us")
+        _latency_histogram(self.metrics, "service_us")
+        self._device_queue: asyncio.Queue = asyncio.Queue()
+        self._device_free_us = 0.0
+        self._ewma_service_us = 0.0
+        self._server: asyncio.AbstractServer | None = None
+        self._worker: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # --- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns (host, port) actually bound."""
+        self._worker = asyncio.get_running_loop().create_task(
+            self._device_worker()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.settings.host, self.settings.port,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the device queue, close connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._worker is not None:
+            await self._device_queue.put(_SHUTDOWN)
+            await self._worker
+            self._worker = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # --- the device worker ------------------------------------------------
+
+    async def _device_worker(self) -> None:
+        queue = self._device_queue
+        alpha = self.settings.service_ewma_alpha
+        h_latency = self.metrics.histogram("latency_us")
+        h_wait = self.metrics.histogram("wait_us")
+        h_service = self.metrics.histogram("service_us")
+        while True:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                return
+            request, future, conn = item
+            conn.inflight -= 1
+            arrival = request.arrival_us
+            if arrival is None:
+                # No open-loop stamp: arrive the moment the device frees up.
+                arrival = self._device_free_us
+            result = self.backend.execute(request)
+            start = max(arrival, self._device_free_us)
+            completion = start + result.service_us
+            wait = start - arrival
+            latency = completion - arrival
+            self._device_free_us = completion
+            if self._ewma_service_us:
+                self._ewma_service_us += alpha * (
+                    result.service_us - self._ewma_service_us
+                )
+            else:
+                self._ewma_service_us = result.service_us
+            h_latency.record(latency)
+            h_wait.record(wait)
+            h_service.record(result.service_us)
+            self.metrics.counter(f"ops.{request.op.lower()}").add()
+            if result.kind == "STORED":
+                payload = protocol.encode_stored(latency, result.service_us)
+            elif result.kind == "VALUE":
+                payload = protocol.encode_value(
+                    result.value, latency, result.service_us
+                )
+            elif result.kind == "DELETED":
+                payload = protocol.encode_deleted(latency, result.service_us)
+            elif result.kind == "NOT_FOUND":
+                self.metrics.counter("not_found").add()
+                payload = protocol.encode_not_found(latency, result.service_us)
+            elif result.kind == "RANGE":
+                payload = protocol.encode_range(
+                    result.pairs, latency, result.service_us
+                )
+            else:
+                self.metrics.counter("backend_errors").add()
+                payload = protocol.encode_error("BACKEND", result.detail)
+            if not future.done():
+                future.set_result(payload)
+
+    # --- projected backlog (admission) ------------------------------------
+
+    def projected_wait_us(self, arrival_us: float | None) -> float:
+        """Queueing delay a request admitted now should expect."""
+        backlog = self._device_queue.qsize() * self._ewma_service_us
+        if arrival_us is None:
+            return backlog
+        return max(0.0, self._device_free_us - arrival_us) + backlog
+
+    def _admit(self, request: protocol.Request, conn: _Connection):
+        """None = admitted; bytes = rejection response to send instead."""
+        settings = self.settings
+        if conn.inflight >= settings.per_conn_inflight:
+            self.metrics.counter("busy_rejects").add()
+            self.metrics.counter("busy_rejects.per_conn").add()
+            return protocol.encode_busy(self.projected_wait_us(request.arrival_us))
+        if self._device_queue.qsize() >= settings.max_inflight:
+            self.metrics.counter("busy_rejects").add()
+            self.metrics.counter("busy_rejects.queue_full").add()
+            return protocol.encode_busy(self.projected_wait_us(request.arrival_us))
+        projected = self.projected_wait_us(request.arrival_us)
+        if 0 < settings.max_queue_delay_us < projected:
+            self.metrics.counter("busy_rejects").add()
+            self.metrics.counter("busy_rejects.queue_delay").add()
+            return protocol.encode_busy(projected)
+        return None
+
+    # --- per-connection plumbing ------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.metrics.counter("connections").add()
+        conn = _Connection(writer, max_value_bytes=self.backend.max_value_bytes)
+        writer_task = asyncio.get_running_loop().create_task(
+            self._connection_writer(conn)
+        )
+        try:
+            while not conn.closing:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                for request in conn.parser.feed(data):
+                    self._dispatch(request, conn)
+                if conn.parser.fatal is not None:
+                    break
+                # Bounded pipeline: stop reading while the writer is more
+                # than two windows behind (cheap inline responses are not
+                # admission-controlled, so the response queue needs its
+                # own brake).
+                limit = 2 * self.settings.per_conn_inflight
+                while conn.responses.qsize() > limit and not conn.closing:
+                    await asyncio.sleep(0.001)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            await conn.responses.put(_CLOSE)
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                pass
+            self._conn_tasks.discard(task)
+
+    def _dispatch(self, request: protocol.Request, conn: _Connection) -> None:
+        future = asyncio.get_running_loop().create_future()
+        conn.responses.put_nowait(future)
+        self.metrics.counter("requests").add()
+        if request.error is not None:
+            self.metrics.counter("protocol_errors").add()
+            future.set_result(protocol.encode_error("PROTO", request.error))
+            if conn.parser.fatal is not None:
+                conn.closing = True
+            return
+        if request.op == "PING":
+            future.set_result(protocol.PONG)
+            return
+        if request.op == "STATS":
+            future.set_result(protocol.encode_stats(self.stats()))
+            return
+        if request.op == "QUIT":
+            future.set_result(protocol.BYE)
+            conn.closing = True
+            return
+        rejection = self._admit(request, conn)
+        if rejection is not None:
+            future.set_result(rejection)
+            return
+        conn.inflight += 1
+        self._device_queue.put_nowait((request, future, conn))
+
+    async def _connection_writer(self, conn: _Connection) -> None:
+        """Write responses strictly in request order; apply TCP backpressure."""
+        while True:
+            item = await conn.responses.get()
+            if item is _CLOSE:
+                break
+            try:
+                payload = await item
+            except asyncio.CancelledError:
+                break
+            conn.writer.write(payload)
+            try:
+                await conn.writer.drain()
+            except ConnectionResetError:
+                break
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # --- reporting --------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Server metrics merged with the backend's device snapshot."""
+        out = self.metrics.snapshot()
+        out["serve.device_free_us"] = self._device_free_us
+        out["serve.ewma_service_us"] = self._ewma_service_us
+        out["serve.queue_depth"] = float(self._device_queue.qsize())
+        out.update(self.backend.snapshot())
+        return out

@@ -142,6 +142,7 @@ class FusedBatchEngine:
         sp_max = s_put._max
         h_put = driver._h_put_latency
         hp_n = h_put._n
+        hp_min = h_put._min
         hp_max = h_put._max
         hp_edges = h_put._edges
         hp_counts = h_put._counts  # mutated in place, no write-back needed
@@ -218,6 +219,8 @@ class FusedBatchEngine:
                                 if elapsed > sp_max:
                                     sp_max = elapsed
                                 hp_n += 1
+                                if elapsed < hp_min:
+                                    hp_min = elapsed
                                 if elapsed > hp_max:
                                     hp_max = elapsed
                                 hp_counts[bisect(hp_edges, elapsed)] += 1
@@ -299,6 +302,8 @@ class FusedBatchEngine:
                             if elapsed > sp_max:
                                 sp_max = elapsed
                             hp_n += 1
+                            if elapsed < hp_min:
+                                hp_min = elapsed
                             if elapsed > hp_max:
                                 hp_max = elapsed
                             hp_counts[bisect(hp_edges, elapsed)] += 1
@@ -402,6 +407,8 @@ class FusedBatchEngine:
                     if elapsed > sp_max:
                         sp_max = elapsed
                     hp_n += 1
+                    if elapsed < hp_min:
+                        hp_min = elapsed
                     if elapsed > hp_max:
                         hp_max = elapsed
                     hp_counts[bisect(hp_edges, elapsed)] += 1
@@ -417,6 +424,7 @@ class FusedBatchEngine:
             s_put._min = sp_min
             s_put._max = sp_max
             h_put._n = hp_n
+            h_put._min = hp_min
             h_put._max = hp_max
             s_memcpy._n = sm_n
             s_memcpy._total = sm_total
@@ -476,6 +484,7 @@ class FusedBatchEngine:
         sg_max = s_get._max
         h_get = driver._h_get_latency
         hg_n = h_get._n
+        hg_min = h_get._min
         hg_max = h_get._max
         hg_edges = h_get._edges
         hg_counts = h_get._counts
@@ -537,6 +546,8 @@ class FusedBatchEngine:
                         if elapsed > sg_max:
                             sg_max = elapsed
                         hg_n += 1
+                        if elapsed < hg_min:
+                            hg_min = elapsed
                         if elapsed > hg_max:
                             hg_max = elapsed
                         hg_counts[bisect(hg_edges, elapsed)] += 1
@@ -636,6 +647,8 @@ class FusedBatchEngine:
                     if elapsed > sg_max:
                         sg_max = elapsed
                     hg_n += 1
+                    if elapsed < hg_min:
+                        hg_min = elapsed
                     if elapsed > hg_max:
                         hg_max = elapsed
                     hg_counts[bisect(hg_edges, elapsed)] += 1
@@ -652,6 +665,7 @@ class FusedBatchEngine:
             s_get._min = sg_min
             s_get._max = sg_max
             h_get._n = hg_n
+            h_get._min = hg_min
             h_get._max = hg_max
             vlog._c_reads._value += vr_reads
             vlog._c_bytes_read._value += vr_bytes

@@ -47,6 +47,10 @@ class RunResult:
     avg_memcpy_us: float
     #: Full component metric snapshot for deeper digging.
     snapshot: dict[str, float] = field(repr=False, default_factory=dict)
+    #: JSON-able ``Histogram.state()`` per recorded latency histogram, so
+    #: multiprocess sweeps can merge percentile data across workers
+    #: (``Histogram.merge``) instead of discarding it.
+    latency_hists: dict = field(repr=False, default_factory=dict)
 
     @property
     def throughput_kops(self) -> float:
@@ -147,6 +151,7 @@ def run_workload(
 
     put_stat = driver.metrics.stat("put_latency_us")
     put_hist = driver.metrics.histogram("put_latency_us")
+    get_hist = driver.metrics.histogram("get_latency_us")
     memcpy_stat = device.controller.metrics.stat("memcpy_us_per_op")
     snapshot = device.snapshot()
     if device.tracer is not None:
@@ -167,6 +172,11 @@ def run_workload(
         nand_page_writes_with_flush=nand_total,
         avg_memcpy_us=memcpy_stat.mean,
         snapshot=snapshot,
+        latency_hists={
+            hist.name.rsplit(".", 1)[-1]: hist.state()
+            for hist in (put_hist, get_hist)
+            if hist.count
+        },
     )
 
 

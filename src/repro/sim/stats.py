@@ -146,13 +146,15 @@ class Histogram:
 
     Boundaries are upper bin edges; a sample lands in the first bin whose
     edge is >= the sample. Percentiles are linear within the winning bin,
-    which is accurate enough for latency reporting. A running max is kept
-    so percentile ranks landing in the overflow bucket report the largest
-    observed sample instead of clamping to the top edge (which silently
-    underreported tail latency).
+    which is accurate enough for latency reporting. Running min/max are
+    kept so every percentile stays inside [observed min, observed max]:
+    ranks landing in the overflow bucket report the largest observed
+    sample instead of clamping to the top edge, interpolation in the
+    first populated bin anchors at the observed minimum (not 0), and
+    in-bin interpolation never overshoots the observed maximum.
     """
 
-    __slots__ = ("name", "_edges", "_counts", "_n", "_lowest_edge", "_max")
+    __slots__ = ("name", "_edges", "_counts", "_n", "_lowest_edge", "_min", "_max")
 
     def __init__(self, name: str, edges: Iterable[float]) -> None:
         self.name = name
@@ -164,6 +166,7 @@ class Histogram:
         self._counts = [0] * (len(self._edges) + 1)  # +1 = overflow
         self._n = 0
         self._lowest_edge = self._edges[0]
+        self._min = math.inf
         self._max = -math.inf
 
     @classmethod
@@ -179,6 +182,8 @@ class Histogram:
         self._n += 1
         if value > self._max:
             self._max = value
+        if value < self._min:
+            self._min = value
         # bisect_left finds the first edge >= value (overflow bucket when
         # value exceeds every edge) — same search, C implementation.
         self._counts[bisect_left(self._edges, value)] += 1
@@ -186,6 +191,11 @@ class Histogram:
     @property
     def count(self) -> int:
         return self._n
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded sample (0.0 when empty)."""
+        return self._min if self._n else 0.0
 
     @property
     def max(self) -> float:
@@ -198,8 +208,16 @@ class Histogram:
         pairs.append((math.inf, self._counts[-1]))
         return pairs
 
-    def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (0 < p <= 100)."""
+    def percentile(self, p: float, *, seed_interpolation: bool = False) -> float:
+        """Approximate p-th percentile (0 < p <= 100).
+
+        Results always lie inside [observed min, observed max] and are
+        monotone nondecreasing in ``p``. ``seed_interpolation=True``
+        reproduces the frozen-golden interpolation (nominal bin bounds,
+        no observed-min/max tightening, PR 3 overflow semantics) — used
+        only by ``MetricSet.snapshot(seed_schema=True)`` so the seed
+        golden captures stay byte-identical.
+        """
         if not 0 < p <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
         if self._n == 0:
@@ -212,8 +230,22 @@ class Histogram:
         # edge without interpolating.
         for edge, cnt in zip(self._edges, self._counts):
             if cnt and seen + cnt >= target:
+                # Interpolate between the bin bounds, tightened to what was
+                # actually observed: the first populated bin anchors at the
+                # recorded minimum (the bin's nominal lower bound — 0.0 for
+                # the very first bin — can sit far below every sample), and
+                # the last populated bin tops out at the recorded maximum
+                # (the nominal upper edge can sit far above every sample).
+                # Bins holding neither extremum are unaffected: min lies at
+                # or below their lower edge and max at or above their upper
+                # edge, so the max()/min() pick the nominal bounds.
+                if seed_interpolation:
+                    lo, hi = prev_edge, edge
+                else:
+                    lo = prev_edge if prev_edge > self._min else self._min
+                    hi = edge if edge < self._max else self._max
                 frac = (target - seen) / cnt
-                return prev_edge + frac * (edge - prev_edge)
+                return lo + frac * (hi - lo)
             seen += cnt
             prev_edge = edge
         # Target rank lands in the overflow bucket: report the largest
@@ -221,9 +253,58 @@ class Histogram:
         # reported p99 = 4 µs for a run with 99 % of samples at 100 µs.
         return self._max if self._max > self._edges[-1] else self._edges[-1]
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one, bucket-wise.
+
+        Both histograms must share identical edges (sweep workers and array
+        shards all build theirs from the same config, so this holds by
+        construction); merged percentiles are exactly what recording every
+        sample into one histogram would have produced.
+        """
+        if self._edges != other._edges:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"edge sets differ"
+            )
+        if other._n == 0:
+            return
+        for i, cnt in enumerate(other._counts):
+            self._counts[i] += cnt
+        self._n += other._n
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    def state(self) -> dict:
+        """JSON-able bucket state for cross-process merging."""
+        return {
+            "name": self.name,
+            "edges": list(self._edges),
+            "counts": list(self._counts),
+            "count": self._n,
+            "min": self._min if self._n else None,
+            "max": self._max if self._n else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        hist = cls(state["name"], state["edges"])
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(hist._counts):
+            raise ValueError(f"histogram state {state['name']!r}: bad bucket count")
+        hist._counts = counts
+        hist._n = int(state["count"])
+        if hist._n:
+            hist._min = float(state["min"])
+            hist._max = float(state["max"])
+        return hist
+
     def reset(self) -> None:
         self._counts = [0] * (len(self._edges) + 1)
         self._n = 0
+        self._min = math.inf
         self._max = -math.inf
 
 
@@ -264,6 +345,21 @@ class MetricSet:
                 self._histograms[name] = Histogram(self._qualify(name), edges)
         return self._histograms[name]
 
+    def merge(self, other: "MetricSet") -> None:
+        """Fold another metric set into this one, name-wise.
+
+        Counters add, stats merge via Welford combination, histograms merge
+        bucket-wise (edges must match). Metrics present only in ``other``
+        are created here first, so merging into a fresh set is a copy —
+        the multiprocess sweep runner folds per-worker sets this way.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+        for name, stat in other._stats.items():
+            self.stat(name).merge(stat)
+        for name, hist in other._histograms.items():
+            self.histogram(name, hist._edges).merge(hist)
+
     def counters(self) -> Iterator[Counter]:
         return iter(self._counters.values())
 
@@ -293,8 +389,8 @@ class MetricSet:
                 out[f"{s.name}.stdev"] = s.stdev
         for h in self._histograms.values():
             if seed_schema:
-                out[f"{h.name}.p50"] = h.percentile(50)
-                out[f"{h.name}.p99"] = h.percentile(99)
+                out[f"{h.name}.p50"] = h.percentile(50, seed_interpolation=True)
+                out[f"{h.name}.p99"] = h.percentile(99, seed_interpolation=True)
             elif h.count:
                 out[f"{h.name}.count"] = float(h.count)
                 out[f"{h.name}.p50"] = h.percentile(50)

@@ -33,6 +33,7 @@ import time
 from dataclasses import asdict, dataclass
 
 from repro.errors import ConfigError
+from repro.sim.stats import Histogram
 from repro.units import MIB
 
 #: Fields in a point row that legitimately differ run-to-run (host timing).
@@ -114,6 +115,9 @@ def run_point(point: SweepPoint) -> dict:
         nand_page_writes=result.nand_page_writes_with_flush,
         traffic_amplification=round(result.traffic_amplification, 4),
         wall_seconds=round(wall, 4),
+        # Raw bucket state (not just p50/p99 scalars) so the merge step can
+        # combine percentile data across workers via Histogram.merge.
+        latency_hists=result.latency_hists,
     )
     return row
 
@@ -181,16 +185,47 @@ def parallel_map(func, items, workers: int | None = None) -> list:
         return pool.map(func, items, chunksize=1)
 
 
+def merge_latency_hists(rows: list[dict]) -> dict:
+    """Fold every row's latency-histogram state into grid-wide percentiles.
+
+    Workers cannot share a histogram, so each row ships its raw bucket
+    state and the merge combines them bucket-wise (``Histogram.merge``) —
+    exactly what recording every sample into one histogram would have
+    produced. Rows are pre-sorted by the merge key, so the result is
+    deterministic regardless of worker count.
+    """
+    merged: dict[str, Histogram] = {}
+    for row in rows:
+        for name, state in row.get("latency_hists", {}).items():
+            hist = Histogram.from_state(state)
+            if name in merged:
+                merged[name].merge(hist)
+            else:
+                merged[name] = hist
+    return {
+        name: {
+            "count": hist.count,
+            "min_us": round(hist.min, 4),
+            "max_us": round(hist.max, 4),
+            "p50_us": round(hist.percentile(50), 4),
+            "p99_us": round(hist.percentile(99), 4),
+            "p999_us": round(hist.percentile(99.9), 4),
+        }
+        for name, hist in sorted(merged.items())
+    }
+
+
 def run_sweep(points: list[SweepPoint], workers: int = 1) -> dict:
     """Run a grid and merge into the canonical report object."""
     wall0 = time.perf_counter()
     rows = parallel_map(run_point, points, workers=workers)
     wall = time.perf_counter() - wall0
     return {
-        "schema": 1,
+        "schema": 2,
         "workers": workers,
         "points": rows,
         "point_count": len(rows),
+        "aggregate": merge_latency_hists(rows),
         "wall_seconds": round(wall, 4),
     }
 

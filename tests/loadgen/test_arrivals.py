@@ -1,0 +1,111 @@
+"""Arrival-process and op-mix generator tests."""
+
+import pytest
+
+from repro.loadgen.arrivals import onoff_arrivals, poisson_arrivals
+from repro.loadgen.ops import generate_ops, key_for, preload_values
+from repro.serve.protocol import MAX_KEY_BYTES
+
+
+class TestPoisson:
+    def test_deterministic_at_fixed_seed(self):
+        assert poisson_arrivals(5000, 200, seed=3) == \
+               poisson_arrivals(5000, 200, seed=3)
+
+    def test_different_seed_differs(self):
+        assert poisson_arrivals(5000, 200, seed=3) != \
+               poisson_arrivals(5000, 200, seed=4)
+
+    def test_strictly_increasing_and_positive(self):
+        arrivals = poisson_arrivals(1000, 500, seed=1)
+        assert len(arrivals) == 500
+        assert arrivals[0] > 0
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_rate_close_to_target(self):
+        rps = 10_000
+        arrivals = poisson_arrivals(rps, 20_000, seed=0)
+        achieved = len(arrivals) / (arrivals[-1] / 1e6)
+        assert achieved == pytest.approx(rps, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 10)
+        with pytest.raises(ValueError):
+            poisson_arrivals(100, -1)
+        assert poisson_arrivals(100, 0) == []
+
+
+class TestOnOff:
+    def test_deterministic_at_fixed_seed(self):
+        assert onoff_arrivals(5000, 200, seed=3) == \
+               onoff_arrivals(5000, 200, seed=3)
+
+    def test_nondecreasing(self):
+        arrivals = onoff_arrivals(1000, 500, seed=1)
+        assert len(arrivals) == 500
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_long_run_mean_rate_close_to_target(self):
+        rps = 10_000
+        arrivals = onoff_arrivals(rps, 50_000, seed=2)
+        achieved = len(arrivals) / (arrivals[-1] / 1e6)
+        assert achieved == pytest.approx(rps, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        # Squared coefficient of variation of interarrivals: 1 for a
+        # Poisson process, substantially higher for ON/OFF bursts.
+        def scv(arrivals):
+            gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var / mean**2
+
+        poisson = scv(poisson_arrivals(10_000, 20_000, seed=5))
+        bursty = scv(onoff_arrivals(10_000, 20_000, seed=5))
+        assert poisson == pytest.approx(1.0, rel=0.2)
+        assert bursty > 2.0 * poisson
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            onoff_arrivals(100, 10, on_us=0)
+        with pytest.raises(ValueError):
+            onoff_arrivals(0, 10)
+
+
+class TestOpsGenerator:
+    def test_deterministic_and_mix_fractions(self):
+        ops = generate_ops(4000, read_fraction=0.5, delete_fraction=0.1,
+                           seed=9)
+        assert ops == generate_ops(4000, read_fraction=0.5,
+                                   delete_fraction=0.1, seed=9)
+        kinds = [op.kind for op in ops]
+        assert kinds.count("GET") == pytest.approx(2000, rel=0.1)
+        assert kinds.count("DEL") == pytest.approx(400, rel=0.3)
+        assert kinds.count("SET") == pytest.approx(1600, rel=0.1)
+
+    def test_sets_carry_values_of_requested_size(self):
+        ops = generate_ops(100, value_size=64, read_fraction=0.0, seed=0)
+        assert all(op.kind == "SET" and len(op.value) == 64 for op in ops)
+
+    def test_keys_are_protocol_safe(self):
+        for op in generate_ops(500, num_keys=10_000, seed=1):
+            assert 0 < len(op.key) <= MAX_KEY_BYTES
+            assert all(0x21 <= b <= 0x7E for b in op.key)
+
+    def test_keys_stay_in_keyspace(self):
+        num_keys = 37
+        valid = {key_for(i) for i in range(num_keys)}
+        assert {op.key for op in generate_ops(1000, num_keys=num_keys,
+                                              seed=2)} <= valid
+
+    def test_preload_covers_keyspace(self):
+        pairs = list(preload_values(25, 32, seed=0))
+        assert [key for key, _ in pairs] == [key_for(i) for i in range(25)]
+        assert all(len(value) == 32 for _, value in pairs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ops(10, num_keys=0)
+        with pytest.raises(ValueError):
+            generate_ops(10, read_fraction=0.8, delete_fraction=0.3)

@@ -1,0 +1,122 @@
+"""End-to-end loadtest tests: server + client + aggregation + knee."""
+
+import pytest
+
+from repro.loadgen.runner import (
+    LoadtestReport,
+    detect_knee,
+    run_loadtest,
+    run_rps_sweep,
+)
+from repro.serve.server import ServerSettings
+
+
+def small_loadtest(**overrides):
+    kwargs = dict(rps=5_000.0, requests=150, conns=1, seed=11, num_keys=60,
+                  value_size=64)
+    kwargs.update(overrides)
+    return run_loadtest("baseline", **kwargs)
+
+
+class TestLoadtest:
+    def test_all_requests_complete_cleanly_at_low_rate(self):
+        report = small_loadtest(rps=2_000.0)
+        assert report.completed == report.requests
+        assert report.busy_rejected == 0
+        assert report.errors == 0
+        assert report.protocol_errors == 0
+        assert 0 < report.p50_us <= report.p99_us <= report.p999_us
+        assert report.p999_us <= report.max_us
+        assert report.achieved_rps > 0
+        assert report.span_us > 0
+
+    def test_deterministic_at_fixed_seed(self):
+        assert small_loadtest().to_dict() == small_loadtest().to_dict()
+
+    def test_seed_changes_report(self):
+        assert small_loadtest(seed=1).to_dict() != \
+               small_loadtest(seed=2).to_dict()
+
+    def test_reads_hit_preloaded_keys(self):
+        report = small_loadtest(read_fraction=1.0)
+        assert report.completed == report.requests
+        assert report.not_found == 0  # preload covers the whole keyspace
+
+    def test_overload_sheds_load_with_server_busy(self):
+        report = small_loadtest(
+            rps=500_000.0, requests=400,
+            settings=ServerSettings(max_queue_delay_us=5_000.0))
+        assert report.busy_rejected > 0
+        assert report.completed + report.busy_rejected == report.requests
+        # Admission bounds the latency of what *was* served.
+        assert report.p99_us < 50_000.0
+
+    def test_onoff_tail_worse_than_poisson_at_same_rate(self):
+        poisson = small_loadtest(rps=8_000.0, requests=400)
+        bursty = small_loadtest(rps=8_000.0, requests=400, process="onoff")
+        assert bursty.p99_us > poisson.p99_us
+
+    def test_multi_connection_run_completes(self):
+        report = small_loadtest(conns=3)
+        assert report.completed == report.requests
+        assert report.protocol_errors == 0
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            small_loadtest(process="uniform")
+
+    def test_server_stats_included_on_request(self):
+        report = small_loadtest(include_server_stats=True, requests=50)
+        assert report.server_stats
+        assert all(name.startswith("serve.") for name in report.server_stats)
+        assert report.server_stats["serve.latency_us.count"] == 50.0
+
+
+def _row(rps, p50=100.0, p99=500.0, busy=0, requests=100, achieved=None):
+    return LoadtestReport(
+        preset="baseline", process="poisson", offered_rps=rps,
+        requests=requests, conns=1, seed=0, completed=requests - busy,
+        busy_rejected=busy, achieved_rps=rps if achieved is None else achieved,
+        p50_us=p50, p99_us=p99, p999_us=p99,
+    )
+
+
+class TestKneeDetection:
+    def test_no_rows_no_knee(self):
+        assert detect_knee([]) is None
+
+    def test_flat_curve_has_no_knee(self):
+        rows = [_row(rps) for rps in (1000, 2000, 4000)]
+        assert detect_knee(rows) is None
+
+    def test_p99_blowup_detected(self):
+        rows = [_row(1000), _row(2000), _row(4000, p99=5000.0)]
+        assert detect_knee(rows) == 4000
+
+    def test_busy_fraction_detected(self):
+        rows = [_row(1000), _row(2000, busy=20)]
+        assert detect_knee(rows) == 2000
+
+    def test_achieved_shortfall_detected(self):
+        rows = [_row(1000), _row(2000, achieved=1200.0)]
+        assert detect_knee(rows) == 2000
+
+    def test_rows_scanned_in_rate_order(self):
+        rows = [_row(4000, p99=5000.0), _row(1000), _row(2000)]
+        assert detect_knee(rows) == 4000
+
+
+class TestSweep:
+    def test_sweep_shape_and_knee(self):
+        report = run_rps_sweep(
+            [3_000.0, 60_000.0], "baseline", requests=150, conns=1,
+            seed=5, num_keys=60, value_size=64,
+        )
+        assert report["schema"] == 1
+        assert report["preset"] == "baseline"
+        assert [row["offered_rps"] for row in report["rows"]] == \
+               [3_000.0, 60_000.0]
+        # 60k offered vastly exceeds the simulated device's service rate.
+        assert report["knee_rps"] == 60_000.0
+        for row in report["rows"]:
+            assert row["protocol_errors"] == 0

@@ -62,6 +62,57 @@ class TestHistogramProperties:
         ps = [h.percentile(p) for p in (10, 50, 90, 99, 100)]
         assert ps == sorted(ps)
 
+    @given(
+        edges=st.lists(st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+                       min_size=1, max_size=20, unique=True),
+        xs=st.lists(st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+                    min_size=1, max_size=200),
+    )
+    def test_percentiles_within_observed_range(self, edges, xs):
+        # ISSUE 8: interpolation must never escape [observed min, observed
+        # max] — the seed anchored the first bin at 0 (p50 below every
+        # sample) and overshot the last bin to its nominal edge.
+        h = Histogram("h", edges)
+        for x in xs:
+            h.record(x)
+        for p in (0.1, 10, 25, 50, 75, 90, 99, 99.9, 100):
+            value = h.percentile(p)
+            assert min(xs) <= value <= max(xs)
+
+    @given(
+        edges=st.lists(st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+                       min_size=1, max_size=20, unique=True),
+        xs=st.lists(st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+                    min_size=1, max_size=200),
+        ps=st.lists(st.floats(min_value=0.001, max_value=100.0,
+                              allow_nan=False), min_size=2, max_size=10),
+    )
+    def test_percentiles_monotone_random_edges(self, edges, xs, ps):
+        h = Histogram("h", edges)
+        for x in xs:
+            h.record(x)
+        values = [h.percentile(p) for p in sorted(ps)]
+        assert values == sorted(values)
+
+    @given(xs=st.lists(st.floats(min_value=0.1, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=150),
+           ys=st.lists(st.floats(min_value=0.1, max_value=1e6,
+                                 allow_nan=False), min_size=0, max_size=150))
+    def test_merge_equals_recording_together(self, xs, ys):
+        a, b, ref = (Histogram.exponential(n) for n in ("a", "b", "ref"))
+        for x in xs:
+            a.record(x)
+            ref.record(x)
+        for y in ys:
+            b.record(y)
+            ref.record(y)
+        a.merge(b)
+        assert a.bucket_counts() == ref.bucket_counts()
+        assert a.min == ref.min
+        assert a.max == ref.max
+        for p in (10, 50, 90, 99, 99.9, 100):
+            assert a.percentile(p) == ref.percentile(p)
+
 
 class TestMix32Bijectivity:
     @given(

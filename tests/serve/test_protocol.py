@@ -1,0 +1,180 @@
+"""Wire-protocol framing tests: both parsers, both directions."""
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Request,
+    RequestParser,
+    ResponseParser,
+)
+
+
+def parse_one(data: bytes, **kwargs) -> Request:
+    parser = RequestParser(**kwargs)
+    requests = parser.feed(data)
+    assert len(requests) == 1
+    return requests[0]
+
+
+class TestRequestParser:
+    def test_ping(self):
+        request = parse_one(b"PING\r\n")
+        assert request.op == "PING" and request.error is None
+
+    def test_set_with_binary_payload(self):
+        # Value bytes may contain CRLF: framing is by declared length.
+        request = parse_one(b"SET k1 6\r\nab\r\ncd\r\n")
+        assert request.op == "SET"
+        assert request.key == b"k1"
+        assert request.value == b"ab\r\ncd"
+        assert request.arrival_us is None
+
+    def test_set_with_arrival_stamp(self):
+        request = parse_one(b"SET k1 3 1234.5\r\nxyz\r\n")
+        assert request.arrival_us == 1234.5
+
+    def test_get_del_scan(self):
+        parser = RequestParser()
+        requests = parser.feed(b"GET foo\r\nDEL bar 9.0\r\nSCAN a 10 2.5\r\n")
+        assert [r.op for r in requests] == ["GET", "DEL", "SCAN"]
+        assert requests[0].arrival_us is None
+        assert requests[1].arrival_us == 9.0
+        assert requests[2].limit == 10 and requests[2].arrival_us == 2.5
+        assert all(r.error is None for r in requests)
+
+    def test_byte_at_a_time_fragmentation(self):
+        wire = b"SET key 4\r\nv\x00v\xff\r\nGET key 7.0\r\n"
+        parser = RequestParser()
+        requests = []
+        for i in range(len(wire)):
+            requests.extend(parser.feed(wire[i:i + 1]))
+        assert [r.op for r in requests] == ["SET", "GET"]
+        assert requests[0].value == b"v\x00v\xff"
+        assert parser.fatal is None
+
+    def test_empty_lines_skipped(self):
+        assert parse_one(b"\r\n\r\nPING\r\n").op == "PING"
+
+    def test_bad_key_rejected_in_order(self):
+        long_key = b"x" * (protocol.MAX_KEY_BYTES + 1)
+        request = parse_one(b"GET %s\r\n" % long_key)
+        assert request.error is not None
+
+    def test_nonprintable_key_rejected(self):
+        parser = RequestParser()
+        requests = parser.feed(b"DEL k\x01y\r\n")
+        assert requests[0].error is not None
+
+    def test_unknown_command_not_fatal(self):
+        parser = RequestParser()
+        requests = parser.feed(b"BOGUS\r\nPING\r\n")
+        assert requests[0].error is not None
+        assert requests[1].op == "PING" and requests[1].error is None
+        assert parser.fatal is None
+
+    def test_oversized_line_fatal(self):
+        parser = RequestParser()
+        requests = parser.feed(b"G" * (protocol.MAX_LINE_BYTES + 2))
+        assert requests and requests[-1].error is not None
+        assert parser.fatal is not None
+        assert parser.feed(b"PING\r\n") == []  # stream is dead
+
+    def test_oversized_value_length_fatal(self):
+        parser = RequestParser(max_value_bytes=64)
+        requests = parser.feed(b"SET k 65\r\n")
+        assert requests[0].error is not None
+        assert parser.fatal is not None
+
+    def test_bad_value_trailer_fatal(self):
+        parser = RequestParser()
+        requests = parser.feed(b"SET k 2\r\nabXX")
+        assert requests[0].error is not None
+        assert parser.fatal is not None
+
+    def test_negative_arrival_rejected(self):
+        request = parse_one(b"GET k -5.0\r\n")
+        assert request.error is not None
+
+
+class TestResponseParser:
+    def roundtrip(self, wire: bytes, chunk: int = 0):
+        parser = ResponseParser()
+        if chunk:
+            out = []
+            for i in range(0, len(wire), chunk):
+                out.extend(parser.feed(wire[i:i + chunk]))
+            return out
+        return parser.feed(wire)
+
+    def test_simple_kinds(self):
+        wire = (protocol.encode_stored(10.0, 5.0)
+                + protocol.encode_deleted(1.0, 1.0)
+                + protocol.encode_not_found(2.0, 2.0)
+                + protocol.PONG + protocol.BYE
+                + protocol.encode_busy(123.0)
+                + protocol.encode_error("PROTO", "bad key"))
+        kinds = [r.kind for r in self.roundtrip(wire)]
+        assert kinds == ["STORED", "DELETED", "NOT_FOUND", "PONG", "BYE",
+                         "SERVER_BUSY", "ERR"]
+
+    def test_value_roundtrip_with_crlf_payload(self):
+        wire = protocol.encode_value(b"a\r\nb", 9.5, 4.5)
+        (response,) = self.roundtrip(wire, chunk=1)
+        assert response.kind == "VALUE"
+        assert response.value == b"a\r\nb"
+        assert response.latency_us == 9.5
+        assert response.service_us == 4.5
+
+    def test_range_roundtrip(self):
+        pairs = [(b"k1", b"v1"), (b"k2", b"\r\n")]
+        wire = protocol.encode_range(pairs, 7.0, 3.0)
+        (response,) = self.roundtrip(wire, chunk=3)
+        assert response.kind == "RANGE"
+        assert response.pairs == pairs
+
+    def test_stats_roundtrip(self):
+        wire = protocol.encode_stats({"serve.requests": 4.0, "a.b": 1.5})
+        (response,) = self.roundtrip(wire)
+        assert response.kind == "STATS"
+        assert response.stats == {"serve.requests": 4.0, "a.b": 1.5}
+
+    def test_empty_stats(self):
+        (response,) = self.roundtrip(protocol.encode_stats({}))
+        assert response.kind == "STATS" and response.stats == {}
+
+    def test_err_detail_preserves_message(self):
+        (response,) = self.roundtrip(protocol.encode_error("PROTO", "bad x y"))
+        assert response.detail == "PROTO bad x y"
+
+    def test_pipelined_mixed_stream(self):
+        wire = (protocol.encode_stored(1.0, 1.0)
+                + protocol.encode_value(b"abc", 2.0, 2.0)
+                + protocol.encode_range([(b"k", b"v")], 3.0, 3.0)
+                + protocol.PONG)
+        for chunk in (1, 2, 7, 0):
+            kinds = [r.kind for r in self.roundtrip(wire, chunk=chunk)]
+            assert kinds == ["STORED", "VALUE", "RANGE", "PONG"]
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            ResponseParser().feed(b"WHAT 1 2\r\n")
+
+    def test_range_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ResponseParser().feed(b"RANGE 2 1.0 1.0\r\nEND\r\n")
+
+
+class TestRequestEncoders:
+    def test_encoders_parse_back(self):
+        wire = (protocol.encode_set_request(b"k", b"val", 5.0)
+                + protocol.encode_get_request(b"k")
+                + protocol.encode_del_request(b"k", 7.5)
+                + protocol.encode_scan_request(b"k", 3, 9.0))
+        requests = RequestParser().feed(wire)
+        assert [r.op for r in requests] == ["SET", "GET", "DEL", "SCAN"]
+        assert requests[0].value == b"val" and requests[0].arrival_us == 5.0
+        assert requests[1].arrival_us is None
+        assert requests[2].arrival_us == 7.5
+        assert requests[3].limit == 3
+        assert all(r.error is None for r in requests)

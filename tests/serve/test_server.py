@@ -1,0 +1,254 @@
+"""End-to-end server tests over real asyncio TCP connections.
+
+No pytest-asyncio dependency: each test drives its own event loop with
+``asyncio.run``.
+"""
+
+import asyncio
+
+from repro.serve import protocol
+from repro.serve.backend import StoreBackend
+from repro.serve.server import KVServer, ServerSettings
+
+
+async def _boot(preset="baseline", settings=None):
+    backend = StoreBackend.build(preset)
+    server = KVServer(backend, settings)
+    host, port = await server.start()
+    return server, host, port
+
+
+async def _exchange(host, port, wire: bytes, expect: int):
+    """Send ``wire``, read until ``expect`` responses are parsed."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(wire)
+    await writer.drain()
+    parser = protocol.ResponseParser()
+    responses = []
+    while len(responses) < expect:
+        data = await asyncio.wait_for(reader.read(1 << 16), timeout=5.0)
+        assert data, "server closed before all responses arrived"
+        responses.extend(parser.feed(data))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionResetError:
+        pass
+    return responses
+
+
+def run_session(wire: bytes, expect: int, preset="baseline", settings=None):
+    async def _run():
+        server, host, port = await _boot(preset, settings)
+        try:
+            return await _exchange(host, port, wire, expect), server
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+class TestEndToEnd:
+    def test_set_get_del_cycle(self):
+        wire = (protocol.encode_set_request(b"k1", b"hello")
+                + protocol.encode_get_request(b"k1")
+                + protocol.encode_del_request(b"k1")
+                + protocol.encode_get_request(b"k1"))
+        responses, _ = run_session(wire, 4)
+        assert [r.kind for r in responses] == [
+            "STORED", "VALUE", "DELETED", "NOT_FOUND"]
+        assert responses[1].value == b"hello"
+        # Simulated latency is reported on every device op.
+        assert responses[0].latency_us > 0
+        assert responses[0].service_us > 0
+
+    def test_scan_returns_sorted_range(self):
+        wire = b"".join(
+            protocol.encode_set_request(b"key%d" % i, b"v%d" % i)
+            for i in (3, 1, 2)
+        ) + protocol.encode_scan_request(b"key1", 2)
+        responses, _ = run_session(wire, 4)
+        scan = responses[-1]
+        assert scan.kind == "RANGE"
+        assert scan.pairs == [(b"key1", b"v1"), (b"key2", b"v2")]
+
+    def test_responses_keep_request_order_when_pipelined(self):
+        # Inline (PING), rejected (bad key) and device ops interleaved in
+        # one write: responses must come back in exactly request order.
+        wire = (protocol.PING_REQUEST
+                + protocol.encode_set_request(b"a", b"1")
+                + b"GET bad\x01key\r\n"
+                + protocol.encode_get_request(b"a")
+                + protocol.PING_REQUEST)
+        responses, _ = run_session(wire, 5)
+        assert [r.kind for r in responses] == [
+            "PONG", "STORED", "ERR", "VALUE", "PONG"]
+
+    def test_stats_exposes_serve_and_device_metrics(self):
+        # STATS is answered inline with an instantaneous snapshot, so it
+        # must be sent after the SET's response arrives to observe it.
+        async def _run():
+            server, host, port = await _boot()
+            try:
+                await _exchange(host, port,
+                                protocol.encode_set_request(b"k", b"v"), 1)
+                (response,) = await _exchange(
+                    host, port, protocol.STATS_REQUEST, 1)
+            finally:
+                await server.stop()
+            return response.stats
+
+        stats = asyncio.run(_run())
+        assert stats["serve.requests"] >= 2.0
+        assert stats["serve.ops.set"] == 1.0
+        assert stats["serve.latency_us.count"] == 1.0
+        # Device snapshot is merged in.
+        assert any(name.startswith("pcie.") for name in stats)
+
+    def test_quit_closes_connection(self):
+        async def _run():
+            server, host, port = await _boot()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(protocol.QUIT_REQUEST)
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=5.0)
+                assert data == protocol.BYE
+            finally:
+                await server.stop()
+
+        asyncio.run(_run())
+
+    def test_busy_rejection_under_tight_delay_bound(self):
+        # The projected-wait estimator needs one completed op (EWMA +
+        # device_free are unknowable before any service time has been
+        # observed), so prime it, then blast a burst all stamped at
+        # arrival=0: the device is busy in virtual time, the projected
+        # wait blows through the 1 us bound, and the burst bounces.
+        async def _run():
+            settings = ServerSettings(max_queue_delay_us=1.0)
+            server, host, port = await _boot(settings=settings)
+            try:
+                await _exchange(
+                    host, port,
+                    protocol.encode_set_request(b"p", b"v", arrival_us=0.0), 1)
+                burst = b"".join(
+                    protocol.encode_set_request(b"k%d" % i, b"v",
+                                                arrival_us=0.0)
+                    for i in range(8)
+                )
+                responses = await _exchange(host, port, burst, 8)
+            finally:
+                await server.stop()
+            return responses, server
+
+        responses, server = asyncio.run(_run())
+        kinds = [r.kind for r in responses]
+        assert kinds == ["SERVER_BUSY"] * 8
+        stats = server.stats()
+        assert stats["serve.busy_rejects"] >= 8.0
+        assert stats["serve.busy_rejects.queue_delay"] >= 8.0
+        busy = next(r for r in responses if r.kind == "SERVER_BUSY")
+        assert float(busy.detail) > 1.0  # projected wait is reported
+
+    def test_per_conn_inflight_cap(self):
+        # A 4-request burst lands in one TCP chunk and is dispatched in
+        # one synchronous loop (no await between dispatches), so the
+        # device worker cannot drain between them: with a per-connection
+        # cap of 1, exactly the first is admitted.
+        settings = ServerSettings(per_conn_inflight=1, max_queue_delay_us=0.0)
+        wire = b"".join(
+            protocol.encode_set_request(b"k%d" % i, b"v") for i in range(4)
+        )
+        responses, server = run_session(wire, 4, settings=settings)
+        kinds = [r.kind for r in responses]
+        assert kinds == ["STORED", "SERVER_BUSY", "SERVER_BUSY", "SERVER_BUSY"]
+        assert server.metrics.snapshot()[
+            "serve.busy_rejects.per_conn"] == 3.0
+
+    def test_fatal_framing_error_closes_connection(self):
+        async def _run():
+            server, host, port = await _boot()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"SET k 99999999999\r\n")  # absurd length
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=5.0)
+                # One ERR response, then EOF (read() drained to close).
+                parser = protocol.ResponseParser()
+                (response,) = parser.feed(data)
+                assert response.kind == "ERR"
+            finally:
+                await server.stop()
+
+        asyncio.run(_run())
+
+    def test_two_connections_isolated_ordering(self):
+        async def _run():
+            server, host, port = await _boot()
+            try:
+                first, second = await asyncio.gather(
+                    _exchange(host, port,
+                              protocol.encode_set_request(b"a", b"1")
+                              + protocol.encode_get_request(b"a"), 2),
+                    _exchange(host, port,
+                              protocol.encode_set_request(b"b", b"2")
+                              + protocol.encode_get_request(b"b"), 2),
+                )
+                assert [r.kind for r in first] == ["STORED", "VALUE"]
+                assert [r.kind for r in second] == ["STORED", "VALUE"]
+                assert first[1].value == b"1"
+                assert second[1].value == b"2"
+            finally:
+                await server.stop()
+
+        asyncio.run(_run())
+
+    def test_value_size_limit_enforced_via_backend_config(self):
+        async def _run():
+            server, host, port = await _boot()
+            limit = server.backend.max_value_bytes
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"SET k %d\r\n" % (limit + 1))
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=5.0)
+                (response,) = protocol.ResponseParser().feed(data)
+                assert response.kind == "ERR"
+            finally:
+                await server.stop()
+
+        asyncio.run(_run())
+
+
+class TestVirtualTimeModel:
+    def test_latency_equals_service_when_unqueued(self):
+        # Arrivals spaced far apart: no queueing, latency == service.
+        wire = (protocol.encode_set_request(b"a", b"x", arrival_us=0.0)
+                + protocol.encode_set_request(b"b", b"x", arrival_us=10_000.0))
+        responses, _ = run_session(wire, 2)
+        for response in responses:
+            assert response.latency_us == response.service_us
+
+    def test_queued_request_charged_full_wait(self):
+        # Second request arrives at t=0 while the first is still being
+        # served: its latency must include the wait for the device.
+        wire = (protocol.encode_set_request(b"a", b"x", arrival_us=0.0)
+                + protocol.encode_set_request(b"b", b"x", arrival_us=0.0))
+        responses, _ = run_session(wire, 2)
+        first, second = responses
+        assert second.latency_us > second.service_us
+        expected_wait = first.service_us  # device busy until then
+        assert abs(
+            (second.latency_us - second.service_us) - expected_wait) < 1e-6
+
+    def test_determinism_across_server_instances(self):
+        wire = b"".join(
+            protocol.encode_set_request(b"k%d" % i, b"payload-%d" % i,
+                                        arrival_us=i * 50.0)
+            for i in range(20)
+        )
+        first, _ = run_session(wire, 20)
+        second, _ = run_session(wire, 20)
+        assert [(r.kind, r.latency_us, r.service_us) for r in first] == \
+               [(r.kind, r.latency_us, r.service_us) for r in second]

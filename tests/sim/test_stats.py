@@ -200,11 +200,13 @@ class TestHistogram:
         assert h.percentile(50) >= 100.0
 
     def test_overflow_without_samples_above_edges_uses_top_edge(self):
-        # All samples within range: overflow rank is unreachable, but a
-        # p=100 query of a top-bucket-heavy histogram stays interpolated.
+        # All samples within range: overflow rank is unreachable, and a
+        # p=100 query can never exceed the largest observed sample (the
+        # seed interpolated to the nominal top edge, 20.0).
         h = Histogram("h", [10, 20])
         h.record(15.0)
-        assert h.percentile(100) == pytest.approx(20.0)
+        assert h.percentile(100) == pytest.approx(15.0)
+        assert h.percentile(100, seed_interpolation=True) == pytest.approx(20.0)
 
     def test_percentile_interpolates_past_empty_bins(self):
         # An empty bin between populated ones must not satisfy the rank
@@ -215,8 +217,93 @@ class TestHistogram:
         for _ in range(2):
             h.record(35.0)
         # p75 -> rank 3, first bin holds 2, bins (10,20] and (20,30] empty,
-        # rank lands in (30,40] -> interpolate from 30.
-        assert h.percentile(75) == pytest.approx(35.0)
+        # rank lands in (30,40] -> interpolate from 30 up to the observed
+        # max (35), not the nominal edge (40): 30 + 0.5 * (35 - 30).
+        assert h.percentile(75) == pytest.approx(32.5)
+
+    def test_first_bucket_interpolation_anchors_at_observed_min(self):
+        # ISSUE 8 repro 1: edges [100, 200], ten samples of 99.0. The seed
+        # anchored the first bin at 0.0 and reported p50 = 50.0 — half the
+        # smallest sample ever seen. The fix anchors at the observed min.
+        h = Histogram("h", [100, 200])
+        for _ in range(10):
+            h.record(99.0)
+        assert h.percentile(50) == pytest.approx(99.0)
+        assert h.min <= h.percentile(50) <= h.max
+        # The seed-golden compatibility path keeps the old answer.
+        assert h.percentile(50, seed_interpolation=True) == pytest.approx(50.0)
+
+    def test_in_bucket_interpolation_clamps_to_observed_max(self):
+        # ISSUE 8 repro 2: edges [1, 2, 4], samples {0.5, 3.0}. The seed
+        # interpolated p100 to the bin's top edge (4.0), above every
+        # observed sample; the fix clamps to the observed max (3.0).
+        h = Histogram("h", [1, 2, 4])
+        h.record(0.5)
+        h.record(3.0)
+        assert h.percentile(100) == pytest.approx(3.0)
+        assert h.min <= h.percentile(100) <= h.max
+        assert h.percentile(100, seed_interpolation=True) == pytest.approx(4.0)
+
+    def test_min_tracks_smallest_sample(self):
+        h = Histogram("h", [1, 2, 4])
+        assert h.min == 0.0
+        h.record(3.0)
+        h.record(0.5)
+        assert h.min == 0.5
+        h.reset()
+        assert h.min == 0.0
+
+    def test_merge_matches_recording_together(self):
+        a = Histogram("a", [1, 2, 4, 8])
+        b = Histogram("b", [1, 2, 4, 8])
+        ref = Histogram("ref", [1, 2, 4, 8])
+        xs, ys = [0.5, 3.0, 100.0], [1.5, 1.7, 6.0]
+        for x in xs:
+            a.record(x)
+            ref.record(x)
+        for y in ys:
+            b.record(y)
+            ref.record(y)
+        a.merge(b)
+        assert a.count == ref.count
+        assert a.bucket_counts() == ref.bucket_counts()
+        assert a.min == ref.min
+        assert a.max == ref.max
+        for p in (10, 50, 90, 99, 100):
+            assert a.percentile(p) == ref.percentile(p)
+
+    def test_merge_with_empty_is_identity(self):
+        a, b = Histogram("a", [1, 2]), Histogram("b", [1, 2])
+        a.record(1.5)
+        a.merge(b)
+        assert a.count == 1
+        assert a.max == 1.5
+        b.merge(a)
+        assert b.count == 1
+        assert b.min == 1.5
+
+    def test_merge_rejects_mismatched_edges(self):
+        a, b = Histogram("a", [1, 2]), Histogram("b", [1, 3])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_state_roundtrip(self):
+        h = Histogram("h", [1, 2, 4])
+        for v in (0.5, 3.0, 9.0):
+            h.record(v)
+        clone = Histogram.from_state(h.state())
+        assert clone.name == h.name
+        assert clone.bucket_counts() == h.bucket_counts()
+        assert clone.min == h.min
+        assert clone.max == h.max
+        assert clone.percentile(99) == h.percentile(99)
+
+    def test_empty_state_roundtrip(self):
+        clone = Histogram.from_state(Histogram("h", [1, 2]).state())
+        assert clone.count == 0
+        assert clone.percentile(50) == 0.0
+        clone.record(1.5)
+        assert clone.min == clone.max == 1.5
 
 
 class TestMetricSet:
@@ -287,6 +374,32 @@ class TestMetricSet:
         assert snap["lat.count"] == 0.0
         assert "lat.min" not in snap
         assert "lat.stdev" not in snap
+
+    def test_merge_folds_counters_stats_histograms(self):
+        a, b = MetricSet("dev"), MetricSet("dev")
+        a.counter("ops").add(3)
+        b.counter("ops").add(4)
+        b.counter("only_b").add(1)
+        a.stat("lat").record_many([1.0, 2.0])
+        b.stat("lat").record_many([3.0])
+        a.histogram("h", [1, 2]).record(1.5)
+        b.histogram("h", [1, 2]).record(0.5)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["dev.ops"] == 7.0
+        assert snap["dev.only_b"] == 1.0
+        assert snap["dev.lat.count"] == 3.0
+        assert snap["dev.lat.mean"] == pytest.approx(2.0)
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").min == 0.5
+
+    def test_merge_into_empty_set_is_copy(self):
+        src, dst = MetricSet("m"), MetricSet("m")
+        src.counter("c").add(2)
+        src.stat("s").record(5.0)
+        src.histogram("h", [10]).record(3.0)
+        dst.merge(src)
+        assert dst.snapshot() == src.snapshot()
 
     def test_seed_schema_reproduces_legacy_keys(self):
         # The frozen goldens were captured with the seed's key set:

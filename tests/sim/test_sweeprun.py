@@ -58,6 +58,35 @@ class TestDeterministicMerge:
         assert parallel["workers"] == 2
         assert parallel["point_count"] == len(grid)
 
+    def test_aggregate_merges_percentiles_across_points(self):
+        from repro.sim.stats import Histogram
+
+        grid = build_grid(
+            seeds=[0, 1],
+            geometries=[(1, 1)],
+            queue_depths=[1],
+            workloads=["mixed"],
+            ops=50,
+        )
+        report = run_sweep(grid, workers=1)
+        agg = report["aggregate"]
+        assert "put_latency_us" in agg
+        merged = agg["put_latency_us"]
+        # Merged count equals the sum over per-point histogram states, and
+        # the merged percentiles equal recording every point's samples into
+        # one histogram (bucket-wise Histogram.merge).
+        ref = None
+        for row in report["points"]:
+            hist = Histogram.from_state(row["latency_hists"]["put_latency_us"])
+            if ref is None:
+                ref = hist
+            else:
+                ref.merge(hist)
+        assert merged["count"] == ref.count
+        assert merged["p99_us"] == round(ref.percentile(99), 4)
+        assert merged["min_us"] <= merged["p50_us"] <= merged["p99_us"]
+        assert merged["p999_us"] <= merged["max_us"]
+
     def test_point_row_carries_grid_coordinates(self):
         point = SweepPoint(
             workload="mixed", config="backfill", channels=2, ways=2,

@@ -241,3 +241,33 @@ class TestArray:
         assert main(["array", "--quiet"]) == 1
         err = capsys.readouterr().err
         assert "VIOLATIONS" in err
+
+
+class TestLoadtest:
+    def test_single_run_prints_table(self, capsys):
+        assert main(["loadtest", "--rps", "4000", "--requests", "120",
+                     "--num-keys", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "open-loop run" in out
+        assert "p99_us" in out
+
+    def test_sweep_json_report(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert main(["loadtest", "--rps-sweep", "3000,150000",
+                     "--requests", "120", "--num-keys", "50", "--seed", "3",
+                     "--config", "baseline", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "saturation knee" in out
+        obj = json.loads(path.read_text())
+        assert obj["schema"] == 1
+        assert [row["offered_rps"] for row in obj["rows"]] == [3000.0, 150000.0]
+        assert obj["knee_rps"] == 150000.0
+        assert all(row["protocol_errors"] == 0 for row in obj["rows"])
+
+    def test_onoff_process_accepted(self, capsys):
+        assert main(["loadtest", "--process", "onoff", "--rps", "4000",
+                     "--requests", "120", "--num-keys", "50"]) == 0
+
+    def test_config_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--config", "nonsense"])
