@@ -79,7 +79,8 @@ def main(argv=None) -> int:
     requests = 400 if args.quick else 1_500
 
     report = {
-        "schema": 1,
+        # 2: rows carry retry accounting (retries/gave_up/deadline_exceeded).
+        "schema": 2,
         "quick": args.quick,
         "seed": args.seed,
         "requests_per_point": requests,

@@ -1,0 +1,43 @@
+"""Chaos harness for the networked KV service.
+
+Seeded, deterministic fault injection at three layers — the wire
+(garbage frames, truncated payloads, resets, stalled clients), the
+accept path (listener resets), and the backing store (shard loss,
+rebuilds, power cuts, remounts) — plus a scenario runner that drives
+open-loop load through the faults and judges the run with durability,
+error-budget and latency-recovery oracles. See ``docs/chaos.md``.
+"""
+
+from repro.chaos.backend import ACTION_KINDS, BackendAction, ChaosBackend
+from repro.chaos.net import (
+    ServerChaos,
+    garbage_client,
+    reset_client,
+    stalled_client,
+    truncated_set_client,
+)
+from repro.chaos.scenario import (
+    CHAOS_SCENARIOS,
+    CHAOS_SCHEMA,
+    ChaosScenario,
+    ChaosScenarioReport,
+    run_all,
+    run_scenario,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "BackendAction",
+    "CHAOS_SCENARIOS",
+    "CHAOS_SCHEMA",
+    "ChaosBackend",
+    "ChaosScenario",
+    "ChaosScenarioReport",
+    "ServerChaos",
+    "garbage_client",
+    "reset_client",
+    "run_all",
+    "run_scenario",
+    "stalled_client",
+    "truncated_set_client",
+]

@@ -1,0 +1,140 @@
+"""Backend chaos: scripted store faults fired at device-op indices.
+
+:class:`ChaosBackend` wraps a :class:`~repro.serve.backend.StoreBackend`
+and fires :class:`BackendAction`\\ s — kill a shard, rebuild it, scrub,
+cut power, remount — immediately before the Nth *executed* device op.
+Counting executed ops (instead of wall or virtual time) is what makes a
+chaos run replayable: the same seed produces the same op stream, so the
+fault lands between the same two ops every time, and the virtual-time
+latency accounting downstream of it is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serve.backend import ExecResult, StoreBackend
+from repro.serve.protocol import Request
+
+#: Everything a BackendAction knows how to break (or heal).
+ACTION_KINDS = frozenset(
+    {"kill_shard", "rebuild_shard", "scrub", "power_cut", "remount"}
+)
+
+
+@dataclass(frozen=True)
+class BackendAction:
+    """Fire one store-level event just before executed device op ``at_op``.
+
+    * ``kill_shard``    — fail-stop array device ``shard`` (media intact).
+    * ``rebuild_shard`` — attach a replacement for ``shard`` and run the
+      rebuild to completion; ``remount=True`` recovers the dead device's
+      own media (crash-consistency mode), ``False`` streams a fresh copy
+      from the surviving replicas.
+    * ``scrub``         — full-array anti-entropy pass.
+    * ``power_cut``     — cut power to a single-device store (requires a
+      fault-plan-built device, so the injector exists).
+    * ``remount``       — recover a power-cut single-device store via
+      :meth:`~repro.serve.backend.StoreBackend.remount_store`.
+    """
+
+    at_op: int
+    kind: str
+    shard: int = 0
+    remount: bool = True
+
+    def __post_init__(self) -> None:
+        if self.at_op < 0:
+            raise ConfigError(f"at_op must be >= 0, got {self.at_op}")
+        if self.kind not in ACTION_KINDS:
+            raise ConfigError(
+                f"unknown chaos action {self.kind!r}; "
+                f"choose from {sorted(ACTION_KINDS)}"
+            )
+
+
+class ChaosBackend:
+    """A StoreBackend proxy that injects scripted faults between ops.
+
+    Everything the server touches (``execute``, ``health``, ``snapshot``,
+    ``max_value_bytes``...) delegates to the wrapped backend; only
+    ``execute`` is instrumented. Fired actions are recorded on
+    :attr:`fired` (with the op index and virtual timestamp) for the
+    scenario report.
+    """
+
+    def __init__(self, inner: StoreBackend, actions=()) -> None:
+        self.inner = inner
+        self.actions = sorted(actions, key=lambda a: a.at_op)
+        self._next_action = 0
+        #: Device ops executed so far (rejected requests never count).
+        self.ops_seen = 0
+        #: Chronological log of fired actions: dicts for the report.
+        self.fired: list[dict] = []
+
+    # --- delegation -------------------------------------------------------
+
+    @property
+    def store(self):
+        return self.inner.store
+
+    @property
+    def now_us(self) -> float:
+        return self.inner.now_us
+
+    @property
+    def max_value_bytes(self) -> int:
+        return self.inner.max_value_bytes
+
+    @property
+    def supports_scan(self) -> bool:
+        return self.inner.supports_scan
+
+    def health(self) -> dict:
+        return self.inner.health()
+
+    def snapshot(self) -> dict[str, float]:
+        return self.inner.snapshot()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    # --- the instrumented path --------------------------------------------
+
+    def execute(self, request: Request) -> ExecResult:
+        actions = self.actions
+        while (self._next_action < len(actions)
+               and actions[self._next_action].at_op <= self.ops_seen):
+            self._fire(actions[self._next_action])
+            self._next_action += 1
+        self.ops_seen += 1
+        return self.inner.execute(request)
+
+    def _fire(self, action: BackendAction) -> None:
+        store = self.inner.store
+        if action.kind == "kill_shard":
+            store.kill_device(action.shard)
+        elif action.kind == "rebuild_shard":
+            store.start_rebuild(action.shard, remount=action.remount)
+            store.drain_rebuild()
+        elif action.kind == "scrub":
+            store.scrub()
+        elif action.kind == "power_cut":
+            injector = store.device.injector
+            if injector is None:
+                raise ConfigError(
+                    "power_cut needs a device built with a FaultPlan "
+                    "(the injector carries the power state)"
+                )
+            injector.force_power_cut(store.device.clock.now_us)
+        elif action.kind == "remount":
+            self.inner.remount_store()
+        self.fired.append(
+            {
+                "at_op": self.ops_seen,
+                "kind": action.kind,
+                "shard": action.shard,
+                "now_us": round(self.inner.now_us, 3),
+            }
+        )

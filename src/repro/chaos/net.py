@@ -1,0 +1,122 @@
+"""Network chaos: misbehaving clients and accept-path faults.
+
+The client coroutines here connect to a live :class:`~repro.serve.server
+.KVServer` and break the protocol contract in one specific, seeded way —
+stall forever mid-command, spray garbage, declare a payload and hang up
+halfway through it, or reset with responses still in flight. None of
+them issue *device* ops, so they never advance the simulated clock: a
+load run sharing the server keeps its virtual-time latency accounting
+bit-identical whether or not the chaos clients are present. (Abrupt
+disconnects with device ops queued are exercised deterministically in
+the unit tests instead — see ``tests/serve/test_disconnect.py``.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class ServerChaos:
+    """Deterministic accept-path fault plan for ``ServerSettings.chaos``.
+
+    ``reset_every=N`` resets every Nth accepted connection on arrival
+    (the client sees an immediate close — a listener-side RST). Counting
+    accepts keeps the plan deterministic across runs.
+    """
+
+    def __init__(self, reset_every: int = 0) -> None:
+        self.reset_every = reset_every
+        self.accepts = 0
+        self.resets = 0
+
+    def allow_accept(self) -> bool:
+        self.accepts += 1
+        if self.reset_every > 0 and self.accepts % self.reset_every == 0:
+            self.resets += 1
+            return False
+        return True
+
+
+async def _close_quietly(writer) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+async def stalled_client(
+    host: str, port: int, *,
+    partial: bytes = b"GET stalled-ke",
+    hold_s: float = 30.0,
+) -> bool:
+    """Dribble a partial command line, then go silent.
+
+    Holds the connection until the server reaps it (idle timeout) or
+    ``hold_s`` elapses. Returns True if the server hung up on us — the
+    signal the slow-clients scenario asserts on.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(partial)  # no CRLF: never completes a request
+        await writer.drain()
+        try:
+            data = await asyncio.wait_for(reader.read(1), hold_s)
+        except asyncio.TimeoutError:
+            return False
+        return data == b""  # EOF: the server closed us
+    except (ConnectionResetError, BrokenPipeError):
+        return True
+    finally:
+        await _close_quietly(writer)
+
+
+async def garbage_client(
+    host: str, port: int, *, blob: bytes, read_timeout_s: float = 5.0,
+) -> bytes:
+    """Send ``blob`` verbatim; return every reply byte until the server
+    closes the connection (or ``read_timeout_s`` of silence)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    replies = bytearray()
+    try:
+        writer.write(blob)
+        await writer.drain()
+        writer.write_eof()
+        while True:
+            try:
+                data = await asyncio.wait_for(
+                    reader.read(1 << 16), read_timeout_s
+                )
+            except asyncio.TimeoutError:
+                break
+            if not data:
+                break
+            replies.extend(data)
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        await _close_quietly(writer)
+    return bytes(replies)
+
+
+async def truncated_set_client(
+    host: str, port: int, *,
+    key: bytes = b"trunc", declared: int = 64, sent: int = 10,
+) -> None:
+    """Declare a ``declared``-byte SET payload, send ``sent`` bytes,
+    then vanish mid-frame (transport abort = RST, not FIN)."""
+    _reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"SET %s %d\r\n" % (key, declared) + b"x" * sent)
+    await writer.drain()
+    writer.transport.abort()
+
+
+async def reset_client(
+    host: str, port: int, *, pings: int = 4,
+) -> None:
+    """Pipeline ``pings`` inline requests and reset without reading any
+    response — the writer task hits a dead socket mid-flush."""
+    _reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"PING\r\n" * pings)
+    await writer.drain()
+    writer.transport.abort()

@@ -1,0 +1,585 @@
+"""Deterministic chaos scenarios over the networked KV service.
+
+Each :class:`ChaosScenario` boots an in-process server over a simulated
+store, runs a seeded open-loop load (one connection — the determinism
+anchor), injects faults, and judges the run with oracles:
+
+* **Write durability** — every acknowledged SET/DEL must read back from
+  the store afterwards. ``write_oracle="strict"`` requires the *last*
+  acked state exactly (right for replicated arrays, where a fail-stop
+  device never loses acked data). ``"no-corruption"`` is the honest
+  bound after a real power cut: acked-but-unflushed writes may be lost
+  (crashcheck invariant 2), so a key may read back as any of its
+  previously acked states — but never as bytes that were *never* acked
+  of it, and a flushed preload value is the durable floor (the runner
+  issues one FLUSH after preloading).
+* **Bounded errors** — terminal errors (ERR + retry give-ups + deadline
+  misses) stay under ``max_error_fraction`` of all requests.
+* **Latency recovery** — the recovery-phase p99 returns to within
+  ``recovery_p99_factor`` x the steady-phase p99.
+* **Expected counters** — scenario-specific floors on server metrics
+  (e.g. the slow-clients run must actually reap its stalled clients).
+
+Determinism: faults fire at *executed device-op indices*
+(:class:`~repro.chaos.backend.BackendAction`), the load schedule is
+seeded, and chaos clients never issue device ops — so two runs of the
+same scenario and seed produce byte-identical JSON reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+from repro.chaos.backend import BackendAction, ChaosBackend
+from repro.chaos.net import (
+    ServerChaos,
+    garbage_client,
+    reset_client,
+    stalled_client,
+    truncated_set_client,
+)
+from repro.core.config import preset as config_preset
+from repro.errors import ConfigError, KeyNotFoundError, ReproError
+from repro.faults.plan import FaultPlan
+from repro.loadgen.arrivals import poisson_arrivals
+from repro.loadgen.client import run_client
+from repro.loadgen.ops import generate_ops, preload_values
+from repro.loadgen.retry import RetryPolicy
+from repro.serve.backend import StoreBackend
+from repro.serve.server import KVServer, ServerSettings
+
+#: Bump when the chaos report JSON shape changes.
+CHAOS_SCHEMA = 1
+
+_TOMBSTONE = object()  # oracle marker: the key's acked state is "absent"
+
+#: Response kinds that mean the device actually served the request.
+_COMPLETED_KINDS = frozenset({"STORED", "VALUE", "DELETED", "NOT_FOUND"})
+#: Terminal kinds that never reached the device (state unchanged).
+_NEVER_EXECUTED = frozenset({"SERVER_BUSY", "GAVE_UP", "DEADLINE_EXCEEDED"})
+
+#: Server counters worth reporting (when present in the snapshot).
+_REPORTED_COUNTERS = (
+    "serve.requests",
+    "serve.connections",
+    "serve.busy_rejects",
+    "serve.protocol_errors",
+    "serve.not_found",
+    "serve.backend_errors",
+    "serve.disconnects.abrupt",
+    "serve.dropped_requests",
+    "serve.conns_idle_reaped",
+    "serve.shutdown_rejects",
+    "serve.breaker.opened",
+    "serve.breaker.closed",
+    "serve.breaker.rejected",
+    "serve.breaker.probes",
+    "serve.chaos.accept_resets",
+)
+
+
+@dataclass
+class ChaosScenario:
+    """One named, seeded fault-injection experiment."""
+
+    name: str
+    description: str
+    preset: str = "backfill"
+    array_shards: int = 1
+    replication: int = 1
+    write_quorum: int = 1
+    crash_consistency: bool = False
+    fault_plan: FaultPlan | None = None
+    requests: int = 300
+    rps: float = 4000.0
+    num_keys: int = 120
+    value_size: int = 128
+    read_fraction: float = 0.5
+    delete_fraction: float = 0.0
+    window: int = 64
+    retry: RetryPolicy | None = None
+    #: ServerSettings overrides (idle_timeout_s, breaker knobs...).
+    settings: dict = field(default_factory=dict)
+    #: Accept-path fault plan: reset every Nth accepted connection.
+    accept_reset_every: int = 0
+    #: Scripted store faults at executed device-op indices.
+    actions: tuple = ()
+    #: Misbehaving clients run *before* the load phase (sequential).
+    prelude: str = ""  # "" | "reset-storm" | "garbage-frames"
+    #: Stalled clients held open *during* the load phase.
+    stalled_clients: int = 0
+    #: "strict" (last acked state) or "no-corruption" (any acked state).
+    write_oracle: str = "strict"
+    max_error_fraction: float = 0.0
+    #: Recovery-phase p99 bound, as a multiple of steady p99; 0 disables.
+    recovery_p99_factor: float = 5.0
+    #: Counter-name -> required minimum value at the end of the run.
+    expect_counters: dict = field(default_factory=dict)
+
+
+@dataclass
+class ChaosScenarioReport:
+    """Everything one scenario run measured, plus the oracle verdict."""
+
+    name: str
+    seed: int
+    requests: int
+    preset: str
+    array_shards: int
+    replication: int
+    write_oracle: str
+    retries: int = 0
+    phases: list = field(default_factory=list)
+    chaos_events: list = field(default_factory=list)
+    server_counters: dict = field(default_factory=dict)
+    acked_writes: int = 0
+    keys_checked: int = 0
+    keys_uncertain: int = 0
+    stalled_reaped: int = 0
+    error_fraction: float = 0.0
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json_obj(self) -> dict:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "requests": self.requests,
+            "preset": self.preset,
+            "array_shards": self.array_shards,
+            "replication": self.replication,
+            "write_oracle": self.write_oracle,
+            "retries": self.retries,
+            "phases": self.phases,
+            "chaos_events": self.chaos_events,
+            "server_counters": self.server_counters,
+            "acked_writes": self.acked_writes,
+            "keys_checked": self.keys_checked,
+            "keys_uncertain": self.keys_uncertain,
+            "stalled_reaped": self.stalled_reaped,
+            "error_fraction": self.error_fraction,
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+
+# --- oracle helpers ---------------------------------------------------------
+
+
+def _pctl(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = max(0, math.ceil(q / 100.0 * len(sorted_vals)) - 1)
+    return sorted_vals[min(idx, len(sorted_vals) - 1)]
+
+
+def _phase_rows(outcomes, requests: int) -> list[dict]:
+    """Split outcomes into steady/chaos/recovery thirds by op index."""
+    bounds = (
+        ("steady", 0, requests // 3),
+        ("chaos", requests // 3, 2 * requests // 3),
+        ("recovery", 2 * requests // 3, requests),
+    )
+    rows = []
+    for name, lo, hi in bounds:
+        row = {
+            "name": name, "requests": hi - lo, "completed": 0,
+            "errors": 0, "busy_rejected": 0, "gave_up": 0,
+            "deadline_exceeded": 0, "not_found": 0,
+            "p50_us": 0.0, "p99_us": 0.0, "max_us": 0.0,
+        }
+        latencies = []
+        for outcome in outcomes:
+            if not lo <= outcome.op_index < hi:
+                continue
+            if outcome.kind == "SERVER_BUSY":
+                row["busy_rejected"] += 1
+            elif outcome.kind == "GAVE_UP":
+                row["gave_up"] += 1
+            elif outcome.kind == "DEADLINE_EXCEEDED":
+                row["deadline_exceeded"] += 1
+            elif outcome.kind in _COMPLETED_KINDS:
+                if outcome.kind == "NOT_FOUND":
+                    row["not_found"] += 1
+                row["completed"] += 1
+                latencies.append(outcome.latency_us)
+            else:
+                row["errors"] += 1
+        latencies.sort()
+        row["p50_us"] = round(_pctl(latencies, 50.0), 3)
+        row["p99_us"] = round(_pctl(latencies, 99.0), 3)
+        row["max_us"] = round(latencies[-1], 3) if latencies else 0.0
+        rows.append(row)
+    return rows
+
+
+class _WriteOracle:
+    """What the service *promised* about each key, from acked responses."""
+
+    def __init__(self) -> None:
+        #: key -> chronological acked states (bytes or _TOMBSTONE).
+        self.history: dict[bytes, list] = {}
+        #: Keys with a failed write whose device-side effect is unknown.
+        self.uncertain: set[bytes] = set()
+        self.acked_writes = 0
+
+    def seed(self, key: bytes, value: bytes) -> None:
+        self.history[key] = [value]
+
+    def observe(self, op, outcome) -> None:
+        if op.kind not in ("SET", "DEL"):
+            return
+        if outcome.kind in _NEVER_EXECUTED:
+            return  # rejected before the device: state unchanged
+        if op.kind == "SET" and outcome.kind == "STORED":
+            self.history.setdefault(op.key, []).append(op.value)
+            self.uncertain.discard(op.key)
+            self.acked_writes += 1
+        elif op.kind == "DEL" and outcome.kind in ("DELETED", "NOT_FOUND"):
+            self.history.setdefault(op.key, []).append(_TOMBSTONE)
+            self.uncertain.discard(op.key)
+            self.acked_writes += 1
+        else:  # ERR: the write may or may not have landed
+            self.uncertain.add(op.key)
+
+    def check(self, store, report, mode: str) -> None:
+        """Read every tracked key back and judge it under ``mode``."""
+        for key in sorted(self.history):
+            if key in self.uncertain:
+                report.keys_uncertain += 1
+                continue
+            report.keys_checked += 1
+            try:
+                got = store.get(key)
+            except KeyNotFoundError:
+                got = _TOMBSTONE
+            except ReproError as exc:
+                report.violations.append(
+                    f"acked key {key.decode()} unreadable: {exc}"
+                )
+                continue
+            states = self.history[key]
+            if mode == "strict":
+                want = states[-1]
+                if got is not want and got != want:
+                    report.violations.append(
+                        f"acked write lost: key {key.decode()} read "
+                        f"{_describe(got)}, expected {_describe(want)}"
+                    )
+            else:  # no-corruption
+                if got is _TOMBSTONE:
+                    if not any(s is _TOMBSTONE for s in states):
+                        report.violations.append(
+                            f"key {key.decode()} absent but never deleted "
+                            f"(flushed preload is the durable floor)"
+                        )
+                elif not any(s is not _TOMBSTONE and s == got for s in states):
+                    report.violations.append(
+                        f"corruption: key {key.decode()} read bytes that "
+                        f"were never an acked value of it"
+                    )
+
+
+def _describe(state) -> str:
+    if state is _TOMBSTONE:
+        return "<absent>"
+    return f"{len(state)}B value"
+
+
+# --- the runner -------------------------------------------------------------
+
+
+async def _run_prelude(scenario: ChaosScenario, host: str, port: int) -> None:
+    """Misbehaving clients, run sequentially so accept order is scripted."""
+    if scenario.prelude == "reset-storm":
+        clients = [
+            reset_client(host, port, pings=4),
+            truncated_set_client(host, port),
+            reset_client(host, port, pings=2),
+            garbage_client(host, port, blob=b"\x00\xffBLORP\r\n"),
+            reset_client(host, port, pings=3),
+            truncated_set_client(host, port, declared=256, sent=1),
+        ]
+    elif scenario.prelude == "garbage-frames":
+        clients = [
+            garbage_client(host, port, blob=b"\x00\xffBLORP\r\n"),
+            garbage_client(host, port, blob=b"SET k 999999999\r\n"),
+            garbage_client(host, port, blob=b"GET " + b"x" * 50 + b"\r\n"),
+            garbage_client(host, port, blob=b"y" * 8192),
+            truncated_set_client(host, port),
+        ]
+    else:
+        return
+    for client in clients:
+        try:
+            await client
+        except (ConnectionResetError, BrokenPipeError, ConnectionError):
+            pass  # the server (or the chaos plan) hung up on us — expected
+        await asyncio.sleep(0)  # let server-side cleanup settle
+
+
+def _build_backend(scenario: ChaosScenario) -> StoreBackend:
+    config = config_preset(scenario.preset)
+    if scenario.crash_consistency:
+        config = config.with_overrides(crash_consistency=True)
+    kwargs = {}
+    if scenario.fault_plan is not None:
+        if scenario.array_shards > 1:
+            raise ConfigError("fault_plan applies to single-device scenarios")
+        kwargs["fault_plan"] = scenario.fault_plan
+    return StoreBackend.build(
+        config,
+        array_shards=scenario.array_shards,
+        replication=scenario.replication,
+        write_quorum=scenario.write_quorum,
+        **kwargs,
+    )
+
+
+def run_scenario(
+    name: str, *, seed: int = 0, requests: int | None = None,
+) -> ChaosScenarioReport:
+    """Run one catalog scenario; the report's ``ok`` is the verdict."""
+    try:
+        scenario = CHAOS_SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r}; "
+            f"choose from {sorted(CHAOS_SCENARIOS)}"
+        ) from None
+    total = requests if requests is not None else scenario.requests
+    report = ChaosScenarioReport(
+        name=scenario.name,
+        seed=seed,
+        requests=total,
+        preset=scenario.preset,
+        array_shards=scenario.array_shards,
+        replication=scenario.replication,
+        write_oracle=scenario.write_oracle,
+    )
+    oracle = _WriteOracle()
+    ops = generate_ops(
+        total,
+        num_keys=scenario.num_keys,
+        value_size=scenario.value_size,
+        read_fraction=scenario.read_fraction,
+        delete_fraction=scenario.delete_fraction,
+        seed=seed,
+    )
+    arrivals = poisson_arrivals(scenario.rps, total, seed=seed + 1)
+
+    async def _run() -> None:
+        backend = ChaosBackend(_build_backend(scenario), scenario.actions)
+        for key, value in preload_values(
+            scenario.num_keys, scenario.value_size, seed=seed
+        ):
+            backend.store.put(key, value)
+            oracle.seed(key, value)
+        # One FLUSH barrier: the preload is the durable floor even for
+        # the power-cut scenarios (crashcheck invariant 1).
+        backend.flush()
+        settings = ServerSettings(**scenario.settings)
+        if scenario.accept_reset_every > 0:
+            settings.chaos = ServerChaos(scenario.accept_reset_every)
+        server = KVServer(backend, settings)
+        host, port = await server.start()
+        try:
+            await _run_prelude(scenario, host, port)
+            stalled = [
+                asyncio.ensure_future(stalled_client(host, port))
+                for _ in range(scenario.stalled_clients)
+            ]
+            result = await run_client(
+                host, port, ops, arrivals,
+                conns=1, window=scenario.window,
+                retry=scenario.retry, seed=seed + 2,
+            )
+            if stalled:
+                reaped = await asyncio.wait_for(
+                    asyncio.gather(*stalled), timeout=30.0
+                )
+                report.stalled_reaped = sum(1 for r in reaped if r)
+            # Judge state *before* verification reads disturb anything.
+            report.chaos_events = list(backend.fired)
+            stats = server.stats()
+            report.server_counters = {
+                key: stats[key] for key in _REPORTED_COUNTERS if key in stats
+            }
+            for outcome in result.outcomes:
+                report.retries += outcome.retries
+                oracle.observe(ops[outcome.op_index], outcome)
+            report.phases = _phase_rows(result.outcomes, total)
+            report.acked_writes = oracle.acked_writes
+            oracle.check(backend.store, report, scenario.write_oracle)
+            if result.parse_errors:
+                report.violations.append(
+                    f"client-side parse errors: {result.parse_errors}"
+                )
+        finally:
+            await server.stop()
+
+    asyncio.run(_run())
+    _judge(scenario, report)
+    return report
+
+
+def _judge(scenario: ChaosScenario, report: ChaosScenarioReport) -> None:
+    errors = sum(
+        row["errors"] + row["gave_up"] + row["deadline_exceeded"]
+        for row in report.phases
+    )
+    report.error_fraction = round(errors / max(1, report.requests), 6)
+    if report.error_fraction > scenario.max_error_fraction:
+        report.violations.append(
+            f"error fraction {report.error_fraction} exceeds bound "
+            f"{scenario.max_error_fraction}"
+        )
+    if scenario.recovery_p99_factor > 0 and report.phases:
+        steady = report.phases[0]["p99_us"]
+        recovery = report.phases[-1]["p99_us"]
+        if steady > 0 and recovery > scenario.recovery_p99_factor * steady:
+            report.violations.append(
+                f"recovery p99 {recovery}us did not return within "
+                f"{scenario.recovery_p99_factor}x of steady p99 {steady}us"
+            )
+    if scenario.stalled_clients and (
+        report.stalled_reaped < scenario.stalled_clients
+    ):
+        report.violations.append(
+            f"only {report.stalled_reaped}/{scenario.stalled_clients} "
+            f"stalled clients were reaped"
+        )
+    for counter, minimum in scenario.expect_counters.items():
+        got = report.server_counters.get(counter, 0.0)
+        if got < minimum:
+            report.violations.append(
+                f"counter {counter} = {got}, expected >= {minimum}"
+            )
+
+
+def run_all(*, seed: int = 0) -> list[ChaosScenarioReport]:
+    """Every catalog scenario at one seed (slow: boots a store per run)."""
+    return [run_scenario(name, seed=seed) for name in sorted(CHAOS_SCENARIOS)]
+
+
+# --- the catalog ------------------------------------------------------------
+
+CHAOS_SCENARIOS: dict[str, ChaosScenario] = {}
+
+
+def _register(scenario: ChaosScenario) -> None:
+    CHAOS_SCENARIOS[scenario.name] = scenario
+
+
+_register(ChaosScenario(
+    name="slow-clients",
+    description=(
+        "Stalled clients dribble partial commands and go silent while a "
+        "clean open-loop load runs; the idle reaper must evict every one "
+        "of them without perturbing the load's virtual-time latencies."
+    ),
+    stalled_clients=4,
+    settings={"idle_timeout_s": 0.2},
+    expect_counters={"serve.conns_idle_reaped": 4},
+))
+
+_register(ChaosScenario(
+    name="reset-storm",
+    description=(
+        "Connections reset on accept (listener chaos), reset with "
+        "responses in flight, and vanish mid-frame; the service must "
+        "shrug and serve a clean load afterwards."
+    ),
+    accept_reset_every=2,
+    prelude="reset-storm",
+    expect_counters={
+        "serve.chaos.accept_resets": 2,
+        "serve.disconnects.abrupt": 1,
+    },
+))
+
+_register(ChaosScenario(
+    name="garbage-frames",
+    description=(
+        "Binary garbage, absurd length headers, oversized lines and "
+        "truncated SET payloads; every parser must answer in-order ERRs "
+        "or close cleanly — never crash, never desync a later client."
+    ),
+    prelude="garbage-frames",
+    expect_counters={"serve.protocol_errors": 4},
+))
+
+_register(ChaosScenario(
+    name="shard-loss-under-load",
+    description=(
+        "A 3-shard, 2-replica array loses a device mid-burst, serves "
+        "degraded, rebuilds a fresh replacement from the survivors, and "
+        "must end with zero acked-write loss and p99 back in band. The "
+        "acceptance scenario: byte-deterministic at a fixed seed."
+    ),
+    array_shards=3,
+    replication=2,
+    write_quorum=1,
+    requests=450,
+    retry=RetryPolicy(),
+    actions=(
+        BackendAction(at_op=180, kind="kill_shard", shard=1),
+        BackendAction(at_op=320, kind="rebuild_shard", shard=1, remount=False),
+        BackendAction(at_op=420, kind="scrub"),
+    ),
+    max_error_fraction=0.02,
+    recovery_p99_factor=5.0,
+))
+
+_register(ChaosScenario(
+    name="breaker-degraded",
+    description=(
+        "An unreplicated 2-shard array loses a device, so half the "
+        "keyspace errors until a remount rebuild heals it; the circuit "
+        "breaker must open on the error run and close after recovery."
+    ),
+    array_shards=2,
+    replication=1,
+    write_quorum=1,
+    crash_consistency=True,
+    requests=600,
+    settings={"breaker_error_threshold": 3, "breaker_probe_every": 4},
+    actions=(
+        BackendAction(at_op=210, kind="kill_shard", shard=0),
+        BackendAction(at_op=330, kind="rebuild_shard", shard=0, remount=True),
+    ),
+    write_oracle="no-corruption",
+    max_error_fraction=0.5,
+    recovery_p99_factor=0.0,
+    expect_counters={
+        "serve.breaker.opened": 1,
+        "serve.breaker.closed": 1,
+        "serve.breaker.rejected": 1,
+    },
+))
+
+_register(ChaosScenario(
+    name="power-cut-remount",
+    description=(
+        "A single crash-consistent device loses power mid-burst and is "
+        "remounted under the live server; acked state must never read "
+        "back as bytes that were never acknowledged (torn pages stay "
+        "invisible), and the flushed preload is the durable floor."
+    ),
+    crash_consistency=True,
+    fault_plan=FaultPlan(power_loss_at_us=(1e15,)),
+    requests=450,
+    actions=(
+        BackendAction(at_op=180, kind="power_cut"),
+        BackendAction(at_op=300, kind="remount"),
+    ),
+    write_oracle="no-corruption",
+    max_error_fraction=0.35,
+    recovery_p99_factor=5.0,
+))

@@ -19,7 +19,11 @@ Subcommands
                 docs/serving.md) with admission control and backpressure
 ``loadtest``    drive a server with an open-loop Poisson/ON-OFF load and
                 report p50/p99/p999 latency; ``--rps-sweep`` produces the
-                offered-rate curve with the saturation knee detected
+                offered-rate curve with the saturation knee detected;
+                ``--retry`` arms SERVER_BUSY retry with capped backoff
+``chaos``       run a named fault-injection scenario against the service
+                (stalled clients, resets, garbage frames, shard loss,
+                power cuts) and verify the chaos oracles (docs/chaos.md)
 
 ``workload`` and ``dbbench`` accept ``--trace FILE`` (JSONL event dump) and
 ``workload`` also ``--trace-chrome FILE`` (chrome://tracing format);
@@ -389,7 +393,35 @@ def _server_settings_from_args(args: argparse.Namespace):
         settings.max_inflight = args.max_inflight
     if args.max_queue_delay_us is not None:
         settings.max_queue_delay_us = args.max_queue_delay_us
+    if getattr(args, "idle_timeout_s", None) is not None:
+        settings.idle_timeout_s = args.idle_timeout_s
+    if getattr(args, "breaker_threshold", None) is not None:
+        settings.breaker_error_threshold = args.breaker_threshold
+    if getattr(args, "breaker_probe_every", None) is not None:
+        settings.breaker_probe_every = args.breaker_probe_every
     return settings
+
+
+def _retry_policy_from_args(args: argparse.Namespace):
+    """None unless ``--retry`` was passed (retry default-off keeps the
+    no-retry byte streams and goldens identical)."""
+    if not getattr(args, "retry", False):
+        return None
+    from repro.loadgen.retry import RetryPolicy
+
+    policy = RetryPolicy()
+    overrides = {}
+    if args.max_attempts is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if args.retry_base_us is not None:
+        overrides["base_backoff_us"] = args.retry_base_us
+    if args.retry_deadline_us is not None:
+        overrides["deadline_us"] = args.retry_deadline_us
+    if overrides:
+        from dataclasses import replace
+
+        policy = replace(policy, **overrides)
+    return policy
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -399,19 +431,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import KVServer
 
     async def _serve() -> int:
+        import signal
+
         backend = StoreBackend.build(args.config, array_shards=args.shards)
         server = KVServer(backend, _server_settings_from_args(args))
         host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop_requested.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loop: Ctrl-C still works
+        # Handler installed before the banner: anyone scripting "wait for
+        # the banner, then SIGTERM" gets the graceful drain, not the
+        # default kill.
         print(f"serving {args.config} "
               f"({'array x%d' % args.shards if args.shards > 1 else 'single device'}) "
-              f"on {host}:{port}")
-        print("protocol: GET/SET/DEL/SCAN/STATS (docs/serving.md); Ctrl-C stops")
+              f"on {host}:{port}", flush=True)
+        print("protocol: GET/SET/DEL/SCAN/STATS (docs/serving.md); "
+              "Ctrl-C or SIGTERM stops", flush=True)
+        serve_task = loop.create_task(server.serve_forever())
+        stop_task = loop.create_task(stop_requested.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait(
+                {serve_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
         finally:
+            # Graceful drain: admitted device work completes, late
+            # requests get ERR SHUTDOWN, then the loop tears down.
             await server.stop()
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task,
+                                 return_exceptions=True)
+        print("drained; bye", flush=True)
         return 0
 
     try:
@@ -425,11 +479,12 @@ def _loadtest_row(row: dict) -> str:
     return (f"  {row['offered_rps']:>9.0f} {row['achieved_rps']:>10.1f} "
             f"{row['p50_us']:>10.1f} {row['p99_us']:>10.1f} "
             f"{row['p999_us']:>10.1f} {row['busy_rejected']:>6} "
-            f"{row['errors']:>5}")
+            f"{row['retries']:>7} {row['gave_up']:>6} {row['errors']:>5}")
 
 
 _LOADTEST_HEADER = (f"  {'offered':>9} {'achieved':>10} {'p50_us':>10} "
-                    f"{'p99_us':>10} {'p999_us':>10} {'busy':>6} {'err':>5}")
+                    f"{'p99_us':>10} {'p999_us':>10} {'busy':>6} "
+                    f"{'retries':>7} {'gaveup':>6} {'err':>5}")
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -446,6 +501,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         window=args.window,
         array_shards=args.shards,
         settings=_server_settings_from_args(args),
+        retry=_retry_policy_from_args(args),
     )
     if args.rps_sweep:
         points = [float(p) for p in args.rps_sweep.split(",") if p.strip()]
@@ -474,11 +530,65 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"PROTOCOL ERRORS: {row['protocol_errors']}", file=sys.stderr)
         return 1
     if args.json:
-        _write_json_report(args.json, {"schema": 1, "rows": [row],
+        from repro.loadgen import REPORT_SCHEMA
+
+        _write_json_report(args.json, {"schema": REPORT_SCHEMA, "rows": [row],
                                        "preset": args.config, "knee_rps": None})
         if args.json != "-":
             print(f"report -> {args.json}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CHAOS_SCENARIOS, CHAOS_SCHEMA, run_scenario
+
+    if args.list:
+        for name in sorted(CHAOS_SCENARIOS):
+            print(f"{name}:")
+            print(f"  {CHAOS_SCENARIOS[name].description}")
+        return 0
+    if args.scenario == "all":
+        names = sorted(CHAOS_SCENARIOS)
+    elif args.scenario in CHAOS_SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; choose from "
+              f"{sorted(CHAOS_SCENARIOS)} or 'all'", file=sys.stderr)
+        return 2
+    exit_code = 0
+    reports = []
+    for name in names:
+        report = run_scenario(name, seed=args.seed, requests=args.requests)
+        reports.append(report)
+        verdict = "OK" if report.ok else "FAIL"
+        print(f"chaos {name}: seed {report.seed}, {report.requests} requests "
+              f"-> {verdict}")
+        p99s = " / ".join(
+            f"{row['name']} {row['p99_us']:.0f}" for row in report.phases
+        )
+        print(f"  p99 (us)       {p99s}")
+        print(f"  errors         {report.error_fraction:.2%} of requests, "
+              f"{report.retries} retries")
+        print(f"  write oracle   {report.write_oracle}: {report.acked_writes} "
+              f"acked writes, {report.keys_checked} keys checked, "
+              f"{report.keys_uncertain} uncertain")
+        for event in report.chaos_events:
+            print(f"  event          op {event['at_op']}: {event['kind']} "
+                  f"(shard {event['shard']}) at {event['now_us']:.0f} us")
+        for violation in report.violations:
+            print(f"  VIOLATION      {violation}", file=sys.stderr)
+        if not report.ok:
+            exit_code = 1
+    if args.json:
+        if len(reports) == 1:
+            obj = reports[0].to_json_obj()
+        else:
+            obj = {"schema": CHAOS_SCHEMA,
+                   "reports": [r.to_json_obj() for r in reports]}
+        _write_json_report(args.json, obj)
+        if args.json != "-":
+            print(f"report -> {args.json}")
+    return exit_code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -619,6 +729,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="device queue slots before SERVER_BUSY")
     p.add_argument("--max-queue-delay-us", type=float, default=None,
                    help="projected-wait admission bound (<=0 disables)")
+    p.add_argument("--idle-timeout-s", type=float, default=None,
+                   help="reap connections idle this long (0 = never)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   help="consecutive backend errors that open the circuit "
+                        "breaker (0 = disabled)")
+    p.add_argument("--breaker-probe-every", type=int, default=None,
+                   help="while open, admit every Nth device op as a probe")
 
     p = sub.add_parser("loadtest",
                        help="open-loop load against an in-process server")
@@ -642,8 +759,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--max-inflight", type=int, default=None)
     p.add_argument("--max-queue-delay-us", type=float, default=None)
+    p.add_argument("--retry", action="store_true",
+                   help="retry SERVER_BUSY with capped exponential backoff "
+                        "(charged in virtual time; default off)")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="total attempts per op before GAVE_UP (with --retry)")
+    p.add_argument("--retry-base-us", type=float, default=None,
+                   help="first backoff in virtual us (with --retry)")
+    p.add_argument("--retry-deadline-us", type=float, default=None,
+                   help="per-op deadline in virtual us; a retry that would "
+                        "slip past it is DEADLINE_EXCEEDED (with --retry)")
     p.add_argument("--json", metavar="FILE", default=None,
                    help="write the report as JSON ('-' = stdout)")
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection scenarios + oracles (docs/chaos.md)")
+    p.add_argument("--scenario", default="shard-loss-under-load",
+                   help="scenario name, or 'all' (see --list)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=None,
+                   help="override the scenario's request count")
+    p.add_argument("--list", action="store_true",
+                   help="list the scenario catalog and exit")
+    p.add_argument("--json", metavar="FILE", nargs="?", const="-", default=None,
+                   help="write the report as JSON (no argument = stdout)")
 
     p = sub.add_parser("bench", help="regenerate paper tables/figures")
     p.add_argument("figures", nargs="*", default=["all"])
@@ -666,6 +805,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "chaos": _cmd_chaos,
     "bench": _cmd_bench,
 }
 

@@ -173,6 +173,16 @@ class FaultInjector:
                 return self.last_cut_us
         return None
 
+    def force_power_cut(self, now_us: float) -> None:
+        """Operator/chaos-initiated cut: down the module at ``now_us``.
+
+        Unlike the scheduled cuts this is not part of the plan — the
+        chaos harness uses it to pull the plug at a *device-op index*
+        instead of a pre-computed timestamp.
+        """
+        if not self.power_lost:
+            self._record_cut(now_us)
+
     def power_restore(self) -> None:
         """Bring the module back up (called by remount)."""
         self.power_lost = False

@@ -7,11 +7,20 @@ target RPS: Poisson or bursty ON/OFF, in virtual microseconds. Every
 request carries its intended arrival stamp, so queueing delay during
 overload is charged in full — the coordinated-omission trap closed-loop
 harnesses fall into cannot occur (see ``docs/serving.md``).
+
+``SERVER_BUSY`` rejections can be retried with a seeded
+:class:`~repro.loadgen.retry.RetryPolicy` (capped exponential backoff +
+jitter honoring the server's projected-wait hint); retry slip is charged
+in virtual time and give-ups still count as rejections for knee
+detection (see ``docs/chaos.md``).
 """
 
 from repro.loadgen.arrivals import onoff_arrivals, poisson_arrivals
+from repro.loadgen.client import ClientRunResult, OpOutcome, run_client
 from repro.loadgen.ops import LoadOp, generate_ops
+from repro.loadgen.retry import RetryPolicy
 from repro.loadgen.runner import (
+    REPORT_SCHEMA,
     LoadtestReport,
     detect_knee,
     run_loadtest,
@@ -19,12 +28,17 @@ from repro.loadgen.runner import (
 )
 
 __all__ = [
+    "REPORT_SCHEMA",
+    "ClientRunResult",
     "LoadOp",
     "LoadtestReport",
+    "OpOutcome",
+    "RetryPolicy",
     "detect_knee",
     "generate_ops",
     "onoff_arrivals",
     "poisson_arrivals",
+    "run_client",
     "run_loadtest",
     "run_rps_sweep",
 ]

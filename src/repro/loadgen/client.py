@@ -6,26 +6,49 @@ unanswered requests). The window only shapes *real-time* flow control —
 every request carries its virtual arrival stamp from the open-loop
 schedule, so the measured latency distribution is independent of how
 fast the client machine happens to push bytes.
+
+With a :class:`~repro.loadgen.retry.RetryPolicy`, ``SERVER_BUSY``
+rejections are retried with capped exponential backoff: the retry is
+re-sent immediately on the wire but stamped ``arrival_us = previous
+arrival + backoff`` so the wait is charged in *virtual* time, and the
+terminal outcome's latency includes the full retry slip (measured from
+the op's original scheduled arrival). An op that exhausts its attempts
+is recorded as ``GAVE_UP``; one whose next retry would slip past the
+per-op deadline as ``DEADLINE_EXCEEDED``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.loadgen.ops import LoadOp
+from repro.loadgen.retry import RetryPolicy
 from repro.serve import protocol
 
 
 @dataclass
 class OpOutcome:
-    """One completed request, in the coordinate system of the schedule."""
+    """One completed request, in the coordinate system of the schedule.
 
-    kind: str  # response kind: STORED/VALUE/DELETED/NOT_FOUND/SERVER_BUSY/ERR
+    ``kind`` is the terminal response kind (STORED/VALUE/DELETED/
+    NOT_FOUND/SERVER_BUSY/ERR) or a client-side terminal verdict when a
+    retry policy is active: ``GAVE_UP`` (attempts exhausted) or
+    ``DEADLINE_EXCEEDED`` (next retry would slip past the deadline).
+    ``latency_us`` is measured from the op's *original* scheduled
+    arrival, so backoff waits are charged in full.
+    """
+
+    kind: str
     arrival_us: float
     latency_us: float
     detail: str = ""
+    #: Schedule index of the op (global, pre round-robin split).
+    op_index: int = -1
+    #: How many times this op was re-sent after SERVER_BUSY.
+    retries: int = 0
 
 
 @dataclass
@@ -35,6 +58,20 @@ class ClientRunResult:
     outcomes: list[OpOutcome] = field(default_factory=list)
     #: Client-side framing failures (should always be zero).
     parse_errors: int = 0
+
+
+@dataclass
+class _Pending:
+    """One in-flight request awaiting its response."""
+
+    op: LoadOp
+    op_index: int
+    #: Arrival stamp of the *current* attempt.
+    arrival_us: float
+    #: Arrival stamp of the first attempt (latency is measured from here).
+    first_arrival_us: float
+    #: Attempts made so far (1 = the original send).
+    attempt: int = 1
 
 
 def _encode(op: LoadOp, arrival_us: float) -> bytes:
@@ -47,24 +84,74 @@ def _encode(op: LoadOp, arrival_us: float) -> bytes:
     raise ValueError(f"unsupported op kind {op.kind!r}")
 
 
+def _busy_hint_us(detail: str) -> float:
+    try:
+        hint = float(detail)
+    except ValueError:
+        return 0.0
+    return hint if hint > 0 else 0.0
+
+
 async def _run_connection(
     host: str,
     port: int,
-    schedule: list[tuple[LoadOp, float]],
+    schedule: list[tuple[LoadOp, int, float]],
     window: int,
     result: ClientRunResult,
+    retry: RetryPolicy | None,
+    rng: random.Random,
 ) -> None:
     """Drive one connection through its slice of the schedule."""
     reader, writer = await asyncio.open_connection(host, port)
     parser = protocol.ResponseParser()
-    pending: deque[float] = deque()  # arrival stamps, send order
+    pending: deque[_Pending] = deque()  # send order == response order
     slots = asyncio.Semaphore(window)
-    received = 0
+    finished = 0
     expected = len(schedule)
 
+    def _terminal(pend: _Pending, kind: str, latency_us: float,
+                  detail: str = "") -> None:
+        nonlocal finished
+        result.outcomes.append(
+            OpOutcome(
+                kind=kind,
+                arrival_us=pend.first_arrival_us,
+                latency_us=latency_us,
+                detail=detail,
+                op_index=pend.op_index,
+                retries=pend.attempt - 1,
+            )
+        )
+        finished += 1
+        slots.release()
+
+    def _handle(pend: _Pending, response: protocol.Response) -> None:
+        #: Virtual time already burned waiting between attempts.
+        slip = pend.arrival_us - pend.first_arrival_us
+        if response.kind != "SERVER_BUSY" or retry is None:
+            _terminal(pend, response.kind, slip + response.latency_us,
+                      response.detail)
+            return
+        if pend.attempt >= retry.max_attempts:
+            _terminal(pend, "GAVE_UP", slip, response.detail)
+            return
+        wait = retry.backoff_us(
+            pend.attempt, _busy_hint_us(response.detail), rng
+        )
+        next_arrival = pend.arrival_us + wait
+        if (retry.deadline_us > 0
+                and next_arrival - pend.first_arrival_us > retry.deadline_us):
+            _terminal(pend, "DEADLINE_EXCEEDED", slip, response.detail)
+            return
+        pend.arrival_us = next_arrival
+        pend.attempt += 1
+        # Re-send at the back of the pipeline (no await between append
+        # and write: pending order must match bytes-on-the-wire order).
+        pending.append(pend)
+        writer.write(_encode(pend.op, pend.arrival_us))
+
     async def read_loop() -> None:
-        nonlocal received
-        while received < expected:
+        while finished < expected:
             data = await reader.read(1 << 16)
             if not data:
                 raise ConnectionResetError("server closed mid-run")
@@ -74,23 +161,17 @@ async def _run_connection(
                 result.parse_errors += 1
                 raise
             for response in responses:
-                arrival = pending.popleft()
-                result.outcomes.append(
-                    OpOutcome(
-                        kind=response.kind,
-                        arrival_us=arrival,
-                        latency_us=response.latency_us,
-                        detail=response.detail,
-                    )
-                )
-                received += 1
-                slots.release()
+                _handle(pending.popleft(), response)
 
     read_task = asyncio.get_running_loop().create_task(read_loop())
     try:
-        for op, arrival in schedule:
+        for op, op_index, arrival in schedule:
             await slots.acquire()
-            pending.append(arrival)
+            pend = _Pending(
+                op=op, op_index=op_index,
+                arrival_us=arrival, first_arrival_us=arrival,
+            )
+            pending.append(pend)
             writer.write(_encode(op, arrival))
             await writer.drain()
         await read_task
@@ -111,20 +192,29 @@ async def run_client(
     arrivals: list[float],
     conns: int = 1,
     window: int = 64,
+    retry: RetryPolicy | None = None,
+    seed: int = 0,
 ) -> ClientRunResult:
-    """Send ``ops`` on the ``arrivals`` schedule over ``conns`` connections."""
+    """Send ``ops`` on the ``arrivals`` schedule over ``conns`` connections.
+
+    ``retry`` enables SERVER_BUSY retry with backoff; ``seed`` feeds the
+    per-connection jitter RNGs (ignored without a policy).
+    """
     if len(ops) != len(arrivals):
         raise ValueError("ops and arrivals must be the same length")
     if conns <= 0 or window <= 0:
         raise ValueError("conns and window must be positive")
-    schedules: list[list[tuple[LoadOp, float]]] = [[] for _ in range(conns)]
+    schedules: list[list[tuple[LoadOp, int, float]]] = [[] for _ in range(conns)]
     for index, (op, arrival) in enumerate(zip(ops, arrivals)):
-        schedules[index % conns].append((op, arrival))
+        schedules[index % conns].append((op, index, arrival))
     result = ClientRunResult()
     await asyncio.gather(
         *(
-            _run_connection(host, port, schedule, window, result)
-            for schedule in schedules
+            _run_connection(
+                host, port, schedule, window, result, retry,
+                random.Random(seed + offset),
+            )
+            for offset, schedule in enumerate(schedules)
             if schedule
         )
     )

@@ -1,0 +1,87 @@
+"""Client-side retry policy: capped exponential backoff with jitter.
+
+``SERVER_BUSY`` is a *retryable* rejection — the server bounced the
+request before it touched the device and told the client how far behind
+the device is (``SERVER_BUSY <projected_wait_us>``). A well-behaved
+client backs off and retries instead of recording the rejection as a
+terminal outcome; a misbehaving client hammers. :class:`RetryPolicy`
+models the well-behaved one:
+
+* attempt ``k`` (first retry is ``k=1``) waits
+  ``base_backoff_us * multiplier**(k-1)`` capped at ``max_backoff_us``,
+* the wait is stretched to at least the server's projected-wait hint
+  (when ``honor_busy_hint``), so the client never retries into a backlog
+  the server already told it about,
+* seeded multiplicative jitter (``1 ± jitter``) decorrelates retry
+  storms across connections while staying deterministic per seed,
+* a per-op deadline bounds total slip: when the retry's arrival stamp
+  would land more than ``deadline_us`` past the op's original arrival,
+  the client gives up (``deadline_exceeded``), and after
+  ``max_attempts`` total attempts it gives up (``gave_up``).
+
+All waiting happens in *virtual* time: a retry is re-sent immediately on
+the wire but stamped ``arrival_us = previous arrival + wait`` — the same
+open-loop bookkeeping the rest of the harness uses, so retried runs stay
+deterministic and free of coordinated omission.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for client-side SERVER_BUSY retry behaviour."""
+
+    #: Total attempts per op including the first (1 = never retry).
+    max_attempts: int = 4
+    #: Backoff before the first retry (virtual µs).
+    base_backoff_us: float = 200.0
+    #: Exponential growth factor per retry.
+    multiplier: float = 2.0
+    #: Cap on any single backoff wait (virtual µs).
+    max_backoff_us: float = 50_000.0
+    #: Multiplicative jitter: the wait is scaled by ``1 ± jitter``.
+    jitter: float = 0.1
+    #: Stretch the wait to the server's ``SERVER_BUSY`` projected-wait
+    #: hint when the hint is larger than the computed backoff.
+    honor_busy_hint: bool = True
+    #: Per-op deadline: give up once the retry's arrival stamp would sit
+    #: more than this past the op's *original* arrival (<= 0 disables).
+    deadline_us: float = 200_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_us(
+        self, attempt: int, hint_us: float, rng: random.Random
+    ) -> float:
+        """The virtual-time wait before retry number ``attempt`` (1-based).
+
+        ``hint_us`` is the server's projected-wait payload from the
+        ``SERVER_BUSY`` response (0 when absent/unparseable).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        wait = min(
+            self.base_backoff_us * self.multiplier ** (attempt - 1),
+            self.max_backoff_us,
+        )
+        if self.honor_busy_hint and hint_us > wait:
+            wait = hint_us
+        if self.jitter:
+            wait *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return wait

@@ -6,6 +6,15 @@ the curve. Because both the arrival schedule and the device model are
 deterministic at a fixed seed (single connection), two runs of the same
 sweep produce identical tables — the curves are reviewable diffs, not
 noisy measurements.
+
+Report schema history:
+
+* 1 — PR 8: completed/busy_rejected/errors + percentile columns.
+* 2 — retry accounting: ``retries`` (re-sends after SERVER_BUSY),
+  ``gave_up`` (attempts exhausted) and ``deadline_exceeded`` (retry
+  would slip past the per-op deadline) columns; give-ups count as
+  rejections for knee detection so retrying clients cannot mask the
+  saturation knee.
 """
 
 from __future__ import annotations
@@ -16,9 +25,13 @@ from dataclasses import asdict, dataclass, field
 from repro.loadgen.arrivals import ARRIVAL_PROCESSES
 from repro.loadgen.client import run_client
 from repro.loadgen.ops import generate_ops, preload_values
+from repro.loadgen.retry import RetryPolicy
 from repro.serve.backend import StoreBackend
 from repro.serve.server import LATENCY_EDGES, KVServer, ServerSettings
 from repro.sim.stats import Histogram
+
+#: Bump when LoadtestReport rows gain/lose/change fields.
+REPORT_SCHEMA = 2
 
 #: Response kinds that mean the device actually served the request.
 _COMPLETED_KINDS = frozenset({"STORED", "VALUE", "DELETED", "NOT_FOUND"})
@@ -39,6 +52,12 @@ class LoadtestReport:
     not_found: int = 0
     errors: int = 0
     protocol_errors: int = 0
+    #: Total SERVER_BUSY re-sends across all ops (0 without a policy).
+    retries: int = 0
+    #: Ops that exhausted ``RetryPolicy.max_attempts``.
+    gave_up: int = 0
+    #: Ops whose next retry would have slipped past the per-op deadline.
+    deadline_exceeded: int = 0
     achieved_rps: float = 0.0
     span_us: float = 0.0
     p50_us: float = 0.0
@@ -46,6 +65,11 @@ class LoadtestReport:
     p999_us: float = 0.0
     max_us: float = 0.0
     server_stats: dict = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> int:
+        """Terminal rejections: busy bounces plus retry give-ups."""
+        return self.busy_rejected + self.gave_up + self.deadline_exceeded
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -57,8 +81,15 @@ def _aggregate(
     hist = Histogram("loadgen.latency_us", LATENCY_EDGES)
     span_us = 0.0
     for outcome in outcomes:
+        report.retries += outcome.retries
         if outcome.kind == "SERVER_BUSY":
             report.busy_rejected += 1
+            continue
+        if outcome.kind == "GAVE_UP":
+            report.gave_up += 1
+            continue
+        if outcome.kind == "DEADLINE_EXCEEDED":
+            report.deadline_exceeded += 1
             continue
         if outcome.kind == "ERR":
             report.errors += 1
@@ -102,6 +133,7 @@ def run_loadtest(
     window: int = 64,
     array_shards: int = 1,
     settings: ServerSettings | None = None,
+    retry: RetryPolicy | None = None,
     include_server_stats: bool = False,
 ) -> LoadtestReport:
     """Boot an in-process server, preload, run one open-loop burst."""
@@ -139,6 +171,7 @@ def run_loadtest(
         try:
             result = await run_client(
                 host, port, ops, arrivals, conns=conns, window=window,
+                retry=retry, seed=seed + 2,
             )
         finally:
             await server.stop()
@@ -164,8 +197,10 @@ def detect_knee(
     """First offered RPS where the service visibly saturates.
 
     Saturation = any of: p99 blows past ``p99_factor`` x the lowest-rate
-    p99, more than ``busy_fraction`` of requests bounced SERVER_BUSY, or
-    achieved throughput fell below ``achieved_ratio`` of offered.
+    p99, more than ``busy_fraction`` of requests terminally rejected —
+    ``SERVER_BUSY`` bounces *plus* retry give-ups and deadline misses,
+    so a retrying client cannot mask the knee — or achieved throughput
+    fell below ``achieved_ratio`` of offered.
     """
     if not rows:
         return None
@@ -176,7 +211,7 @@ def detect_knee(
     for row in ordered:
         if base_p99 and row.p99_us > p99_factor * base_p99:
             return row.offered_rps
-        if row.requests and row.busy_rejected / row.requests > busy_fraction:
+        if row.requests and row.rejected / row.requests > busy_fraction:
             return row.offered_rps
         if row.achieved_rps < achieved_ratio * row.offered_rps:
             return row.offered_rps
@@ -194,7 +229,7 @@ def run_rps_sweep(
         for rps in sorted(rps_points)
     ]
     return {
-        "schema": 1,
+        "schema": REPORT_SCHEMA,
         "preset": preset,
         "rows": [row.to_dict() for row in rows],
         "knee_rps": detect_knee(rows),

@@ -2,7 +2,7 @@
 
 ``repro.serve`` turns the single-caller ``KVStore``/``ArrayStore`` stacks
 into a networked service: an asyncio TCP server speaking a minimal
-memcached/RESP-like text protocol (GET/SET/DEL/SCAN/STATS) with
+memcached/RESP-like text protocol (GET/SET/DEL/SCAN/STATS/HEALTH) with
 per-connection framing, bounded queues, admission control, and explicit
 ``SERVER_BUSY`` backpressure when the simulated device saturates.
 
@@ -10,6 +10,12 @@ Request latency is accounted in *virtual* microseconds — open-loop
 arrival stamps from the load generator plus the device's simulated
 service time — so the reported latency-under-load curves are
 deterministic and free of coordinated omission (see ``docs/serving.md``).
+
+The server is hardened against misbehaving clients and degraded
+backends: abrupt disconnects drop their queued device work, idle
+connections can be reaped, ``stop()`` drains gracefully, and an optional
+deterministic circuit breaker sheds load off a failing store (see
+``docs/chaos.md``).
 """
 
 from repro.serve.backend import StoreBackend

@@ -38,11 +38,12 @@ class StoreBackend:
         self.store = store
         self.scan_limit_max = scan_limit_max
         # ArrayStore routers expose now_us directly; single-device stores
-        # read the device clock.
+        # read the device clock. Late-bound through ``self.store`` so a
+        # remount swap (see :meth:`remount_store`) is picked up.
         if hasattr(store, "now_us"):
-            self._now = lambda: store.now_us
+            self._now = lambda: self.store.now_us
         else:
-            self._now = lambda: store.device.clock.now_us
+            self._now = lambda: self.store.device.clock.now_us
         self.supports_scan = hasattr(store, "scan")
 
     @classmethod
@@ -130,6 +131,53 @@ class StoreBackend:
         return ExecResult(
             kind="ERR", service_us=0.0, detail=f"unhandled op {request.op!r}",
         )
+
+    def health(self) -> dict:
+        """Degraded-mode view of the backing store (HEALTH passthrough).
+
+        ``state`` is ``ok`` when every device is up, ``degraded`` when
+        some are, ``down`` when none are. Single-device stores report a
+        power-lost injector as the one device being down.
+        """
+        store = self.store
+        if hasattr(store, "devices_up"):  # sharded ArrayStore
+            devices = len(store.devices)
+            up = store.devices_up
+            rebuild = getattr(store, "rebuild", None) is not None
+        else:
+            devices = 1
+            injector = getattr(store.device, "injector", None)
+            up = 0 if (injector is not None and injector.power_lost) else 1
+            rebuild = False
+        if up >= devices:
+            state = "ok"
+        elif up == 0:
+            state = "down"
+        else:
+            state = "degraded"
+        return {
+            "state": state,
+            "devices": devices,
+            "devices_up": up,
+            "rebuild_active": rebuild,
+        }
+
+    def remount_store(self) -> None:
+        """Replace a power-lost single-device store with its remount.
+
+        Models the operator pulling the plug and bringing the device
+        back: ``KVSSD.remount()`` replays the recovery path and returns
+        a fresh device, which we re-wrap in a ``KVStore`` so subsequent
+        ops (and the late-bound clock) hit the recovered instance.
+        """
+        if hasattr(self.store, "devices_up"):
+            raise ReproError(
+                "remount_store applies to single-device stores; "
+                "use ArrayStore.start_rebuild(remount=True) per shard"
+            )
+        from repro.host.api import KVStore
+
+        self.store = KVStore(self.store.device.remount())
 
     def snapshot(self) -> dict[str, float]:
         """Full device metric snapshot (STATS passthrough)."""

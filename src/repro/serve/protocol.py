@@ -49,7 +49,13 @@ _CRLF = b"\r\n"
 
 #: Commands the device worker executes (everything else is served inline).
 DEVICE_OPS = frozenset({"SET", "GET", "DEL", "SCAN"})
-INLINE_OPS = frozenset({"PING", "STATS", "QUIT"})
+INLINE_OPS = frozenset({"PING", "STATS", "QUIT", "HEALTH"})
+
+#: Client-side sanity bound on any length header in a *response* (the
+#: request side is bounded by the backend's ``max_value_bytes``): a
+#: response claiming a longer payload is treated as a framing error
+#: instead of making the client buffer unbounded garbage.
+MAX_RESPONSE_PAYLOAD_BYTES = 1 << 26
 
 
 @dataclass
@@ -136,6 +142,10 @@ class RequestParser:
 
     def _parse_line(self, line: bytes) -> Request | None:
         tokens = line.split()
+        if not tokens:
+            # Whitespace-only line: treat like the blank lines ``feed``
+            # already skips (it is not re-framable content).
+            return None
         op = tokens[0].upper().decode("ascii", "replace")
         if op == "SET":
             if len(tokens) not in (3, 4):
@@ -215,6 +225,7 @@ def encode_scan_request(
 PING_REQUEST = b"PING\r\n"
 STATS_REQUEST = b"STATS\r\n"
 QUIT_REQUEST = b"QUIT\r\n"
+HEALTH_REQUEST = b"HEALTH\r\n"
 
 
 # --- response encoding (server side) ---------------------------------------
@@ -259,6 +270,15 @@ def encode_busy(projected_wait_us: float) -> bytes:
     return b"SERVER_BUSY %.3f\r\n" % projected_wait_us
 
 
+def encode_health(
+    state: str, devices_up: int, devices: int, breaker: str
+) -> bytes:
+    """``HEALTH <state> up=<m>/<n> breaker=<closed|open>``."""
+    return b"HEALTH %s up=%d/%d breaker=%s\r\n" % (
+        state.encode(), devices_up, devices, breaker.encode(),
+    )
+
+
 def encode_error(code: str, message: str) -> bytes:
     return b"ERR %s %s\r\n" % (code.encode(), message.encode())
 
@@ -284,8 +304,22 @@ class Response:
     detail: str = ""
 
 
+def _parse_length(token: bytes) -> int:
+    """A response length header; raises ValueError outside sane bounds."""
+    length = int(token)
+    if not 0 <= length <= MAX_RESPONSE_PAYLOAD_BYTES:
+        raise ValueError(f"response length {length} out of range")
+    return length
+
+
 class ResponseParser:
-    """Incremental client-side response de-framer (mirror of RequestParser)."""
+    """Incremental client-side response de-framer (mirror of RequestParser).
+
+    Malformed input raises :class:`ValueError` — and only ValueError:
+    a server (or a fault injector) feeding garbage, truncated frames or
+    absurd length headers must surface as one well-defined client-side
+    parse error, never as a stray ``IndexError`` escaping the read loop.
+    """
 
     def __init__(self) -> None:
         self._buf = bytearray()
@@ -301,7 +335,12 @@ class ResponseParser:
         self._buf.extend(data)
         out: list[Response] = []
         while True:
-            response = self._step()
+            try:
+                response = self._step()
+            except ValueError:
+                raise
+            except (IndexError, UnicodeDecodeError) as exc:
+                raise ValueError(f"malformed response line: {exc}") from exc
             if response is None:
                 return out
             out.append(response)
@@ -350,8 +389,10 @@ class ResponseParser:
         head = tokens[0]
         if self._range_head is not None:
             if head == b"ITEM":
+                if self._range_left <= 0:
+                    raise ValueError("more ITEM lines than RANGE declared")
                 self._item_key = tokens[1]
-                self._item_len = int(tokens[2])
+                self._item_len = _parse_length(tokens[2])
                 self._range_left -= 1
                 return self._step()
             if head == b"END":
@@ -375,7 +416,7 @@ class ResponseParser:
                 service_us=float(tokens[2]),
             )
         if head == b"VALUE":
-            self._value_len = int(tokens[1])
+            self._value_len = _parse_length(tokens[1])
             self._value_head = Response(
                 kind="VALUE",
                 latency_us=float(tokens[2]),
@@ -383,7 +424,7 @@ class ResponseParser:
             )
             return self._step()
         if head == b"RANGE":
-            self._range_left = int(tokens[1])
+            self._range_left = _parse_length(tokens[1])
             self._range_head = Response(
                 kind="RANGE",
                 latency_us=float(tokens[2]),
@@ -396,6 +437,10 @@ class ResponseParser:
             return self._step()
         if head == b"SERVER_BUSY":
             return Response(kind="SERVER_BUSY", detail=tokens[1].decode())
+        if head == b"HEALTH":
+            return Response(
+                kind="HEALTH", detail=line[7:].decode(errors="replace"),
+            )
         if head == b"ERR":
             return Response(kind="ERR", detail=line[4:].decode(errors="replace"))
         if head == b"PONG":

@@ -35,6 +35,27 @@ Admission control (checked at dispatch, before enqueueing):
 
 Rejected requests never touch the device; the client sees an explicit
 ``SERVER_BUSY <projected_wait_us>`` and decides whether to shed or retry.
+
+Robustness (see ``docs/chaos.md``; every knob defaults *off* so the
+steady-state byte streams are identical to the pre-hardening server):
+
+* A connection that vanishes with requests outstanding (reset, or EOF
+  with in-flight ops) is marked **dead**: its queued device requests are
+  dropped by the worker without touching the device, their futures are
+  cancelled, and the admission slots come back.
+* ``idle_timeout_s > 0`` reaps connections that send nothing for that
+  long (stalled / slow-drip clients cannot pin reader tasks forever).
+* ``stop()`` is an idempotent **graceful drain**: the listener closes,
+  already-admitted device work completes (the shutdown sentinel queues
+  *behind* it), and any request dispatched after the drain began gets an
+  explicit ``ERR SHUTDOWN`` instead of silently hanging.
+* ``breaker_error_threshold > 0`` arms a deterministic **circuit
+  breaker**: after that many *consecutive* backend errors the breaker
+  opens and device ops are rejected with ``SERVER_BUSY`` without
+  touching the device, except every ``breaker_probe_every``-th request,
+  which is admitted as a probe; one probe success closes the breaker.
+  (No wall-clock cool-down — request-count probing keeps runs
+  deterministic in virtual time.)
 """
 
 from __future__ import annotations
@@ -74,19 +95,34 @@ class ServerSettings:
     max_queue_delay_us: float = 200_000.0
     #: EWMA weight for the projected-service estimate.
     service_ewma_alpha: float = 0.1
+    #: Reap connections idle (nothing read) this long, in *wall* seconds;
+    #: 0 disables. Defends the reader-task pool against stalled clients.
+    idle_timeout_s: float = 0.0
+    #: Consecutive backend errors that open the circuit breaker;
+    #: 0 disables the breaker entirely.
+    breaker_error_threshold: int = 0
+    #: While open, admit every Nth device op as a probe.
+    breaker_probe_every: int = 8
+    #: Optional accept-path fault hook (``repro.chaos.net.ServerChaos``):
+    #: ``allow_accept() -> bool``; False resets the connection on arrival.
+    chaos: object | None = None
 
 
 class _Connection:
     """Per-connection state shared by the reader/writer pair."""
 
-    __slots__ = ("writer", "responses", "inflight", "parser", "closing")
+    __slots__ = ("writer", "responses", "inflight", "parser", "closing", "dead")
 
     def __init__(self, writer, max_value_bytes: int) -> None:
         self.writer = writer
         self.responses: asyncio.Queue = asyncio.Queue()
         self.inflight = 0
         self.parser = protocol.RequestParser(max_value_bytes=max_value_bytes)
+        #: Graceful close (QUIT): drain queued responses, then close.
         self.closing = False
+        #: Abrupt close (reset / EOF with ops in flight): drop queued
+        #: device work, cancel pending responses.
+        self.dead = False
 
 
 class KVServer:
@@ -107,6 +143,11 @@ class KVServer:
         self._server: asyncio.AbstractServer | None = None
         self._worker: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        # Circuit-breaker state (armed only if breaker_error_threshold > 0).
+        self._breaker_open = False
+        self._breaker_failures = 0
+        self._breaker_probe_countdown = 0
 
     # --- lifecycle --------------------------------------------------------
 
@@ -122,10 +163,20 @@ class KVServer:
         return host, port
 
     async def stop(self) -> None:
-        """Stop accepting, drain the device queue, close connections."""
+        """Graceful drain: stop accepting, finish admitted work, close.
+
+        Idempotent. The shutdown sentinel queues *behind* everything
+        already admitted, so accepted device ops complete and their
+        responses flush; requests dispatched after the drain begins get
+        ``ERR SHUTDOWN`` (see :meth:`_dispatch`).
+        """
+        if self._draining:
+            return
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            self._server = None
         if self._worker is not None:
             await self._device_queue.put(_SHUTDOWN)
             await self._worker
@@ -139,6 +190,10 @@ class KVServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # --- the device worker ------------------------------------------------
 
     async def _device_worker(self) -> None:
@@ -151,8 +206,15 @@ class KVServer:
             item = await queue.get()
             if item is _SHUTDOWN:
                 return
-            request, future, conn = item
+            request, future, conn, probe = item
             conn.inflight -= 1
+            if conn.dead:
+                # The client vanished with this request queued: never
+                # touch the device on its behalf (virtual time must not
+                # advance for work nobody will read).
+                self.metrics.counter("dropped_requests").add()
+                future.cancel()
+                continue
             arrival = request.arrival_us
             if arrival is None:
                 # No open-loop stamp: arrive the moment the device frees up.
@@ -191,8 +253,45 @@ class KVServer:
             else:
                 self.metrics.counter("backend_errors").add()
                 payload = protocol.encode_error("BACKEND", result.detail)
+            self._breaker_record(result.kind == "ERR", probe)
             if not future.done():
                 future.set_result(payload)
+
+    # --- circuit breaker --------------------------------------------------
+
+    def _breaker_record(self, failed: bool, probe: bool) -> None:
+        """Track consecutive backend errors; open/close the breaker.
+
+        Half-open semantics: only a *probe* success closes an open
+        breaker — ops admitted before the trip that happen to succeed
+        while draining the queue do not (they predate the failure run).
+        """
+        threshold = self.settings.breaker_error_threshold
+        if threshold <= 0:
+            return
+        if failed:
+            self._breaker_failures += 1
+            if not self._breaker_open and self._breaker_failures >= threshold:
+                self._breaker_open = True
+                self._breaker_probe_countdown = self.settings.breaker_probe_every
+                self.metrics.counter("breaker.opened").add()
+        else:
+            self._breaker_failures = 0
+            if self._breaker_open and probe:
+                self._breaker_open = False
+                self.metrics.counter("breaker.closed").add()
+
+    def _breaker_admit(self) -> str:
+        """'pass' = breaker closed; 'probe' = admit as probe; 'shed'."""
+        if not self._breaker_open:
+            return "pass"
+        self._breaker_probe_countdown -= 1
+        if self._breaker_probe_countdown > 0:
+            self.metrics.counter("breaker.rejected").add()
+            return "shed"
+        self._breaker_probe_countdown = self.settings.breaker_probe_every
+        self.metrics.counter("breaker.probes").add()
+        return "probe"
 
     # --- projected backlog (admission) ------------------------------------
 
@@ -204,37 +303,80 @@ class KVServer:
         return max(0.0, self._device_free_us - arrival_us) + backlog
 
     def _admit(self, request: protocol.Request, conn: _Connection):
-        """None = admitted; bytes = rejection response to send instead."""
+        """(rejection, probe): rejection bytes to send instead, or None
+        = admitted; probe marks a breaker-probe admission."""
         settings = self.settings
+        verdict = self._breaker_admit()
+        if verdict == "shed":
+            self.metrics.counter("busy_rejects").add()
+            return (
+                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                False,
+            )
+        probe = verdict == "probe"
         if conn.inflight >= settings.per_conn_inflight:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.per_conn").add()
-            return protocol.encode_busy(self.projected_wait_us(request.arrival_us))
+            return (
+                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                probe,
+            )
         if self._device_queue.qsize() >= settings.max_inflight:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.queue_full").add()
-            return protocol.encode_busy(self.projected_wait_us(request.arrival_us))
+            return (
+                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                probe,
+            )
         projected = self.projected_wait_us(request.arrival_us)
         if 0 < settings.max_queue_delay_us < projected:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.queue_delay").add()
-            return protocol.encode_busy(projected)
-        return None
+            return protocol.encode_busy(projected), probe
+        return None, probe
 
     # --- per-connection plumbing ------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
+        chaos = self.settings.chaos
+        if chaos is not None and not chaos.allow_accept():
+            # Injected accept-path fault: reset the connection on arrival.
+            self.metrics.counter("chaos.accept_resets").add()
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
         self.metrics.counter("connections").add()
         conn = _Connection(writer, max_value_bytes=self.backend.max_value_bytes)
         writer_task = asyncio.get_running_loop().create_task(
             self._connection_writer(conn)
         )
+        idle_timeout = self.settings.idle_timeout_s
         try:
-            while not conn.closing:
-                data = await reader.read(1 << 16)
+            while not conn.closing and not conn.dead:
+                if idle_timeout > 0:
+                    try:
+                        data = await asyncio.wait_for(
+                            reader.read(1 << 16), idle_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        self.metrics.counter("conns_idle_reaped").add()
+                        if conn.inflight > 0:
+                            conn.dead = True
+                        break
+                else:
+                    data = await reader.read(1 << 16)
                 if not data:
+                    if conn.inflight > 0 and not conn.dead:
+                        # EOF with device ops outstanding: the client is
+                        # gone and will never read the responses.
+                        self.metrics.counter("disconnects.abrupt").add()
+                        conn.dead = True
                     break
                 for request in conn.parser.feed(data):
                     self._dispatch(request, conn)
@@ -247,7 +389,11 @@ class KVServer:
                 limit = 2 * self.settings.per_conn_inflight
                 while conn.responses.qsize() > limit and not conn.closing:
                     await asyncio.sleep(0.001)
-        except (ConnectionResetError, asyncio.CancelledError):
+        except ConnectionResetError:
+            if not conn.dead:
+                self.metrics.counter("disconnects.abrupt").add()
+                conn.dead = True
+        except asyncio.CancelledError:
             pass
         finally:
             await conn.responses.put(_CLOSE)
@@ -273,16 +419,35 @@ class KVServer:
         if request.op == "STATS":
             future.set_result(protocol.encode_stats(self.stats()))
             return
+        if request.op == "HEALTH":
+            health = self.backend.health()
+            future.set_result(
+                protocol.encode_health(
+                    health["state"],
+                    health["devices_up"],
+                    health["devices"],
+                    "open" if self._breaker_open else "closed",
+                )
+            )
+            return
         if request.op == "QUIT":
             future.set_result(protocol.BYE)
             conn.closing = True
             return
-        rejection = self._admit(request, conn)
+        if self._draining:
+            # The device worker is (or is about to be) gone: answering
+            # here beats stranding a future that nothing will resolve.
+            self.metrics.counter("shutdown_rejects").add()
+            future.set_result(
+                protocol.encode_error("SHUTDOWN", "server draining")
+            )
+            return
+        rejection, probe = self._admit(request, conn)
         if rejection is not None:
             future.set_result(rejection)
             return
         conn.inflight += 1
-        self._device_queue.put_nowait((request, future, conn))
+        self._device_queue.put_nowait((request, future, conn, probe))
 
     async def _connection_writer(self, conn: _Connection) -> None:
         """Write responses strictly in request order; apply TCP backpressure."""
@@ -298,6 +463,11 @@ class KVServer:
             try:
                 await conn.writer.drain()
             except ConnectionResetError:
+                # The client reset with responses still flowing: whatever
+                # it has queued on the device is now work for nobody.
+                if not conn.dead:
+                    self.metrics.counter("disconnects.abrupt").add()
+                    conn.dead = True
                 break
         try:
             conn.writer.close()

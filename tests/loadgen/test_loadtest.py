@@ -112,7 +112,7 @@ class TestSweep:
             [3_000.0, 60_000.0], "baseline", requests=150, conns=1,
             seed=5, num_keys=60, value_size=64,
         )
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["preset"] == "baseline"
         assert [row["offered_rps"] for row in report["rows"]] == \
                [3_000.0, 60_000.0]

@@ -1,0 +1,133 @@
+"""Retry policy: backoff math, loadgen accounting, knee visibility."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.loadgen import LoadtestReport, RetryPolicy, detect_knee, run_loadtest
+from repro.serve.server import ServerSettings
+
+
+def _no_jitter(**overrides) -> RetryPolicy:
+    return replace(RetryPolicy(jitter=0.0), **overrides)
+
+
+class TestBackoffMath:
+    def test_exponential_growth_and_cap(self):
+        policy = _no_jitter(base_backoff_us=200.0, multiplier=2.0,
+                            max_backoff_us=50_000.0)
+        rng = random.Random(0)
+        assert policy.backoff_us(1, 0.0, rng) == 200.0
+        assert policy.backoff_us(2, 0.0, rng) == 400.0
+        assert policy.backoff_us(3, 0.0, rng) == 800.0
+        # Attempt 10 would be 102400 uncapped.
+        assert policy.backoff_us(10, 0.0, rng) == 50_000.0
+
+    def test_busy_hint_stretches_the_wait(self):
+        policy = _no_jitter()
+        rng = random.Random(0)
+        assert policy.backoff_us(1, 10_000.0, rng) == 10_000.0
+        # A hint smaller than the computed backoff changes nothing.
+        assert policy.backoff_us(1, 50.0, rng) == 200.0
+        deaf = _no_jitter(honor_busy_hint=False)
+        assert deaf.backoff_us(1, 10_000.0, rng) == 200.0
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(jitter=0.1)
+        waits = [
+            policy.backoff_us(1, 0.0, random.Random(seed))
+            for seed in range(50)
+        ]
+        assert all(180.0 <= w <= 220.0 for w in waits)
+        assert len(set(waits)) > 1  # jitter actually varies
+        # Same seed, same wait: retries stay deterministic.
+        assert (policy.backoff_us(1, 0.0, random.Random(7))
+                == policy.backoff_us(1, 0.0, random.Random(7)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_us=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_us(0, 0.0, random.Random(0))
+
+
+#: Starved admission: one queue slot and a tight delay bound guarantee a
+#: steady stream of SERVER_BUSY under a fast open-loop burst.
+_STARVED = dict(
+    rps=200_000.0,
+    requests=150,
+    num_keys=32,
+    value_size=64,
+    settings=ServerSettings(max_inflight=2, per_conn_inflight=2,
+                            max_queue_delay_us=50.0),
+)
+
+
+class TestLoadgenAccounting:
+    def test_without_retry_busy_is_terminal(self):
+        report = run_loadtest("baseline", seed=3, **_STARVED)
+        assert report.busy_rejected > 0
+        assert report.retries == 0 and report.gave_up == 0
+        assert report.rejected == report.busy_rejected
+
+    def test_retries_are_counted_and_give_up_is_terminal(self):
+        report = run_loadtest(
+            "baseline", seed=3,
+            retry=RetryPolicy(max_attempts=3, deadline_us=0.0),
+            **_STARVED,
+        )
+        assert report.retries > 0
+        assert report.gave_up > 0
+        assert report.deadline_exceeded == 0  # deadline disabled
+        # Every op terminates exactly once.
+        terminal = (report.completed + report.errors + report.busy_rejected
+                    + report.gave_up + report.deadline_exceeded)
+        assert terminal == report.requests
+        assert report.rejected == (report.busy_rejected + report.gave_up)
+
+    def test_tight_deadline_trips_deadline_exceeded(self):
+        report = run_loadtest(
+            "baseline", seed=3,
+            retry=RetryPolicy(max_attempts=8, base_backoff_us=500.0,
+                              deadline_us=1.0),
+            **_STARVED,
+        )
+        assert report.deadline_exceeded > 0
+
+    def test_unused_retry_policy_changes_nothing(self):
+        # Ample admission: no SERVER_BUSY, so the retry machinery never
+        # fires — the report must be byte-for-byte what a no-retry run
+        # produces (this is what keeps the frozen goldens valid).
+        kwargs = dict(rps=4000.0, requests=200, num_keys=32,
+                      value_size=64, seed=5)
+        plain = run_loadtest("baseline", **kwargs)
+        armed = run_loadtest("baseline", retry=RetryPolicy(), **kwargs)
+        assert plain.busy_rejected == 0
+        assert armed.retries == 0
+        assert plain.to_dict() == armed.to_dict()
+
+
+class TestKneeNotMaskedByRetries:
+    def test_give_ups_count_as_rejections(self):
+        calm = LoadtestReport(
+            preset="x", process="poisson", offered_rps=1000.0,
+            requests=500, conns=1, seed=0, completed=500,
+            achieved_rps=1000.0, p99_us=100.0,
+        )
+        # A retrying client at saturation: zero raw SERVER_BUSY terminals
+        # (every bounce was retried) but 10% of ops gave up.
+        saturated = LoadtestReport(
+            preset="x", process="poisson", offered_rps=2000.0,
+            requests=500, conns=1, seed=0, completed=450,
+            achieved_rps=2000.0, p99_us=120.0,
+            busy_rejected=0, gave_up=40, deadline_exceeded=10,
+        )
+        assert saturated.rejected == 50
+        assert detect_knee([calm, saturated]) == 2000.0

@@ -1,0 +1,163 @@
+"""Circuit-breaker semantics against a scriptable flaky backend.
+
+The breaker is request-count driven (no wall clock), so the whole
+open -> shed -> probe -> close cycle can be exercised deterministically
+by dispatching one request at a time and pumping the worker between
+dispatches.
+"""
+
+import asyncio
+
+from repro.serve import protocol
+from repro.serve.backend import ExecResult
+from repro.serve.server import _SHUTDOWN, KVServer, ServerSettings, _Connection
+
+
+class FlakyBackend:
+    """StoreBackend stand-in that fails for a scripted span of calls."""
+
+    def __init__(self, fail_from: int, fail_until: int) -> None:
+        self.calls = 0
+        self.fail_from = fail_from
+        self.fail_until = fail_until
+
+    @property
+    def max_value_bytes(self) -> int:
+        return 1 << 20
+
+    def execute(self, request) -> ExecResult:
+        self.calls += 1
+        if self.fail_from <= self.calls <= self.fail_until:
+            return ExecResult(kind="ERR", service_us=1.0, detail="boom")
+        return ExecResult(kind="STORED", service_us=1.0)
+
+    def health(self) -> dict:
+        return {"state": "ok", "devices": 1, "devices_up": 1,
+                "rebuild_active": False}
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+
+async def _pump(server, conn, request):
+    """Dispatch one request and run the worker until its future resolves."""
+    server._dispatch(request, conn)
+    future = conn.responses.get_nowait()
+    while not future.done():
+        await asyncio.sleep(0)
+    return future.result()
+
+
+def _set(i: int) -> protocol.Request:
+    return protocol.Request(op="SET", key=b"k%d" % i, value=b"v",
+                            arrival_us=0.0)
+
+
+class TestBreakerCycle:
+    def test_open_shed_probe_close(self):
+        async def _run():
+            # Backend calls 1-3 fail, 4+ succeed. Sheds never reach the
+            # backend, so call 3 is the first probe and call 4 the second.
+            backend = FlakyBackend(fail_from=1, fail_until=3)
+            server = KVServer(
+                backend,
+                ServerSettings(breaker_error_threshold=2,
+                               breaker_probe_every=3),
+            )
+            worker = asyncio.get_running_loop().create_task(
+                server._device_worker()
+            )
+            conn = _Connection(writer=None,
+                               max_value_bytes=backend.max_value_bytes)
+            try:
+                # Two consecutive backend errors trip the breaker.
+                for i in range(2):
+                    payload = await _pump(server, conn, _set(i))
+                    assert payload.startswith(b"ERR BACKEND")
+                stats = server.stats()
+                assert stats["serve.breaker.opened"] == 1.0
+                assert server._breaker_open
+
+                # Open breaker: the next two device ops are shed without
+                # touching the backend; the third is admitted as a probe.
+                calls_before = backend.calls
+                for i in range(2, 4):
+                    payload = await _pump(server, conn, _set(i))
+                    assert payload.startswith(b"SERVER_BUSY")
+                assert backend.calls == calls_before
+
+                # Probe while the backend is still failing: breaker stays
+                # open (only a probe *success* closes it).
+                payload = await _pump(server, conn, _set(4))
+                assert payload.startswith(b"ERR BACKEND")
+                assert server._breaker_open
+
+                # Shed two more, then the next probe lands after the
+                # backend healed (call 4) and closes the breaker.
+                for i in range(5, 7):
+                    payload = await _pump(server, conn, _set(i))
+                    assert payload.startswith(b"SERVER_BUSY")
+                payload = await _pump(server, conn, _set(7))
+                assert payload.startswith(b"STORED")
+                assert not server._breaker_open
+
+                # Closed again: ops flow normally.
+                payload = await _pump(server, conn, _set(8))
+                assert payload.startswith(b"STORED")
+
+                stats = server.stats()
+                assert stats["serve.breaker.opened"] == 1.0
+                assert stats["serve.breaker.closed"] == 1.0
+                assert stats["serve.breaker.rejected"] == 4.0
+                assert stats["serve.breaker.probes"] == 2.0
+            finally:
+                await server._device_queue.put(_SHUTDOWN)
+                await worker
+
+        asyncio.run(_run())
+
+    def test_health_reports_breaker_state(self):
+        async def _run():
+            backend = FlakyBackend(fail_from=1, fail_until=10)
+            server = KVServer(
+                backend, ServerSettings(breaker_error_threshold=1)
+            )
+            worker = asyncio.get_running_loop().create_task(
+                server._device_worker()
+            )
+            conn = _Connection(writer=None,
+                               max_value_bytes=backend.max_value_bytes)
+            try:
+                health = protocol.Request(op="HEALTH", key=b"",
+                                          arrival_us=None)
+                server._dispatch(health, conn)
+                assert b"breaker=closed" in conn.responses.get_nowait().result()
+                await _pump(server, conn, _set(0))  # trips on first error
+                server._dispatch(health, conn)
+                assert b"breaker=open" in conn.responses.get_nowait().result()
+            finally:
+                await server._device_queue.put(_SHUTDOWN)
+                await worker
+
+        asyncio.run(_run())
+
+    def test_disabled_breaker_never_opens(self):
+        async def _run():
+            backend = FlakyBackend(fail_from=1, fail_until=50)
+            server = KVServer(backend)  # breaker_error_threshold=0
+            worker = asyncio.get_running_loop().create_task(
+                server._device_worker()
+            )
+            conn = _Connection(writer=None,
+                               max_value_bytes=backend.max_value_bytes)
+            try:
+                for i in range(10):
+                    payload = await _pump(server, conn, _set(i))
+                    assert payload.startswith(b"ERR BACKEND")
+                assert not server._breaker_open
+                assert "serve.breaker.opened" not in server.stats()
+            finally:
+                await server._device_queue.put(_SHUTDOWN)
+                await worker
+
+        asyncio.run(_run())

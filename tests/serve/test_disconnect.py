@@ -1,0 +1,119 @@
+"""Abrupt-disconnect handling: dead connections must not leak device work.
+
+The deterministic tests drive the server internals directly (no TCP
+races): a connection marked dead before the worker runs must have every
+queued request dropped, its futures cancelled, and its admission slots
+released. The end-to-end test aborts a real socket mid-pipeline and
+asserts the invariants that hold regardless of how far the worker got.
+"""
+
+import asyncio
+
+from repro.serve import protocol
+from repro.serve.backend import StoreBackend
+from repro.serve.server import _SHUTDOWN, KVServer, _Connection
+
+from tests.serve.test_server import _boot, _exchange
+
+
+def _make_server(preset="baseline"):
+    return KVServer(StoreBackend.build(preset))
+
+
+def _device_request(index: int) -> protocol.Request:
+    return protocol.Request(
+        op="SET", key=b"k%d" % index, value=b"v", arrival_us=0.0
+    )
+
+
+class TestDeadConnectionDeterministic:
+    def test_worker_drops_queued_ops_of_dead_connection(self):
+        async def _run():
+            server = _make_server()
+            conn = _Connection(
+                writer=None, max_value_bytes=server.backend.max_value_bytes
+            )
+            for i in range(3):
+                server._dispatch(_device_request(i), conn)
+            assert conn.inflight == 3
+            conn.dead = True  # the client vanished before the worker ran
+            worker = asyncio.get_running_loop().create_task(
+                server._device_worker()
+            )
+            await server._device_queue.put(_SHUTDOWN)
+            await worker
+            stats = server.stats()
+            assert stats["serve.dropped_requests"] == 3.0
+            assert conn.inflight == 0
+            # No device op ran, so virtual time never advanced.
+            assert stats["serve.device_free_us"] == 0.0
+            # Every pending response future was cancelled, in order.
+            for _ in range(3):
+                future = conn.responses.get_nowait()
+                assert future.cancelled()
+
+        asyncio.run(_run())
+
+    def test_live_connection_still_served_alongside_dead_one(self):
+        async def _run():
+            server = _make_server()
+            dead = _Connection(
+                writer=None, max_value_bytes=server.backend.max_value_bytes
+            )
+            live = _Connection(
+                writer=None, max_value_bytes=server.backend.max_value_bytes
+            )
+            server._dispatch(_device_request(0), dead)
+            server._dispatch(_device_request(1), live)
+            dead.dead = True
+            worker = asyncio.get_running_loop().create_task(
+                server._device_worker()
+            )
+            await server._device_queue.put(_SHUTDOWN)
+            await worker
+            assert server.stats()["serve.dropped_requests"] == 1.0
+            assert dead.responses.get_nowait().cancelled()
+            payload = live.responses.get_nowait().result()
+            assert payload.startswith(b"STORED")
+
+        asyncio.run(_run())
+
+
+class TestAbortEndToEnd:
+    def test_aborted_pipeline_does_not_wedge_the_server(self):
+        async def _run():
+            server, host, port = await _boot()
+            try:
+                _reader, writer = await asyncio.open_connection(host, port)
+                wire = b"".join(
+                    protocol.encode_set_request(b"a%d" % i, b"x" * 32, 0.0)
+                    for i in range(5)
+                )
+                writer.write(wire)
+                await writer.drain()
+                # Give the server time to read the pipeline (an immediate
+                # RST could discard unread socket data and the requests
+                # would never be dispatched at all).
+                await asyncio.sleep(0.05)
+                writer.transport.abort()  # RST with responses in flight
+                await asyncio.sleep(0.05)
+                # A fresh connection is served normally afterwards.
+                responses = await _exchange(
+                    host, port,
+                    protocol.PING_REQUEST
+                    + protocol.encode_set_request(b"ok", b"v")
+                    + protocol.encode_get_request(b"ok"),
+                    3,
+                )
+                assert [r.kind for r in responses] == ["PONG", "STORED", "VALUE"]
+                stats = server.stats()
+                # Every one of the 5 aborted SETs was either executed or
+                # dropped — none may be stranded in-queue or half-counted.
+                executed_from_abort = stats.get("serve.ops.set", 0.0) - 1.0
+                dropped = stats.get("serve.dropped_requests", 0.0)
+                assert executed_from_abort + dropped == 5.0
+                assert stats["serve.queue_depth"] == 0.0
+            finally:
+                await server.stop()
+
+        asyncio.run(_run())

@@ -1,0 +1,147 @@
+"""Property-based fuzzing of the wire-protocol parsers.
+
+Invariants (the contract the chaos net clients rely on):
+
+* ``RequestParser.feed`` NEVER raises, no matter what bytes arrive or
+  how they are fragmented — malformed input surfaces as in-order
+  ``Request(error=...)`` objects, never as an exception that would kill
+  the reader task.
+* ``ResponseParser.feed`` raises at most ``ValueError`` (the client
+  treats that as a broken connection); any other exception type is a bug.
+* Both parsers are fragmentation-invariant: splitting a byte stream at
+  arbitrary points yields exactly the same parse as one big feed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import protocol
+
+_FUZZ = settings(max_examples=200, deadline=None)
+
+#: Bias the corpus towards protocol-shaped junk as well as raw noise.
+_wire_bytes = st.one_of(
+    st.binary(max_size=512),
+    st.text(
+        alphabet="GETSPUDLCANQ 0123456789kvx\r\n-.", max_size=200
+    ).map(lambda s: s.encode()),
+    st.sampled_from([
+        b"SET k 999999999999999999\r\n",
+        b"SET k -1\r\n",
+        b"GET " + b"x" * 300 + b"\r\n",
+        b"SET k 5\r\nab",          # truncated payload
+        b"\x00\xff\xfe" * 40,
+        b"VALUE 10 1.0 1.0\r\n",   # response frame fed to request parser
+        b"\r\n\r\n\r\n",
+        b" \r\n",
+    ]),
+)
+
+
+def _fragments(data: bytes, cuts: list[int]):
+    """Split ``data`` at the (normalised) cut points."""
+    points = sorted({c % (len(data) + 1) for c in cuts})
+    out, prev = [], 0
+    for p in points:
+        out.append(data[prev:p])
+        prev = p
+    out.append(data[prev:])
+    return out
+
+
+class TestRequestParserNeverRaises:
+    @_FUZZ
+    @given(chunks=st.lists(_wire_bytes, max_size=8))
+    def test_arbitrary_chunks(self, chunks):
+        parser = protocol.RequestParser(max_value_bytes=1 << 16)
+        for chunk in chunks:
+            for request in parser.feed(chunk):
+                assert isinstance(request, protocol.Request)
+                # Every parse is either a known op or carries an error.
+                assert (
+                    request.error is not None
+                    or request.op in protocol.DEVICE_OPS | protocol.INLINE_OPS
+                )
+            if parser.fatal is not None:
+                # After a fatal framing error the parser stays quiet.
+                assert parser.feed(b"PING\r\n") == []
+
+    @_FUZZ
+    @given(data=_wire_bytes, cuts=st.lists(st.integers(0, 1 << 30), max_size=6))
+    def test_fragmentation_invariance(self, data, cuts):
+        whole = protocol.RequestParser(max_value_bytes=1 << 16)
+        split = protocol.RequestParser(max_value_bytes=1 << 16)
+        expected = whole.feed(data)
+        got = []
+        for frag in _fragments(data, cuts):
+            got.extend(split.feed(frag))
+        assert got == expected
+        assert (whole.fatal is None) == (split.fatal is None)
+
+
+class TestValidStreamUnderFragmentation:
+    @_FUZZ
+    @given(
+        keys=st.lists(
+            # Printable ASCII without space: exactly what _valid_key allows.
+            st.lists(
+                st.integers(0x21, 0x7E),
+                min_size=1,
+                max_size=protocol.MAX_KEY_BYTES,
+            ).map(bytes),
+            min_size=1,
+            max_size=6,
+        ),
+        values=st.lists(st.binary(max_size=64), min_size=1, max_size=6),
+        cuts=st.lists(st.integers(0, 1 << 30), max_size=8),
+    )
+    def test_requests_round_trip(self, keys, values, cuts):
+        wire = b""
+        expected_ops = []
+        for i, key in enumerate(keys):
+            value = values[i % len(values)]
+            wire += protocol.encode_set_request(key, value, float(i))
+            wire += protocol.encode_get_request(key)
+            expected_ops.extend(["SET", "GET"])
+        parser = protocol.RequestParser(max_value_bytes=1 << 16)
+        got = []
+        for frag in _fragments(wire, cuts):
+            got.extend(parser.feed(frag))
+        assert [r.op for r in got] == expected_ops
+        assert all(r.error is None for r in got)
+        assert parser.fatal is None
+
+
+class TestResponseParserRaisesOnlyValueError:
+    @_FUZZ
+    @given(chunks=st.lists(_wire_bytes, max_size=8))
+    def test_arbitrary_chunks(self, chunks):
+        parser = protocol.ResponseParser()
+        for chunk in chunks:
+            try:
+                for response in parser.feed(chunk):
+                    assert isinstance(response, protocol.Response)
+            except ValueError:
+                return  # broken stream: the client hangs up here
+
+    @_FUZZ
+    @given(cuts=st.lists(st.integers(0, 1 << 30), max_size=8))
+    def test_responses_round_trip(self, cuts):
+        wire = (
+            protocol.encode_stored(12.5, 3.25)
+            + protocol.encode_value(b"v" * 33, 7.0, 2.0)
+            + protocol.encode_not_found(1.0, 1.0)
+            + protocol.encode_busy(1234.5)
+            + protocol.encode_health("degraded", 1, 2, "open")
+            + protocol.encode_error("BACKEND", "boom")
+            + protocol.PONG
+        )
+        parser = protocol.ResponseParser()
+        got = []
+        for frag in _fragments(wire, cuts):
+            got.extend(parser.feed(frag))
+        assert [r.kind for r in got] == [
+            "STORED", "VALUE", "NOT_FOUND", "SERVER_BUSY",
+            "HEALTH", "ERR", "PONG",
+        ]
+        assert got[1].value == b"v" * 33

@@ -259,10 +259,11 @@ class TestLoadtest:
         out = capsys.readouterr().out
         assert "saturation knee" in out
         obj = json.loads(path.read_text())
-        assert obj["schema"] == 1
+        assert obj["schema"] == 2
         assert [row["offered_rps"] for row in obj["rows"]] == [3000.0, 150000.0]
         assert obj["knee_rps"] == 150000.0
         assert all(row["protocol_errors"] == 0 for row in obj["rows"])
+        assert all(row["retries"] == 0 for row in obj["rows"])
 
     def test_onoff_process_accepted(self, capsys):
         assert main(["loadtest", "--process", "onoff", "--rps", "4000",
@@ -271,3 +272,34 @@ class TestLoadtest:
     def test_config_choice_enforced(self):
         with pytest.raises(SystemExit):
             main(["loadtest", "--config", "nonsense"])
+
+    def test_retry_flag_prints_retry_columns(self, capsys):
+        assert main(["loadtest", "--rps", "4000", "--requests", "120",
+                     "--num-keys", "50", "--seed", "3", "--retry",
+                     "--max-attempts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "retries" in out and "gaveup" in out
+
+
+class TestChaos:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("slow-clients", "shard-loss-under-load",
+                     "power-cut-remount"):
+            assert name in out
+
+    def test_scenario_json_report(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        assert main(["chaos", "--scenario", "garbage-frames", "--seed", "3",
+                     "--requests", "120", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "garbage-frames" in out
+        obj = json.loads(path.read_text())
+        assert obj["schema"] == 1
+        assert obj["name"] == "garbage-frames"
+        assert obj["ok"] is True
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["chaos", "--scenario", "nonsense"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
