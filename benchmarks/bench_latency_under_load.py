@@ -8,11 +8,19 @@ rejections per rate, plus the detected saturation knee — vanilla
 (``backfill``: fine-grained piggyback + backfill packing), same seed,
 same arrival schedule.
 
+Schema 3 adds the **serving-mode** comparison: the same backfill store
+behind a 4-shard array, served serially (one op at a time, scalar
+virtual-time queue) versus batch-dispatched (``dispatch_batch=32``,
+``server_qd=16``: doorbell-flushed groups through the drivers' pipelined
+``put_many``/``get_many`` paths, per-shard QD-slot queueing model). The
+bench asserts the batched knee sits far to the right of the serial knee
+while low-load p50 stays honest.
+
 Everything is measured in *virtual* microseconds over the simulated
 device, and the client runs one connection, so the whole table is
 deterministic: the committed ``BENCH_latency_under_load.json`` is a
-reviewable diff, not a noisy measurement. A second run of one sweep
-point double-checks that before the file is written.
+reviewable diff, not a noisy measurement. Repeated sweep points
+double-check that before the file is written.
 
 Usage::
 
@@ -29,17 +37,39 @@ import sys
 from pathlib import Path
 
 from repro.loadgen import run_loadtest, run_rps_sweep
+from repro.serve.server import ServerSettings
 
 FULL_RPS_POINTS = [2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0]
 QUICK_RPS_POINTS = [4_000.0, 16_000.0, 64_000.0]
+
+#: The serving-mode sweeps reach far past the serial knee so the batched
+#: knee lands inside the swept range (first point shared with the serial
+#: grid for the low-load p50 comparison).
+FULL_MODE_POINTS = [2_000.0, 8_000.0, 32_000.0, 64_000.0, 128_000.0,
+                    256_000.0]
+QUICK_MODE_POINTS = [4_000.0, 64_000.0, 256_000.0]
 
 #: vanilla-vs-variant pair: page-granular PRP transfer vs the paper's
 #: piggyback + backfill packing stack.
 CONFIGS = ["baseline", "backfill"]
 
+#: Batched serving-path knobs (the 4x8 default NAND geometry has 32-way
+#: internal parallelism per device; four shards multiply it again).
+MODE_SHARDS = 4
+MODE_DISPATCH_BATCH = 32
+MODE_SERVER_QD = 16
+
+#: Knee-shift floor enforced on the regenerated artefact: the batched
+#: dispatcher must move the backfill knee at least this far right.
+KNEE_FACTOR_FULL = 3.0
+KNEE_FACTOR_QUICK = 2.0
+#: Low-load p50 budget: batched must stay within 10 % of serial.
+P50_BUDGET = 0.10
+
 
 def run_config_sweep(
-    preset: str, rps_points: list[float], requests: int, seed: int
+    preset: str, rps_points: list[float], requests: int, seed: int,
+    array_shards: int = 1, settings: ServerSettings | None = None,
 ) -> dict:
     return run_rps_sweep(
         rps_points,
@@ -50,18 +80,39 @@ def run_config_sweep(
         num_keys=200,
         value_size=256,
         read_fraction=0.5,
+        array_shards=array_shards,
+        settings=settings,
+        include_server_stats=True,
     )
 
 
-def check_determinism(preset: str, rps: float, requests: int, seed: int) -> bool:
+def batched_settings() -> ServerSettings:
+    return ServerSettings(
+        dispatch_batch=MODE_DISPATCH_BATCH, server_qd=MODE_SERVER_QD
+    )
+
+
+def check_determinism(preset: str, rps: float, requests: int, seed: int,
+                      array_shards: int = 1,
+                      settings: ServerSettings | None = None) -> bool:
     """Two identical runs must produce identical reports."""
-    first = run_loadtest(
-        preset, rps=rps, requests=requests, conns=1, seed=seed, num_keys=200
-    )
-    second = run_loadtest(
-        preset, rps=rps, requests=requests, conns=1, seed=seed, num_keys=200
-    )
-    return first.to_dict() == second.to_dict()
+    kwargs = dict(rps=rps, requests=requests, conns=1, seed=seed,
+                  num_keys=200, array_shards=array_shards, settings=settings)
+    return run_loadtest(preset, **kwargs).to_dict() == \
+        run_loadtest(preset, **kwargs).to_dict()
+
+
+def _print_sweep(label: str, sweep: dict) -> None:
+    knee = sweep["knee_rps"]
+    print(f"{label}: knee = "
+          f"{'none' if knee is None else '%.0f rps' % knee}")
+    for row in sweep["rows"]:
+        print(f"  rps {row['offered_rps']:>8.0f}: "
+              f"achieved {row['achieved_rps']:>9.1f}, "
+              f"p50 {row['p50_us']:>9.1f} us, "
+              f"p99 {row['p99_us']:>9.1f} us, "
+              f"p999 {row['p999_us']:>9.1f} us, "
+              f"busy {row['busy_rejected']}")
 
 
 def main(argv=None) -> int:
@@ -76,11 +127,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     rps_points = QUICK_RPS_POINTS if args.quick else FULL_RPS_POINTS
+    mode_points = QUICK_MODE_POINTS if args.quick else FULL_MODE_POINTS
     requests = 400 if args.quick else 1_500
+    knee_factor = KNEE_FACTOR_QUICK if args.quick else KNEE_FACTOR_FULL
 
     report = {
         # 2: rows carry retry accounting (retries/gave_up/deadline_exceeded).
-        "schema": 2,
+        # 3: rows carry populated server_stats; serving_modes section
+        #    compares the serial and batch-dispatched serving paths.
+        "schema": 3,
         "quick": args.quick,
         "seed": args.seed,
         "requests_per_point": requests,
@@ -90,15 +145,58 @@ def main(argv=None) -> int:
     for preset in CONFIGS:
         sweep = run_config_sweep(preset, rps_points, requests, args.seed)
         report["configs"][preset] = sweep
-        print(f"{preset}: knee = "
-              f"{'none' if sweep['knee_rps'] is None else '%.0f rps' % sweep['knee_rps']}")
-        for row in sweep["rows"]:
-            print(f"  rps {row['offered_rps']:>8.0f}: "
-                  f"achieved {row['achieved_rps']:>9.1f}, "
-                  f"p50 {row['p50_us']:>9.1f} us, "
-                  f"p99 {row['p99_us']:>9.1f} us, "
-                  f"p999 {row['p999_us']:>9.1f} us, "
-                  f"busy {row['busy_rejected']}")
+        _print_sweep(preset, sweep)
+
+    # --- serving-mode comparison: serial vs batched dispatch ---------------
+    serial_sweep = run_config_sweep(
+        "backfill", mode_points, requests, args.seed,
+        array_shards=MODE_SHARDS,
+    )
+    batched_sweep = run_config_sweep(
+        "backfill", mode_points, requests, args.seed,
+        array_shards=MODE_SHARDS, settings=batched_settings(),
+    )
+    _print_sweep(f"serial (backfill x{MODE_SHARDS})", serial_sweep)
+    _print_sweep(
+        f"batched (backfill x{MODE_SHARDS}, "
+        f"db={MODE_DISPATCH_BATCH}, qd={MODE_SERVER_QD})", batched_sweep,
+    )
+    serial_knee = serial_sweep["knee_rps"]
+    batched_knee = batched_sweep["knee_rps"]
+    # A knee of None means the service never saturated inside the swept
+    # range: score it as just past the last point (a lower bound).
+    score = lambda knee: knee if knee is not None else 2.0 * mode_points[-1]  # noqa: E731
+    knee_ratio = round(score(batched_knee) / score(serial_knee), 3)
+    serial_p50 = serial_sweep["rows"][0]["p50_us"]
+    batched_p50 = batched_sweep["rows"][0]["p50_us"]
+    p50_delta = round((batched_p50 - serial_p50) / serial_p50, 4)
+    report["serving_modes"] = {
+        "settings": {
+            "array_shards": MODE_SHARDS,
+            "dispatch_batch": MODE_DISPATCH_BATCH,
+            "server_qd": MODE_SERVER_QD,
+        },
+        "serial": serial_sweep,
+        "batched": batched_sweep,
+        "knee_shift": {
+            "serial_knee_rps": serial_knee,
+            "batched_knee_rps": batched_knee,
+            "ratio": knee_ratio,
+            "required_factor": knee_factor,
+        },
+        "low_load_p50": {
+            "offered_rps": mode_points[0],
+            "serial_p50_us": serial_p50,
+            "batched_p50_us": batched_p50,
+            "delta_fraction": p50_delta,
+            "budget": P50_BUDGET,
+        },
+    }
+    print(f"knee shift: serial {score(serial_knee):.0f} -> "
+          f"batched {score(batched_knee):.0f} rps ({knee_ratio:.1f}x, "
+          f"need >= {knee_factor:.0f}x)")
+    print(f"low-load p50: serial {serial_p50:.1f} us, batched "
+          f"{batched_p50:.1f} us ({p50_delta:+.1%}, budget {P50_BUDGET:.0%})")
 
     status = 0
     total_protocol_errors = sum(
@@ -108,6 +206,15 @@ def main(argv=None) -> int:
     )
     if total_protocol_errors:
         print(f"FAIL: {total_protocol_errors} protocol errors during the sweep")
+        status = 1
+    empty_stats_rows = sum(
+        1
+        for sweep in report["configs"].values()
+        for row in sweep["rows"]
+        if not row["server_stats"]
+    )
+    if empty_stats_rows:
+        print(f"FAIL: {empty_stats_rows} rows have empty server_stats")
         status = 1
 
     vanilla = report["configs"]["baseline"]
@@ -121,12 +228,33 @@ def main(argv=None) -> int:
               f"vanilla ({v_knee:.0f})")
         status = 1
 
+    if serial_knee is None:
+        print("FAIL: serial serving path never saturated — sweep range "
+              "too short to measure the knee shift")
+        status = 1
+    elif knee_ratio < knee_factor:
+        print(f"FAIL: batched knee moved only {knee_ratio:.1f}x "
+              f"(need >= {knee_factor:.0f}x)")
+        status = 1
+    if batched_p50 > (1.0 + P50_BUDGET) * serial_p50:
+        print(f"FAIL: batched low-load p50 {batched_p50:.1f} us exceeds "
+              f"serial {serial_p50:.1f} us by more than {P50_BUDGET:.0%}")
+        status = 1
+
     deterministic = check_determinism(
         "backfill", rps_points[0], requests, args.seed
     )
     report["deterministic"] = deterministic
     if not deterministic:
         print("FAIL: repeated sweep point produced a different report")
+        status = 1
+    batched_deterministic = check_determinism(
+        "backfill", mode_points[-1], requests, args.seed,
+        array_shards=MODE_SHARDS, settings=batched_settings(),
+    )
+    report["batched_deterministic"] = batched_deterministic
+    if not batched_deterministic:
+        print("FAIL: repeated batched sweep point produced a different report")
         status = 1
 
     out_path = Path(args.out)

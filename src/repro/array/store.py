@@ -55,6 +55,7 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultPlan
 from repro.nvme.command import MAX_KEY_BYTES
+from repro.nvme.opcodes import StatusCode
 from repro.sim.stats import MetricSet
 
 #: Snapshot keys that must not be summed across shards in the global rollup.
@@ -308,6 +309,196 @@ class ArrayStore:
     def exists(self, key: bytes) -> bool:
         found, _ = self._read(key)
         return found
+
+    # --- batched operations -------------------------------------------------
+
+    def put_many(self, pairs, queue_depth: int | None = None) -> list:
+        """Replicated PUT of many pairs via per-device pipelined batches.
+
+        Each device's share of the batch runs through the driver's
+        :meth:`~repro.core.driver.BandSlimDriver.put_many` (up to
+        ``queue_depth`` commands in flight), so devices overlap internally
+        *and* run in parallel with each other. Returns per-op outcomes
+        aligned with ``pairs``: the array-level latency (µs, quorum-th
+        fastest replica ack) for acked writes, or the
+        :class:`~repro.errors.QuorumError` for ops that missed quorum (the
+        batch never aborts on one failed op).
+
+        The host clock advances once, by the slowest device's batch
+        elapsed plus any pending rebuild stall — the parallel-schedule
+        analog of :meth:`put`'s per-op advance. A device batch that dies
+        with :class:`~repro.errors.PowerLossError` (device marked DOWN) or
+        :class:`~repro.errors.CommandTimeoutError` conservatively marks
+        *every* key of that device's share missed; read-repair and rebuild
+        heal any copies that actually landed.
+        """
+        qd = self._queue_depth if queue_depth is None else queue_depth
+        pairs = list(pairs)
+        outcomes: list = [None] * len(pairs)
+        ack_lats: list[list[float]] = [[] for _ in pairs]
+        per_device: dict[int, list[tuple[int, bytes, bytes]]] = {}
+        for pos, (key, value) in enumerate(pairs):
+            self._check_key(key)
+            if not isinstance(value, bytes):
+                raise NVMeError(
+                    f"values must be bytes, got {type(value).__name__}"
+                )
+            if len(value) > self.config.max_value_bytes - HEADER_BYTES:
+                raise NVMeError(
+                    f"value of {len(value)} bytes exceeds the array maximum "
+                    f"of {self.config.max_value_bytes - HEADER_BYTES}"
+                )
+            self._op_seq += 1
+            blob = encode_value(self._op_seq, value, tombstone=False)
+            for index in self.ring.replicas(key, self.replication):
+                shard = self.devices[index]
+                if shard.state is DeviceState.DOWN:
+                    shard.missed.add(key)
+                    continue
+                per_device.setdefault(index, []).append((pos, key, blob))
+        elapsed = 0.0
+        for index in sorted(per_device):
+            shard = self.devices[index]
+            items = per_device[index]
+            t0 = shard.device.clock.now_us
+            try:
+                results = shard.driver.put_many(
+                    [(key, blob) for _, key, blob in items], queue_depth=qd,
+                )
+            except PowerLossError:
+                self._mark_down(shard)
+                for _, key, _ in items:
+                    shard.missed.add(key)
+                    self._c_replica_write_failures.add(1)
+                continue
+            except CommandTimeoutError:
+                for _, key, _ in items:
+                    shard.missed.add(key)
+                    self._c_replica_write_failures.add(1)
+                continue
+            elapsed = max(elapsed, shard.device.clock.now_us - t0)
+            for (pos, key, _), result in zip(items, results):
+                if result is None or not result.ok:
+                    shard.missed.add(key)
+                    self._c_replica_write_failures.add(1)
+                    continue
+                shard.missed.discard(key)
+                if shard.up:
+                    # REBUILDING replicas take the write to stay warm but
+                    # do not count toward the quorum until caught up.
+                    ack_lats[pos].append(result.latency_us)
+        stall = self._pending_stall_us
+        self._pending_stall_us = 0.0
+        self._clock.advance(elapsed + stall)
+        for pos, (key, _) in enumerate(pairs):
+            lats = sorted(ack_lats[pos])
+            if len(lats) < self.write_quorum:
+                self._c_quorum_failures.add(1)
+                outcomes[pos] = QuorumError(
+                    f"put of key {key!r} reached {len(lats)} of "
+                    f"{self.write_quorum} required replica ack(s)"
+                )
+                continue
+            latency = lats[self.write_quorum - 1]
+            self._h_put.record(latency)
+            self._s_put.record(latency)
+            self._c_puts.add(1)
+            outcomes[pos] = latency
+        self._pump_rebuild()
+        return outcomes
+
+    def get_many(self, keys, queue_depth: int | None = None) -> list:
+        """Failover-aware batched read of many keys.
+
+        Keys whose first-preference replica is healthy (and not known to
+        have missed the key) are grouped per device and read through the
+        driver's pipelined :meth:`~repro.core.driver.BandSlimDriver.get_many`;
+        everything else — downed or lagging primaries, replica errors mid-
+        batch — falls back to the serial failover + read-repair path one
+        key at a time, exactly as :meth:`get` would.
+
+        Returns per-key outcomes aligned with ``keys``: a
+        ``(found, payload, latency_us)`` tuple (``found`` False for absent
+        or tombstoned keys, with ``payload`` empty), or the
+        :class:`~repro.errors.ArrayError` when no healthy replica of the
+        key was reachable at all.
+        """
+        qd = self._queue_depth if queue_depth is None else queue_depth
+        keys = list(keys)
+        entries: list = [None] * len(keys)
+        targets_of: list[tuple[int, ...]] = []
+        per_device: dict[int, list[tuple[int, bytes]]] = {}
+        fallback: list[int] = []
+        for pos, key in enumerate(keys):
+            self._check_key(key)
+            targets = self.ring.replicas(key, self.replication)
+            targets_of.append(targets)
+            primary = self.devices[targets[0]]
+            if primary.up and key not in primary.missed:
+                per_device.setdefault(targets[0], []).append((pos, key))
+            else:
+                fallback.append(pos)
+        elapsed = 0.0
+        batched_any = False
+        for index in sorted(per_device):
+            shard = self.devices[index]
+            items = per_device[index]
+            t0 = shard.device.clock.now_us
+            try:
+                results = shard.driver.get_many(
+                    [key for _, key in items], queue_depth=qd,
+                )
+            except PowerLossError:
+                self._mark_down(shard)
+                fallback.extend(pos for pos, _ in items)
+                continue
+            except CommandTimeoutError:
+                fallback.extend(pos for pos, _ in items)
+                continue
+            elapsed = max(elapsed, shard.device.clock.now_us - t0)
+            batched_any = True
+            for (pos, _), result in zip(items, results):
+                if result.ok and result.value is not None:
+                    _, tombstone, payload = decode_value(result.value)
+                    self._h_get.record(result.latency_us)
+                    self._s_get.record(result.latency_us)
+                    self._c_gets.add(1)
+                    entries[pos] = (
+                        not tombstone,
+                        payload if not tombstone else b"",
+                        result.latency_us,
+                    )
+                elif result.status is StatusCode.KEY_NOT_FOUND:
+                    # Authoritative: the primary took every write for it.
+                    self._c_gets.add(1)
+                    entries[pos] = (False, b"", result.latency_us)
+                else:
+                    fallback.append(pos)
+        if batched_any:
+            stall = self._pending_stall_us
+            self._pending_stall_us = 0.0
+            self._clock.advance(elapsed + stall)
+        for pos in sorted(fallback):
+            key = keys[pos]
+            self._c_failovers.add(1)
+            try:
+                newest, fan_latency = self._read_repair(key, targets_of[pos])
+            except ArrayError as exc:
+                entries[pos] = exc
+                continue
+            latency = self._finish_op(fan_latency, self._h_get, self._s_get)
+            self._c_gets.add(1)
+            if newest is None:
+                entries[pos] = (False, b"", latency)
+            else:
+                _, tombstone, payload = newest
+                entries[pos] = (
+                    not tombstone,
+                    payload if not tombstone else b"",
+                    latency,
+                )
+        self._pump_rebuild()
+        return entries
 
     # --- write path --------------------------------------------------------
 

@@ -91,6 +91,13 @@ class ChaosBackend:
     def supports_scan(self) -> bool:
         return self.inner.supports_scan
 
+    @property
+    def shards(self) -> int:
+        return self.inner.shards
+
+    def shard_of(self, key) -> int:
+        return self.inner.shard_of(key)
+
     def health(self) -> dict:
         return self.inner.health()
 
@@ -110,6 +117,35 @@ class ChaosBackend:
             self._next_action += 1
         self.ops_seen += 1
         return self.inner.execute(request)
+
+    def execute_batch(self, requests, queue_depth: int = 1) -> list:
+        """Batched execution with faults still landing at exact op indices.
+
+        A batch is split at every pending action's ``at_op`` boundary:
+        the sub-slice up to the boundary executes through the inner
+        backend's pipelined ``execute_batch``, the due action fires, and
+        the remainder continues. A fault scripted for executed-op index N
+        therefore fires between op N-1 and op N regardless of how the
+        dispatcher grouped the stream — same placement, byte-identical
+        virtual time, as the serial worker would give it.
+        """
+        results: list = []
+        start = 0
+        actions = self.actions
+        while start < len(requests):
+            while (self._next_action < len(actions)
+                   and actions[self._next_action].at_op <= self.ops_seen):
+                self._fire(actions[self._next_action])
+                self._next_action += 1
+            count = len(requests) - start
+            if self._next_action < len(actions):
+                gap = actions[self._next_action].at_op - self.ops_seen
+                count = max(1, min(count, gap))
+            sub = requests[start:start + count]
+            results.extend(self.inner.execute_batch(sub, queue_depth))
+            self.ops_seen += count
+            start += count
+        return results
 
     def _fire(self, action: BackendAction) -> None:
         store = self.inner.store

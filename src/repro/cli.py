@@ -399,6 +399,10 @@ def _server_settings_from_args(args: argparse.Namespace):
         settings.breaker_error_threshold = args.breaker_threshold
     if getattr(args, "breaker_probe_every", None) is not None:
         settings.breaker_probe_every = args.breaker_probe_every
+    if getattr(args, "dispatch_batch", None) is not None:
+        settings.dispatch_batch = args.dispatch_batch
+    if getattr(args, "server_qd", None) is not None:
+        settings.server_qd = args.server_qd
     return settings
 
 
@@ -487,6 +491,14 @@ _LOADTEST_HEADER = (f"  {'offered':>9} {'achieved':>10} {'p50_us':>10} "
                     f"{'retries':>7} {'gaveup':>6} {'err':>5}")
 
 
+def _print_profile(profile: dict) -> None:
+    print(f"profile: {profile['total_time_s']:.3f}s total, "
+          f"hottest functions:")
+    for row in profile["top"][:5]:
+        print(f"  {row['cumtime_s']:>8.3f}s cum {row['tottime_s']:>8.3f}s "
+              f"self {row['ncalls']:>8}x  {row['function']}")
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.loadgen import run_loadtest, run_rps_sweep
 
@@ -502,10 +514,28 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         array_shards=args.shards,
         settings=_server_settings_from_args(args),
         retry=_retry_policy_from_args(args),
+        include_server_stats=args.server_stats,
     )
+    profile = {} if args.profile else None
     if args.rps_sweep:
         points = [float(p) for p in args.rps_sweep.split(",") if p.strip()]
-        report = run_rps_sweep(points, args.config, **kwargs)
+        if profile is None:
+            report = run_rps_sweep(points, args.config, **kwargs)
+        else:
+            # Profile the whole sweep in one go (per-point profiles would
+            # just overwrite each other in the report).
+            import cProfile
+
+            from repro.loadgen.runner import _profile_top
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                report = run_rps_sweep(points, args.config, **kwargs)
+            finally:
+                profiler.disable()
+            profile.update(_profile_top(profiler))
+            report["profile"] = profile
         print(f"open-loop sweep: {args.config}, {args.process} arrivals, "
               f"{args.requests} requests/point, {args.conns} conn(s), "
               f"seed {args.seed}")
@@ -515,25 +545,32 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         knee = report["knee_rps"]
         print(f"saturation knee: "
               f"{'none detected' if knee is None else '%.0f rps' % knee}")
+        if profile:
+            _print_profile(profile)
         if args.json:
             _write_json_report(args.json, report)
             if args.json != "-":
                 print(f"report -> {args.json}")
         return 0
-    result = run_loadtest(args.config, rps=args.rps, **kwargs)
+    result = run_loadtest(args.config, rps=args.rps, profile=profile, **kwargs)
     row = result.to_dict()
     print(f"open-loop run: {args.config}, {args.process} arrivals, "
           f"seed {args.seed}")
     print(_LOADTEST_HEADER)
     print(_loadtest_row(row))
+    if profile:
+        _print_profile(profile)
     if row["protocol_errors"]:
         print(f"PROTOCOL ERRORS: {row['protocol_errors']}", file=sys.stderr)
         return 1
     if args.json:
         from repro.loadgen import REPORT_SCHEMA
 
-        _write_json_report(args.json, {"schema": REPORT_SCHEMA, "rows": [row],
-                                       "preset": args.config, "knee_rps": None})
+        obj = {"schema": REPORT_SCHEMA, "rows": [row],
+               "preset": args.config, "knee_rps": None}
+        if profile:
+            obj["profile"] = profile
+        _write_json_report(args.json, obj)
         if args.json != "-":
             print(f"report -> {args.json}")
     return 0
@@ -736,6 +773,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "breaker (0 = disabled)")
     p.add_argument("--breaker-probe-every", type=int, default=None,
                    help="while open, admit every Nth device op as a probe")
+    p.add_argument("--dispatch-batch", type=int, default=None,
+                   help="device ops buffered per connection before a forced "
+                        "flush (>1 = batched dispatch; clients should ring "
+                        "the DISPATCH doorbell)")
+    p.add_argument("--server-qd", type=int, default=None,
+                   help="virtual QD slots per shard in the queueing model, "
+                        "and the pipelined batch depth handed to the device")
 
     p = sub.add_parser("loadtest",
                        help="open-loop load against an in-process server")
@@ -759,6 +803,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1)
     p.add_argument("--max-inflight", type=int, default=None)
     p.add_argument("--max-queue-delay-us", type=float, default=None)
+    p.add_argument("--dispatch-batch", type=int, default=None,
+                   help="server-side batch size (>1 = batched dispatch; the "
+                        "client rings the doorbell every "
+                        "min(dispatch_batch, window) ops)")
+    p.add_argument("--server-qd", type=int, default=None,
+                   help="virtual QD slots per shard in the server's "
+                        "queueing model")
+    p.add_argument("--server-stats", action="store_true",
+                   help="include the server-side serve.* counters in the "
+                        "report rows (default off keeps reports byte-stable)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the run and record the hottest functions "
+                        "in the report (wall-clock, so not deterministic)")
     p.add_argument("--retry", action="store_true",
                    help="retry SERVER_BUSY with capped exponential backoff "
                         "(charged in virtual time; default off)")

@@ -100,14 +100,29 @@ async def _run_connection(
     result: ClientRunResult,
     retry: RetryPolicy | None,
     rng: random.Random,
+    dispatch_every: int = 0,
 ) -> None:
-    """Drive one connection through its slice of the schedule."""
+    """Drive one connection through its slice of the schedule.
+
+    ``dispatch_every > 0`` rings the server's ``DISPATCH`` doorbell after
+    every that-many ops, after the last scheduled op, and after every
+    retry re-send — so a batching server never sits on buffered ops the
+    client is waiting out. Callers clamp it to the send window: at most
+    ``dispatch_every - 1`` ops can be buffered server-side, so a full
+    window always has at least one flushed (answerable) request.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     parser = protocol.ResponseParser()
     pending: deque[_Pending] = deque()  # send order == response order
     slots = asyncio.Semaphore(window)
     finished = 0
     expected = len(schedule)
+    since_doorbell = 0
+
+    def _doorbell() -> None:
+        nonlocal since_doorbell
+        writer.write(protocol.DISPATCH_REQUEST)
+        since_doorbell = 0
 
     def _terminal(pend: _Pending, kind: str, latency_us: float,
                   detail: str = "") -> None:
@@ -149,6 +164,10 @@ async def _run_connection(
         # and write: pending order must match bytes-on-the-wire order).
         pending.append(pend)
         writer.write(_encode(pend.op, pend.arrival_us))
+        if dispatch_every > 0:
+            # A retried op must never sit buffered: by now it may be the
+            # only op left, with no later sends to ring the doorbell.
+            _doorbell()
 
     async def read_loop() -> None:
         while finished < expected:
@@ -173,6 +192,13 @@ async def _run_connection(
             )
             pending.append(pend)
             writer.write(_encode(op, arrival))
+            if dispatch_every > 0:
+                since_doorbell += 1
+                if since_doorbell >= dispatch_every:
+                    _doorbell()
+            await writer.drain()
+        if dispatch_every > 0 and since_doorbell > 0:
+            _doorbell()
             await writer.drain()
         await read_task
     finally:
@@ -194,16 +220,23 @@ async def run_client(
     window: int = 64,
     retry: RetryPolicy | None = None,
     seed: int = 0,
+    dispatch_every: int = 0,
 ) -> ClientRunResult:
     """Send ``ops`` on the ``arrivals`` schedule over ``conns`` connections.
 
     ``retry`` enables SERVER_BUSY retry with backoff; ``seed`` feeds the
     per-connection jitter RNGs (ignored without a policy).
+    ``dispatch_every > 0`` rings the batching server's doorbell every
+    that-many ops per connection (clamped to ``window`` to keep the
+    pipeline deadlock-free); 0 sends no doorbells (serial servers).
     """
     if len(ops) != len(arrivals):
         raise ValueError("ops and arrivals must be the same length")
     if conns <= 0 or window <= 0:
         raise ValueError("conns and window must be positive")
+    if dispatch_every < 0:
+        raise ValueError("dispatch_every must be >= 0")
+    dispatch_every = min(dispatch_every, window)
     schedules: list[list[tuple[LoadOp, int, float]]] = [[] for _ in range(conns)]
     for index, (op, arrival) in enumerate(zip(ops, arrivals)):
         schedules[index % conns].append((op, index, arrival))
@@ -212,7 +245,7 @@ async def run_client(
         *(
             _run_connection(
                 host, port, schedule, window, result, retry,
-                random.Random(seed + offset),
+                random.Random(seed + offset), dispatch_every,
             )
             for offset, schedule in enumerate(schedules)
             if schedule

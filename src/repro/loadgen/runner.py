@@ -14,7 +14,10 @@ Report schema history:
   ``gave_up`` (attempts exhausted) and ``deadline_exceeded`` (retry
   would slip past the per-op deadline) columns; give-ups count as
   rejections for knee detection so retrying clients cannot mask the
-  saturation knee.
+  saturation knee. The batched dispatch path (``dispatch_batch`` /
+  ``server_qd``) added no row fields, so the row schema stays 2; the
+  latency-under-load *bench* bumped its own top-level schema to 3 when
+  it grew batched sweeps (see ``benchmarks/bench_latency_under_load.py``).
 """
 
 from __future__ import annotations
@@ -135,8 +138,17 @@ def run_loadtest(
     settings: ServerSettings | None = None,
     retry: RetryPolicy | None = None,
     include_server_stats: bool = False,
+    profile: dict | None = None,
 ) -> LoadtestReport:
-    """Boot an in-process server, preload, run one open-loop burst."""
+    """Boot an in-process server, preload, run one open-loop burst.
+
+    When ``settings`` enables batched dispatch (``dispatch_batch > 1``),
+    the client rings the server's doorbell every
+    ``min(dispatch_batch, window)`` ops, so server-side batch boundaries
+    track the configured batch size without ever deadlocking the send
+    window. ``profile`` (a dict) turns on cProfile around the run and is
+    filled with the hottest functions (see :func:`_profile_top`).
+    """
     try:
         arrival_fn = ARRIVAL_PROCESSES[process]
     except KeyError:
@@ -153,6 +165,11 @@ def run_loadtest(
         seed=seed,
     )
     arrivals = arrival_fn(rps, requests, seed=seed + 1)
+    server_settings = settings or ServerSettings()
+    if server_settings.dispatch_batch > 1:
+        dispatch_every = min(server_settings.dispatch_batch, window)
+    else:
+        dispatch_every = 0
     report = LoadtestReport(
         preset=preset,
         process=process,
@@ -166,12 +183,12 @@ def run_loadtest(
         backend = StoreBackend.build(preset, array_shards=array_shards)
         for key, value in preload_values(num_keys, value_size, seed=seed):
             backend.store.put(key, value)
-        server = KVServer(backend, settings)
+        server = KVServer(backend, server_settings)
         host, port = await server.start()
         try:
             result = await run_client(
                 host, port, ops, arrivals, conns=conns, window=window,
-                retry=retry, seed=seed + 2,
+                retry=retry, seed=seed + 2, dispatch_every=dispatch_every,
             )
         finally:
             await server.stop()
@@ -183,8 +200,47 @@ def run_loadtest(
                 if name.startswith("serve.")
             }
 
-    asyncio.run(_run())
+    if profile is None:
+        asyncio.run(_run())
+    else:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            asyncio.run(_run())
+        finally:
+            profiler.disable()
+        profile.update(_profile_top(profiler))
     return report
+
+
+def _profile_top(profiler, limit: int = 20) -> dict:
+    """The hottest functions of a cProfile run, as plain JSON rows.
+
+    Sorted by cumulative time; wall-clock numbers, so only meaningful
+    with profiling explicitly requested (never part of deterministic
+    artefacts).
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    total = round(getattr(stats, "total_tt", 0.0), 6)
+    rows = []
+    entries = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    for (filename, lineno, name), info in entries[:limit]:
+        _, ncalls, tottime, cumtime, _ = info
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return {"total_time_s": total, "top": rows}
 
 
 def detect_knee(

@@ -93,6 +93,25 @@ class StoreBackend:
             return self.store.config.max_value_bytes
         return self.store.device.config.max_value_bytes
 
+    @property
+    def shards(self) -> int:
+        """Independent device stacks behind this backend (1 for KVStore)."""
+        store = self.store
+        return len(store.devices) if hasattr(store, "devices_up") else 1
+
+    def shard_of(self, key: bytes | None) -> int:
+        """The shard that owns ``key`` in the server's queueing model.
+
+        For an ArrayStore this is the first-preference replica on the
+        hash ring (writes also fan to the other replicas, but the owner
+        is what the per-shard QD-slot model charges); single-device
+        stores — and key-less ops like SCAN — map to shard 0.
+        """
+        store = self.store
+        if key is not None and hasattr(store, "replicas_of"):
+            return store.replicas_of(key)[0]
+        return 0
+
     def execute(self, request: Request) -> ExecResult:
         """Run one device op; service time is the simulated-clock delta."""
         t0 = self._now()
@@ -131,6 +150,147 @@ class StoreBackend:
         return ExecResult(
             kind="ERR", service_us=0.0, detail=f"unhandled op {request.op!r}",
         )
+
+    def execute_batch(
+        self, requests: list[Request], queue_depth: int = 1
+    ) -> list[ExecResult]:
+        """Execute a group of device ops, pipelining same-kind runs.
+
+        Outcome-equivalent to calling :meth:`execute` per request in
+        order: the group is cut into **conflict-free windows** — a window
+        never holds the same key twice unless both ops are GETs, and any
+        op that is not SET/GET/DEL (SCAN, unknown) is a barrier — so
+        executing a window's SETs as one pipelined ``put_many`` and its
+        GETs as one ``get_many`` (their key sets are disjoint within the
+        window) cannot change any response. DELs and barriers run
+        serially through :meth:`execute`.
+
+        Per-op ``service_us`` for batched ops is the op's own simulated
+        latency *within* the pipelined schedule (concurrent ops overlap,
+        so each carries its latency under load — the server's QD-slot
+        model is what turns those into completions). A driver-level
+        failure that aborts a whole device batch maps every op of that
+        sub-batch to ``ERR`` — the batch analog of an NVMe queue abort.
+        """
+        results: list[ExecResult | None] = [None] * len(requests)
+        window: list[tuple[int, Request]] = []
+        seen: dict[bytes, str] = {}
+        for pos, request in enumerate(requests):
+            if request.op not in ("SET", "GET", "DEL"):
+                # Barrier (SCAN, unhandled): flush, run solo, start fresh.
+                self._flush_window(window, results, queue_depth)
+                window, seen = [], {}
+                results[pos] = self.execute(request)
+                continue
+            prior = seen.get(request.key)
+            if prior is not None and (prior != "GET" or request.op != "GET"):
+                self._flush_window(window, results, queue_depth)
+                window, seen = [], {}
+            window.append((pos, request))
+            seen[request.key] = request.op
+        self._flush_window(window, results, queue_depth)
+        return results
+
+    def _flush_window(self, window, results, queue_depth: int) -> None:
+        """Run one conflict-free window: batch the SETs and GETs."""
+        sets = [(pos, req) for pos, req in window if req.op == "SET"]
+        gets = [(pos, req) for pos, req in window if req.op == "GET"]
+        rest = [(pos, req) for pos, req in window if req.op == "DEL"]
+        if len(sets) > 1:
+            self._set_batch(sets, results, queue_depth)
+        else:
+            for pos, req in sets:
+                results[pos] = self.execute(req)
+        if len(gets) > 1:
+            self._get_batch(gets, results, queue_depth)
+        else:
+            for pos, req in gets:
+                results[pos] = self.execute(req)
+        for pos, req in rest:
+            results[pos] = self.execute(req)
+
+    def _set_batch(self, items, results, queue_depth: int) -> None:
+        pairs = [(req.key, req.value) for _, req in items]
+        store = self.store
+        try:
+            if hasattr(store, "put_many"):  # sharded ArrayStore
+                for (pos, _), outcome in zip(
+                    items, store.put_many(pairs, queue_depth=queue_depth)
+                ):
+                    if isinstance(outcome, ReproError):
+                        results[pos] = ExecResult(
+                            kind="ERR", service_us=0.0, detail=str(outcome),
+                        )
+                    else:
+                        results[pos] = ExecResult(
+                            kind="STORED", service_us=outcome,
+                        )
+                return
+            for (pos, _), result in zip(
+                items, store.driver.put_many(pairs, queue_depth=queue_depth)
+            ):
+                if result.ok:
+                    results[pos] = ExecResult(
+                        kind="STORED", service_us=result.latency_us,
+                    )
+                else:
+                    results[pos] = ExecResult(
+                        kind="ERR", service_us=result.latency_us,
+                        detail=f"PUT failed with status {result.status.name}",
+                    )
+        except ReproError as exc:
+            for pos, _ in items:
+                if results[pos] is None:
+                    results[pos] = ExecResult(
+                        kind="ERR", service_us=0.0, detail=str(exc),
+                    )
+
+    def _get_batch(self, items, results, queue_depth: int) -> None:
+        keys = [req.key for _, req in items]
+        store = self.store
+        try:
+            if hasattr(store, "get_many") and hasattr(store, "devices_up"):
+                for (pos, _), entry in zip(
+                    items, store.get_many(keys, queue_depth=queue_depth)
+                ):
+                    if isinstance(entry, ReproError):
+                        results[pos] = ExecResult(
+                            kind="ERR", service_us=0.0, detail=str(entry),
+                        )
+                        continue
+                    found, payload, latency = entry
+                    if found:
+                        results[pos] = ExecResult(
+                            kind="VALUE", service_us=latency, value=payload,
+                        )
+                    else:
+                        results[pos] = ExecResult(
+                            kind="NOT_FOUND", service_us=latency,
+                        )
+                return
+            for (pos, _), result in zip(
+                items, store.driver.get_many(keys, queue_depth=queue_depth)
+            ):
+                if result.ok and result.value is not None:
+                    results[pos] = ExecResult(
+                        kind="VALUE", service_us=result.latency_us,
+                        value=result.value,
+                    )
+                elif result.status.name == "KEY_NOT_FOUND":
+                    results[pos] = ExecResult(
+                        kind="NOT_FOUND", service_us=result.latency_us,
+                    )
+                else:
+                    results[pos] = ExecResult(
+                        kind="ERR", service_us=result.latency_us,
+                        detail=f"GET failed with status {result.status.name}",
+                    )
+        except ReproError as exc:
+            for pos, _ in items:
+                if results[pos] is None:
+                    results[pos] = ExecResult(
+                        kind="ERR", service_us=0.0, detail=str(exc),
+                    )
 
     def health(self) -> dict:
         """Degraded-mode view of the backing store (HEALTH passthrough).

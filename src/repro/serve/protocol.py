@@ -11,6 +11,7 @@ payload (``<vlen>`` bytes plus a trailing CRLF) after its command line:
     SCAN <start_key> <limit> [<arrival_us>]
     STATS
     QUIT
+    DISPATCH    (response-less batching doorbell; see HINT_OPS)
 
 ``<arrival_us>`` is the request's *virtual* arrival timestamp in
 microseconds, relative to the session start — the open-loop load
@@ -50,6 +51,13 @@ _CRLF = b"\r\n"
 #: Commands the device worker executes (everything else is served inline).
 DEVICE_OPS = frozenset({"SET", "GET", "DEL", "SCAN"})
 INLINE_OPS = frozenset({"PING", "STATS", "QUIT", "HEALTH"})
+#: Response-less client hints (memcached ``noreply`` precedent). ``DISPATCH``
+#: is the batching doorbell: a server running with ``dispatch_batch > 1``
+#: flushes the connection's buffered device ops to the worker when it sees
+#: one. Because the doorbell is a *byte-stream position* (not a wall-clock
+#: timer), batch boundaries — and therefore the virtual-time schedule — are
+#: deterministic for a fixed request stream. A serial server ignores it.
+HINT_OPS = frozenset({"DISPATCH"})
 
 #: Client-side sanity bound on any length header in a *response* (the
 #: request side is bounded by the backend's ``max_value_bytes``): a
@@ -188,7 +196,7 @@ class RequestParser:
             if limit <= 0:
                 return Request(op=op, error="SCAN limit must be positive")
             return Request(op=op, key=tokens[1], limit=limit, arrival_us=arrival)
-        if op in INLINE_OPS:
+        if op in INLINE_OPS or op in HINT_OPS:
             if len(tokens) != 1:
                 return Request(op=op, error=f"{op} takes no arguments")
             return Request(op=op)
@@ -226,6 +234,8 @@ PING_REQUEST = b"PING\r\n"
 STATS_REQUEST = b"STATS\r\n"
 QUIT_REQUEST = b"QUIT\r\n"
 HEALTH_REQUEST = b"HEALTH\r\n"
+#: Batching doorbell: response-less, see HINT_OPS above.
+DISPATCH_REQUEST = b"DISPATCH\r\n"
 
 
 # --- response encoding (server side) ---------------------------------------

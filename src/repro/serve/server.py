@@ -13,24 +13,49 @@ Architecture (per ``docs/serving.md``):
   simulator is synchronous, so the worker is the only place driver calls
   happen; it also runs the virtual-time queueing model below.
 
-Virtual-time accounting: each request carries an optional open-loop
-arrival stamp (relative µs). The worker keeps ``device_free_us`` — the
-virtual time the device finishes its current backlog — and computes
+Two worker shapes exist, selected by ``dispatch_batch``/``server_qd``:
+
+**Serial (the default, both knobs 1).** The worker executes one request
+per queue item and keeps a single scalar ``device_free_us`` — the
+virtual time the device finishes its current backlog:
 
     start      = max(arrival, device_free)
     completion = start + service          (service = simulated op time)
     latency    = completion - arrival     (queue wait + service)
 
-which is an FCFS M/G/1-style queue over the *intended* schedule: a
-request that queues behind a burst is charged its full wait even though
-the load generator never blocked, so coordinated omission cannot hide
-the knee.
+an FCFS M/G/1-style queue over the *intended* schedule: a request that
+queues behind a burst is charged its full wait even though the load
+generator never blocked, so coordinated omission cannot hide the knee.
+
+**Batched (either knob > 1).** Device ops buffer per connection and
+flush to the worker in groups — on the ``DISPATCH`` doorbell the load
+generator sends every few ops (a byte-stream position, so batch
+boundaries are deterministic), on the ``dispatch_batch`` cap, on any
+inline op, and on connection close/drain. The worker cuts each group
+into virtual-time sub-batches (an op arriving after the device fully
+drained starts a new one, so low load degenerates to serial execution
+and low-load latency is unchanged), executes same-kind runs through the
+backend's pipelined ``put_many``/``get_many`` paths, and generalizes the
+queueing model to **per-shard, per-QD-slot free times**: each op takes
+the earliest-free of its owning shard's ``server_qd`` slots,
+
+    slot       = argmin(shard_free[shard])
+    start      = max(arrival, shard_free[shard][slot])
+    completion = start + service          (service = latency in the batch)
+    latency    = completion - arrival
+
+so requests overlap exactly as far as the device's internal parallelism
+(QD pipelining × independent shards) allows, still open-loop and still
+in strict per-connection response order.
 
 Admission control (checked at dispatch, before enqueueing):
 
 * device queue full (``max_inflight`` slots)          -> ``SERVER_BUSY``
-* projected wait ``(device_free - arrival) + qsize * EWMA(service)``
-  above ``max_queue_delay_us``                        -> ``SERVER_BUSY``
+* projected wait above ``max_queue_delay_us``         -> ``SERVER_BUSY``
+  (serial: ``(device_free - arrival) + queued * EWMA(service)``;
+  batched: ``(earliest shard slot - arrival) + queued * EWMA(service) /
+  (shards * server_qd)`` — the backlog drains through every slot, so the
+  estimate divides by the effective parallelism to stay truthful)
 * per-connection in-flight above ``per_conn_inflight`` -> ``SERVER_BUSY``
 
 Rejected requests never touch the device; the client sees an explicit
@@ -63,6 +88,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.serve import protocol
 from repro.serve.backend import StoreBackend
 from repro.sim.stats import Histogram, MetricSet
@@ -70,6 +96,9 @@ from repro.sim.stats import Histogram, MetricSet
 #: Latency histograms need finer-than-2x buckets for smooth p99/p999
 #: curves: quarter-octave edges spanning ~1 µs .. ~16 s.
 LATENCY_EDGES = tuple(2.0 ** (i / 4.0) for i in range(97))
+
+#: Power-of-two buckets for the executed sub-batch sizes (batched mode).
+BATCH_SIZE_EDGES = tuple(float(2 ** i) for i in range(13))
 
 _CLOSE = object()  # response-queue sentinel: no more responses
 _SHUTDOWN = object()  # device-queue sentinel: worker exits
@@ -103,6 +132,16 @@ class ServerSettings:
     breaker_error_threshold: int = 0
     #: While open, admit every Nth device op as a probe.
     breaker_probe_every: int = 8
+    #: Max device ops buffered per connection before a forced flush to the
+    #: worker; 1 (the default) is the serial worker, byte-identical to the
+    #: pre-batching server. > 1 needs doorbell-aware clients (the load
+    #: generator's ``dispatch_every``): ops buffer until a ``DISPATCH``
+    #: hint, the cap, or an inline op flushes them.
+    dispatch_batch: int = 1
+    #: Virtual QD slots per shard in the queueing model, and the queue
+    #: depth handed to the backend's pipelined batch paths; 1 keeps the
+    #: scalar serial model.
+    server_qd: int = 1
     #: Optional accept-path fault hook (``repro.chaos.net.ServerChaos``):
     #: ``allow_accept() -> bool``; False resets the connection on arrival.
     chaos: object | None = None
@@ -111,7 +150,10 @@ class ServerSettings:
 class _Connection:
     """Per-connection state shared by the reader/writer pair."""
 
-    __slots__ = ("writer", "responses", "inflight", "parser", "closing", "dead")
+    __slots__ = (
+        "writer", "responses", "inflight", "parser", "closing", "dead",
+        "batch",
+    )
 
     def __init__(self, writer, max_value_bytes: int) -> None:
         self.writer = writer
@@ -123,6 +165,8 @@ class _Connection:
         #: Abrupt close (reset / EOF with ops in flight): drop queued
         #: device work, cancel pending responses.
         self.dead = False
+        #: Batched mode only: admitted device ops awaiting a flush.
+        self.batch: list = []
 
 
 class KVServer:
@@ -140,9 +184,30 @@ class KVServer:
         self._device_queue: asyncio.Queue = asyncio.Queue()
         self._device_free_us = 0.0
         self._ewma_service_us = 0.0
+        if self.settings.dispatch_batch < 1 or self.settings.server_qd < 1:
+            raise ConfigError("dispatch_batch and server_qd must be >= 1")
+        #: Batched mode: buffer + doorbell dispatch, per-shard QD-slot
+        #: queueing model. Off (both knobs 1) keeps the serial worker
+        #: byte-identical to the pre-batching server.
+        self._batched = (
+            self.settings.dispatch_batch > 1 or self.settings.server_qd > 1
+        )
+        shards = max(1, backend.shards) if self._batched else 1
+        #: Per-shard, per-QD-slot virtual free times (batched model).
+        self._shard_free = [
+            [0.0] * self.settings.server_qd for _ in range(shards)
+        ]
+        #: Admitted-but-unserved device ops (buffered + queued). The
+        #: batched queue holds *groups*, so qsize() undercounts there.
+        self._queued_ops = 0
+        self._queued_per_shard = [0] * shards
+        self._inflight_peak = 0
+        if self._batched:
+            self.metrics.histogram("batch_size", BATCH_SIZE_EDGES)
         self._server: asyncio.AbstractServer | None = None
         self._worker: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._conns: set[_Connection] = set()
         self._draining = False
         # Circuit-breaker state (armed only if breaker_error_threshold > 0).
         self._breaker_open = False
@@ -153,9 +218,8 @@ class KVServer:
 
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns (host, port) actually bound."""
-        self._worker = asyncio.get_running_loop().create_task(
-            self._device_worker()
-        )
+        worker = self._batched_worker if self._batched else self._device_worker
+        self._worker = asyncio.get_running_loop().create_task(worker())
         self._server = await asyncio.start_server(
             self._handle_connection, self.settings.host, self.settings.port,
         )
@@ -177,6 +241,11 @@ class KVServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._batched:
+            # Buffered device ops are admitted work: flush them ahead of
+            # the shutdown sentinel so their responses are written.
+            for conn in list(self._conns):
+                self._flush_batch(conn)
         if self._worker is not None:
             await self._device_queue.put(_SHUTDOWN)
             await self._worker
@@ -235,27 +304,136 @@ class KVServer:
             h_wait.record(wait)
             h_service.record(result.service_us)
             self.metrics.counter(f"ops.{request.op.lower()}").add()
-            if result.kind == "STORED":
-                payload = protocol.encode_stored(latency, result.service_us)
-            elif result.kind == "VALUE":
-                payload = protocol.encode_value(
-                    result.value, latency, result.service_us
-                )
-            elif result.kind == "DELETED":
-                payload = protocol.encode_deleted(latency, result.service_us)
-            elif result.kind == "NOT_FOUND":
-                self.metrics.counter("not_found").add()
-                payload = protocol.encode_not_found(latency, result.service_us)
-            elif result.kind == "RANGE":
-                payload = protocol.encode_range(
-                    result.pairs, latency, result.service_us
-                )
-            else:
-                self.metrics.counter("backend_errors").add()
-                payload = protocol.encode_error("BACKEND", result.detail)
+            payload = self._encode_result(result, latency)
             self._breaker_record(result.kind == "ERR", probe)
             if not future.done():
                 future.set_result(payload)
+
+    def _encode_result(self, result, latency: float) -> bytes:
+        """Encode a backend outcome (and bump its outcome counters)."""
+        if result.kind == "STORED":
+            return protocol.encode_stored(latency, result.service_us)
+        if result.kind == "VALUE":
+            return protocol.encode_value(
+                result.value, latency, result.service_us
+            )
+        if result.kind == "DELETED":
+            return protocol.encode_deleted(latency, result.service_us)
+        if result.kind == "NOT_FOUND":
+            self.metrics.counter("not_found").add()
+            return protocol.encode_not_found(latency, result.service_us)
+        if result.kind == "RANGE":
+            return protocol.encode_range(
+                result.pairs, latency, result.service_us
+            )
+        self.metrics.counter("backend_errors").add()
+        return protocol.encode_error("BACKEND", result.detail)
+
+    # --- the batched worker (dispatch_batch / server_qd > 1) ---------------
+
+    async def _batched_worker(self) -> None:
+        """Drain flushed groups; run the per-shard QD-slot model.
+
+        Each queue item is one flushed batch (doorbell/cap-bounded). The
+        group is cut into virtual-time **sub-batches**: an op whose
+        arrival stamp lies beyond the device's drain horizon (every slot
+        free) starts a new sub-batch, so sparse traffic executes op-at-a-
+        time with serial service times and only genuinely-queued spans
+        batch onto the pipelined paths. The cut depends only on arrival
+        stamps and executed history — deterministic for a fixed stream.
+        """
+        queue = self._device_queue
+        while True:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                return
+            live = []
+            for entry in item:
+                request, future, conn, probe, shard = entry
+                conn.inflight -= 1
+                self._queued_ops -= 1
+                self._queued_per_shard[shard] -= 1
+                if conn.dead:
+                    # The client vanished with this request queued: never
+                    # touch the device on its behalf.
+                    self.metrics.counter("dropped_requests").add()
+                    future.cancel()
+                    continue
+                live.append(entry)
+            if not live:
+                continue
+            horizon = max(max(slots) for slots in self._shard_free)
+            sub: list = []
+            for entry in live:
+                arrival = entry[0].arrival_us
+                if sub and arrival is not None and arrival > horizon:
+                    horizon = max(horizon, self._run_subbatch(sub))
+                    sub = []
+                sub.append(entry)
+            if sub:
+                self._run_subbatch(sub)
+
+    def _run_subbatch(self, entries: list) -> float:
+        """Execute one sub-batch; charge it on the shard QD slots.
+
+        Returns the latest completion time it booked (the caller's drain
+        horizon). Singleton sub-batches take the plain ``execute`` path,
+        so their service times are identical to the serial worker's.
+        """
+        settings = self.settings
+        alpha = settings.service_ewma_alpha
+        h_latency = self.metrics.histogram("latency_us")
+        h_wait = self.metrics.histogram("wait_us")
+        h_service = self.metrics.histogram("service_us")
+        self.metrics.histogram("batch_size").record(float(len(entries)))
+        requests = [entry[0] for entry in entries]
+        if len(requests) == 1:
+            results = [self.backend.execute(requests[0])]
+        else:
+            self.metrics.counter("batches").add()
+            results = self.backend.execute_batch(
+                requests, queue_depth=settings.server_qd
+            )
+        max_completion = 0.0
+        for (request, future, conn, probe, shard), result in zip(
+            entries, results
+        ):
+            slots = self._shard_free[shard]
+            arrival = request.arrival_us
+            if arrival is None:
+                # No open-loop stamp: arrive the moment a slot frees up.
+                arrival = min(slots)
+            slot = min(range(len(slots)), key=slots.__getitem__)
+            start = max(arrival, slots[slot])
+            completion = start + result.service_us
+            slots[slot] = completion
+            wait = start - arrival
+            latency = completion - arrival
+            if completion > self._device_free_us:
+                self._device_free_us = completion
+            if completion > max_completion:
+                max_completion = completion
+            if self._ewma_service_us:
+                self._ewma_service_us += alpha * (
+                    result.service_us - self._ewma_service_us
+                )
+            else:
+                self._ewma_service_us = result.service_us
+            h_latency.record(latency)
+            h_wait.record(wait)
+            h_service.record(result.service_us)
+            self.metrics.counter(f"ops.{request.op.lower()}").add()
+            payload = self._encode_result(result, latency)
+            self._breaker_record(result.kind == "ERR", probe)
+            if not future.done():
+                future.set_result(payload)
+        return max_completion
+
+    def _flush_batch(self, conn: _Connection) -> None:
+        """Hand a connection's buffered device ops to the worker."""
+        if conn.batch:
+            self._device_queue.put_nowait(conn.batch)
+            conn.batch = []
 
     # --- circuit breaker --------------------------------------------------
 
@@ -295,45 +473,81 @@ class KVServer:
 
     # --- projected backlog (admission) ------------------------------------
 
-    def projected_wait_us(self, arrival_us: float | None) -> float:
-        """Queueing delay a request admitted now should expect."""
-        backlog = self._device_queue.qsize() * self._ewma_service_us
+    def projected_wait_us(self, arrival_us: float | None,
+                          shard: int | None = None) -> float:
+        """Queueing delay a request admitted now should expect.
+
+        Serial: time until the scalar ``device_free_us`` clears, plus the
+        queued backlog at the EWMA service estimate. Batched: the backlog
+        drains through every QD slot of every shard concurrently, so the
+        estimate divides by that effective parallelism, and the head-of-
+        line term is the earliest-free slot (of the request's own shard
+        when known) — keeping ``SERVER_BUSY`` projections truthful under
+        the parallel schedule.
+        """
+        if not self._batched:
+            backlog = self._device_queue.qsize() * self._ewma_service_us
+            if arrival_us is None:
+                return backlog
+            return max(0.0, self._device_free_us - arrival_us) + backlog
+        parallelism = len(self._shard_free) * self.settings.server_qd
+        backlog = self._queued_ops * self._ewma_service_us / parallelism
         if arrival_us is None:
             return backlog
-        return max(0.0, self._device_free_us - arrival_us) + backlog
+        if shard is None:
+            free = min(min(slots) for slots in self._shard_free)
+        else:
+            free = min(self._shard_free[shard])
+        return max(0.0, free - arrival_us) + backlog
 
     def _admit(self, request: protocol.Request, conn: _Connection):
-        """(rejection, probe): rejection bytes to send instead, or None
-        = admitted; probe marks a breaker-probe admission."""
+        """(rejection, probe, shard): rejection bytes to send instead, or
+        None = admitted; probe marks a breaker-probe admission; shard is
+        the queueing-model shard the op charges (0 in serial mode)."""
         settings = self.settings
+        shard = self.backend.shard_of(request.key) if self._batched else 0
         verdict = self._breaker_admit()
         if verdict == "shed":
             self.metrics.counter("busy_rejects").add()
             return (
-                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                protocol.encode_busy(
+                    self.projected_wait_us(request.arrival_us, shard)
+                ),
                 False,
+                shard,
             )
         probe = verdict == "probe"
         if conn.inflight >= settings.per_conn_inflight:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.per_conn").add()
             return (
-                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                protocol.encode_busy(
+                    self.projected_wait_us(request.arrival_us, shard)
+                ),
                 probe,
+                shard,
             )
-        if self._device_queue.qsize() >= settings.max_inflight:
+        # The batched queue holds *groups* (and ops buffer on connections
+        # before flushing), so the slot bound counts admitted ops, not
+        # queue items.
+        depth = (self._queued_ops if self._batched
+                 else self._device_queue.qsize())
+        if depth >= settings.max_inflight:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.queue_full").add()
             return (
-                protocol.encode_busy(self.projected_wait_us(request.arrival_us)),
+                protocol.encode_busy(
+                    self.projected_wait_us(request.arrival_us, shard)
+                ),
                 probe,
+                shard,
             )
-        projected = self.projected_wait_us(request.arrival_us)
+        projected = self.projected_wait_us(request.arrival_us, shard)
         if 0 < settings.max_queue_delay_us < projected:
             self.metrics.counter("busy_rejects").add()
             self.metrics.counter("busy_rejects.queue_delay").add()
-            return protocol.encode_busy(projected), probe
-        return None, probe
+            return protocol.encode_busy(projected), probe, shard
+        return None, probe, shard
 
     # --- per-connection plumbing ------------------------------------------
 
@@ -353,6 +567,7 @@ class KVServer:
             return
         self.metrics.counter("connections").add()
         conn = _Connection(writer, max_value_bytes=self.backend.max_value_bytes)
+        self._conns.add(conn)
         writer_task = asyncio.get_running_loop().create_task(
             self._connection_writer(conn)
         )
@@ -396,14 +611,30 @@ class KVServer:
         except asyncio.CancelledError:
             pass
         finally:
+            if self._batched:
+                # Reader is done (EOF, QUIT, fatal, reap): any still-
+                # buffered admitted ops must reach the worker — dead
+                # connections get theirs dropped there, live ones get
+                # their responses written before _CLOSE lands.
+                self._flush_batch(conn)
             await conn.responses.put(_CLOSE)
             try:
                 await writer_task
             except asyncio.CancelledError:
                 pass
+            self._conns.discard(conn)
             self._conn_tasks.discard(task)
 
     def _dispatch(self, request: protocol.Request, conn: _Connection) -> None:
+        if request.op == "DISPATCH" and request.error is None:
+            # Doorbell hint: response-less by design (memcached-noreply
+            # style), so batching never costs a round-trip. A byte-stream
+            # position, not a timer — batch composition stays
+            # deterministic. Serial mode counts and ignores it.
+            self.metrics.counter("dispatch_hints").add()
+            if self._batched:
+                self._flush_batch(conn)
+            return
         future = asyncio.get_running_loop().create_future()
         conn.responses.put_nowait(future)
         self.metrics.counter("requests").add()
@@ -413,6 +644,10 @@ class KVServer:
             if conn.parser.fatal is not None:
                 conn.closing = True
             return
+        if self._batched and request.op in protocol.INLINE_OPS:
+            # Inline ops answer immediately; flush first so buffered
+            # device work is not reordered behind (or invisible to) them.
+            self._flush_batch(conn)
         if request.op == "PING":
             future.set_result(protocol.PONG)
             return
@@ -442,12 +677,30 @@ class KVServer:
                 protocol.encode_error("SHUTDOWN", "server draining")
             )
             return
-        rejection, probe = self._admit(request, conn)
+        rejection, probe, shard = self._admit(request, conn)
         if rejection is not None:
             future.set_result(rejection)
             return
         conn.inflight += 1
-        self._device_queue.put_nowait((request, future, conn, probe))
+        if not self._batched:
+            self._device_queue.put_nowait((request, future, conn, probe))
+            depth = self._device_queue.qsize()
+            if depth > self._inflight_peak:
+                self._inflight_peak = depth
+            return
+        self._queued_ops += 1
+        self._queued_per_shard[shard] += 1
+        if self._queued_ops > self._inflight_peak:
+            self._inflight_peak = self._queued_ops
+        entry = (request, future, conn, probe, shard)
+        if self.settings.dispatch_batch > 1:
+            conn.batch.append(entry)
+            if len(conn.batch) >= self.settings.dispatch_batch:
+                self._flush_batch(conn)
+        else:
+            # server_qd > 1 with dispatch_batch == 1: no buffering, but
+            # the worker still runs the QD-slot model per singleton group.
+            self._device_queue.put_nowait([entry])
 
     async def _connection_writer(self, conn: _Connection) -> None:
         """Write responses strictly in request order; apply TCP backpressure."""
@@ -482,6 +735,19 @@ class KVServer:
         out = self.metrics.snapshot()
         out["serve.device_free_us"] = self._device_free_us
         out["serve.ewma_service_us"] = self._ewma_service_us
-        out["serve.queue_depth"] = float(self._device_queue.qsize())
+        out["serve.inflight_peak"] = float(self._inflight_peak)
+        out["serve.breaker_open"] = 1.0 if self._breaker_open else 0.0
+        if self._batched:
+            out["serve.queue_depth"] = float(self._queued_ops)
+            out["serve.dispatch_batch"] = float(self.settings.dispatch_batch)
+            out["serve.server_qd"] = float(self.settings.server_qd)
+            out["serve.shards"] = float(len(self._shard_free))
+            for i, slots in enumerate(self._shard_free):
+                out[f"serve.shard{i}.queue_depth"] = float(
+                    self._queued_per_shard[i]
+                )
+                out[f"serve.shard{i}.free_us"] = min(slots)
+        else:
+            out["serve.queue_depth"] = float(self._device_queue.qsize())
         out.update(self.backend.snapshot())
         return out

@@ -241,11 +241,14 @@ class Histogram:
                 # edge, so the max()/min() pick the nominal bounds.
                 if seed_interpolation:
                     lo, hi = prev_edge, edge
-                else:
-                    lo = prev_edge if prev_edge > self._min else self._min
-                    hi = edge if edge < self._max else self._max
-                frac = (target - seen) / cnt
-                return lo + frac * (hi - lo)
+                    return lo + ((target - seen) / cnt) * (hi - lo)
+                lo = prev_edge if prev_edge > self._min else self._min
+                hi = edge if edge < self._max else self._max
+                value = lo + ((target - seen) / cnt) * (hi - lo)
+                # frac == 1 can overshoot hi by one ulp (lo + 1.0 * (hi -
+                # lo) need not round back to hi); clamp so the guarantee
+                # "never above the observed maximum" holds exactly.
+                return value if value < hi else hi
             seen += cnt
             prev_edge = edge
         # Target rank lands in the overflow bucket: report the largest

@@ -1,0 +1,244 @@
+"""Batched dispatch: serial equivalence, outcome equivalence, stats.
+
+Three layers of guarantees:
+
+* **Serial freeze** — with ``dispatch_batch=1, server_qd=1`` (explicit
+  or default) the server must be byte-identical to the pre-batching
+  implementation; frozen report goldens pin the numbers.
+* **Outcome equivalence** — ``StoreBackend.execute_batch`` over a random
+  mixed SET/GET/DEL stream must return the same kinds and values as
+  op-at-a-time ``execute`` against an identically-seeded store.
+* **Batched serving** — the batched worker completes everything a serial
+  server completes, stays deterministic, keeps low-load p50 close to
+  serial, and beats serial throughput once the device has parallelism.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.loadgen.runner import run_loadtest
+from repro.serve import protocol
+from repro.serve.backend import StoreBackend
+from repro.serve.server import KVServer, ServerSettings
+
+
+def loadtest(preset="backfill", **overrides):
+    kwargs = dict(rps=8_000.0, requests=300, conns=1, seed=11, num_keys=100,
+                  value_size=256)
+    kwargs.update(overrides)
+    return run_loadtest(preset, **kwargs)
+
+
+def batched_settings(dispatch_batch=16, server_qd=8, **extra):
+    return ServerSettings(
+        dispatch_batch=dispatch_batch, server_qd=server_qd, **extra
+    )
+
+
+class TestSerialFreeze:
+    """The serial path is frozen: goldens captured before the batched
+    dispatcher landed must keep reproducing byte-for-byte."""
+
+    def test_golden_backfill(self):
+        row = loadtest().to_dict()
+        assert row["completed"] == 300
+        assert row["busy_rejected"] == 0
+        assert row["p50_us"] == 27.24
+        assert row["p99_us"] == 53.817
+        assert row["p999_us"] == 65.666
+        assert row["max_us"] == 65.666
+        assert row["span_us"] == 36067.173
+        assert row["achieved_rps"] == 8317.813
+
+    def test_golden_baseline_with_deletes(self):
+        row = loadtest("baseline", rps=6_000.0, requests=250, seed=3,
+                       num_keys=80, value_size=128,
+                       delete_fraction=0.1).to_dict()
+        assert row["completed"] == 250
+        assert row["not_found"] == 22
+        assert row["p50_us"] == 105.732
+        assert row["p99_us"] == 608.874
+        assert row["p999_us"] == 698.936
+        assert row["max_us"] == 698.936
+        assert row["span_us"] == 43065.086
+        assert row["achieved_rps"] == 5805.167
+
+    def test_golden_sharded_array(self):
+        row = loadtest(rps=8_000.0, requests=200, seed=5, num_keys=80,
+                       value_size=200, array_shards=3).to_dict()
+        assert row["completed"] == 200
+        assert row["p50_us"] == 23.396
+        assert row["p99_us"] == 57.125
+        assert row["p999_us"] == 63.74
+        assert row["max_us"] == 63.74
+        assert row["span_us"] == 26832.004
+        assert row["achieved_rps"] == 7453.785
+
+    def test_explicit_serial_settings_match_default(self):
+        explicit = loadtest(
+            settings=ServerSettings(dispatch_batch=1, server_qd=1)
+        )
+        assert explicit.to_dict() == loadtest().to_dict()
+
+    def test_serial_mode_selects_serial_worker(self):
+        server = KVServer(StoreBackend.build("baseline"))
+        assert server._batched is False
+
+    def test_either_knob_selects_batched_worker(self):
+        backend = StoreBackend.build("baseline")
+        assert KVServer(backend, ServerSettings(dispatch_batch=4))._batched
+        assert KVServer(backend, ServerSettings(server_qd=4))._batched
+
+    @pytest.mark.parametrize("knobs", [
+        {"dispatch_batch": 0}, {"server_qd": 0}, {"dispatch_batch": -3},
+    ])
+    def test_invalid_knobs_rejected(self, knobs):
+        with pytest.raises(ConfigError):
+            KVServer(StoreBackend.build("baseline"), ServerSettings(**knobs))
+
+
+def _random_requests(rng, count, key_space=40):
+    """Mixed SET/GET/DEL stream with repeats, misses and a few SCANs."""
+    requests = []
+    for i in range(count):
+        key = b"bk%03d" % rng.randrange(key_space)
+        roll = rng.random()
+        if roll < 0.45:
+            value = bytes([rng.randrange(256)]) * rng.randrange(1, 128)
+            requests.append(protocol.Request(op="SET", key=key, value=value))
+        elif roll < 0.85:
+            requests.append(protocol.Request(op="GET", key=key))
+        elif roll < 0.97:
+            requests.append(protocol.Request(op="DEL", key=key))
+        else:
+            requests.append(protocol.Request(op="SCAN", key=key, limit=4))
+    return requests
+
+
+def _outcome(result):
+    return (result.kind, result.value, result.pairs, result.detail)
+
+
+class TestOutcomeEquivalence:
+    """execute_batch == execute, op by op, on identically-seeded stores."""
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_random_mixed_stream(self, shards):
+        rng = random.Random(1234 + shards)
+        requests = _random_requests(rng, 300)
+        serial = StoreBackend.build("backfill", array_shards=shards)
+        batched = StoreBackend.build("backfill", array_shards=shards)
+        serial_out = [serial.execute(r) for r in requests]
+        batched_out = []
+        pos = 0
+        while pos < len(requests):
+            chunk = rng.randrange(1, 48)
+            batched_out.extend(
+                batched.execute_batch(requests[pos:pos + chunk],
+                                      queue_depth=16)
+            )
+            pos += chunk
+        assert len(batched_out) == len(serial_out)
+        for got, want in zip(batched_out, serial_out):
+            assert _outcome(got) == _outcome(want)
+
+    def test_conflicting_keys_in_one_batch(self):
+        # SET/GET/SET/DEL/GET on the same key inside one batch must
+        # observe program order (the window cutter forces it).
+        backend = StoreBackend.build("baseline")
+        requests = [
+            protocol.Request(op="SET", key=b"k", value=b"one"),
+            protocol.Request(op="GET", key=b"k"),
+            protocol.Request(op="SET", key=b"k", value=b"two"),
+            protocol.Request(op="GET", key=b"k"),
+            protocol.Request(op="DEL", key=b"k"),
+            protocol.Request(op="GET", key=b"k"),
+        ]
+        kinds = [r.kind for r in backend.execute_batch(requests, 8)]
+        assert kinds == ["STORED", "VALUE", "STORED", "VALUE", "DELETED",
+                         "NOT_FOUND"]
+        values = [r.value for r in backend.execute_batch(
+            [protocol.Request(op="SET", key=b"k", value=b"three"),
+             protocol.Request(op="GET", key=b"k")], 8)]
+        assert values[1] == b"three"
+
+    def test_scan_acts_as_barrier(self):
+        backend = StoreBackend.build("baseline")
+        requests = [
+            protocol.Request(op="SET", key=b"s1", value=b"a"),
+            protocol.Request(op="SET", key=b"s2", value=b"b"),
+            protocol.Request(op="SCAN", key=b"s1", limit=8),
+        ]
+        results = backend.execute_batch(requests, 8)
+        assert results[2].kind == "RANGE"
+        assert results[2].pairs == [(b"s1", b"a"), (b"s2", b"b")]
+
+
+class TestBatchedServing:
+    def test_completes_everything_and_matches_serial_counts(self):
+        serial = loadtest(array_shards=2, delete_fraction=0.05)
+        batched = loadtest(array_shards=2, delete_fraction=0.05,
+                           settings=batched_settings())
+        assert batched.completed == batched.requests
+        assert batched.errors == 0
+        assert batched.protocol_errors == 0
+        assert batched.completed == serial.completed
+        assert batched.not_found == serial.not_found
+
+    def test_deterministic_at_fixed_seed(self):
+        kwargs = dict(rps=120_000.0, requests=400, seed=9, array_shards=4,
+                      settings=batched_settings(32, 16))
+        assert loadtest(**kwargs).to_dict() == loadtest(**kwargs).to_dict()
+
+    def test_low_load_p50_not_worse_than_serial(self):
+        # Sparse arrivals degenerate to singleton sub-batches (serial
+        # service times); Poisson clumps may *overlap* on the QD slots,
+        # so batched p50 can only sit at or below serial + 10%.
+        serial = loadtest(rps=3_000.0, requests=400)
+        batched = loadtest(rps=3_000.0, requests=400,
+                           settings=batched_settings(32, 16))
+        assert batched.p50_us <= 1.10 * serial.p50_us
+
+    def test_overload_throughput_beats_serial_with_parallelism(self):
+        kwargs = dict(rps=200_000.0, requests=600, seed=11, num_keys=100,
+                      array_shards=4)
+        serial = loadtest(**kwargs)
+        batched = loadtest(settings=batched_settings(32, 16), **kwargs)
+        assert batched.achieved_rps > 2.0 * serial.achieved_rps
+
+    def test_server_stats_expose_queueing_model(self):
+        report = loadtest(array_shards=2, settings=batched_settings(),
+                          include_server_stats=True)
+        stats = report.server_stats
+        assert stats, "server_stats must not be empty when requested"
+        assert stats["serve.dispatch_batch"] == 16.0
+        assert stats["serve.server_qd"] == 8.0
+        assert stats["serve.shards"] == 2.0
+        assert stats["serve.inflight_peak"] >= 1.0
+        assert stats["serve.breaker_open"] == 0.0
+        assert stats["serve.batch_size.count"] > 0
+        for shard in range(2):
+            assert f"serve.shard{shard}.queue_depth" in stats
+            assert f"serve.shard{shard}.free_us" in stats
+
+    def test_serial_server_stats_populated_too(self):
+        stats = loadtest(include_server_stats=True).server_stats
+        assert stats["serve.inflight_peak"] >= 1.0
+        assert "serve.breaker_open" in stats
+        assert "serve.queue_depth" in stats
+
+
+class TestDispatchProtocol:
+    def test_doorbell_parses_as_hint(self):
+        parser = protocol.RequestParser()
+        requests = parser.feed(protocol.DISPATCH_REQUEST)
+        assert len(requests) == 1
+        assert requests[0].op == "DISPATCH"
+        assert requests[0].error is None
+
+    def test_doorbell_with_arguments_is_an_error(self):
+        parser = protocol.RequestParser()
+        requests = parser.feed(b"DISPATCH now\r\n")
+        assert requests[0].error is not None
